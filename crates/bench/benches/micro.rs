@@ -1,0 +1,209 @@
+#![allow(missing_docs)]
+//! Criterion micro-benchmarks for the building blocks on MyStore's hot
+//! paths: MD5/ring lookups (every request), BSON codec (every record),
+//! engine operations (every replica op), LRU (every cache access), gossip
+//! digest handling (every round), and a full simulated quorum write.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use mystore_bson::{doc, Document, Value};
+use mystore_cache::LruCache;
+use mystore_core::prelude::*;
+use mystore_core::testing::Probe;
+use mystore_engine::{pack_version, Db, FindOptions, Record};
+use mystore_engine::query::Filter;
+use mystore_gossip::{GossipConfig, GossipMsg, Gossiper};
+use mystore_net::{FaultPlan, NetConfig, NodeConfig, NodeId, Rng, SimConfig, SimTime};
+use mystore_ring::md5::md5;
+use mystore_ring::HashRing;
+
+fn bench_md5_and_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("md5_64B", |b| {
+        let data = [7u8; 64];
+        b.iter(|| md5(std::hint::black_box(&data)))
+    });
+    let mut ring = HashRing::new();
+    for i in 0..5u32 {
+        ring.add_node(NodeId(i), format!("node{i}"), 128).unwrap();
+    }
+    g.bench_function("preference_list_n3", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ring.preference_list(std::hint::black_box(&i.to_le_bytes()), 3)
+        })
+    });
+    g.finish();
+}
+
+fn bench_bson(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bson");
+    let record = Record::new(
+        mystore_bson::ObjectId::from_parts(1, 2, 3),
+        "Resistor5",
+        vec![0xAB; 16 * 1024],
+        pack_version(1, 1),
+    )
+    .to_document();
+    let bytes = record.to_bytes();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_16K_record", |b| b.iter(|| record.to_bytes()));
+    g.bench_function("decode_16K_record", |b| {
+        b.iter(|| Document::from_bytes(std::hint::black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("put_record_1K", |b| {
+        let mut db = Db::memory();
+        db.create_index("data", "self-key").unwrap();
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            let rec = Record::new(
+                mystore_bson::ObjectId::from_parts(0, 0, i),
+                format!("k{i}"),
+                vec![1; 1024],
+                pack_version(i as u64, 0),
+            );
+            db.put_record("data", &rec).unwrap()
+        })
+    });
+    g.bench_function("indexed_point_query", |b| {
+        let mut db = Db::memory();
+        db.create_index("data", "self-key").unwrap();
+        for i in 0..10_000u32 {
+            let rec = Record::new(
+                mystore_bson::ObjectId::from_parts(0, 0, i),
+                format!("k{i}"),
+                vec![1; 64],
+                pack_version(i as u64, 0),
+            );
+            db.put_record("data", &rec).unwrap();
+        }
+        b.iter(|| db.get_record("data", "k5000").unwrap())
+    });
+    g.bench_function("filter_parse_and_match", |b| {
+        let query = doc! { "n": doc! { "$gte": 10, "$lt": 20 }, "k": doc! { "$prefix": "ab" } };
+        let target = doc! { "n": 15, "k": "abcdef" };
+        b.iter(|| {
+            let f = Filter::parse(std::hint::black_box(&query)).unwrap();
+            f.matches(std::hint::black_box(&target))
+        })
+    });
+    g.bench_function("full_scan_1k_docs", |b| {
+        let mut db = Db::memory();
+        for i in 0..1_000 {
+            db.insert_doc("d", doc! { "n": i, "tag": Value::from(i % 7) }).unwrap();
+        }
+        let f = Filter::parse(&doc! { "tag": 3 }).unwrap();
+        b.iter(|| db.find("d", &f, &FindOptions::default()).unwrap().len())
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("lru_hit", |b| {
+        let mut lru = LruCache::new(1 << 24);
+        for i in 0..10_000 {
+            lru.put(&format!("k{i}"), vec![0; 256]);
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            lru.get(&format!("k{i}")).map(<[u8]>::len)
+        })
+    });
+    g.bench_function("lru_insert_evict", |b| {
+        let mut lru = LruCache::new(64 * 1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            lru.put(&format!("k{i}"), vec![0; 1024])
+        })
+    });
+    g.finish();
+}
+
+fn bench_gossip(c: &mut Criterion) {
+    c.bench_function("gossip_syn_ack1_ack2_round", |b| {
+        let cfg = GossipConfig::default();
+        let mut a = Gossiper::new(NodeId(0), 1, cfg.clone());
+        let mut bb = Gossiper::new(NodeId(1), 1, cfg);
+        for i in 0..16 {
+            a.set_app_state(format!("s{i}"), "value");
+            bb.set_app_state(format!("s{i}"), "value");
+        }
+        let mut rng = Rng::new(1);
+        let now = SimTime::from_secs(1);
+        let _ = a.tick(now, &mut rng);
+        b.iter(|| {
+            let digests = match a.tick(now, &mut rng).pop() {
+                Some((_, GossipMsg::Syn(d))) => d,
+                _ => Vec::new(),
+            };
+            let (_, ack1) = bb.handle(now, NodeId(0), GossipMsg::Syn(digests)).unwrap();
+            if let Some((_, ack2)) = a.handle(now, NodeId(1), ack1) {
+                bb.handle(now, NodeId(0), ack2);
+            }
+        })
+    });
+}
+
+fn bench_quorum_write(c: &mut Criterion) {
+    c.bench_function("sim_quorum_put_4KB", |b| {
+        b.iter_batched(
+            || {
+                let spec = ClusterSpec::small(5);
+                let mut sim = spec.build_sim(SimConfig {
+                    net: NetConfig::gigabit_lan(),
+                    faults: FaultPlan::none(),
+                    seed: 9,
+                });
+                let probe = sim.add_node(
+                    Probe::new(
+                        (0..100u64)
+                            .map(|i| {
+                                (
+                                    spec.warmup_us() + i * 5_000,
+                                    NodeId((i % 5) as u32),
+                                    Msg::Put {
+                                        req: i,
+                                        key: format!("bench-{i}"),
+                                        value: vec![0; 4096],
+                                        delete: false,
+                                    },
+                                )
+                            })
+                            .collect(),
+                    ),
+                    NodeConfig::default(),
+                );
+                sim.start();
+                (sim, spec, probe)
+            },
+            |(mut sim, spec, probe)| {
+                sim.run_for(spec.warmup_us() + 2_000_000);
+                assert_eq!(
+                    sim.process::<Probe>(probe)
+                        .unwrap()
+                        .count_where(|m| matches!(m, Msg::PutResp { result: Ok(()), .. })),
+                    100
+                );
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_md5_and_ring, bench_bson, bench_engine, bench_cache, bench_gossip, bench_quorum_write
+);
+criterion_main!(micro);

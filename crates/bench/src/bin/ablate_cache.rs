@@ -1,0 +1,57 @@
+//! Ablation A5 — the cache tier on/off.
+//!
+//! §6.1's lesson learned: "use appropriate granularity of cache within
+//! different layers of the system". This ablation runs the same read-heavy
+//! load with and without the cache servers and reports client latency plus
+//! the replica reads the storage tier had to serve.
+
+use std::sync::Arc;
+
+use mystore_bench::harness::{run_rest_comparison, RestRun, SystemKind};
+use mystore_bench::report::{fmt, Figure};
+use mystore_core::prelude::*;
+use mystore_net::Rng;
+use mystore_workload::xml_corpus;
+
+fn main() {
+    let mut rng = Rng::new(5001);
+    let items = Arc::new(xml_corpus(2_000, 10, &mut rng));
+
+    let mut fig = Figure::new(
+        "ablate_cache",
+        "A5: cache tier on vs off (read-heavy REST load)",
+        &["cache", "mean_TTFB_ms", "RPS", "cache_hit_ratio", "db_replica_gets"],
+    );
+    fig.note("200 readers, think 0-500 ms, 95% reads");
+
+    for cache_on in [true, false] {
+        let mut spec = ClusterSpec::paper_topology();
+        if !cache_on {
+            spec.cache_nodes = 0;
+        }
+        let mut run = RestRun::new(SystemKind::MyStore, Arc::clone(&items));
+        run.spec = Some(spec.clone());
+        run.clients = 200;
+        run.read_ratio = 0.95;
+        run.seed = 50 + cache_on as u64;
+        let r = run_rest_comparison(&run);
+        let hits = r.trace.count("cache_hit") as f64;
+        let misses = r.trace.count("cache_miss") as f64;
+        let hit_ratio = if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 };
+        // Replica gets actually served by the storage tier.
+        let replica_gets: u64 = r
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.name == "get_ok")
+            .count() as u64;
+        fig.row(vec![
+            if cache_on { "on (4 servers)" } else { "off" }.to_string(),
+            fmt(r.ttfb.as_ref().map(|s| s.mean / 1e3).unwrap_or(0.0)),
+            fmt(r.rps),
+            fmt(hit_ratio),
+            replica_gets.to_string(),
+        ]);
+    }
+    fig.finish().expect("write results");
+}

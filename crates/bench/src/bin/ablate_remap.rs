@@ -1,0 +1,73 @@
+//! Ablation A2 — consistent hashing vs `hash mod N` (paper Eq. 1 vs Eq. 2).
+//!
+//! "By using consistent hashing, only K/N keys need to be remapped on
+//! average" (§2). This ablation measures the fraction of keys whose owner
+//! changes when a node is added to / removed from a 5-node cluster, for
+//! both placement schemes, against the theoretical expectations.
+
+use mystore_bench::report::{fmt, Figure};
+use mystore_net::NodeId;
+use mystore_ring::{remap_fraction, HashRing, ModN};
+
+fn keys() -> Vec<Vec<u8>> {
+    (0..30_000).map(|i| format!("key-{i}").into_bytes()).collect()
+}
+
+fn ring(n: u32) -> HashRing<NodeId> {
+    let mut r = HashRing::new();
+    for i in 0..n {
+        r.add_node(NodeId(i), format!("node{i}"), 128).unwrap();
+    }
+    r
+}
+
+fn main() {
+    let mut fig = Figure::new(
+        "ablate_remap",
+        "A2: fraction of keys remapped on membership change (5 nodes)",
+        &["scheme", "event", "remapped", "theory"],
+    );
+
+    // --- add a 6th node ----------------------------------------------------
+    let ring5 = ring(5);
+    let mut ring6 = ring5.clone();
+    ring6.add_node(NodeId(5), "node5", 128).unwrap();
+    let ring_add = remap_fraction(
+        keys(),
+        |k| ring5.primary(k).copied(),
+        |k| ring6.primary(k).copied(),
+    );
+    let modn5 = ModN::new((0..5).map(NodeId).collect());
+    let mut modn6 = modn5.clone();
+    modn6.add_node(NodeId(5));
+    let modn_add = remap_fraction(
+        keys(),
+        |k| modn5.primary(k).copied(),
+        |k| modn6.primary(k).copied(),
+    );
+
+    // --- remove a node -----------------------------------------------------
+    let mut ring4 = ring5.clone();
+    ring4.remove_node(&NodeId(2));
+    let ring_rm = remap_fraction(
+        keys(),
+        |k| ring5.primary(k).copied(),
+        |k| ring4.primary(k).copied(),
+    );
+    let mut modn4 = modn5.clone();
+    modn4.remove_node(&NodeId(2));
+    let modn_rm = remap_fraction(
+        keys(),
+        |k| modn5.primary(k).copied(),
+        |k| modn4.primary(k).copied(),
+    );
+
+    fig.row(vec!["consistent-hash".into(), "add 6th".into(), fmt(ring_add), "1/6 = 0.167".into()]);
+    fig.row(vec!["mod-N".into(), "add 6th".into(), fmt(modn_add), "1 - 1/6 = 0.833".into()]);
+    fig.row(vec!["consistent-hash".into(), "remove 1 of 5".into(), fmt(ring_rm), "1/5 = 0.200".into()]);
+    fig.row(vec!["mod-N".into(), "remove 1 of 5".into(), fmt(modn_rm), "~0.8".into()]);
+    fig.finish().expect("write results");
+
+    assert!(ring_add < 0.25 && ring_rm < 0.28, "ring remap too large");
+    assert!(modn_add > 0.7 && modn_rm > 0.7, "mod-N remap suspiciously small");
+}

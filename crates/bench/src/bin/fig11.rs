@@ -1,0 +1,49 @@
+//! Fig. 11 — average read throughput (MB/s) and requests/second for the
+//! three storage patterns behind the same REST interface: MyStore, the
+//! ext3-like file-system store, and master-slave MySQL.
+//!
+//! Paper setup (§6.1): XML corpus 3–600 KB, five DB nodes + four cache
+//! servers + one app node; the paper reports MyStore ≈ 11 MB/s and 236 RPS,
+//! clearly ahead of the two baselines. Shape check: MyStore wins both
+//! metrics; MySQL is the slowest on large-object reads.
+//!
+//! Scaling (documented in EXPERIMENTS.md): corpus sizes ÷10 and 3 000 items
+//! instead of 700 000 so the run fits in CI memory; absolute numbers scale
+//! accordingly, the ordering does not.
+
+use std::sync::Arc;
+
+use mystore_bench::harness::{run_rest_comparison, RestRun, SystemKind};
+use mystore_bench::report::{fmt, Figure};
+use mystore_net::Rng;
+use mystore_workload::xml_corpus;
+
+fn main() {
+    let scale = 10;
+    let mut rng = Rng::new(1101);
+    let items = Arc::new(xml_corpus(3_000, scale, &mut rng));
+
+    let mut fig = Figure::new(
+        "fig11",
+        "read throughput and RPS: MyStore vs ext3-FS vs MySQL-ms",
+        &["system", "throughput_MB_s", "RPS", "mean_TTLB_ms", "completed", "errors"],
+    );
+    fig.note(format!("corpus: 3000 XML items, sizes 3-600 KB / {scale} (scale 1:{scale})"));
+    fig.note("600 closed-loop readers, think 0-500 ms, 30 s virtual, window = last 15 s");
+    fig.note("paper: MyStore ~11 MB/s, 236 RPS, both baselines lower");
+
+    for system in [SystemKind::MyStore, SystemKind::Ext3Fs, SystemKind::MySqlMs] {
+        let mut run = RestRun::new(system, Arc::clone(&items));
+        run.clients = 600; // offered load ~2.3k req/s: above both baselines' capacity
+        let r = run_rest_comparison(&run);
+        fig.row(vec![
+            r.system.to_string(),
+            fmt(r.throughput_mb_s),
+            fmt(r.rps),
+            fmt(r.ttlb.as_ref().map(|s| s.mean / 1000.0).unwrap_or(0.0)),
+            r.completed.to_string(),
+            r.errors.to_string(),
+        ]);
+    }
+    fig.finish().expect("write results");
+}

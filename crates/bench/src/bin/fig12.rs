@@ -1,0 +1,56 @@
+//! Fig. 12 — TTFB and TTLB in the three systems for three resource types
+//! (a = small, b = medium, c = large XML resources).
+//!
+//! Paper observations to reproduce: (1) MyStore has a dramatic response-time
+//! improvement over both baselines for every resource type; (2) "the
+//! waiting for response from server spends most time of a request.
+//! Receiving data from server is rather quick" — i.e. TTFB ≈ TTLB, the gap
+//! growing only with resource size.
+
+use std::sync::Arc;
+
+use mystore_bench::harness::{per_client_summary, run_rest_comparison, RestRun, SystemKind};
+use mystore_bench::report::{fmt, Figure};
+use mystore_net::Rng;
+use mystore_workload::xml_corpus;
+
+fn main() {
+    let scale = 10;
+    let mut rng = Rng::new(1201);
+    let items = Arc::new(xml_corpus(3_000, scale, &mut rng));
+
+    let mut fig = Figure::new(
+        "fig12",
+        "TTFB and TTLB (ms) by resource type across the three systems",
+        &["system", "type", "TTFB_ms", "TTLB_ms", "samples"],
+    );
+    fig.note("types: a < 50 KB, b = 50-200 KB, c = 200-600 KB (pre-scaling)");
+    fig.note("paper: MyStore far lower on both metrics; TTFB dominates TTLB");
+
+    for system in [SystemKind::MyStore, SystemKind::Ext3Fs, SystemKind::MySqlMs] {
+        let mut run = RestRun::new(system, Arc::clone(&items));
+        run.clients = 100; // below every system's saturation so latency reflects resource size
+        // Clients 0,3,6,... read class a; 1,4,7,... class b; 2,5,8,... class c.
+        run.class_assignment = Some(vec![0, 1, 2]);
+        let r = run_rest_comparison(&run);
+        for class in 0..3u8 {
+            let ids: Vec<_> = r
+                .client_ids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (*i % 3) as u8 == class)
+                .map(|(_, &id)| id)
+                .collect();
+            let ttfb = per_client_summary(&r, &ids, "ttfb_us");
+            let ttlb = per_client_summary(&r, &ids, "ttlb_us");
+            fig.row(vec![
+                r.system.to_string(),
+                ["a", "b", "c"][class as usize].to_string(),
+                fmt(ttfb.as_ref().map(|s| s.mean / 1e3).unwrap_or(0.0)),
+                fmt(ttlb.as_ref().map(|s| s.mean / 1e3).unwrap_or(0.0)),
+                ttlb.as_ref().map(|s| s.count).unwrap_or(0).to_string(),
+            ]);
+        }
+    }
+    fig.finish().expect("write results");
+}

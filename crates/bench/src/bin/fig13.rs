@@ -1,0 +1,37 @@
+//! Fig. 13 — TTFB trend with different numbers of request processes.
+//!
+//! Paper shape: response time rises roughly linearly with the number of
+//! concurrent request processes while the system has headroom, then goes
+//! flat (≈200 ms in the paper) once the application tier saturates and
+//! sheds excess load.
+
+use std::sync::Arc;
+
+use mystore_bench::harness::sweep_point;
+use mystore_bench::report::{fmt, Figure};
+use mystore_net::Rng;
+use mystore_workload::xml_corpus;
+
+fn main() {
+    let mut rng = Rng::new(1301);
+    let items = Arc::new(xml_corpus(2_000, 10, &mut rng));
+    let mut fig = Figure::new(
+        "fig13",
+        "TTFB vs number of request processes (MyStore)",
+        &["processes", "mean_TTFB_ms", "p95_TTFB_ms", "shed_ratio"],
+    );
+    fig.note("80% reads / 20% writes, think 0-500 ms; app tier = 16 workers x 3.5 ms, 400 slots");
+    fig.note("paper: near-linear rise until ~1000 processes, then flat around 200 ms");
+    for processes in [100usize, 250, 500, 750, 1000, 1250, 1500, 2000] {
+        let r = sweep_point(processes, &items, 1300 + processes as u64);
+        let retries = r.trace.count("rest_retry") as f64;
+        let total = retries + r.completed as f64;
+        fig.row(vec![
+            processes.to_string(),
+            fmt(r.ttfb.as_ref().map(|s| s.mean / 1e3).unwrap_or(0.0)),
+            fmt(r.ttfb.as_ref().map(|s| s.p95 / 1e3).unwrap_or(0.0)),
+            fmt(if total > 0.0 { retries / total } else { 0.0 }),
+        ]);
+    }
+    fig.finish().expect("write results");
+}

@@ -1,0 +1,30 @@
+//! Fig. 14 — throughput (MB/s) and RPS with different numbers of request
+//! processes.
+//!
+//! Paper shape: both curves climb with offered load and flatten once the
+//! system reaches its peak capability, after which extra request processes
+//! change nothing.
+
+use std::sync::Arc;
+
+use mystore_bench::harness::sweep_point;
+use mystore_bench::report::{fmt, Figure};
+use mystore_net::Rng;
+use mystore_workload::xml_corpus;
+
+fn main() {
+    let mut rng = Rng::new(1401);
+    let items = Arc::new(xml_corpus(2_000, 10, &mut rng));
+    let mut fig = Figure::new(
+        "fig14",
+        "throughput and RPS vs number of request processes (MyStore)",
+        &["processes", "throughput_MB_s", "RPS"],
+    );
+    fig.note("same sweep as fig13; window = last half of a 25 s run");
+    fig.note("paper: both saturate past ~1000 processes");
+    for processes in [100usize, 250, 500, 750, 1000, 1250, 1500, 2000] {
+        let r = sweep_point(processes, &items, 1400 + processes as u64);
+        fig.row(vec![processes.to_string(), fmt(r.throughput_mb_s), fmt(r.rps)]);
+    }
+    fig.finish().expect("write results");
+}

@@ -1,0 +1,48 @@
+//! Table 2 — the fault-injection plan, validated empirically: the sampler
+//! must reproduce the configured per-operation probabilities.
+
+use mystore_bench::report::{fmt, Figure};
+use mystore_net::{FaultPlan, OpFault, Rng};
+
+fn main() {
+    let plan = FaultPlan::paper_table2();
+    let mut rng = Rng::new(2001);
+    let n = 2_000_000u64;
+    let mut counts = [0u64; 4];
+    for _ in 0..n {
+        match plan.sample(&mut rng) {
+            Some(OpFault::NetworkException) => counts[0] += 1,
+            Some(OpFault::DiskIoError) => counts[1] += 1,
+            Some(OpFault::BlockedProcess) => counts[2] += 1,
+            Some(OpFault::NodeBreakdown) => counts[3] += 1,
+            None => {}
+        }
+    }
+
+    let mut fig = Figure::new(
+        "table2",
+        "probability of failures: configured vs measured over 2M samples",
+        &["type", "class", "reason", "configured", "measured"],
+    );
+    let rows = [
+        ("1", "short", "network exception", plan.p_network, counts[0]),
+        ("2", "short", "disk IO error", plan.p_disk, counts[1]),
+        ("3", "short", "blocking processing", plan.p_block, counts[2]),
+        ("4", "long", "node breakdown", plan.p_breakdown, counts[3]),
+    ];
+    for (ty, class, reason, configured, count) in rows {
+        let measured = count as f64 / n as f64;
+        fig.row(vec![
+            ty.to_string(),
+            class.to_string(),
+            reason.to_string(),
+            fmt(configured),
+            fmt(measured),
+        ]);
+        assert!(
+            (measured - configured).abs() < configured * 0.1 + 1e-4,
+            "{reason}: measured {measured} vs configured {configured}"
+        );
+    }
+    fig.finish().expect("write results");
+}

@@ -1,0 +1,11 @@
+//! Shared harness code for the experiment binaries (one per table/figure of
+//! the paper — see DESIGN.md §5 for the index).
+//!
+//! Every binary prints the rows/series the paper reports and writes a JSON
+//! result file under `results/` so runs can be diffed and plotted.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{run_rest_comparison, RestRun, RestRunResult, SystemKind};
+pub use report::{print_table, save_json, Figure};

@@ -1,0 +1,149 @@
+//! Result reporting: console tables + JSON files under `results/`.
+
+use std::path::PathBuf;
+
+/// A figure/table result being assembled by an experiment binary.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Experiment id, e.g. `"fig11"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Notes (scaling factors, parameters).
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Figure {
+    /// Starts a figure.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            notes: Vec::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Adds a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the figure as a console table and writes `results/<id>.json`.
+    pub fn finish(&self) -> std::io::Result<PathBuf> {
+        println!("\n=== {} — {} ===", self.id, self.title);
+        for n in &self.notes {
+            println!("  # {n}");
+        }
+        print_table(&self.headers, &self.rows);
+        let json = serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "notes": self.notes,
+            "headers": self.headers,
+            "rows": self.rows,
+        });
+        save_json(&self.id, &json)
+    }
+}
+
+/// Writes `results/<id>.json` (next to the workspace root when run via
+/// `cargo run`, else the current directory).
+pub fn save_json(id: &str, value: &serde_json::Value) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{id}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    println!("  -> wrote {}", path.display());
+    Ok(path)
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(m) => PathBuf::from(m).join("../..").join("results"),
+        Err(_) => PathBuf::from("results"),
+    }
+}
+
+/// Prints an aligned console table.
+pub fn print_table(headers: &[String], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("  ");
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers);
+    println!("  {}", widths.iter().map(|w| "-".repeat(*w + 2)).collect::<String>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_roundtrips_to_json() {
+        let mut fig = Figure::new("test_fig", "a test", &["a", "b"]);
+        fig.note("note 1");
+        fig.row(vec!["1".into(), "2".into()]);
+        fig.row(vec!["3".into(), "4".into()]);
+        let path = fig.finish().unwrap();
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(json["id"], "test_fig");
+        assert_eq!(json["rows"].as_array().unwrap().len(), 2);
+        assert_eq!(json["headers"][1], "b");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_width_panics() {
+        let mut fig = Figure::new("x", "x", &["a", "b"]);
+        fig.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_scales_precision() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.01234), "0.0123");
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(1234.5), "1234"); // {:.0} rounds half-to-even
+        assert_eq!(fmt(-2.5), "-2.50");
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for BSON encoding and decoding.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, BsonError>;
+
+/// Errors raised while decoding (or, rarely, encoding) BSON bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BsonError {
+    /// The buffer ended before the declared length was consumed.
+    UnexpectedEof {
+        /// What the decoder was reading when the buffer ran out.
+        context: &'static str,
+    },
+    /// The document length prefix disagrees with the buffer contents.
+    BadLength {
+        /// Length claimed by the prefix.
+        declared: usize,
+        /// Length actually available or consumed.
+        actual: usize,
+    },
+    /// An element carried a type tag this decoder does not understand.
+    UnknownElementType(u8),
+    /// A string field held invalid UTF-8.
+    InvalidUtf8,
+    /// A cstring key or string payload was missing its NUL terminator.
+    MissingNul,
+    /// An ObjectId literal had the wrong length or non-hex characters.
+    InvalidObjectId(String),
+    /// Document nesting exceeded the hard recursion limit.
+    TooDeep,
+}
+
+impl fmt::Display for BsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BsonError::UnexpectedEof { context } => {
+                write!(f, "unexpected end of buffer while reading {context}")
+            }
+            BsonError::BadLength { declared, actual } => {
+                write!(f, "length prefix {declared} does not match buffer ({actual})")
+            }
+            BsonError::UnknownElementType(t) => write!(f, "unknown BSON element type 0x{t:02x}"),
+            BsonError::InvalidUtf8 => write!(f, "string field contained invalid UTF-8"),
+            BsonError::MissingNul => write!(f, "missing NUL terminator"),
+            BsonError::InvalidObjectId(s) => write!(f, "invalid ObjectId literal: {s:?}"),
+            BsonError::TooDeep => write!(f, "document nesting exceeds recursion limit"),
+        }
+    }
+}
+
+impl std::error::Error for BsonError {}

@@ -1,0 +1,72 @@
+//! Construction macros.
+
+/// Builds a [`Document`](crate::Document) from `key: value` pairs.
+///
+/// Values go through `Into<Value>`, so literals, strings, vectors, nested
+/// `doc!`s and explicit [`Value`](crate::Value)s all work:
+///
+/// ```
+/// use mystore_bson::{doc, Value};
+/// let d = doc! {
+///     "self-key": "Resistor5",
+///     "size": 1024,
+///     "meta": doc! { "kind": "xml" },
+///     "tags": vec!["a", "b"],
+/// };
+/// assert_eq!(d.get_i64("size"), Some(1024));
+/// ```
+#[macro_export]
+macro_rules! doc {
+    () => { $crate::Document::new() };
+    ( $( $key:tt : $value:expr ),+ $(,)? ) => {{
+        let mut d = $crate::Document::new();
+        $( d.insert($key, $crate::Value::from($value)); )+
+        d
+    }};
+}
+
+/// Builds a single [`Value`](crate::Value).
+///
+/// ```
+/// use mystore_bson::{bson, Value};
+/// assert_eq!(bson!(3), Value::Int32(3));
+/// assert_eq!(bson!([1, 2]), Value::Array(vec![Value::Int32(1), Value::Int32(2)]));
+/// assert_eq!(bson!(null), Value::Null);
+/// ```
+#[macro_export]
+macro_rules! bson {
+    (null) => { $crate::Value::Null };
+    ([ $( $item:tt ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::bson!($item) ),* ])
+    };
+    ({ $( $key:tt : $value:tt ),* $(,)? }) => {
+        $crate::Value::Document($crate::doc! { $( $key : $crate::bson!($value) ),* })
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Document, Value};
+
+    #[test]
+    fn doc_macro_builds_ordered_document() {
+        let d = doc! { "z": 1, "a": 2 };
+        let keys: Vec<&String> = d.keys().collect();
+        assert_eq!(keys, ["z", "a"]);
+    }
+
+    #[test]
+    fn empty_doc_macro() {
+        assert_eq!(doc! {}, Document::new());
+    }
+
+    #[test]
+    fn bson_macro_nested() {
+        let v = bson!({ "a": [1, 2, { "b": null }] });
+        let d = v.as_document().unwrap();
+        let arr = d.get_array("a").unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].as_document().unwrap().get("b"), Some(&Value::Null));
+    }
+}

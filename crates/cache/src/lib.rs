@@ -1,0 +1,14 @@
+//! The MyStore cache module (paper §4).
+//!
+//! An independent in-memory cache tier sitting between the REST front end
+//! and the storage module: items read, inserted or updated recently are
+//! cached; GETs try the cache first and fall back to the database, inserting
+//! the returned value; DELETEs invalidate. Shards ("cache servers") are
+//! selected by MD5 key hash, and each shard ages out entries with a
+//! byte-bounded LRU.
+
+pub mod lru;
+pub mod tier;
+
+pub use lru::{CacheStats, LruCache};
+pub use tier::CacheTier;

@@ -1,0 +1,363 @@
+//! A byte-bounded LRU cache.
+//!
+//! The paper's cache module stores `{key: value}` items "using LRU (Least
+//! Recently Used) algorithm for age-out" (§4). Entries are unstructured
+//! payloads, so capacity is measured in *bytes*, not entries: one 600 KB
+//! scene file should evict many 3 KB components.
+//!
+//! Implementation: an intrusive doubly-linked list over a slab of entries,
+//! with a `HashMap` from key to slot — O(1) get/put/evict with no
+//! per-operation allocation beyond the stored data.
+
+use std::collections::HashMap;
+
+/// Statistics counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Inserts rejected because the item alone exceeds capacity.
+    pub rejected: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: String,
+    value: Vec<u8>,
+    prev: usize,
+    next: usize,
+}
+
+/// Byte-bounded LRU map from string keys to binary values.
+pub struct LruCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    map: HashMap<String, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    stats: CacheStats,
+}
+
+impl LruCache {
+    /// Creates a cache bounded to `capacity_bytes` (key + value bytes count
+    /// against the budget).
+    pub fn new(capacity_bytes: usize) -> Self {
+        LruCache {
+            capacity_bytes,
+            used_bytes: 0,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes currently used.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Configured byte capacity.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on hit.
+    pub fn get(&mut self, key: &str) -> Option<&[u8]> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.stats.hits += 1;
+                self.unlink(idx);
+                self.push_front(idx);
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks for presence without affecting recency or stats.
+    pub fn peek(&self, key: &str) -> Option<&[u8]> {
+        self.map.get(key).map(|&idx| self.slab[idx].value.as_slice())
+    }
+
+    /// Inserts or replaces `key`. Evicts LRU entries until the item fits;
+    /// an item larger than the whole cache is rejected (returns `false`).
+    pub fn put(&mut self, key: &str, value: Vec<u8>) -> bool {
+        let item_bytes = key.len() + value.len();
+        if item_bytes > self.capacity_bytes {
+            self.stats.rejected += 1;
+            return false;
+        }
+        if let Some(idx) = self.map.get(key).copied() {
+            self.used_bytes -= self.slab[idx].key.len() + self.slab[idx].value.len();
+            self.used_bytes += item_bytes;
+            self.slab[idx].value = value;
+            self.unlink(idx);
+            self.push_front(idx);
+        } else {
+            let idx = self.alloc(key.to_string(), value);
+            self.map.insert(key.to_string(), idx);
+            self.used_bytes += item_bytes;
+            self.push_front(idx);
+        }
+        while self.used_bytes > self.capacity_bytes {
+            self.evict_lru();
+        }
+        true
+    }
+
+    /// Removes `key`, returning whether it was present.
+    pub fn remove(&mut self, key: &str) -> bool {
+        match self.map.remove(key) {
+            Some(idx) => {
+                self.unlink(idx);
+                self.used_bytes -= self.slab[idx].key.len() + self.slab[idx].value.len();
+                self.release(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops every entry (stats are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.used_bytes = 0;
+    }
+
+    /// Keys from most- to least-recently used (test/diagnostic helper).
+    pub fn keys_by_recency(&self) -> Vec<&str> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.slab[cur].key.as_str());
+            cur = self.slab[cur].next;
+        }
+        out
+    }
+
+    fn alloc(&mut self, key: String, value: Vec<u8>) -> usize {
+        let entry = Entry { key, value, prev: NIL, next: NIL };
+        match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = entry;
+                idx
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        }
+    }
+
+    fn release(&mut self, idx: usize) {
+        self.slab[idx].value = Vec::new();
+        self.slab[idx].key = String::new();
+        self.free.push(idx);
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        if victim == NIL {
+            return;
+        }
+        self.unlink(victim);
+        let key = std::mem::take(&mut self.slab[victim].key);
+        self.used_bytes -= key.len() + self.slab[victim].value.len();
+        self.map.remove(&key);
+        self.release(victim);
+        self.stats.evictions += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_and_recency() {
+        let mut c = LruCache::new(1_000);
+        assert!(c.put("a", vec![1; 10]));
+        assert!(c.put("b", vec![2; 10]));
+        assert!(c.put("c", vec![3; 10]));
+        assert_eq!(c.keys_by_recency(), ["c", "b", "a"]);
+        assert_eq!(c.get("a"), Some(&[1u8; 10][..]));
+        assert_eq!(c.keys_by_recency(), ["a", "c", "b"]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn byte_capacity_evicts_lru_first() {
+        let mut c = LruCache::new(100);
+        c.put("a", vec![0; 39]); // 40 bytes with key
+        c.put("b", vec![0; 39]);
+        assert_eq!(c.len(), 2);
+        c.put("c", vec![0; 39]); // exceeds 100 → evict "a"
+        assert_eq!(c.len(), 2);
+        assert!(c.peek("a").is_none());
+        assert!(c.peek("b").is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn one_huge_item_evicts_many_small() {
+        let mut c = LruCache::new(1000);
+        for i in 0..9 {
+            c.put(&format!("k{i}"), vec![0; 99]); // 9 × 101 = 909 bytes
+        }
+        assert_eq!(c.len(), 9);
+        c.put("big", vec![0; 900]);
+        assert!(c.peek("big").is_some());
+        assert!(c.len() <= 2, "len {}", c.len());
+        assert!(c.used_bytes() <= 1000);
+    }
+
+    #[test]
+    fn oversized_item_is_rejected() {
+        let mut c = LruCache::new(100);
+        c.put("small", vec![0; 10]);
+        assert!(!c.put("huge", vec![0; 200]));
+        assert!(c.peek("small").is_some(), "rejection must not evict");
+        assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn replace_updates_bytes_and_recency() {
+        let mut c = LruCache::new(100);
+        c.put("a", vec![0; 30]);
+        c.put("b", vec![0; 30]);
+        c.put("a", vec![0; 50]);
+        assert_eq!(c.used_bytes(), 1 + 50 + 1 + 30);
+        assert_eq!(c.keys_by_recency(), ["a", "b"]);
+        assert_eq!(c.peek("a").unwrap().len(), 50);
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut c = LruCache::new(1000);
+        c.put("a", vec![1]);
+        assert!(c.remove("a"));
+        assert!(!c.remove("a"));
+        assert_eq!(c.used_bytes(), 0);
+        c.put("b", vec![2]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("b"), Some(&[2u8][..]));
+    }
+
+    #[test]
+    fn stats_and_hit_ratio() {
+        let mut c = LruCache::new(100);
+        c.put("a", vec![0; 10]);
+        let _ = c.get("a");
+        let _ = c.get("a");
+        let _ = c.get("zzz");
+        let s = c.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let mut c = LruCache::new(100);
+        c.put("a", vec![0; 10]);
+        let _ = c.get("a");
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.stats().hits, 1);
+        // Reusable after clear.
+        c.put("b", vec![0; 10]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn heavy_churn_maintains_invariants() {
+        let mut c = LruCache::new(10_000);
+        for i in 0..10_000u32 {
+            let key = format!("k{}", i % 500);
+            c.put(&key, vec![(i % 251) as u8; (i % 97) as usize]);
+            if i % 3 == 0 {
+                let _ = c.get(&format!("k{}", (i / 2) % 500));
+            }
+            if i % 11 == 0 {
+                c.remove(&format!("k{}", (i / 3) % 500));
+            }
+            assert!(c.used_bytes() <= c.capacity_bytes());
+        }
+        // Recency list length matches the map.
+        assert_eq!(c.keys_by_recency().len(), c.len());
+    }
+}

@@ -1,0 +1,167 @@
+//! The sharded cache tier.
+//!
+//! "Cache module is an independent memory cache system consisting of several
+//! cache servers, which are responsible for different partitions of data
+//! resources. Their load balances are based on the hash of resources' keys."
+//! (§4). Each shard is one [`LruCache`]; keys route by MD5 hash, the same
+//! family of hashing the rest of the system uses.
+
+use parking_lot::Mutex;
+
+use mystore_ring::md5::md5;
+
+use crate::lru::{CacheStats, LruCache};
+
+/// A set of cache shards with hash-based key routing.
+///
+/// Thread-safe: each shard has its own lock, so concurrent traffic to
+/// different shards never contends (this mirrors the paper's independent
+/// cache *servers*).
+pub struct CacheTier {
+    shards: Vec<Mutex<LruCache>>,
+}
+
+impl CacheTier {
+    /// Creates `shards` caches of `bytes_per_shard` each.
+    pub fn new(shards: usize, bytes_per_shard: usize) -> Self {
+        assert!(shards > 0, "cache tier needs at least one shard");
+        CacheTier {
+            shards: (0..shards).map(|_| Mutex::new(LruCache::new(bytes_per_shard))).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard serves `key`.
+    pub fn shard_of(&self, key: &str) -> usize {
+        let d = md5(key.as_bytes());
+        (u64::from_le_bytes(d[..8].try_into().expect("len 8")) % self.shards.len() as u64) as usize
+    }
+
+    /// Looks up `key` on its shard.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.shards[self.shard_of(key)].lock().get(key).map(|v| v.to_vec())
+    }
+
+    /// Inserts `key` on its shard; returns `false` if rejected (oversized).
+    pub fn put(&self, key: &str, value: Vec<u8>) -> bool {
+        self.shards[self.shard_of(key)].lock().put(key, value)
+    }
+
+    /// Invalidates `key` (DELETE path: "the item with this key will be
+    /// deleted from cache", §4).
+    pub fn remove(&self, key: &str) -> bool {
+        self.shards[self.shard_of(key)].lock().remove(key)
+    }
+
+    /// Aggregated statistics across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            let s = shard.lock().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.rejected += s.rejected;
+        }
+        total
+    }
+
+    /// Total bytes cached across shards.
+    pub fn used_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().used_bytes()).sum()
+    }
+
+    /// Entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard entry counts (for balance checks).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let tier = CacheTier::new(4, 1024);
+        for i in 0..100 {
+            let key = format!("key{i}");
+            let s1 = tier.shard_of(&key);
+            let s2 = tier.shard_of(&key);
+            assert_eq!(s1, s2);
+            assert!(s1 < 4);
+        }
+    }
+
+    #[test]
+    fn get_put_remove_roundtrip() {
+        let tier = CacheTier::new(4, 1024);
+        assert!(tier.get("a").is_none());
+        assert!(tier.put("a", vec![1, 2, 3]));
+        assert_eq!(tier.get("a"), Some(vec![1, 2, 3]));
+        assert!(tier.remove("a"));
+        assert!(tier.get("a").is_none());
+        let s = tier.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let tier = CacheTier::new(4, 1 << 20);
+        for i in 0..1000 {
+            tier.put(&format!("key{i}"), vec![0; 8]);
+        }
+        let lens = tier.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 1000);
+        for len in lens {
+            assert!((150..350).contains(&len), "shard holds {len}");
+        }
+    }
+
+    #[test]
+    fn shards_evict_independently() {
+        let tier = CacheTier::new(2, 100);
+        // Fill both shards beyond capacity.
+        for i in 0..50 {
+            tier.put(&format!("k{i}"), vec![0; 20]);
+        }
+        assert!(tier.used_bytes() <= 200);
+        assert!(tier.stats().evictions > 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let tier = Arc::new(CacheTier::new(4, 1 << 16));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let tier = Arc::clone(&tier);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    let key = format!("t{t}-k{}", i % 50);
+                    tier.put(&key, vec![t as u8; 32]);
+                    let _ = tier.get(&key);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(tier.stats().hits > 0);
+    }
+}

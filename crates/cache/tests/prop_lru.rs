@@ -1,0 +1,111 @@
+//! Model-based property test: the intrusive-list LRU must behave exactly
+//! like a naive reference implementation under arbitrary operation
+//! sequences, and its byte accounting must never exceed capacity.
+
+use mystore_cache::LruCache;
+use proptest::prelude::*;
+
+/// Naive reference: a Vec ordered most-recent-first.
+struct ModelLru {
+    capacity: usize,
+    entries: Vec<(String, Vec<u8>)>, // MRU first
+}
+
+impl ModelLru {
+    fn new(capacity: usize) -> Self {
+        ModelLru { capacity, entries: Vec::new() }
+    }
+
+    fn used(&self) -> usize {
+        self.entries.iter().map(|(k, v)| k.len() + v.len()).sum()
+    }
+
+    fn get(&mut self, key: &str) -> Option<Vec<u8>> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        let e = self.entries.remove(idx);
+        let v = e.1.clone();
+        self.entries.insert(0, e);
+        Some(v)
+    }
+
+    fn put(&mut self, key: &str, value: Vec<u8>) -> bool {
+        if key.len() + value.len() > self.capacity {
+            return false;
+        }
+        if let Some(idx) = self.entries.iter().position(|(k, _)| k == key) {
+            self.entries.remove(idx);
+        }
+        self.entries.insert(0, (key.to_string(), value));
+        while self.used() > self.capacity {
+            self.entries.pop();
+        }
+        true
+    }
+
+    fn remove(&mut self, key: &str) -> bool {
+        match self.entries.iter().position(|(k, _)| k == key) {
+            Some(idx) => {
+                self.entries.remove(idx);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u8),
+    Put(u8, u16),
+    Remove(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..24).prop_map(Op::Get),
+        (0u8..24, 0u16..200).prop_map(|(k, len)| Op::Put(k, len)),
+        (0u8..24).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 64usize..1024,
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        let mut real = LruCache::new(capacity);
+        let mut model = ModelLru::new(capacity);
+        for op in &ops {
+            match op {
+                Op::Get(k) => {
+                    let key = format!("key{k}");
+                    let a = real.get(&key).map(<[u8]>::to_vec);
+                    let b = model.get(&key);
+                    prop_assert_eq!(a, b, "get {} diverged", key);
+                }
+                Op::Put(k, len) => {
+                    let key = format!("key{k}");
+                    let val = vec![*k; *len as usize];
+                    let a = real.put(&key, val.clone());
+                    let b = model.put(&key, val);
+                    prop_assert_eq!(a, b, "put {} accepted differently", key);
+                }
+                Op::Remove(k) => {
+                    let key = format!("key{k}");
+                    prop_assert_eq!(real.remove(&key), model.remove(&key));
+                }
+            }
+            prop_assert_eq!(real.len(), model.entries.len());
+            prop_assert_eq!(real.used_bytes(), model.used());
+            prop_assert!(real.used_bytes() <= capacity);
+            // Recency order must match exactly.
+            let real_order: Vec<&str> = real.keys_by_recency();
+            let model_order: Vec<&str> =
+                model.entries.iter().map(|(k, _)| k.as_str()).collect();
+            prop_assert_eq!(real_order, model_order);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Chunked storage of large values — the paper's future-work item on "the
+//! segmentation, storage and schedule of large video files" (§7),
+//! implemented as an extension.
+//!
+//! A value larger than the chunk size is split into fixed-size chunks,
+//! each stored as an ordinary record under a derived key
+//! (`<key>#chunk<i>`), plus a manifest record under the original key that
+//! lists the chunk count, total length, and an MD5 checksum. Reassembly
+//! validates the checksum. Because every chunk is an ordinary record, the
+//! NWR/hashing machinery spreads a large video across the cluster and
+//! replicates each piece independently — which is exactly the point of the
+//! future-work proposal.
+
+use mystore_ring::md5::{md5, to_hex};
+
+/// Default chunk size (256 KB — comfortably under the multi-MB files of
+/// §6.2 so large videos split into several records).
+pub const DEFAULT_CHUNK_BYTES: usize = 256 * 1024;
+
+/// Manifest prefix distinguishing manifests from plain values.
+const MANIFEST_MAGIC: &[u8] = b"MYSTORE-CHUNKS/1\n";
+
+/// A value prepared for chunked storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkPlan {
+    /// The manifest record body to store under the original key.
+    pub manifest: Vec<u8>,
+    /// `(derived key, chunk body)` pairs.
+    pub chunks: Vec<(String, Vec<u8>)>,
+}
+
+/// Errors from chunk reassembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// The manifest was not produced by [`plan_chunks`].
+    BadManifest,
+    /// A chunk listed in the manifest was missing from the provided set.
+    MissingChunk(usize),
+    /// The reassembled bytes failed the checksum.
+    ChecksumMismatch,
+    /// Total length disagreed with the manifest.
+    LengthMismatch {
+        /// Length the manifest promised.
+        expected: usize,
+        /// Length actually reassembled.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkError::BadManifest => write!(f, "not a chunk manifest"),
+            ChunkError::MissingChunk(i) => write!(f, "chunk {i} missing"),
+            ChunkError::ChecksumMismatch => write!(f, "chunk checksum mismatch"),
+            ChunkError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: manifest {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// True if a stored body is a chunk manifest.
+pub fn is_manifest(body: &[u8]) -> bool {
+    body.starts_with(MANIFEST_MAGIC)
+}
+
+/// The derived key of chunk `i` of `key`.
+pub fn chunk_key(key: &str, i: usize) -> String {
+    format!("{key}#chunk{i}")
+}
+
+/// Splits `value` into a manifest + chunk records. Values at or under
+/// `chunk_bytes` need no chunking; the caller should store them directly
+/// (this function will still happily make a 1-chunk plan).
+pub fn plan_chunks(key: &str, value: &[u8], chunk_bytes: usize) -> ChunkPlan {
+    assert!(chunk_bytes > 0, "chunk size must be positive");
+    let chunks: Vec<(String, Vec<u8>)> = value
+        .chunks(chunk_bytes)
+        .enumerate()
+        .map(|(i, c)| (chunk_key(key, i), c.to_vec()))
+        .collect();
+    let checksum = to_hex(&md5(value));
+    let mut manifest = Vec::with_capacity(MANIFEST_MAGIC.len() + 64);
+    manifest.extend_from_slice(MANIFEST_MAGIC);
+    manifest.extend_from_slice(
+        format!("count={}\nlen={}\nmd5={}\n", chunks.len(), value.len(), checksum).as_bytes(),
+    );
+    ChunkPlan { manifest, chunks }
+}
+
+/// Parses a manifest body into `(chunk count, total length, md5 hex)`.
+pub fn parse_manifest(body: &[u8]) -> Result<(usize, usize, String), ChunkError> {
+    if !is_manifest(body) {
+        return Err(ChunkError::BadManifest);
+    }
+    let text = std::str::from_utf8(&body[MANIFEST_MAGIC.len()..])
+        .map_err(|_| ChunkError::BadManifest)?;
+    let mut count = None;
+    let mut len = None;
+    let mut sum = None;
+    for line in text.lines() {
+        match line.split_once('=') {
+            Some(("count", v)) => count = v.parse().ok(),
+            Some(("len", v)) => len = v.parse().ok(),
+            Some(("md5", v)) => sum = Some(v.to_string()),
+            _ => {}
+        }
+    }
+    match (count, len, sum) {
+        (Some(c), Some(l), Some(s)) => Ok((c, l, s)),
+        _ => Err(ChunkError::BadManifest),
+    }
+}
+
+/// Reassembles a value from its manifest and a fetcher for chunk bodies
+/// (`fetch(i)` returns chunk `i`'s bytes if available).
+pub fn reassemble(
+    manifest: &[u8],
+    mut fetch: impl FnMut(usize) -> Option<Vec<u8>>,
+) -> Result<Vec<u8>, ChunkError> {
+    let (count, len, sum) = parse_manifest(manifest)?;
+    let mut out = Vec::with_capacity(len);
+    for i in 0..count {
+        let chunk = fetch(i).ok_or(ChunkError::MissingChunk(i))?;
+        out.extend_from_slice(&chunk);
+    }
+    if out.len() != len {
+        return Err(ChunkError::LengthMismatch { expected: len, actual: out.len() });
+    }
+    if to_hex(&md5(&out)) != sum {
+        return Err(ChunkError::ChecksumMismatch);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn video(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn plan_and_reassemble_roundtrip() {
+        let value = video(1_000_000);
+        let plan = plan_chunks("lecture.mp4", &value, DEFAULT_CHUNK_BYTES);
+        assert_eq!(plan.chunks.len(), 4); // 1 MB / 256 KB
+        assert!(is_manifest(&plan.manifest));
+        let rebuilt = reassemble(&plan.manifest, |i| plan.chunks.get(i).map(|(_, c)| c.clone()))
+            .unwrap();
+        assert_eq!(rebuilt, value);
+    }
+
+    #[test]
+    fn chunk_keys_are_derived() {
+        let plan = plan_chunks("k", &video(100), 30);
+        let keys: Vec<&str> = plan.chunks.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["k#chunk0", "k#chunk1", "k#chunk2", "k#chunk3"]);
+    }
+
+    #[test]
+    fn empty_value_is_zero_chunks() {
+        let plan = plan_chunks("k", &[], 100);
+        assert!(plan.chunks.is_empty());
+        let rebuilt = reassemble(&plan.manifest, |_| None).unwrap();
+        assert!(rebuilt.is_empty());
+    }
+
+    #[test]
+    fn missing_chunk_detected() {
+        let value = video(100);
+        let plan = plan_chunks("k", &value, 30);
+        let err = reassemble(&plan.manifest, |i| {
+            if i == 2 {
+                None
+            } else {
+                plan.chunks.get(i).map(|(_, c)| c.clone())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, ChunkError::MissingChunk(2));
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let value = video(100);
+        let plan = plan_chunks("k", &value, 30);
+        let err = reassemble(&plan.manifest, |i| {
+            let mut c = plan.chunks[i].1.clone();
+            if i == 1 {
+                c[0] ^= 0xFF;
+            }
+            Some(c)
+        })
+        .unwrap_err();
+        assert_eq!(err, ChunkError::ChecksumMismatch);
+    }
+
+    #[test]
+    fn wrong_length_detected() {
+        let value = video(100);
+        let plan = plan_chunks("k", &value, 30);
+        let err = reassemble(&plan.manifest, |i| {
+            let mut c = plan.chunks[i].1.clone();
+            if i == 0 {
+                c.push(0);
+            }
+            Some(c)
+        })
+        .unwrap_err();
+        assert!(matches!(err, ChunkError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn non_manifest_rejected() {
+        assert_eq!(parse_manifest(b"just a value").unwrap_err(), ChunkError::BadManifest);
+        assert!(!is_manifest(b"ordinary payload"));
+        let mut bogus = MANIFEST_MAGIC.to_vec();
+        bogus.extend_from_slice(b"count=zz\n");
+        assert_eq!(parse_manifest(&bogus).unwrap_err(), ChunkError::BadManifest);
+    }
+}

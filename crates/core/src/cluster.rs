@@ -1,0 +1,239 @@
+//! Cluster assembly: builds complete MyStore deployments on a runtime.
+//!
+//! [`ClusterSpec`] describes a deployment (how many storage nodes, cache
+//! servers and front ends, NWR, gossip cadence, node concurrency);
+//! [`ClusterSpec::build_sim`] instantiates it on the deterministic
+//! simulator. [`ClusterSpec::paper_topology`] reproduces Fig. 10: one
+//! application (front-end) node, one seed DB node plus four normal DB
+//! nodes, and four cache servers.
+
+use mystore_gossip::GossipConfig;
+use mystore_net::{NodeConfig, NodeId, Sim, SimConfig};
+
+use crate::cache_node::CacheNode;
+use crate::config::{CostModel, FrontendConfig, Nwr, StorageConfig};
+use crate::frontend::Frontend;
+use crate::message::Msg;
+use crate::storage_node::StorageNode;
+
+/// Description of a MyStore deployment.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of storage (DB) nodes.
+    pub storage_nodes: usize,
+    /// How many of the first storage nodes are gossip seeds.
+    pub seed_count: usize,
+    /// Virtual nodes per storage node (capacity-proportional; uniform here,
+    /// heterogeneous clusters can be built manually).
+    pub vnodes: u32,
+    /// Quorum parameters.
+    pub nwr: Nwr,
+    /// Number of cache servers (0 disables the cache tier).
+    pub cache_nodes: usize,
+    /// Bytes of memory per cache server.
+    pub cache_bytes: usize,
+    /// Number of front-end nodes.
+    pub frontends: usize,
+    /// Concurrent workers per front end (the logical-process pool).
+    pub frontend_concurrency: usize,
+    /// Maximum in-flight requests per front end before load shedding.
+    pub frontend_max_inflight: usize,
+    /// Concurrent workers per storage node (cores serving requests).
+    pub storage_concurrency: usize,
+    /// Gossip round interval (µs).
+    pub gossip_interval_us: u64,
+    /// Heartbeat silence before a node is considered down (µs).
+    pub fail_after_us: u64,
+    /// Heartbeat silence before a seed declares long failure (µs).
+    pub remove_after_us: u64,
+    /// Service-time cost model shared by all nodes.
+    pub cost: CostModel,
+    /// Coordinator replica-ack soft timeout (µs).
+    pub replica_timeout_us: u64,
+    /// Coordinator request deadline (µs).
+    pub request_deadline_us: u64,
+    /// Hint replay interval (µs).
+    pub hint_replay_interval_us: u64,
+    /// Hinted handoff on/off (ablation A4).
+    pub hinted_handoff: bool,
+}
+
+impl ClusterSpec {
+    /// The paper's test topology (Fig. 10): 5 DB nodes (first one the
+    /// seed), 4 cache servers (1 GB each, §6.1), 1 application node, and
+    /// the deployed `(N, W, R) = (3, 2, 1)` (§6.2).
+    pub fn paper_topology() -> Self {
+        ClusterSpec {
+            storage_nodes: 5,
+            seed_count: 1,
+            vnodes: 128,
+            nwr: Nwr::PAPER,
+            cache_nodes: 4,
+            cache_bytes: 1 << 30,
+            frontends: 1,
+            frontend_concurrency: 64,
+            frontend_max_inflight: 1024,
+            storage_concurrency: 8, // two quad-core Xeons per node (§6.1)
+            gossip_interval_us: 500_000,
+            fail_after_us: 2_500_000,
+            remove_after_us: 20_000_000,
+            cost: CostModel::default(),
+            replica_timeout_us: 60_000,
+            request_deadline_us: 1_000_000,
+            hint_replay_interval_us: 2_000_000,
+            hinted_handoff: true,
+        }
+    }
+
+    /// A small fast-converging cluster for tests.
+    pub fn small(storage_nodes: usize) -> Self {
+        ClusterSpec {
+            storage_nodes,
+            seed_count: 1,
+            vnodes: 32,
+            cache_nodes: 0,
+            frontends: 0,
+            ..Self::paper_topology()
+        }
+    }
+
+    /// Storage-node ids under the standard layout (`0..S`).
+    pub fn storage_ids(&self) -> Vec<NodeId> {
+        (0..self.storage_nodes as u32).map(NodeId).collect()
+    }
+
+    /// Cache-node ids (`S..S+C`).
+    pub fn cache_ids(&self) -> Vec<NodeId> {
+        let s = self.storage_nodes as u32;
+        (s..s + self.cache_nodes as u32).map(NodeId).collect()
+    }
+
+    /// Front-end ids (`S+C..S+C+F`).
+    pub fn frontend_ids(&self) -> Vec<NodeId> {
+        let base = (self.storage_nodes + self.cache_nodes) as u32;
+        (base..base + self.frontends as u32).map(NodeId).collect()
+    }
+
+    /// Ids of client slots added *after* the cluster nodes; callers adding
+    /// client processes get ids from here upward.
+    pub fn first_client_id(&self) -> u32 {
+        (self.storage_nodes + self.cache_nodes + self.frontends) as u32
+    }
+
+    /// The gossip configuration every node runs.
+    pub fn gossip_config(&self) -> GossipConfig {
+        GossipConfig {
+            interval_us: self.gossip_interval_us,
+            fail_after_us: self.fail_after_us,
+            remove_after_us: self.remove_after_us,
+            seeds: (0..self.seed_count.min(self.storage_nodes) as u32).map(NodeId).collect(),
+            extra_fanout: 1,
+        }
+    }
+
+    /// The storage configuration for node construction.
+    pub fn storage_config(&self) -> StorageConfig {
+        StorageConfig {
+            nwr: self.nwr,
+            vnodes: self.vnodes,
+            gossip: self.gossip_config(),
+            cost: self.cost.clone(),
+            replica_timeout_us: self.replica_timeout_us,
+            request_deadline_us: self.request_deadline_us,
+            hint_replay_interval_us: self.hint_replay_interval_us,
+            collection: "data".into(),
+            hinted_handoff: self.hinted_handoff,
+            data_dir: None,
+            compaction_interval_us: 60_000_000,
+            tombstone_grace_us: 300_000_000,
+            anti_entropy_interval_us: 30_000_000,
+            anti_entropy_batch: 256,
+        }
+    }
+
+    /// The front-end configuration.
+    pub fn frontend_config(&self) -> FrontendConfig {
+        FrontendConfig {
+            storage_nodes: self.storage_ids(),
+            cache_nodes: self.cache_ids(),
+            max_inflight: self.frontend_max_inflight,
+            cost: self.cost.clone(),
+            request_deadline_us: self.request_deadline_us * 5,
+            auth: None,
+        }
+    }
+
+    /// Instantiates the deployment on a fresh simulator. Node ids follow
+    /// the standard layout (storage, then cache, then front ends); client
+    /// processes can be added afterwards, before `sim.start()`.
+    pub fn build_sim(&self, sim_config: SimConfig) -> Sim<Msg> {
+        let mut sim = Sim::new(sim_config);
+        for _ in 0..self.storage_nodes {
+            let id = NodeId(sim.node_count() as u32);
+            let node = StorageNode::new(id, self.storage_config());
+            sim.add_node(node, NodeConfig { concurrency: self.storage_concurrency });
+        }
+        for _ in 0..self.cache_nodes {
+            sim.add_node(
+                CacheNode::new(self.cache_bytes, self.cost.clone()),
+                NodeConfig { concurrency: 4 },
+            );
+        }
+        for _ in 0..self.frontends {
+            sim.add_node(
+                Frontend::new(self.frontend_config()),
+                NodeConfig { concurrency: self.frontend_concurrency },
+            );
+        }
+        sim
+    }
+
+    /// How long to run the fresh cluster before offering load, so gossip
+    /// discovers every member and the rings agree.
+    pub fn warmup_us(&self) -> u64 {
+        // A few gossip rounds; convergence is O(log n) rounds.
+        self.gossip_interval_us * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mystore_net::{FaultPlan, NetConfig};
+
+    fn sim_config(seed: u64) -> SimConfig {
+        SimConfig { net: NetConfig::gigabit_lan(), faults: FaultPlan::none(), seed }
+    }
+
+    #[test]
+    fn id_layout_is_contiguous() {
+        let spec = ClusterSpec::paper_topology();
+        assert_eq!(spec.storage_ids(), (0..5).map(NodeId).collect::<Vec<_>>());
+        assert_eq!(spec.cache_ids(), (5..9).map(NodeId).collect::<Vec<_>>());
+        assert_eq!(spec.frontend_ids(), vec![NodeId(9)]);
+        assert_eq!(spec.first_client_id(), 10);
+    }
+
+    #[test]
+    fn rings_converge_after_warmup() {
+        let spec = ClusterSpec::small(5);
+        let mut sim = spec.build_sim(sim_config(42));
+        sim.start();
+        sim.run_for(spec.warmup_us());
+        // Every storage node should see all five members on its ring.
+        for id in spec.storage_ids() {
+            let node = sim.process::<crate::storage_node::StorageNode>(id).unwrap();
+            assert_eq!(node.ring().len(), 5, "node {id} ring incomplete");
+        }
+        // And the rings must agree on placement.
+        let key = b"agreement-check";
+        let mut prefs = Vec::new();
+        for id in spec.storage_ids() {
+            let node = sim.process::<crate::storage_node::StorageNode>(id).unwrap();
+            prefs.push(node.ring().preference_list(key, 3));
+        }
+        for w in prefs.windows(2) {
+            assert_eq!(w[0], w[1], "nodes disagree on placement");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Cluster configuration: NWR parameters, timeouts, and the node cost model.
+
+use mystore_gossip::GossipConfig;
+use mystore_net::NodeId;
+
+/// The NWR replication parameters (paper §2, §5.2.2).
+///
+/// `N` replicas per record; a write succeeds at `W` acknowledgements; a read
+/// succeeds at `R` replies. The paper's deployed configuration is
+/// `(3, 2, 1)` (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nwr {
+    /// Replication factor.
+    pub n: usize,
+    /// Write quorum.
+    pub w: usize,
+    /// Read quorum.
+    pub r: usize,
+}
+
+impl Nwr {
+    /// The paper's deployed configuration.
+    pub const PAPER: Nwr = Nwr { n: 3, w: 2, r: 1 };
+
+    /// High-consistency configuration (`N = W`, `R = 1`, §5.2.2).
+    pub const HIGH_CONSISTENCY: Nwr = Nwr { n: 3, w: 3, r: 1 };
+
+    /// High-availability configuration (`W = 1`, §5.2.2).
+    pub const HIGH_AVAILABILITY: Nwr = Nwr { n: 3, w: 1, r: 1 };
+
+    /// Basic sanity: `1 ≤ W ≤ N`, `1 ≤ R ≤ N`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return Err("N must be at least 1".into());
+        }
+        if self.w == 0 || self.w > self.n {
+            return Err(format!("W must be in 1..=N, got W={} N={}", self.w, self.n));
+        }
+        if self.r == 0 || self.r > self.n {
+            return Err(format!("R must be in 1..=N, got R={} N={}", self.r, self.n));
+        }
+        Ok(())
+    }
+
+    /// Whether this configuration guarantees read-your-writes overlap
+    /// (`R + W > N`).
+    pub fn strongly_consistent(&self) -> bool {
+        self.r + self.w > self.n
+    }
+}
+
+impl Default for Nwr {
+    fn default() -> Self {
+        Nwr::PAPER
+    }
+}
+
+/// Service-time cost model for simulated nodes (µs of CPU/disk per
+/// operation). These values shape the saturation behaviour in Figs. 13–14;
+/// they approximate a 2009-era Xeon + SAS-disk node.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Fixed cost of applying a replica write (WAL append + index).
+    pub put_base_us: u64,
+    /// Per-byte write cost (reciprocal disk write bandwidth, bytes/µs).
+    pub write_bytes_per_us: f64,
+    /// Fixed cost of serving a replica read.
+    pub get_base_us: u64,
+    /// Per-byte read cost (page cache / disk mix, bytes/µs).
+    pub read_bytes_per_us: f64,
+    /// Cost of handling one gossip message.
+    pub gossip_us: u64,
+    /// Front-end per-request parse/route cost.
+    pub frontend_base_us: u64,
+    /// Front-end per-byte handling cost (copies, framing).
+    pub frontend_bytes_per_us: f64,
+    /// Cache-server per-request cost.
+    pub cache_base_us: u64,
+    /// Cache-server per-byte cost.
+    pub cache_bytes_per_us: f64,
+}
+
+impl CostModel {
+    /// Write service time for a payload of `bytes`.
+    pub fn put_us(&self, bytes: usize) -> u64 {
+        self.put_base_us + (bytes as f64 / self.write_bytes_per_us) as u64
+    }
+
+    /// Read service time for a payload of `bytes`.
+    pub fn get_us(&self, bytes: usize) -> u64 {
+        self.get_base_us + (bytes as f64 / self.read_bytes_per_us) as u64
+    }
+
+    /// Front-end service time for a payload of `bytes`.
+    pub fn frontend_us(&self, bytes: usize) -> u64 {
+        self.frontend_base_us + (bytes as f64 / self.frontend_bytes_per_us) as u64
+    }
+
+    /// Cache-server service time for a payload of `bytes`.
+    pub fn cache_us(&self, bytes: usize) -> u64 {
+        self.cache_base_us + (bytes as f64 / self.cache_bytes_per_us) as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            put_base_us: 400,
+            write_bytes_per_us: 80.0,  // ~80 MB/s effective log write
+            get_base_us: 150,
+            read_bytes_per_us: 300.0,  // ~300 MB/s page-cache-assisted read
+            gossip_us: 30,
+            frontend_base_us: 120,
+            frontend_bytes_per_us: 800.0,
+            cache_base_us: 25,
+            cache_bytes_per_us: 2_000.0,
+        }
+    }
+}
+
+/// Per-storage-node configuration.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Quorum parameters.
+    pub nwr: Nwr,
+    /// Virtual nodes this node contributes (proportional to capacity).
+    pub vnodes: u32,
+    /// Gossip settings (seeds, intervals, failure thresholds).
+    pub gossip: GossipConfig,
+    /// Cost model for `ctx.consume` charging.
+    pub cost: CostModel,
+    /// How long a coordinator waits for replica acknowledgements before
+    /// taking the hinted-handoff path (µs).
+    pub replica_timeout_us: u64,
+    /// Hard deadline after which an unfinished request fails (µs).
+    pub request_deadline_us: u64,
+    /// Interval of the hint-replay scan (µs) — node C probing node B
+    /// (Fig. 8).
+    pub hint_replay_interval_us: u64,
+    /// Name of the data collection.
+    pub collection: String,
+    /// Enable hinted handoff for short failures (Fig. 8). Disable only for
+    /// the A4 ablation.
+    pub hinted_handoff: bool,
+    /// Tombstone-reaper period (µs); `0` disables reaping.
+    pub compaction_interval_us: u64,
+    /// Tombstones younger than this are kept so late repairs/hints cannot
+    /// resurrect deleted keys (µs).
+    pub tombstone_grace_us: u64,
+    /// Directory for this node's durable WAL (`node<id>.wal`); `None` keeps
+    /// the database in memory (simulations). With a path set, a restarted
+    /// node recovers its records, indexes, and parked hints from the log.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// Anti-entropy period (µs); `0` disables. Each round, the node sends a
+    /// `(key, version)` digest of a sample of its records to one replica
+    /// peer, which answers with any newer copies — bounding replica
+    /// divergence even for keys that are never read.
+    pub anti_entropy_interval_us: u64,
+    /// Maximum records digested per anti-entropy round (bounds message
+    /// size; successive rounds rotate through the key space).
+    pub anti_entropy_batch: usize,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            nwr: Nwr::PAPER,
+            vnodes: 128,
+            gossip: GossipConfig::default(),
+            cost: CostModel::default(),
+            replica_timeout_us: 60_000,      // 60 ms
+            request_deadline_us: 1_000_000,  // 1 s
+            hint_replay_interval_us: 2_000_000,
+            collection: "data".into(),
+            hinted_handoff: true,
+            compaction_interval_us: 60_000_000,
+            tombstone_grace_us: 300_000_000, // 5 min >> hint replay windows
+            data_dir: None,
+            anti_entropy_interval_us: 30_000_000,
+            anti_entropy_batch: 256,
+        }
+    }
+}
+
+/// Front-end configuration.
+#[derive(Debug, Clone)]
+pub struct FrontendConfig {
+    /// Storage nodes usable as coordinators (learned statically at deploy
+    /// time, like the nginx upstream list).
+    pub storage_nodes: Vec<NodeId>,
+    /// Cache-server nodes, indexed by key hash; empty disables caching.
+    pub cache_nodes: Vec<NodeId>,
+    /// Maximum requests in flight before the front end sheds load with
+    /// `503 Busy` (the spawn-fcgi process-pool bound).
+    pub max_inflight: usize,
+    /// Cost model for `ctx.consume` charging.
+    pub cost: CostModel,
+    /// Per-request deadline at the front end (µs).
+    pub request_deadline_us: u64,
+    /// Enable URI-signature authentication (paper Fig. 2).
+    pub auth: Option<crate::auth::AuthConfig>,
+}
+
+impl Default for FrontendConfig {
+    fn default() -> Self {
+        FrontendConfig {
+            storage_nodes: Vec::new(),
+            cache_nodes: Vec::new(),
+            max_inflight: 512,
+            cost: CostModel::default(),
+            request_deadline_us: 5_000_000,
+            auth: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nwr_validation() {
+        assert!(Nwr::PAPER.validate().is_ok());
+        assert!(Nwr { n: 0, w: 0, r: 0 }.validate().is_err());
+        assert!(Nwr { n: 3, w: 4, r: 1 }.validate().is_err());
+        assert!(Nwr { n: 3, w: 1, r: 0 }.validate().is_err());
+        assert!(Nwr { n: 3, w: 1, r: 4 }.validate().is_err());
+    }
+
+    #[test]
+    fn consistency_classification() {
+        assert!(Nwr::HIGH_CONSISTENCY.strongly_consistent()); // 3+1 > 3
+        assert!(!Nwr::PAPER.strongly_consistent()); // 2+1 == 3
+        assert!(!Nwr::HIGH_AVAILABILITY.strongly_consistent());
+    }
+
+    #[test]
+    fn cost_model_scales_with_bytes() {
+        let c = CostModel::default();
+        assert!(c.put_us(600_000) > c.put_us(3_000));
+        assert!(c.get_us(0) == c.get_base_us);
+        assert!(c.frontend_us(1000) >= c.frontend_base_us);
+        assert!(c.cache_us(1000) >= c.cache_base_us);
+    }
+}

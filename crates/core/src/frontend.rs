@@ -1,0 +1,388 @@
+//! The REST front end (paper §4, Fig. 1).
+//!
+//! Plays the role of nginx + spawn-fcgi + the Python logical processes: it
+//! terminates REST requests (GET/POST/DELETE), authenticates URI signatures
+//! when configured, consults the cache tier (hash-routed cache servers),
+//! and forwards misses/writes to the storage module, distributing across
+//! coordinators round-robin. The number of concurrent requests it can carry
+//! is bounded like a process pool: beyond `max_inflight`, requests are shed
+//! with `503` (which is what flattens the latency curve in Fig. 13).
+
+use std::collections::HashMap;
+
+use mystore_net::{Context, NodeId, Process, TimerToken};
+use mystore_ring::md5::md5;
+
+use crate::auth::TokenStore;
+use crate::config::FrontendConfig;
+use crate::message::{status, Method, Msg, RestRequest, RestResponse};
+
+const TK_DEADLINE: u64 = 1;
+
+fn tk_deadline(req: u64) -> TimerToken {
+    (req << 3) | TK_DEADLINE
+}
+
+/// What a pending request is waiting on.
+enum Phase {
+    /// Waiting for the cache tier (GET only).
+    CacheLookup,
+    /// Waiting for the storage module.
+    Store,
+}
+
+struct Pending {
+    client: NodeId,
+    client_req: u64,
+    method: Method,
+    key: String,
+    body: Vec<u8>,
+    assigned_key: Option<String>,
+    phase: Phase,
+    done: bool,
+}
+
+/// Front-end statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Requests admitted.
+    pub admitted: u64,
+    /// Requests shed with 503.
+    pub shed: u64,
+    /// Responses served from cache.
+    pub cache_hits: u64,
+    /// Requests rejected by signature verification.
+    pub auth_failures: u64,
+    /// Requests that timed out inside the cluster.
+    pub timeouts: u64,
+}
+
+/// The front-end process.
+pub struct Frontend {
+    cfg: FrontendConfig,
+    tokens: TokenStore,
+    pending: HashMap<u64, Pending>,
+    next_req: u64,
+    rr: usize,
+    stats: FrontendStats,
+}
+
+impl Frontend {
+    /// Creates a front end.
+    pub fn new(cfg: FrontendConfig) -> Self {
+        Frontend {
+            cfg,
+            tokens: TokenStore::new(),
+            pending: HashMap::new(),
+            next_req: 1,
+            rr: 0,
+            stats: FrontendStats::default(),
+        }
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> FrontendStats {
+        self.stats
+    }
+
+    /// Issues an auth token for `user` (test/deployment hook standing in
+    /// for the paper's TOKEN DB web flow).
+    pub fn issue_token(&mut self, user: &str) -> String {
+        self.tokens.issue(user)
+    }
+
+    /// Requests currently in flight.
+    pub fn inflight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    /// Round-robin coordinator choice (the nginx upstream behaviour).
+    fn next_storage(&mut self) -> Option<NodeId> {
+        if self.cfg.storage_nodes.is_empty() {
+            return None;
+        }
+        let node = self.cfg.storage_nodes[self.rr % self.cfg.storage_nodes.len()];
+        self.rr += 1;
+        Some(node)
+    }
+
+    /// Hash-routed cache server for `key` (§4: "load balances are based on
+    /// the hash of resources' keys").
+    fn cache_for(&self, key: &str) -> Option<NodeId> {
+        if self.cfg.cache_nodes.is_empty() {
+            return None;
+        }
+        let d = md5(key.as_bytes());
+        let h = u64::from_le_bytes(d[..8].try_into().expect("len 8"));
+        Some(self.cfg.cache_nodes[(h % self.cfg.cache_nodes.len() as u64) as usize])
+    }
+
+    fn respond(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        req: u64,
+        status_code: u16,
+        body: Vec<u8>,
+        from_cache: bool,
+    ) {
+        let Some(p) = self.pending.get_mut(&req) else { return };
+        if p.done {
+            return;
+        }
+        p.done = true;
+        ctx.record("fe_response", status_code as f64);
+        ctx.send(
+            p.client,
+            Msg::RestResp(RestResponse {
+                req: p.client_req,
+                status: status_code,
+                body,
+                assigned_key: p.assigned_key.clone(),
+                from_cache,
+            }),
+        );
+        self.pending.remove(&req);
+    }
+
+    fn on_rest(&mut self, ctx: &mut Context<'_, Msg>, client: NodeId, r: RestRequest) {
+        // Admission control (the spawn-fcgi process-pool bound). Shedding
+        // happens before the request costs real CPU — like nginx returning
+        // 503 from the listener without dispatching to a worker.
+        if self.pending.len() >= self.cfg.max_inflight {
+            ctx.consume(10);
+            self.stats.shed += 1;
+            ctx.record("fe_shed", 1.0);
+            ctx.send(
+                client,
+                Msg::RestResp(RestResponse {
+                    req: r.req,
+                    status: status::BUSY,
+                    body: Vec::new(),
+                    assigned_key: None,
+                    from_cache: false,
+                }),
+            );
+            return;
+        }
+        ctx.consume(self.cfg.cost.frontend_us(r.body.len()));
+        // Authentication (Fig. 2) when configured.
+        if let Some(auth_cfg) = &self.cfg.auth {
+            let ok = match &r.auth {
+                Some((user, sig)) => self.tokens.verify(auth_cfg, user, &r.uri(), sig),
+                None => false,
+            };
+            if !ok {
+                self.stats.auth_failures += 1;
+                ctx.send(
+                    client,
+                    Msg::RestResp(RestResponse {
+                        req: r.req,
+                        status: status::UNAUTHORIZED,
+                        body: Vec::new(),
+                        assigned_key: None,
+                        from_cache: false,
+                    }),
+                );
+                return;
+            }
+        }
+        // DELETE must address a key (§4).
+        if r.method == Method::Delete && r.key.is_none() {
+            ctx.send(
+                client,
+                Msg::RestResp(RestResponse {
+                    req: r.req,
+                    status: status::BAD_REQUEST,
+                    body: Vec::new(),
+                    assigned_key: None,
+                    from_cache: false,
+                }),
+            );
+            return;
+        }
+        self.stats.admitted += 1;
+        let req = self.fresh_req();
+        // POST without key creates a new entry: assign a key (the paper
+        // returns the generated key to the user).
+        let (key, assigned_key) = match (&r.key, r.method) {
+            (Some(k), _) => (k.clone(), None),
+            (None, Method::Post) => {
+                let k = format!("obj-{}-{}", ctx.id().0, req);
+                (k.clone(), Some(k))
+            }
+            (None, _) => {
+                ctx.send(
+                    client,
+                    Msg::RestResp(RestResponse {
+                        req: r.req,
+                        status: status::BAD_REQUEST,
+                        body: Vec::new(),
+                        assigned_key: None,
+                        from_cache: false,
+                    }),
+                );
+                return;
+            }
+        };
+        let mut pending = Pending {
+            client,
+            client_req: r.req,
+            method: r.method,
+            key: key.clone(),
+            body: r.body,
+            assigned_key,
+            phase: Phase::Store,
+            done: false,
+        };
+        ctx.set_timer(self.cfg.request_deadline_us, tk_deadline(req));
+        match r.method {
+            Method::Get => {
+                // Cache first (§4): "GET operation locates unstructured data
+                // with the key in cache or database".
+                if let Some(cache) = self.cache_for(&key) {
+                    pending.phase = Phase::CacheLookup;
+                    self.pending.insert(req, pending);
+                    ctx.send(cache, Msg::CacheGet { req, key });
+                } else {
+                    self.pending.insert(req, pending);
+                    self.forward_get(ctx, req, key);
+                }
+            }
+            Method::Post => {
+                let value = pending.body.clone();
+                self.pending.insert(req, pending);
+                self.forward_put(ctx, req, key, value, false);
+            }
+            Method::Delete => {
+                // Invalidate the cache eagerly; the DB copy is tombstoned.
+                if let Some(cache) = self.cache_for(&key) {
+                    ctx.send(cache, Msg::CacheDel { key: key.clone() });
+                }
+                self.pending.insert(req, pending);
+                self.forward_put(ctx, req, key, Vec::new(), true);
+            }
+        }
+    }
+
+    fn forward_get(&mut self, ctx: &mut Context<'_, Msg>, req: u64, key: String) {
+        match self.next_storage() {
+            Some(node) => ctx.send(node, Msg::Get { req, key }),
+            None => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
+        }
+    }
+
+    fn forward_put(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        req: u64,
+        key: String,
+        value: Vec<u8>,
+        delete: bool,
+    ) {
+        match self.next_storage() {
+            Some(node) => ctx.send(node, Msg::Put { req, key, value, delete }),
+            None => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
+        }
+    }
+}
+
+impl Process<Msg> for Frontend {
+    fn on_start(&mut self, _ctx: &mut Context<'_, Msg>) {}
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::RestReq(r) => self.on_rest(ctx, from, r),
+            Msg::TokenReq { req, user } => {
+                // Fig. 2: the TOKEN DB issues a per-request token — but only
+                // for users the deployment knows (i.e. with a secret).
+                ctx.consume(self.cfg.cost.frontend_base_us / 4);
+                let token = match &self.cfg.auth {
+                    Some(auth) if auth.secrets.contains_key(&user) => {
+                        Some(self.tokens.issue(&user))
+                    }
+                    _ => None,
+                };
+                ctx.send(from, Msg::TokenResp { req, token });
+            }
+            Msg::CacheGetResp { req, value } => {
+                // Response handling costs a fraction of the request cost
+                // (unmarshal + forward).
+                ctx.consume(self.cfg.cost.frontend_base_us / 4);
+                let Some(p) = self.pending.get_mut(&req) else { return };
+                if !matches!(p.phase, Phase::CacheLookup) {
+                    return;
+                }
+                match value {
+                    Some(body) => {
+                        self.stats.cache_hits += 1;
+                        self.respond(ctx, req, status::OK, body, true);
+                    }
+                    None => {
+                        // Miss: "it will switch to database and the returned
+                        // value will be inserted to cache" (§4).
+                        p.phase = Phase::Store;
+                        let key = p.key.clone();
+                        self.forward_get(ctx, req, key);
+                    }
+                }
+            }
+            Msg::GetResp { req, result } => {
+                ctx.consume(self.cfg.cost.frontend_base_us / 4);
+                match result {
+                Ok(Some(body)) => {
+                    if let Some(p) = self.pending.get(&req) {
+                        let key = p.key.clone();
+                        if let Some(cache) = self.cache_for(&key) {
+                            ctx.send(cache, Msg::CachePut { key, value: body.clone() });
+                        }
+                    }
+                    self.respond(ctx, req, status::OK, body, false);
+                }
+                Ok(None) => self.respond(ctx, req, status::NOT_FOUND, Vec::new(), false),
+                Err(_) => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
+            }}
+            Msg::PutResp { req, result } => {
+                ctx.consume(self.cfg.cost.frontend_base_us / 4);
+                match result {
+                Ok(()) => {
+                    let (st, key_body) = match self.pending.get(&req) {
+                        Some(p) if p.method == Method::Post => {
+                            // Successful write refreshes the cache (§4:
+                            // items inserted/updated recently are cached).
+                            let key = p.key.clone();
+                            let body = p.body.clone();
+                            if let Some(cache) = self.cache_for(&key) {
+                                ctx.send(cache, Msg::CachePut { key: key.clone(), value: body });
+                            }
+                            (
+                                if p.assigned_key.is_some() { status::CREATED } else { status::OK },
+                                Vec::new(),
+                            )
+                        }
+                        _ => (status::OK, Vec::new()),
+                    };
+                    self.respond(ctx, req, st, key_body, false);
+                }
+                Err(_) => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
+            }}
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
+        if token & 0b111 == TK_DEADLINE {
+            let req = token >> 3;
+            if self.pending.contains_key(&req) {
+                self.stats.timeouts += 1;
+                ctx.record("fe_timeout", 1.0);
+                self.respond(ctx, req, status::TIMEOUT, Vec::new(), false);
+            }
+        }
+    }
+}

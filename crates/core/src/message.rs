@@ -1,0 +1,360 @@
+//! The cluster message type.
+//!
+//! One enum carries every message class in the system — REST traffic,
+//! cache-tier operations, coordinator-level Get/Put, replica-level storage
+//! ops, hinted handoff, migration transfers, and gossip — so a single
+//! runtime (simulated or threaded) can host the whole deployment, including
+//! the baseline systems which speak only the REST subset.
+
+use mystore_engine::Record;
+use mystore_gossip::GossipMsg;
+use mystore_net::{NodeId, WireSized};
+
+/// HTTP-style method of a REST request (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Retrieve the addressed data.
+    Get,
+    /// Create (no key) or update (with key) an entry.
+    Post,
+    /// Logically delete the addressed data.
+    Delete,
+}
+
+/// A REST request as the front end sees it.
+#[derive(Debug, Clone)]
+pub struct RestRequest {
+    /// Client-chosen request id (echoed in the response).
+    pub req: u64,
+    /// Method.
+    pub method: Method,
+    /// Resource key; `None` on a key-less POST (create).
+    pub key: Option<String>,
+    /// Body payload (POST only).
+    pub body: Vec<u8>,
+    /// Authentication, when the deployment requires it:
+    /// `(user, signature)`.
+    pub auth: Option<(String, crate::auth::Signature)>,
+}
+
+impl RestRequest {
+    /// The request URI used both for routing and signing.
+    pub fn uri(&self) -> String {
+        match &self.key {
+            Some(k) => format!("/data/{k}"),
+            None => "/data".to_string(),
+        }
+    }
+}
+
+/// HTTP-ish status codes used by the front end.
+pub mod status {
+    /// Success.
+    pub const OK: u16 = 200;
+    /// Created (POST without key).
+    pub const CREATED: u16 = 201;
+    /// Signature verification failed.
+    pub const UNAUTHORIZED: u16 = 401;
+    /// No such key.
+    pub const NOT_FOUND: u16 = 404;
+    /// Malformed request (e.g. DELETE without key).
+    pub const BAD_REQUEST: u16 = 400;
+    /// Load shed: too many requests in flight.
+    pub const BUSY: u16 = 503;
+    /// Storage layer failed the operation.
+    pub const STORAGE_ERROR: u16 = 500;
+    /// The request deadline expired inside the cluster.
+    pub const TIMEOUT: u16 = 504;
+}
+
+/// A REST response.
+#[derive(Debug, Clone)]
+pub struct RestResponse {
+    /// Echoed request id.
+    pub req: u64,
+    /// Status code (see [`status`]).
+    pub status: u16,
+    /// Body (GET payload; empty otherwise).
+    pub body: Vec<u8>,
+    /// On a key-less POST, the key the system assigned.
+    pub assigned_key: Option<String>,
+    /// True when served from the cache tier (diagnostics).
+    pub from_cache: bool,
+}
+
+/// Failures surfaced by the storage module to its callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreError {
+    /// Fewer than `W` replicas acknowledged before the deadline.
+    QuorumWriteFailed,
+    /// Fewer than `R` replicas answered before the deadline.
+    QuorumReadFailed,
+    /// The coordinator had no ring (no known storage peers).
+    NoRing,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::QuorumWriteFailed => write!(f, "write quorum not reached"),
+            StoreError::QuorumReadFailed => write!(f, "read quorum not reached"),
+            StoreError::NoRing => write!(f, "no storage ring available"),
+        }
+    }
+}
+
+/// Every message that can travel between cluster nodes.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    // ---- REST tier ---------------------------------------------------
+    /// Client → front end (or baseline store).
+    RestReq(RestRequest),
+    /// Front end (or baseline store) → client.
+    RestResp(RestResponse),
+
+    // ---- authentication (Fig. 2: "get TOKEN from TOKEN DB") -------------
+    /// Client → front end: request a single-use token for `user`.
+    TokenReq {
+        /// Correlation id.
+        req: u64,
+        /// The requesting user (must hold a registered secret).
+        user: String,
+    },
+    /// Front end → client: the issued token, or `None` for unknown users.
+    TokenResp {
+        /// Correlation id.
+        req: u64,
+        /// The token to embed in the next signed request.
+        token: Option<String>,
+    },
+
+    // ---- cache tier ----------------------------------------------------
+    /// Front end → cache server: lookup.
+    CacheGet {
+        /// Correlation id.
+        req: u64,
+        /// Resource key.
+        key: String,
+    },
+    /// Cache server → front end: lookup answer.
+    CacheGetResp {
+        /// Correlation id.
+        req: u64,
+        /// Hit payload, or `None` on miss.
+        value: Option<Vec<u8>>,
+    },
+    /// Front end → cache server: populate/refresh (fire-and-forget).
+    CachePut {
+        /// Resource key.
+        key: String,
+        /// Payload.
+        value: Vec<u8>,
+    },
+    /// Front end → cache server: invalidate (fire-and-forget).
+    CacheDel {
+        /// Resource key.
+        key: String,
+    },
+
+    // ---- storage module, coordinator interface (§5.1 Get/Put) ---------
+    /// Caller → coordinator: read `key`.
+    Get {
+        /// Correlation id.
+        req: u64,
+        /// Record key (`self-key`).
+        key: String,
+    },
+    /// Coordinator → caller: read result (`Ok(None)` = not found/deleted).
+    GetResp {
+        /// Correlation id.
+        req: u64,
+        /// The payload, or why it failed.
+        result: Result<Option<Vec<u8>>, StoreError>,
+    },
+    /// Caller → coordinator: write `key` (or tombstone it).
+    Put {
+        /// Correlation id.
+        req: u64,
+        /// Record key (`self-key`).
+        key: String,
+        /// Payload (ignored when `delete`).
+        value: Vec<u8>,
+        /// True for the DELETE path (logical delete, §3.3).
+        delete: bool,
+    },
+    /// Coordinator → caller: write outcome.
+    PutResp {
+        /// Correlation id.
+        req: u64,
+        /// Success, or why it failed.
+        result: Result<(), StoreError>,
+    },
+
+    // ---- storage module, replica level ---------------------------------
+    /// Coordinator → replica: store this record (LWW).
+    StoreReplica {
+        /// Correlation id (coordinator-scoped).
+        req: u64,
+        /// The record (already versioned by the coordinator).
+        record: Record,
+    },
+    /// Replica → coordinator: store outcome (`ok = false` ⇒ disk error).
+    StoreAck {
+        /// Correlation id.
+        req: u64,
+        /// Whether the replica applied the write.
+        ok: bool,
+    },
+    /// Coordinator → replica: fetch your copy of `key`.
+    FetchReplica {
+        /// Correlation id.
+        req: u64,
+        /// Record key.
+        key: String,
+    },
+    /// Replica → coordinator: your copy (or none), `ok = false` ⇒ error.
+    FetchAck {
+        /// Correlation id.
+        req: u64,
+        /// The replica's record, if it has one.
+        found: Option<Record>,
+        /// Whether the read itself succeeded.
+        ok: bool,
+    },
+
+    // ---- hinted handoff (Fig. 8) ----------------------------------------
+    /// Coordinator → temporary node C: hold this for `intended` (node B).
+    StoreHint {
+        /// Correlation id (acked via [`Msg::StoreAck`]).
+        req: u64,
+        /// The unreachable replica the hint is destined for.
+        intended: NodeId,
+        /// The record to write back when `intended` recovers.
+        record: Record,
+    },
+
+    // ---- migration / re-replication (§5.2.4) ----------------------------
+    /// Bulk record transfer during rebalance; applied LWW, no ack.
+    TransferRecords {
+        /// The records changing owner.
+        records: Vec<Record>,
+    },
+
+    // ---- anti-entropy (extension: §7 "problems on data's consistency") --
+    /// Periodic replica synchronization: the sender's `(key, version)`
+    /// digest for records it believes the receiver should also hold.
+    SyncDigest {
+        /// `(self-key, LWW version)` pairs.
+        entries: Vec<(String, u64)>,
+    },
+    /// Reply to [`Msg::SyncDigest`]: full records the receiver had newer
+    /// (or that the sender was missing entirely are pulled via the same
+    /// exchange initiated from the other side).
+    SyncRecords {
+        /// The newer records.
+        records: Vec<Record>,
+    },
+
+    // ---- gossip ----------------------------------------------------------
+    /// Gossip protocol traffic (§5.2.3).
+    Gossip(GossipMsg),
+}
+
+impl Msg {
+    /// True for operation-level messages — the granularity at which the
+    /// paper's Table 2 fault probabilities apply. Experiment harnesses pass
+    /// this to [`mystore_net::Sim::set_fault_filter`] so acks and gossip
+    /// frames do not draw their own faults.
+    pub fn is_client_op(&self) -> bool {
+        matches!(self, Msg::Put { .. } | Msg::Get { .. })
+    }
+
+    /// True for replica-level storage operations — the per-replica reads
+    /// and writes a user operation fans out into. The Fig. 16/17 harnesses
+    /// inject Table 2 faults here: a lost replica write is exactly the
+    /// short failure that hinted handoff (Fig. 8) exists to mask.
+    pub fn is_replica_op(&self) -> bool {
+        matches!(
+            self,
+            Msg::StoreReplica { .. } | Msg::FetchReplica { .. } | Msg::StoreHint { .. }
+        )
+    }
+}
+
+impl WireSized for Msg {
+    fn wire_size(&self) -> usize {
+        const HDR: usize = 48; // framing + addressing overhead per message
+        HDR + match self {
+            Msg::RestReq(r) => r.key.as_ref().map(String::len).unwrap_or(0) + r.body.len() + 64,
+            Msg::RestResp(r) => r.body.len() + 32,
+            Msg::TokenReq { user, .. } => user.len(),
+            Msg::TokenResp { token, .. } => token.as_ref().map(String::len).unwrap_or(0),
+            Msg::CacheGet { key, .. } => key.len(),
+            Msg::CacheGetResp { value, .. } => value.as_ref().map(Vec::len).unwrap_or(0),
+            Msg::CachePut { key, value } => key.len() + value.len(),
+            Msg::CacheDel { key } => key.len(),
+            Msg::Get { key, .. } => key.len(),
+            Msg::GetResp { result, .. } => {
+                result.as_ref().ok().and_then(|v| v.as_ref()).map(Vec::len).unwrap_or(0)
+            }
+            Msg::Put { key, value, .. } => key.len() + value.len(),
+            Msg::PutResp { .. } => 8,
+            Msg::StoreReplica { record, .. } => record.to_document().encoded_size(),
+            Msg::StoreAck { .. } => 8,
+            Msg::FetchReplica { key, .. } => key.len(),
+            Msg::FetchAck { found, .. } => {
+                found.as_ref().map(|r| r.to_document().encoded_size()).unwrap_or(8)
+            }
+            Msg::StoreHint { record, .. } => record.to_document().encoded_size() + 8,
+            Msg::TransferRecords { records } => {
+                records.iter().map(|r| r.to_document().encoded_size()).sum()
+            }
+            Msg::SyncDigest { entries } => {
+                entries.iter().map(|(k, _)| k.len() + 8).sum::<usize>()
+            }
+            Msg::SyncRecords { records } => {
+                records.iter().map(|r| r.to_document().encoded_size()).sum()
+            }
+            Msg::Gossip(g) => g.wire_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mystore_engine::pack_version;
+    use mystore_bson::ObjectId;
+
+    #[test]
+    fn uri_formats() {
+        let with_key = RestRequest {
+            req: 1,
+            method: Method::Get,
+            key: Some("Resistor5".into()),
+            body: vec![],
+            auth: None,
+        };
+        assert_eq!(with_key.uri(), "/data/Resistor5");
+        let keyless =
+            RestRequest { req: 2, method: Method::Post, key: None, body: vec![1], auth: None };
+        assert_eq!(keyless.uri(), "/data");
+    }
+
+    #[test]
+    fn wire_size_tracks_payload() {
+        let small = Msg::Put { req: 1, key: "k".into(), value: vec![0; 10], delete: false };
+        let large = Msg::Put { req: 1, key: "k".into(), value: vec![0; 100_000], delete: false };
+        assert!(large.wire_size() > small.wire_size() + 90_000);
+        let rec = Record::new(ObjectId::from_parts(1, 1, 1), "k", vec![0; 5000], pack_version(1, 1));
+        let m = Msg::StoreReplica { req: 1, record: rec };
+        assert!(m.wire_size() > 5000);
+    }
+
+    #[test]
+    fn store_error_displays() {
+        assert!(StoreError::QuorumWriteFailed.to_string().contains("write"));
+        assert!(StoreError::QuorumReadFailed.to_string().contains("read"));
+        assert!(StoreError::NoRing.to_string().contains("ring"));
+    }
+}

@@ -1,0 +1,945 @@
+//! The MyStore storage node (paper §5).
+//!
+//! One process per database node, combining:
+//!
+//! * the **local store** — a [`Db`] holding the `data` collection (indexed
+//!   by `self-key`) and the `hints` collection,
+//! * the **gossiper** — §5.2.3 state transfer and failure detection,
+//! * the **ring view** — rebuilt from gossiped membership (endpoints
+//!   publish their virtual-node counts),
+//! * the **coordinator** — every node can coordinate any key (the paper
+//!   notes "clients can connect to any node in the system to get/put
+//!   data"): quorum writes/reads per §5.2.2, hinted handoff per §5.2.4
+//!   (Fig. 8), read repair ("replications are supplemented to achieve N"),
+//! * **rebalance** — migration on node addition and replica rebuilding on
+//!   long failure (Fig. 9).
+//!
+//! The node is a sans-io [`Process`]: all I/O and timing is delegated to
+//! the runtime, so identical logic runs in the deterministic simulator and
+//! in the threaded runtime.
+
+use std::collections::HashMap;
+
+use mystore_bson::{doc, ObjectId};
+use mystore_engine::{pack_version, Db, Record};
+use mystore_gossip::{keys as gossip_keys, Gossiper, MembershipEvent};
+use mystore_net::{Context, NodeId, OpFault, Process, TimerToken};
+use mystore_ring::HashRing;
+
+use crate::config::StorageConfig;
+use crate::message::{Msg, StoreError};
+
+// Timer-token layout: low 3 bits select the kind, the rest carry a request id.
+const TK_KIND_MASK: u64 = 0b111;
+const TK_GOSSIP: u64 = 1;
+const TK_HINT_REPLAY: u64 = 2;
+const TK_PUT_SOFT: u64 = 3;
+const TK_PUT_HARD: u64 = 4;
+const TK_GET_HARD: u64 = 5;
+const TK_REAP: u64 = 6;
+const TK_ANTI_ENTROPY: u64 = 7;
+
+fn tk(kind: u64, req: u64) -> TimerToken {
+    (req << 3) | kind
+}
+
+fn tk_split(token: TimerToken) -> (u64, u64) {
+    (token & TK_KIND_MASK, token >> 3)
+}
+
+/// Collection holding hinted-handoff records.
+const HINTS: &str = "hints";
+
+/// Operation counters, exposed for tests and experiment harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Writes this node coordinated successfully.
+    pub puts_ok: u64,
+    /// Writes this node coordinated that failed quorum.
+    pub puts_failed: u64,
+    /// Reads this node coordinated successfully.
+    pub gets_ok: u64,
+    /// Reads this node coordinated that failed quorum.
+    pub gets_failed: u64,
+    /// Hints this node issued as a coordinator (short-failure diversions).
+    pub handoffs_sent: u64,
+    /// Hints this node held and later wrote back to the intended replica.
+    pub hints_replayed: u64,
+    /// Records shipped away during rebalance.
+    pub records_migrated_out: u64,
+    /// Read repairs / replica supplements pushed.
+    pub read_repairs: u64,
+    /// Records pushed back to this node by anti-entropy exchanges.
+    pub anti_entropy_received: u64,
+    /// Replica-level store operations applied locally.
+    pub replica_puts: u64,
+    /// Replica-level fetches served locally.
+    pub replica_gets: u64,
+}
+
+struct PendingPut {
+    caller: NodeId,
+    caller_req: u64,
+    record: Record,
+    acks: usize,
+    /// Replicas that have not acknowledged yet.
+    outstanding: Vec<NodeId>,
+    /// Fallback nodes already hinted (never reused).
+    fallbacks_used: Vec<NodeId>,
+    replied: bool,
+}
+
+struct PendingGet {
+    caller: NodeId,
+    caller_req: u64,
+    key: String,
+    prefs: Vec<NodeId>,
+    /// (replica, its record if any) for successful replies.
+    replies: Vec<(NodeId, Option<Record>)>,
+    replied: bool,
+}
+
+/// The storage-node process.
+pub struct StorageNode {
+    cfg: StorageConfig,
+    db: Db,
+    gossiper: Gossiper,
+    ring: HashRing<NodeId>,
+    /// Membership signature the current ring was built from.
+    ring_sig: Vec<(NodeId, u32)>,
+    pending_puts: HashMap<u64, PendingPut>,
+    pending_gets: HashMap<u64, PendingGet>,
+    /// Hint-replay requests in flight: replica req → hint document id.
+    hint_acks: HashMap<u64, ObjectId>,
+    next_req: u64,
+    stats: NodeStats,
+    /// Bumped every restart; the gossip boot generation.
+    generation: u64,
+    /// Rotation cursor through the key space for anti-entropy batches.
+    sync_cursor: Option<String>,
+    /// Anti-entropy round counter (rotates the peer choice).
+    sync_round: u64,
+}
+
+impl StorageNode {
+    /// Creates a node with identity `me`. With
+    /// [`StorageConfig::data_dir`] set, the node opens (and on restart,
+    /// recovers) a durable WAL named `node<id>.wal` in that directory.
+    pub fn new(me: NodeId, cfg: StorageConfig) -> Self {
+        cfg.nwr.validate().expect("invalid NWR configuration");
+        let mut db = match &cfg.data_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).expect("create data dir");
+                Db::open(dir.join(format!("node{}.wal", me.0))).expect("open node wal")
+            }
+            None => Db::memory(),
+        };
+        // Recovered databases already carry the index.
+        let indexed = db
+            .collection(&cfg.collection)
+            .map(|c| c.index_fields().contains(&"self-key"))
+            .unwrap_or(false);
+        if !indexed {
+            db.create_index(&cfg.collection, "self-key").expect("fresh db");
+        }
+        let gossiper = Gossiper::new(me, 1, cfg.gossip.clone());
+        StorageNode {
+            cfg,
+            db,
+            gossiper,
+            ring: HashRing::new(),
+            ring_sig: Vec::new(),
+            pending_puts: HashMap::new(),
+            pending_gets: HashMap::new(),
+            hint_acks: HashMap::new(),
+            next_req: 1,
+            stats: NodeStats::default(),
+            generation: 1,
+            sync_cursor: None,
+            sync_round: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.gossiper.id()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// Records stored locally in the data collection (replicas included,
+    /// tombstones included) — the quantity Fig. 15 plots.
+    pub fn record_count(&self) -> usize {
+        self.db.collection(&self.cfg.collection).map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Outstanding hints held for other nodes.
+    pub fn hint_count(&self) -> usize {
+        self.db.collection(HINTS).map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Read access to the local database (tests, diagnostics).
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// Directly installs a replica, bypassing the network path. Experiment
+    /// harnesses use this to preload large corpora without simulating hours
+    /// of load traffic; placement must be computed by the caller (see
+    /// `mystore-workload`'s preload helpers).
+    pub fn preload_record(&mut self, record: &Record) {
+        let _ = self.db.put_record(&self.cfg.collection, record);
+    }
+
+    /// The node's current ring view.
+    pub fn ring(&self) -> &HashRing<NodeId> {
+        &self.ring
+    }
+
+    /// Gossip-derived liveness belief.
+    pub fn believes_alive(&self, node: NodeId) -> bool {
+        self.gossiper.is_alive(node)
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+
+    // ---- membership -----------------------------------------------------
+
+    /// Builds the membership signature from gossiped state: every known,
+    /// not-removed endpoint advertising a positive virtual-node count.
+    fn membership_signature(&self) -> Vec<(NodeId, u32)> {
+        let mut sig: Vec<(NodeId, u32)> = self
+            .gossiper
+            .known_endpoints()
+            .filter(|&ep| !self.gossiper.is_removed(ep))
+            .filter_map(|ep| {
+                let vn = if ep == self.id() {
+                    self.cfg.vnodes
+                } else {
+                    self.gossiper.app_state(ep, gossip_keys::VNODES)?.parse().ok()?
+                };
+                (vn > 0).then_some((ep, vn))
+            })
+            .collect();
+        sig.sort_unstable();
+        sig
+    }
+
+    /// Rebuilds the ring if membership changed; sweeps data when it did.
+    fn refresh_ring(&mut self, ctx: &mut Context<'_, Msg>) {
+        let sig = self.membership_signature();
+        if sig == self.ring_sig {
+            return;
+        }
+        let mut ring = HashRing::new();
+        for &(node, vnodes) in &sig {
+            ring.add_node(node, format!("node{}", node.0), vnodes).expect("unique nodes");
+        }
+        self.ring = ring;
+        self.ring_sig = sig;
+        self.rebalance_sweep(ctx);
+    }
+
+    /// §5.2.4: after membership change, move records whose preference list
+    /// no longer includes us, and supplement replicas on the nodes that
+    /// should now hold them. LWW application makes re-sends idempotent.
+    fn rebalance_sweep(&mut self, ctx: &mut Context<'_, Msg>) {
+        let me = self.id();
+        let n = self.cfg.nwr.n;
+        let Ok(coll) = self.db.collection(&self.cfg.collection) else { return };
+        let mut outgoing: HashMap<NodeId, Vec<Record>> = HashMap::new();
+        let mut to_drop: Vec<ObjectId> = Vec::new();
+        for (id, docu) in coll.iter() {
+            let Ok(record) = Record::from_document(docu) else { continue };
+            let prefs = self.ring.preference_list(record.self_key.as_bytes(), n);
+            if prefs.is_empty() {
+                continue;
+            }
+            let keep = prefs.contains(&me);
+            for &target in prefs.iter().filter(|&&p| p != me) {
+                outgoing.entry(target).or_default().push(record.clone());
+            }
+            if !keep {
+                to_drop.push(*id);
+            }
+        }
+        for id in to_drop {
+            let _ = self.db.remove(&self.cfg.collection, id);
+            self.stats.records_migrated_out += 1;
+        }
+        // Batch transfers to bound message counts.
+        const BATCH: usize = 64;
+        for (target, records) in outgoing {
+            for chunk in records.chunks(BATCH) {
+                ctx.send(target, Msg::TransferRecords { records: chunk.to_vec() });
+            }
+        }
+    }
+
+    fn process_membership(&mut self, ctx: &mut Context<'_, Msg>) {
+        let events = self.gossiper.drain_events();
+        if events.is_empty() {
+            return;
+        }
+        for ev in &events {
+            match ev {
+                MembershipEvent::Joined(n) => ctx.record("member_joined", n.0 as f64),
+                MembershipEvent::Up(n) => ctx.record("member_up", n.0 as f64),
+                MembershipEvent::Down(n) => ctx.record("member_down", n.0 as f64),
+                MembershipEvent::Removed(n) => ctx.record("member_removed", n.0 as f64),
+            }
+        }
+        self.refresh_ring(ctx);
+    }
+
+    // ---- coordinator: writes (§5.2.2) ------------------------------------
+
+    fn start_put(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        caller: NodeId,
+        caller_req: u64,
+        key: String,
+        value: Vec<u8>,
+        delete: bool,
+    ) {
+        let n = self.cfg.nwr.n;
+        let prefs = self.ring.preference_list(key.as_bytes(), n);
+        if prefs.is_empty() {
+            ctx.send(caller, Msg::PutResp { req: caller_req, result: Err(StoreError::NoRing) });
+            return;
+        }
+        let version = pack_version(ctx.now().as_micros(), self.id().0 as u16);
+        let record = if delete {
+            Record::tombstone(ObjectId::new(), key, version)
+        } else {
+            Record::new(ObjectId::new(), key, value, version)
+        };
+        let my_req = self.fresh_req();
+        let mut pending = PendingPut {
+            caller,
+            caller_req,
+            record: record.clone(),
+            acks: 0,
+            outstanding: prefs.clone(),
+            fallbacks_used: Vec::new(),
+            replied: false,
+        };
+        let me = self.id();
+        for &replica in &prefs {
+            if replica == me {
+                // "The node firstly stores the data records locally" (§5.2.2).
+                ctx.consume(self.cfg.cost.put_us(record.val.len()));
+                self.stats.replica_puts += 1;
+                if self.db.put_record(&self.cfg.collection, &record).is_ok() {
+                    pending.acks += 1;
+                    pending.outstanding.retain(|&r| r != me);
+                }
+            } else {
+                ctx.send(replica, Msg::StoreReplica { req: my_req, record: record.clone() });
+            }
+        }
+        let done = self.check_put_quorum(ctx, my_req, &mut pending);
+        if !done {
+            self.pending_puts.insert(my_req, pending);
+            ctx.set_timer(self.cfg.replica_timeout_us, tk(TK_PUT_SOFT, my_req));
+            ctx.set_timer(self.cfg.request_deadline_us, tk(TK_PUT_HARD, my_req));
+        }
+    }
+
+    /// Replies to the caller when `W` acknowledgements are in. Returns true
+    /// when the request is fully complete (all replicas acked).
+    fn check_put_quorum(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        _my_req: u64,
+        pending: &mut PendingPut,
+    ) -> bool {
+        if !pending.replied && pending.acks >= self.cfg.nwr.w {
+            pending.replied = true;
+            self.stats.puts_ok += 1;
+            ctx.record("put_ok", 1.0);
+            ctx.send(
+                pending.caller,
+                Msg::PutResp { req: pending.caller_req, result: Ok(()) },
+            );
+        }
+        pending.replied && pending.outstanding.is_empty()
+    }
+
+    fn on_store_ack(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, req: u64, ok: bool) {
+        // Hint-replay acknowledgements resolve separately.
+        if let Some(hint_id) = self.hint_acks.remove(&req) {
+            if ok {
+                let _ = self.db.remove(HINTS, hint_id);
+                self.stats.hints_replayed += 1;
+                ctx.record("hint_replayed", 1.0);
+            }
+            return;
+        }
+        let Some(mut pending) = self.pending_puts.remove(&req) else { return };
+        if ok {
+            pending.acks += 1;
+            pending.outstanding.retain(|&r| r != from);
+        }
+        // A failed ack leaves the replica in `outstanding`; the soft-timeout
+        // path will divert it to a fallback node.
+        let done = self.check_put_quorum(ctx, req, &mut pending);
+        if !done {
+            self.pending_puts.insert(req, pending);
+        }
+    }
+
+    /// Soft timeout: unacknowledged replicas get hinted handoff (Fig. 8) —
+    /// "if one node fails, the system writes to the next node on the ring".
+    fn on_put_soft_timeout(&mut self, ctx: &mut Context<'_, Msg>, req: u64) {
+        if !self.cfg.hinted_handoff {
+            return;
+        }
+        let Some(mut pending) = self.pending_puts.remove(&req) else { return };
+        let me = self.id();
+        let stragglers: Vec<NodeId> = pending.outstanding.clone();
+        for intended in stragglers {
+            if intended == me {
+                continue;
+            }
+            if let Some(fallback) = self.pick_fallback(&pending) {
+                pending.fallbacks_used.push(fallback);
+                self.stats.handoffs_sent += 1;
+                ctx.record("handoff", 1.0);
+                if fallback == me {
+                    // The coordinator may be the only node left standing —
+                    // it holds the hint itself, and its ack is immediate.
+                    ctx.consume(self.cfg.cost.put_us(pending.record.val.len()));
+                    let hint_doc = doc! {
+                        "intended": intended.0 as i64,
+                        "rec": pending.record.to_document(),
+                    };
+                    if self.db.insert_doc(HINTS, hint_doc).is_ok() {
+                        pending.acks += 1;
+                    }
+                } else {
+                    ctx.send(
+                        fallback,
+                        Msg::StoreHint { req, intended, record: pending.record.clone() },
+                    );
+                }
+            }
+        }
+        let done = self.check_put_quorum(ctx, req, &mut pending);
+        if !done {
+            self.pending_puts.insert(req, pending);
+        }
+    }
+
+    /// First alive node clockwise after the preference list that has not
+    /// been used as a fallback for this request. The coordinator itself is
+    /// eligible (it is alive by definition).
+    fn pick_fallback(&self, pending: &PendingPut) -> Option<NodeId> {
+        let point = HashRing::<NodeId>::key_point(pending.record.self_key.as_bytes());
+        let walk = self.ring.successors_of_point(point, self.ring.len());
+        let prefs = self.ring.preference_list(pending.record.self_key.as_bytes(), self.cfg.nwr.n);
+        walk.into_iter().find(|n| {
+            !prefs.contains(n)
+                && !pending.fallbacks_used.contains(n)
+                && self.gossiper.is_alive(*n)
+        })
+    }
+
+    fn on_put_hard_timeout(&mut self, ctx: &mut Context<'_, Msg>, req: u64) {
+        let Some(pending) = self.pending_puts.remove(&req) else { return };
+        if !pending.replied {
+            self.stats.puts_failed += 1;
+            ctx.record("put_fail", 1.0);
+            ctx.send(
+                pending.caller,
+                Msg::PutResp {
+                    req: pending.caller_req,
+                    result: Err(StoreError::QuorumWriteFailed),
+                },
+            );
+        }
+    }
+
+    // ---- coordinator: reads (§5.2.2) --------------------------------------
+
+    fn start_get(&mut self, ctx: &mut Context<'_, Msg>, caller: NodeId, caller_req: u64, key: String) {
+        let n = self.cfg.nwr.n;
+        let prefs = self.ring.preference_list(key.as_bytes(), n);
+        if prefs.is_empty() {
+            ctx.send(caller, Msg::GetResp { req: caller_req, result: Err(StoreError::NoRing) });
+            return;
+        }
+        let my_req = self.fresh_req();
+        let mut pending = PendingGet {
+            caller,
+            caller_req,
+            key: key.clone(),
+            prefs: prefs.clone(),
+            replies: Vec::new(),
+            replied: false,
+        };
+        let me = self.id();
+        for &replica in &prefs {
+            if replica == me {
+                let found = self.local_fetch(ctx, &key);
+                pending.replies.push((me, found));
+            } else {
+                ctx.send(replica, Msg::FetchReplica { req: my_req, key: key.clone() });
+            }
+        }
+        let done = self.check_get_progress(ctx, &mut pending);
+        if !done {
+            self.pending_gets.insert(my_req, pending);
+            ctx.set_timer(self.cfg.request_deadline_us, tk(TK_GET_HARD, my_req));
+        }
+    }
+
+    fn local_fetch(&mut self, ctx: &mut Context<'_, Msg>, key: &str) -> Option<Record> {
+        self.stats.replica_gets += 1;
+        let found = self.db.get_record(&self.cfg.collection, key).ok().flatten();
+        ctx.consume(self.cfg.cost.get_us(found.as_ref().map(|r| r.val.len()).unwrap_or(0)));
+        found
+    }
+
+    /// Replies at `R` successes; finishes (with read repair) when every
+    /// preference-list member has answered. Returns true when complete.
+    fn check_get_progress(&mut self, ctx: &mut Context<'_, Msg>, pending: &mut PendingGet) -> bool {
+        if !pending.replied && pending.replies.len() >= self.cfg.nwr.r {
+            pending.replied = true;
+            let newest = Self::newest(&pending.replies);
+            let result = match newest {
+                Some(rec) if !rec.is_del => Ok(Some(rec.val.clone())),
+                _ => Ok(None),
+            };
+            self.stats.gets_ok += 1;
+            ctx.record("get_ok", 1.0);
+            ctx.send(pending.caller, Msg::GetResp { req: pending.caller_req, result });
+        }
+        if pending.replies.len() == pending.prefs.len() {
+            self.read_repair(ctx, pending);
+            return true;
+        }
+        false
+    }
+
+    /// "The Get operation gets all replications of the specified key, and
+    /// checks the number of replication. If replications are less than N
+    /// ... some more replications are supplemented" (§5.2.2) — plus classic
+    /// read repair of stale copies.
+    fn read_repair(&mut self, ctx: &mut Context<'_, Msg>, pending: &PendingGet) {
+        let Some(newest) = Self::newest(&pending.replies) else { return };
+        let newest = newest.clone();
+        let me = self.id();
+        for (node, found) in &pending.replies {
+            let stale = match found {
+                None => true,
+                Some(r) => r.version < newest.version,
+            };
+            if !stale {
+                continue;
+            }
+            self.stats.read_repairs += 1;
+            ctx.record("read_repair", 1.0);
+            if *node == me {
+                let _ = self.db.put_record(&self.cfg.collection, &newest);
+            } else {
+                // Fire-and-forget: acks for req 0 are ignored.
+                ctx.send(*node, Msg::StoreReplica { req: 0, record: newest.clone() });
+            }
+        }
+    }
+
+    fn newest(replies: &[(NodeId, Option<Record>)]) -> Option<&Record> {
+        replies.iter().filter_map(|(_, r)| r.as_ref()).max_by_key(|r| r.version)
+    }
+
+    fn on_fetch_ack(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        req: u64,
+        found: Option<Record>,
+        ok: bool,
+    ) {
+        let Some(mut pending) = self.pending_gets.remove(&req) else { return };
+        if ok {
+            pending.replies.push((from, found));
+        }
+        // A failed read is tolerated (§5.1): replication covers it.
+        let done = self.check_get_progress(ctx, &mut pending);
+        if !done {
+            self.pending_gets.insert(req, pending);
+        }
+    }
+
+    fn on_get_hard_timeout(&mut self, ctx: &mut Context<'_, Msg>, req: u64) {
+        let Some(pending) = self.pending_gets.remove(&req) else { return };
+        if !pending.replied {
+            self.stats.gets_failed += 1;
+            ctx.record("get_fail", 1.0);
+            ctx.send(
+                pending.caller,
+                Msg::GetResp { req: pending.caller_req, result: Err(StoreError::QuorumReadFailed) },
+            );
+        } else {
+            self.read_repair(ctx, &pending);
+        }
+        let _ = pending.key;
+    }
+
+    // ---- replica side ------------------------------------------------------
+
+    fn on_store_replica(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        req: u64,
+        record: Record,
+        fault: Option<OpFault>,
+    ) {
+        match fault {
+            Some(OpFault::NetworkException) => return, // message effectively lost
+            Some(OpFault::DiskIoError) => {
+                if req != 0 {
+                    ctx.send(from, Msg::StoreAck { req, ok: false });
+                }
+                return;
+            }
+            _ => {}
+        }
+        ctx.consume(self.cfg.cost.put_us(record.val.len()));
+        self.stats.replica_puts += 1;
+        let ok = self.db.put_record(&self.cfg.collection, &record).is_ok();
+        if req != 0 {
+            ctx.send(from, Msg::StoreAck { req, ok });
+        }
+    }
+
+    fn on_fetch_replica(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        req: u64,
+        key: String,
+        fault: Option<OpFault>,
+    ) {
+        match fault {
+            Some(OpFault::NetworkException) => return,
+            Some(OpFault::DiskIoError) => {
+                ctx.send(from, Msg::FetchAck { req, found: None, ok: false });
+                return;
+            }
+            _ => {}
+        }
+        let found = self.local_fetch(ctx, &key);
+        ctx.send(from, Msg::FetchAck { req, found, ok: true });
+    }
+
+    // ---- hinted handoff (Fig. 8) --------------------------------------------
+
+    fn on_store_hint(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        req: u64,
+        intended: NodeId,
+        record: Record,
+        fault: Option<OpFault>,
+    ) {
+        match fault {
+            Some(OpFault::NetworkException) => return,
+            Some(OpFault::DiskIoError) => {
+                ctx.send(from, Msg::StoreAck { req, ok: false });
+                return;
+            }
+            _ => {}
+        }
+        ctx.consume(self.cfg.cost.put_us(record.val.len()));
+        // "When C receives the request, it creates an index for the
+        // replication" — we persist the hint durably.
+        let hint_doc = doc! {
+            "intended": intended.0 as i64,
+            "rec": record.to_document(),
+        };
+        let ok = self.db.insert_doc(HINTS, hint_doc).is_ok();
+        ctx.send(from, Msg::StoreAck { req, ok });
+    }
+
+    /// Periodic probe: for every held hint whose intended node is back
+    /// (detected via gossip heartbeats), write the data back (Fig. 8:
+    /// "when it finds that the B node is on-line again, the node C would
+    /// write the data back to B").
+    fn replay_hints(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Drop correlation state from replays that never got acknowledged —
+        // the hints themselves are still on disk and will be offered again
+        // below (replays are idempotent under LWW), so nothing is lost and
+        // the map stays bounded.
+        self.hint_acks.clear();
+        let Ok(coll) = self.db.collection(HINTS) else { return };
+        let mut replays: Vec<(ObjectId, NodeId, Record)> = Vec::new();
+        for (id, docu) in coll.iter() {
+            let Some(intended) = docu.get_i64("intended").map(|v| NodeId(v as u32)) else {
+                continue;
+            };
+            let Some(rec_doc) = docu.get_document("rec") else { continue };
+            let Ok(record) = Record::from_document(rec_doc) else { continue };
+            if self.gossiper.is_alive(intended) && !self.gossiper.is_removed(intended) {
+                replays.push((*id, intended, record));
+            } else if self.gossiper.is_removed(intended) {
+                // Long failure: the intended node will never return. The
+                // rebalance sweep re-replicates from live copies, so the
+                // hint is dropped.
+                replays.push((*id, intended, record.clone()));
+            }
+        }
+        for (hint_id, intended, record) in replays {
+            if self.gossiper.is_removed(intended) {
+                let _ = self.db.remove(HINTS, hint_id);
+                continue;
+            }
+            let req = self.fresh_req();
+            self.hint_acks.insert(req, hint_id);
+            ctx.send(intended, Msg::StoreReplica { req, record });
+        }
+    }
+
+    // ---- anti-entropy (extension) -----------------------------------------
+
+    /// One anti-entropy round: take the next batch of locally-held records
+    /// (rotating through key space), pick one alive replica peer per record
+    /// group, and send it our `(key, version)` digest. The peer answers with
+    /// any strictly newer copies (§7 future work: "solving problems on
+    /// data's consistency" — this bounds divergence even for keys that are
+    /// never read).
+    fn anti_entropy_round(&mut self, ctx: &mut Context<'_, Msg>) {
+        let me = self.id();
+        let n = self.cfg.nwr.n;
+        let Ok(coll) = self.db.collection(&self.cfg.collection) else { return };
+        // Next batch after the cursor, wrapping at the end.
+        let mut batch: Vec<Record> = Vec::with_capacity(self.cfg.anti_entropy_batch);
+        let mut wrapped = false;
+        let start = self.sync_cursor.clone();
+        for (_, docu) in coll.iter() {
+            let Ok(rec) = Record::from_document(docu) else { continue };
+            if let Some(cursor) = &start {
+                if !wrapped && rec.self_key <= *cursor {
+                    continue;
+                }
+            }
+            batch.push(rec);
+            if batch.len() >= self.cfg.anti_entropy_batch {
+                break;
+            }
+        }
+        if batch.is_empty() && start.is_some() {
+            // Wrapped: restart from the beginning of the key space.
+            self.sync_cursor = None;
+            wrapped = true;
+            for (_, docu) in coll.iter() {
+                let Ok(rec) = Record::from_document(docu) else { continue };
+                batch.push(rec);
+                if batch.len() >= self.cfg.anti_entropy_batch {
+                    break;
+                }
+            }
+        }
+        let _ = wrapped;
+        let Some(last) = batch.last() else { return };
+        self.sync_cursor = Some(last.self_key.clone());
+        // Group digests by one alive peer from each record's preference
+        // list, rotating the choice every round so each replica pair
+        // eventually exchanges.
+        self.sync_round += 1;
+        let round = self.sync_round as usize;
+        let mut per_peer: HashMap<NodeId, Vec<(String, u64)>> = HashMap::new();
+        for rec in &batch {
+            let prefs = self.ring.preference_list(rec.self_key.as_bytes(), n);
+            let eligible: Vec<NodeId> = prefs
+                .iter()
+                .copied()
+                .filter(|&p| p != me && self.gossiper.is_alive(p))
+                .collect();
+            if let Some(&peer) = eligible.get(round % eligible.len().max(1)) {
+                per_peer.entry(peer).or_default().push((rec.self_key.clone(), rec.version));
+            }
+        }
+        for (peer, entries) in per_peer {
+            ctx.send(peer, Msg::SyncDigest { entries });
+        }
+    }
+
+    /// Peer side of a sync round: reply with every record we hold strictly
+    /// newer than the sender's digest, and counter-digest the keys where we
+    /// are behind (missing or older) so the sender pushes those back. The
+    /// counter-digest cannot loop: the sender is strictly newer for every
+    /// key in it, so its handler only produces a `SyncRecords`.
+    fn on_sync_digest(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, entries: Vec<(String, u64)>) {
+        ctx.consume(self.cfg.cost.gossip_us + entries.len() as u64 / 4);
+        let mut newer: Vec<Record> = Vec::new();
+        let mut behind: Vec<(String, u64)> = Vec::new();
+        for (key, their_version) in entries {
+            match self.db.get_record(&self.cfg.collection, &key) {
+                Ok(Some(mine)) if mine.version > their_version => newer.push(mine),
+                Ok(Some(mine)) if mine.version < their_version => {
+                    behind.push((key, mine.version))
+                }
+                Ok(Some(_)) => {} // equal
+                _ => behind.push((key, 0)),
+            }
+        }
+        if !newer.is_empty() {
+            ctx.send(from, Msg::SyncRecords { records: newer });
+        }
+        if !behind.is_empty() {
+            ctx.send(from, Msg::SyncDigest { entries: behind });
+        }
+    }
+
+    // ---- gossip & timers -------------------------------------------------
+
+    fn gossip_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Publish capacity and load.
+        self.gossiper.set_app_state(gossip_keys::VNODES, self.cfg.vnodes.to_string());
+        self.gossiper.set_app_state(gossip_keys::LOAD, self.record_count().to_string());
+        let now = ctx.now();
+        let out = {
+            let rng = ctx.rng();
+            self.gossiper.tick(now, rng)
+        };
+        for (to, g) in out {
+            ctx.send(to, Msg::Gossip(g));
+        }
+        self.process_membership(ctx);
+        ctx.set_timer(self.cfg.gossip.interval_us, tk(TK_GOSSIP, 0));
+    }
+}
+
+impl Process<Msg> for StorageNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Make sure the local ring at least contains this node, so a
+        // single-node deployment serves requests before any gossip.
+        self.refresh_ring(ctx);
+        // Stagger the first gossip round a little to avoid lockstep.
+        let jitter = ctx.rng().range_u64(0, self.cfg.gossip.interval_us / 4 + 1);
+        ctx.set_timer(self.cfg.gossip.interval_us / 4 + jitter, tk(TK_GOSSIP, 0));
+        ctx.set_timer(self.cfg.hint_replay_interval_us, tk(TK_HINT_REPLAY, 0));
+        if self.cfg.compaction_interval_us > 0 {
+            ctx.set_timer(self.cfg.compaction_interval_us, tk(TK_REAP, 0));
+        }
+        if self.cfg.anti_entropy_interval_us > 0 {
+            // Stagger the first round so nodes don't sync in lockstep.
+            let jitter = ctx.rng().range_u64(0, self.cfg.anti_entropy_interval_us / 2 + 1);
+            ctx.set_timer(self.cfg.anti_entropy_interval_us / 2 + jitter, tk(TK_ANTI_ENTROPY, 0));
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+        // A restart is a new boot generation (paper's bootGeneration field):
+        // peers see the bump and reset our state, clearing any long-failure
+        // declaration.
+        self.generation += 1;
+        self.gossiper = Gossiper::new(self.id(), self.generation, self.cfg.gossip.clone());
+        self.pending_puts.clear();
+        self.pending_gets.clear();
+        self.hint_acks.clear();
+        self.on_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        // The runtime samples at most one per-operation fault (Table 2);
+        // replica-level storage ops interpret it below.
+        let fault = ctx.take_op_fault();
+        match msg {
+            Msg::Put { req, key, value, delete } => {
+                if fault == Some(OpFault::NetworkException) {
+                    return; // request lost on the wire; caller times out
+                }
+                self.start_put(ctx, from, req, key, value, delete);
+            }
+            Msg::Get { req, key } => {
+                if fault == Some(OpFault::NetworkException) {
+                    return;
+                }
+                self.start_get(ctx, from, req, key);
+            }
+            Msg::StoreReplica { req, record } => {
+                self.on_store_replica(ctx, from, req, record, fault)
+            }
+            Msg::StoreAck { req, ok } => self.on_store_ack(ctx, from, req, ok),
+            Msg::FetchReplica { req, key } => self.on_fetch_replica(ctx, from, req, key, fault),
+            Msg::FetchAck { req, found, ok } => self.on_fetch_ack(ctx, from, req, found, ok),
+            Msg::StoreHint { req, intended, record } => {
+                self.on_store_hint(ctx, from, req, intended, record, fault)
+            }
+            Msg::SyncDigest { entries } => self.on_sync_digest(ctx, from, entries),
+            Msg::SyncRecords { records } => {
+                for record in records {
+                    ctx.consume(self.cfg.cost.put_us(record.val.len()));
+                    if self.db.put_record(&self.cfg.collection, &record).unwrap_or(false) {
+                        self.stats.anti_entropy_received += 1;
+                        ctx.record("anti_entropy_repair", 1.0);
+                    }
+                }
+            }
+            Msg::TransferRecords { records } => {
+                for record in records {
+                    ctx.consume(self.cfg.cost.put_us(record.val.len()));
+                    let _ = self.db.put_record(&self.cfg.collection, &record);
+                }
+            }
+            Msg::Gossip(g) => {
+                ctx.consume(self.cfg.cost.gossip_us);
+                let now = ctx.now();
+                if let Some((to, reply)) = self.gossiper.handle(now, from, g) {
+                    ctx.send(to, Msg::Gossip(reply));
+                }
+                self.process_membership(ctx);
+            }
+            // REST/cache traffic does not terminate here.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
+        let (kind, req) = tk_split(token);
+        match kind {
+            TK_GOSSIP => self.gossip_tick(ctx),
+            TK_HINT_REPLAY => {
+                self.replay_hints(ctx);
+                ctx.set_timer(self.cfg.hint_replay_interval_us, tk(TK_HINT_REPLAY, 0));
+            }
+            TK_REAP => {
+                // Deferred reclamation of logical deletes (§3.3): physically
+                // drop tombstones old enough that no repair can resurrect
+                // their keys.
+                let now_us = ctx.now().as_micros();
+                let cutoff = mystore_engine::pack_version(
+                    now_us.saturating_sub(self.cfg.tombstone_grace_us),
+                    0,
+                );
+                if let Ok(reaped) = self.db.reap_tombstones(&self.cfg.collection, cutoff) {
+                    if reaped > 0 {
+                        ctx.record("tombstones_reaped", reaped as f64);
+                    }
+                }
+                ctx.set_timer(self.cfg.compaction_interval_us, tk(TK_REAP, 0));
+            }
+            TK_ANTI_ENTROPY => {
+                self.anti_entropy_round(ctx);
+                ctx.set_timer(self.cfg.anti_entropy_interval_us, tk(TK_ANTI_ENTROPY, 0));
+            }
+            TK_PUT_SOFT => self.on_put_soft_timeout(ctx, req),
+            TK_PUT_HARD => self.on_put_hard_timeout(ctx, req),
+            TK_GET_HARD => self.on_get_hard_timeout(ctx, req),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Test and experiment utilities.
+//!
+//! [`Probe`] is a scripted client process: it injects messages into the
+//! cluster at chosen virtual times and records every response it receives.
+//! Integration tests, examples, and the experiment harness all use it to
+//! observe the cluster from the outside.
+
+use mystore_net::{Context, NodeId, Process, SimTime, TimerToken};
+
+use crate::message::Msg;
+
+/// A scripted client: sends each `(at_us, target, message)` entry at its
+/// time and collects responses.
+pub struct Probe {
+    script: Vec<(u64, NodeId, Option<Msg>)>,
+    /// Responses received, with arrival times.
+    pub responses: Vec<(SimTime, NodeId, Msg)>,
+}
+
+impl Probe {
+    /// Creates a probe with a fixed script.
+    pub fn new(script: Vec<(u64, NodeId, Msg)>) -> Self {
+        Probe {
+            script: script.into_iter().map(|(t, n, m)| (t, n, Some(m))).collect(),
+            responses: Vec::new(),
+        }
+    }
+
+    /// Number of responses whose payload satisfies `pred`.
+    pub fn count_where(&self, pred: impl Fn(&Msg) -> bool) -> usize {
+        self.responses.iter().filter(|(_, _, m)| pred(m)).count()
+    }
+
+    /// The response matching a correlation id, if any (checks the common
+    /// response variants).
+    pub fn response_for(&self, req: u64) -> Option<&Msg> {
+        self.responses.iter().map(|(_, _, m)| m).find(|m| match m {
+            Msg::GetResp { req: r, .. }
+            | Msg::PutResp { req: r, .. }
+            | Msg::TokenResp { req: r, .. }
+            | Msg::CacheGetResp { req: r, .. } => *r == req,
+            Msg::RestResp(resp) => resp.req == req,
+            _ => false,
+        })
+    }
+}
+
+impl Process<Msg> for Probe {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        for (i, (at, _, _)) in self.script.iter().enumerate() {
+            ctx.set_timer(*at, i as TimerToken);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        self.responses.push((ctx.now(), from, msg));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
+        if let Some((_, target, slot)) = self.script.get_mut(token as usize) {
+            if let Some(msg) = slot.take() {
+                ctx.send(*target, msg);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CostModel;
+    use crate::cache_node::CacheNode;
+    use mystore_net::{NetConfig, NodeConfig, Sim, SimConfig};
+
+    #[test]
+    fn probe_sends_script_and_collects_responses() {
+        let mut sim: Sim<Msg> = Sim::new(SimConfig {
+            net: NetConfig::instant(),
+            faults: Default::default(),
+            seed: 1,
+        });
+        let cache =
+            sim.add_node(CacheNode::new(1 << 16, CostModel::default()), NodeConfig::default());
+        let probe = sim.add_node(
+            Probe::new(vec![
+                (10, cache, Msg::CachePut { key: "k".into(), value: vec![9] }),
+                (20, cache, Msg::CacheGet { req: 77, key: "k".into() }),
+            ]),
+            NodeConfig::default(),
+        );
+        sim.start();
+        sim.run_for(1_000_000);
+        let p = sim.process::<Probe>(probe).unwrap();
+        assert_eq!(p.responses.len(), 1);
+        match p.response_for(77) {
+            Some(Msg::CacheGetResp { value: Some(v), .. }) => assert_eq!(v, &vec![9]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(p.count_where(|m| matches!(m, Msg::CacheGetResp { .. })), 1);
+    }
+}

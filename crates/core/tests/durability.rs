@@ -1,0 +1,91 @@
+//! Durable nodes: a threaded cluster with `data_dir` set recovers its
+//! records across a full process-model restart.
+
+use std::time::Duration;
+
+use mystore_core::prelude::*;
+use mystore_gossip::GossipConfig;
+use mystore_net::{NodeId, ThreadedClusterBuilder, ThreadedConfig};
+
+fn gossip() -> GossipConfig {
+    GossipConfig {
+        interval_us: 40_000,
+        fail_after_us: 400_000,
+        remove_after_us: 5_000_000,
+        seeds: vec![NodeId(0)],
+        extra_fanout: 1,
+    }
+}
+
+fn build(dir: &std::path::Path) -> mystore_net::ThreadedCluster<Msg> {
+    let mut builder = ThreadedClusterBuilder::new(ThreadedConfig::default());
+    for i in 0..3u32 {
+        let cfg = StorageConfig {
+            gossip: gossip(),
+            vnodes: 32,
+            replica_timeout_us: 100_000,
+            request_deadline_us: 3_000_000,
+            data_dir: Some(dir.to_path_buf()),
+            ..StorageConfig::default()
+        };
+        builder = builder.add_node(StorageNode::new(NodeId(i), cfg));
+    }
+    builder.build()
+}
+
+#[test]
+fn durable_cluster_recovers_after_restart() {
+    let dir = std::env::temp_dir().join(format!("mystore-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- first life: write a handful of records -------------------------
+    {
+        let cluster = build(&dir);
+        std::thread::sleep(Duration::from_millis(400));
+        for i in 0..8u64 {
+            cluster.send(
+                NodeId((i % 3) as u32),
+                Msg::Put { req: i, key: format!("durable-{i}"), value: vec![i as u8; 32], delete: false },
+            );
+        }
+        let mut acks = 0;
+        while acks < 8 {
+            match cluster.recv_timeout(Duration::from_secs(5)) {
+                Some((_, Msg::PutResp { result: Ok(()), .. })) => acks += 1,
+                Some((_, Msg::PutResp { result: Err(e), .. })) => panic!("write failed: {e}"),
+                Some(_) => {}
+                None => panic!("timed out at {acks}/8"),
+            }
+        }
+        cluster.shutdown();
+    }
+    // WAL files exist.
+    for i in 0..3 {
+        let p = dir.join(format!("node{i}.wal"));
+        assert!(p.exists(), "missing {p:?}");
+        assert!(std::fs::metadata(&p).unwrap().len() > 0);
+    }
+
+    // --- second life: everything is readable again ----------------------
+    {
+        let cluster = build(&dir);
+        std::thread::sleep(Duration::from_millis(400));
+        for i in 0..8u64 {
+            cluster.send(NodeId(((i + 1) % 3) as u32), Msg::Get { req: 100 + i, key: format!("durable-{i}") });
+        }
+        let mut got = 0;
+        while got < 8 {
+            match cluster.recv_timeout(Duration::from_secs(5)) {
+                Some((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
+                    assert_eq!(v, vec![(req - 100) as u8; 32]);
+                    got += 1;
+                }
+                Some((_, Msg::GetResp { result, .. })) => panic!("read lost data: {result:?}"),
+                Some(_) => {}
+                None => panic!("timed out at {got}/8 reads"),
+            }
+        }
+        cluster.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

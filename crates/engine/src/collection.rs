@@ -1,0 +1,447 @@
+//! Collections: ordered documents + secondary indexes + a small query
+//! planner.
+//!
+//! A collection is the engine's in-memory working set for one namespace;
+//! durability is layered on by [`crate::db::Db`], which logs every mutation
+//! to the WAL before calling into the collection.
+
+use std::collections::BTreeMap;
+
+use mystore_bson::{Document, ObjectId, Value};
+
+use crate::error::{EngineError, Result};
+use crate::index::Index;
+use crate::query::filter::Filter;
+use crate::query::update::Update;
+
+/// Options for `find`.
+#[derive(Debug, Clone, Default)]
+pub struct FindOptions {
+    /// Sort keys applied lexicographically; `true` = ascending.
+    pub sort: Vec<(String, bool)>,
+    /// Skip the first `skip` results (after sort).
+    pub skip: usize,
+    /// Return at most `limit` results.
+    pub limit: Option<usize>,
+    /// If set, project only these fields (plus `_id`).
+    pub projection: Option<Vec<String>>,
+}
+
+impl FindOptions {
+    /// Adds an ascending sort key (keys compose lexicographically).
+    pub fn sort_asc(mut self, field: impl Into<String>) -> Self {
+        self.sort.push((field.into(), true));
+        self
+    }
+
+    /// Adds a descending sort key.
+    pub fn sort_desc(mut self, field: impl Into<String>) -> Self {
+        self.sort.push((field.into(), false));
+        self
+    }
+
+    /// Skips `n` results.
+    pub fn skip(mut self, n: usize) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Caps the result count.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Projects the given fields (plus `_id`).
+    pub fn project(mut self, fields: Vec<String>) -> Self {
+        self.projection = Some(fields);
+        self
+    }
+}
+
+/// How a `find` was executed (exposed for tests and tuning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explain {
+    /// Name of the index used, if any.
+    pub used_index: Option<String>,
+    /// Documents fetched and tested against the filter.
+    pub scanned: usize,
+}
+
+/// An in-memory collection with secondary indexes.
+#[derive(Debug, Default, Clone)]
+pub struct Collection {
+    docs: BTreeMap<ObjectId, Document>,
+    indexes: Vec<Index>,
+    /// Total payload bytes (approximate, for stats).
+    bytes: usize,
+}
+
+impl Collection {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Collection::default()
+    }
+
+    /// Number of documents (including tombstones).
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Approximate resident bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Names of indexed fields.
+    pub fn index_fields(&self) -> Vec<&str> {
+        self.indexes.iter().map(|i| i.field()).collect()
+    }
+
+    /// Creates a single-field index and backfills it.
+    pub fn create_index(&mut self, field: &str) -> Result<()> {
+        if self.indexes.iter().any(|i| i.field() == field) {
+            return Err(EngineError::IndexExists(field.to_string()));
+        }
+        let mut idx = Index::new(field);
+        for (id, doc) in &self.docs {
+            idx.insert(*id, doc);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Inserts a document. A missing `_id` gets a fresh [`ObjectId`];
+    /// duplicate `_id`s are rejected.
+    pub fn insert(&mut self, mut doc: Document) -> Result<ObjectId> {
+        let id = match doc.get_object_id("_id") {
+            Some(id) => id,
+            None => {
+                let id = ObjectId::new();
+                // _id leads the document, like MongoDB.
+                let mut fresh = Document::with_capacity(doc.len() + 1);
+                fresh.insert("_id", Value::ObjectId(id));
+                for (k, v) in std::mem::take(&mut doc).into_iter() {
+                    fresh.insert(k, v);
+                }
+                doc = fresh;
+                id
+            }
+        };
+        if self.docs.contains_key(&id) {
+            return Err(EngineError::DuplicateId(id.to_hex()));
+        }
+        for idx in &mut self.indexes {
+            idx.insert(id, &doc);
+        }
+        self.bytes += doc.encoded_size();
+        self.docs.insert(id, doc);
+        Ok(id)
+    }
+
+    /// Fetches by primary key.
+    pub fn get(&self, id: ObjectId) -> Option<&Document> {
+        self.docs.get(&id)
+    }
+
+    /// Applies an update to the document with `id`.
+    pub fn update_by_id(&mut self, id: ObjectId, update: &Update) -> Result<()> {
+        let doc = self.docs.get(&id).ok_or(EngineError::NotFound)?.clone();
+        let mut new_doc = doc.clone();
+        update.apply(&mut new_doc)?;
+        self.replace_internal(id, doc, new_doc);
+        Ok(())
+    }
+
+    /// Replaces the document with `id` wholesale (after-image apply, used by
+    /// WAL recovery and replication).
+    pub fn put_after_image(&mut self, id: ObjectId, new_doc: Document) {
+        match self.docs.get(&id).cloned() {
+            Some(old) => self.replace_internal(id, old, new_doc),
+            None => {
+                for idx in &mut self.indexes {
+                    idx.insert(id, &new_doc);
+                }
+                self.bytes += new_doc.encoded_size();
+                self.docs.insert(id, new_doc);
+            }
+        }
+    }
+
+    fn replace_internal(&mut self, id: ObjectId, old: Document, new: Document) {
+        for idx in &mut self.indexes {
+            idx.remove(id, &old);
+            idx.insert(id, &new);
+        }
+        self.bytes = self.bytes + new.encoded_size() - old.encoded_size().min(self.bytes);
+        self.docs.insert(id, new);
+    }
+
+    /// Physically removes the document (compaction / reaper path; user
+    /// deletes are logical via `isDel`).
+    pub fn remove(&mut self, id: ObjectId) -> Result<Document> {
+        let doc = self.docs.remove(&id).ok_or(EngineError::NotFound)?;
+        for idx in &mut self.indexes {
+            idx.remove(id, &doc);
+        }
+        self.bytes = self.bytes.saturating_sub(doc.encoded_size());
+        Ok(doc)
+    }
+
+    /// Runs a query, returning matching documents.
+    pub fn find(&self, filter: &Filter, opts: &FindOptions) -> Vec<Document> {
+        self.find_explain(filter, opts).0
+    }
+
+    /// Like [`find`](Self::find) but also reports how the query ran.
+    pub fn find_explain(&self, filter: &Filter, opts: &FindOptions) -> (Vec<Document>, Explain) {
+        // Planner: point lookup > range scan > full scan.
+        let (candidates, used_index): (Vec<ObjectId>, Option<String>) = if let Some((field, value)) =
+            filter.index_point()
+        {
+            match self.indexes.iter().find(|i| i.field() == field) {
+                Some(idx) => (idx.lookup_eq(value), Some(field.to_string())),
+                None => (self.docs.keys().copied().collect(), None),
+            }
+        } else if let Some((field, lo, hi)) = filter.index_range() {
+            match self.indexes.iter().find(|i| i.field() == field) {
+                Some(idx) => (idx.lookup_range(lo, hi), Some(field.to_string())),
+                None => (self.docs.keys().copied().collect(), None),
+            }
+        } else {
+            (self.docs.keys().copied().collect(), None)
+        };
+
+        let scanned = candidates.len();
+        let mut hits: Vec<&Document> = candidates
+            .iter()
+            .filter_map(|id| self.docs.get(id))
+            .filter(|doc| filter.matches(doc))
+            .collect();
+
+        if !opts.sort.is_empty() {
+            hits.sort_by(|a, b| {
+                for (field, asc) in &opts.sort {
+                    let av = a.get_path(field).unwrap_or(&Value::Null);
+                    let bv = b.get_path(field).unwrap_or(&Value::Null);
+                    let ord = av.compare(bv);
+                    if ord != std::cmp::Ordering::Equal {
+                        return if *asc { ord } else { ord.reverse() };
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        let iter = hits.into_iter().skip(opts.skip);
+        let docs: Vec<Document> = match opts.limit {
+            Some(n) => iter.take(n).map(|d| self.apply_projection(d, opts)).collect(),
+            None => iter.map(|d| self.apply_projection(d, opts)).collect(),
+        };
+        (docs, Explain { used_index, scanned })
+    }
+
+    fn apply_projection(&self, doc: &Document, opts: &FindOptions) -> Document {
+        match &opts.projection {
+            None => doc.clone(),
+            Some(fields) => {
+                let mut out = Document::with_capacity(fields.len() + 1);
+                if let Some(id) = doc.get("_id") {
+                    out.insert("_id", id.clone());
+                }
+                for f in fields {
+                    if let Some(v) = doc.get_path(f) {
+                        out.insert(f.as_str(), v.clone());
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Distinct values of `field` among matching documents (array fields
+    /// contribute each element), in ascending value order.
+    pub fn distinct(&self, field: &str, filter: &Filter) -> Vec<Value> {
+        use crate::index::OrdValue;
+        let mut seen: std::collections::BTreeSet<OrdValue> = std::collections::BTreeSet::new();
+        for (_, doc) in self.docs.iter() {
+            if !filter.matches(doc) {
+                continue;
+            }
+            match doc.get_path(field) {
+                Some(Value::Array(items)) => {
+                    for v in items {
+                        seen.insert(OrdValue(v.clone()));
+                    }
+                }
+                Some(v) => {
+                    seen.insert(OrdValue(v.clone()));
+                }
+                None => {}
+            }
+        }
+        seen.into_iter().map(|o| o.0).collect()
+    }
+
+    /// Counts matching documents.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.docs.values().filter(|d| filter.matches(d)).count()
+    }
+
+    /// Iterates all documents in `_id` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectId, &Document)> {
+        self.docs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mystore_bson::doc;
+
+    fn coll_with(n: i32) -> Collection {
+        let mut c = Collection::new();
+        for i in 0..n {
+            c.insert(doc! { "k": format!("key{i}"), "n": i, "group": i % 3 }).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn insert_assigns_id_and_rejects_duplicates() {
+        let mut c = Collection::new();
+        let id = c.insert(doc! { "a": 1 }).unwrap();
+        let stored = c.get(id).unwrap();
+        assert_eq!(stored.get_object_id("_id"), Some(id));
+        assert_eq!(stored.keys().next().map(|s| s.as_str()), Some("_id"));
+        let dup = doc! { "_id": Value::ObjectId(id), "b": 2 };
+        assert!(matches!(c.insert(dup), Err(EngineError::DuplicateId(_))));
+    }
+
+    #[test]
+    fn find_with_filter_sort_skip_limit() {
+        let c = coll_with(10);
+        let f = Filter::parse(&doc! { "n": doc! { "$gte": 2 } }).unwrap();
+        let opts = FindOptions::default().sort_desc("n").skip(1).limit(3);
+        let out = c.find(&f, &opts);
+        let ns: Vec<i64> = out.iter().map(|d| d.get_i64("n").unwrap()).collect();
+        assert_eq!(ns, vec![8, 7, 6]);
+    }
+
+    #[test]
+    fn projection_keeps_id_and_selected_fields() {
+        let c = coll_with(1);
+        let out = c.find(
+            &Filter::True,
+            &FindOptions::default().project(vec!["n".to_string()]),
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].get("_id").is_some());
+        assert!(out[0].get("n").is_some());
+        assert!(out[0].get("k").is_none());
+    }
+
+    #[test]
+    fn point_query_uses_index() {
+        let mut c = coll_with(100);
+        c.create_index("k").unwrap();
+        let f = Filter::parse(&doc! { "k": "key42" }).unwrap();
+        let (out, explain) = c.find_explain(&f, &FindOptions::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(explain.used_index.as_deref(), Some("k"));
+        assert_eq!(explain.scanned, 1);
+    }
+
+    #[test]
+    fn range_query_uses_index() {
+        let mut c = coll_with(100);
+        c.create_index("n").unwrap();
+        let f = Filter::parse(&doc! { "n": doc! { "$gte": 10, "$lt": 20 } }).unwrap();
+        let (out, explain) = c.find_explain(&f, &FindOptions::default());
+        assert_eq!(out.len(), 10);
+        assert_eq!(explain.used_index.as_deref(), Some("n"));
+        assert_eq!(explain.scanned, 10);
+    }
+
+    #[test]
+    fn unindexed_query_full_scans() {
+        let c = coll_with(50);
+        let f = Filter::parse(&doc! { "k": "key7" }).unwrap();
+        let (out, explain) = c.find_explain(&f, &FindOptions::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(explain.used_index, None);
+        assert_eq!(explain.scanned, 50);
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut c = Collection::new();
+        c.create_index("k").unwrap();
+        let id = c.insert(doc! { "k": "old" }).unwrap();
+        let u = Update::parse(&doc! { "$set": doc! { "k": "new" } }).unwrap();
+        c.update_by_id(id, &u).unwrap();
+        let f_old = Filter::parse(&doc! { "k": "old" }).unwrap();
+        let f_new = Filter::parse(&doc! { "k": "new" }).unwrap();
+        let (hits_old, ex) = c.find_explain(&f_old, &FindOptions::default());
+        assert!(hits_old.is_empty());
+        assert_eq!(ex.scanned, 0, "index must not return the old key");
+        assert_eq!(c.find(&f_new, &FindOptions::default()).len(), 1);
+    }
+
+    #[test]
+    fn update_missing_doc_is_not_found() {
+        let mut c = Collection::new();
+        let u = Update::parse(&doc! { "$set": doc! { "x": 1 } }).unwrap();
+        assert!(matches!(
+            c.update_by_id(ObjectId::from_parts(0, 0, 0), &u),
+            Err(EngineError::NotFound)
+        ));
+    }
+
+    #[test]
+    fn remove_updates_indexes_and_bytes() {
+        let mut c = Collection::new();
+        c.create_index("k").unwrap();
+        let id = c.insert(doc! { "k": "x" }).unwrap();
+        let before = c.bytes();
+        assert!(before > 0);
+        c.remove(id).unwrap();
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.bytes(), 0);
+        let f = Filter::parse(&doc! { "k": "x" }).unwrap();
+        assert!(c.find(&f, &FindOptions::default()).is_empty());
+        assert!(matches!(c.remove(id), Err(EngineError::NotFound)));
+    }
+
+    #[test]
+    fn put_after_image_inserts_or_replaces() {
+        let mut c = Collection::new();
+        c.create_index("k").unwrap();
+        let id = ObjectId::from_parts(1, 1, 1);
+        c.put_after_image(id, doc! { "_id": Value::ObjectId(id), "k": "a" });
+        assert_eq!(c.len(), 1);
+        c.put_after_image(id, doc! { "_id": Value::ObjectId(id), "k": "b" });
+        assert_eq!(c.len(), 1);
+        let f = Filter::parse(&doc! { "k": "b" }).unwrap();
+        assert_eq!(c.find(&f, &FindOptions::default()).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut c = Collection::new();
+        c.create_index("k").unwrap();
+        assert!(matches!(c.create_index("k"), Err(EngineError::IndexExists(_))));
+    }
+
+    #[test]
+    fn count_matches_find() {
+        let c = coll_with(30);
+        let f = Filter::parse(&doc! { "group": 1 }).unwrap();
+        assert_eq!(c.count(&f), c.find(&f, &FindOptions::default()).len());
+    }
+}

@@ -1,0 +1,545 @@
+//! The database: named collections, write-ahead logging, crash recovery,
+//! compaction, and an oplog for replication.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use mystore_bson::{Document, ObjectId};
+
+use crate::collection::{Collection, Explain, FindOptions};
+use crate::error::{EngineError, Result};
+use crate::oplog::{OplogRing, WalOp};
+use crate::query::filter::Filter;
+use crate::query::update::Update;
+use crate::record::{Record, F_IS_DEL, F_SELF_KEY};
+use crate::wal::Wal;
+
+/// Engine version string, returned by [`Db::version`]. The paper's wrapped
+/// `Connect` tests liveness by querying the server version (§5.1 step 3);
+/// our pool does the same.
+pub const ENGINE_VERSION: &str = "mystore-engine 0.1.0 (mongolite)";
+
+/// Default capacity of the replication oplog ring.
+const OPLOG_CAPACITY: usize = 100_000;
+
+/// Aggregate statistics for a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbStats {
+    /// Number of collections.
+    pub collections: usize,
+    /// Total documents across collections (including tombstones).
+    pub documents: usize,
+    /// Approximate resident bytes.
+    pub bytes: usize,
+    /// Bytes appended to the WAL through this handle.
+    pub wal_bytes: u64,
+}
+
+/// A single-node document database.
+///
+/// All mutations are WAL-logged before being applied, so a crashed instance
+/// reopened from the same log recovers its exact state. Reads never touch
+/// the log.
+pub struct Db {
+    collections: BTreeMap<String, Collection>,
+    wal: Wal,
+    oplog: OplogRing,
+}
+
+impl Db {
+    /// Opens an empty in-memory database (used by simulated nodes).
+    pub fn memory() -> Self {
+        Db {
+            collections: BTreeMap::new(),
+            wal: Wal::memory(),
+            oplog: OplogRing::new(OPLOG_CAPACITY),
+        }
+    }
+
+    /// Opens a file-backed database, replaying any existing WAL at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let frames = Wal::read_frames_from(path.as_ref())?;
+        let wal = Wal::file(path)?;
+        let mut db =
+            Db { collections: BTreeMap::new(), wal, oplog: OplogRing::new(OPLOG_CAPACITY) };
+        for frame in frames {
+            let op = WalOp::decode_bytes(&frame)?;
+            db.apply_in_memory(&op)?;
+        }
+        Ok(db)
+    }
+
+    /// Engine version (the liveness probe used by the connection pool).
+    pub fn version(&self) -> &'static str {
+        ENGINE_VERSION
+    }
+
+    /// Collection names in sorted order.
+    pub fn collection_names(&self) -> Vec<&str> {
+        self.collections.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Read access to a collection.
+    pub fn collection(&self, name: &str) -> Result<&Collection> {
+        self.collections
+            .get(name)
+            .ok_or_else(|| EngineError::NoSuchCollection(name.to_string()))
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            collections: self.collections.len(),
+            documents: self.collections.values().map(Collection::len).sum(),
+            bytes: self.collections.values().map(Collection::bytes).sum(),
+            wal_bytes: self.wal.appended_bytes(),
+        }
+    }
+
+    // ---- replication --------------------------------------------------
+
+    /// Highest oplog sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.oplog.last_seq()
+    }
+
+    /// Ops after `seq` for a catching-up follower; `None` means the history
+    /// was evicted and the follower must full-resync via [`Db::full_dump`].
+    pub fn ops_since(&self, seq: u64) -> Option<Vec<(u64, WalOp)>> {
+        self.oplog.since(seq)
+    }
+
+    /// A full logical dump: every collection's indexes and documents as
+    /// insert ops (for follower bootstrap and compaction).
+    pub fn full_dump(&self) -> Vec<WalOp> {
+        let mut ops = Vec::new();
+        for (name, coll) in &self.collections {
+            for field in coll.index_fields() {
+                ops.push(WalOp::CreateIndex { coll: name.clone(), field: field.to_string() });
+            }
+            for (_, doc) in coll.iter() {
+                ops.push(WalOp::Insert { coll: name.clone(), doc: doc.clone() });
+            }
+        }
+        ops
+    }
+
+    /// Applies a replicated/migrated op, logging it locally as well.
+    pub fn apply(&mut self, op: &WalOp) -> Result<()> {
+        self.log_and_apply(op.clone()).map(|_| ())
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    fn log_and_apply(&mut self, op: WalOp) -> Result<u64> {
+        self.wal.append(&op.encode_bytes())?;
+        self.apply_in_memory(&op)?;
+        Ok(self.oplog.push(op))
+    }
+
+    /// Applies an op to memory without logging (recovery path).
+    fn apply_in_memory(&mut self, op: &WalOp) -> Result<()> {
+        let coll = self.collections.entry(op.collection().to_string()).or_default();
+        match op {
+            WalOp::Insert { doc, .. } => {
+                coll.insert(doc.clone())?;
+            }
+            WalOp::Update { id, doc, .. } => {
+                coll.put_after_image(*id, doc.clone());
+            }
+            WalOp::Remove { id, .. } => {
+                coll.remove(*id)?;
+            }
+            WalOp::CreateIndex { field, .. } => {
+                coll.create_index(field)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Db {
+    /// Inserts `doc` into `coll` (created on first use). Returns the `_id`.
+    pub fn insert_doc(&mut self, coll: &str, mut doc: Document) -> Result<ObjectId> {
+        use mystore_bson::Value;
+        let id = match doc.get_object_id("_id") {
+            Some(id) => id,
+            None => {
+                let id = ObjectId::new();
+                let mut fresh = Document::with_capacity(doc.len() + 1);
+                fresh.insert("_id", Value::ObjectId(id));
+                for (k, v) in std::mem::take(&mut doc).into_iter() {
+                    fresh.insert(k, v);
+                }
+                doc = fresh;
+                id
+            }
+        };
+        if let Some(c) = self.collections.get(coll) {
+            if c.get(id).is_some() {
+                return Err(EngineError::DuplicateId(id.to_hex()));
+            }
+        }
+        self.log_and_apply(WalOp::Insert { coll: coll.to_string(), doc })?;
+        Ok(id)
+    }
+
+    /// Applies an update to the document with `id` in `coll`.
+    pub fn update_by_id(&mut self, coll: &str, id: ObjectId, update: &Update) -> Result<()> {
+        let c = self.collection(coll)?;
+        let mut after = c.get(id).ok_or(EngineError::NotFound)?.clone();
+        update.apply(&mut after)?;
+        self.log_and_apply(WalOp::Update { coll: coll.to_string(), id, doc: after })?;
+        Ok(())
+    }
+
+    /// Applies an update to every document matching `filter`; returns the
+    /// number updated.
+    pub fn update_many(&mut self, coll: &str, filter: &Filter, update: &Update) -> Result<usize> {
+        let c = self.collection(coll)?;
+        let ids: Vec<ObjectId> = c
+            .iter()
+            .filter(|(_, d)| filter.matches(d))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &ids {
+            self.update_by_id(coll, *id, update)?;
+        }
+        Ok(ids.len())
+    }
+
+    /// Replaces a document wholesale (upsert semantics: inserts if absent).
+    pub fn put_after_image(&mut self, coll: &str, id: ObjectId, doc: Document) -> Result<()> {
+        self.log_and_apply(WalOp::Update { coll: coll.to_string(), id, doc })?;
+        Ok(())
+    }
+
+    /// Physically removes a document (compaction/reaper path).
+    pub fn remove(&mut self, coll: &str, id: ObjectId) -> Result<()> {
+        // Validate first so a failed remove doesn't pollute the log.
+        if self.collection(coll)?.get(id).is_none() {
+            return Err(EngineError::NotFound);
+        }
+        self.log_and_apply(WalOp::Remove { coll: coll.to_string(), id })?;
+        Ok(())
+    }
+
+    /// Creates a single-field index on `coll` (collection created if absent).
+    pub fn create_index(&mut self, coll: &str, field: &str) -> Result<()> {
+        if let Some(c) = self.collections.get(coll) {
+            if c.index_fields().contains(&field) {
+                return Err(EngineError::IndexExists(field.to_string()));
+            }
+        }
+        self.log_and_apply(WalOp::CreateIndex {
+            coll: coll.to_string(),
+            field: field.to_string(),
+        })?;
+        Ok(())
+    }
+
+    // ---- reads ---------------------------------------------------------
+
+    /// Runs a query against `coll`.
+    pub fn find(&self, coll: &str, filter: &Filter, opts: &FindOptions) -> Result<Vec<Document>> {
+        Ok(self.collection(coll)?.find(filter, opts))
+    }
+
+    /// Like [`Db::find`] but also returns the execution report.
+    pub fn find_explain(
+        &self,
+        coll: &str,
+        filter: &Filter,
+        opts: &FindOptions,
+    ) -> Result<(Vec<Document>, Explain)> {
+        Ok(self.collection(coll)?.find_explain(filter, opts))
+    }
+
+    /// First match, if any.
+    pub fn find_one(&self, coll: &str, filter: &Filter) -> Result<Option<Document>> {
+        Ok(self
+            .collection(coll)?
+            .find(filter, &FindOptions::default().limit(1))
+            .into_iter()
+            .next())
+    }
+
+    /// Count of matches.
+    pub fn count(&self, coll: &str, filter: &Filter) -> Result<usize> {
+        Ok(self.collection(coll)?.count(filter))
+    }
+
+    /// Fetch by primary key.
+    pub fn get(&self, coll: &str, id: ObjectId) -> Result<Option<Document>> {
+        Ok(self.collection(coll)?.get(id).cloned())
+    }
+
+    /// Distinct values of `field` among matching documents.
+    pub fn distinct(
+        &self,
+        coll: &str,
+        field: &str,
+        filter: &Filter,
+    ) -> Result<Vec<mystore_bson::Value>> {
+        Ok(self.collection(coll)?.distinct(field, filter))
+    }
+
+    /// Grouped aggregation over matching documents (see
+    /// [`mod@crate::query::aggregate`]).
+    pub fn aggregate(
+        &self,
+        coll: &str,
+        filter: &Filter,
+        spec: &crate::query::GroupSpec,
+    ) -> Result<Vec<Document>> {
+        let c = self.collection(coll)?;
+        crate::query::aggregate(c.iter().map(|(_, d)| d), filter, spec)
+    }
+
+    // ---- record-level helpers (MyStore layout) -------------------------
+
+    /// Stores a [`Record`] with LWW semantics: an existing record under the
+    /// same `self-key` is replaced only by a strictly newer version.
+    /// Returns `true` if the write took effect.
+    pub fn put_record(&mut self, coll: &str, record: &Record) -> Result<bool> {
+        let existing = self.get_record(coll, &record.self_key)?;
+        match existing {
+            Some(old) if !record.wins_over(&old) => Ok(false),
+            Some(old) => {
+                self.put_after_image(coll, old.id, {
+                    let mut d = record.to_document();
+                    // Keep the incumbent _id stable across updates.
+                    d.insert("_id", mystore_bson::Value::ObjectId(old.id));
+                    d
+                })?;
+                Ok(true)
+            }
+            None => {
+                self.insert_doc(coll, record.to_document())?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Fetches the record stored under `self_key` (tombstones included).
+    pub fn get_record(&self, coll: &str, self_key: &str) -> Result<Option<Record>> {
+        let c = match self.collections.get(coll) {
+            Some(c) => c,
+            None => return Ok(None),
+        };
+        let filter = Filter::Eq(F_SELF_KEY.to_string(), self_key.into());
+        let hit = c.find(&filter, &FindOptions::default().limit(1)).into_iter().next();
+        hit.map(|d| Record::from_document(&d)).transpose()
+    }
+
+    // ---- maintenance ----------------------------------------------------
+
+    /// Physically removes tombstones (`isDel = "1"`) in `coll` whose LWW
+    /// version is strictly below `older_than_version` — the deferred
+    /// reclamation of §3.3's logical deletes. The caller chooses a cutoff
+    /// comfortably older than any in-flight repair/hint window, or a
+    /// purged key could be resurrected by a stale replica.
+    pub fn reap_tombstones(&mut self, coll: &str, older_than_version: u64) -> Result<usize> {
+        let Some(c) = self.collections.get(coll) else { return Ok(0) };
+        let victims: Vec<ObjectId> = c
+            .iter()
+            .filter(|(_, d)| {
+                d.get_str(F_IS_DEL) == Some("1")
+                    && matches!(d.get(crate::record::F_VERSION),
+                        Some(mystore_bson::Value::Timestamp(v)) if *v < older_than_version)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        let n = victims.len();
+        for id in victims {
+            self.remove(coll, id)?;
+        }
+        Ok(n)
+    }
+
+    /// Rewrites the WAL to the minimal logical dump. With
+    /// `purge_tombstones`, records flagged `isDel = "1"` are physically
+    /// dropped (the paper's deferred reclamation of logical deletes).
+    pub fn compact(&mut self, purge_tombstones: bool) -> Result<usize> {
+        let mut purged = 0usize;
+        if purge_tombstones {
+            let targets: Vec<(String, ObjectId)> = self
+                .collections
+                .iter()
+                .flat_map(|(name, coll)| {
+                    coll.iter()
+                        .filter(|(_, d)| d.get_str(F_IS_DEL) == Some("1"))
+                        .map(|(id, _)| (name.clone(), *id))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            for (coll, id) in targets {
+                // Remove directly from memory; the rewrite below persists it.
+                if let Some(c) = self.collections.get_mut(&coll) {
+                    let _ = c.remove(id);
+                    purged += 1;
+                }
+            }
+        }
+        let frames: Vec<Vec<u8>> = self.full_dump().iter().map(WalOp::encode_bytes).collect();
+        self.wal.rewrite(&frames)?;
+        Ok(purged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::pack_version;
+    use mystore_bson::{doc, Value};
+
+    #[test]
+    fn insert_find_update_remove_cycle() {
+        let mut db = Db::memory();
+        let id = db.insert_doc("data", doc! { "k": "a", "n": 1 }).unwrap();
+        assert_eq!(db.count("data", &Filter::True).unwrap(), 1);
+        let u = Update::parse(&doc! { "$inc": doc! { "n": 1 } }).unwrap();
+        db.update_by_id("data", id, &u).unwrap();
+        assert_eq!(db.get("data", id).unwrap().unwrap().get_i64("n"), Some(2));
+        db.remove("data", id).unwrap();
+        assert_eq!(db.count("data", &Filter::True).unwrap(), 0);
+        assert!(db.remove("data", id).is_err());
+    }
+
+    #[test]
+    fn unknown_collection_errors() {
+        let db = Db::memory();
+        assert!(matches!(
+            db.find("nope", &Filter::True, &FindOptions::default()),
+            Err(EngineError::NoSuchCollection(_))
+        ));
+    }
+
+    #[test]
+    fn update_many_counts() {
+        let mut db = Db::memory();
+        for i in 0..10 {
+            db.insert_doc("d", doc! { "g": i % 2, "n": 0 }).unwrap();
+        }
+        let f = Filter::parse(&doc! { "g": 0 }).unwrap();
+        let u = Update::parse(&doc! { "$set": doc! { "n": 9 } }).unwrap();
+        assert_eq!(db.update_many("d", &f, &u).unwrap(), 5);
+        let g = Filter::parse(&doc! { "n": 9 }).unwrap();
+        assert_eq!(db.count("d", &g).unwrap(), 5);
+    }
+
+    #[test]
+    fn crash_recovery_replays_wal() {
+        let dir = std::env::temp_dir().join(format!("mystore-db-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("recover.wal");
+        let _ = std::fs::remove_file(&path);
+        let id;
+        {
+            let mut db = Db::open(&path).unwrap();
+            db.create_index("d", "self-key").unwrap();
+            id = db.insert_doc("d", doc! { "self-key": "k1", "v": 1 }).unwrap();
+            db.insert_doc("d", doc! { "self-key": "k2", "v": 2 }).unwrap();
+            let u = Update::parse(&doc! { "$set": doc! { "v": 10 } }).unwrap();
+            db.update_by_id("d", id, &u).unwrap();
+            // db dropped without any shutdown handshake = crash.
+        }
+        let db = Db::open(&path).unwrap();
+        assert_eq!(db.count("d", &Filter::True).unwrap(), 2);
+        assert_eq!(db.get("d", id).unwrap().unwrap().get_i64("v"), Some(10));
+        // Index survived and is used.
+        let f = Filter::parse(&doc! { "self-key": "k2" }).unwrap();
+        let (_, explain) = db.find_explain("d", &f, &FindOptions::default()).unwrap();
+        assert_eq!(explain.used_index.as_deref(), Some("self-key"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn record_lww_semantics() {
+        let mut db = Db::memory();
+        let r1 = Record::new(ObjectId::from_parts(1, 1, 1), "key", vec![1], pack_version(10, 0));
+        let r2 = Record::new(ObjectId::from_parts(1, 1, 2), "key", vec![2], pack_version(20, 0));
+        assert!(db.put_record("data", &r1).unwrap());
+        assert!(db.put_record("data", &r2).unwrap());
+        // Stale write is rejected.
+        assert!(!db.put_record("data", &r1).unwrap());
+        let got = db.get_record("data", "key").unwrap().unwrap();
+        assert_eq!(got.val, vec![2]);
+        // _id remains the original insert's.
+        assert_eq!(got.id, ObjectId::from_parts(1, 1, 1));
+        // Only one physical document for the key.
+        assert_eq!(db.count("data", &Filter::True).unwrap(), 1);
+    }
+
+    #[test]
+    fn tombstone_then_compact_purges() {
+        let mut db = Db::memory();
+        let live = Record::new(ObjectId::from_parts(1, 1, 1), "keep", vec![1], 1);
+        let dead = Record::tombstone(ObjectId::from_parts(1, 1, 2), "gone", 2);
+        db.put_record("data", &live).unwrap();
+        db.put_record("data", &dead).unwrap();
+        assert_eq!(db.count("data", &Filter::True).unwrap(), 2);
+        let purged = db.compact(true).unwrap();
+        assert_eq!(purged, 1);
+        assert_eq!(db.count("data", &Filter::True).unwrap(), 1);
+        assert!(db.get_record("data", "gone").unwrap().is_none());
+        assert!(db.get_record("data", "keep").unwrap().is_some());
+    }
+
+    #[test]
+    fn oplog_feeds_follower() {
+        let mut master = Db::memory();
+        let mut slave = Db::memory();
+        master.create_index("d", "self-key").unwrap();
+        for i in 0..5 {
+            master.insert_doc("d", doc! { "self-key": format!("k{i}"), "v": i }).unwrap();
+        }
+        // Follower applies everything since 0.
+        for (_, op) in master.ops_since(0).unwrap() {
+            slave.apply(&op).unwrap();
+        }
+        assert_eq!(slave.count("d", &Filter::True).unwrap(), 5);
+        assert_eq!(slave.last_seq(), master.last_seq());
+        // Incremental catch-up.
+        let mark = slave.last_seq();
+        master.insert_doc("d", doc! { "self-key": "k9", "v": 9 }).unwrap();
+        let tail = master.ops_since(mark).unwrap();
+        assert_eq!(tail.len(), 1);
+        for (_, op) in tail {
+            slave.apply(&op).unwrap();
+        }
+        assert_eq!(slave.count("d", &Filter::True).unwrap(), 6);
+    }
+
+    #[test]
+    fn full_dump_bootstraps_empty_follower() {
+        let mut master = Db::memory();
+        master.create_index("d", "self-key").unwrap();
+        for i in 0..4 {
+            master.insert_doc("d", doc! { "self-key": format!("k{i}") }).unwrap();
+        }
+        let mut follower = Db::memory();
+        for op in master.full_dump() {
+            follower.apply(&op).unwrap();
+        }
+        assert_eq!(follower.count("d", &Filter::True).unwrap(), 4);
+        assert_eq!(follower.collection("d").unwrap().index_fields(), vec!["self-key"]);
+    }
+
+    #[test]
+    fn stats_track_sizes() {
+        let mut db = Db::memory();
+        db.insert_doc("a", doc! { "x": Value::Binary(vec![0u8; 1000]) }).unwrap();
+        db.insert_doc("b", doc! { "y": 1 }).unwrap();
+        let s = db.stats();
+        assert_eq!(s.collections, 2);
+        assert_eq!(s.documents, 2);
+        assert!(s.bytes > 1000);
+        assert!(s.wal_bytes > 1000);
+    }
+
+    #[test]
+    fn version_is_exposed() {
+        assert!(Db::memory().version().contains("mystore-engine"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Logical operations: the unit of both WAL frames and replication.
+//!
+//! Every mutation the engine performs is described by a [`WalOp`], encoded
+//! as a BSON document. The same encoding serves three purposes:
+//!
+//! 1. WAL frames (durability + crash recovery),
+//! 2. the in-memory **oplog** ring that a master ships to slaves
+//!    (the paper's baseline "simple master/slave mechanism", §2),
+//! 3. anti-entropy transfers during MyStore migration.
+
+use std::collections::VecDeque;
+
+use mystore_bson::{doc, Document, ObjectId, Value};
+
+use crate::error::{EngineError, Result};
+
+/// A logical engine operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Insert a complete document.
+    Insert {
+        /// Collection name.
+        coll: String,
+        /// The full document (with `_id`).
+        doc: Document,
+    },
+    /// Replace a document with its after-image.
+    Update {
+        /// Collection name.
+        coll: String,
+        /// Primary key.
+        id: ObjectId,
+        /// The complete new document.
+        doc: Document,
+    },
+    /// Physically remove a document.
+    Remove {
+        /// Collection name.
+        coll: String,
+        /// Primary key.
+        id: ObjectId,
+    },
+    /// Create a single-field index.
+    CreateIndex {
+        /// Collection name.
+        coll: String,
+        /// Indexed field path.
+        field: String,
+    },
+}
+
+impl WalOp {
+    /// The collection this op touches.
+    pub fn collection(&self) -> &str {
+        match self {
+            WalOp::Insert { coll, .. }
+            | WalOp::Update { coll, .. }
+            | WalOp::Remove { coll, .. }
+            | WalOp::CreateIndex { coll, .. } => coll,
+        }
+    }
+
+    /// Encodes to a BSON document (`o`: op code, `c`: collection, ...).
+    pub fn encode(&self) -> Document {
+        match self {
+            WalOp::Insert { coll, doc } => doc! {
+                "o": "i", "c": coll.as_str(), "d": doc.clone(),
+            },
+            WalOp::Update { coll, id, doc } => doc! {
+                "o": "u", "c": coll.as_str(), "id": Value::ObjectId(*id), "d": doc.clone(),
+            },
+            WalOp::Remove { coll, id } => doc! {
+                "o": "r", "c": coll.as_str(), "id": Value::ObjectId(*id),
+            },
+            WalOp::CreateIndex { coll, field } => doc! {
+                "o": "x", "c": coll.as_str(), "f": field.as_str(),
+            },
+        }
+    }
+
+    /// Encodes straight to bytes (one WAL frame payload).
+    pub fn encode_bytes(&self) -> Vec<u8> {
+        self.encode().to_bytes()
+    }
+
+    /// Decodes from a BSON document.
+    pub fn decode(doc: &Document) -> Result<WalOp> {
+        let op = doc
+            .get_str("o")
+            .ok_or_else(|| EngineError::Corrupt { detail: "op missing 'o'".into() })?;
+        let coll = doc
+            .get_str("c")
+            .ok_or_else(|| EngineError::Corrupt { detail: "op missing 'c'".into() })?
+            .to_string();
+        let body = || {
+            doc.get_document("d")
+                .cloned()
+                .ok_or_else(|| EngineError::Corrupt { detail: "op missing 'd'".into() })
+        };
+        let id = || {
+            doc.get_object_id("id")
+                .ok_or_else(|| EngineError::Corrupt { detail: "op missing 'id'".into() })
+        };
+        Ok(match op {
+            "i" => WalOp::Insert { coll, doc: body()? },
+            "u" => WalOp::Update { coll, id: id()?, doc: body()? },
+            "r" => WalOp::Remove { coll, id: id()? },
+            "x" => WalOp::CreateIndex {
+                coll,
+                field: doc
+                    .get_str("f")
+                    .ok_or_else(|| EngineError::Corrupt { detail: "op missing 'f'".into() })?
+                    .to_string(),
+            },
+            other => {
+                return Err(EngineError::Corrupt { detail: format!("unknown op code {other:?}") })
+            }
+        })
+    }
+
+    /// Decodes from WAL frame bytes.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<WalOp> {
+        Self::decode(&Document::from_bytes(bytes)?)
+    }
+}
+
+/// Bounded in-memory oplog ring with monotonically increasing sequence
+/// numbers; feeds master→slave replication.
+#[derive(Debug, Default)]
+pub struct OplogRing {
+    ops: VecDeque<(u64, WalOp)>,
+    next_seq: u64,
+    capacity: usize,
+}
+
+impl OplogRing {
+    /// Creates a ring holding at most `capacity` recent ops.
+    pub fn new(capacity: usize) -> Self {
+        OplogRing { ops: VecDeque::new(), next_seq: 1, capacity: capacity.max(1) }
+    }
+
+    /// Appends an op, returning its sequence number.
+    pub fn push(&mut self, op: WalOp) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.ops.len() == self.capacity {
+            self.ops.pop_front();
+        }
+        self.ops.push_back((seq, op));
+        seq
+    }
+
+    /// Highest sequence number assigned so far (0 when empty).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Ops with sequence numbers strictly greater than `after`, or `None`
+    /// if that history has been evicted (the follower must full-resync).
+    pub fn since(&self, after: u64) -> Option<Vec<(u64, WalOp)>> {
+        if after >= self.last_seq() {
+            return Some(Vec::new());
+        }
+        match self.ops.front() {
+            Some(&(oldest, _)) if after + 1 >= oldest => {
+                Some(self.ops.iter().filter(|(s, _)| *s > after).cloned().collect())
+            }
+            None => Some(Vec::new()),
+            _ => None, // evicted
+        }
+    }
+
+    /// Number of retained ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no ops are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ops() -> Vec<WalOp> {
+        let id = ObjectId::from_parts(7, 8, 9);
+        vec![
+            WalOp::Insert { coll: "data".into(), doc: doc! { "_id": Value::ObjectId(id), "x": 1 } },
+            WalOp::Update { coll: "data".into(), id, doc: doc! { "_id": Value::ObjectId(id), "x": 2 } },
+            WalOp::Remove { coll: "data".into(), id },
+            WalOp::CreateIndex { coll: "data".into(), field: "self-key".into() },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for op in sample_ops() {
+            let bytes = op.encode_bytes();
+            assert_eq!(WalOp::decode_bytes(&bytes).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(WalOp::decode(&doc! { "c": "x" }).is_err());
+        assert!(WalOp::decode(&doc! { "o": "i", "c": "x" }).is_err());
+        assert!(WalOp::decode(&doc! { "o": "zz", "c": "x" }).is_err());
+        assert!(WalOp::decode(&doc! { "o": "u", "c": "x", "d": doc!{} }).is_err());
+        assert!(WalOp::decode(&doc! { "o": "x", "c": "x" }).is_err());
+    }
+
+    #[test]
+    fn ring_assigns_monotonic_seqs() {
+        let mut ring = OplogRing::new(10);
+        let ops = sample_ops();
+        let seqs: Vec<u64> = ops.iter().map(|op| ring.push(op.clone())).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4]);
+        assert_eq!(ring.last_seq(), 4);
+    }
+
+    #[test]
+    fn since_returns_tail() {
+        let mut ring = OplogRing::new(10);
+        for op in sample_ops() {
+            ring.push(op);
+        }
+        let tail = ring.since(2).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].0, 3);
+        assert!(ring.since(4).unwrap().is_empty());
+        assert!(ring.since(100).unwrap().is_empty());
+    }
+
+    #[test]
+    fn eviction_forces_resync() {
+        let mut ring = OplogRing::new(2);
+        for op in sample_ops() {
+            ring.push(op);
+        }
+        // Ops 1 and 2 evicted.
+        assert!(ring.since(0).is_none());
+        assert!(ring.since(1).is_none());
+        assert_eq!(ring.since(2).unwrap().len(), 2);
+        assert_eq!(ring.len(), 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! Group-by aggregation — the "complex query functions" MyStore keeps from
+//! MongoDB that pure key-value stores like Dynamo cannot offer (§2).
+//!
+//! A [`GroupSpec`] filters documents, groups them by an optional key path,
+//! and computes accumulators per group. Results come back as documents with
+//! `_id` holding the group key, in group-key order.
+
+use std::collections::BTreeMap;
+
+use mystore_bson::{Document, Value};
+
+use crate::error::{EngineError, Result};
+use crate::index::OrdValue;
+use crate::query::filter::Filter;
+
+/// An accumulator over one group's documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Agg {
+    /// Number of documents in the group.
+    Count,
+    /// Numeric sum of a field (missing/non-numeric values contribute 0).
+    Sum(String),
+    /// Numeric average of a field (only numeric occurrences count).
+    Avg(String),
+    /// Minimum value of a field (by the BSON total order).
+    Min(String),
+    /// Maximum value of a field.
+    Max(String),
+    /// The field value of the first document encountered (in `_id` order).
+    First(String),
+}
+
+/// A grouping specification: `group_by` key path (or `None` for one global
+/// group) and named accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSpec {
+    /// Path whose value keys the groups; `None` groups everything together.
+    pub group_by: Option<String>,
+    /// `(output field, accumulator)` pairs.
+    pub aggregates: Vec<(String, Agg)>,
+}
+
+impl GroupSpec {
+    /// One global group.
+    pub fn global() -> Self {
+        GroupSpec { group_by: None, aggregates: Vec::new() }
+    }
+
+    /// Group by the value at `path`.
+    pub fn by(path: impl Into<String>) -> Self {
+        GroupSpec { group_by: Some(path.into()), aggregates: Vec::new() }
+    }
+
+    /// Adds an accumulator under `name`.
+    pub fn agg(mut self, name: impl Into<String>, agg: Agg) -> Self {
+        self.aggregates.push((name.into(), agg));
+        self
+    }
+}
+
+#[derive(Default)]
+struct AccState {
+    count: u64,
+    sum: f64,
+    numeric_seen: u64,
+    min: Option<Value>,
+    max: Option<Value>,
+    first: Option<Value>,
+}
+
+/// Runs a grouped aggregation over `docs` (an iterator of matching
+/// documents is produced by the caller, usually a collection scan).
+pub fn aggregate<'a>(
+    docs: impl Iterator<Item = &'a Document>,
+    filter: &Filter,
+    spec: &GroupSpec,
+) -> Result<Vec<Document>> {
+    if spec.aggregates.is_empty() {
+        return Err(EngineError::BadQuery("aggregation needs at least one accumulator".into()));
+    }
+    // group key -> per-accumulator state
+    let mut groups: BTreeMap<OrdValue, Vec<AccState>> = BTreeMap::new();
+    for doc in docs {
+        if !filter.matches(doc) {
+            continue;
+        }
+        let key = match &spec.group_by {
+            Some(path) => doc.get_path(path).cloned().unwrap_or(Value::Null),
+            None => Value::Null,
+        };
+        let states = groups
+            .entry(OrdValue(key))
+            .or_insert_with(|| spec.aggregates.iter().map(|_| AccState::default()).collect());
+        for ((_, agg), state) in spec.aggregates.iter().zip(states.iter_mut()) {
+            state.count += 1;
+            let field = match agg {
+                Agg::Count => None,
+                Agg::Sum(f) | Agg::Avg(f) | Agg::Min(f) | Agg::Max(f) | Agg::First(f) => {
+                    Some(doc.get_path(f))
+                }
+            };
+            if let Some(value) = field.flatten() {
+                if let Some(n) = value.as_f64() {
+                    state.sum += n;
+                    state.numeric_seen += 1;
+                }
+                let replace_min = state
+                    .min
+                    .as_ref()
+                    .map(|m| value.compare(m) == std::cmp::Ordering::Less)
+                    .unwrap_or(true);
+                if replace_min {
+                    state.min = Some(value.clone());
+                }
+                let replace_max = state
+                    .max
+                    .as_ref()
+                    .map(|m| value.compare(m) == std::cmp::Ordering::Greater)
+                    .unwrap_or(true);
+                if replace_max {
+                    state.max = Some(value.clone());
+                }
+                if state.first.is_none() {
+                    state.first = Some(value.clone());
+                }
+            }
+        }
+    }
+    Ok(groups
+        .into_iter()
+        .map(|(key, states)| {
+            let mut out = Document::with_capacity(spec.aggregates.len() + 1);
+            out.insert("_id", key.0);
+            for ((name, agg), state) in spec.aggregates.iter().zip(states.iter()) {
+                let value = match agg {
+                    Agg::Count => Value::Int64(state.count as i64),
+                    Agg::Sum(_) => Value::Double(state.sum),
+                    Agg::Avg(_) => {
+                        if state.numeric_seen == 0 {
+                            Value::Null
+                        } else {
+                            Value::Double(state.sum / state.numeric_seen as f64)
+                        }
+                    }
+                    Agg::Min(_) => state.min.clone().unwrap_or(Value::Null),
+                    Agg::Max(_) => state.max.clone().unwrap_or(Value::Null),
+                    Agg::First(_) => state.first.clone().unwrap_or(Value::Null),
+                };
+                out.insert(name.as_str(), value);
+            }
+            out
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mystore_bson::doc;
+
+    fn corpus() -> Vec<Document> {
+        vec![
+            doc! { "kind": "resistor", "ohms": 470, "stock": 10 },
+            doc! { "kind": "resistor", "ohms": 10_000, "stock": 3 },
+            doc! { "kind": "capacitor", "farads": 0.33, "stock": 7 },
+            doc! { "kind": "resistor", "ohms": 220, "stock": 0 },
+            doc! { "kind": "led", "stock": 42 },
+        ]
+    }
+
+    fn run(filter: &Filter, spec: &GroupSpec) -> Vec<Document> {
+        let docs = corpus();
+        aggregate(docs.iter(), filter, spec).unwrap()
+    }
+
+    #[test]
+    fn group_by_kind_with_count_and_sum() {
+        let spec = GroupSpec::by("kind")
+            .agg("n", Agg::Count)
+            .agg("total_stock", Agg::Sum("stock".into()));
+        let rows = run(&Filter::True, &spec);
+        assert_eq!(rows.len(), 3);
+        // BTreeMap order: capacitor, led, resistor (string order).
+        assert_eq!(rows[0].get_str("_id"), Some("capacitor"));
+        assert_eq!(rows[0].get_i64("n"), Some(1));
+        assert_eq!(rows[2].get_str("_id"), Some("resistor"));
+        assert_eq!(rows[2].get_i64("n"), Some(3));
+        assert_eq!(rows[2].get_f64("total_stock"), Some(13.0));
+    }
+
+    #[test]
+    fn global_group_with_min_max_avg() {
+        let spec = GroupSpec::global()
+            .agg("min_ohms", Agg::Min("ohms".into()))
+            .agg("max_ohms", Agg::Max("ohms".into()))
+            .agg("avg_ohms", Agg::Avg("ohms".into()));
+        let rows = run(&Filter::True, &spec);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("min_ohms").unwrap().as_i64(), Some(220));
+        assert_eq!(rows[0].get("max_ohms").unwrap().as_i64(), Some(10_000));
+        let avg = rows[0].get_f64("avg_ohms").unwrap();
+        assert!((avg - (470.0 + 10_000.0 + 220.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filter_applies_before_grouping() {
+        let f = Filter::parse(&doc! { "stock": doc! { "$gt": 0 } }).unwrap();
+        let spec = GroupSpec::by("kind").agg("n", Agg::Count);
+        let rows = aggregate(corpus().iter(), &f, &spec).unwrap();
+        let resistors = rows.iter().find(|r| r.get_str("_id") == Some("resistor")).unwrap();
+        assert_eq!(resistors.get_i64("n"), Some(2), "zero-stock resistor filtered out");
+    }
+
+    #[test]
+    fn missing_group_key_becomes_null_group() {
+        let docs = vec![doc! { "x": 1 }, doc! { "kind": "a", "x": 2 }];
+        let spec = GroupSpec::by("kind").agg("n", Agg::Count);
+        let rows = aggregate(docs.iter(), &Filter::True, &spec).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("_id"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn avg_of_absent_field_is_null() {
+        let spec = GroupSpec::by("kind").agg("avg", Agg::Avg("farads".into()));
+        let rows = run(&Filter::True, &spec);
+        let led = rows.iter().find(|r| r.get_str("_id") == Some("led")).unwrap();
+        assert_eq!(led.get("avg"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn first_accumulator() {
+        let spec = GroupSpec::by("kind").agg("first_ohms", Agg::First("ohms".into()));
+        let rows = run(&Filter::True, &spec);
+        let res = rows.iter().find(|r| r.get_str("_id") == Some("resistor")).unwrap();
+        assert_eq!(res.get("first_ohms").unwrap().as_i64(), Some(470));
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        let docs = corpus();
+        assert!(aggregate(docs.iter(), &Filter::True, &GroupSpec::global()).is_err());
+    }
+}

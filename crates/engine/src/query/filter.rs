@@ -1,0 +1,503 @@
+//! Query filters: a typed AST, a parser for MongoDB-style query documents,
+//! and the matcher.
+//!
+//! Supported operators (the set MongoDB offered at the time of the paper,
+//! which is what "complex query functions like MongoDB" (§2) refers to):
+//! implicit equality, `$eq`, `$ne`, `$gt`, `$gte`, `$lt`, `$lte`, `$in`,
+//! `$nin`, `$exists`, `$all`, `$size`, `$elemMatch`, `$mod`, `$type`,
+//! `$and`, `$or`, `$not`, plus the string helpers `$prefix` and `$contains`
+//! (standing in for anchored/unanchored `$regex`).
+
+use std::cmp::Ordering;
+
+use mystore_bson::{Document, Value};
+
+use crate::error::{EngineError, Result};
+
+/// A parsed query filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Matches every document.
+    True,
+    /// Field equals value (for array fields, also matches membership —
+    /// MongoDB semantics).
+    Eq(String, Value),
+    /// Field differs from value (also true when the field is missing).
+    Ne(String, Value),
+    /// Strictly greater (comparable types only).
+    Gt(String, Value),
+    /// Greater or equal.
+    Gte(String, Value),
+    /// Strictly less.
+    Lt(String, Value),
+    /// Less or equal.
+    Lte(String, Value),
+    /// Field equals any of the listed values.
+    In(String, Vec<Value>),
+    /// Field equals none of the listed values.
+    Nin(String, Vec<Value>),
+    /// Field presence check.
+    Exists(String, bool),
+    /// String field starts with the given prefix.
+    Prefix(String, String),
+    /// String field contains the given substring.
+    Contains(String, String),
+    /// Array field contains every listed value (`$all`).
+    All(String, Vec<Value>),
+    /// Array field has exactly this many elements (`$size`).
+    Size(String, usize),
+    /// Array field has at least one element matching the subfilter
+    /// (`$elemMatch`; elements must be documents).
+    ElemMatch(String, Box<Filter>),
+    /// Numeric field satisfies `value % divisor == remainder` (`$mod`).
+    Mod(String, i64, i64),
+    /// Field holds a value of the named BSON type (`$type`, by type name:
+    /// "string", "int32", "double", "array", ...).
+    TypeIs(String, String),
+    /// All subfilters match.
+    And(Vec<Filter>),
+    /// Any subfilter matches.
+    Or(Vec<Filter>),
+    /// Subfilter does not match.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Parses a MongoDB-style query document.
+    ///
+    /// `{}` matches everything; `{k: v}` is equality; `{k: {"$gt": v}}`
+    /// applies operators; `{"$or": [q1, q2]}` combines subqueries.
+    pub fn parse(query: &Document) -> Result<Filter> {
+        let mut clauses = Vec::new();
+        for (key, value) in query.iter() {
+            match key.as_str() {
+                "$and" | "$or" => {
+                    let items = value
+                        .as_array()
+                        .ok_or_else(|| EngineError::BadQuery(format!("{key} expects an array")))?;
+                    let subs = items
+                        .iter()
+                        .map(|v| {
+                            v.as_document()
+                                .ok_or_else(|| {
+                                    EngineError::BadQuery(format!("{key} elements must be documents"))
+                                })
+                                .and_then(Filter::parse)
+                        })
+                        .collect::<Result<Vec<_>>>()?;
+                    clauses.push(if key == "$and" { Filter::And(subs) } else { Filter::Or(subs) });
+                }
+                "$not" => {
+                    let sub = value
+                        .as_document()
+                        .ok_or_else(|| EngineError::BadQuery("$not expects a document".into()))?;
+                    clauses.push(Filter::Not(Box::new(Filter::parse(sub)?)));
+                }
+                k if k.starts_with('$') => {
+                    return Err(EngineError::BadQuery(format!("unknown top-level operator {k}")));
+                }
+                field => match value {
+                    Value::Document(ops) if ops.keys().any(|k| k.starts_with('$')) => {
+                        for (op, operand) in ops.iter() {
+                            clauses.push(Self::parse_op(field, op, operand)?);
+                        }
+                    }
+                    other => clauses.push(Filter::Eq(field.to_string(), other.clone())),
+                },
+            }
+        }
+        Ok(match clauses.len() {
+            0 => Filter::True,
+            1 => clauses.pop().expect("len 1"),
+            _ => Filter::And(clauses),
+        })
+    }
+
+    fn parse_op(field: &str, op: &str, operand: &Value) -> Result<Filter> {
+        let f = field.to_string();
+        Ok(match op {
+            "$eq" => Filter::Eq(f, operand.clone()),
+            "$ne" => Filter::Ne(f, operand.clone()),
+            "$gt" => Filter::Gt(f, operand.clone()),
+            "$gte" => Filter::Gte(f, operand.clone()),
+            "$lt" => Filter::Lt(f, operand.clone()),
+            "$lte" => Filter::Lte(f, operand.clone()),
+            "$in" | "$nin" => {
+                let items = operand
+                    .as_array()
+                    .ok_or_else(|| EngineError::BadQuery(format!("{op} expects an array")))?
+                    .to_vec();
+                if op == "$in" {
+                    Filter::In(f, items)
+                } else {
+                    Filter::Nin(f, items)
+                }
+            }
+            "$exists" => Filter::Exists(
+                f,
+                operand
+                    .as_bool()
+                    .or_else(|| operand.as_i64().map(|v| v != 0))
+                    .ok_or_else(|| EngineError::BadQuery("$exists expects a boolean".into()))?,
+            ),
+            "$prefix" => Filter::Prefix(
+                f,
+                operand
+                    .as_str()
+                    .ok_or_else(|| EngineError::BadQuery("$prefix expects a string".into()))?
+                    .to_string(),
+            ),
+            "$contains" => Filter::Contains(
+                f,
+                operand
+                    .as_str()
+                    .ok_or_else(|| EngineError::BadQuery("$contains expects a string".into()))?
+                    .to_string(),
+            ),
+            "$all" => Filter::All(
+                f,
+                operand
+                    .as_array()
+                    .ok_or_else(|| EngineError::BadQuery("$all expects an array".into()))?
+                    .to_vec(),
+            ),
+            "$size" => Filter::Size(
+                f,
+                operand
+                    .as_i64()
+                    .and_then(|v| usize::try_from(v).ok())
+                    .ok_or_else(|| EngineError::BadQuery("$size expects a non-negative integer".into()))?,
+            ),
+            "$elemMatch" => Filter::ElemMatch(
+                f,
+                Box::new(Filter::parse(operand.as_document().ok_or_else(|| {
+                    EngineError::BadQuery("$elemMatch expects a document".into())
+                })?)?),
+            ),
+            "$mod" => {
+                let arr = operand
+                    .as_array()
+                    .ok_or_else(|| EngineError::BadQuery("$mod expects [divisor, remainder]".into()))?;
+                let (d, r) = match (arr.first().and_then(Value::as_i64), arr.get(1).and_then(Value::as_i64)) {
+                    (Some(d), Some(r)) if arr.len() == 2 && d != 0 => (d, r),
+                    _ => {
+                        return Err(EngineError::BadQuery(
+                            "$mod expects [non-zero divisor, remainder]".into(),
+                        ))
+                    }
+                };
+                Filter::Mod(f, d, r)
+            }
+            "$type" => Filter::TypeIs(
+                f,
+                operand
+                    .as_str()
+                    .ok_or_else(|| EngineError::BadQuery("$type expects a type name".into()))?
+                    .to_string(),
+            ),
+            "$not" => {
+                let sub = operand
+                    .as_document()
+                    .ok_or_else(|| EngineError::BadQuery("$not expects a document".into()))?;
+                let mut subs = Vec::new();
+                for (inner_op, inner_val) in sub.iter() {
+                    subs.push(Self::parse_op(field, inner_op, inner_val)?);
+                }
+                Filter::Not(Box::new(match subs.len() {
+                    0 => Filter::True,
+                    1 => subs.pop().expect("len 1"),
+                    _ => Filter::And(subs),
+                }))
+            }
+            other => return Err(EngineError::BadQuery(format!("unknown operator {other}"))),
+        })
+    }
+
+    /// True if `doc` satisfies the filter.
+    pub fn matches(&self, doc: &Document) -> bool {
+        match self {
+            Filter::True => true,
+            Filter::Eq(path, want) => match doc.get_path(path) {
+                Some(v) => values_eq(v, want) || array_contains(v, want),
+                // MongoDB: {field: null} matches documents missing the field.
+                None => matches!(want, Value::Null),
+            },
+            Filter::Ne(path, want) => !Filter::Eq(path.clone(), want.clone()).matches(doc),
+            Filter::Gt(path, want) => cmp_matches(doc, path, want, |o| o == Ordering::Greater),
+            Filter::Gte(path, want) => cmp_matches(doc, path, want, |o| o != Ordering::Less),
+            Filter::Lt(path, want) => cmp_matches(doc, path, want, |o| o == Ordering::Less),
+            Filter::Lte(path, want) => cmp_matches(doc, path, want, |o| o != Ordering::Greater),
+            Filter::In(path, items) => match doc.get_path(path) {
+                Some(v) => items.iter().any(|w| values_eq(v, w) || array_contains(v, w)),
+                None => items.iter().any(|w| matches!(w, Value::Null)),
+            },
+            Filter::Nin(path, items) => !Filter::In(path.clone(), items.clone()).matches(doc),
+            Filter::Exists(path, want) => doc.get_path(path).is_some() == *want,
+            Filter::Prefix(path, prefix) => {
+                matches!(doc.get_path(path), Some(Value::String(s)) if s.starts_with(prefix))
+            }
+            Filter::Contains(path, needle) => {
+                matches!(doc.get_path(path), Some(Value::String(s)) if s.contains(needle))
+            }
+            Filter::All(path, wanted) => match doc.get_path(path) {
+                Some(Value::Array(items)) => wanted
+                    .iter()
+                    .all(|w| items.iter().any(|v| values_eq(v, w))),
+                _ => false,
+            },
+            Filter::Size(path, n) => {
+                matches!(doc.get_path(path), Some(Value::Array(items)) if items.len() == *n)
+            }
+            Filter::ElemMatch(path, sub) => match doc.get_path(path) {
+                Some(Value::Array(items)) => items.iter().any(|v| match v {
+                    Value::Document(d) => sub.matches(d),
+                    _ => false,
+                }),
+                _ => false,
+            },
+            Filter::Mod(path, divisor, remainder) => match doc.get_path(path).and_then(Value::as_i64) {
+                Some(v) => v.rem_euclid(*divisor) == *remainder,
+                None => false,
+            },
+            Filter::TypeIs(path, name) => {
+                matches!(doc.get_path(path), Some(v) if v.type_name() == name)
+            }
+            Filter::And(subs) => subs.iter().all(|f| f.matches(doc)),
+            Filter::Or(subs) => subs.iter().any(|f| f.matches(doc)),
+            Filter::Not(sub) => !sub.matches(doc),
+        }
+    }
+
+    /// If this filter pins `field` to a single value usable for an index
+    /// point-lookup, returns `(field, value)`. Conjunctions are searched.
+    pub fn index_point(&self) -> Option<(&str, &Value)> {
+        match self {
+            Filter::Eq(f, v) => Some((f.as_str(), v)),
+            Filter::And(subs) => subs.iter().find_map(|s| s.index_point()),
+            _ => None,
+        }
+    }
+
+    /// If this filter constrains `field` by a range operator usable for an
+    /// index scan, returns `(field, lower, upper)` bounds (either may be
+    /// unbounded). Only the first range clause in a conjunction is used.
+    pub fn index_range(&self) -> Option<(&str, RangeBound<'_>, RangeBound<'_>)> {
+        match self {
+            Filter::Gt(f, v) => Some((f, RangeBound::Excluded(v), RangeBound::Unbounded)),
+            Filter::Gte(f, v) => Some((f, RangeBound::Included(v), RangeBound::Unbounded)),
+            Filter::Lt(f, v) => Some((f, RangeBound::Unbounded, RangeBound::Excluded(v))),
+            Filter::Lte(f, v) => Some((f, RangeBound::Unbounded, RangeBound::Included(v))),
+            Filter::And(subs) => {
+                // Merge all range clauses over the same field.
+                let mut field: Option<&str> = None;
+                let mut lo = RangeBound::Unbounded;
+                let mut hi = RangeBound::Unbounded;
+                for s in subs {
+                    if let Some((f, l, h)) = s.index_range() {
+                        match field {
+                            None => field = Some(f),
+                            Some(existing) if existing != f => continue,
+                            _ => {}
+                        }
+                        if !matches!(l, RangeBound::Unbounded) {
+                            lo = l;
+                        }
+                        if !matches!(h, RangeBound::Unbounded) {
+                            hi = h;
+                        }
+                    }
+                }
+                field.map(|f| (f, lo, hi))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A borrowed range bound used by the index planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RangeBound<'a> {
+    /// Bound included in the range.
+    Included(&'a Value),
+    /// Bound excluded from the range.
+    Excluded(&'a Value),
+    /// No bound on this side.
+    Unbounded,
+}
+
+fn values_eq(a: &Value, b: &Value) -> bool {
+    a.compare(b) == Ordering::Equal
+}
+
+fn array_contains(field_value: &Value, want: &Value) -> bool {
+    match field_value {
+        Value::Array(items) => items.iter().any(|v| values_eq(v, want)),
+        _ => false,
+    }
+}
+
+/// Range comparisons only fire for mutually comparable types (numbers
+/// cross-compare; otherwise types must share a rank). Missing fields never
+/// match ranges.
+fn cmp_matches(doc: &Document, path: &str, want: &Value, pred: impl Fn(Ordering) -> bool) -> bool {
+    match doc.get_path(path) {
+        Some(v) if comparable(v, want) => pred(v.compare(want)),
+        _ => false,
+    }
+}
+
+fn comparable(a: &Value, b: &Value) -> bool {
+    if a.is_numeric() && b.is_numeric() {
+        return true;
+    }
+    a.element_type() == b.element_type()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mystore_bson::doc;
+
+    fn d() -> Document {
+        doc! {
+            "name": "Resistor5",
+            "ohms": 470,
+            "tags": vec!["passive", "smd"],
+            "meta": doc! { "lab": "circuits", "floor": 3 },
+            "weight": 1.5,
+        }
+    }
+
+    #[test]
+    fn empty_query_matches_all() {
+        let f = Filter::parse(&doc! {}).unwrap();
+        assert_eq!(f, Filter::True);
+        assert!(f.matches(&d()));
+    }
+
+    #[test]
+    fn implicit_equality() {
+        assert!(Filter::parse(&doc! { "name": "Resistor5" }).unwrap().matches(&d()));
+        assert!(!Filter::parse(&doc! { "name": "Capacitor" }).unwrap().matches(&d()));
+    }
+
+    #[test]
+    fn equality_on_array_field_is_membership() {
+        assert!(Filter::parse(&doc! { "tags": "smd" }).unwrap().matches(&d()));
+        assert!(!Filter::parse(&doc! { "tags": "through-hole" }).unwrap().matches(&d()));
+    }
+
+    #[test]
+    fn null_equality_matches_missing_field() {
+        let f = Filter::parse(&doc! { "missing": Value::Null }).unwrap();
+        assert!(f.matches(&d()));
+        let g = Filter::parse(&doc! { "name": Value::Null }).unwrap();
+        assert!(!g.matches(&d()));
+    }
+
+    #[test]
+    fn range_operators() {
+        let f = Filter::parse(&doc! { "ohms": doc! { "$gt": 100, "$lte": 470 } }).unwrap();
+        assert!(f.matches(&d()));
+        let g = Filter::parse(&doc! { "ohms": doc! { "$gt": 470 } }).unwrap();
+        assert!(!g.matches(&d()));
+        // Cross-representation numeric comparison.
+        let h = Filter::parse(&doc! { "weight": doc! { "$gte": 1 } }).unwrap();
+        assert!(h.matches(&d()));
+    }
+
+    #[test]
+    fn range_on_mismatched_type_never_matches() {
+        let f = Filter::parse(&doc! { "name": doc! { "$gt": 100 } }).unwrap();
+        assert!(!f.matches(&d()));
+        let g = Filter::parse(&doc! { "missing": doc! { "$lt": 100 } }).unwrap();
+        assert!(!g.matches(&d()));
+    }
+
+    #[test]
+    fn in_nin() {
+        let f = Filter::parse(&doc! { "ohms": doc! { "$in": vec![220, 470] } }).unwrap();
+        assert!(f.matches(&d()));
+        let g = Filter::parse(&doc! { "ohms": doc! { "$nin": vec![220, 470] } }).unwrap();
+        assert!(!g.matches(&d()));
+        // $in against an array field checks membership.
+        let h = Filter::parse(&doc! { "tags": doc! { "$in": vec!["smd"] } }).unwrap();
+        assert!(h.matches(&d()));
+    }
+
+    #[test]
+    fn exists() {
+        assert!(Filter::parse(&doc! { "meta": doc! { "$exists": true } }).unwrap().matches(&d()));
+        assert!(Filter::parse(&doc! { "nope": doc! { "$exists": false } }).unwrap().matches(&d()));
+        assert!(!Filter::parse(&doc! { "nope": doc! { "$exists": true } }).unwrap().matches(&d()));
+    }
+
+    #[test]
+    fn dotted_paths() {
+        let f = Filter::parse(&doc! { "meta.lab": "circuits" }).unwrap();
+        assert!(f.matches(&d()));
+        let g = Filter::parse(&doc! { "meta.floor": doc! { "$gte": 3 } }).unwrap();
+        assert!(g.matches(&d()));
+    }
+
+    #[test]
+    fn string_helpers() {
+        assert!(Filter::parse(&doc! { "name": doc! { "$prefix": "Resist" } }).unwrap().matches(&d()));
+        assert!(Filter::parse(&doc! { "name": doc! { "$contains": "istor" } }).unwrap().matches(&d()));
+        assert!(!Filter::parse(&doc! { "name": doc! { "$prefix": "Cap" } }).unwrap().matches(&d()));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let f = Filter::parse(&doc! {
+            "$or": vec![
+                Value::Document(doc! { "name": "Capacitor" }),
+                Value::Document(doc! { "ohms": doc! { "$gt": 100 } }),
+            ]
+        })
+        .unwrap();
+        assert!(f.matches(&d()));
+        let g = Filter::parse(&doc! { "$not": doc! { "name": "Resistor5" } }).unwrap();
+        assert!(!g.matches(&d()));
+        let h = Filter::parse(&doc! { "ohms": doc! { "$not": doc! { "$gt": 1000 } } }).unwrap();
+        assert!(h.matches(&d()));
+    }
+
+    #[test]
+    fn implicit_and_of_multiple_fields() {
+        let f = Filter::parse(&doc! { "name": "Resistor5", "ohms": 470 }).unwrap();
+        assert!(f.matches(&d()));
+        let g = Filter::parse(&doc! { "name": "Resistor5", "ohms": 220 }).unwrap();
+        assert!(!g.matches(&d()));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Filter::parse(&doc! { "$bogus": 1 }).is_err());
+        assert!(Filter::parse(&doc! { "f": doc! { "$frobnicate": 1 } }).is_err());
+        assert!(Filter::parse(&doc! { "$or": 5 }).is_err());
+        assert!(Filter::parse(&doc! { "f": doc! { "$in": 5 } }).is_err());
+        assert!(Filter::parse(&doc! { "f": doc! { "$exists": "yes" } }).is_err());
+    }
+
+    #[test]
+    fn planner_hooks() {
+        let f = Filter::parse(&doc! { "self-key": "abc", "x": doc! { "$gt": 5 } }).unwrap();
+        let (field, v) = f.index_point().unwrap();
+        assert_eq!(field, "self-key");
+        assert_eq!(v.as_str(), Some("abc"));
+        let (rfield, lo, hi) = f.index_range().unwrap();
+        assert_eq!(rfield, "x");
+        assert!(matches!(lo, RangeBound::Excluded(_)));
+        assert!(matches!(hi, RangeBound::Unbounded));
+    }
+
+    #[test]
+    fn merged_range_bounds_in_conjunction() {
+        let f = Filter::parse(&doc! { "x": doc! { "$gte": 10, "$lt": 20 } }).unwrap();
+        let (field, lo, hi) = f.index_range().unwrap();
+        assert_eq!(field, "x");
+        assert!(matches!(lo, RangeBound::Included(_)));
+        assert!(matches!(hi, RangeBound::Excluded(_)));
+    }
+}

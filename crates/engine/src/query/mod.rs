@@ -1,0 +1,9 @@
+//! The query subsystem: filters (find) and updates (modify).
+
+pub mod aggregate;
+pub mod filter;
+pub mod update;
+
+pub use aggregate::{aggregate, Agg, GroupSpec};
+pub use filter::{Filter, RangeBound};
+pub use update::{Update, UpdateOp};

@@ -1,0 +1,442 @@
+//! Update documents: `$set`, `$unset`, `$inc`, `$push`, `$pull`, or full
+//! replacement.
+
+use mystore_bson::{Document, Value};
+
+use crate::error::{EngineError, Result};
+
+/// A parsed update specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Update {
+    /// Replace the whole document (every field except `_id`).
+    Replace(Document),
+    /// Apply field-level operators in order.
+    Ops(Vec<UpdateOp>),
+}
+
+/// One field-level update operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// Set `path` to a value (creating intermediate documents).
+    Set(String, Value),
+    /// Remove `path`.
+    Unset(String),
+    /// Numerically increment `path` (creates the field at the delta).
+    Inc(String, Value),
+    /// Append to the array at `path` (creates the array).
+    Push(String, Value),
+    /// Remove all array elements equal to the value.
+    Pull(String, Value),
+    /// Append to the array only if no equal element exists (`$addToSet`).
+    AddToSet(String, Value),
+    /// Remove the last (`1`) or first (`-1`) array element (`$pop`).
+    Pop(String, i32),
+    /// Set `path` to the value if the value is smaller (`$min`).
+    Min(String, Value),
+    /// Set `path` to the value if the value is larger (`$max`).
+    Max(String, Value),
+    /// Multiply the numeric field (`$mul`; creates the field at 0).
+    Mul(String, Value),
+    /// Rename a field (`$rename`; value is the new name).
+    Rename(String, String),
+}
+
+impl Update {
+    /// Parses an update document. Documents whose keys all start with `$`
+    /// are operator updates; documents with no `$` keys are replacements;
+    /// mixing the two is an error (as in MongoDB).
+    pub fn parse(update: &Document) -> Result<Update> {
+        let dollar = update.keys().filter(|k| k.starts_with('$')).count();
+        if dollar == 0 {
+            return Ok(Update::Replace(update.clone()));
+        }
+        if dollar != update.len() {
+            return Err(EngineError::BadQuery(
+                "cannot mix $-operators with replacement fields".into(),
+            ));
+        }
+        let mut ops = Vec::new();
+        for (key, value) in update.iter() {
+            let fields = value.as_document().ok_or_else(|| {
+                EngineError::BadQuery(format!("{key} expects a document of fields"))
+            })?;
+            for (path, v) in fields.iter() {
+                ops.push(match key.as_str() {
+                    "$set" => UpdateOp::Set(path.clone(), v.clone()),
+                    "$unset" => UpdateOp::Unset(path.clone()),
+                    "$inc" => {
+                        if !v.is_numeric() {
+                            return Err(EngineError::BadQuery("$inc expects a number".into()));
+                        }
+                        UpdateOp::Inc(path.clone(), v.clone())
+                    }
+                    "$push" => UpdateOp::Push(path.clone(), v.clone()),
+                    "$pull" => UpdateOp::Pull(path.clone(), v.clone()),
+                    "$addToSet" => UpdateOp::AddToSet(path.clone(), v.clone()),
+                    "$pop" => match v.as_i64() {
+                        Some(1) => UpdateOp::Pop(path.clone(), 1),
+                        Some(-1) => UpdateOp::Pop(path.clone(), -1),
+                        _ => return Err(EngineError::BadQuery("$pop expects 1 or -1".into())),
+                    },
+                    "$min" => UpdateOp::Min(path.clone(), v.clone()),
+                    "$max" => UpdateOp::Max(path.clone(), v.clone()),
+                    "$mul" => {
+                        if !v.is_numeric() {
+                            return Err(EngineError::BadQuery("$mul expects a number".into()));
+                        }
+                        UpdateOp::Mul(path.clone(), v.clone())
+                    }
+                    "$rename" => UpdateOp::Rename(
+                        path.clone(),
+                        v.as_str()
+                            .ok_or_else(|| EngineError::BadQuery("$rename expects a string".into()))?
+                            .to_string(),
+                    ),
+                    other => return Err(EngineError::BadQuery(format!("unknown update op {other}"))),
+                });
+            }
+        }
+        Ok(Update::Ops(ops))
+    }
+
+    /// Applies the update to `doc` in place. `_id` is always preserved.
+    pub fn apply(&self, doc: &mut Document) -> Result<()> {
+        match self {
+            Update::Replace(new_doc) => {
+                let id = doc.get("_id").cloned();
+                let mut replacement = new_doc.clone();
+                if let Some(id) = id {
+                    // _id is immutable; the replacement's _id (if any) is ignored.
+                    replacement.remove("_id");
+                    let mut fresh = Document::with_capacity(replacement.len() + 1);
+                    fresh.insert("_id", id);
+                    for (k, v) in replacement.into_iter() {
+                        fresh.insert(k, v);
+                    }
+                    *doc = fresh;
+                } else {
+                    *doc = replacement;
+                }
+                Ok(())
+            }
+            Update::Ops(ops) => {
+                for op in ops {
+                    apply_op(doc, op)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn apply_op(doc: &mut Document, op: &UpdateOp) -> Result<()> {
+    match op {
+        UpdateOp::Set(path, value) => {
+            set_path(doc, path, value.clone());
+            Ok(())
+        }
+        UpdateOp::Unset(path) => {
+            unset_path(doc, path);
+            Ok(())
+        }
+        UpdateOp::Inc(path, delta) => {
+            let current = doc.get_path(path).cloned();
+            let next = match current {
+                None => delta.clone(),
+                Some(v) if v.is_numeric() => add_numeric(&v, delta),
+                Some(other) => {
+                    return Err(EngineError::BadQuery(format!(
+                        "$inc target {path} holds non-numeric {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            set_path(doc, path, next);
+            Ok(())
+        }
+        UpdateOp::Push(path, value) => {
+            match doc.get_path(path).cloned() {
+                None => set_path(doc, path, Value::Array(vec![value.clone()])),
+                Some(Value::Array(mut items)) => {
+                    items.push(value.clone());
+                    set_path(doc, path, Value::Array(items));
+                }
+                Some(other) => {
+                    return Err(EngineError::BadQuery(format!(
+                        "$push target {path} holds non-array {}",
+                        other.type_name()
+                    )))
+                }
+            }
+            Ok(())
+        }
+        UpdateOp::Pull(path, value) => {
+            if let Some(Value::Array(items)) = doc.get_path(path).cloned() {
+                let kept: Vec<Value> = items
+                    .into_iter()
+                    .filter(|v| v.compare(value) != std::cmp::Ordering::Equal)
+                    .collect();
+                set_path(doc, path, Value::Array(kept));
+            }
+            Ok(())
+        }
+        UpdateOp::AddToSet(path, value) => match doc.get_path(path).cloned() {
+            None => {
+                set_path(doc, path, Value::Array(vec![value.clone()]));
+                Ok(())
+            }
+            Some(Value::Array(mut items)) => {
+                if !items.iter().any(|v| v.compare(value) == std::cmp::Ordering::Equal) {
+                    items.push(value.clone());
+                    set_path(doc, path, Value::Array(items));
+                }
+                Ok(())
+            }
+            Some(other) => Err(EngineError::BadQuery(format!(
+                "$addToSet target {path} holds non-array {}",
+                other.type_name()
+            ))),
+        },
+        UpdateOp::Pop(path, end) => {
+            if let Some(Value::Array(mut items)) = doc.get_path(path).cloned() {
+                if !items.is_empty() {
+                    if *end == 1 {
+                        items.pop();
+                    } else {
+                        items.remove(0);
+                    }
+                    set_path(doc, path, Value::Array(items));
+                }
+            }
+            Ok(())
+        }
+        UpdateOp::Min(path, value) | UpdateOp::Max(path, value) => {
+            let keep_new = match doc.get_path(path) {
+                None => true,
+                Some(cur) => {
+                    let ord = value.compare(cur);
+                    if matches!(op, UpdateOp::Min(..)) {
+                        ord == std::cmp::Ordering::Less
+                    } else {
+                        ord == std::cmp::Ordering::Greater
+                    }
+                }
+            };
+            if keep_new {
+                set_path(doc, path, value.clone());
+            }
+            Ok(())
+        }
+        UpdateOp::Mul(path, factor) => {
+            let current = doc.get_path(path).cloned();
+            let next = match current {
+                None => Value::Int32(0),
+                Some(v) if v.is_numeric() => mul_numeric(&v, factor),
+                Some(other) => {
+                    return Err(EngineError::BadQuery(format!(
+                        "$mul target {path} holds non-numeric {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            set_path(doc, path, next);
+            Ok(())
+        }
+        UpdateOp::Rename(from, to) => {
+            if from.contains('.') || to.contains('.') {
+                return Err(EngineError::BadQuery("$rename supports top-level fields only".into()));
+            }
+            if let Some(v) = doc.remove(from) {
+                doc.insert(to.as_str(), v);
+            }
+            Ok(())
+        }
+    }
+}
+
+fn mul_numeric(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Double(_), _) | (_, Value::Double(_)) => {
+            Value::Double(a.as_f64().unwrap_or(0.0) * b.as_f64().unwrap_or(0.0))
+        }
+        _ => {
+            let prod = a.as_i64().unwrap_or(0).saturating_mul(b.as_i64().unwrap_or(0));
+            match (a, b) {
+                (Value::Int32(_), Value::Int32(_)) if i32::try_from(prod).is_ok() => {
+                    Value::Int32(prod as i32)
+                }
+                _ => Value::Int64(prod),
+            }
+        }
+    }
+}
+
+fn add_numeric(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::Double(_), _) | (_, Value::Double(_)) => {
+            Value::Double(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0))
+        }
+        _ => {
+            let sum = a.as_i64().unwrap_or(0).saturating_add(b.as_i64().unwrap_or(0));
+            match (a, b) {
+                (Value::Int32(_), Value::Int32(_)) if i32::try_from(sum).is_ok() => {
+                    Value::Int32(sum as i32)
+                }
+                _ => Value::Int64(sum),
+            }
+        }
+    }
+}
+
+/// Sets `path` (dotted) to `value`, creating intermediate documents. Array
+/// segments are not created implicitly; a numeric segment into an existing
+/// array replaces that slot when in bounds.
+pub fn set_path(doc: &mut Document, path: &str, value: Value) {
+    fn recurse(doc: &mut Document, segments: &[&str], value: Value) {
+        let head = segments[0];
+        if segments.len() == 1 {
+            doc.insert(head, value);
+            return;
+        }
+        match doc.get_mut(head) {
+            Some(Value::Document(sub)) => recurse(sub, &segments[1..], value),
+            Some(Value::Array(items)) => {
+                if let Ok(i) = segments[1].parse::<usize>() {
+                    if segments.len() == 2 {
+                        if i < items.len() {
+                            items[i] = value;
+                        } else if i == items.len() {
+                            items.push(value);
+                        }
+                        return;
+                    } else if let Some(Value::Document(sub)) = items.get_mut(i) {
+                        recurse(sub, &segments[2..], value);
+                        return;
+                    }
+                }
+                // Non-numeric or out-of-structure: replace with a document.
+                let mut fresh = Document::new();
+                recurse(&mut fresh, &segments[1..], value);
+                doc.insert(head, Value::Document(fresh));
+            }
+            _ => {
+                let mut fresh = Document::new();
+                recurse(&mut fresh, &segments[1..], value);
+                doc.insert(head, Value::Document(fresh));
+            }
+        }
+    }
+    let segments: Vec<&str> = path.split('.').collect();
+    recurse(doc, &segments, value);
+}
+
+/// Removes `path` (dotted) if present.
+pub fn unset_path(doc: &mut Document, path: &str) {
+    match path.split_once('.') {
+        None => {
+            doc.remove(path);
+        }
+        Some((head, rest)) => {
+            if let Some(Value::Document(sub)) = doc.get_mut(head) {
+                unset_path(sub, rest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mystore_bson::{doc, ObjectId};
+
+    #[test]
+    fn replace_preserves_id() {
+        let id = ObjectId::from_parts(1, 2, 3);
+        let mut d = doc! { "_id": Value::ObjectId(id), "a": 1 };
+        let u = Update::parse(&doc! { "b": 2, "_id": Value::ObjectId(ObjectId::from_parts(9,9,9)) }).unwrap();
+        u.apply(&mut d).unwrap();
+        assert_eq!(d.get_object_id("_id"), Some(id));
+        assert_eq!(d.get_i64("b"), Some(2));
+        assert!(d.get("a").is_none());
+    }
+
+    #[test]
+    fn set_creates_nested_paths() {
+        let mut d = doc! {};
+        let u = Update::parse(&doc! { "$set": doc! { "a.b.c": 7 } }).unwrap();
+        u.apply(&mut d).unwrap();
+        assert_eq!(d.get_path("a.b.c").unwrap().as_i64(), Some(7));
+    }
+
+    #[test]
+    fn set_into_array_slot() {
+        let mut d = doc! { "xs": vec![1, 2, 3] };
+        let u = Update::parse(&doc! { "$set": doc! { "xs.1": 99 } }).unwrap();
+        u.apply(&mut d).unwrap();
+        assert_eq!(d.get_path("xs.1").unwrap().as_i64(), Some(99));
+    }
+
+    #[test]
+    fn unset_removes_nested() {
+        let mut d = doc! { "a": doc! { "b": 1, "c": 2 } };
+        let u = Update::parse(&doc! { "$unset": doc! { "a.b": 1 } }).unwrap();
+        u.apply(&mut d).unwrap();
+        assert!(d.get_path("a.b").is_none());
+        assert!(d.get_path("a.c").is_some());
+    }
+
+    #[test]
+    fn inc_creates_adds_and_preserves_int_types() {
+        let mut d = doc! { "n": 5 };
+        let u = Update::parse(&doc! { "$inc": doc! { "n": 3, "fresh": 1 } }).unwrap();
+        u.apply(&mut d).unwrap();
+        assert_eq!(d.get("n"), Some(&Value::Int32(8)));
+        assert_eq!(d.get_i64("fresh"), Some(1));
+        let v = Update::parse(&doc! { "$inc": doc! { "n": 0.5 } }).unwrap();
+        v.apply(&mut d).unwrap();
+        assert_eq!(d.get_f64("n"), Some(8.5));
+    }
+
+    #[test]
+    fn inc_on_non_number_errors() {
+        let mut d = doc! { "s": "text" };
+        let u = Update::parse(&doc! { "$inc": doc! { "s": 1 } }).unwrap();
+        assert!(u.apply(&mut d).is_err());
+    }
+
+    #[test]
+    fn push_and_pull() {
+        let mut d = doc! {};
+        let u = Update::parse(&doc! { "$push": doc! { "tags": "a" } }).unwrap();
+        u.apply(&mut d).unwrap();
+        let u2 = Update::parse(&doc! { "$push": doc! { "tags": "b" } }).unwrap();
+        u2.apply(&mut d).unwrap();
+        assert_eq!(d.get_array("tags").unwrap().len(), 2);
+        let u3 = Update::parse(&doc! { "$pull": doc! { "tags": "a" } }).unwrap();
+        u3.apply(&mut d).unwrap();
+        assert_eq!(d.get_array("tags").unwrap(), &[Value::String("b".into())]);
+    }
+
+    #[test]
+    fn push_on_scalar_errors() {
+        let mut d = doc! { "x": 1 };
+        let u = Update::parse(&doc! { "$push": doc! { "x": 2 } }).unwrap();
+        assert!(u.apply(&mut d).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_mixed_and_unknown() {
+        assert!(Update::parse(&doc! { "$set": doc! { "a": 1 }, "b": 2 }).is_err());
+        assert!(Update::parse(&doc! { "$frob": doc! { "a": 1 } }).is_err());
+        assert!(Update::parse(&doc! { "$inc": doc! { "a": "NaN" } }).is_err());
+        assert!(Update::parse(&doc! { "$set": 5 }).is_err());
+    }
+
+    #[test]
+    fn ops_apply_in_order() {
+        let mut d = doc! {};
+        let u = Update::parse(&doc! { "$set": doc! { "a": 1 }, "$inc": doc! { "a": 10 } }).unwrap();
+        u.apply(&mut d).unwrap();
+        assert_eq!(d.get_i64("a"), Some(11));
+    }
+}

@@ -1,0 +1,189 @@
+//! The MyStore record layout (paper §3.3).
+//!
+//! Every stored unit is a five-field BSON document:
+//!
+//! ```text
+//! { "_id":      ObjectId(...),   // UUID-generated private key
+//!   "self-key": "Resistor5",     // user key, indexed, used by reads
+//!   "val":      BinData(...),    // the unstructured payload
+//!   "isData":   "1",             // "1" = primary copy, "0" = replica
+//!   "isDel":    "0" }            // "1" = logically deleted (tombstone)
+//! ```
+//!
+//! [`Record`] is a typed view over that document with conversion both ways,
+//! so higher layers never hand-assemble field names.
+
+use mystore_bson::{doc, Document, ObjectId, Value};
+
+use crate::error::{EngineError, Result};
+
+/// Field name of the private key.
+pub const F_ID: &str = "_id";
+/// Field name of the user-assigned key.
+pub const F_SELF_KEY: &str = "self-key";
+/// Field name of the payload.
+pub const F_VAL: &str = "val";
+/// Field name of the primary-copy flag.
+pub const F_IS_DATA: &str = "isData";
+/// Field name of the tombstone flag.
+pub const F_IS_DEL: &str = "isDel";
+/// Field name of the last-write-wins version stamp (MyStore extension; the
+/// paper's "last write wins" merge policy needs a total order on writes).
+pub const F_VERSION: &str = "ver";
+
+/// A typed MyStore record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Private key (`_id`).
+    pub id: ObjectId,
+    /// User key (`self-key`), the read/query handle.
+    pub self_key: String,
+    /// The unstructured payload (`val`).
+    pub val: Vec<u8>,
+    /// True when this is the primary copy rather than a replica (`isData`).
+    pub is_data: bool,
+    /// True when logically deleted (`isDel`).
+    pub is_del: bool,
+    /// Last-write-wins stamp: `(timestamp µs, writer id)` packed by
+    /// [`pack_version`].
+    pub version: u64,
+}
+
+/// Packs a write timestamp (µs) and a coordinator id into a single
+/// totally-ordered LWW stamp. Time dominates; the writer id breaks ties so
+/// concurrent writers resolve deterministically everywhere.
+pub fn pack_version(timestamp_us: u64, writer: u16) -> u64 {
+    (timestamp_us << 16) | writer as u64
+}
+
+/// Splits a packed LWW stamp back into `(timestamp_us, writer)`.
+pub fn unpack_version(version: u64) -> (u64, u16) {
+    (version >> 16, (version & 0xffff) as u16)
+}
+
+impl Record {
+    /// Creates a live primary record.
+    pub fn new(id: ObjectId, self_key: impl Into<String>, val: Vec<u8>, version: u64) -> Self {
+        Record { id, self_key: self_key.into(), val, is_data: true, is_del: false, version }
+    }
+
+    /// Marks the record as a replica copy (`isData = "0"`).
+    pub fn as_replica(mut self) -> Self {
+        self.is_data = false;
+        self
+    }
+
+    /// Creates a tombstone for the key (logical delete keeps the record).
+    pub fn tombstone(id: ObjectId, self_key: impl Into<String>, version: u64) -> Self {
+        Record {
+            id,
+            self_key: self_key.into(),
+            val: Vec::new(),
+            is_data: true,
+            is_del: true,
+            version,
+        }
+    }
+
+    /// Serializes into the canonical five-field document (§3.3), plus the
+    /// `ver` LWW stamp.
+    pub fn to_document(&self) -> Document {
+        doc! {
+            F_ID: Value::ObjectId(self.id),
+            F_SELF_KEY: self.self_key.as_str(),
+            F_VAL: Value::Binary(self.val.clone()),
+            F_IS_DATA: if self.is_data { "1" } else { "0" },
+            F_IS_DEL: if self.is_del { "1" } else { "0" },
+            F_VERSION: Value::Timestamp(self.version),
+        }
+    }
+
+    /// Parses a record document; rejects documents missing mandatory fields.
+    pub fn from_document(doc: &Document) -> Result<Self> {
+        let id = doc
+            .get_object_id(F_ID)
+            .ok_or_else(|| EngineError::BadQuery(format!("record missing {F_ID}")))?;
+        let self_key = doc
+            .get_str(F_SELF_KEY)
+            .ok_or_else(|| EngineError::BadQuery(format!("record missing {F_SELF_KEY}")))?
+            .to_string();
+        let val = doc.get_binary(F_VAL).unwrap_or(&[]).to_vec();
+        let flag = |field: &str| -> bool { doc.get_str(field) == Some("1") };
+        let version = match doc.get(F_VERSION) {
+            Some(Value::Timestamp(v)) => *v,
+            _ => 0,
+        };
+        Ok(Record { id, self_key, val, is_data: flag(F_IS_DATA), is_del: flag(F_IS_DEL), version })
+    }
+
+    /// Payload size in bytes.
+    pub fn val_len(&self) -> usize {
+        self.val.len()
+    }
+
+    /// LWW comparison: `self` should replace `other` iff it is strictly
+    /// newer.
+    pub fn wins_over(&self, other: &Record) -> bool {
+        self.version > other.version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record::new(ObjectId::from_parts(1, 2, 3), "Resistor5", b"payload".to_vec(), pack_version(100, 7))
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let r = sample();
+        let doc = r.to_document();
+        assert_eq!(doc.get_str(F_IS_DATA), Some("1"));
+        assert_eq!(doc.get_str(F_IS_DEL), Some("0"));
+        assert_eq!(Record::from_document(&doc).unwrap(), r);
+    }
+
+    #[test]
+    fn replica_flag_flips_is_data() {
+        let doc = sample().as_replica().to_document();
+        assert_eq!(doc.get_str(F_IS_DATA), Some("0"));
+    }
+
+    #[test]
+    fn tombstone_has_empty_payload_and_del_flag() {
+        let t = Record::tombstone(ObjectId::from_parts(1, 1, 1), "k", 5);
+        assert!(t.is_del);
+        assert!(t.val.is_empty());
+        let doc = t.to_document();
+        assert_eq!(doc.get_str(F_IS_DEL), Some("1"));
+    }
+
+    #[test]
+    fn version_packing_orders_by_time_then_writer() {
+        let a = pack_version(100, 2);
+        let b = pack_version(100, 3);
+        let c = pack_version(101, 0);
+        assert!(a < b && b < c);
+        assert_eq!(unpack_version(b), (100, 3));
+        assert_eq!(unpack_version(c), (101, 0));
+    }
+
+    #[test]
+    fn lww_wins_over() {
+        let old = Record::new(ObjectId::from_parts(1, 1, 1), "k", vec![1], pack_version(10, 0));
+        let new = Record::new(ObjectId::from_parts(1, 1, 2), "k", vec![2], pack_version(11, 0));
+        assert!(new.wins_over(&old));
+        assert!(!old.wins_over(&new));
+        assert!(!old.wins_over(&old));
+    }
+
+    #[test]
+    fn from_document_rejects_missing_fields() {
+        let doc = doc! { "self-key": "x" };
+        assert!(Record::from_document(&doc).is_err());
+        let doc = doc! { "_id": Value::ObjectId(ObjectId::from_parts(0,0,0)) };
+        assert!(Record::from_document(&doc).is_err());
+    }
+}

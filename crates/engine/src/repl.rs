@@ -1,0 +1,186 @@
+//! Master/slave replication (the paper's MongoDB baseline, §2 & §6.2.3).
+//!
+//! "MongoDB just uses simple master/slave mechanism for data replication,
+//! which reduces the data availability obviously." This module implements
+//! that mechanism over the engine's oplog so the evaluation can compare
+//! MyStore against it (Fig. 17): one master accepts writes and ships its
+//! oplog; slaves poll and apply; if the master dies, writes fail until an
+//! operator promotes a slave.
+
+use crate::db::Db;
+use crate::error::{EngineError, Result};
+use crate::oplog::WalOp;
+
+/// Replication role of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes, ships the oplog.
+    Master,
+    /// Applies the master's oplog; read-only for clients.
+    Slave,
+}
+
+/// A master/slave replication endpoint wrapped around a [`Db`].
+pub struct ReplNode {
+    db: Db,
+    role: Role,
+    /// Last master sequence number applied (slaves only).
+    applied_seq: u64,
+}
+
+impl ReplNode {
+    /// Wraps `db` with the given role.
+    pub fn new(db: Db, role: Role) -> Self {
+        ReplNode { db, role, applied_seq: 0 }
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Read access to the underlying database.
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// Write access for *master* operations. Slaves refuse, as real
+    /// master/slave MongoDB does.
+    pub fn db_mut(&mut self) -> Result<&mut Db> {
+        match self.role {
+            Role::Master => Ok(&mut self.db),
+            Role::Slave => Err(EngineError::BadQuery("slave is read-only".into())),
+        }
+    }
+
+    /// Sequence number this node has applied/produced.
+    pub fn replication_position(&self) -> u64 {
+        match self.role {
+            Role::Master => self.db.last_seq(),
+            Role::Slave => self.applied_seq,
+        }
+    }
+
+    /// Master side of a poll: returns the ops after `follower_seq`, or
+    /// `None` when the follower is too far behind and must bootstrap from
+    /// [`ReplNode::full_dump`].
+    pub fn pull_since(&self, follower_seq: u64) -> Option<Vec<(u64, WalOp)>> {
+        self.db.ops_since(follower_seq)
+    }
+
+    /// Master snapshot for follower bootstrap.
+    pub fn full_dump(&self) -> Vec<WalOp> {
+        self.db.full_dump()
+    }
+
+    /// Slave side: applies a batch pulled from the master.
+    pub fn apply_batch(&mut self, batch: &[(u64, WalOp)]) -> Result<usize> {
+        if self.role != Role::Slave {
+            return Err(EngineError::BadQuery("only slaves apply batches".into()));
+        }
+        let mut applied = 0;
+        for (seq, op) in batch {
+            if *seq <= self.applied_seq {
+                continue; // idempotent re-delivery
+            }
+            self.db.apply(op)?;
+            self.applied_seq = *seq;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Slave bootstrap from a master snapshot positioned at `master_seq`.
+    pub fn bootstrap(&mut self, dump: &[WalOp], master_seq: u64) -> Result<()> {
+        if self.role != Role::Slave {
+            return Err(EngineError::BadQuery("only slaves bootstrap".into()));
+        }
+        for op in dump {
+            self.db.apply(op)?;
+        }
+        self.applied_seq = master_seq;
+        Ok(())
+    }
+
+    /// Manual failover: promote this slave to master (the paper's point is
+    /// precisely that this step is *not* automatic, hurting availability).
+    pub fn promote(&mut self) {
+        self.role = Role::Master;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::filter::Filter;
+    use mystore_bson::doc;
+
+    fn pair() -> (ReplNode, ReplNode) {
+        (ReplNode::new(Db::memory(), Role::Master), ReplNode::new(Db::memory(), Role::Slave))
+    }
+
+    #[test]
+    fn slave_refuses_writes() {
+        let (_, mut slave) = pair();
+        assert!(slave.db_mut().is_err());
+    }
+
+    #[test]
+    fn oplog_shipping_converges() {
+        let (mut master, mut slave) = pair();
+        for i in 0..10 {
+            master.db_mut().unwrap().insert_doc("d", doc! { "n": i }).unwrap();
+        }
+        let batch = master.pull_since(slave.replication_position()).unwrap();
+        assert_eq!(slave.apply_batch(&batch).unwrap(), 10);
+        assert_eq!(slave.db().count("d", &Filter::True).unwrap(), 10);
+        assert_eq!(slave.replication_position(), master.replication_position());
+    }
+
+    #[test]
+    fn redelivery_is_idempotent() {
+        let (mut master, mut slave) = pair();
+        master.db_mut().unwrap().insert_doc("d", doc! { "n": 1 }).unwrap();
+        let batch = master.pull_since(0).unwrap();
+        assert_eq!(slave.apply_batch(&batch).unwrap(), 1);
+        assert_eq!(slave.apply_batch(&batch).unwrap(), 0);
+        assert_eq!(slave.db().count("d", &Filter::True).unwrap(), 1);
+    }
+
+    #[test]
+    fn lagging_slave_catches_up_incrementally() {
+        let (mut master, mut slave) = pair();
+        master.db_mut().unwrap().insert_doc("d", doc! { "n": 1 }).unwrap();
+        let b1 = master.pull_since(0).unwrap();
+        slave.apply_batch(&b1).unwrap();
+        master.db_mut().unwrap().insert_doc("d", doc! { "n": 2 }).unwrap();
+        master.db_mut().unwrap().insert_doc("d", doc! { "n": 3 }).unwrap();
+        let b2 = master.pull_since(slave.replication_position()).unwrap();
+        assert_eq!(b2.len(), 2);
+        slave.apply_batch(&b2).unwrap();
+        assert_eq!(slave.db().count("d", &Filter::True).unwrap(), 3);
+    }
+
+    #[test]
+    fn promotion_enables_writes() {
+        let (_, mut slave) = pair();
+        slave.promote();
+        assert_eq!(slave.role(), Role::Master);
+        assert!(slave.db_mut().is_ok());
+        slave.db_mut().unwrap().insert_doc("d", doc! { "n": 1 }).unwrap();
+    }
+
+    #[test]
+    fn bootstrap_from_dump() {
+        let (mut master, mut slave) = pair();
+        master.db_mut().unwrap().create_index("d", "self-key").unwrap();
+        for i in 0..5 {
+            master.db_mut().unwrap().insert_doc("d", doc! { "self-key": format!("k{i}") }).unwrap();
+        }
+        slave.bootstrap(&master.full_dump(), master.replication_position()).unwrap();
+        assert_eq!(slave.db().count("d", &Filter::True).unwrap(), 5);
+        // After bootstrap, incremental pull has nothing new.
+        let tail = master.pull_since(slave.replication_position()).unwrap();
+        assert!(tail.is_empty());
+    }
+}

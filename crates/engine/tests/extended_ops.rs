@@ -1,0 +1,225 @@
+//! Tests for the extended MongoDB-parity surface: `$all`, `$size`,
+//! `$elemMatch`, `$mod`, `$type` queries; `$addToSet`, `$pop`, `$min`,
+//! `$max`, `$mul`, `$rename` updates; compound sort; `distinct`; and the
+//! Db-level aggregation entry point.
+
+use mystore_bson::{doc, Value};
+use mystore_engine::query::{Agg, Filter, GroupSpec, Update};
+use mystore_engine::{Db, FindOptions};
+
+fn catalogue() -> Db {
+    let mut db = Db::memory();
+    db.create_index("c", "kind").unwrap();
+    for d in [
+        doc! { "kind": "resistor", "ohms": 470, "tags": vec!["smd", "passive"], "rev": 3 },
+        doc! { "kind": "resistor", "ohms": 10_000, "tags": vec!["tht", "passive"], "rev": 1 },
+        doc! { "kind": "resistor", "ohms": 220, "tags": vec!["smd"], "rev": 2 },
+        doc! { "kind": "capacitor", "farads": 0.33, "tags": vec!["smd", "passive", "ceramic"], "rev": 2 },
+        doc! { "kind": "led", "tags": vec!["tht", "active"], "rev": 2,
+               "pins": vec![Value::Document(doc!{ "n": 1, "role": "anode" }),
+                            Value::Document(doc!{ "n": 2, "role": "cathode" })] },
+    ] {
+        db.insert_doc("c", d).unwrap();
+    }
+    db
+}
+
+fn find(db: &Db, q: mystore_bson::Document) -> usize {
+    db.find("c", &Filter::parse(&q).unwrap(), &FindOptions::default()).unwrap().len()
+}
+
+#[test]
+fn all_requires_every_element() {
+    let db = catalogue();
+    assert_eq!(find(&db, doc! { "tags": doc! { "$all": vec!["smd", "passive"] } }), 2);
+    assert_eq!(find(&db, doc! { "tags": doc! { "$all": vec!["smd"] } }), 3);
+    assert_eq!(find(&db, doc! { "tags": doc! { "$all": vec!["smd", "active"] } }), 0);
+    // $all on a non-array field never matches.
+    assert_eq!(find(&db, doc! { "kind": doc! { "$all": vec!["resistor"] } }), 0);
+}
+
+#[test]
+fn size_matches_exact_length() {
+    let db = catalogue();
+    assert_eq!(find(&db, doc! { "tags": doc! { "$size": 2 } }), 3);
+    assert_eq!(find(&db, doc! { "tags": doc! { "$size": 3 } }), 1);
+    assert_eq!(find(&db, doc! { "tags": doc! { "$size": 0 } }), 0);
+    assert!(Filter::parse(&doc! { "tags": doc! { "$size": -1 } }).is_err());
+}
+
+#[test]
+fn elem_match_applies_subfilter_to_elements() {
+    let db = catalogue();
+    assert_eq!(
+        find(&db, doc! { "pins": doc! { "$elemMatch": doc! { "role": "anode" } } }),
+        1
+    );
+    assert_eq!(
+        find(&db, doc! { "pins": doc! { "$elemMatch": doc! { "n": doc! { "$gt": 5 } } } }),
+        0
+    );
+    // Non-document elements never match.
+    assert_eq!(
+        find(&db, doc! { "tags": doc! { "$elemMatch": doc! { "x": 1 } } }),
+        0
+    );
+}
+
+#[test]
+fn mod_and_type_operators() {
+    let db = catalogue();
+    assert_eq!(find(&db, doc! { "ohms": doc! { "$mod": vec![100, 70] } }), 1); // 470
+    assert_eq!(find(&db, doc! { "ohms": doc! { "$mod": vec![10, 0] } }), 3);
+    assert!(Filter::parse(&doc! { "x": doc! { "$mod": vec![0, 1] } }).is_err());
+    assert_eq!(find(&db, doc! { "farads": doc! { "$type": "double" } }), 1);
+    assert_eq!(find(&db, doc! { "kind": doc! { "$type": "string" } }), 5);
+    assert_eq!(find(&db, doc! { "kind": doc! { "$type": "int32" } }), 0);
+}
+
+#[test]
+fn compound_sort_orders_lexicographically() {
+    let db = catalogue();
+    let rows = db
+        .find(
+            "c",
+            &Filter::True,
+            &FindOptions::default().sort_asc("rev").sort_desc("ohms"),
+        )
+        .unwrap();
+    let pairs: Vec<(i64, Option<i64>)> =
+        rows.iter().map(|d| (d.get_i64("rev").unwrap(), d.get_i64("ohms"))).collect();
+    // rev ascending; within rev=2, ohms descending with missing (Null) last…
+    // Null sorts *below* numbers in the BSON order, so descending puts the
+    // number first.
+    assert_eq!(pairs[0].0, 1);
+    let rev2: Vec<Option<i64>> = pairs.iter().filter(|(r, _)| *r == 2).map(|(_, o)| *o).collect();
+    assert_eq!(rev2[0], Some(220), "within rev=2 the numeric ohms sorts first (desc)");
+    assert_eq!(pairs.last().unwrap().0, 3);
+}
+
+#[test]
+fn distinct_collects_unique_values() {
+    let db = catalogue();
+    let kinds = db.distinct("c", "kind", &Filter::True).unwrap();
+    let names: Vec<&str> = kinds.iter().filter_map(Value::as_str).collect();
+    assert_eq!(names, ["capacitor", "led", "resistor"]);
+    // Array fields contribute elements.
+    let tags = db.distinct("c", "tags", &Filter::True).unwrap();
+    assert_eq!(tags.len(), 5); // smd, passive, tht, ceramic, active
+    // With a filter.
+    let smd_kinds = db
+        .distinct("c", "kind", &Filter::parse(&doc! { "tags": "smd" }).unwrap())
+        .unwrap();
+    assert_eq!(smd_kinds.len(), 2);
+}
+
+#[test]
+fn db_level_aggregation() {
+    let db = catalogue();
+    let rows = db
+        .aggregate(
+            "c",
+            &Filter::True,
+            &GroupSpec::by("kind").agg("n", Agg::Count).agg("max_rev", Agg::Max("rev".into())),
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+    let res = rows.iter().find(|r| r.get_str("_id") == Some("resistor")).unwrap();
+    assert_eq!(res.get_i64("n"), Some(3));
+    assert_eq!(res.get("max_rev").unwrap().as_i64(), Some(3));
+}
+
+#[test]
+fn add_to_set_and_pop() {
+    let mut db = catalogue();
+    let f = Filter::parse(&doc! { "ohms": 470 }).unwrap();
+    let u = Update::parse(&doc! { "$addToSet": doc! { "tags": "smd" } }).unwrap();
+    db.update_many("c", &f, &u).unwrap();
+    let d = db.find_one("c", &f).unwrap().unwrap();
+    assert_eq!(d.get_array("tags").unwrap().len(), 2, "duplicate not added");
+    let u2 = Update::parse(&doc! { "$addToSet": doc! { "tags": "audited" } }).unwrap();
+    db.update_many("c", &f, &u2).unwrap();
+    assert_eq!(db.find_one("c", &f).unwrap().unwrap().get_array("tags").unwrap().len(), 3);
+    // Pop front then back.
+    let pop_front = Update::parse(&doc! { "$pop": doc! { "tags": -1 } }).unwrap();
+    db.update_many("c", &f, &pop_front).unwrap();
+    let tags = db.find_one("c", &f).unwrap().unwrap().get_array("tags").unwrap().to_vec();
+    assert_eq!(tags.first().and_then(Value::as_str), Some("passive"));
+    let pop_back = Update::parse(&doc! { "$pop": doc! { "tags": 1 } }).unwrap();
+    db.update_many("c", &f, &pop_back).unwrap();
+    assert_eq!(db.find_one("c", &f).unwrap().unwrap().get_array("tags").unwrap().len(), 1);
+    assert!(Update::parse(&doc! { "$pop": doc! { "tags": 2 } }).is_err());
+}
+
+#[test]
+fn min_max_mul() {
+    let mut db = Db::memory();
+    let id = db.insert_doc("d", doc! { "score": 10 }).unwrap();
+    let apply = |db: &mut Db, u: mystore_bson::Document| {
+        let u = Update::parse(&u).unwrap();
+        db.update_by_id("d", id, &u).unwrap();
+    };
+    apply(&mut db, doc! { "$min": doc! { "score": 20 } });
+    assert_eq!(db.get("d", id).unwrap().unwrap().get_i64("score"), Some(10), "20 !< 10");
+    apply(&mut db, doc! { "$min": doc! { "score": 5 } });
+    assert_eq!(db.get("d", id).unwrap().unwrap().get_i64("score"), Some(5));
+    apply(&mut db, doc! { "$max": doc! { "score": 50 } });
+    assert_eq!(db.get("d", id).unwrap().unwrap().get_i64("score"), Some(50));
+    apply(&mut db, doc! { "$mul": doc! { "score": 3 } });
+    assert_eq!(db.get("d", id).unwrap().unwrap().get_i64("score"), Some(150));
+    apply(&mut db, doc! { "$mul": doc! { "score": 0.5 } });
+    assert_eq!(db.get("d", id).unwrap().unwrap().get_f64("score"), Some(75.0));
+    // $mul creates missing fields at 0; $min/$max create them outright.
+    apply(&mut db, doc! { "$mul": doc! { "fresh": 7 } });
+    assert_eq!(db.get("d", id).unwrap().unwrap().get_i64("fresh"), Some(0));
+    apply(&mut db, doc! { "$max": doc! { "peak": 9 } });
+    assert_eq!(db.get("d", id).unwrap().unwrap().get_i64("peak"), Some(9));
+}
+
+#[test]
+fn rename_moves_values_and_updates_indexes() {
+    let mut db = Db::memory();
+    db.create_index("d", "new_name").unwrap();
+    let id = db.insert_doc("d", doc! { "old_name": "keep-me" }).unwrap();
+    let u = Update::parse(&doc! { "$rename": doc! { "old_name": "new_name" } }).unwrap();
+    db.update_by_id("d", id, &u).unwrap();
+    let d = db.get("d", id).unwrap().unwrap();
+    assert!(d.get("old_name").is_none());
+    assert_eq!(d.get_str("new_name"), Some("keep-me"));
+    // The rename is visible through the index on the new field.
+    let f = Filter::parse(&doc! { "new_name": "keep-me" }).unwrap();
+    let (rows, explain) = db.find_explain("d", &f, &FindOptions::default()).unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(explain.used_index.as_deref(), Some("new_name"));
+    // Dotted rename is rejected.
+    assert!(Update::parse(&doc! { "$rename": doc! { "a.b": "c" } })
+        .unwrap()
+        .apply(&mut doc! { "a": doc! { "b": 1 } })
+        .is_err());
+}
+
+#[test]
+fn new_ops_survive_wal_recovery() {
+    let dir = std::env::temp_dir().join(format!("mystore-ext-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ext.wal");
+    let _ = std::fs::remove_file(&path);
+    let id;
+    {
+        let mut db = Db::open(&path).unwrap();
+        id = db.insert_doc("d", doc! { "xs": vec![1, 2, 3], "n": 4 }).unwrap();
+        let u = Update::parse(&doc! {
+            "$pop": doc! { "xs": 1 },
+            "$mul": doc! { "n": 10 },
+            "$rename": doc! { "n": "m" },
+        })
+        .unwrap();
+        db.update_by_id("d", id, &u).unwrap();
+    }
+    let db = Db::open(&path).unwrap();
+    let d = db.get("d", id).unwrap().unwrap();
+    assert_eq!(d.get_array("xs").unwrap().len(), 2);
+    assert_eq!(d.get_i64("m"), Some(40));
+    assert!(d.get("n").is_none());
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,268 @@
+//! Property tests for the engine: the indexed query path must agree with a
+//! naive full scan, WAL recovery must reproduce the exact state, and LWW
+//! record semantics must be order-insensitive.
+
+use mystore_bson::{doc, Document, Value};
+use mystore_engine::{pack_version, Db, FindOptions, Record};
+use mystore_engine::query::Filter;
+use mystore_bson::ObjectId;
+use proptest::prelude::*;
+
+/// A small universe of keys/values so queries actually hit.
+fn arb_doc() -> impl Strategy<Value = Document> {
+    (
+        0..20i32,                     // n
+        "[a-e]{1,3}",                 // k
+        proptest::option::of(0..5i32), // maybe-missing field m
+    )
+        .prop_map(|(n, k, m)| {
+            let mut d = doc! { "n": n, "k": k };
+            if let Some(m) = m {
+                d.insert("m", m);
+            }
+            d
+        })
+}
+
+fn arb_filter_doc() -> impl Strategy<Value = Document> {
+    prop_oneof![
+        (0..20i32).prop_map(|v| doc! { "n": v }),
+        (0..20i32).prop_map(|v| doc! { "n": doc! { "$gt": v } }),
+        (0..20i32, 0..20i32).prop_map(|(a, b)| doc! { "n": doc! { "$gte": a.min(b), "$lt": a.max(b).max(1) } }),
+        "[a-e]{1,3}".prop_map(|k| doc! { "k": k }),
+        "[a-e]".prop_map(|p| doc! { "k": doc! { "$prefix": p } }),
+        (0..5i32).prop_map(|m| doc! { "m": doc! { "$exists": m % 2 == 0 } }),
+        (0..20i32, "[a-e]{1,3}").prop_map(|(n, k)| doc! {
+            "$or": vec![Value::Document(doc!{ "n": n }), Value::Document(doc!{ "k": k })]
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Indexed execution returns exactly the same documents as a naive
+    /// in-memory filter over all documents.
+    #[test]
+    fn indexed_find_equals_naive_scan(
+        docs in proptest::collection::vec(arb_doc(), 0..60),
+        query in arb_filter_doc(),
+    ) {
+        let mut db = Db::memory();
+        db.create_index("d", "n").unwrap();
+        db.create_index("d", "k").unwrap();
+        let mut all = Vec::new();
+        for d in docs {
+            let id = db.insert_doc("d", d).unwrap();
+            all.push(db.get("d", id).unwrap().unwrap());
+        }
+        let filter = Filter::parse(&query).unwrap();
+        let mut expected: Vec<String> = all
+            .iter()
+            .filter(|d| filter.matches(d))
+            .map(|d| d.get_object_id("_id").unwrap().to_hex())
+            .collect();
+        let mut got: Vec<String> = db
+            .find("d", &filter, &FindOptions::default())
+            .unwrap()
+            .iter()
+            .map(|d| d.get_object_id("_id").unwrap().to_hex())
+            .collect();
+        expected.sort();
+        got.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Sort + skip + limit slice the naive-sorted result exactly.
+    #[test]
+    fn sort_skip_limit_is_a_slice(
+        docs in proptest::collection::vec(arb_doc(), 0..40),
+        skip in 0usize..10,
+        limit in 1usize..10,
+        asc in any::<bool>(),
+    ) {
+        let mut db = Db::memory();
+        // Ensure the collection exists even when no documents are generated.
+        db.create_index("d", "k").unwrap();
+        for d in docs {
+            db.insert_doc("d", d).unwrap();
+        }
+        let opts = if asc {
+            FindOptions::default().sort_asc("n").skip(skip).limit(limit)
+        } else {
+            FindOptions::default().sort_desc("n").skip(skip).limit(limit)
+        };
+        let got = db.find("d", &Filter::True, &opts).unwrap();
+        prop_assert!(got.len() <= limit);
+        // The returned ns must be monotone in the requested direction.
+        let ns: Vec<i64> = got.iter().map(|d| d.get_i64("n").unwrap()).collect();
+        for w in ns.windows(2) {
+            if asc {
+                prop_assert!(w[0] <= w[1]);
+            } else {
+                prop_assert!(w[0] >= w[1]);
+            }
+        }
+    }
+
+    /// Reopening a file-backed database replays to the identical state.
+    #[test]
+    fn wal_recovery_reproduces_state(
+        docs in proptest::collection::vec(arb_doc(), 1..30),
+        removals in proptest::collection::vec(any::<proptest::sample::Index>(), 0..5),
+    ) {
+        let dir = std::env::temp_dir().join(format!("mystore-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("w{}.wal", fastrand_like(&docs)));
+        let _ = std::fs::remove_file(&path);
+
+        let mut ids = Vec::new();
+        let before;
+        {
+            let mut db = Db::open(&path).unwrap();
+            db.create_index("d", "k").unwrap();
+            for d in &docs {
+                ids.push(db.insert_doc("d", d.clone()).unwrap());
+            }
+            for r in &removals {
+                let id = ids[r.index(ids.len())];
+                let _ = db.remove("d", id); // may already be gone
+            }
+            before = snapshot(&db);
+        }
+        let db = Db::open(&path).unwrap();
+        prop_assert_eq!(snapshot(&db), before);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// LWW: whatever order versions of the same key arrive in, the highest
+    /// version wins on every node.
+    #[test]
+    fn lww_is_order_insensitive(mut order in Just((0u16..8).collect::<Vec<u16>>()), seed in any::<u64>()) {
+        // Shuffle deterministically from the seed.
+        let mut s = seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut db = Db::memory();
+        db.create_index("data", "self-key").unwrap();
+        for &v in &order {
+            let rec = Record::new(
+                ObjectId::from_parts(0, 0, v as u32),
+                "the-key",
+                vec![v as u8],
+                pack_version(100 + v as u64, v),
+            );
+            db.put_record("data", &rec).unwrap();
+        }
+        let winner = db.get_record("data", "the-key").unwrap().unwrap();
+        prop_assert_eq!(winner.val, vec![7u8]);
+    }
+}
+
+/// Deterministic tag derived from the inputs so parallel proptest cases use
+/// distinct files.
+fn fastrand_like(docs: &[Document]) -> u64 {
+    let mut h = 1469598103934665603u64;
+    for d in docs {
+        for b in d.to_bytes() {
+            h = (h ^ b as u64).wrapping_mul(1099511628211);
+        }
+    }
+    h
+}
+
+fn snapshot(db: &Db) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for name in db.collection_names() {
+        let coll = db.collection(name).unwrap();
+        for (id, doc) in coll.iter() {
+            out.push((format!("{name}/{}", id.to_hex()), doc.to_bytes()));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Random mutation sequences (insert / update / physical remove / LWW put)
+/// must leave secondary indexes exactly consistent with a full scan.
+mod index_consistency {
+    use super::*;
+    use mystore_engine::query::Update;
+
+    #[derive(Debug, Clone)]
+    enum Mut {
+        Insert { k: String, n: i32 },
+        UpdateN { idx: proptest::sample::Index, n: i32 },
+        Remove { idx: proptest::sample::Index },
+        Rename { idx: proptest::sample::Index, k: String },
+    }
+
+    fn arb_mut() -> impl Strategy<Value = Mut> {
+        prop_oneof![
+            ("[a-d]{1,3}", 0..10i32).prop_map(|(k, n)| Mut::Insert { k, n }),
+            (any::<proptest::sample::Index>(), 0..10i32)
+                .prop_map(|(idx, n)| Mut::UpdateN { idx, n }),
+            any::<proptest::sample::Index>().prop_map(|idx| Mut::Remove { idx }),
+            (any::<proptest::sample::Index>(), "[a-d]{1,3}")
+                .prop_map(|(idx, k)| Mut::Rename { idx, k }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn indexes_agree_with_full_scan(muts in proptest::collection::vec(arb_mut(), 1..60)) {
+            let mut db = Db::memory();
+            db.create_index("d", "k").unwrap();
+            db.create_index("d", "n").unwrap();
+            let mut ids: Vec<ObjectId> = Vec::new();
+            for m in &muts {
+                match m {
+                    Mut::Insert { k, n } => {
+                        let id = db.insert_doc("d", doc! { "k": k.as_str(), "n": *n }).unwrap();
+                        ids.push(id);
+                    }
+                    Mut::UpdateN { idx, n } if !ids.is_empty() => {
+                        let id = ids[idx.index(ids.len())];
+                        if db.get("d", id).unwrap().is_some() {
+                            let u = Update::parse(&doc! { "$set": doc! { "n": *n } }).unwrap();
+                            db.update_by_id("d", id, &u).unwrap();
+                        }
+                    }
+                    Mut::Remove { idx } if !ids.is_empty() => {
+                        let id = ids[idx.index(ids.len())];
+                        let _ = db.remove("d", id);
+                    }
+                    Mut::Rename { idx, k } if !ids.is_empty() => {
+                        let id = ids[idx.index(ids.len())];
+                        if db.get("d", id).unwrap().is_some() {
+                            let u = Update::parse(&doc! { "$set": doc! { "k": k.as_str() } }).unwrap();
+                            db.update_by_id("d", id, &u).unwrap();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Every indexed query must match a naive scan exactly.
+            let coll = db.collection("d").unwrap();
+            for key in ["a", "b", "ab", "abc", "d", "dd"] {
+                let f = Filter::parse(&doc! { "k": key }).unwrap();
+                let (hits, explain) = coll.find_explain(&f, &FindOptions::default());
+                prop_assert_eq!(explain.used_index.as_deref(), Some("k"));
+                let naive = coll.iter().filter(|(_, d)| f.matches(d)).count();
+                prop_assert_eq!(hits.len(), naive, "key {}", key);
+            }
+            for n in 0..10i32 {
+                let f = Filter::parse(&doc! { "n": doc! { "$gte": n } }).unwrap();
+                let (hits, explain) = coll.find_explain(&f, &FindOptions::default());
+                prop_assert_eq!(explain.used_index.as_deref(), Some("n"));
+                let naive = coll.iter().filter(|(_, d)| f.matches(d)).count();
+                prop_assert_eq!(hits.len(), naive, "n >= {}", n);
+            }
+        }
+    }
+}

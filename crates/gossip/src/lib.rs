@@ -1,0 +1,15 @@
+//! Push-pull gossip for MyStore (paper §5.2.3).
+//!
+//! State transfer between storage nodes uses the paper's three-message
+//! push-pull protocol (`GossipDigestSynMessage` / `Ack1` / `Ack2`) over
+//! versioned endpoint states, with heartbeat-based failure detection and
+//! the seed/normal role split of Fig. 7. The [`Gossiper`] is a sans-io
+//! state machine embedded in each storage node process; membership changes
+//! surface as [`MembershipEvent`]s that drive hinted handoff and replica
+//! rebuilding in `mystore-core`.
+
+pub mod gossiper;
+pub mod state;
+
+pub use gossiper::{GossipConfig, GossipMsg, Gossiper, MembershipEvent};
+pub use state::{keys, Digest, EndpointDelta, EndpointState, VersionedValue};

@@ -1,0 +1,284 @@
+//! Versioned endpoint state — the unit of gossip.
+//!
+//! The paper's gossip message template is
+//! `HostAddress@VirtualNode;bootGeneration:ver;heartbeat:ver;load:ver` —
+//! i.e. each endpoint advertises a *boot generation* plus a set of
+//! versioned key/value states (heartbeat, load, virtual-node count, ...).
+//! "The greater of version number means newer states" (§5.2.3).
+
+use std::collections::BTreeMap;
+
+use mystore_net::NodeId;
+
+/// Well-known application-state keys.
+pub mod keys {
+    /// Node load (the paper's `load` field).
+    pub const LOAD: &str = "load";
+    /// Number of virtual nodes the endpoint contributes.
+    pub const VNODES: &str = "vnodes";
+    /// Prefix for seed-declared long-failure records:
+    /// `removed:<node>` → generation that was declared dead.
+    pub const REMOVED_PREFIX: &str = "removed:";
+}
+
+/// A value with the version at which it was last set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// The value (stringly-typed, as in the paper's message template).
+    pub value: String,
+    /// Version within the endpoint's (generation, version) clock.
+    pub version: u64,
+}
+
+/// Everything one node advertises about itself (or has learned about
+/// another node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointState {
+    /// Boot generation: bumped on every process restart; trumps versions.
+    pub generation: u64,
+    /// Heartbeat counter version (the liveness signal).
+    pub heartbeat: u64,
+    /// Versioned application states.
+    pub app_states: BTreeMap<String, VersionedValue>,
+    /// Highest version used in this generation (heartbeat or app state).
+    pub max_version: u64,
+}
+
+impl EndpointState {
+    /// Fresh state for a node booting with `generation`.
+    pub fn new(generation: u64) -> Self {
+        EndpointState { generation, heartbeat: 0, app_states: BTreeMap::new(), max_version: 0 }
+    }
+
+    /// Increments the heartbeat (and the version clock).
+    pub fn beat(&mut self) {
+        self.max_version += 1;
+        self.heartbeat = self.max_version;
+    }
+
+    /// Sets an application state, bumping the version clock.
+    pub fn set_app(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.max_version += 1;
+        self.app_states
+            .insert(key.into(), VersionedValue { value: value.into(), version: self.max_version });
+    }
+
+    /// Reads an application state value.
+    pub fn app(&self, key: &str) -> Option<&str> {
+        self.app_states.get(key).map(|v| v.value.as_str())
+    }
+
+    /// The digest entry for this state.
+    pub fn digest(&self, endpoint: NodeId) -> Digest {
+        Digest { endpoint, generation: self.generation, max_version: self.max_version }
+    }
+
+    /// `(generation, max_version)` — the comparison key for freshness.
+    pub fn clock(&self) -> (u64, u64) {
+        (self.generation, self.max_version)
+    }
+
+    /// Entries strictly newer than `after_version` (used to build deltas).
+    /// `after_version = 0` returns everything.
+    pub fn delta_since(&self, endpoint: NodeId, after_version: u64) -> EndpointDelta {
+        EndpointDelta {
+            endpoint,
+            generation: self.generation,
+            heartbeat: if self.heartbeat > after_version { Some(self.heartbeat) } else { None },
+            app_states: self
+                .app_states
+                .iter()
+                .filter(|(_, v)| v.version > after_version)
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            max_version: self.max_version,
+        }
+    }
+
+    /// Merges a delta believed newer. Returns `true` if anything changed.
+    pub fn merge(&mut self, delta: &EndpointDelta) -> bool {
+        if delta.generation < self.generation {
+            return false;
+        }
+        let mut changed = false;
+        if delta.generation > self.generation {
+            // The node restarted: its state starts over.
+            *self = EndpointState::new(delta.generation);
+            changed = true;
+        }
+        if let Some(hb) = delta.heartbeat {
+            if hb > self.heartbeat {
+                self.heartbeat = hb;
+                changed = true;
+            }
+        }
+        for (k, v) in &delta.app_states {
+            let newer = self.app_states.get(k).map(|cur| v.version > cur.version).unwrap_or(true);
+            if newer {
+                self.app_states.insert(k.clone(), v.clone());
+                changed = true;
+            }
+        }
+        if delta.max_version > self.max_version {
+            self.max_version = delta.max_version;
+            changed = true;
+        }
+        changed
+    }
+
+    /// Renders the paper's §5.2.3 message template:
+    /// `HostAddress@VirtualNode;bootGeneration:ver;heartbeat:ver;load:ver`.
+    /// The structured codec is what actually travels; this string form is
+    /// for logs/diagnostics and wire-format compatibility tests.
+    pub fn to_template_string(&self, endpoint: NodeId) -> String {
+        let vnodes = self.app(keys::VNODES).unwrap_or("0");
+        let load = self
+            .app_states
+            .get(keys::LOAD)
+            .map(|v| v.version)
+            .unwrap_or(0);
+        format!(
+            "{}@{};bootGeneration:{};heartbeat:{};load:{}",
+            endpoint.0, vnodes, self.generation, self.heartbeat, load
+        )
+    }
+
+    /// Approximate wire size of the full state (for the bandwidth model).
+    pub fn wire_size(&self) -> usize {
+        24 + self
+            .app_states
+            .iter()
+            .map(|(k, v)| k.len() + v.value.len() + 8)
+            .sum::<usize>()
+    }
+}
+
+/// Digest entry of a `GossipDigestSynMessage`: who, which generation, how
+/// far its version clock has advanced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest {
+    /// The endpoint being described.
+    pub endpoint: NodeId,
+    /// Its boot generation.
+    pub generation: u64,
+    /// Highest version the sender has for it.
+    pub max_version: u64,
+}
+
+/// A set of state entries newer than the receiver's knowledge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointDelta {
+    /// The endpoint being described.
+    pub endpoint: NodeId,
+    /// Its boot generation.
+    pub generation: u64,
+    /// New heartbeat version, if it advanced.
+    pub heartbeat: Option<u64>,
+    /// App states newer than the receiver's version.
+    pub app_states: Vec<(String, VersionedValue)>,
+    /// The sender's version high-water mark for this endpoint.
+    pub max_version: u64,
+}
+
+impl EndpointDelta {
+    /// Approximate wire size.
+    pub fn wire_size(&self) -> usize {
+        28 + self.app_states.iter().map(|(k, v)| k.len() + v.value.len() + 8).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_string_matches_the_paper() {
+        let mut s = EndpointState::new(3);
+        s.set_app(keys::VNODES, "128"); // v1
+        s.beat(); // heartbeat v2
+        s.set_app(keys::LOAD, "6000"); // v3
+        assert_eq!(
+            s.to_template_string(NodeId(7)),
+            "7@128;bootGeneration:3;heartbeat:2;load:3"
+        );
+        // No app states yet: defaults are stable.
+        let fresh = EndpointState::new(1);
+        assert_eq!(fresh.to_template_string(NodeId(0)), "0@0;bootGeneration:1;heartbeat:0;load:0");
+    }
+
+    #[test]
+    fn beat_advances_heartbeat_and_clock() {
+        let mut s = EndpointState::new(1);
+        s.beat();
+        s.beat();
+        assert_eq!(s.heartbeat, 2);
+        assert_eq!(s.max_version, 2);
+        assert_eq!(s.clock(), (1, 2));
+    }
+
+    #[test]
+    fn set_app_versions_monotonically() {
+        let mut s = EndpointState::new(1);
+        s.beat();
+        s.set_app(keys::LOAD, "0.5");
+        assert_eq!(s.app(keys::LOAD), Some("0.5"));
+        assert_eq!(s.app_states[keys::LOAD].version, 2);
+        s.set_app(keys::LOAD, "0.9");
+        assert_eq!(s.app_states[keys::LOAD].version, 3);
+        assert_eq!(s.max_version, 3);
+    }
+
+    #[test]
+    fn delta_since_filters_by_version() {
+        let mut s = EndpointState::new(1);
+        s.set_app("a", "1"); // v1
+        s.beat(); // v2
+        s.set_app("b", "2"); // v3
+        let d = s.delta_since(NodeId(0), 1);
+        assert_eq!(d.heartbeat, Some(2));
+        assert_eq!(d.app_states.len(), 1);
+        assert_eq!(d.app_states[0].0, "b");
+        let full = s.delta_since(NodeId(0), 0);
+        assert_eq!(full.app_states.len(), 2);
+    }
+
+    #[test]
+    fn merge_takes_newer_entries_only() {
+        let mut local = EndpointState::new(1);
+        local.set_app("x", "old"); // v1
+        let mut remote = EndpointState::new(1);
+        remote.set_app("x", "ignored-v1"); // v1 — same version, not newer
+        remote.set_app("x", "new"); // v2
+        remote.beat(); // v3
+        let delta = remote.delta_since(NodeId(0), local.max_version);
+        assert!(local.merge(&delta));
+        assert_eq!(local.app("x"), Some("new"));
+        assert_eq!(local.heartbeat, 3);
+        assert_eq!(local.max_version, 3);
+        // Merging the same delta again changes nothing.
+        assert!(!local.merge(&delta));
+    }
+
+    #[test]
+    fn newer_generation_resets_state() {
+        let mut local = EndpointState::new(1);
+        local.set_app("x", "stale");
+        local.beat();
+        let mut rebooted = EndpointState::new(2);
+        rebooted.beat(); // v1 in gen 2
+        let delta = rebooted.delta_since(NodeId(0), 0);
+        assert!(local.merge(&delta));
+        assert_eq!(local.generation, 2);
+        assert_eq!(local.heartbeat, 1);
+        assert!(local.app("x").is_none(), "old-generation app state must be dropped");
+    }
+
+    #[test]
+    fn older_generation_is_ignored() {
+        let mut local = EndpointState::new(3);
+        local.beat();
+        let old = EndpointState::new(2);
+        assert!(!local.merge(&old.delta_since(NodeId(0), 0)));
+        assert_eq!(local.generation, 3);
+    }
+}

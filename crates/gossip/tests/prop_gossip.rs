@@ -1,0 +1,122 @@
+//! Property tests for the gossip protocol: under arbitrary exchange
+//! schedules, state never regresses and sufficiently-connected schedules
+//! converge.
+
+use mystore_gossip::{keys, GossipConfig, Gossiper};
+use mystore_net::{NodeId, SimTime};
+use proptest::prelude::*;
+
+fn cfg(seeds: Vec<NodeId>) -> GossipConfig {
+    GossipConfig {
+        interval_us: 1_000_000,
+        fail_after_us: 1 << 40, // liveness not under test here
+        remove_after_us: 1 << 41,
+        seeds,
+        extra_fanout: 1,
+    }
+}
+
+/// Runs one full Syn→Ack1→Ack2 exchange initiated by `a` toward `b`.
+/// The Syn is taken from `a`'s regular tick (digests are independent of the
+/// tick's own target choice).
+fn exchange(nodes: &mut [Gossiper], a: usize, b: usize, now: SimTime) {
+    let syn = {
+        let mut rng = mystore_net::Rng::new((a * 31 + b) as u64);
+        let out = nodes[a].tick(now, &mut rng);
+        match out.into_iter().next() {
+            Some((_, m)) => m,
+            None => return,
+        }
+    };
+    if let Some((_, ack1)) = nodes[b].handle(now, NodeId(a as u32), syn) {
+        if let Some((_, ack2)) = nodes[a].handle(now, NodeId(b as u32), ack1) {
+            nodes[b].handle(now, NodeId(a as u32), ack2);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Versioned state is monotone: once a node has seen version v of an
+    /// endpoint's app state, no exchange can take it back to an older value.
+    #[test]
+    fn state_never_regresses(
+        schedule in proptest::collection::vec((0usize..5, 0usize..5), 1..60),
+        updates in proptest::collection::vec((0usize..5, 0u32..100), 1..10),
+    ) {
+        let seeds = vec![NodeId(0)];
+        let mut nodes: Vec<Gossiper> =
+            (0..5).map(|i| Gossiper::new(NodeId(i as u32), 1, cfg(seeds.clone()))).collect();
+        // Apply numbered updates to random owners; values strictly increase.
+        for (round, &(owner, v)) in updates.iter().enumerate() {
+            nodes[owner].set_app_state(keys::LOAD, format!("{}", round * 1000 + v as usize));
+        }
+        // Remember each owner's final (authoritative) value.
+        let truth: Vec<Option<String>> = (0..5)
+            .map(|i| nodes[i].app_state(NodeId(i as u32), keys::LOAD).map(str::to_string))
+            .collect();
+
+        let mut best_seen: Vec<Vec<Option<String>>> = vec![vec![None; 5]; 5];
+        for (step, &(a, b)) in schedule.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            let now = SimTime::from_secs(step as u64 + 1);
+            exchange(&mut nodes, a, b, now);
+            for i in 0..5 {
+                for j in 0..5usize {
+                    let cur = nodes[i].app_state(NodeId(j as u32), keys::LOAD).map(str::to_string);
+                    if let (Some(prev), Some(cur)) = (&best_seen[i][j], &cur) {
+                        // Values encode their update round, so ordering is
+                        // numeric.
+                        let p: usize = prev.parse().unwrap();
+                        let c: usize = cur.parse().unwrap();
+                        prop_assert!(c >= p, "node {i} regressed its view of {j}: {p} -> {c}");
+                    }
+                    if cur.is_some() {
+                        best_seen[i][j] = cur;
+                    }
+                }
+            }
+        }
+        // The owner's own view always stays authoritative.
+        for (i, t) in truth.iter().enumerate() {
+            prop_assert_eq!(
+                nodes[i].app_state(NodeId(i as u32), keys::LOAD).map(str::to_string),
+                t.clone()
+            );
+        }
+    }
+
+    /// A schedule where every node exchanges with the seed at least twice
+    /// converges: everyone knows everyone's final state.
+    #[test]
+    fn seed_star_schedules_converge(order in Just(()), seed_val in 0u64..1000) {
+        let _ = order;
+        let seeds = vec![NodeId(0)];
+        let mut nodes: Vec<Gossiper> =
+            (0..6).map(|i| Gossiper::new(NodeId(i as u32), 1, cfg(seeds.clone()))).collect();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.set_app_state(keys::VNODES, format!("{}", 10 + i));
+        }
+        let _ = seed_val;
+        // Two passes of everyone↔seed.
+        for pass in 0..2u64 {
+            for i in 1..6 {
+                let now = SimTime::from_secs(pass * 10 + i as u64);
+                exchange(&mut nodes, i, 0, now);
+            }
+        }
+        for g in &nodes {
+            for j in 0..6u32 {
+                let expect = format!("{}", 10 + j as usize);
+                prop_assert_eq!(
+                    g.app_state(NodeId(j), keys::VNODES),
+                    Some(expect.as_str()),
+                    "node {} missing vnodes of {}", g.id(), j
+                );
+            }
+        }
+    }
+}

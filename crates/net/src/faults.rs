@@ -1,0 +1,184 @@
+//! Fault injection per paper Table 2.
+//!
+//! The evaluation injects four fault types with fixed per-operation
+//! probabilities:
+//!
+//! | # | type  | reason              | probability |
+//! |---|-------|---------------------|-------------|
+//! | 1 | short | network exception   | 0.1         |
+//! | 2 | short | disk IO error       | 0.002       |
+//! | 3 | short | blocking processing | 0.002       |
+//! | 4 | long  | node breakdown      | 0.001       |
+//!
+//! *Short* failures self-recover (paper §5.2.4); *long* failures persist
+//! until membership action removes or restores the node. The runtime samples
+//! at most one fault per handled operation and hands it to the process via
+//! [`Context::take_op_fault`](crate::process::Context::take_op_fault); the
+//! process decides what the fault means for the operation it is executing.
+
+use crate::rng::Rng;
+
+/// A fault drawn for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpFault {
+    /// Short: the message effectively never reaches the replica (or its ack
+    /// is lost). The coordinator sees a timeout.
+    NetworkException,
+    /// Short: the local storage engine returns an I/O error.
+    DiskIoError,
+    /// Short: the serving process stalls; the node's server is blocked for a
+    /// sampled interval, delaying everything behind it.
+    BlockedProcess,
+    /// Long: the node breaks down and stays offline until recovered by the
+    /// operator / membership layer.
+    NodeBreakdown,
+}
+
+impl OpFault {
+    /// True for the paper's *short failure* class.
+    pub fn is_short(self) -> bool {
+        !matches!(self, OpFault::NodeBreakdown)
+    }
+}
+
+/// Per-operation fault probabilities (paper Table 2) plus recovery-interval
+/// parameters for the short faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// P(network exception) per operation.
+    pub p_network: f64,
+    /// P(disk IO error) per operation.
+    pub p_disk: f64,
+    /// P(blocking process) per operation.
+    pub p_block: f64,
+    /// P(node breakdown) per operation.
+    pub p_breakdown: f64,
+    /// How long a blocked process stalls, sampled uniformly from this range (µs).
+    pub block_range_us: (u64, u64),
+}
+
+impl FaultPlan {
+    /// No faults at all (the paper's *no-fault* runs).
+    pub fn none() -> Self {
+        FaultPlan {
+            p_network: 0.0,
+            p_disk: 0.0,
+            p_block: 0.0,
+            p_breakdown: 0.0,
+            block_range_us: (10_000, 100_000),
+        }
+    }
+
+    /// Exactly Table 2 of the paper.
+    pub fn paper_table2() -> Self {
+        FaultPlan {
+            p_network: 0.1,
+            p_disk: 0.002,
+            p_block: 0.002,
+            p_breakdown: 0.001,
+            block_range_us: (10_000, 100_000),
+        }
+    }
+
+    /// True when every probability is zero (sampling can be skipped).
+    pub fn is_none(&self) -> bool {
+        self.p_network == 0.0 && self.p_disk == 0.0 && self.p_block == 0.0 && self.p_breakdown == 0.0
+    }
+
+    /// Draws at most one fault for an operation. Faults are tested in Table 2
+    /// order; probabilities are small enough that the order is immaterial in
+    /// practice but a fixed order keeps runs deterministic.
+    pub fn sample(&self, rng: &mut Rng) -> Option<OpFault> {
+        if self.is_none() {
+            return None;
+        }
+        if rng.chance(self.p_network) {
+            Some(OpFault::NetworkException)
+        } else if rng.chance(self.p_disk) {
+            Some(OpFault::DiskIoError)
+        } else if rng.chance(self.p_block) {
+            Some(OpFault::BlockedProcess)
+        } else if rng.chance(self.p_breakdown) {
+            Some(OpFault::NodeBreakdown)
+        } else {
+            None
+        }
+    }
+
+    /// Samples a blocked-process stall duration.
+    pub fn sample_block_us(&self, rng: &mut Rng) -> u64 {
+        let (lo, hi) = self.block_range_us;
+        if lo >= hi {
+            lo
+        } else {
+            rng.range_u64(lo, hi)
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_faults() {
+        let plan = FaultPlan::none();
+        let mut rng = Rng::new(5);
+        assert!(plan.is_none());
+        assert!((0..10_000).all(|_| plan.sample(&mut rng).is_none()));
+    }
+
+    #[test]
+    fn table2_empirical_rates_match() {
+        let plan = FaultPlan::paper_table2();
+        let mut rng = Rng::new(1234);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            match plan.sample(&mut rng) {
+                Some(OpFault::NetworkException) => counts[0] += 1,
+                Some(OpFault::DiskIoError) => counts[1] += 1,
+                Some(OpFault::BlockedProcess) => counts[2] += 1,
+                Some(OpFault::NodeBreakdown) => counts[3] += 1,
+                None => {}
+            }
+        }
+        let rate = |c: usize| c as f64 / n as f64;
+        assert!((0.095..0.105).contains(&rate(counts[0])), "network {}", rate(counts[0]));
+        assert!((0.0013..0.0027).contains(&rate(counts[1])), "disk {}", rate(counts[1]));
+        assert!((0.0013..0.0027).contains(&rate(counts[2])), "block {}", rate(counts[2]));
+        assert!((0.0005..0.0016).contains(&rate(counts[3])), "breakdown {}", rate(counts[3]));
+    }
+
+    #[test]
+    fn short_long_classification() {
+        assert!(OpFault::NetworkException.is_short());
+        assert!(OpFault::DiskIoError.is_short());
+        assert!(OpFault::BlockedProcess.is_short());
+        assert!(!OpFault::NodeBreakdown.is_short());
+    }
+
+    #[test]
+    fn block_duration_within_range() {
+        let plan = FaultPlan::paper_table2();
+        let mut rng = Rng::new(2);
+        for _ in 0..1000 {
+            let d = plan.sample_block_us(&mut rng);
+            assert!((10_000..100_000).contains(&d));
+        }
+    }
+
+    #[test]
+    fn degenerate_block_range() {
+        let mut plan = FaultPlan::paper_table2();
+        plan.block_range_us = (5_000, 5_000);
+        let mut rng = Rng::new(3);
+        assert_eq!(plan.sample_block_us(&mut rng), 5_000);
+    }
+}

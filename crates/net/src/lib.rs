@@ -1,0 +1,34 @@
+//! Cluster runtime substrate for MyStore.
+//!
+//! The paper deploys MyStore on a physical LAN (Netty message framework,
+//! gigabit switch, Xeon servers). This crate replaces that testbed with two
+//! interchangeable runtimes for the same *sans-io* component model:
+//!
+//! * [`sim::Sim`] — a deterministic discrete-event simulator with latency,
+//!   bandwidth, queueing, and fault models. All experiments (`crates/bench`)
+//!   run here, reproducibly.
+//! * [`threaded::ThreadedCluster`] — one OS thread per node with channel
+//!   links, for examples and integration tests that exercise real
+//!   concurrency.
+//!
+//! Components implement [`process::Process`] and never do I/O themselves;
+//! the runtime interprets their emitted [`process::Action`]s. See DESIGN.md
+//! §4 for why this architecture was chosen.
+
+pub mod faults;
+pub mod netmodel;
+pub mod process;
+pub mod rng;
+pub mod sim;
+pub mod threaded;
+pub mod time;
+pub mod trace;
+
+pub use faults::{FaultPlan, OpFault};
+pub use netmodel::NetConfig;
+pub use process::{Action, Context, NodeId, Process, TimerToken, WireSized};
+pub use rng::Rng;
+pub use sim::{NodeConfig, Sim, SimConfig, StopReason};
+pub use threaded::{ThreadedCluster, ThreadedClusterBuilder, ThreadedConfig};
+pub use time::SimTime;
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,112 @@
+//! Network latency and bandwidth model.
+//!
+//! The paper's testbed is a LAN behind a gigabit switch (§6.1). We model a
+//! link as a fixed propagation/switching delay plus uniform jitter, and
+//! charge transmission time `bytes / bandwidth` per message, which is what
+//! makes large unstructured payloads (up to 7.6 MB in §6.2) dominate TTLB
+//! while TTFB stays queue-bound.
+
+use crate::rng::Rng;
+
+/// Link parameters shared by all node pairs (single-switch LAN).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Base one-way latency in µs (propagation + switching + kernel).
+    pub base_latency_us: u64,
+    /// Additional uniform jitter in `[0, jitter_us]`.
+    pub jitter_us: u64,
+    /// Link bandwidth in bytes/µs (1 Gbit/s = 125 B/µs).
+    pub bandwidth_bytes_per_us: f64,
+    /// Loopback latency when a node messages itself, in µs.
+    pub loopback_latency_us: u64,
+}
+
+impl NetConfig {
+    /// A gigabit LAN with ~200 µs one-way latency — matching the paper's
+    /// switched-gigabit testbed.
+    pub fn gigabit_lan() -> Self {
+        NetConfig {
+            base_latency_us: 200,
+            jitter_us: 100,
+            bandwidth_bytes_per_us: 125.0,
+            loopback_latency_us: 5,
+        }
+    }
+
+    /// Zero-latency, infinite-bandwidth network, useful in unit tests where
+    /// only ordering matters.
+    pub fn instant() -> Self {
+        NetConfig {
+            base_latency_us: 0,
+            jitter_us: 0,
+            bandwidth_bytes_per_us: f64::INFINITY,
+            loopback_latency_us: 0,
+        }
+    }
+
+    /// Pure transmission time for a payload of `bytes`.
+    pub fn transfer_us(&self, bytes: usize) -> u64 {
+        if self.bandwidth_bytes_per_us.is_infinite() || bytes == 0 {
+            0
+        } else {
+            (bytes as f64 / self.bandwidth_bytes_per_us).ceil() as u64
+        }
+    }
+
+    /// Samples a full one-way delivery delay for a message of `bytes`
+    /// between two distinct nodes.
+    pub fn sample_delay_us(&self, bytes: usize, rng: &mut Rng) -> u64 {
+        let jitter = if self.jitter_us == 0 { 0 } else { rng.range_u64(0, self.jitter_us + 1) };
+        self.base_latency_us + jitter + self.transfer_us(bytes)
+    }
+
+    /// Delivery delay for a self-addressed message.
+    pub fn sample_loopback_us(&self, _bytes: usize) -> u64 {
+        self.loopback_latency_us
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::gigabit_lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_transfer_times() {
+        let net = NetConfig::gigabit_lan();
+        // 125 KB at 125 B/µs = 1000 µs.
+        assert_eq!(net.transfer_us(125_000), 1_000);
+        assert_eq!(net.transfer_us(0), 0);
+        // 600 KB XML file ≈ 4.8 ms on the wire.
+        assert_eq!(net.transfer_us(600_000), 4_800);
+    }
+
+    #[test]
+    fn instant_network_is_free() {
+        let net = NetConfig::instant();
+        let mut rng = Rng::new(1);
+        assert_eq!(net.transfer_us(10_000_000), 0);
+        assert_eq!(net.sample_delay_us(1_000_000, &mut rng), 0);
+    }
+
+    #[test]
+    fn delay_includes_base_jitter_and_transfer() {
+        let net = NetConfig::gigabit_lan();
+        let mut rng = Rng::new(2);
+        for _ in 0..1000 {
+            let d = net.sample_delay_us(12_500, &mut rng); // 100 µs transfer
+            assert!((300..=400 + 1).contains(&d), "delay {d}");
+        }
+    }
+
+    #[test]
+    fn loopback_is_cheap() {
+        let net = NetConfig::gigabit_lan();
+        assert_eq!(net.sample_loopback_us(1_000_000), 5);
+    }
+}

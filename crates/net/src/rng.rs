@@ -1,0 +1,175 @@
+//! Deterministic random numbers for the simulator.
+//!
+//! A single seeded generator owned by the simulator is the only source of
+//! randomness in simulated experiments; the `rand` crate is deliberately not
+//! used here so no hidden global state can perturb reproducibility.
+//!
+//! The generator is SplitMix64 — tiny, fast, and statistically fine for
+//! workload sampling (it seeds xoshiro in the reference implementations).
+
+/// Deterministic 64-bit generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform usize in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty collection");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponential variate with the given mean.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        // Inverse CDF; guard the log against u == 0.
+        let u = self.next_f64().max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Normal variate via Box–Muller.
+    pub fn normal(&mut self, mean: f64, stddev: f64) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        let mag = (-2.0 * u1.ln()).sqrt();
+        mean + stddev * mag * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Forks an independent generator (for per-node streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64())
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Uniformly picks one element, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.index(items.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng::new(43);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability() {
+        let mut r = Rng::new(1);
+        let hits = (0..100_000).filter(|_| r.chance(0.1)).count();
+        assert!((8_000..12_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = Rng::new(2);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.exp(250.0)).sum();
+        let mean = sum / n as f64;
+        assert!((225.0..275.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = Rng::new(3);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(15.0, 5.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((14.8..15.2).contains(&mean), "mean {mean}");
+        assert!((24.0..26.0).contains(&var), "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_handles_empty() {
+        let mut r = Rng::new(9);
+        assert!(r.choose::<u32>(&[]).is_none());
+        assert!(r.choose(&[5u32]).is_some());
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = Rng::new(11);
+        for _ in 0..1000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

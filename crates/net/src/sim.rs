@@ -1,0 +1,799 @@
+//! Deterministic discrete-event cluster simulator.
+//!
+//! Drives [`Process`] state machines in virtual time with:
+//!
+//! * a **network model** (per-message latency, jitter, and gigabit-style
+//!   transmission delay — [`NetConfig`]),
+//! * a **queueing model**: each node is a FIFO queue served by `concurrency`
+//!   servers; handler-charged service time ([`Context::consume`]) keeps a
+//!   server busy, which is what produces the saturation knees the paper
+//!   measures in Figs. 13–14,
+//! * a **fault model** (paper Table 2 — [`FaultPlan`]): short faults are
+//!   either surfaced to the process (network exception, disk error) or
+//!   applied by the runtime (blocked process), and node breakdown takes the
+//!   node offline,
+//! * **crash/partition control** for scripted failure drills,
+//! * a **trace** collecting every `ctx.record(...)` measurement.
+//!
+//! Everything is driven by one seeded RNG, so a run is a pure function of
+//! (processes, config, seed).
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+use crate::faults::{FaultPlan, OpFault};
+use crate::netmodel::NetConfig;
+use crate::process::{Action, Context, NodeId, Process, TimerToken, WireSized};
+use crate::rng::Rng;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent};
+
+/// Simulator-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// Network latency/bandwidth model.
+    pub net: NetConfig,
+    /// Fault-injection plan (applied per handled message).
+    pub faults: FaultPlan,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+/// Per-node configuration.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Number of work items the node can process concurrently (its server
+    /// count — e.g. worker threads / cores).
+    pub concurrency: usize,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig { concurrency: 1 }
+    }
+}
+
+/// Why [`Sim::run_until`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The virtual-time limit was reached with events still pending.
+    TimeLimit,
+    /// No events remain (the system went quiescent).
+    Idle,
+}
+
+enum Work<M> {
+    Msg { from: NodeId, msg: M },
+    Timer(TimerToken),
+}
+
+enum EventKind<M> {
+    Arrive { to: NodeId, from: NodeId, msg: M },
+    TimerFire { node: NodeId, token: TimerToken },
+    Dispatch { node: NodeId },
+    Recover { node: NodeId },
+    Crash { node: NodeId, down_for_us: Option<u64> },
+    SetLink { a: NodeId, b: NodeId, up: bool },
+}
+
+struct Event<M> {
+    time: u64,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+trait AnyProcess<M>: Process<M> {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M, T: Process<M> + Any> AnyProcess<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+struct NodeSlot<M> {
+    process: Box<dyn AnyProcess<M>>,
+    /// Per-server next-free time (µs).
+    servers: Vec<u64>,
+    queue: VecDeque<Work<M>>,
+    up: bool,
+    rng: Rng,
+    /// Earliest time a Dispatch event is already scheduled for, if any —
+    /// avoids flooding the event queue.
+    dispatch_at: Option<u64>,
+    /// Total busy time accumulated across servers (for utilization stats).
+    busy_us: u64,
+    /// Messages dropped because the node was down.
+    dropped: u64,
+}
+
+/// The deterministic simulator. `M` is the cluster message type.
+pub struct Sim<M: WireSized> {
+    config: SimConfig,
+    nodes: Vec<NodeSlot<M>>,
+    events: BinaryHeap<Reverse<Event<M>>>,
+    seq: u64,
+    now: u64,
+    rng: Rng,
+    trace: Trace,
+    /// Links currently forced down (unordered pairs).
+    down_links: HashSet<(NodeId, NodeId)>,
+    started: bool,
+    /// When set, only messages satisfying the predicate draw per-operation
+    /// faults. The paper's Table 2 probabilities are per *operation*, so
+    /// experiment harnesses restrict sampling to operation-level messages
+    /// rather than every ack and gossip frame.
+    fault_filter: Option<Box<dyn Fn(&M) -> bool>>,
+}
+
+impl<M: WireSized + 'static> Sim<M> {
+    /// Creates a simulator.
+    pub fn new(config: SimConfig) -> Self {
+        let rng = Rng::new(config.seed);
+        Sim {
+            config,
+            nodes: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            rng,
+            trace: Trace::new(),
+            down_links: HashSet::new(),
+            started: false,
+            fault_filter: None,
+        }
+    }
+
+    /// Restricts fault sampling to messages satisfying `pred` (see the
+    /// `fault_filter` field). Call before [`Sim::start`].
+    pub fn set_fault_filter(&mut self, pred: impl Fn(&M) -> bool + 'static) {
+        self.fault_filter = Some(Box::new(pred));
+    }
+
+    /// Adds a node running `process`. Returns its id. Must be called before
+    /// [`Sim::start`].
+    pub fn add_node<P: Process<M> + Any>(&mut self, process: P, cfg: NodeConfig) -> NodeId {
+        assert!(!self.started, "add_node after start");
+        assert!(cfg.concurrency >= 1, "a node needs at least one server");
+        let id = NodeId(self.nodes.len() as u32);
+        let rng = self.rng.fork();
+        self.nodes.push(NodeSlot {
+            process: Box::new(process),
+            servers: vec![0; cfg.concurrency],
+            queue: VecDeque::new(),
+            up: true,
+            rng,
+            dispatch_at: None,
+            busy_us: 0,
+            dropped: 0,
+        });
+        id
+    }
+
+    /// Calls every process's `on_start` at time zero.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start called twice");
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.invoke(NodeId(i as u32), 0, |p, ctx| p.on_start(ctx), None);
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.now)
+    }
+
+    /// The experiment trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Network model accessor (for computing e.g. transfer components of a
+    /// measured latency).
+    pub fn net(&self) -> &NetConfig {
+        &self.config.net
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.nodes.get(id.0 as usize).map(|n| n.up).unwrap_or(false)
+    }
+
+    /// Accumulated busy time of a node's servers (µs).
+    pub fn busy_us(&self, id: NodeId) -> u64 {
+        self.nodes[id.0 as usize].busy_us
+    }
+
+    /// Messages dropped at a node because it was down.
+    pub fn dropped_at(&self, id: NodeId) -> u64 {
+        self.nodes[id.0 as usize].dropped
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node's process, downcast to its concrete type.
+    pub fn process<P: 'static>(&self, id: NodeId) -> Option<&P> {
+        self.nodes.get(id.0 as usize)?.process.as_any().downcast_ref::<P>()
+    }
+
+    /// Mutable access to a node's process, downcast to its concrete type.
+    ///
+    /// Intended for test harnesses that need to inspect or tweak state
+    /// between runs — never call this from inside the simulation.
+    pub fn process_mut<P: 'static>(&mut self, id: NodeId) -> Option<&mut P> {
+        self.nodes.get_mut(id.0 as usize)?.process.as_any_mut().downcast_mut::<P>()
+    }
+
+    /// Injects a message from outside the cluster, arriving at `at`.
+    pub fn inject(&mut self, at: SimTime, to: NodeId, msg: M) {
+        self.push(at.0, EventKind::Arrive { to, from: NodeId::EXTERNAL, msg });
+    }
+
+    /// Schedules a crash of `node` at `at`; `down_for_us: None` keeps it down
+    /// until [`Sim::schedule_restart`].
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId, down_for_us: Option<u64>) {
+        self.push(at.0, EventKind::Crash { node, down_for_us });
+    }
+
+    /// Schedules a restart of `node` at `at`.
+    pub fn schedule_restart(&mut self, at: SimTime, node: NodeId) {
+        self.push(at.0, EventKind::Recover { node });
+    }
+
+    /// Schedules taking the `a`↔`b` link down (`up = false`) or up.
+    pub fn schedule_link(&mut self, at: SimTime, a: NodeId, b: NodeId, up: bool) {
+        self.push(at.0, EventKind::SetLink { a, b, up });
+    }
+
+    /// Runs until the given virtual time, or until idle, whichever first.
+    pub fn run_until(&mut self, limit: SimTime) -> StopReason {
+        assert!(self.started, "call start() before run_until");
+        loop {
+            let Some(Reverse(head)) = self.events.peek() else {
+                self.now = self.now.max(limit.0.min(self.now));
+                return StopReason::Idle;
+            };
+            if head.time > limit.0 {
+                self.now = limit.0;
+                return StopReason::TimeLimit;
+            }
+            let Reverse(event) = self.events.pop().expect("peeked");
+            self.now = event.time;
+            self.handle(event);
+        }
+    }
+
+    /// Runs for `us` more microseconds of virtual time.
+    pub fn run_for(&mut self, us: u64) -> StopReason {
+        let t = SimTime(self.now + us);
+        self.run_until(t)
+    }
+
+    /// Runs until no events remain, with a hard safety cap on virtual time.
+    pub fn run_until_idle(&mut self, cap: SimTime) -> StopReason {
+        self.run_until(cap)
+    }
+
+    fn push(&mut self, time: u64, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time: time.max(self.now), seq, kind }));
+    }
+
+    fn link_down(&self, a: NodeId, b: NodeId) -> bool {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.down_links.contains(&key)
+    }
+
+    fn handle(&mut self, event: Event<M>) {
+        match event.kind {
+            EventKind::Arrive { to, from, msg } => {
+                let link_cut = from != NodeId::EXTERNAL && from != to && self.link_down(from, to);
+                let Some(slot) = self.nodes.get_mut(to.0 as usize) else { return };
+                if !slot.up || link_cut {
+                    slot.dropped += 1;
+                    return;
+                }
+                slot.queue.push_back(Work::Msg { from, msg });
+                self.dispatch(to);
+            }
+            EventKind::TimerFire { node, token } => {
+                let Some(slot) = self.nodes.get_mut(node.0 as usize) else { return };
+                if !slot.up {
+                    return;
+                }
+                slot.queue.push_back(Work::Timer(token));
+                self.dispatch(node);
+            }
+            EventKind::Dispatch { node } => {
+                if let Some(slot) = self.nodes.get_mut(node.0 as usize) {
+                    slot.dispatch_at = None;
+                }
+                self.dispatch(node);
+            }
+            EventKind::Recover { node } => {
+                let slot = &mut self.nodes[node.0 as usize];
+                if slot.up {
+                    return;
+                }
+                slot.up = true;
+                let now = self.now;
+                for s in &mut slot.servers {
+                    *s = now;
+                }
+                self.invoke(node, now, |p, ctx| p.on_restart(ctx), None);
+            }
+            EventKind::Crash { node, down_for_us } => {
+                self.crash(node, down_for_us);
+            }
+            EventKind::SetLink { a, b, up } => {
+                let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+                if up {
+                    self.down_links.remove(&key);
+                } else {
+                    self.down_links.insert(key);
+                }
+            }
+        }
+    }
+
+    fn crash(&mut self, node: NodeId, down_for_us: Option<u64>) {
+        let now = self.now;
+        let slot = &mut self.nodes[node.0 as usize];
+        if !slot.up {
+            return;
+        }
+        slot.up = false;
+        slot.queue.clear();
+        slot.dispatch_at = None;
+        if let Some(d) = down_for_us {
+            self.push(now + d, EventKind::Recover { node });
+        }
+    }
+
+    /// Starts as much queued work as servers allow at the current time.
+    fn dispatch(&mut self, node: NodeId) {
+        loop {
+            let now = self.now;
+            let slot = &mut self.nodes[node.0 as usize];
+            if !slot.up || slot.queue.is_empty() {
+                return;
+            }
+            // Earliest-free server.
+            let (sidx, free_at) = slot
+                .servers
+                .iter()
+                .copied()
+                .enumerate()
+                .min_by_key(|&(_, t)| t)
+                .expect("at least one server");
+            if free_at > now {
+                // All servers busy: wake up when the earliest frees.
+                if slot.dispatch_at.map(|t| t > free_at).unwrap_or(true) {
+                    slot.dispatch_at = Some(free_at);
+                    self.push(free_at, EventKind::Dispatch { node });
+                }
+                return;
+            }
+            let work = slot.queue.pop_front().expect("non-empty");
+            // Sample a per-operation fault for message work (Table 2).
+            let fault = match &work {
+                Work::Msg { msg, .. } if !self.config.faults.is_none() => {
+                    let eligible =
+                        self.fault_filter.as_ref().map(|f| f(msg)).unwrap_or(true);
+                    if eligible {
+                        self.config.faults.sample(&mut self.nodes[node.0 as usize].rng)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            // Runtime-applied faults.
+            let mut extra_stall = 0u64;
+            let mut ctx_fault = None;
+            match fault {
+                Some(OpFault::BlockedProcess) => {
+                    extra_stall = self
+                        .config
+                        .faults
+                        .sample_block_us(&mut self.nodes[node.0 as usize].rng);
+                }
+                Some(OpFault::NodeBreakdown) => {
+                    self.crash(node, None);
+                    return;
+                }
+                Some(f) => ctx_fault = Some(f),
+                None => {}
+            }
+            // A blocked process stalls *before* the work runs, so the stall
+            // delays both this operation's effects and everything queued
+            // behind it.
+            let run_at = now + extra_stall;
+            let consumed = match work {
+                Work::Msg { from, msg } => {
+                    self.invoke(node, run_at, |p, ctx| p.on_message(ctx, from, msg), ctx_fault)
+                }
+                Work::Timer(token) => {
+                    self.invoke(node, run_at, |p, ctx| p.on_timer(ctx, token), ctx_fault)
+                }
+            };
+            let total = consumed + extra_stall;
+            let slot = &mut self.nodes[node.0 as usize];
+            if slot.up {
+                slot.servers[sidx] = now + total;
+                slot.busy_us += total;
+            }
+        }
+    }
+
+    /// Runs a handler at virtual time `at`, then applies its actions at
+    /// `at + consumed`. Returns the consumed service time.
+    fn invoke(
+        &mut self,
+        node: NodeId,
+        at: u64,
+        f: impl FnOnce(&mut dyn AnyProcess<M>, &mut Context<'_, M>),
+        fault: Option<OpFault>,
+    ) -> u64 {
+        let mut actions: Vec<Action<M>> = Vec::new();
+        let slot = &mut self.nodes[node.0 as usize];
+        let mut rng = slot.rng.clone();
+        let consumed = {
+            let mut ctx = Context::new(SimTime(at), node, &mut actions, &mut rng, fault);
+            f(slot.process.as_mut(), &mut ctx);
+            ctx.consumed()
+        };
+        self.nodes[node.0 as usize].rng = rng;
+        let effect_time = at + consumed;
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let bytes = msg.wire_size();
+                    let delay = if to == node {
+                        self.config.net.sample_loopback_us(bytes)
+                    } else {
+                        self.config.net.sample_delay_us(bytes, &mut self.rng)
+                    };
+                    self.push(effect_time + delay, EventKind::Arrive { to, from: node, msg });
+                }
+                Action::SetTimer { delay_us, token } => {
+                    self.push(effect_time + delay_us, EventKind::TimerFire { node, token });
+                }
+                Action::Record { name, value } => {
+                    self.trace.push(TraceEvent { time: SimTime(effect_time), node, name, value });
+                }
+                Action::CrashSelf { down_for_us } => {
+                    self.crash(node, down_for_us);
+                }
+            }
+        }
+        consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echoes every message back to its sender after consuming a fixed
+    /// service time.
+    struct Echo {
+        service_us: u64,
+        handled: u64,
+    }
+
+    impl Process<u64> for Echo {
+        fn on_start(&mut self, _ctx: &mut Context<'_, u64>) {}
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
+            self.handled += 1;
+            ctx.consume(self.service_us);
+            if from != NodeId::EXTERNAL {
+                ctx.send(from, msg + 1);
+            }
+            ctx.record("echoed", msg as f64);
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, u64>, _token: TimerToken) {}
+    }
+
+    /// Sends `count` messages to a target at start, records replies.
+    struct Pinger {
+        target: NodeId,
+        count: u64,
+        replies: u64,
+    }
+
+    impl Process<u64> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            for i in 0..self.count {
+                ctx.send(self.target, i);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: NodeId, _msg: u64) {
+            self.replies += 1;
+            ctx.record("reply_at_us", ctx.now().as_micros() as f64);
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, u64>, _token: TimerToken) {}
+    }
+
+    fn instant_config(seed: u64) -> SimConfig {
+        SimConfig { net: NetConfig::instant(), faults: FaultPlan::none(), seed }
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let mut sim = Sim::new(instant_config(1));
+        let echo = sim.add_node(Echo { service_us: 10, handled: 0 }, NodeConfig::default());
+        let pinger =
+            sim.add_node(Pinger { target: echo, count: 5, replies: 0 }, NodeConfig::default());
+        assert_eq!(pinger, NodeId(1));
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 5);
+        assert_eq!(sim.process::<Pinger>(pinger).unwrap().replies, 5);
+        assert_eq!(sim.trace().count("echoed"), 5);
+    }
+
+    #[test]
+    fn single_server_fifo_queueing_serializes_service() {
+        let mut sim = Sim::new(instant_config(2));
+        let echo = sim.add_node(Echo { service_us: 100, handled: 0 }, NodeConfig { concurrency: 1 });
+        let pinger =
+            sim.add_node(Pinger { target: echo, count: 10, replies: 0 }, NodeConfig::default());
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        // All ten arrive at t≈0; the k=1 server finishes them at 100, 200, ... 1000.
+        let replies = sim.trace().values("reply_at_us");
+        assert_eq!(replies.len(), 10);
+        let last = replies.iter().cloned().fold(0.0f64, f64::max);
+        assert!((999.0..=1001.0).contains(&last), "last reply at {last}");
+        let _ = pinger;
+    }
+
+    #[test]
+    fn multi_server_cuts_queueing_proportionally() {
+        let mut sim = Sim::new(instant_config(2));
+        let echo = sim.add_node(Echo { service_us: 100, handled: 0 }, NodeConfig { concurrency: 5 });
+        sim.add_node(Pinger { target: echo, count: 10, replies: 0 }, NodeConfig::default());
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        let last = sim.trace().values("reply_at_us").iter().cloned().fold(0.0f64, f64::max);
+        // 10 jobs over 5 servers = 2 serial rounds of 100 µs.
+        assert!((199.0..=201.0).contains(&last), "last reply at {last}");
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_traces() {
+        let run = |seed| {
+            let mut cfg = SimConfig { net: NetConfig::gigabit_lan(), faults: FaultPlan::none(), seed };
+            cfg.net.jitter_us = 300;
+            let mut sim = Sim::new(cfg);
+            let echo = sim.add_node(Echo { service_us: 50, handled: 0 }, NodeConfig::default());
+            sim.add_node(Pinger { target: echo, count: 20, replies: 0 }, NodeConfig::default());
+            sim.start();
+            sim.run_until(SimTime::from_secs(2));
+            sim.trace().values("reply_at_us")
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should differ (jitter)");
+    }
+
+    #[test]
+    fn crashed_node_drops_messages_until_recovery() {
+        let mut sim = Sim::new(instant_config(3));
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        sim.start();
+        sim.schedule_crash(SimTime(10), echo, None);
+        sim.inject(SimTime(20), echo, 99);
+        sim.run_until(SimTime(50));
+        assert!(!sim.is_up(echo));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 0);
+        assert_eq!(sim.dropped_at(echo), 1);
+        sim.schedule_restart(SimTime(60), echo);
+        sim.inject(SimTime(70), echo, 100);
+        sim.run_until(SimTime(100));
+        assert!(sim.is_up(echo));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 1);
+    }
+
+    #[test]
+    fn auto_recovery_after_short_crash() {
+        let mut sim = Sim::new(instant_config(4));
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        sim.start();
+        sim.schedule_crash(SimTime(10), echo, Some(100));
+        sim.run_until(SimTime(50));
+        assert!(!sim.is_up(echo));
+        sim.run_until(SimTime(200));
+        assert!(sim.is_up(echo));
+    }
+
+    #[test]
+    fn partition_drops_messages_between_pair() {
+        let mut sim = Sim::new(instant_config(5));
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        let pinger =
+            sim.add_node(Pinger { target: echo, count: 3, replies: 0 }, NodeConfig::default());
+        sim.schedule_link(SimTime(0), echo, pinger, false);
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 0);
+        // Heal and resend.
+        sim.schedule_link(sim.now(), echo, pinger, true);
+        sim.inject(sim.now() + 1, echo, 42);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 1);
+    }
+
+    #[test]
+    fn breakdown_fault_takes_node_down() {
+        let mut cfg = instant_config(6);
+        cfg.faults = FaultPlan {
+            p_network: 0.0,
+            p_disk: 0.0,
+            p_block: 0.0,
+            p_breakdown: 1.0,
+            block_range_us: (1, 2),
+        };
+        let mut sim = Sim::new(cfg);
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        sim.start();
+        sim.inject(SimTime(1), echo, 1);
+        sim.run_until(SimTime(100));
+        assert!(!sim.is_up(echo));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 0);
+    }
+
+    #[test]
+    fn blocked_process_fault_stalls_the_server() {
+        let mut cfg = instant_config(7);
+        cfg.faults = FaultPlan {
+            p_network: 0.0,
+            p_disk: 0.0,
+            p_block: 1.0,
+            p_breakdown: 0.0,
+            block_range_us: (10_000, 10_001),
+        };
+        let mut sim = Sim::new(cfg);
+        let echo = sim.add_node(Echo { service_us: 10, handled: 0 }, NodeConfig::default());
+        sim.add_node(Pinger { target: echo, count: 2, replies: 0 }, NodeConfig::default());
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        // Each message stalls ~10 ms: second reply lands after ~20 ms.
+        let last = sim.trace().values("reply_at_us").iter().cloned().fold(0.0f64, f64::max);
+        assert!(last >= 20_000.0, "last reply at {last}");
+    }
+
+    #[test]
+    fn network_fault_is_surfaced_to_process() {
+        struct FaultSeer {
+            saw: bool,
+        }
+        impl Process<u64> for FaultSeer {
+            fn on_start(&mut self, _ctx: &mut Context<'_, u64>) {}
+            fn on_message(&mut self, ctx: &mut Context<'_, u64>, _f: NodeId, _m: u64) {
+                if ctx.take_op_fault() == Some(OpFault::NetworkException) {
+                    self.saw = true;
+                }
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_, u64>, _t: TimerToken) {}
+        }
+        let mut cfg = instant_config(8);
+        cfg.faults = FaultPlan {
+            p_network: 1.0,
+            p_disk: 0.0,
+            p_block: 0.0,
+            p_breakdown: 0.0,
+            block_range_us: (1, 2),
+        };
+        let mut sim = Sim::new(cfg);
+        let n = sim.add_node(FaultSeer { saw: false }, NodeConfig::default());
+        sim.start();
+        sim.inject(SimTime(1), n, 1);
+        sim.run_until(SimTime(10));
+        assert!(sim.process::<FaultSeer>(n).unwrap().saw);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerBox {
+            fired: Vec<TimerToken>,
+        }
+        impl Process<u64> for TimerBox {
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                ctx.set_timer(300, 3);
+                ctx.set_timer(100, 1);
+                ctx.set_timer(200, 2);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, u64>, _f: NodeId, _m: u64) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u64>, token: TimerToken) {
+                self.fired.push(token);
+                ctx.record("t", token as f64);
+            }
+        }
+        let mut sim = Sim::new(instant_config(9));
+        let n = sim.add_node(TimerBox { fired: vec![] }, NodeConfig::default());
+        sim.start();
+        sim.run_until(SimTime(1_000));
+        assert_eq!(sim.process::<TimerBox>(n).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn busy_accounting_accumulates() {
+        let mut sim = Sim::new(instant_config(10));
+        let echo = sim.add_node(Echo { service_us: 100, handled: 0 }, NodeConfig::default());
+        sim.add_node(Pinger { target: echo, count: 4, replies: 0 }, NodeConfig::default());
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.busy_us(echo), 400);
+    }
+
+    #[test]
+    fn bandwidth_model_delays_large_messages() {
+        struct Big;
+        impl WireSized for Big {
+            fn wire_size(&self) -> usize {
+                1_250_000 // 10 ms at 125 B/µs
+            }
+        }
+        struct Sender {
+            to: NodeId,
+        }
+        impl Process<Big> for Sender {
+            fn on_start(&mut self, ctx: &mut Context<'_, Big>) {
+                ctx.send(self.to, Big);
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, Big>, _f: NodeId, _m: Big) {}
+            fn on_timer(&mut self, _c: &mut Context<'_, Big>, _t: TimerToken) {}
+        }
+        struct Receiver {
+            at: Option<u64>,
+        }
+        impl Process<Big> for Receiver {
+            fn on_start(&mut self, _ctx: &mut Context<'_, Big>) {}
+            fn on_message(&mut self, ctx: &mut Context<'_, Big>, _f: NodeId, _m: Big) {
+                self.at = Some(ctx.now().as_micros());
+            }
+            fn on_timer(&mut self, _c: &mut Context<'_, Big>, _t: TimerToken) {}
+        }
+        let mut sim: Sim<Big> = Sim::new(SimConfig {
+            net: NetConfig::gigabit_lan(),
+            faults: FaultPlan::none(),
+            seed: 11,
+        });
+        let rx = sim.add_node(Receiver { at: None }, NodeConfig::default());
+        sim.add_node(Sender { to: rx }, NodeConfig::default());
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        let at = sim.process::<Receiver>(rx).unwrap().at.unwrap();
+        assert!(at >= 10_000, "arrival at {at} must include 10 ms transfer");
+        assert!(at <= 11_000, "arrival at {at} unexpectedly late");
+    }
+}

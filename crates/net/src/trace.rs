@@ -1,0 +1,132 @@
+//! Experiment trace: named measurements recorded by processes.
+
+use crate::process::NodeId;
+use crate::time::SimTime;
+
+/// One recorded measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual (or elapsed) time of the record call.
+    pub time: SimTime,
+    /// Node that recorded it.
+    pub node: NodeId,
+    /// Metric name (e.g. `"ttfb_us"`, `"put_ok"`).
+    pub name: &'static str,
+    /// Metric value.
+    pub value: f64,
+}
+
+/// An append-only collection of [`TraceEvent`]s with query helpers.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Values of all events named `name`.
+    pub fn values(&self, name: &str) -> Vec<f64> {
+        self.events.iter().filter(|e| e.name == name).map(|e| e.value).collect()
+    }
+
+    /// Count of events named `name`.
+    pub fn count(&self, name: &str) -> usize {
+        self.events.iter().filter(|e| e.name == name).count()
+    }
+
+    /// Sum of values of events named `name`.
+    pub fn sum(&self, name: &str) -> f64 {
+        self.events.iter().filter(|e| e.name == name).map(|e| e.value).sum()
+    }
+
+    /// Mean of values of events named `name`, or `None` if absent.
+    pub fn mean(&self, name: &str) -> Option<f64> {
+        let vals = self.values(name);
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// `q`-quantile (0..=1, nearest-rank) of events named `name`.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let mut vals = self.values(name);
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("metric values must not be NaN"));
+        let rank = ((q.clamp(0.0, 1.0)) * (vals.len() - 1) as f64).round() as usize;
+        Some(vals[rank])
+    }
+
+    /// Events named `name` restricted to a time window `[from, to)`.
+    pub fn window(&self, name: &str, from: SimTime, to: SimTime) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.name == name && e.time >= from && e.time < to)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, name: &'static str, value: f64) -> TraceEvent {
+        TraceEvent { time: SimTime(t), node: NodeId(0), name, value }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut tr = Trace::new();
+        for (i, v) in [5.0, 1.0, 3.0].iter().enumerate() {
+            tr.push(ev(i as u64, "lat", *v));
+        }
+        tr.push(ev(9, "other", 100.0));
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.count("lat"), 3);
+        assert_eq!(tr.sum("lat"), 9.0);
+        assert_eq!(tr.mean("lat"), Some(3.0));
+        assert_eq!(tr.quantile("lat", 0.0), Some(1.0));
+        assert_eq!(tr.quantile("lat", 1.0), Some(5.0));
+        assert_eq!(tr.quantile("lat", 0.5), Some(3.0));
+        assert_eq!(tr.mean("missing"), None);
+        assert_eq!(tr.quantile("missing", 0.5), None);
+    }
+
+    #[test]
+    fn window_filters_by_time() {
+        let mut tr = Trace::new();
+        for t in 0..10 {
+            tr.push(ev(t, "x", t as f64));
+        }
+        let w = tr.window("x", SimTime(3), SimTime(7));
+        assert_eq!(w.len(), 4);
+        assert!(w.iter().all(|e| (3..7).contains(&e.time.0)));
+    }
+}

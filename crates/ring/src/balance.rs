@@ -1,0 +1,105 @@
+//! Load-balance statistics for placement schemes (used by Fig. 15 and
+//! ablation A1).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Summary statistics over per-node record counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceStats {
+    /// Number of nodes considered (including nodes with zero records).
+    pub nodes: usize,
+    /// Total records across nodes.
+    pub total: usize,
+    /// Smallest per-node count.
+    pub min: usize,
+    /// Largest per-node count.
+    pub max: usize,
+    /// Mean per-node count.
+    pub mean: f64,
+    /// Population standard deviation of per-node counts.
+    pub stddev: f64,
+    /// Coefficient of variation (`stddev / mean`); 0 is perfectly balanced.
+    pub cv: f64,
+    /// `max / mean`; 1 is perfectly balanced.
+    pub peak_to_mean: f64,
+}
+
+/// Computes balance statistics from an iterator of per-record owners,
+/// over the full node population `all_nodes` (so empty nodes count).
+pub fn balance_stats<N: Eq + Hash + Clone>(
+    owners: impl IntoIterator<Item = N>,
+    all_nodes: impl IntoIterator<Item = N>,
+) -> BalanceStats {
+    let mut counts: HashMap<N, usize> = all_nodes.into_iter().map(|n| (n, 0)).collect();
+    let mut total = 0usize;
+    for owner in owners {
+        *counts.entry(owner).or_insert(0) += 1;
+        total += 1;
+    }
+    from_counts(counts.values().copied().collect::<Vec<_>>(), total)
+}
+
+fn from_counts(counts: Vec<usize>, total: usize) -> BalanceStats {
+    let nodes = counts.len();
+    if nodes == 0 {
+        return BalanceStats {
+            nodes: 0,
+            total,
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            stddev: 0.0,
+            cv: 0.0,
+            peak_to_mean: 0.0,
+        };
+    }
+    let min = counts.iter().copied().min().unwrap_or(0);
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let mean = total as f64 / nodes as f64;
+    let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / nodes as f64;
+    let stddev = var.sqrt();
+    let cv = if mean > 0.0 { stddev / mean } else { 0.0 };
+    let peak_to_mean = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+    BalanceStats { nodes, total, min, max, mean, stddev, cv, peak_to_mean }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_balanced() {
+        let owners = (0..100u32).map(|i| i % 4);
+        let stats = balance_stats(owners, 0..4u32);
+        assert_eq!(stats.total, 100);
+        assert_eq!(stats.min, 25);
+        assert_eq!(stats.max, 25);
+        assert_eq!(stats.cv, 0.0);
+        assert_eq!(stats.peak_to_mean, 1.0);
+    }
+
+    #[test]
+    fn skewed_distribution_has_positive_cv() {
+        let owners = std::iter::repeat(0u32).take(90).chain(std::iter::repeat(1u32).take(10));
+        let stats = balance_stats(owners, 0..2u32);
+        assert_eq!(stats.max, 90);
+        assert_eq!(stats.min, 10);
+        assert!(stats.cv > 0.5);
+    }
+
+    #[test]
+    fn empty_nodes_are_counted() {
+        let stats = balance_stats(std::iter::repeat(0u32).take(10), 0..5u32);
+        assert_eq!(stats.nodes, 5);
+        assert_eq!(stats.min, 0);
+        assert_eq!(stats.mean, 2.0);
+    }
+
+    #[test]
+    fn no_nodes_yields_zeroed_stats() {
+        let stats = balance_stats(std::iter::empty::<u32>(), std::iter::empty::<u32>());
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.cv, 0.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Consistent hashing for MyStore (paper §5.2.1).
+//!
+//! This crate implements the data-distribution layer of the paper from
+//! scratch:
+//!
+//! * [`md5`] — RFC 1321 MD5, the hash the paper prescribes for both Ketama
+//!   point derivation and the REST signature scheme,
+//! * [`HashRing`] — a consistent-hash ring with *virtual nodes* whose count
+//!   is proportional to each physical node's capacity, preference lists for
+//!   replica placement, and arc-diffing for migration planning,
+//! * [`ModN`] — the traditional `hash mod N` baseline (paper Eq. 2),
+//! * [`balance_stats`] — load-balance statistics used by Fig. 15 and the
+//!   A1/A2 ablations.
+//!
+//! ```
+//! use mystore_ring::HashRing;
+//!
+//! let mut ring = HashRing::new();
+//! ring.add_node(1u32, "db-node-1", 128).unwrap();
+//! ring.add_node(2u32, "db-node-2", 128).unwrap();
+//! ring.add_node(3u32, "db-node-3", 256).unwrap(); // twice the capacity
+//!
+//! // Replica set for a record key: N distinct physical nodes clockwise.
+//! let replicas = ring.preference_list(b"Resistor5", 3);
+//! assert_eq!(replicas.len(), 3);
+//! ```
+
+pub mod balance;
+pub mod md5;
+pub mod modn;
+pub mod ring;
+
+pub use balance::{balance_stats, BalanceStats};
+pub use modn::{remap_fraction, ModN};
+pub use ring::{Arc_, HashRing, RingError};

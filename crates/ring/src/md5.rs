@@ -1,0 +1,223 @@
+//! MD5 message digest (RFC 1321), implemented from scratch.
+//!
+//! MyStore uses MD5 in two places (paper §4 and §5.2.1): the Ketama
+//! consistent-hash function that places both virtual nodes and record keys on
+//! the ring, and the URI digital-signature scheme of the REST front end. MD5
+//! is used purely as a well-distributed hash here — not for cryptographic
+//! security, which MD5 no longer provides.
+
+/// Size of an MD5 digest in bytes.
+pub const DIGEST_LEN: usize = 16;
+
+/// A 16-byte MD5 digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+// Per-round left-rotation amounts.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+// K[i] = floor(2^32 * abs(sin(i + 1))), precomputed per RFC 1321.
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+/// Incremental MD5 hasher.
+///
+/// ```
+/// use mystore_ring::md5::Md5;
+/// let mut h = Md5::new();
+/// h.update(b"abc");
+/// assert_eq!(mystore_ring::md5::to_hex(&h.finalize()),
+///            "900150983cd24fb0d6963f7d28e17f72");
+/// ```
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Bytes processed so far (for the length trailer).
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Creates a hasher in the RFC 1321 initial state.
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476],
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Feeds `data` into the hash.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().expect("len 64"));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Consumes the hasher, returning the 16-byte digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Length trailer bypasses `update` to avoid perturbing `len`.
+        let mut block = self.buf;
+        block[56..].copy_from_slice(&bit_len.to_le_bytes());
+        self.compress(&block);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes(chunk.try_into().expect("len 4"));
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// One-shot digest of `data`.
+pub fn md5(data: &[u8]) -> Digest {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Lowercase hex rendering of a digest (as in the paper's signature scheme).
+pub fn to_hex(digest: &Digest) -> String {
+    let mut s = String::with_capacity(DIGEST_LEN * 2);
+    for b in digest {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(data: &[u8]) -> String {
+        to_hex(&md5(data))
+    }
+
+    #[test]
+    fn rfc1321_test_suite() {
+        // The seven official vectors from RFC 1321 appendix A.5.
+        assert_eq!(hex(b""), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(hex(b"a"), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(hex(b"abc"), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(hex(b"message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(hex(b"abcdefghijklmnopqrstuvwxyz"), "c3fcd3d76192e4007dfb496cca67e13b");
+        assert_eq!(
+            hex(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            hex(b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = md5(&data);
+        for chunk_size in [1, 3, 63, 64, 65, 127, 999] {
+            let mut h = Md5::new();
+            for chunk in data.chunks(chunk_size) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Padding edge cases: 55, 56, 57, 63, 64, 65 bytes.
+        let expected_56 = "3b0c8ac703f828b04c6c197006d17218"; // md5 of 56 'a's
+        assert_eq!(hex(&[b'a'; 56]), expected_56);
+        for len in [55usize, 57, 63, 64, 65, 119, 120, 128] {
+            // Just verify determinism and digest length; values cross-checked
+            // by the incremental test above.
+            let d1 = md5(&vec![b'x'; len]);
+            let d2 = md5(&vec![b'x'; len]);
+            assert_eq!(d1, d2);
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        use std::collections::HashSet;
+        let digests: HashSet<Digest> = (0..10_000u32).map(|i| md5(&i.to_le_bytes())).collect();
+        assert_eq!(digests.len(), 10_000);
+    }
+}

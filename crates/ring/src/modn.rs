@@ -1,0 +1,157 @@
+//! The traditional `hash(X) mod N` placement (paper Eq. 2), kept as the
+//! baseline that consistent hashing is compared against in ablation A2.
+
+use std::hash::Hash;
+
+use crate::md5::md5;
+
+/// Placement by `hash(key) mod N` over a fixed node list.
+///
+/// Unlike the ring, *any* change to the node list remaps almost all keys —
+/// this is exactly the deficiency Eq. 2 is cited for in §5.2.1, and the
+/// `ablate_remap` experiment quantifies it.
+#[derive(Debug, Clone, Default)]
+pub struct ModN<N: Clone + Eq + Hash> {
+    nodes: Vec<N>,
+}
+
+impl<N: Clone + Eq + Hash> ModN<N> {
+    /// Creates a placement over `nodes` (order matters: the index is the
+    /// hash bucket).
+    pub fn new(nodes: Vec<N>) -> Self {
+        ModN { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Appends a node (classic "grow the array" resize).
+    pub fn add_node(&mut self, node: N) {
+        self.nodes.push(node);
+    }
+
+    /// Removes a node, shifting later buckets down.
+    pub fn remove_node(&mut self, node: &N) -> bool {
+        match self.nodes.iter().position(|n| n == node) {
+            Some(i) => {
+                self.nodes.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The node responsible for `key`, or `None` when empty.
+    pub fn primary(&self, key: &[u8]) -> Option<&N> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let d = md5(key);
+        let h = u64::from_le_bytes(d[..8].try_into().expect("len 8"));
+        self.nodes.get((h % self.nodes.len() as u64) as usize)
+    }
+}
+
+/// Fraction of `keys` whose placement differs between two mapping functions.
+/// Used by ablation A2 to compare ring vs mod-N remapping cost.
+pub fn remap_fraction<N: PartialEq>(
+    keys: impl IntoIterator<Item = Vec<u8>>,
+    before: impl Fn(&[u8]) -> Option<N>,
+    after: impl Fn(&[u8]) -> Option<N>,
+) -> f64 {
+    let mut total = 0usize;
+    let mut moved = 0usize;
+    for key in keys {
+        total += 1;
+        if before(&key) != after(&key) {
+            moved += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        moved as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::HashRing;
+
+    fn keys(n: u32) -> impl Iterator<Item = Vec<u8>> {
+        (0..n).map(|i| format!("key-{i}").into_bytes())
+    }
+
+    #[test]
+    fn modn_distributes_evenly() {
+        let m = ModN::new((0..5u32).collect());
+        let mut counts = [0usize; 5];
+        for k in keys(10_000) {
+            counts[*m.primary(&k).unwrap() as usize] += 1;
+        }
+        for c in counts {
+            assert!((1700..2300).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn modn_remaps_most_keys_on_resize() {
+        let before = ModN::new((0..5u32).collect());
+        let mut after = before.clone();
+        after.add_node(5);
+        let frac = remap_fraction(
+            keys(10_000),
+            |k| before.primary(k).copied(),
+            |k| after.primary(k).copied(),
+        );
+        // Theory: 1 - 1/6 ≈ 0.83 of keys move.
+        assert!(frac > 0.7, "mod-N moved only {frac}");
+    }
+
+    #[test]
+    fn ring_remaps_far_fewer_keys_than_modn() {
+        let mut ring_before = HashRing::new();
+        for i in 0..5u32 {
+            ring_before.add_node(i, format!("n{i}"), 100).unwrap();
+        }
+        let mut ring_after = ring_before.clone();
+        ring_after.add_node(5, "n5", 100).unwrap();
+
+        let ring_frac = remap_fraction(
+            keys(10_000),
+            |k| ring_before.primary(k).copied(),
+            |k| ring_after.primary(k).copied(),
+        );
+        // Theory: K/N = 1/6 ≈ 0.17 of keys move.
+        assert!(ring_frac < 0.25, "ring moved {ring_frac}");
+    }
+
+    #[test]
+    fn empty_modn_returns_none() {
+        let m: ModN<u32> = ModN::new(vec![]);
+        assert!(m.primary(b"k").is_none());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn remove_shifts_buckets() {
+        let mut m = ModN::new(vec![10u32, 20, 30]);
+        assert!(m.remove_node(&20));
+        assert!(!m.remove_node(&20));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn remap_fraction_empty_keys_is_zero() {
+        let f = remap_fraction(Vec::<Vec<u8>>::new(), |_| Some(1u8), |_| Some(2u8));
+        assert_eq!(f, 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests on consistent-hashing invariants.
+
+use mystore_ring::{HashRing, ModN};
+use proptest::prelude::*;
+
+fn build_ring(ids: &[u32], vnodes: u32) -> HashRing<u32> {
+    let mut r = HashRing::new();
+    for &id in ids {
+        r.add_node(id, format!("node{id}"), vnodes).unwrap();
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Preference lists never contain duplicate physical nodes and always
+    /// start at the primary.
+    #[test]
+    fn preference_list_invariants(
+        n_nodes in 1usize..8,
+        vnodes in 1u32..64,
+        key in proptest::collection::vec(any::<u8>(), 1..32),
+        want in 1usize..6,
+    ) {
+        let ids: Vec<u32> = (0..n_nodes as u32).collect();
+        let ring = build_ring(&ids, vnodes);
+        let prefs = ring.preference_list(&key, want);
+        prop_assert_eq!(prefs.len(), want.min(n_nodes));
+        let mut dedup = prefs.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), prefs.len());
+        prop_assert_eq!(Some(&prefs[0]), ring.primary(&key));
+    }
+
+    /// Removing a node never reroutes a key that it did not own, and the
+    /// remaining nodes keep their placements (monotonicity of consistent
+    /// hashing).
+    #[test]
+    fn remove_is_minimal(
+        n_nodes in 2usize..7,
+        vnodes in 1u32..48,
+        victim_idx in 0usize..7,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..64),
+    ) {
+        let ids: Vec<u32> = (0..n_nodes as u32).collect();
+        let victim = ids[victim_idx % n_nodes];
+        let before = build_ring(&ids, vnodes);
+        let mut after = before.clone();
+        after.remove_node(&victim);
+        for key in &keys {
+            let old = *before.primary(key).unwrap();
+            let new = *after.primary(key).unwrap();
+            if old != victim {
+                prop_assert_eq!(old, new, "non-victim key moved");
+            } else {
+                prop_assert_ne!(new, victim);
+            }
+        }
+    }
+
+    /// Adding a node only steals keys for itself.
+    #[test]
+    fn add_is_minimal(
+        n_nodes in 1usize..7,
+        vnodes in 1u32..48,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..64),
+    ) {
+        let ids: Vec<u32> = (0..n_nodes as u32).collect();
+        let before = build_ring(&ids, vnodes);
+        let mut after = before.clone();
+        after.add_node(1000, "newcomer", vnodes).unwrap();
+        for key in &keys {
+            let old = *before.primary(key).unwrap();
+            let new = *after.primary(key).unwrap();
+            if old != new {
+                prop_assert_eq!(new, 1000);
+            }
+        }
+    }
+
+    /// The partition-coverage check: every key point falls in exactly one arc and
+    /// that arc's owner equals the ring lookup.
+    #[test]
+    fn partition_is_consistent_with_lookup(
+        n_nodes in 1usize..6,
+        vnodes in 1u32..32,
+        key in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let ids: Vec<u32> = (0..n_nodes as u32).collect();
+        let ring = build_ring(&ids, vnodes);
+        let point = HashRing::<u32>::key_point(&key);
+        let parts = ring.partition();
+        let containing: Vec<_> = parts.iter().filter(|(a, _)| a.contains(point)).collect();
+        prop_assert_eq!(containing.len(), 1, "point in {} arcs", containing.len());
+        prop_assert_eq!(ring.owner_of_point(point), Some(&containing[0].1));
+    }
+
+    /// mod-N and the ring agree that *somebody* owns each key and ids come
+    /// from the configured set.
+    #[test]
+    fn owners_are_members(
+        n_nodes in 1usize..8,
+        key in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let ids: Vec<u32> = (0..n_nodes as u32).collect();
+        let ring = build_ring(&ids, 16);
+        let modn = ModN::new(ids.clone());
+        prop_assert!(ids.contains(ring.primary(&key).unwrap()));
+        prop_assert!(ids.contains(modn.primary(&key).unwrap()));
+    }
+}

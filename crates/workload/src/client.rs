@@ -1,0 +1,308 @@
+//! Workload clients.
+//!
+//! [`RestClient`] is the closed-loop user of §6.1: it issues REST requests
+//! against a front end (or a baseline store bound to the same interface),
+//! waits for the response, thinks for a uniform 0–500 ms (the paper's
+//! simulated users), and repeats — recording TTFB/TTLB per response
+//! exactly as the Microsoft Web Application Stress Tool did.
+//!
+//! [`PutClient`] is the storage-module loader of §6.2: it issues `Put`s
+//! directly at coordinators, retrying on failure ("the system must find
+//! other storage node, and try to write several times to guarantee the
+//! success of writing") and recording per-operation completion times for
+//! Figs. 16–17.
+
+use mystore_core::message::{Method, Msg, RestRequest, RestResponse};
+use mystore_net::{Context, NetConfig, NodeId, Process, SimTime, TimerToken};
+
+use crate::corpus::Item;
+
+const TK_NEXT: TimerToken = 1;
+const TK_ATTEMPT_DEADLINE: TimerToken = 2;
+
+/// Configuration of a closed-loop REST client.
+#[derive(Debug, Clone)]
+pub struct RestClientConfig {
+    /// Where requests go (front end or baseline store).
+    pub target: NodeId,
+    /// The corpus this client draws keys from.
+    pub items: std::sync::Arc<Vec<Item>>,
+    /// Fraction of operations that are GETs (the rest are POSTs).
+    pub read_ratio: f64,
+    /// Uniform think time between operations (µs).
+    pub think_us: (u64, u64),
+    /// Stop after this many completed operations (`None` = run forever).
+    pub max_ops: Option<u64>,
+    /// Delay before the first request (µs), to stagger client start.
+    pub start_delay_us: u64,
+    /// Statuses that trigger a retry after the think time.
+    pub retry_statuses: Vec<u16>,
+    /// Network model, used to split TTFB from TTLB.
+    pub net: NetConfig,
+    /// Only read items of this class (Fig. 12); `None` = all classes.
+    pub class_filter: Option<u8>,
+}
+
+/// The closed-loop REST client process.
+pub struct RestClient {
+    cfg: RestClientConfig,
+    next_req: u64,
+    sent_at: SimTime,
+    in_flight: Option<RestRequest>,
+    /// Completed (responded, non-retried) operations.
+    pub completed: u64,
+    /// Responses by status class, for quick assertions.
+    pub ok: u64,
+    /// Errors (4xx/5xx that were not retried).
+    pub errors: u64,
+}
+
+impl RestClient {
+    /// Creates a client.
+    pub fn new(cfg: RestClientConfig) -> Self {
+        RestClient {
+            cfg,
+            next_req: 1,
+            sent_at: SimTime::ZERO,
+            in_flight: None,
+            completed: 0,
+            ok: 0,
+            errors: 0,
+        }
+    }
+
+    fn pick_item<'a>(&self, ctx: &mut Context<'_, Msg>, items: &'a [Item]) -> &'a Item {
+        // Filtered classes retry a few draws before giving up the filter —
+        // corpora always contain every class in practice.
+        for _ in 0..32 {
+            let item = &items[ctx.rng().index(items.len())];
+            match self.cfg.class_filter {
+                Some(c) if item.class != c => continue,
+                _ => return item,
+            }
+        }
+        &items[0]
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(max) = self.cfg.max_ops {
+            if self.completed >= max {
+                return;
+            }
+        }
+        let items = std::sync::Arc::clone(&self.cfg.items);
+        let item = self.pick_item(ctx, &items);
+        let is_read = ctx.rng().next_f64() < self.cfg.read_ratio;
+        let req = self.next_req;
+        self.next_req += 1;
+        let request = if is_read {
+            RestRequest { req, method: Method::Get, key: Some(item.key.clone()), body: vec![], auth: None }
+        } else {
+            RestRequest {
+                req,
+                method: Method::Post,
+                key: Some(item.key.clone()),
+                body: crate::corpus::make_payload(item),
+                auth: None,
+            }
+        };
+        self.sent_at = ctx.now();
+        self.in_flight = Some(request.clone());
+        ctx.send(self.cfg.target, Msg::RestReq(request));
+    }
+
+    fn think_then_next(&mut self, ctx: &mut Context<'_, Msg>) {
+        let (lo, hi) = self.cfg.think_us;
+        let think = if hi > lo { ctx.rng().range_u64(lo, hi) } else { lo };
+        ctx.set_timer(think, TK_NEXT);
+    }
+
+    fn on_response(&mut self, ctx: &mut Context<'_, Msg>, resp: RestResponse) {
+        let Some(sent) = self.in_flight.take().map(|_| self.sent_at) else { return };
+        let ttlb = ctx.now() - sent;
+        // TTFB excludes the response body's transmission time — the
+        // headers-first behaviour the stress tool measures.
+        let transfer = self.cfg.net.transfer_us(resp.body.len());
+        let ttfb = ttlb.saturating_sub(transfer);
+        if self.cfg.retry_statuses.contains(&resp.status) {
+            ctx.record("rest_retry", 1.0);
+            // Retried operations do not count as completed.
+            self.think_then_next(ctx);
+            return;
+        }
+        self.completed += 1;
+        ctx.record("ttlb_us", ttlb as f64);
+        ctx.record("ttfb_us", ttfb as f64);
+        ctx.record("resp_bytes", resp.body.len() as f64);
+        ctx.record("rest_status", resp.status as f64);
+        if resp.status < 400 {
+            self.ok += 1;
+            ctx.record("rest_ok", 1.0);
+        } else {
+            self.errors += 1;
+            ctx.record("rest_err", resp.status as f64);
+        }
+        self.think_then_next(ctx);
+    }
+}
+
+impl Process<Msg> for RestClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(self.cfg.start_delay_us.max(1), TK_NEXT);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        if let Msg::RestResp(resp) = msg {
+            self.on_response(ctx, resp);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
+        if token == TK_NEXT && self.in_flight.is_none() {
+            self.send_next(ctx);
+        }
+    }
+}
+
+/// Configuration of the storage-module put loader (§6.2).
+#[derive(Debug, Clone)]
+pub struct PutClientConfig {
+    /// Coordinators to spread requests over. On retry the client moves to
+    /// the *next* target ("find other storage node"); single-master
+    /// deployments list one target.
+    pub targets: Vec<NodeId>,
+    /// The corpus to store, in order.
+    pub items: std::sync::Arc<Vec<Item>>,
+    /// Gap between the completion of one put and the start of the next (µs).
+    pub gap_us: u64,
+    /// Per-attempt deadline before the client retries (µs).
+    pub attempt_deadline_us: u64,
+    /// Attempts per item before giving up.
+    pub max_attempts: u32,
+}
+
+/// The storage-module put loader.
+pub struct PutClient {
+    cfg: PutClientConfig,
+    /// Index of the next corpus item.
+    cursor: usize,
+    attempt: u32,
+    target_rr: usize,
+    started_at: SimTime,
+    waiting_req: Option<u64>,
+    next_req: u64,
+    /// Items stored successfully.
+    pub stored: u64,
+    /// Items abandoned after `max_attempts`.
+    pub gave_up: u64,
+}
+
+impl PutClient {
+    /// Creates a loader.
+    pub fn new(cfg: PutClientConfig) -> Self {
+        PutClient {
+            cfg,
+            cursor: 0,
+            attempt: 0,
+            target_rr: 0,
+            started_at: SimTime::ZERO,
+            waiting_req: None,
+            next_req: 1,
+            stored: 0,
+            gave_up: 0,
+        }
+    }
+
+    /// True once every item has been attempted.
+    pub fn finished(&self) -> bool {
+        self.cursor >= self.cfg.items.len()
+    }
+
+    fn attempt_current(&mut self, ctx: &mut Context<'_, Msg>) {
+        let items = std::sync::Arc::clone(&self.cfg.items);
+        let Some(item) = items.get(self.cursor) else { return };
+        if self.attempt == 0 {
+            self.started_at = ctx.now();
+        }
+        self.attempt += 1;
+        let target = self.cfg.targets[self.target_rr % self.cfg.targets.len()];
+        let req = self.next_req;
+        self.next_req += 1;
+        self.waiting_req = Some(req);
+        ctx.send(
+            target,
+            Msg::Put {
+                req,
+                key: item.key.clone(),
+                value: crate::corpus::make_payload(item),
+                delete: false,
+            },
+        );
+        ctx.set_timer(self.cfg.attempt_deadline_us, (req << 3) | TK_ATTEMPT_DEADLINE);
+    }
+
+    fn advance(&mut self, ctx: &mut Context<'_, Msg>, success: bool) {
+        if success {
+            self.stored += 1;
+            let elapsed = ctx.now() - self.started_at;
+            ctx.record("put_time_us", elapsed as f64);
+            ctx.record("client_put_ok", 1.0);
+        } else {
+            self.gave_up += 1;
+            ctx.record("client_put_giveup", 1.0);
+        }
+        self.cursor += 1;
+        self.attempt = 0;
+        self.waiting_req = None;
+        if !self.finished() {
+            ctx.set_timer(self.cfg.gap_us.max(1), TK_NEXT);
+        } else {
+            ctx.record("client_done", 1.0);
+        }
+    }
+
+    fn retry_or_give_up(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.waiting_req = None;
+        if self.attempt >= self.cfg.max_attempts {
+            self.advance(ctx, false);
+        } else {
+            // "Find other storage node and try to write several times."
+            self.target_rr += 1;
+            ctx.record("client_put_retry", 1.0);
+            self.attempt_current(ctx);
+        }
+    }
+}
+
+impl Process<Msg> for PutClient {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.cfg.items.is_empty() {
+            ctx.set_timer(1, TK_NEXT);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        if let Msg::PutResp { req, result } = msg {
+            if self.waiting_req != Some(req) {
+                return; // stale reply from an abandoned attempt
+            }
+            match result {
+                Ok(()) => self.advance(ctx, true),
+                Err(_) => self.retry_or_give_up(ctx),
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
+        if token == TK_NEXT {
+            self.attempt_current(ctx);
+            return;
+        }
+        if token & 0b111 == TK_ATTEMPT_DEADLINE {
+            let req = token >> 3;
+            if self.waiting_req == Some(req) {
+                self.retry_or_give_up(ctx);
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Synthetic corpora reproducing the paper's datasets.
+//!
+//! * §6.1: "variety XML files with sizes between 3 and 600 KB", 700 000
+//!   items ≈ 36 GB, in three resource classes (Fig. 12's a/b/c).
+//! * §6.2: "variety files with sizes between 18 and 7,633 KB ... sorted by
+//!   their sizes and fetched ... according to the Gaussian distribution of
+//!   their sizes with parameters µ = 15, σ = 5", 10 000 items.
+//!
+//! A `scale` divisor shrinks byte sizes so corpora fit in CI memory; record
+//! *counts* are configured separately. Shrinking sizes uniformly preserves
+//! every shape the experiments check (who wins, knees, balance) because all
+//! cost models are linear in bytes. EXPERIMENTS.md records the scales used.
+
+use mystore_net::Rng;
+
+/// A synthetic object: key plus payload size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Item {
+    /// Record key.
+    pub key: String,
+    /// Payload size in bytes (post-scaling).
+    pub size: usize,
+    /// Resource class (Fig. 12): 0 = a (small), 1 = b (medium), 2 = c (large).
+    pub class: u8,
+}
+
+/// Size distributions used by the paper's workloads.
+#[derive(Debug, Clone)]
+pub enum SizeDist {
+    /// Uniform in `[min, max]` bytes.
+    Uniform {
+        /// Minimum size (bytes).
+        min: usize,
+        /// Maximum size (bytes).
+        max: usize,
+    },
+    /// The §6.2 selection rule: distinct sizes sorted ascending into bins;
+    /// a bin index is drawn from `N(mu, sigma)` and clamped.
+    SortedGaussian {
+        /// Sorted candidate sizes (bytes).
+        bins: Vec<usize>,
+        /// Mean bin index.
+        mu: f64,
+        /// Bin-index standard deviation.
+        sigma: f64,
+    },
+}
+
+impl SizeDist {
+    /// Draws one size.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        match self {
+            SizeDist::Uniform { min, max } => {
+                rng.range_u64(*min as u64, *max as u64 + 1) as usize
+            }
+            SizeDist::SortedGaussian { bins, mu, sigma } => {
+                let idx = rng.normal(*mu, *sigma).round();
+                let idx = idx.clamp(0.0, (bins.len() - 1) as f64) as usize;
+                bins[idx]
+            }
+        }
+    }
+
+    /// §6.1 XML corpus sizes: uniform 3–600 KB, divided by `scale`.
+    pub fn xml(scale: usize) -> Self {
+        SizeDist::Uniform { min: 3_000 / scale.max(1), max: 600_000 / scale.max(1) }
+    }
+
+    /// §6.2 storage-module corpus: 30 log-spaced bins over 18 KB–7 633 KB
+    /// (divided by `scale`), sampled with the paper's `µ = 15, σ = 5`.
+    pub fn storage_module(scale: usize) -> Self {
+        let (lo, hi) = (18_000f64, 7_633_000f64);
+        let bins: Vec<usize> = (0..30)
+            .map(|i| {
+                let t = i as f64 / 29.0;
+                ((lo * (hi / lo).powf(t)) as usize / scale.max(1)).max(1)
+            })
+            .collect();
+        SizeDist::SortedGaussian { bins, mu: 15.0, sigma: 5.0 }
+    }
+}
+
+/// Resource class by (unscaled-equivalent) size, for Fig. 12: the paper
+/// groups resources into three types; we cut the 3–600 KB range at 50 KB
+/// and 200 KB.
+pub fn classify(size: usize, scale: usize) -> u8 {
+    let unscaled = size * scale.max(1);
+    if unscaled < 50_000 {
+        0
+    } else if unscaled < 200_000 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Generates the §6.1 XML corpus: `count` items with scaled sizes.
+pub fn xml_corpus(count: usize, scale: usize, rng: &mut Rng) -> Vec<Item> {
+    let dist = SizeDist::xml(scale);
+    (0..count)
+        .map(|i| {
+            let size = dist.sample(rng);
+            Item { key: format!("xml-{i:06}"), size, class: classify(size, scale) }
+        })
+        .collect()
+}
+
+/// Generates the §6.2 storage-module corpus.
+pub fn storage_corpus(count: usize, scale: usize, rng: &mut Rng) -> Vec<Item> {
+    let dist = SizeDist::storage_module(scale);
+    (0..count)
+        .map(|i| {
+            let size = dist.sample(rng);
+            Item { key: format!("blob-{i:06}"), size, class: classify(size, scale) }
+        })
+        .collect()
+}
+
+/// Materializes an item's payload: an XML-ish header followed by filler,
+/// deterministic per key.
+pub fn make_payload(item: &Item) -> Vec<u8> {
+    let header = format!(
+        "<?xml version=\"1.0\"?><resource key=\"{}\" class=\"{}\" len=\"{}\">",
+        item.key, item.class, item.size
+    );
+    let mut out = Vec::with_capacity(item.size);
+    out.extend_from_slice(header.as_bytes());
+    let fill = item.key.as_bytes();
+    while out.len() < item.size {
+        let take = fill.len().min(item.size - out.len());
+        out.extend_from_slice(&fill[..take]);
+    }
+    out.truncate(item.size);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xml_sizes_within_bounds() {
+        let mut rng = Rng::new(1);
+        for item in xml_corpus(2_000, 10, &mut rng) {
+            assert!((300..=60_000).contains(&item.size), "size {}", item.size);
+            assert!(item.class <= 2);
+        }
+    }
+
+    #[test]
+    fn classes_cover_all_three() {
+        let mut rng = Rng::new(2);
+        let corpus = xml_corpus(2_000, 10, &mut rng);
+        for class in 0..3u8 {
+            assert!(
+                corpus.iter().any(|i| i.class == class),
+                "class {class} missing from corpus"
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_gaussian_concentrates_mid_bins() {
+        let mut rng = Rng::new(3);
+        let dist = SizeDist::storage_module(100);
+        let SizeDist::SortedGaussian { bins, .. } = &dist else { unreachable!() };
+        let mid = bins[15];
+        let hits = (0..10_000).filter(|_| {
+            let s = dist.sample(&mut rng);
+            // within ±5 bins of the mean
+            bins.iter().position(|&b| b == s).map(|i| (10..=20).contains(&i)).unwrap_or(false)
+        });
+        let frac = hits.count() as f64 / 10_000.0;
+        assert!(frac > 0.6, "only {frac} near the mean (mid size {mid})");
+    }
+
+    #[test]
+    fn gaussian_clamps_to_bin_range() {
+        let mut rng = Rng::new(4);
+        let dist = SizeDist::SortedGaussian { bins: vec![10, 20, 30], mu: 100.0, sigma: 1.0 };
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut rng), 30, "way-above-range indices clamp to the top bin");
+        }
+    }
+
+    #[test]
+    fn payload_is_exact_size_and_deterministic() {
+        let item = Item { key: "xml-000042".into(), size: 5_000, class: 1 };
+        let p1 = make_payload(&item);
+        let p2 = make_payload(&item);
+        assert_eq!(p1.len(), 5_000);
+        assert_eq!(p1, p2);
+        assert!(p1.starts_with(b"<?xml"));
+    }
+
+    #[test]
+    fn tiny_payload_truncates_header() {
+        let item = Item { key: "k".into(), size: 10, class: 0 };
+        assert_eq!(make_payload(&item).len(), 10);
+    }
+
+    #[test]
+    fn corpora_are_seed_deterministic() {
+        let a = xml_corpus(100, 10, &mut Rng::new(7));
+        let b = xml_corpus(100, 10, &mut Rng::new(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,22 @@
+//! Workload generation and measurement for the MyStore evaluation.
+//!
+//! * [`corpus`] — the paper's datasets: §6.1 XML corpus (3–600 KB, three
+//!   resource classes) and §6.2 storage-module corpus (18–7 633 KB selected
+//!   by the sorted-Gaussian rule, µ=15 σ=5), with a scale divisor so they
+//!   fit in CI memory,
+//! * [`client`] — closed-loop REST clients with 0–500 ms think time (the
+//!   paper's simulated users) and the §6.2 put loader with
+//!   retry-on-other-node semantics,
+//! * [`preload`] — installs corpora using the cluster's own placement,
+//! * [`metrics`] — TTFB/TTLB summaries, RPS/throughput windows, and the
+//!   Fig. 17 cumulative-completion curve.
+
+pub mod client;
+pub mod corpus;
+pub mod metrics;
+pub mod preload;
+
+pub use client::{PutClient, PutClientConfig, RestClient, RestClientConfig};
+pub use corpus::{classify, make_payload, storage_corpus, xml_corpus, Item, SizeDist};
+pub use metrics::{cumulative_curve, rate_per_sec, sum_rate_per_sec, throughput_mb_per_sec, Summary};
+pub use preload::{offline_ring, preload_mystore, preload_single};

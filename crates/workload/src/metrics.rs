@@ -1,0 +1,139 @@
+//! Measurement reduction: the summaries the paper's figures plot.
+
+use mystore_net::{SimTime, Trace};
+
+/// Summary statistics of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample set; `None` if empty.
+    pub fn of(mut values: Vec<f64>) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("metrics must not be NaN"));
+        let count = values.len();
+        let q = |p: f64| values[((p * (count - 1) as f64).round()) as usize];
+        Some(Summary {
+            count,
+            mean: values.iter().sum::<f64>() / count as f64,
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            min: values[0],
+            max: values[count - 1],
+        })
+    }
+
+    /// Summarizes a named metric from a trace.
+    pub fn from_trace(trace: &Trace, name: &str) -> Option<Summary> {
+        Summary::of(trace.values(name))
+    }
+}
+
+/// Events per second of `name` within `[from, to)`.
+pub fn rate_per_sec(trace: &Trace, name: &str, from: SimTime, to: SimTime) -> f64 {
+    let n = trace.window(name, from, to).len();
+    let dur = (to - from) as f64 / 1e6;
+    if dur <= 0.0 {
+        0.0
+    } else {
+        n as f64 / dur
+    }
+}
+
+/// Sum of `name`'s values within the window, divided by the window length —
+/// e.g. bytes/s when `name` records per-response byte counts.
+pub fn sum_rate_per_sec(trace: &Trace, name: &str, from: SimTime, to: SimTime) -> f64 {
+    let total: f64 = trace.window(name, from, to).iter().map(|e| e.value).sum();
+    let dur = (to - from) as f64 / 1e6;
+    if dur <= 0.0 {
+        0.0
+    } else {
+        total / dur
+    }
+}
+
+/// Throughput in MB/s from a per-response byte-count metric.
+pub fn throughput_mb_per_sec(trace: &Trace, name: &str, from: SimTime, to: SimTime) -> f64 {
+    sum_rate_per_sec(trace, name, from, to) / 1e6
+}
+
+/// Fig. 17-style cumulative curve: sorts the samples ascending and emits
+/// every `step`-th one as `(value, completed-so-far)`.
+pub fn cumulative_curve(mut values: Vec<f64>, step: usize) -> Vec<(f64, usize)> {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    values
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % step.max(1) == 0 || *i == values.len() - 1)
+        .map(|(i, &v)| (v, i + 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mystore_net::{NodeId, TraceEvent};
+
+    fn trace_with(name: &'static str, pairs: &[(u64, f64)]) -> Trace {
+        let mut t = Trace::new();
+        for &(at, v) in pairs {
+            t.push(TraceEvent { time: SimTime(at), node: NodeId(0), name, value: v });
+        }
+        t
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of((1..=100).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(s.p50, 51.0); // nearest-rank on index 49.5 -> 50
+        assert_eq!(s.p95, 95.0);
+        assert!(Summary::of(vec![]).is_none());
+    }
+
+    #[test]
+    fn rates_over_windows() {
+        let t = trace_with("x", &[(0, 1.0), (500_000, 1.0), (1_500_000, 1.0), (2_500_000, 1.0)]);
+        // Window [0, 2s): 3 events → 1.5/s.
+        assert!((rate_per_sec(&t, "x", SimTime(0), SimTime::from_secs(2)) - 1.5).abs() < 1e-9);
+        assert_eq!(rate_per_sec(&t, "x", SimTime(0), SimTime(0)), 0.0);
+    }
+
+    #[test]
+    fn throughput_sums_bytes() {
+        let t = trace_with("bytes", &[(0, 1e6), (500_000, 2e6)]);
+        let mbps = throughput_mb_per_sec(&t, "bytes", SimTime(0), SimTime::from_secs(1));
+        assert!((mbps - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_curve_is_monotone() {
+        let curve = cumulative_curve(vec![5.0, 1.0, 3.0, 2.0, 4.0], 2);
+        // Sorted: 1 2 3 4 5; every 2nd plus the last.
+        assert_eq!(curve, vec![(1.0, 1), (3.0, 3), (5.0, 5)]);
+        for w in curve.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+}

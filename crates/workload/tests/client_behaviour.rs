@@ -1,0 +1,226 @@
+//! Isolated behaviour of the workload clients, against a scripted
+//! responder instead of a real cluster.
+
+use std::sync::Arc;
+
+use mystore_core::message::{status, Method, Msg, RestResponse, StoreError};
+use mystore_net::{
+    Context, FaultPlan, NetConfig, NodeConfig, NodeId, Process, Sim, SimConfig, TimerToken,
+};
+use mystore_workload::{Item, PutClient, PutClientConfig, RestClient, RestClientConfig};
+
+/// Replies to REST requests with a scripted status sequence, then OK.
+struct ScriptedRest {
+    statuses: Vec<u16>,
+    served: usize,
+}
+
+impl Process<Msg> for ScriptedRest {
+    fn on_start(&mut self, _ctx: &mut Context<'_, Msg>) {}
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        if let Msg::RestReq(r) = msg {
+            let code = self.statuses.get(self.served).copied().unwrap_or(status::OK);
+            self.served += 1;
+            let body = if code == status::OK && r.method == Method::Get {
+                b"payload".to_vec()
+            } else {
+                Vec::new()
+            };
+            ctx.send(
+                from,
+                Msg::RestResp(RestResponse {
+                    req: r.req,
+                    status: code,
+                    body,
+                    assigned_key: None,
+                    from_cache: false,
+                }),
+            );
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _t: TimerToken) {}
+}
+
+/// Fails the first `fail` puts (or drops them), then accepts.
+struct ScriptedStore {
+    fail: usize,
+    drop_instead: bool,
+    seen: usize,
+}
+
+impl Process<Msg> for ScriptedStore {
+    fn on_start(&mut self, _ctx: &mut Context<'_, Msg>) {}
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        if let Msg::Put { req, .. } = msg {
+            self.seen += 1;
+            if self.seen <= self.fail {
+                if !self.drop_instead {
+                    ctx.send(
+                        from,
+                        Msg::PutResp { req, result: Err(StoreError::QuorumWriteFailed) },
+                    );
+                }
+                return;
+            }
+            ctx.send(from, Msg::PutResp { req, result: Ok(()) });
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _t: TimerToken) {}
+}
+
+fn items(n: usize) -> Arc<Vec<Item>> {
+    Arc::new((0..n).map(|i| Item { key: format!("k{i}"), size: 64, class: 0 }).collect())
+}
+
+fn sim() -> Sim<Msg> {
+    Sim::new(SimConfig { net: NetConfig::gigabit_lan(), faults: FaultPlan::none(), seed: 5 })
+}
+
+#[test]
+fn rest_client_retries_busy_and_completes() {
+    let mut sim = sim();
+    let server = sim.add_node(
+        ScriptedRest { statuses: vec![status::BUSY, status::BUSY], served: 0 },
+        NodeConfig::default(),
+    );
+    let client = sim.add_node(
+        RestClient::new(RestClientConfig {
+            target: server,
+            items: items(5),
+            read_ratio: 1.0,
+            think_us: (1_000, 2_000),
+            max_ops: Some(3),
+            start_delay_us: 1,
+            retry_statuses: vec![status::BUSY],
+            net: NetConfig::gigabit_lan(),
+            class_filter: None,
+        }),
+        NodeConfig::default(),
+    );
+    sim.start();
+    sim.run_for(10_000_000);
+    let c = sim.process::<RestClient>(client).unwrap();
+    assert_eq!(c.completed, 3, "3 completed ops despite 2 BUSY retries");
+    assert_eq!(c.ok, 3);
+    assert_eq!(sim.trace().count("rest_retry"), 2);
+    // Server saw 3 + 2 retried = 5 requests.
+    assert_eq!(sim.process::<ScriptedRest>(server).unwrap().served, 5);
+}
+
+#[test]
+fn rest_client_counts_unretried_errors() {
+    let mut sim = sim();
+    let server = sim.add_node(
+        ScriptedRest { statuses: vec![status::NOT_FOUND, status::STORAGE_ERROR], served: 0 },
+        NodeConfig::default(),
+    );
+    let client = sim.add_node(
+        RestClient::new(RestClientConfig {
+            target: server,
+            items: items(5),
+            read_ratio: 1.0,
+            think_us: (1_000, 2_000),
+            max_ops: Some(3),
+            start_delay_us: 1,
+            retry_statuses: vec![],
+            net: NetConfig::gigabit_lan(),
+            class_filter: None,
+        }),
+        NodeConfig::default(),
+    );
+    sim.start();
+    sim.run_for(10_000_000);
+    let c = sim.process::<RestClient>(client).unwrap();
+    assert_eq!(c.completed, 3);
+    assert_eq!(c.errors, 2, "404 and 500 are both client-visible errors");
+    assert_eq!(c.ok, 1);
+}
+
+#[test]
+fn put_client_rotates_targets_on_error() {
+    let mut sim = sim();
+    // Target 0 always fails; target 1 always succeeds.
+    let bad = sim.add_node(
+        ScriptedStore { fail: usize::MAX, drop_instead: false, seen: 0 },
+        NodeConfig::default(),
+    );
+    let good = sim.add_node(
+        ScriptedStore { fail: 0, drop_instead: false, seen: 0 },
+        NodeConfig::default(),
+    );
+    let client = sim.add_node(
+        PutClient::new(PutClientConfig {
+            targets: vec![bad, good],
+            items: items(4),
+            gap_us: 1_000,
+            attempt_deadline_us: 100_000,
+            max_attempts: 3,
+        }),
+        NodeConfig::default(),
+    );
+    sim.start();
+    sim.run_for(30_000_000);
+    let c = sim.process::<PutClient>(client).unwrap();
+    assert!(c.finished());
+    assert_eq!(c.stored, 4, "every item lands after rotating to the good node");
+    assert_eq!(c.gave_up, 0);
+    // The rotation is sticky: after the first failure diverts to the good
+    // node, subsequent items go straight there.
+    assert_eq!(sim.trace().count("client_put_retry"), 1);
+    assert_eq!(sim.process::<ScriptedStore>(bad).unwrap().seen, 1);
+    assert_eq!(sim.process::<ScriptedStore>(good).unwrap().seen, 4);
+}
+
+#[test]
+fn put_client_times_out_dropped_requests_and_gives_up() {
+    let mut sim = sim();
+    // Drops everything: the client must hit its attempt deadline each time.
+    let hole = sim.add_node(
+        ScriptedStore { fail: usize::MAX, drop_instead: true, seen: 0 },
+        NodeConfig::default(),
+    );
+    let client = sim.add_node(
+        PutClient::new(PutClientConfig {
+            targets: vec![hole],
+            items: items(2),
+            gap_us: 1_000,
+            attempt_deadline_us: 50_000,
+            max_attempts: 2,
+        }),
+        NodeConfig::default(),
+    );
+    sim.start();
+    sim.run_for(30_000_000);
+    let c = sim.process::<PutClient>(client).unwrap();
+    assert!(c.finished());
+    assert_eq!(c.stored, 0);
+    assert_eq!(c.gave_up, 2);
+    // 2 items × 2 attempts all reached the black hole.
+    assert_eq!(sim.process::<ScriptedStore>(hole).unwrap().seen, 4);
+}
+
+#[test]
+fn put_client_records_completion_times() {
+    let mut sim = sim();
+    let store =
+        sim.add_node(ScriptedStore { fail: 0, drop_instead: false, seen: 0 }, NodeConfig::default());
+    let client = sim.add_node(
+        PutClient::new(PutClientConfig {
+            targets: vec![store],
+            items: items(5),
+            gap_us: 1_000,
+            attempt_deadline_us: 100_000,
+            max_attempts: 1,
+        }),
+        NodeConfig::default(),
+    );
+    sim.start();
+    sim.run_for(10_000_000);
+    let times = sim.trace().values("put_time_us");
+    assert_eq!(times.len(), 5);
+    for t in times {
+        assert!(t > 0.0 && t < 100_000.0, "round-trip time {t}");
+    }
+    assert_eq!(sim.trace().count("client_done"), 1);
+    let _ = client;
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BINS="table2 fig11 fig12 fig13 fig14 fig15 fig16 fig17 soak ablate_vnodes ablate_remap ablate_nwr ablate_handoff ablate_cache ablate_gossip ablate_antientropy"
+for bin in $BINS; do
+  echo "=== running $bin ==="
+  cargo run --release -q -p mystore-bench --bin "$bin"
+done
+echo "all experiments done; see results/"

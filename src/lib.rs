@@ -1,0 +1,14 @@
+//! MyStore — a highly-available clustered document store.
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `mystore_core` for the system itself.
+
+pub use mystore_baselines as baselines;
+pub use mystore_bson as bson;
+pub use mystore_cache as cache;
+pub use mystore_core as core;
+pub use mystore_engine as engine;
+pub use mystore_gossip as gossip;
+pub use mystore_net as net;
+pub use mystore_ring as ring;
+pub use mystore_workload as workload;

@@ -1,0 +1,168 @@
+//! Property-based whole-cluster tests: randomized operation sequences are
+//! checked against a sequential model, and randomized short-failure
+//! schedules must never lose an acknowledged write.
+
+use std::collections::HashMap;
+
+use mystore::core::prelude::*;
+use mystore::core::testing::Probe;
+use mystore::net::{FaultPlan, NetConfig, NodeConfig, NodeId, SimConfig, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, val: u8, via: u8 },
+    Delete { key: u8, via: u8 },
+    Get { key: u8, via: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, any::<u8>(), 0u8..5).prop_map(|(key, val, via)| Op::Put { key, val, via }),
+        (0u8..8, 0u8..5).prop_map(|(key, via)| Op::Delete { key, via }),
+        (0u8..8, 0u8..5).prop_map(|(key, via)| Op::Get { key, via }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sequential operations through random coordinators behave like a
+    /// hash map: each op is spaced far enough apart that replication
+    /// settles, so every read observes the latest preceding write.
+    #[test]
+    fn cluster_matches_sequential_model(ops in proptest::collection::vec(arb_op(), 1..40), seed in 0u64..1000) {
+        let spec = ClusterSpec::small(5);
+        let mut sim = spec.build_sim(SimConfig {
+            net: NetConfig::gigabit_lan(),
+            faults: FaultPlan::none(),
+            seed,
+        });
+        let warm = spec.warmup_us();
+        // 50 ms between ops: far beyond replica propagation time.
+        let script: Vec<(u64, NodeId, Msg)> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let at = warm + i as u64 * 50_000;
+                match op {
+                    Op::Put { key, val, via } => (
+                        at,
+                        NodeId(*via as u32),
+                        Msg::Put {
+                            req: i as u64,
+                            key: format!("k{key}"),
+                            value: vec![*val],
+                            delete: false,
+                        },
+                    ),
+                    Op::Delete { key, via } => (
+                        at,
+                        NodeId(*via as u32),
+                        Msg::Put { req: i as u64, key: format!("k{key}"), value: vec![], delete: true },
+                    ),
+                    Op::Get { key, via } => {
+                        (at, NodeId(*via as u32), Msg::Get { req: i as u64, key: format!("k{key}") })
+                    }
+                }
+            })
+            .collect();
+        let probe = sim.add_node(Probe::new(script), NodeConfig::default());
+        sim.start();
+        sim.run_for(warm + ops.len() as u64 * 50_000 + 5_000_000);
+
+        // Replay the ops against a plain map and compare every Get.
+        let p = sim.process::<Probe>(probe).unwrap();
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                Op::Put { key, val, .. } => {
+                    prop_assert!(
+                        matches!(p.response_for(i as u64), Some(Msg::PutResp { result: Ok(()), .. })),
+                        "put {i} failed"
+                    );
+                    model.insert(*key, vec![*val]);
+                }
+                Op::Delete { key, .. } => {
+                    prop_assert!(
+                        matches!(p.response_for(i as u64), Some(Msg::PutResp { result: Ok(()), .. })),
+                        "delete {i} failed"
+                    );
+                    model.remove(key);
+                }
+                Op::Get { key, .. } => {
+                    let expected = model.get(key).cloned();
+                    match p.response_for(i as u64) {
+                        Some(Msg::GetResp { result: Ok(actual), .. }) => {
+                            prop_assert_eq!(actual.clone(), expected, "get {} mismatch", i);
+                        }
+                        other => prop_assert!(false, "get {i}: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Randomized short-failure schedules: every acknowledged write is
+    /// durable and fully re-replicated once the dust settles.
+    #[test]
+    fn acknowledged_writes_survive_short_failures(
+        crashes in proptest::collection::vec((1u8..5, 1u64..10, 2u64..10), 0..4),
+        seed in 0u64..1000,
+    ) {
+        let spec = ClusterSpec::small(5);
+        let mut sim = spec.build_sim(SimConfig {
+            net: NetConfig::gigabit_lan(),
+            faults: FaultPlan::none(),
+            seed,
+        });
+        let warm = spec.warmup_us();
+        let n_keys = 25u64;
+        let script: Vec<(u64, NodeId, Msg)> = (0..n_keys)
+            .map(|i| {
+                (
+                    warm + i * 200_000,
+                    NodeId(0), // coordinator 0 stays up
+                    Msg::Put { req: i, key: format!("dur{i}"), value: vec![i as u8], delete: false },
+                )
+            })
+            .collect();
+        let probe = sim.add_node(Probe::new(script), NodeConfig::default());
+        // Crash schedule (never node 0, so the coordinator survives).
+        for &(node, at_s, down_s) in &crashes {
+            sim.schedule_crash(
+                SimTime(warm + at_s * 500_000),
+                NodeId(node as u32),
+                Some(down_s * 1_000_000),
+            );
+        }
+        sim.start();
+        // Run long enough for all writes + recoveries + hint replay.
+        sim.run_for(warm + 60_000_000);
+
+        let p = sim.process::<Probe>(probe).unwrap();
+        let acked: Vec<u64> = (0..n_keys)
+            .filter(|&i| matches!(p.response_for(i), Some(Msg::PutResp { result: Ok(()), .. })))
+            .collect();
+        // With hinted handoff every write should be acknowledged.
+        prop_assert_eq!(acked.len() as u64, n_keys, "some writes failed");
+        // And each acknowledged write is on >= W live nodes.
+        for i in acked {
+            let key = format!("dur{i}");
+            let copies = spec
+                .storage_ids()
+                .iter()
+                .filter(|&&id| {
+                    sim.process::<StorageNode>(id)
+                        .unwrap()
+                        .db()
+                        .get_record("data", &key)
+                        .ok()
+                        .flatten()
+                        .is_some()
+                })
+                .count();
+            prop_assert!(copies >= 2, "key {key} has only {copies} replicas");
+        }
+    }
+}
