@@ -191,7 +191,10 @@ impl Process<Msg> for FsStoreNode {
         match r.method {
             Method::Get => match self.data.get(&key) {
                 Some(v) => {
-                    ctx.consume(self.cost.read_base_us + (v.len() as f64 / self.cost.read_bytes_per_us) as u64);
+                    ctx.consume(
+                        self.cost.read_base_us
+                            + (v.len() as f64 / self.cost.read_bytes_per_us) as u64,
+                    );
                     ctx.send(from, reply(status::OK, v.clone()));
                 }
                 None => {
@@ -262,13 +265,10 @@ mod tests {
     #[test]
     fn sim_node_serves_rest() {
         use mystore_core::message::RestRequest;
-    use mystore_core::testing::Probe;
+        use mystore_core::testing::Probe;
         use mystore_net::{NetConfig, NodeConfig, Sim, SimConfig};
-        let mut sim: Sim<Msg> = Sim::new(SimConfig {
-            net: NetConfig::instant(),
-            faults: Default::default(),
-            seed: 1,
-        });
+        let mut sim: Sim<Msg> =
+            Sim::new(SimConfig { net: NetConfig::instant(), faults: Default::default(), seed: 1 });
         let store = sim.add_node(FsStoreNode::new(FsCost::default()), NodeConfig::default());
         let probe = sim.add_node(
             Probe::new(vec![

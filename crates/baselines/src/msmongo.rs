@@ -7,10 +7,10 @@
 //! lost request is only recovered by client retry. That availability gap is
 //! precisely what Fig. 17 measures.
 
+use mystore_bson::ObjectId;
 use mystore_core::config::CostModel;
 use mystore_core::message::{Msg, StoreError};
 use mystore_engine::{pack_version, Db, Record};
-use mystore_bson::ObjectId;
 use mystore_net::{Context, NodeId, OpFault, Process, TimerToken};
 
 /// Role in the master/slave replica set.
@@ -69,7 +69,10 @@ impl Process<Msg> for MsMongoNode {
                 // simply fails it (no redirect, no failover — the paper's
                 // availability complaint about master/slave MongoDB).
                 let MsRole::Master { slaves } = self.role.clone() else {
-                    ctx.send(from, Msg::PutResp { req, result: Err(StoreError::QuorumWriteFailed) });
+                    ctx.send(
+                        from,
+                        Msg::PutResp { req, result: Err(StoreError::QuorumWriteFailed) },
+                    );
                     return;
                 };
                 match fault {
@@ -143,14 +146,10 @@ pub fn add_msmongo_trio(
     concurrency: usize,
 ) -> (NodeId, Vec<NodeId>) {
     use mystore_net::NodeConfig;
-    let s1 = sim.add_node(
-        MsMongoNode::new(MsRole::Slave, cost.clone()),
-        NodeConfig { concurrency },
-    );
-    let s2 = sim.add_node(
-        MsMongoNode::new(MsRole::Slave, cost.clone()),
-        NodeConfig { concurrency },
-    );
+    let s1 =
+        sim.add_node(MsMongoNode::new(MsRole::Slave, cost.clone()), NodeConfig { concurrency });
+    let s2 =
+        sim.add_node(MsMongoNode::new(MsRole::Slave, cost.clone()), NodeConfig { concurrency });
     let master = sim.add_node(
         MsMongoNode::new(MsRole::Master { slaves: vec![s1, s2] }, cost.clone()),
         NodeConfig { concurrency },
@@ -164,12 +163,12 @@ mod tests {
     use mystore_core::testing::Probe;
     use mystore_net::{NetConfig, NodeConfig, Sim, SimConfig, SimTime};
 
-    fn build(seed: u64, script: Vec<(u64, NodeId, Msg)>) -> (Sim<Msg>, NodeId, Vec<NodeId>, NodeId) {
-        let mut sim: Sim<Msg> = Sim::new(SimConfig {
-            net: NetConfig::gigabit_lan(),
-            faults: Default::default(),
-            seed,
-        });
+    fn build(
+        seed: u64,
+        script: Vec<(u64, NodeId, Msg)>,
+    ) -> (Sim<Msg>, NodeId, Vec<NodeId>, NodeId) {
+        let mut sim: Sim<Msg> =
+            Sim::new(SimConfig { net: NetConfig::gigabit_lan(), faults: Default::default(), seed });
         let (master, slaves) = add_msmongo_trio(&mut sim, &CostModel::default(), 4);
         let probe = sim.add_node(Probe::new(script), NodeConfig::default());
         sim.start();
@@ -196,8 +195,16 @@ mod tests {
     #[test]
     fn slave_rejects_writes_and_serves_reads() {
         let script = vec![
-            (1_000, NodeId(2), Msg::Put { req: 1, key: "k".into(), value: b"v".to_vec(), delete: false }),
-            (500_000, NodeId(0), Msg::Put { req: 2, key: "x".into(), value: b"v".to_vec(), delete: false }),
+            (
+                1_000,
+                NodeId(2),
+                Msg::Put { req: 1, key: "k".into(), value: b"v".to_vec(), delete: false },
+            ),
+            (
+                500_000,
+                NodeId(0),
+                Msg::Put { req: 2, key: "x".into(), value: b"v".to_vec(), delete: false },
+            ),
             (600_000, NodeId(0), Msg::Get { req: 3, key: "k".into() }),
         ];
         let (mut sim, _, _, probe) = build(2, script);
@@ -211,7 +218,11 @@ mod tests {
     fn master_breakdown_stalls_all_writes() {
         let script = vec![
             (1_000, NodeId(2), Msg::Put { req: 1, key: "a".into(), value: vec![1], delete: false }),
-            (2_000_000, NodeId(2), Msg::Put { req: 2, key: "b".into(), value: vec![2], delete: false }),
+            (
+                2_000_000,
+                NodeId(2),
+                Msg::Put { req: 2, key: "b".into(), value: vec![2], delete: false },
+            ),
         ];
         let (mut sim, master, _, probe) = build(3, script);
         sim.schedule_crash(SimTime(1_000_000), master, None);

@@ -190,12 +190,10 @@ mod tests {
 
     #[test]
     fn master_writes_replicate_to_slave() {
-        let mut sim: Sim<Msg> = Sim::new(SimConfig {
-            net: NetConfig::instant(),
-            faults: Default::default(),
-            seed: 1,
-        });
-        let slave = sim.add_node(RelStoreNode::new(RelRole::Slave, RelCost::default()), NodeConfig::default());
+        let mut sim: Sim<Msg> =
+            Sim::new(SimConfig { net: NetConfig::instant(), faults: Default::default(), seed: 1 });
+        let slave = sim
+            .add_node(RelStoreNode::new(RelRole::Slave, RelCost::default()), NodeConfig::default());
         let master = sim.add_node(
             RelStoreNode::new(RelRole::Master { slave: Some(slave) }, RelCost::default()),
             NodeConfig::default(),

@@ -10,8 +10,8 @@ use mystore_bson::{doc, Document, Value};
 use mystore_cache::LruCache;
 use mystore_core::prelude::*;
 use mystore_core::testing::Probe;
-use mystore_engine::{pack_version, Db, FindOptions, Record};
 use mystore_engine::query::Filter;
+use mystore_engine::{pack_version, Db, FindOptions, Record};
 use mystore_gossip::{GossipConfig, GossipMsg, Gossiper};
 use mystore_net::{FaultPlan, NetConfig, NodeConfig, NodeId, Rng, SimConfig, SimTime};
 use mystore_ring::md5::md5;

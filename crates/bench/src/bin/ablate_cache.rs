@@ -39,12 +39,8 @@ fn main() {
         let misses = r.trace.count("cache_miss") as f64;
         let hit_ratio = if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 };
         // Replica gets actually served by the storage tier.
-        let replica_gets: u64 = r
-            .trace
-            .events()
-            .iter()
-            .filter(|e| e.name == "get_ok")
-            .count() as u64;
+        let replica_gets: u64 =
+            r.trace.events().iter().filter(|e| e.name == "get_ok").count() as u64;
         fig.row(vec![
             if cache_on { "on (4 servers)" } else { "off" }.to_string(),
             fmt(r.ttfb.as_ref().map(|s| s.mean / 1e3).unwrap_or(0.0)),

@@ -56,7 +56,8 @@ fn main() {
     fig.note("scales linearly with the interval and extra fan-out buys nothing at this size");
     for interval_ms in [250u64, 500, 1000, 2000] {
         for fanout in [0usize, 1, 2] {
-            let t = convergence_us(12, interval_ms * 1000, fanout, 6000 + interval_ms + fanout as u64);
+            let t =
+                convergence_us(12, interval_ms * 1000, fanout, 6000 + interval_ms + fanout as u64);
             fig.row(vec![
                 interval_ms.to_string(),
                 fanout.to_string(),

@@ -23,7 +23,9 @@ fn main() {
         &["handoff", "stored", "gave_up", "availability_%", "handoffs_sent"],
     );
     fig.note("2000 puts, one attempt each; network-exception p=0.25 per replica op");
-    fig.note("W=2 of N=3: a put fails outright when two replica writes are lost and no fallback exists");
+    fig.note(
+        "W=2 of N=3: a put fails outright when two replica writes are lost and no fallback exists",
+    );
 
     for handoff in [true, false] {
         let mut spec = ClusterSpec::small(5);

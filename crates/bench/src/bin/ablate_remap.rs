@@ -32,39 +32,32 @@ fn main() {
     let ring5 = ring(5);
     let mut ring6 = ring5.clone();
     ring6.add_node(NodeId(5), "node5", 128).unwrap();
-    let ring_add = remap_fraction(
-        keys(),
-        |k| ring5.primary(k).copied(),
-        |k| ring6.primary(k).copied(),
-    );
+    let ring_add =
+        remap_fraction(keys(), |k| ring5.primary(k).copied(), |k| ring6.primary(k).copied());
     let modn5 = ModN::new((0..5).map(NodeId).collect());
     let mut modn6 = modn5.clone();
     modn6.add_node(NodeId(5));
-    let modn_add = remap_fraction(
-        keys(),
-        |k| modn5.primary(k).copied(),
-        |k| modn6.primary(k).copied(),
-    );
+    let modn_add =
+        remap_fraction(keys(), |k| modn5.primary(k).copied(), |k| modn6.primary(k).copied());
 
     // --- remove a node -----------------------------------------------------
     let mut ring4 = ring5.clone();
     ring4.remove_node(&NodeId(2));
-    let ring_rm = remap_fraction(
-        keys(),
-        |k| ring5.primary(k).copied(),
-        |k| ring4.primary(k).copied(),
-    );
+    let ring_rm =
+        remap_fraction(keys(), |k| ring5.primary(k).copied(), |k| ring4.primary(k).copied());
     let mut modn4 = modn5.clone();
     modn4.remove_node(&NodeId(2));
-    let modn_rm = remap_fraction(
-        keys(),
-        |k| modn5.primary(k).copied(),
-        |k| modn4.primary(k).copied(),
-    );
+    let modn_rm =
+        remap_fraction(keys(), |k| modn5.primary(k).copied(), |k| modn4.primary(k).copied());
 
     fig.row(vec!["consistent-hash".into(), "add 6th".into(), fmt(ring_add), "1/6 = 0.167".into()]);
     fig.row(vec!["mod-N".into(), "add 6th".into(), fmt(modn_add), "1 - 1/6 = 0.833".into()]);
-    fig.row(vec!["consistent-hash".into(), "remove 1 of 5".into(), fmt(ring_rm), "1/5 = 0.200".into()]);
+    fig.row(vec![
+        "consistent-hash".into(),
+        "remove 1 of 5".into(),
+        fmt(ring_rm),
+        "1/5 = 0.200".into(),
+    ]);
     fig.row(vec!["mod-N".into(), "remove 1 of 5".into(), fmt(modn_rm), "~0.8".into()]);
     fig.finish().expect("write results");
 

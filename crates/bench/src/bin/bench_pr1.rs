@@ -1,0 +1,101 @@
+//! `BENCH_PR1` — observability-layer acceptance run.
+//!
+//! Drives a mixed REST workload (80% GET / 20% POST) through the paper
+//! topology, pulls the cluster metrics registry at the end of the run, and
+//! writes `results/BENCH_PR1.json` with coordinator quorum-latency
+//! percentiles plus the full `/_stats`-shaped snapshot. Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p mystore-bench --bin bench_pr1
+//! ```
+
+use std::sync::Arc;
+
+use mystore_bench::harness::{run_rest_comparison, RestRun, SystemKind};
+use mystore_bench::report::{fmt, print_table, save_json};
+use mystore_net::Rng;
+use mystore_obs::HistogramSnapshot;
+use mystore_workload::xml_corpus;
+
+fn hist_json(h: &HistogramSnapshot) -> serde_json::Value {
+    serde_json::json!({
+        "count": h.count,
+        "mean_us": h.mean,
+        "p50_us": h.p50,
+        "p90_us": h.p90,
+        "p95_us": h.p95,
+        "p99_us": h.p99,
+        "max_us": h.max,
+    })
+}
+
+fn main() {
+    let scale = 10;
+    let mut rng = Rng::new(4242);
+    let items = Arc::new(xml_corpus(2_000, scale, &mut rng));
+
+    let mut run = RestRun::new(SystemKind::MyStore, Arc::clone(&items));
+    run.clients = 300;
+    run.read_ratio = 0.8;
+    run.duration_us = 20_000_000;
+    run.seed = 4242;
+    let r = run_rest_comparison(&run);
+
+    let snap = r.metrics.as_ref().expect("MyStore runs carry a metrics snapshot");
+    let wlat = &snap.histograms["quorum.write.latency_us"];
+    let rlat = &snap.histograms["quorum.read.latency_us"];
+
+    println!("\n=== BENCH_PR1 — quorum latency percentiles (obs layer) ===");
+    let headers: Vec<String> =
+        ["path", "count", "p50_us", "p95_us", "p99_us", "max_us"].map(String::from).into();
+    let rows: Vec<Vec<String>> = vec![
+        vec![
+            "quorum.write".into(),
+            wlat.count.to_string(),
+            fmt(wlat.p50 as f64),
+            fmt(wlat.p95 as f64),
+            fmt(wlat.p99 as f64),
+            fmt(wlat.max as f64),
+        ],
+        vec![
+            "quorum.read".into(),
+            rlat.count.to_string(),
+            fmt(rlat.p50 as f64),
+            fmt(rlat.p95 as f64),
+            fmt(rlat.p99 as f64),
+            fmt(rlat.max as f64),
+        ],
+    ];
+    print_table(&headers, &rows);
+    println!(
+        "  rps={} completed={} errors={} cache_hits={}",
+        fmt(r.rps),
+        r.completed,
+        r.errors,
+        snap.counters.get("cache.hits").copied().unwrap_or(0)
+    );
+
+    let json = serde_json::json!({
+        "id": "BENCH_PR1",
+        "title": "quorum latency percentiles from the cluster metrics registry",
+        "system": r.system,
+        "workload": serde_json::json!({
+            "clients": run.clients,
+            "read_ratio": run.read_ratio,
+            "duration_us": run.duration_us,
+            "corpus_items": items.len(),
+            "corpus_scale": format!("1:{scale}"),
+            "seed": run.seed,
+        }),
+        "rps": r.rps,
+        "throughput_mb_s": r.throughput_mb_s,
+        "completed": r.completed,
+        "errors": r.errors,
+        "quorum": serde_json::json!({
+            "write": hist_json(wlat),
+            "read": hist_json(rlat),
+        }),
+        "stats": snap.to_json(),
+    });
+    save_json("BENCH_PR1", &json).expect("write results/BENCH_PR1.json");
+}

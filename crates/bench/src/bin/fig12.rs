@@ -30,7 +30,7 @@ fn main() {
     for system in [SystemKind::MyStore, SystemKind::Ext3Fs, SystemKind::MySqlMs] {
         let mut run = RestRun::new(system, Arc::clone(&items));
         run.clients = 100; // below every system's saturation so latency reflects resource size
-        // Clients 0,3,6,... read class a; 1,4,7,... class b; 2,5,8,... class c.
+                           // Clients 0,3,6,... read class a; 1,4,7,... class b; 2,5,8,... class c.
         run.class_assignment = Some(vec![0, 1, 2]);
         let r = run_rest_comparison(&run);
         for class in 0..3u8 {

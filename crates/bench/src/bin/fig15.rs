@@ -63,7 +63,7 @@ fn main() {
         .map(|&id| (id.0, sim.process::<StorageNode>(id).unwrap().record_count()))
         .collect();
     let stats = balance_stats(
-        counts.iter().flat_map(|&(id, c)| std::iter::repeat(id).take(c)),
+        counts.iter().flat_map(|&(id, c)| std::iter::repeat_n(id, c)),
         counts.iter().map(|&(id, _)| id),
     );
 
@@ -78,11 +78,7 @@ fn main() {
         stats.mean, stats.min, stats.max, stats.cv
     ));
     for (id, c) in &counts {
-        fig.row(vec![
-            format!("DB node {id}"),
-            c.to_string(),
-            fmt(*c as f64 / stats.mean),
-        ]);
+        fig.row(vec![format!("DB node {id}"), c.to_string(), fmt(*c as f64 / stats.mean)]);
     }
     fig.finish().expect("write results");
 

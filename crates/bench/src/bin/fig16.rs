@@ -8,8 +8,8 @@
 use std::sync::Arc;
 
 use mystore_bench::report::{fmt, Figure};
-use mystore_core::prelude::*;
 use mystore_core::message::Msg as CoreMsg;
+use mystore_core::prelude::*;
 use mystore_net::{FaultPlan, NetConfig, NodeConfig, Rng, SimConfig, SimTime};
 use mystore_workload::{rate_per_sec, storage_corpus, Item, PutClient, PutClientConfig};
 
@@ -92,11 +92,7 @@ fn run(faults: FaultPlan, items: &Arc<Vec<Item>>, seed: u64) -> (Vec<f64>, u64, 
     let handoffs: u64 = spec
         .storage_ids()
         .iter()
-        .map(|&id| {
-            sim.process::<StorageNode>(id)
-                .map(|n| n.stats().handoffs_sent)
-                .unwrap_or(0)
-        })
+        .map(|&id| sim.process::<StorageNode>(id).map(|n| n.stats().handoffs_sent).unwrap_or(0))
         .sum();
     (series, stored, gave_up, elapsed_s, handoffs)
 }
@@ -121,14 +117,16 @@ fn main() {
     per_replica.p_disk /= 3.0;
     per_replica.p_block /= 3.0;
     per_replica.p_breakdown /= 3.0;
-    for (label, faults, seed) in
-        [("no-fault", FaultPlan::none(), 160), ("fault", per_replica, 161)]
+    for (label, faults, seed) in [("no-fault", FaultPlan::none(), 160), ("fault", per_replica, 161)]
     {
         let (series, stored, gave_up, elapsed, handoffs) = run(faults, &items, seed);
         let mut sorted = series.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mean = series.iter().sum::<f64>() / series.len().max(1) as f64;
-        let p95 = sorted.get(sorted.len().saturating_sub(1).min(sorted.len() * 95 / 100)).copied().unwrap_or(0.0);
+        let p95 = sorted
+            .get(sorted.len().saturating_sub(1).min(sorted.len() * 95 / 100))
+            .copied()
+            .unwrap_or(0.0);
         fig.row(vec![
             label.to_string(),
             fmt(mean),

@@ -126,7 +126,9 @@ fn main() {
         &["run", "stored", "gave_up", "p50_ms", "p90_ms", "p99_ms", "max_ms"],
     );
     fig.note(format!("{PUTS} puts, sizes 18-7633 KB / 100, Gaussian-selected (µ=15 σ=5)"));
-    fig.note("paper: within any given time, MyStore-fault completes more puts than ms-MongoDB-fault");
+    fig.note(
+        "paper: within any given time, MyStore-fault completes more puts than ms-MongoDB-fault",
+    );
 
     let runs = [
         ("MyStore no-fault", true, FaultPlan::none(), 170),

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use mystore_baselines::{FsCost, FsStoreNode, RelCost, RelRole, RelStoreNode};
 use mystore_core::prelude::*;
 use mystore_net::{FaultPlan, NetConfig, NodeConfig, NodeId, Sim, SimConfig, SimTime, Trace};
+use mystore_obs::Snapshot;
 use mystore_workload::{
     preload_mystore, preload_single, rate_per_sec, throughput_mb_per_sec, Item, RestClient,
     RestClientConfig, Summary,
@@ -99,6 +100,10 @@ pub struct RestRunResult {
     pub trace: Trace,
     /// Measurement window.
     pub window: (SimTime, SimTime),
+    /// End-of-run metrics snapshot (quorum counters, latency histograms,
+    /// WAL/cache/gossip series). `None` for the baseline systems, which do
+    /// not publish into a registry.
+    pub metrics: Option<Snapshot>,
 }
 
 /// Builds, preloads, runs, and reduces one REST workload run.
@@ -107,10 +112,12 @@ pub fn run_rest_comparison(run: &RestRun) -> RestRunResult {
     let sim_config = SimConfig { net: net.clone(), faults: FaultPlan::none(), seed: run.seed };
 
     // --- build the system under test --------------------------------------
+    let mut registry = None;
     let (mut sim, target, warmup_us, spec_opt) = match run.system {
         SystemKind::MyStore => {
             let spec = run.spec.clone().unwrap_or_else(ClusterSpec::paper_topology);
-            let sim = spec.build_sim(sim_config);
+            let (sim, reg) = spec.build_sim_with_metrics(sim_config);
+            registry = Some(reg);
             let target = spec.frontend_ids()[0];
             let warm = spec.warmup_us();
             (sim, target, warm, Some(spec))
@@ -120,7 +127,8 @@ pub fn run_rest_comparison(run: &RestRun) -> RestRunResult {
             // One machine, 8 cores, no replication.
             // One machine; reads are seek-bound on a single disk, so little
             // useful parallelism.
-            let id = sim.add_node(FsStoreNode::new(FsCost::default()), NodeConfig { concurrency: 2 });
+            let id =
+                sim.add_node(FsStoreNode::new(FsCost::default()), NodeConfig { concurrency: 2 });
             (sim, id, 0, None)
         }
         SystemKind::MySqlMs => {
@@ -140,10 +148,7 @@ pub fn run_rest_comparison(run: &RestRun) -> RestRunResult {
     // --- clients -----------------------------------------------------------
     let mut client_ids = Vec::with_capacity(run.clients);
     for i in 0..run.clients {
-        let class_filter = run
-            .class_assignment
-            .as_ref()
-            .map(|assign| assign[i % assign.len()]);
+        let class_filter = run.class_assignment.as_ref().map(|assign| assign[i % assign.len()]);
         let cfg = RestClientConfig {
             target,
             items: Arc::clone(&run.items),
@@ -211,6 +216,7 @@ pub fn run_rest_comparison(run: &RestRun) -> RestRunResult {
         client_ids,
         trace,
         window: (from, to),
+        metrics: registry.map(|r| r.snapshot()),
     }
 }
 

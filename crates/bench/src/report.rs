@@ -142,7 +142,7 @@ mod tests {
     fn fmt_scales_precision() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.01234), "0.0123");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(12.3456), "12.35");
         assert_eq!(fmt(1234.5), "1234"); // {:.0} rounds half-to-even
         assert_eq!(fmt(-2.5), "-2.50");
     }

@@ -148,11 +148,17 @@ fn read_document(r: &mut Reader<'_>, depth: usize) -> Result<Document> {
     let start = r.pos;
     let declared = r.i32("document length")?;
     if declared < 5 {
-        return Err(BsonError::BadLength { declared: declared as usize, actual: r.buf.len() - start });
+        return Err(BsonError::BadLength {
+            declared: declared as usize,
+            actual: r.buf.len() - start,
+        });
     }
     let end = start + declared as usize;
     if end > r.buf.len() {
-        return Err(BsonError::BadLength { declared: declared as usize, actual: r.buf.len() - start });
+        return Err(BsonError::BadLength {
+            declared: declared as usize,
+            actual: r.buf.len() - start,
+        });
     }
     let mut doc = Document::new();
     loop {
@@ -189,7 +195,9 @@ fn read_value(r: &mut Reader<'_>, ty: ElementType, depth: usize) -> Result<Value
             if nul != [0] {
                 return Err(BsonError::MissingNul);
             }
-            Value::String(std::str::from_utf8(body).map_err(|_| BsonError::InvalidUtf8)?.to_string())
+            Value::String(
+                std::str::from_utf8(body).map_err(|_| BsonError::InvalidUtf8)?.to_string(),
+            )
         }
         ElementType::Binary => {
             let len = r.i32("binary length")?;
@@ -281,10 +289,7 @@ mod tests {
         let mut bytes = vec![0, 0, 0, 0, 0x6F, b'k', 0, 0];
         let len = bytes.len() as i32;
         bytes[..4].copy_from_slice(&len.to_le_bytes());
-        assert!(matches!(
-            Document::from_bytes(&bytes),
-            Err(BsonError::UnknownElementType(0x6F))
-        ));
+        assert!(matches!(Document::from_bytes(&bytes), Err(BsonError::UnknownElementType(0x6F))));
     }
 
     #[test]

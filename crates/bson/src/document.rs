@@ -155,11 +155,7 @@ impl Document {
     /// framing exactly for flat documents and closely for nested ones.
     pub fn encoded_size(&self) -> usize {
         // 4-byte length + trailing NUL.
-        5 + self
-            .entries
-            .iter()
-            .map(|(k, v)| 2 + k.len() + value_size(v))
-            .sum::<usize>()
+        5 + self.entries.iter().map(|(k, v)| 2 + k.len() + value_size(v)).sum::<usize>()
     }
 }
 
@@ -173,11 +169,7 @@ fn value_size(v: &Value) -> usize {
         Value::Binary(b) => 5 + b.len(),
         Value::ObjectId(_) => 12,
         Value::Array(items) => {
-            5 + items
-                .iter()
-                .enumerate()
-                .map(|(i, v)| 2 + dec_len(i) + value_size(v))
-                .sum::<usize>()
+            5 + items.iter().enumerate().map(|(i, v)| 2 + dec_len(i) + value_size(v)).sum::<usize>()
         }
         Value::Document(d) => d.encoded_size(),
     }
@@ -307,12 +299,10 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let d: Document = vec![
-            ("a".to_string(), Value::Int32(1)),
-            ("b".to_string(), Value::Int32(2)),
-        ]
-        .into_iter()
-        .collect();
+        let d: Document =
+            vec![("a".to_string(), Value::Int32(1)), ("b".to_string(), Value::Int32(2))]
+                .into_iter()
+                .collect();
         assert_eq!(d.len(), 2);
     }
 }

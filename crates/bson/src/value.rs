@@ -413,7 +413,10 @@ mod tests {
         assert_eq!(Value::from(7i32), Value::Int32(7));
         assert_eq!(Value::from(7i64), Value::Int64(7));
         assert_eq!(Value::from("x"), Value::String("x".into()));
-        assert_eq!(Value::from(vec![1i32, 2]), Value::Array(vec![Value::Int32(1), Value::Int32(2)]));
+        assert_eq!(
+            Value::from(vec![1i32, 2]),
+            Value::Array(vec![Value::Int32(1), Value::Int32(2)])
+        );
         assert_eq!(Value::from(None::<i32>), Value::Null);
         assert_eq!(Value::from(Some(3i32)), Value::Int32(3));
     }

@@ -20,9 +20,8 @@ fn arb_value(depth: u32) -> impl Strategy<Value = Value> {
     leaf.prop_recursive(depth, 64, 8, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(|pairs| {
-                Value::Document(pairs.into_iter().map(|(k, v)| (k, v)).collect())
-            }),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6)
+                .prop_map(|pairs| Value::Document(pairs.into_iter().collect())),
         ]
     })
 }

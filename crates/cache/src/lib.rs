@@ -11,4 +11,4 @@ pub mod lru;
 pub mod tier;
 
 pub use lru::{CacheStats, LruCache};
-pub use tier::CacheTier;
+pub use tier::{CacheTier, CacheTierMetrics};

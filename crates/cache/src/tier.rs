@@ -6,11 +6,39 @@
 //! (§4). Each shard is one [`LruCache`]; keys route by MD5 hash, the same
 //! family of hashing the rest of the system uses.
 
+use mystore_obs::{Counter, Registry};
 use parking_lot::Mutex;
 
 use mystore_ring::md5::md5;
 
 use crate::lru::{CacheStats, LruCache};
+
+/// Observability handles for cache-tier hot paths. Default-constructed
+/// handles are standalone; attach registry-backed ones with
+/// [`CacheTier::attach_metrics`] to surface the tier in `/_stats`.
+#[derive(Debug, Clone, Default)]
+pub struct CacheTierMetrics {
+    /// Lookups answered from cache.
+    pub hits: Counter,
+    /// Lookups that missed.
+    pub misses: Counter,
+    /// Entries inserted (or refreshed).
+    pub inserts: Counter,
+    /// Entries invalidated.
+    pub invalidations: Counter,
+}
+
+impl CacheTierMetrics {
+    /// Resolves the standard `cache.*` metric names in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        CacheTierMetrics {
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            inserts: registry.counter("cache.inserts"),
+            invalidations: registry.counter("cache.invalidations"),
+        }
+    }
+}
 
 /// A set of cache shards with hash-based key routing.
 ///
@@ -19,6 +47,7 @@ use crate::lru::{CacheStats, LruCache};
 /// cache *servers*).
 pub struct CacheTier {
     shards: Vec<Mutex<LruCache>>,
+    metrics: CacheTierMetrics,
 }
 
 impl CacheTier {
@@ -27,7 +56,13 @@ impl CacheTier {
         assert!(shards > 0, "cache tier needs at least one shard");
         CacheTier {
             shards: (0..shards).map(|_| Mutex::new(LruCache::new(bytes_per_shard))).collect(),
+            metrics: CacheTierMetrics::default(),
         }
+    }
+
+    /// Attaches registry-backed metric handles.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.metrics = CacheTierMetrics::from_registry(registry);
     }
 
     /// Number of shards.
@@ -43,17 +78,25 @@ impl CacheTier {
 
     /// Looks up `key` on its shard.
     pub fn get(&self, key: &str) -> Option<Vec<u8>> {
-        self.shards[self.shard_of(key)].lock().get(key).map(|v| v.to_vec())
+        let found = self.shards[self.shard_of(key)].lock().get(key).map(|v| v.to_vec());
+        if found.is_some() {
+            self.metrics.hits.inc();
+        } else {
+            self.metrics.misses.inc();
+        }
+        found
     }
 
     /// Inserts `key` on its shard; returns `false` if rejected (oversized).
     pub fn put(&self, key: &str, value: Vec<u8>) -> bool {
+        self.metrics.inserts.inc();
         self.shards[self.shard_of(key)].lock().put(key, value)
     }
 
     /// Invalidates `key` (DELETE path: "the item with this key will be
     /// deleted from cache", §4).
     pub fn remove(&self, key: &str) -> bool {
+        self.metrics.invalidations.inc();
         self.shards[self.shard_of(key)].lock().remove(key)
     }
 
@@ -142,6 +185,22 @@ mod tests {
         }
         assert!(tier.used_bytes() <= 200);
         assert!(tier.stats().evictions > 0);
+    }
+
+    #[test]
+    fn attached_metrics_mirror_hit_miss_counts() {
+        let reg = Registry::new();
+        let mut tier = CacheTier::new(2, 1024);
+        tier.attach_metrics(&reg);
+        tier.put("a", vec![1]);
+        let _ = tier.get("a");
+        let _ = tier.get("nope");
+        tier.remove("a");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["cache.hits"], 1);
+        assert_eq!(snap.counters["cache.misses"], 1);
+        assert_eq!(snap.counters["cache.inserts"], 1);
+        assert_eq!(snap.counters["cache.invalidations"], 1);
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build container has no crates.io access. This shim keeps the
+//! workspace's benchmark sources compiling and runnable: it executes each
+//! benchmark for a bounded number of timed iterations with `std::time` and
+//! prints a small mean/min report, with none of criterion's statistics.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted, not acted upon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One setup per iteration.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher { iters, total: Duration::ZERO, min: Duration::MAX }
+    }
+
+    /// Times `routine` for the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            let out = routine();
+            let dt = t0.elapsed();
+            std::hint::black_box(&out);
+            self.total += dt;
+            self.min = self.min.min(dt);
+        }
+    }
+
+    /// Times `routine` with a fresh `setup` product per batch.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            let dt = t0.elapsed();
+            std::hint::black_box(&out);
+            self.total += dt;
+            self.min = self.min.min(dt);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        let mean = self.total.checked_div(self.iters as u32).unwrap_or_default();
+        println!("bench {name:<40} iters {:>5}  mean {:>12?}  min {:>12?}", self.iters, mean, self.min);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the group's throughput annotation (printed only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Accepted for parity; the shim has no measurement-time budget.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(id);
+    }
+}
+
+/// Opaque-to-the-optimizer identity, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )*
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_the_routine() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        // Count via a cell captured by the closure chain.
+        let counter = std::cell::Cell::new(0u64);
+        c.bench_function("noop", |b| b.iter(|| counter.set(counter.get() + 1)));
+        runs += counter.get();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn batched_gets_fresh_input() {
+        let mut c = Criterion::default().sample_size(4);
+        let seen = std::cell::RefCell::new(Vec::new());
+        let next = std::cell::Cell::new(0u32);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    let v = next.get();
+                    next.set(v + 1);
+                    v
+                },
+                |v| seen.borrow_mut().push(v),
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(*seen.borrow(), vec![0, 1, 2, 3]);
+    }
+}

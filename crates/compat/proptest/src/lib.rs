@@ -1,0 +1,202 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! The build container has no crates.io access, so this shim reimplements
+//! the slice of proptest the workspace's property tests use: the
+//! [`Strategy`] trait (`prop_map`, `prop_recursive`, `boxed`), strategies
+//! for integer/float ranges, tuples, regex-subset string patterns,
+//! `collection::vec`, `sample::Index`, `Just`, `prop_oneof!`, and the
+//! `proptest!` / `prop_assert*!` macros.
+//!
+//! Differences from real proptest: case generation is deterministic per
+//! test name (reproducible runs, no persistence files) and failures are
+//! reported without shrinking.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — collection strategies.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s of `element` values with a length drawn from
+    /// `len` (half-open, like proptest's `SizeRange` from a range).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// `proptest::option` — strategies for `Option` values.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy for `Option<T>` that is `Some` three times out of four,
+    /// mirroring proptest's default weighting.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// `proptest::sample` — sampling helper types.
+pub mod sample {
+    use crate::strategy::FnStrategy;
+    use crate::test_runner::TestRng;
+
+    /// An index into a collection whose size is unknown at generation
+    /// time; resolved against a length with [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Maps this abstract index onto a collection of `size` elements.
+        /// `size` must be non-zero.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl crate::strategy::Arbitrary for Index {
+        type Strategy = FnStrategy<Index>;
+        fn arbitrary() -> Self::Strategy {
+            FnStrategy(|rng: &mut TestRng| Index(rng.next_u64()))
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// Asserts two expressions differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `left != right`\n  left: `{:?}`\n right: `{:?}`",
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let a = $a;
+        let b = $b;
+        $crate::prop_assert!(a != b, $($fmt)+);
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { config = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let mut dbg = String::new();
+                $(
+                    let __pt_val = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    dbg.push_str(stringify!($parm));
+                    dbg.push_str(" = ");
+                    dbg.push_str(&format!("{:?}; ", __pt_val));
+                    let $parm = __pt_val;
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs: {}\n(no shrinking in offline proptest shim)",
+                        case + 1,
+                        config.cases,
+                        e,
+                        dbg
+                    );
+                }
+            }
+        }
+    )*};
+}

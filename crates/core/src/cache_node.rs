@@ -1,8 +1,9 @@
 //! A cache server process (paper §4's "independent memory cache system
 //! consisting of several cache servers").
 
-use mystore_cache::{CacheStats, LruCache};
+use mystore_cache::{CacheStats, CacheTierMetrics, LruCache};
 use mystore_net::{Context, NodeId, Process, TimerToken};
+use mystore_obs::Registry;
 
 use crate::config::CostModel;
 use crate::message::Msg;
@@ -13,13 +14,21 @@ use crate::message::Msg;
 pub struct CacheNode {
     lru: LruCache,
     cost: CostModel,
+    metrics: CacheTierMetrics,
 }
 
 impl CacheNode {
     /// Creates a cache server with `capacity_bytes` of memory (the paper
     /// gives each cache server 1 GB).
     pub fn new(capacity_bytes: usize, cost: CostModel) -> Self {
-        CacheNode { lru: LruCache::new(capacity_bytes), cost }
+        CacheNode { lru: LruCache::new(capacity_bytes), cost, metrics: CacheTierMetrics::default() }
+    }
+
+    /// As [`CacheNode::new`], publishing `cache.*` metrics into `registry`.
+    pub fn with_metrics(capacity_bytes: usize, cost: CostModel, registry: &Registry) -> Self {
+        let mut node = CacheNode::new(capacity_bytes, cost);
+        node.metrics = CacheTierMetrics::from_registry(registry);
+        node
     }
 
     /// Cache statistics.
@@ -46,15 +55,22 @@ impl Process<Msg> for CacheNode {
             Msg::CacheGet { req, key } => {
                 let value = self.lru.get(&key).map(|v| v.to_vec());
                 ctx.consume(self.cost.cache_us(value.as_ref().map(Vec::len).unwrap_or(0)));
+                if value.is_some() {
+                    self.metrics.hits.inc();
+                } else {
+                    self.metrics.misses.inc();
+                }
                 ctx.record(if value.is_some() { "cache_hit" } else { "cache_miss" }, 1.0);
                 ctx.send(from, Msg::CacheGetResp { req, value });
             }
             Msg::CachePut { key, value } => {
                 ctx.consume(self.cost.cache_us(value.len()));
+                self.metrics.inserts.inc();
                 self.lru.put(&key, value);
             }
             Msg::CacheDel { key } => {
                 ctx.consume(self.cost.cache_us(0));
+                self.metrics.invalidations.inc();
                 self.lru.remove(&key);
             }
             _ => {}
@@ -71,12 +87,10 @@ mod tests {
 
     #[test]
     fn cache_node_serves_hits_and_misses() {
-        let mut sim: Sim<Msg> = Sim::new(SimConfig {
-            net: NetConfig::instant(),
-            faults: Default::default(),
-            seed: 1,
-        });
-        let cache = sim.add_node(CacheNode::new(1 << 20, CostModel::default()), NodeConfig::default());
+        let mut sim: Sim<Msg> =
+            Sim::new(SimConfig { net: NetConfig::instant(), faults: Default::default(), seed: 1 });
+        let cache =
+            sim.add_node(CacheNode::new(1 << 20, CostModel::default()), NodeConfig::default());
         sim.start();
         sim.inject(SimTime(1), cache, Msg::CachePut { key: "k".into(), value: vec![7; 10] });
         sim.inject(SimTime(2), cache, Msg::CacheGet { req: 1, key: "k".into() });

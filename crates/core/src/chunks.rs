@@ -96,8 +96,8 @@ pub fn parse_manifest(body: &[u8]) -> Result<(usize, usize, String), ChunkError>
     if !is_manifest(body) {
         return Err(ChunkError::BadManifest);
     }
-    let text = std::str::from_utf8(&body[MANIFEST_MAGIC.len()..])
-        .map_err(|_| ChunkError::BadManifest)?;
+    let text =
+        std::str::from_utf8(&body[MANIFEST_MAGIC.len()..]).map_err(|_| ChunkError::BadManifest)?;
     let mut count = None;
     let mut len = None;
     let mut sum = None;
@@ -150,8 +150,8 @@ mod tests {
         let plan = plan_chunks("lecture.mp4", &value, DEFAULT_CHUNK_BYTES);
         assert_eq!(plan.chunks.len(), 4); // 1 MB / 256 KB
         assert!(is_manifest(&plan.manifest));
-        let rebuilt = reassemble(&plan.manifest, |i| plan.chunks.get(i).map(|(_, c)| c.clone()))
-            .unwrap();
+        let rebuilt =
+            reassemble(&plan.manifest, |i| plan.chunks.get(i).map(|(_, c)| c.clone())).unwrap();
         assert_eq!(rebuilt, value);
     }
 

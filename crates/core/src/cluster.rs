@@ -9,6 +9,7 @@
 
 use mystore_gossip::GossipConfig;
 use mystore_net::{NodeConfig, NodeId, Sim, SimConfig};
+use mystore_obs::Registry;
 
 use crate::cache_node::CacheNode;
 use crate::config::{CostModel, FrontendConfig, Nwr, StorageConfig};
@@ -148,6 +149,7 @@ impl ClusterSpec {
             tombstone_grace_us: 300_000_000,
             anti_entropy_interval_us: 30_000_000,
             anti_entropy_batch: 256,
+            metrics: Registry::new(),
         }
     }
 
@@ -160,6 +162,7 @@ impl ClusterSpec {
             cost: self.cost.clone(),
             request_deadline_us: self.request_deadline_us * 5,
             auth: None,
+            metrics: Registry::new(),
         }
     }
 
@@ -167,25 +170,35 @@ impl ClusterSpec {
     /// the standard layout (storage, then cache, then front ends); client
     /// processes can be added afterwards, before `sim.start()`.
     pub fn build_sim(&self, sim_config: SimConfig) -> Sim<Msg> {
+        self.build_sim_with_metrics(sim_config).0
+    }
+
+    /// As [`ClusterSpec::build_sim`], also returning the cluster-wide
+    /// metrics [`Registry`]: every node publishes into the same registry,
+    /// so one snapshot (or one `GET /_stats` through a front end) covers
+    /// the whole deployment.
+    pub fn build_sim_with_metrics(&self, sim_config: SimConfig) -> (Sim<Msg>, Registry) {
+        let registry = Registry::new();
         let mut sim = Sim::new(sim_config);
         for _ in 0..self.storage_nodes {
             let id = NodeId(sim.node_count() as u32);
-            let node = StorageNode::new(id, self.storage_config());
+            let mut cfg = self.storage_config();
+            cfg.metrics = registry.clone();
+            let node = StorageNode::new(id, cfg);
             sim.add_node(node, NodeConfig { concurrency: self.storage_concurrency });
         }
         for _ in 0..self.cache_nodes {
             sim.add_node(
-                CacheNode::new(self.cache_bytes, self.cost.clone()),
+                CacheNode::with_metrics(self.cache_bytes, self.cost.clone(), &registry),
                 NodeConfig { concurrency: 4 },
             );
         }
         for _ in 0..self.frontends {
-            sim.add_node(
-                Frontend::new(self.frontend_config()),
-                NodeConfig { concurrency: self.frontend_concurrency },
-            );
+            let mut cfg = self.frontend_config();
+            cfg.metrics = registry.clone();
+            sim.add_node(Frontend::new(cfg), NodeConfig { concurrency: self.frontend_concurrency });
         }
-        sim
+        (sim, registry)
     }
 
     /// How long to run the fresh cluster before offering load, so gossip

@@ -2,6 +2,7 @@
 
 use mystore_gossip::GossipConfig;
 use mystore_net::NodeId;
+use mystore_obs::Registry;
 
 /// The NWR replication parameters (paper §2, §5.2.2).
 ///
@@ -106,9 +107,9 @@ impl Default for CostModel {
     fn default() -> Self {
         CostModel {
             put_base_us: 400,
-            write_bytes_per_us: 80.0,  // ~80 MB/s effective log write
+            write_bytes_per_us: 80.0, // ~80 MB/s effective log write
             get_base_us: 150,
-            read_bytes_per_us: 300.0,  // ~300 MB/s page-cache-assisted read
+            read_bytes_per_us: 300.0, // ~300 MB/s page-cache-assisted read
             gossip_us: 30,
             frontend_base_us: 120,
             frontend_bytes_per_us: 800.0,
@@ -159,6 +160,11 @@ pub struct StorageConfig {
     /// Maximum records digested per anti-entropy round (bounds message
     /// size; successive rounds rotate through the key space).
     pub anti_entropy_batch: usize,
+    /// Metrics registry this node publishes into. Registries are cheap
+    /// shared handles: give every node in a cluster a clone of the same
+    /// registry and `/_stats` aggregates them all. The default is a private
+    /// (unobserved) registry.
+    pub metrics: Registry,
 }
 
 impl Default for StorageConfig {
@@ -168,8 +174,8 @@ impl Default for StorageConfig {
             vnodes: 128,
             gossip: GossipConfig::default(),
             cost: CostModel::default(),
-            replica_timeout_us: 60_000,      // 60 ms
-            request_deadline_us: 1_000_000,  // 1 s
+            replica_timeout_us: 60_000,     // 60 ms
+            request_deadline_us: 1_000_000, // 1 s
             hint_replay_interval_us: 2_000_000,
             collection: "data".into(),
             hinted_handoff: true,
@@ -178,6 +184,7 @@ impl Default for StorageConfig {
             data_dir: None,
             anti_entropy_interval_us: 30_000_000,
             anti_entropy_batch: 256,
+            metrics: Registry::new(),
         }
     }
 }
@@ -199,6 +206,9 @@ pub struct FrontendConfig {
     pub request_deadline_us: u64,
     /// Enable URI-signature authentication (paper Fig. 2).
     pub auth: Option<crate::auth::AuthConfig>,
+    /// Metrics registry; share one handle cluster-wide so the front end's
+    /// `GET /_stats` endpoint reports every module (see [`StorageConfig::metrics`]).
+    pub metrics: Registry,
 }
 
 impl Default for FrontendConfig {
@@ -210,6 +220,7 @@ impl Default for FrontendConfig {
             cost: CostModel::default(),
             request_deadline_us: 5_000_000,
             auth: None,
+            metrics: Registry::new(),
         }
     }
 }

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use mystore_net::{Context, NodeId, Process, TimerToken};
+use mystore_obs::{Counter, Gauge, Registry};
 use mystore_ring::md5::md5;
 
 use crate::auth::TokenStore;
@@ -57,6 +58,38 @@ pub struct FrontendStats {
     pub timeouts: u64,
 }
 
+/// Observability handles for front-end admission and cache routing.
+/// Resolved from [`FrontendConfig::metrics`].
+#[derive(Debug, Clone, Default)]
+pub struct FrontendMetrics {
+    /// Requests admitted past the process-pool bound.
+    pub admitted: Counter,
+    /// Requests shed with `503 Busy`.
+    pub shed: Counter,
+    /// Responses served from the cache tier.
+    pub cache_hits: Counter,
+    /// Requests rejected by signature verification.
+    pub auth_failures: Counter,
+    /// Requests that timed out inside the cluster.
+    pub timeouts: Counter,
+    /// Requests currently in flight at this front end.
+    pub inflight: Gauge,
+}
+
+impl FrontendMetrics {
+    /// Resolves the standard `frontend.*` metric names in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        FrontendMetrics {
+            admitted: registry.counter("frontend.admitted"),
+            shed: registry.counter("frontend.shed"),
+            cache_hits: registry.counter("frontend.cache_hits"),
+            auth_failures: registry.counter("frontend.auth_failures"),
+            timeouts: registry.counter("frontend.timeouts"),
+            inflight: registry.gauge("frontend.inflight"),
+        }
+    }
+}
+
 /// The front-end process.
 pub struct Frontend {
     cfg: FrontendConfig,
@@ -65,11 +98,13 @@ pub struct Frontend {
     next_req: u64,
     rr: usize,
     stats: FrontendStats,
+    metrics: FrontendMetrics,
 }
 
 impl Frontend {
     /// Creates a front end.
     pub fn new(cfg: FrontendConfig) -> Self {
+        let metrics = FrontendMetrics::from_registry(&cfg.metrics);
         Frontend {
             cfg,
             tokens: TokenStore::new(),
@@ -77,6 +112,7 @@ impl Frontend {
             next_req: 1,
             rr: 0,
             stats: FrontendStats::default(),
+            metrics,
         }
     }
 
@@ -148,15 +184,37 @@ impl Frontend {
             }),
         );
         self.pending.remove(&req);
+        self.metrics.inflight.set(self.pending.len() as i64);
     }
 
     fn on_rest(&mut self, ctx: &mut Context<'_, Msg>, client: NodeId, r: RestRequest) {
+        // `GET /data/_stats`: the cluster-wide metrics snapshot. Keys
+        // starting with `_` are reserved for diagnostics; the endpoint is
+        // served before admission control (it must answer precisely when
+        // the cluster is shedding) and without auth, like an internal
+        // status page.
+        if r.method == Method::Get && r.key.as_deref() == Some("_stats") {
+            ctx.consume(self.cfg.cost.frontend_base_us);
+            let body = self.cfg.metrics.snapshot().to_pretty_string().into_bytes();
+            ctx.send(
+                client,
+                Msg::RestResp(RestResponse {
+                    req: r.req,
+                    status: status::OK,
+                    body,
+                    assigned_key: None,
+                    from_cache: false,
+                }),
+            );
+            return;
+        }
         // Admission control (the spawn-fcgi process-pool bound). Shedding
         // happens before the request costs real CPU — like nginx returning
         // 503 from the listener without dispatching to a worker.
         if self.pending.len() >= self.cfg.max_inflight {
             ctx.consume(10);
             self.stats.shed += 1;
+            self.metrics.shed.inc();
             ctx.record("fe_shed", 1.0);
             ctx.send(
                 client,
@@ -179,6 +237,7 @@ impl Frontend {
             };
             if !ok {
                 self.stats.auth_failures += 1;
+                self.metrics.auth_failures.inc();
                 ctx.send(
                     client,
                     Msg::RestResp(RestResponse {
@@ -207,6 +266,7 @@ impl Frontend {
             return;
         }
         self.stats.admitted += 1;
+        self.metrics.admitted.inc();
         let req = self.fresh_req();
         // POST without key creates a new entry: assign a key (the paper
         // returns the generated key to the user).
@@ -268,6 +328,7 @@ impl Frontend {
                 self.forward_put(ctx, req, key, Vec::new(), true);
             }
         }
+        self.metrics.inflight.set(self.pending.len() as i64);
     }
 
     fn forward_get(&mut self, ctx: &mut Context<'_, Msg>, req: u64, key: String) {
@@ -321,6 +382,7 @@ impl Process<Msg> for Frontend {
                 match value {
                     Some(body) => {
                         self.stats.cache_hits += 1;
+                        self.metrics.cache_hits.inc();
                         self.respond(ctx, req, status::OK, body, true);
                     }
                     None => {
@@ -335,42 +397,51 @@ impl Process<Msg> for Frontend {
             Msg::GetResp { req, result } => {
                 ctx.consume(self.cfg.cost.frontend_base_us / 4);
                 match result {
-                Ok(Some(body)) => {
-                    if let Some(p) = self.pending.get(&req) {
-                        let key = p.key.clone();
-                        if let Some(cache) = self.cache_for(&key) {
-                            ctx.send(cache, Msg::CachePut { key, value: body.clone() });
+                    Ok(Some(body)) => {
+                        if let Some(p) = self.pending.get(&req) {
+                            let key = p.key.clone();
+                            if let Some(cache) = self.cache_for(&key) {
+                                ctx.send(cache, Msg::CachePut { key, value: body.clone() });
+                            }
                         }
+                        self.respond(ctx, req, status::OK, body, false);
                     }
-                    self.respond(ctx, req, status::OK, body, false);
+                    Ok(None) => self.respond(ctx, req, status::NOT_FOUND, Vec::new(), false),
+                    Err(_) => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
                 }
-                Ok(None) => self.respond(ctx, req, status::NOT_FOUND, Vec::new(), false),
-                Err(_) => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
-            }}
+            }
             Msg::PutResp { req, result } => {
                 ctx.consume(self.cfg.cost.frontend_base_us / 4);
                 match result {
-                Ok(()) => {
-                    let (st, key_body) = match self.pending.get(&req) {
-                        Some(p) if p.method == Method::Post => {
-                            // Successful write refreshes the cache (§4:
-                            // items inserted/updated recently are cached).
-                            let key = p.key.clone();
-                            let body = p.body.clone();
-                            if let Some(cache) = self.cache_for(&key) {
-                                ctx.send(cache, Msg::CachePut { key: key.clone(), value: body });
+                    Ok(()) => {
+                        let (st, key_body) = match self.pending.get(&req) {
+                            Some(p) if p.method == Method::Post => {
+                                // Successful write refreshes the cache (§4:
+                                // items inserted/updated recently are cached).
+                                let key = p.key.clone();
+                                let body = p.body.clone();
+                                if let Some(cache) = self.cache_for(&key) {
+                                    ctx.send(
+                                        cache,
+                                        Msg::CachePut { key: key.clone(), value: body },
+                                    );
+                                }
+                                (
+                                    if p.assigned_key.is_some() {
+                                        status::CREATED
+                                    } else {
+                                        status::OK
+                                    },
+                                    Vec::new(),
+                                )
                             }
-                            (
-                                if p.assigned_key.is_some() { status::CREATED } else { status::OK },
-                                Vec::new(),
-                            )
-                        }
-                        _ => (status::OK, Vec::new()),
-                    };
-                    self.respond(ctx, req, st, key_body, false);
+                            _ => (status::OK, Vec::new()),
+                        };
+                        self.respond(ctx, req, st, key_body, false);
+                    }
+                    Err(_) => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
                 }
-                Err(_) => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
-            }}
+            }
             _ => {}
         }
     }
@@ -380,6 +451,7 @@ impl Process<Msg> for Frontend {
             let req = token >> 3;
             if self.pending.contains_key(&req) {
                 self.stats.timeouts += 1;
+                self.metrics.timeouts.inc();
                 ctx.record("fe_timeout", 1.0);
                 self.respond(ctx, req, status::TIMEOUT, Vec::new(), false);
             }

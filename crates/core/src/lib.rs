@@ -62,9 +62,9 @@ pub use auth::{sign, sign_request, AuthConfig, Signature, TokenStore};
 pub use cache_node::CacheNode;
 pub use cluster::ClusterSpec;
 pub use config::{CostModel, FrontendConfig, Nwr, StorageConfig};
-pub use frontend::{Frontend, FrontendStats};
+pub use frontend::{Frontend, FrontendMetrics, FrontendStats};
 pub use message::{status, Method, Msg, RestRequest, RestResponse, StoreError};
-pub use storage_node::{NodeStats, StorageNode};
+pub use storage_node::{NodeStats, StorageMetrics, StorageNode};
 
 /// Convenient glob-import surface.
 pub mod prelude {

@@ -274,10 +274,7 @@ impl Msg {
     /// inject Table 2 faults here: a lost replica write is exactly the
     /// short failure that hinted handoff (Fig. 8) exists to mask.
     pub fn is_replica_op(&self) -> bool {
-        matches!(
-            self,
-            Msg::StoreReplica { .. } | Msg::FetchReplica { .. } | Msg::StoreHint { .. }
-        )
+        matches!(self, Msg::StoreReplica { .. } | Msg::FetchReplica { .. } | Msg::StoreHint { .. })
     }
 }
 
@@ -309,9 +306,7 @@ impl WireSized for Msg {
             Msg::TransferRecords { records } => {
                 records.iter().map(|r| r.to_document().encoded_size()).sum()
             }
-            Msg::SyncDigest { entries } => {
-                entries.iter().map(|(k, _)| k.len() + 8).sum::<usize>()
-            }
+            Msg::SyncDigest { entries } => entries.iter().map(|(k, _)| k.len() + 8).sum::<usize>(),
             Msg::SyncRecords { records } => {
                 records.iter().map(|r| r.to_document().encoded_size()).sum()
             }
@@ -323,8 +318,8 @@ impl WireSized for Msg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mystore_engine::pack_version;
     use mystore_bson::ObjectId;
+    use mystore_engine::pack_version;
 
     #[test]
     fn uri_formats() {
@@ -346,7 +341,8 @@ mod tests {
         let small = Msg::Put { req: 1, key: "k".into(), value: vec![0; 10], delete: false };
         let large = Msg::Put { req: 1, key: "k".into(), value: vec![0; 100_000], delete: false };
         assert!(large.wire_size() > small.wire_size() + 90_000);
-        let rec = Record::new(ObjectId::from_parts(1, 1, 1), "k", vec![0; 5000], pack_version(1, 1));
+        let rec =
+            Record::new(ObjectId::from_parts(1, 1, 1), "k", vec![0; 5000], pack_version(1, 1));
         let m = Msg::StoreReplica { req: 1, record: rec };
         assert!(m.wire_size() > 5000);
     }

@@ -21,9 +21,10 @@
 use std::collections::HashMap;
 
 use mystore_bson::{doc, ObjectId};
-use mystore_engine::{pack_version, Db, Record};
-use mystore_gossip::{keys as gossip_keys, Gossiper, MembershipEvent};
+use mystore_engine::{pack_version, Db, Record, WalMetrics};
+use mystore_gossip::{keys as gossip_keys, GossipMetrics, Gossiper, MembershipEvent};
 use mystore_net::{Context, NodeId, OpFault, Process, TimerToken};
+use mystore_obs::{Counter, Gauge, Histogram, Registry};
 use mystore_ring::HashRing;
 
 use crate::config::StorageConfig;
@@ -87,6 +88,8 @@ struct PendingPut {
     /// Fallback nodes already hinted (never reused).
     fallbacks_used: Vec<NodeId>,
     replied: bool,
+    /// Coordinator clock when the request arrived (for latency histograms).
+    started_us: u64,
 }
 
 struct PendingGet {
@@ -97,6 +100,62 @@ struct PendingGet {
     /// (replica, its record if any) for successful replies.
     replies: Vec<(NodeId, Option<Record>)>,
     replied: bool,
+    /// Coordinator clock when the request arrived (for latency histograms).
+    started_us: u64,
+}
+
+/// Observability handles for the coordinator and hinted-handoff hot paths.
+/// Resolved once per node from [`StorageConfig::metrics`]; all nodes sharing
+/// a registry aggregate into the same cluster-wide series.
+#[derive(Debug, Clone, Default)]
+pub struct StorageMetrics {
+    /// Quorum writes this node began coordinating.
+    pub quorum_write_started: Counter,
+    /// Quorum writes acknowledged to the caller (reached `W`).
+    pub quorum_write_ok: Counter,
+    /// Quorum writes that failed the hard deadline.
+    pub quorum_write_failed: Counter,
+    /// Coordinator-side write latency, arrival → `W`-ack reply (µs).
+    pub quorum_write_latency_us: Histogram,
+    /// Quorum reads this node began coordinating.
+    pub quorum_read_started: Counter,
+    /// Quorum reads answered to the caller (reached `R`).
+    pub quorum_read_ok: Counter,
+    /// Quorum reads that failed the hard deadline.
+    pub quorum_read_failed: Counter,
+    /// Coordinator-side read latency, arrival → `R`-reply (µs).
+    pub quorum_read_latency_us: Histogram,
+    /// Winner records pushed to stale or missing replicas after a read.
+    pub read_repair_pushes: Counter,
+    /// Hints accepted for safekeeping (either for a peer or self-held).
+    pub hints_stored: Counter,
+    /// Hints written back to their intended replica and discharged.
+    pub hints_replayed: Counter,
+    /// Writes diverted to a fallback node on replica soft-timeout.
+    pub handoffs: Counter,
+    /// Hints currently parked in this node's `hints` collection.
+    pub hint_queue_depth: Gauge,
+}
+
+impl StorageMetrics {
+    /// Resolves the standard `quorum.*` / `read_repair.*` / `hint.*` names.
+    pub fn from_registry(registry: &Registry) -> Self {
+        StorageMetrics {
+            quorum_write_started: registry.counter("quorum.write.started"),
+            quorum_write_ok: registry.counter("quorum.write.ok"),
+            quorum_write_failed: registry.counter("quorum.write.failed"),
+            quorum_write_latency_us: registry.histogram("quorum.write.latency_us"),
+            quorum_read_started: registry.counter("quorum.read.started"),
+            quorum_read_ok: registry.counter("quorum.read.ok"),
+            quorum_read_failed: registry.counter("quorum.read.failed"),
+            quorum_read_latency_us: registry.histogram("quorum.read.latency_us"),
+            read_repair_pushes: registry.counter("read_repair.pushes"),
+            hints_stored: registry.counter("hint.stored"),
+            hints_replayed: registry.counter("hint.replayed"),
+            handoffs: registry.counter("hint.handoffs"),
+            hint_queue_depth: registry.gauge("hint.queue_depth"),
+        }
+    }
 }
 
 /// The storage-node process.
@@ -119,6 +178,7 @@ pub struct StorageNode {
     sync_cursor: Option<String>,
     /// Anti-entropy round counter (rotates the peer choice).
     sync_round: u64,
+    metrics: StorageMetrics,
 }
 
 impl StorageNode {
@@ -142,7 +202,10 @@ impl StorageNode {
         if !indexed {
             db.create_index(&cfg.collection, "self-key").expect("fresh db");
         }
-        let gossiper = Gossiper::new(me, 1, cfg.gossip.clone());
+        db.set_wal_metrics(WalMetrics::from_registry(&cfg.metrics));
+        let mut gossiper = Gossiper::new(me, 1, cfg.gossip.clone());
+        gossiper.set_metrics(GossipMetrics::from_registry(&cfg.metrics));
+        let metrics = StorageMetrics::from_registry(&cfg.metrics);
         StorageNode {
             cfg,
             db,
@@ -157,6 +220,7 @@ impl StorageNode {
             generation: 1,
             sync_cursor: None,
             sync_round: 0,
+            metrics,
         }
     }
 
@@ -208,6 +272,11 @@ impl StorageNode {
         let r = self.next_req;
         self.next_req += 1;
         r
+    }
+
+    /// Re-levels the hint-queue-depth gauge after any `hints` mutation.
+    fn sync_hint_gauge(&self) {
+        self.metrics.hint_queue_depth.set(self.hint_count() as i64);
     }
 
     // ---- membership -----------------------------------------------------
@@ -323,6 +392,7 @@ impl StorageNode {
             Record::new(ObjectId::new(), key, value, version)
         };
         let my_req = self.fresh_req();
+        self.metrics.quorum_write_started.inc();
         let mut pending = PendingPut {
             caller,
             caller_req,
@@ -331,6 +401,7 @@ impl StorageNode {
             outstanding: prefs.clone(),
             fallbacks_used: Vec::new(),
             replied: false,
+            started_us: ctx.now().as_micros(),
         };
         let me = self.id();
         for &replica in &prefs {
@@ -365,11 +436,12 @@ impl StorageNode {
         if !pending.replied && pending.acks >= self.cfg.nwr.w {
             pending.replied = true;
             self.stats.puts_ok += 1;
+            self.metrics.quorum_write_ok.inc();
+            self.metrics
+                .quorum_write_latency_us
+                .record(ctx.now().as_micros().saturating_sub(pending.started_us));
             ctx.record("put_ok", 1.0);
-            ctx.send(
-                pending.caller,
-                Msg::PutResp { req: pending.caller_req, result: Ok(()) },
-            );
+            ctx.send(pending.caller, Msg::PutResp { req: pending.caller_req, result: Ok(()) });
         }
         pending.replied && pending.outstanding.is_empty()
     }
@@ -380,6 +452,8 @@ impl StorageNode {
             if ok {
                 let _ = self.db.remove(HINTS, hint_id);
                 self.stats.hints_replayed += 1;
+                self.metrics.hints_replayed.inc();
+                self.sync_hint_gauge();
                 ctx.record("hint_replayed", 1.0);
             }
             return;
@@ -413,6 +487,7 @@ impl StorageNode {
             if let Some(fallback) = self.pick_fallback(&pending) {
                 pending.fallbacks_used.push(fallback);
                 self.stats.handoffs_sent += 1;
+                self.metrics.handoffs.inc();
                 ctx.record("handoff", 1.0);
                 if fallback == me {
                     // The coordinator may be the only node left standing —
@@ -424,6 +499,8 @@ impl StorageNode {
                     };
                     if self.db.insert_doc(HINTS, hint_doc).is_ok() {
                         pending.acks += 1;
+                        self.metrics.hints_stored.inc();
+                        self.sync_hint_gauge();
                     }
                 } else {
                     ctx.send(
@@ -447,9 +524,7 @@ impl StorageNode {
         let walk = self.ring.successors_of_point(point, self.ring.len());
         let prefs = self.ring.preference_list(pending.record.self_key.as_bytes(), self.cfg.nwr.n);
         walk.into_iter().find(|n| {
-            !prefs.contains(n)
-                && !pending.fallbacks_used.contains(n)
-                && self.gossiper.is_alive(*n)
+            !prefs.contains(n) && !pending.fallbacks_used.contains(n) && self.gossiper.is_alive(*n)
         })
     }
 
@@ -457,6 +532,7 @@ impl StorageNode {
         let Some(pending) = self.pending_puts.remove(&req) else { return };
         if !pending.replied {
             self.stats.puts_failed += 1;
+            self.metrics.quorum_write_failed.inc();
             ctx.record("put_fail", 1.0);
             ctx.send(
                 pending.caller,
@@ -470,7 +546,13 @@ impl StorageNode {
 
     // ---- coordinator: reads (§5.2.2) --------------------------------------
 
-    fn start_get(&mut self, ctx: &mut Context<'_, Msg>, caller: NodeId, caller_req: u64, key: String) {
+    fn start_get(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        caller: NodeId,
+        caller_req: u64,
+        key: String,
+    ) {
         let n = self.cfg.nwr.n;
         let prefs = self.ring.preference_list(key.as_bytes(), n);
         if prefs.is_empty() {
@@ -478,6 +560,7 @@ impl StorageNode {
             return;
         }
         let my_req = self.fresh_req();
+        self.metrics.quorum_read_started.inc();
         let mut pending = PendingGet {
             caller,
             caller_req,
@@ -485,6 +568,7 @@ impl StorageNode {
             prefs: prefs.clone(),
             replies: Vec::new(),
             replied: false,
+            started_us: ctx.now().as_micros(),
         };
         let me = self.id();
         for &replica in &prefs {
@@ -520,6 +604,10 @@ impl StorageNode {
                 _ => Ok(None),
             };
             self.stats.gets_ok += 1;
+            self.metrics.quorum_read_ok.inc();
+            self.metrics
+                .quorum_read_latency_us
+                .record(ctx.now().as_micros().saturating_sub(pending.started_us));
             ctx.record("get_ok", 1.0);
             ctx.send(pending.caller, Msg::GetResp { req: pending.caller_req, result });
         }
@@ -534,19 +622,26 @@ impl StorageNode {
     /// checks the number of replication. If replications are less than N
     /// ... some more replications are supplemented" (§5.2.2) — plus classic
     /// read repair of stale copies.
+    ///
+    /// Only replicas that are actually behind get a push: a replica already
+    /// holding the winner is left alone, and a replica missing the key is
+    /// only supplemented when the winner is live data — pushing a tombstone
+    /// at a node that holds nothing would *create* state for a deleted key,
+    /// which the reaper then collects and the next read re-creates.
     fn read_repair(&mut self, ctx: &mut Context<'_, Msg>, pending: &PendingGet) {
         let Some(newest) = Self::newest(&pending.replies) else { return };
         let newest = newest.clone();
         let me = self.id();
         for (node, found) in &pending.replies {
             let stale = match found {
-                None => true,
-                Some(r) => r.version < newest.version,
+                None => !newest.is_del,
+                Some(r) => newest.wins_over(r),
             };
             if !stale {
                 continue;
             }
             self.stats.read_repairs += 1;
+            self.metrics.read_repair_pushes.inc();
             ctx.record("read_repair", 1.0);
             if *node == me {
                 let _ = self.db.put_record(&self.cfg.collection, &newest);
@@ -557,8 +652,18 @@ impl StorageNode {
         }
     }
 
+    /// The canonical LWW winner among the replies. Ties (identical packed
+    /// `(timestamp, writer)` versions are the same write) keep the first
+    /// reply, so every coordinator resolves the same winner regardless of
+    /// reply order.
     fn newest(replies: &[(NodeId, Option<Record>)]) -> Option<&Record> {
-        replies.iter().filter_map(|(_, r)| r.as_ref()).max_by_key(|r| r.version)
+        replies.iter().filter_map(|(_, r)| r.as_ref()).reduce(|best, r| {
+            if r.wins_over(best) {
+                r
+            } else {
+                best
+            }
+        })
     }
 
     fn on_fetch_ack(
@@ -584,6 +689,7 @@ impl StorageNode {
         let Some(pending) = self.pending_gets.remove(&req) else { return };
         if !pending.replied {
             self.stats.gets_failed += 1;
+            self.metrics.quorum_read_failed.inc();
             ctx.record("get_fail", 1.0);
             ctx.send(
                 pending.caller,
@@ -670,6 +776,10 @@ impl StorageNode {
             "rec": record.to_document(),
         };
         let ok = self.db.insert_doc(HINTS, hint_doc).is_ok();
+        if ok {
+            self.metrics.hints_stored.inc();
+            self.sync_hint_gauge();
+        }
         ctx.send(from, Msg::StoreAck { req, ok });
     }
 
@@ -703,6 +813,7 @@ impl StorageNode {
         for (hint_id, intended, record) in replays {
             if self.gossiper.is_removed(intended) {
                 let _ = self.db.remove(HINTS, hint_id);
+                self.sync_hint_gauge();
                 continue;
             }
             let req = self.fresh_req();
@@ -762,11 +873,8 @@ impl StorageNode {
         let mut per_peer: HashMap<NodeId, Vec<(String, u64)>> = HashMap::new();
         for rec in &batch {
             let prefs = self.ring.preference_list(rec.self_key.as_bytes(), n);
-            let eligible: Vec<NodeId> = prefs
-                .iter()
-                .copied()
-                .filter(|&p| p != me && self.gossiper.is_alive(p))
-                .collect();
+            let eligible: Vec<NodeId> =
+                prefs.iter().copied().filter(|&p| p != me && self.gossiper.is_alive(p)).collect();
             if let Some(&peer) = eligible.get(round % eligible.len().max(1)) {
                 per_peer.entry(peer).or_default().push((rec.self_key.clone(), rec.version));
             }
@@ -781,16 +889,22 @@ impl StorageNode {
     /// are behind (missing or older) so the sender pushes those back. The
     /// counter-digest cannot loop: the sender is strictly newer for every
     /// key in it, so its handler only produces a `SyncRecords`.
-    fn on_sync_digest(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, entries: Vec<(String, u64)>) {
+    fn on_sync_digest(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        entries: Vec<(String, u64)>,
+    ) {
         ctx.consume(self.cfg.cost.gossip_us + entries.len() as u64 / 4);
         let mut newer: Vec<Record> = Vec::new();
         let mut behind: Vec<(String, u64)> = Vec::new();
+        // Digests carry bare versions, so this compares what `wins_over`
+        // compares: the packed `(timestamp, writer)` version. Equal versions
+        // are the same write and need no transfer in either direction.
         for (key, their_version) in entries {
             match self.db.get_record(&self.cfg.collection, &key) {
                 Ok(Some(mine)) if mine.version > their_version => newer.push(mine),
-                Ok(Some(mine)) if mine.version < their_version => {
-                    behind.push((key, mine.version))
-                }
+                Ok(Some(mine)) if mine.version < their_version => behind.push((key, mine.version)),
                 Ok(Some(_)) => {} // equal
                 _ => behind.push((key, 0)),
             }
@@ -847,6 +961,7 @@ impl Process<Msg> for StorageNode {
         // declaration.
         self.generation += 1;
         self.gossiper = Gossiper::new(self.id(), self.generation, self.cfg.gossip.clone());
+        self.gossiper.set_metrics(GossipMetrics::from_registry(&self.cfg.metrics));
         self.pending_puts.clear();
         self.pending_gets.clear();
         self.hint_acks.clear();

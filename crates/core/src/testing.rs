@@ -68,17 +68,14 @@ impl Process<Msg> for Probe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::CostModel;
     use crate::cache_node::CacheNode;
+    use crate::config::CostModel;
     use mystore_net::{NetConfig, NodeConfig, Sim, SimConfig};
 
     #[test]
     fn probe_sends_script_and_collects_responses() {
-        let mut sim: Sim<Msg> = Sim::new(SimConfig {
-            net: NetConfig::instant(),
-            faults: Default::default(),
-            seed: 1,
-        });
+        let mut sim: Sim<Msg> =
+            Sim::new(SimConfig { net: NetConfig::instant(), faults: Default::default(), seed: 1 });
         let cache =
             sim.add_node(CacheNode::new(1 << 16, CostModel::default()), NodeConfig::default());
         let probe = sim.add_node(

@@ -1,19 +1,16 @@
 //! Anti-entropy: replica divergence is repaired by the periodic digest
 //! exchange alone — no reads, no writes, no failures needed.
 
+use mystore_bson::ObjectId;
 use mystore_core::prelude::*;
 use mystore_core::StorageNode as Node;
 use mystore_engine::{pack_version, Record};
-use mystore_bson::ObjectId;
 use mystore_net::{FaultPlan, NetConfig, NodeConfig, NodeId, Sim, SimConfig};
 
 fn build(interval_us: u64) -> (Sim<Msg>, ClusterSpec) {
     let spec = ClusterSpec::small(5);
-    let mut sim = Sim::new(SimConfig {
-        net: NetConfig::gigabit_lan(),
-        faults: FaultPlan::none(),
-        seed: 77,
-    });
+    let mut sim =
+        Sim::new(SimConfig { net: NetConfig::gigabit_lan(), faults: FaultPlan::none(), seed: 77 });
     for i in 0..spec.storage_nodes as u32 {
         let mut cfg = spec.storage_config();
         cfg.anti_entropy_interval_us = interval_us;

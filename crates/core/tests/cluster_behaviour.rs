@@ -73,7 +73,11 @@ fn delete_is_logical_and_reads_as_absent() {
     let warm = 5_000_000u64;
     let script = vec![
         (warm, NodeId(0), put(1, "victim", b"data")),
-        (warm + 300_000, NodeId(1), Msg::Put { req: 2, key: "victim".into(), value: vec![], delete: true }),
+        (
+            warm + 300_000,
+            NodeId(1),
+            Msg::Put { req: 2, key: "victim".into(), value: vec![], delete: true },
+        ),
         (warm + 600_000, NodeId(2), get(3, "victim")),
     ];
     let (mut sim, spec, probe) = cluster_with_probe(13, script);
@@ -129,11 +133,8 @@ fn short_failure_diverts_write_via_hinted_handoff_and_replays() {
     );
     sim.start();
     sim.run_for(warm);
-    let prefs = sim
-        .process::<StorageNode>(NodeId(0))
-        .unwrap()
-        .ring()
-        .preference_list(b"hinted-key", 3);
+    let prefs =
+        sim.process::<StorageNode>(NodeId(0)).unwrap().ring().preference_list(b"hinted-key", 3);
     // Crash a replica that is NOT the coordinator (node 0) just before the
     // write; it recovers after 8 s (short failure).
     let victim = *prefs.iter().find(|&&n| n != NodeId(0)).expect("replica other than 0");
@@ -295,11 +296,8 @@ fn hints_for_a_removed_node_are_dropped_and_rereplication_covers() {
     );
     sim.start();
     sim.run_for(warm);
-    let prefs = sim
-        .process::<StorageNode>(NodeId(0))
-        .unwrap()
-        .ring()
-        .preference_list(b"orphan-hint", 3);
+    let prefs =
+        sim.process::<StorageNode>(NodeId(0)).unwrap().ring().preference_list(b"orphan-hint", 3);
     let victim = *prefs.iter().find(|&&n| n != NodeId(0)).expect("non-coordinator replica");
     // The victim never comes back: short failure escalates to long failure.
     sim.schedule_crash(SimTime(warm + 500_000), victim, None);

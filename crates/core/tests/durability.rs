@@ -45,7 +45,12 @@ fn durable_cluster_recovers_after_restart() {
         for i in 0..8u64 {
             cluster.send(
                 NodeId((i % 3) as u32),
-                Msg::Put { req: i, key: format!("durable-{i}"), value: vec![i as u8; 32], delete: false },
+                Msg::Put {
+                    req: i,
+                    key: format!("durable-{i}"),
+                    value: vec![i as u8; 32],
+                    delete: false,
+                },
             );
         }
         let mut acks = 0;
@@ -71,7 +76,10 @@ fn durable_cluster_recovers_after_restart() {
         let cluster = build(&dir);
         std::thread::sleep(Duration::from_millis(400));
         for i in 0..8u64 {
-            cluster.send(NodeId(((i + 1) % 3) as u32), Msg::Get { req: 100 + i, key: format!("durable-{i}") });
+            cluster.send(
+                NodeId(((i + 1) % 3) as u32),
+                Msg::Get { req: 100 + i, key: format!("durable-{i}") },
+            );
         }
         let mut got = 0;
         while got < 8 {

@@ -4,11 +4,11 @@
 
 use std::time::Duration;
 
+use mystore_bson::ObjectId;
 use mystore_core::prelude::*;
 use mystore_core::testing::Probe;
 use mystore_engine::{pack_version, Record};
 use mystore_gossip::GossipConfig;
-use mystore_bson::ObjectId;
 use mystore_net::{
     FaultPlan, NetConfig, NodeConfig, NodeId, Sim, SimConfig, ThreadedClusterBuilder,
     ThreadedConfig,
@@ -83,13 +83,20 @@ fn stale_replica_is_read_repaired() {
     sim.run_for(warm);
 
     // Hand-plant divergent replicas: two fresh copies and one stale copy.
-    let prefs = sim
-        .process::<StorageNode>(NodeId(0))
-        .unwrap()
-        .ring()
-        .preference_list(b"stale-key", 3);
-    let fresh = Record::new(ObjectId::from_parts(1, 1, 2), "stale-key", b"new".to_vec(), pack_version(2_000, 0));
-    let stale = Record::new(ObjectId::from_parts(1, 1, 1), "stale-key", b"old".to_vec(), pack_version(1_000, 0));
+    let prefs =
+        sim.process::<StorageNode>(NodeId(0)).unwrap().ring().preference_list(b"stale-key", 3);
+    let fresh = Record::new(
+        ObjectId::from_parts(1, 1, 2),
+        "stale-key",
+        b"new".to_vec(),
+        pack_version(2_000, 0),
+    );
+    let stale = Record::new(
+        ObjectId::from_parts(1, 1, 1),
+        "stale-key",
+        b"old".to_vec(),
+        pack_version(1_000, 0),
+    );
     for (i, &node) in prefs.iter().enumerate() {
         let rec = if i == 2 { &stale } else { &fresh };
         sim.process_mut::<StorageNode>(node).unwrap().preload_record(rec);
@@ -120,11 +127,8 @@ fn capacity_proportional_vnodes_skew_placement() {
     // Node 0 advertises 4× the virtual nodes of the others ("more powerful
     // means more virtual nodes", §5.2.1).
     let spec = ClusterSpec::small(4);
-    let mut sim = Sim::new(SimConfig {
-        net: NetConfig::gigabit_lan(),
-        faults: FaultPlan::none(),
-        seed: 33,
-    });
+    let mut sim =
+        Sim::new(SimConfig { net: NetConfig::gigabit_lan(), faults: FaultPlan::none(), seed: 33 });
     for i in 0..4u32 {
         let mut cfg = spec.storage_config();
         cfg.vnodes = if i == 0 { 256 } else { 64 };
@@ -180,9 +184,11 @@ fn requests_to_a_dead_coordinator_time_out_cleanly() {
     });
     let warm = spec.warmup_us();
     let probe = sim.add_node(
-        Probe::new(vec![
-            (warm + 1_000_000, NodeId(2), Msg::Put { req: 1, key: "k".into(), value: vec![1], delete: false }),
-        ]),
+        Probe::new(vec![(
+            warm + 1_000_000,
+            NodeId(2),
+            Msg::Put { req: 1, key: "k".into(), value: vec![1], delete: false },
+        )]),
         NodeConfig::default(),
     );
     sim.schedule_crash(mystore_net::SimTime(warm + 500_000), NodeId(2), None);

@@ -3,16 +3,13 @@
 
 use mystore_core::prelude::*;
 use mystore_core::testing::Probe;
-use mystore_net::{FaultPlan, NetConfig, NodeConfig, NodeId, Sim, SimConfig};
 use mystore_core::StorageNode as Node;
+use mystore_net::{FaultPlan, NetConfig, NodeConfig, NodeId, Sim, SimConfig};
 
 fn build(grace_us: u64, interval_us: u64) -> (Sim<Msg>, ClusterSpec, NodeId) {
     let spec = ClusterSpec::small(5);
-    let mut sim = Sim::new(SimConfig {
-        net: NetConfig::gigabit_lan(),
-        faults: FaultPlan::none(),
-        seed: 8,
-    });
+    let mut sim =
+        Sim::new(SimConfig { net: NetConfig::gigabit_lan(), faults: FaultPlan::none(), seed: 8 });
     for i in 0..spec.storage_nodes as u32 {
         let mut cfg = spec.storage_config();
         cfg.compaction_interval_us = interval_us;
@@ -22,9 +19,21 @@ fn build(grace_us: u64, interval_us: u64) -> (Sim<Msg>, ClusterSpec, NodeId) {
     let warm = spec.warmup_us();
     let probe = sim.add_node(
         Probe::new(vec![
-            (warm, NodeId(0), Msg::Put { req: 1, key: "victim".into(), value: b"x".to_vec(), delete: false }),
-            (warm + 500_000, NodeId(1), Msg::Put { req: 2, key: "victim".into(), value: vec![], delete: true }),
-            (warm + 500_000, NodeId(2), Msg::Put { req: 3, key: "keeper".into(), value: b"y".to_vec(), delete: false }),
+            (
+                warm,
+                NodeId(0),
+                Msg::Put { req: 1, key: "victim".into(), value: b"x".to_vec(), delete: false },
+            ),
+            (
+                warm + 500_000,
+                NodeId(1),
+                Msg::Put { req: 2, key: "victim".into(), value: vec![], delete: true },
+            ),
+            (
+                warm + 500_000,
+                NodeId(2),
+                Msg::Put { req: 3, key: "keeper".into(), value: b"y".to_vec(), delete: false },
+            ),
         ]),
         NodeConfig::default(),
     );
@@ -36,13 +45,7 @@ fn tombstones(sim: &Sim<Msg>, spec: &ClusterSpec, key: &str) -> usize {
     spec.storage_ids()
         .iter()
         .filter(|&&id| {
-            sim.process::<Node>(id)
-                .unwrap()
-                .db()
-                .get_record("data", key)
-                .ok()
-                .flatten()
-                .is_some()
+            sim.process::<Node>(id).unwrap().db().get_record("data", key).ok().flatten().is_some()
         })
         .count()
 }

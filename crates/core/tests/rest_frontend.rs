@@ -305,3 +305,56 @@ fn runtime_token_flow_completes_the_fig2_loop() {
         .count();
     assert!(copies >= 2, "the signed write must have replicated ({copies} copies)");
 }
+
+#[test]
+fn stats_endpoint_reports_quorum_counters_after_traffic() {
+    let spec = ClusterSpec::paper_topology();
+    let fe = spec.frontend_ids()[0];
+    let warm = spec.warmup_us();
+    let (mut sim, registry) = spec.build_sim_with_metrics(sim_config(31));
+    let probe = sim.add_node(
+        Probe::new(vec![
+            // A cold `/_stats` works before any traffic...
+            (warm, fe, rest(1, Method::Get, Some("_stats"), b"")),
+            // ...then drive one quorum write, and one quorum read via a
+            // key the cache tier has never seen (a cached key would be
+            // answered by a cache server without touching storage).
+            (warm + 400_000, fe, rest(2, Method::Post, Some("observed"), b"payload")),
+            (warm + 800_000, fe, rest(3, Method::Get, Some("uncached"), b"")),
+            (warm + 1_600_000, fe, rest(4, Method::Get, Some("_stats"), b"")),
+        ]),
+        NodeConfig::default(),
+    );
+    sim.start();
+    sim.run_for(warm + 4_000_000);
+    let p = sim.process::<Probe>(probe).unwrap();
+
+    // The cold snapshot is valid JSON with empty-but-present sections.
+    let cold = match p.response_for(1) {
+        Some(Msg::RestResp(r)) if r.status == status::OK => {
+            serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap()
+        }
+        other => panic!("cold /_stats: {other:?}"),
+    };
+    assert!(cold["counters"].as_object().is_some());
+
+    let warm_stats = match p.response_for(4) {
+        Some(Msg::RestResp(r)) if r.status == status::OK => {
+            serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap()
+        }
+        other => panic!("warm /_stats: {other:?}"),
+    };
+    // Quorum counters advanced and the latency histograms carry samples
+    // with percentile summaries.
+    assert!(warm_stats["counters"]["quorum.write.ok"].as_f64().unwrap() >= 1.0);
+    assert!(warm_stats["counters"]["quorum.read.ok"].as_f64().unwrap() >= 1.0);
+    assert!(warm_stats["counters"]["frontend.admitted"].as_f64().unwrap() >= 2.0);
+    let wlat = &warm_stats["histograms"]["quorum.write.latency_us"];
+    assert!(wlat["count"].as_f64().unwrap() >= 1.0);
+    assert!(wlat["p50"].as_f64().unwrap() > 0.0);
+    assert!(wlat["p99"].as_f64().unwrap() >= wlat["p50"].as_f64().unwrap());
+    // The REST body agrees with a direct registry snapshot.
+    let direct = registry.snapshot();
+    assert!(direct.counters["quorum.write.ok"] >= 1);
+    assert!(direct.counters["wal.appends"] >= 1, "WAL metrics flow into the same registry");
+}

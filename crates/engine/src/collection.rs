@@ -201,21 +201,20 @@ impl Collection {
     /// Like [`find`](Self::find) but also reports how the query ran.
     pub fn find_explain(&self, filter: &Filter, opts: &FindOptions) -> (Vec<Document>, Explain) {
         // Planner: point lookup > range scan > full scan.
-        let (candidates, used_index): (Vec<ObjectId>, Option<String>) = if let Some((field, value)) =
-            filter.index_point()
-        {
-            match self.indexes.iter().find(|i| i.field() == field) {
-                Some(idx) => (idx.lookup_eq(value), Some(field.to_string())),
-                None => (self.docs.keys().copied().collect(), None),
-            }
-        } else if let Some((field, lo, hi)) = filter.index_range() {
-            match self.indexes.iter().find(|i| i.field() == field) {
-                Some(idx) => (idx.lookup_range(lo, hi), Some(field.to_string())),
-                None => (self.docs.keys().copied().collect(), None),
-            }
-        } else {
-            (self.docs.keys().copied().collect(), None)
-        };
+        let (candidates, used_index): (Vec<ObjectId>, Option<String>) =
+            if let Some((field, value)) = filter.index_point() {
+                match self.indexes.iter().find(|i| i.field() == field) {
+                    Some(idx) => (idx.lookup_eq(value), Some(field.to_string())),
+                    None => (self.docs.keys().copied().collect(), None),
+                }
+            } else if let Some((field, lo, hi)) = filter.index_range() {
+                match self.indexes.iter().find(|i| i.field() == field) {
+                    Some(idx) => (idx.lookup_range(lo, hi), Some(field.to_string())),
+                    None => (self.docs.keys().copied().collect(), None),
+                }
+            } else {
+                (self.docs.keys().copied().collect(), None)
+            };
 
         let scanned = candidates.len();
         let mut hits: Vec<&Document> = candidates
@@ -336,10 +335,7 @@ mod tests {
     #[test]
     fn projection_keeps_id_and_selected_fields() {
         let c = coll_with(1);
-        let out = c.find(
-            &Filter::True,
-            &FindOptions::default().project(vec!["n".to_string()]),
-        );
+        let out = c.find(&Filter::True, &FindOptions::default().project(vec!["n".to_string()]));
         assert_eq!(out.len(), 1);
         assert!(out[0].get("_id").is_some());
         assert!(out[0].get("n").is_some());

@@ -74,6 +74,12 @@ impl Db {
         ENGINE_VERSION
     }
 
+    /// Attaches registry-backed WAL metrics (see
+    /// [`crate::wal::WalMetrics`]).
+    pub fn set_wal_metrics(&mut self, metrics: crate::wal::WalMetrics) {
+        self.wal.set_metrics(metrics);
+    }
+
     /// Collection names in sorted order.
     pub fn collection_names(&self) -> Vec<&str> {
         self.collections.keys().map(|s| s.as_str()).collect()
@@ -81,9 +87,7 @@ impl Db {
 
     /// Read access to a collection.
     pub fn collection(&self, name: &str) -> Result<&Collection> {
-        self.collections
-            .get(name)
-            .ok_or_else(|| EngineError::NoSuchCollection(name.to_string()))
+        self.collections.get(name).ok_or_else(|| EngineError::NoSuchCollection(name.to_string()))
     }
 
     /// Aggregate statistics.
@@ -197,11 +201,8 @@ impl Db {
     /// number updated.
     pub fn update_many(&mut self, coll: &str, filter: &Filter, update: &Update) -> Result<usize> {
         let c = self.collection(coll)?;
-        let ids: Vec<ObjectId> = c
-            .iter()
-            .filter(|(_, d)| filter.matches(d))
-            .map(|(id, _)| *id)
-            .collect();
+        let ids: Vec<ObjectId> =
+            c.iter().filter(|(_, d)| filter.matches(d)).map(|(id, _)| *id).collect();
         for id in &ids {
             self.update_by_id(coll, *id, update)?;
         }
@@ -257,11 +258,7 @@ impl Db {
 
     /// First match, if any.
     pub fn find_one(&self, coll: &str, filter: &Filter) -> Result<Option<Document>> {
-        Ok(self
-            .collection(coll)?
-            .find(filter, &FindOptions::default().limit(1))
-            .into_iter()
-            .next())
+        Ok(self.collection(coll)?.find(filter, &FindOptions::default().limit(1)).into_iter().next())
     }
 
     /// Count of matches.

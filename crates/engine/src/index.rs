@@ -106,10 +106,7 @@ impl Index {
             RangeBound::Excluded(v) => Bound::Excluded(OrdValue(v.clone())),
             RangeBound::Unbounded => Bound::Unbounded,
         };
-        self.map
-            .range((lo_b, hi_b))
-            .flat_map(|(_, set)| set.iter().copied())
-            .collect()
+        self.map.range((lo_b, hi_b)).flat_map(|(_, set)| set.iter().copied()).collect()
     }
 
     fn keys_of(doc: &Document, field: &str) -> Vec<Value> {

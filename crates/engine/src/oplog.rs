@@ -189,7 +189,11 @@ mod tests {
         let id = ObjectId::from_parts(7, 8, 9);
         vec![
             WalOp::Insert { coll: "data".into(), doc: doc! { "_id": Value::ObjectId(id), "x": 1 } },
-            WalOp::Update { coll: "data".into(), id, doc: doc! { "_id": Value::ObjectId(id), "x": 2 } },
+            WalOp::Update {
+                coll: "data".into(),
+                id,
+                doc: doc! { "_id": Value::ObjectId(id), "x": 2 },
+            },
             WalOp::Remove { coll: "data".into(), id },
             WalOp::CreateIndex { coll: "data".into(), field: "self-key".into() },
         ]

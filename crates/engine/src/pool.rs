@@ -221,8 +221,8 @@ mod tests {
 
     #[test]
     fn checkout_and_return() {
-        let pool = Pool::connect(handle(), ConnectOptions { pool_size: 2, ..Default::default() })
-            .unwrap();
+        let pool =
+            Pool::connect(handle(), ConnectOptions { pool_size: 2, ..Default::default() }).unwrap();
         assert_eq!(pool.idle(), 2);
         let c1 = pool.get().unwrap();
         let c2 = pool.get().unwrap();

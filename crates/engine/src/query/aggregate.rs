@@ -175,9 +175,8 @@ mod tests {
 
     #[test]
     fn group_by_kind_with_count_and_sum() {
-        let spec = GroupSpec::by("kind")
-            .agg("n", Agg::Count)
-            .agg("total_stock", Agg::Sum("stock".into()));
+        let spec =
+            GroupSpec::by("kind").agg("n", Agg::Count).agg("total_stock", Agg::Sum("stock".into()));
         let rows = run(&Filter::True, &spec);
         assert_eq!(rows.len(), 3);
         // BTreeMap order: capacitor, led, resistor (string order).
@@ -213,7 +212,7 @@ mod tests {
 
     #[test]
     fn missing_group_key_becomes_null_group() {
-        let docs = vec![doc! { "x": 1 }, doc! { "kind": "a", "x": 2 }];
+        let docs = [doc! { "x": 1 }, doc! { "kind": "a", "x": 2 }];
         let spec = GroupSpec::by("kind").agg("n", Agg::Count);
         let rows = aggregate(docs.iter(), &Filter::True, &spec).unwrap();
         assert_eq!(rows.len(), 2);

@@ -80,7 +80,9 @@ impl Filter {
                         .map(|v| {
                             v.as_document()
                                 .ok_or_else(|| {
-                                    EngineError::BadQuery(format!("{key} elements must be documents"))
+                                    EngineError::BadQuery(format!(
+                                        "{key} elements must be documents"
+                                    ))
                                 })
                                 .and_then(Filter::parse)
                         })
@@ -163,10 +165,9 @@ impl Filter {
             ),
             "$size" => Filter::Size(
                 f,
-                operand
-                    .as_i64()
-                    .and_then(|v| usize::try_from(v).ok())
-                    .ok_or_else(|| EngineError::BadQuery("$size expects a non-negative integer".into()))?,
+                operand.as_i64().and_then(|v| usize::try_from(v).ok()).ok_or_else(|| {
+                    EngineError::BadQuery("$size expects a non-negative integer".into())
+                })?,
             ),
             "$elemMatch" => Filter::ElemMatch(
                 f,
@@ -175,17 +176,19 @@ impl Filter {
                 })?)?),
             ),
             "$mod" => {
-                let arr = operand
-                    .as_array()
-                    .ok_or_else(|| EngineError::BadQuery("$mod expects [divisor, remainder]".into()))?;
-                let (d, r) = match (arr.first().and_then(Value::as_i64), arr.get(1).and_then(Value::as_i64)) {
-                    (Some(d), Some(r)) if arr.len() == 2 && d != 0 => (d, r),
-                    _ => {
-                        return Err(EngineError::BadQuery(
-                            "$mod expects [non-zero divisor, remainder]".into(),
-                        ))
-                    }
-                };
+                let arr = operand.as_array().ok_or_else(|| {
+                    EngineError::BadQuery("$mod expects [divisor, remainder]".into())
+                })?;
+                let (d, r) =
+                    match (arr.first().and_then(Value::as_i64), arr.get(1).and_then(Value::as_i64))
+                    {
+                        (Some(d), Some(r)) if arr.len() == 2 && d != 0 => (d, r),
+                        _ => {
+                            return Err(EngineError::BadQuery(
+                                "$mod expects [non-zero divisor, remainder]".into(),
+                            ))
+                        }
+                    };
                 Filter::Mod(f, d, r)
             }
             "$type" => Filter::TypeIs(
@@ -240,9 +243,9 @@ impl Filter {
                 matches!(doc.get_path(path), Some(Value::String(s)) if s.contains(needle))
             }
             Filter::All(path, wanted) => match doc.get_path(path) {
-                Some(Value::Array(items)) => wanted
-                    .iter()
-                    .all(|w| items.iter().any(|v| values_eq(v, w))),
+                Some(Value::Array(items)) => {
+                    wanted.iter().all(|w| items.iter().any(|v| values_eq(v, w)))
+                }
                 _ => false,
             },
             Filter::Size(path, n) => {
@@ -255,10 +258,12 @@ impl Filter {
                 }),
                 _ => false,
             },
-            Filter::Mod(path, divisor, remainder) => match doc.get_path(path).and_then(Value::as_i64) {
-                Some(v) => v.rem_euclid(*divisor) == *remainder,
-                None => false,
-            },
+            Filter::Mod(path, divisor, remainder) => {
+                match doc.get_path(path).and_then(Value::as_i64) {
+                    Some(v) => v.rem_euclid(*divisor) == *remainder,
+                    None => false,
+                }
+            }
             Filter::TypeIs(path, name) => {
                 matches!(doc.get_path(path), Some(v) if v.type_name() == name)
             }
@@ -442,8 +447,12 @@ mod tests {
 
     #[test]
     fn string_helpers() {
-        assert!(Filter::parse(&doc! { "name": doc! { "$prefix": "Resist" } }).unwrap().matches(&d()));
-        assert!(Filter::parse(&doc! { "name": doc! { "$contains": "istor" } }).unwrap().matches(&d()));
+        assert!(Filter::parse(&doc! { "name": doc! { "$prefix": "Resist" } })
+            .unwrap()
+            .matches(&d()));
+        assert!(Filter::parse(&doc! { "name": doc! { "$contains": "istor" } })
+            .unwrap()
+            .matches(&d()));
         assert!(!Filter::parse(&doc! { "name": doc! { "$prefix": "Cap" } }).unwrap().matches(&d()));
     }
 

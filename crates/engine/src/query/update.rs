@@ -89,10 +89,14 @@ impl Update {
                     "$rename" => UpdateOp::Rename(
                         path.clone(),
                         v.as_str()
-                            .ok_or_else(|| EngineError::BadQuery("$rename expects a string".into()))?
+                            .ok_or_else(|| {
+                                EngineError::BadQuery("$rename expects a string".into())
+                            })?
                             .to_string(),
                     ),
-                    other => return Err(EngineError::BadQuery(format!("unknown update op {other}"))),
+                    other => {
+                        return Err(EngineError::BadQuery(format!("unknown update op {other}")))
+                    }
                 });
             }
         }
@@ -353,7 +357,9 @@ mod tests {
     fn replace_preserves_id() {
         let id = ObjectId::from_parts(1, 2, 3);
         let mut d = doc! { "_id": Value::ObjectId(id), "a": 1 };
-        let u = Update::parse(&doc! { "b": 2, "_id": Value::ObjectId(ObjectId::from_parts(9,9,9)) }).unwrap();
+        let u =
+            Update::parse(&doc! { "b": 2, "_id": Value::ObjectId(ObjectId::from_parts(9,9,9)) })
+                .unwrap();
         u.apply(&mut d).unwrap();
         assert_eq!(d.get_object_id("_id"), Some(id));
         assert_eq!(d.get_i64("b"), Some(2));

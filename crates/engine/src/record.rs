@@ -133,7 +133,12 @@ mod tests {
     use super::*;
 
     fn sample() -> Record {
-        Record::new(ObjectId::from_parts(1, 2, 3), "Resistor5", b"payload".to_vec(), pack_version(100, 7))
+        Record::new(
+            ObjectId::from_parts(1, 2, 3),
+            "Resistor5",
+            b"payload".to_vec(),
+            pack_version(100, 7),
+        )
     }
 
     #[test]

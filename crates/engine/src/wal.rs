@@ -15,7 +15,36 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
+use mystore_obs::{Counter, Histogram, Registry, Stopwatch};
+
 use crate::error::{EngineError, Result};
+
+/// Observability handles for WAL hot paths. A default-constructed set is
+/// standalone (recorded but invisible); attach registry-backed handles via
+/// [`Wal::set_metrics`] to fold a node's WAL activity into `/_stats`.
+#[derive(Debug, Clone, Default)]
+pub struct WalMetrics {
+    /// Frames appended.
+    pub appends: Counter,
+    /// Bytes appended (frame headers included).
+    pub append_bytes: Counter,
+    /// Flushes issued to the file backend (one per file append).
+    pub fsyncs: Counter,
+    /// Wall-clock append latency, µs (framing + write + flush).
+    pub append_us: Histogram,
+}
+
+impl WalMetrics {
+    /// Resolves the standard `wal.*` metric names in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        WalMetrics {
+            appends: registry.counter("wal.appends"),
+            append_bytes: registry.counter("wal.append_bytes"),
+            fsyncs: registry.counter("wal.fsyncs"),
+            append_us: registry.histogram("wal.append_us"),
+        }
+    }
+}
 
 /// CRC-32 (IEEE 802.3, reflected) — implemented here to keep the engine
 /// dependency-free.
@@ -53,12 +82,13 @@ pub struct Wal {
     backend: Backend,
     /// Bytes appended since open (for stats).
     appended: u64,
+    metrics: WalMetrics,
 }
 
 impl Wal {
     /// Opens an in-memory log (starts empty).
     pub fn memory() -> Self {
-        Wal { backend: Backend::Memory(Vec::new()), appended: 0 }
+        Wal { backend: Backend::Memory(Vec::new()), appended: 0, metrics: WalMetrics::default() }
     }
 
     /// Opens (creating if needed) a file-backed log at `path`. Existing
@@ -67,11 +97,21 @@ impl Wal {
     pub fn file(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(Wal { backend: Backend::File { file, path }, appended: 0 })
+        Ok(Wal {
+            backend: Backend::File { file, path },
+            appended: 0,
+            metrics: WalMetrics::default(),
+        })
+    }
+
+    /// Attaches registry-backed metric handles.
+    pub fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = metrics;
     }
 
     /// Appends one frame.
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let sw = Stopwatch::start();
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -81,9 +121,13 @@ impl Wal {
             Backend::File { file, .. } => {
                 file.write_all(&frame)?;
                 file.flush()?;
+                self.metrics.fsyncs.inc();
             }
         }
         self.appended += frame.len() as u64;
+        self.metrics.appends.inc();
+        self.metrics.append_bytes.add(frame.len() as u64);
+        sw.observe(&self.metrics.append_us);
         Ok(())
     }
 
@@ -255,6 +299,20 @@ mod tests {
         assert_eq!(wal.read_frames().unwrap(), vec![b"new1".to_vec(), b"new2".to_vec()]);
         wal.append(b"tail").unwrap();
         assert_eq!(wal.read_frames().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn metrics_count_appends_and_bytes() {
+        let reg = Registry::new();
+        let mut wal = Wal::memory();
+        wal.set_metrics(WalMetrics::from_registry(&reg));
+        wal.append(b"abc").unwrap();
+        wal.append(b"defgh").unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["wal.appends"], 2);
+        assert_eq!(snap.counters["wal.append_bytes"], 8 + 3 + 8 + 5);
+        assert_eq!(snap.counters.get("wal.fsyncs"), Some(&0)); // memory backend
+        assert_eq!(snap.histograms["wal.append_us"].count, 2);
     }
 
     #[test]

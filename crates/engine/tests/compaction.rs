@@ -1,10 +1,10 @@
 //! Compaction: the WAL shrinks to the live state, survives reopen, and
 //! purges tombstones only when asked.
 
-use mystore_bson::{doc, Value};
-use mystore_engine::{pack_version, Db, Record};
-use mystore_engine::query::{Filter, Update};
 use mystore_bson::ObjectId;
+use mystore_bson::{doc, Value};
+use mystore_engine::query::{Filter, Update};
+use mystore_engine::{pack_version, Db, Record};
 
 fn temp(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("mystore-compact-{}", std::process::id()));
@@ -46,8 +46,11 @@ fn compaction_without_purge_keeps_tombstones() {
     let path = temp("keep.wal");
     let mut db = Db::open(&path).unwrap();
     db.create_index("data", "self-key").unwrap();
-    db.put_record("data", &Record::tombstone(ObjectId::from_parts(1, 1, 1), "gone", pack_version(5, 0)))
-        .unwrap();
+    db.put_record(
+        "data",
+        &Record::tombstone(ObjectId::from_parts(1, 1, 1), "gone", pack_version(5, 0)),
+    )
+    .unwrap();
     db.compact(false).unwrap();
     drop(db);
     let db = Db::open(&path).unwrap();
@@ -60,10 +63,16 @@ fn compaction_without_purge_keeps_tombstones() {
 fn reap_respects_the_version_cutoff() {
     let mut db = Db::memory();
     db.create_index("data", "self-key").unwrap();
-    db.put_record("data", &Record::tombstone(ObjectId::from_parts(1, 1, 1), "old", pack_version(100, 0)))
-        .unwrap();
-    db.put_record("data", &Record::tombstone(ObjectId::from_parts(1, 1, 2), "new", pack_version(900, 0)))
-        .unwrap();
+    db.put_record(
+        "data",
+        &Record::tombstone(ObjectId::from_parts(1, 1, 1), "old", pack_version(100, 0)),
+    )
+    .unwrap();
+    db.put_record(
+        "data",
+        &Record::tombstone(ObjectId::from_parts(1, 1, 2), "new", pack_version(900, 0)),
+    )
+    .unwrap();
     db.put_record(
         "data",
         &Record::new(ObjectId::from_parts(1, 1, 3), "live", vec![1], pack_version(50, 0)),

@@ -16,8 +16,8 @@ fn catalogue() -> Db {
         doc! { "kind": "resistor", "ohms": 220, "tags": vec!["smd"], "rev": 2 },
         doc! { "kind": "capacitor", "farads": 0.33, "tags": vec!["smd", "passive", "ceramic"], "rev": 2 },
         doc! { "kind": "led", "tags": vec!["tht", "active"], "rev": 2,
-               "pins": vec![Value::Document(doc!{ "n": 1, "role": "anode" }),
-                            Value::Document(doc!{ "n": 2, "role": "cathode" })] },
+        "pins": vec![Value::Document(doc!{ "n": 1, "role": "anode" }),
+                     Value::Document(doc!{ "n": 2, "role": "cathode" })] },
     ] {
         db.insert_doc("c", d).unwrap();
     }
@@ -50,19 +50,13 @@ fn size_matches_exact_length() {
 #[test]
 fn elem_match_applies_subfilter_to_elements() {
     let db = catalogue();
-    assert_eq!(
-        find(&db, doc! { "pins": doc! { "$elemMatch": doc! { "role": "anode" } } }),
-        1
-    );
+    assert_eq!(find(&db, doc! { "pins": doc! { "$elemMatch": doc! { "role": "anode" } } }), 1);
     assert_eq!(
         find(&db, doc! { "pins": doc! { "$elemMatch": doc! { "n": doc! { "$gt": 5 } } } }),
         0
     );
     // Non-document elements never match.
-    assert_eq!(
-        find(&db, doc! { "tags": doc! { "$elemMatch": doc! { "x": 1 } } }),
-        0
-    );
+    assert_eq!(find(&db, doc! { "tags": doc! { "$elemMatch": doc! { "x": 1 } } }), 0);
 }
 
 #[test]
@@ -80,11 +74,7 @@ fn mod_and_type_operators() {
 fn compound_sort_orders_lexicographically() {
     let db = catalogue();
     let rows = db
-        .find(
-            "c",
-            &Filter::True,
-            &FindOptions::default().sort_asc("rev").sort_desc("ohms"),
-        )
+        .find("c", &Filter::True, &FindOptions::default().sort_asc("rev").sort_desc("ohms"))
         .unwrap();
     let pairs: Vec<(i64, Option<i64>)> =
         rows.iter().map(|d| (d.get_i64("rev").unwrap(), d.get_i64("ohms"))).collect();
@@ -106,10 +96,9 @@ fn distinct_collects_unique_values() {
     // Array fields contribute elements.
     let tags = db.distinct("c", "tags", &Filter::True).unwrap();
     assert_eq!(tags.len(), 5); // smd, passive, tht, ceramic, active
-    // With a filter.
-    let smd_kinds = db
-        .distinct("c", "kind", &Filter::parse(&doc! { "tags": "smd" }).unwrap())
-        .unwrap();
+                               // With a filter.
+    let smd_kinds =
+        db.distinct("c", "kind", &Filter::parse(&doc! { "tags": "smd" }).unwrap()).unwrap();
     assert_eq!(smd_kinds.len(), 2);
 }
 

@@ -2,17 +2,17 @@
 //! naive full scan, WAL recovery must reproduce the exact state, and LWW
 //! record semantics must be order-insensitive.
 
-use mystore_bson::{doc, Document, Value};
-use mystore_engine::{pack_version, Db, FindOptions, Record};
-use mystore_engine::query::Filter;
 use mystore_bson::ObjectId;
+use mystore_bson::{doc, Document, Value};
+use mystore_engine::query::Filter;
+use mystore_engine::{pack_version, Db, FindOptions, Record};
 use proptest::prelude::*;
 
 /// A small universe of keys/values so queries actually hit.
 fn arb_doc() -> impl Strategy<Value = Document> {
     (
-        0..20i32,                     // n
-        "[a-e]{1,3}",                 // k
+        0..20i32,                      // n
+        "[a-e]{1,3}",                  // k
         proptest::option::of(0..5i32), // maybe-missing field m
     )
         .prop_map(|(n, k, m)| {
@@ -28,7 +28,8 @@ fn arb_filter_doc() -> impl Strategy<Value = Document> {
     prop_oneof![
         (0..20i32).prop_map(|v| doc! { "n": v }),
         (0..20i32).prop_map(|v| doc! { "n": doc! { "$gt": v } }),
-        (0..20i32, 0..20i32).prop_map(|(a, b)| doc! { "n": doc! { "$gte": a.min(b), "$lt": a.max(b).max(1) } }),
+        (0..20i32, 0..20i32)
+            .prop_map(|(a, b)| doc! { "n": doc! { "$gte": a.min(b), "$lt": a.max(b).max(1) } }),
         "[a-e]{1,3}".prop_map(|k| doc! { "k": k }),
         "[a-e]".prop_map(|p| doc! { "k": doc! { "$prefix": p } }),
         (0..5i32).prop_map(|m| doc! { "m": doc! { "$exists": m % 2 == 0 } }),

@@ -27,6 +27,7 @@
 use std::collections::BTreeMap;
 
 use mystore_net::{NodeId, Rng, SimTime};
+use mystore_obs::{Counter, Gauge, Histogram, Registry};
 
 use crate::state::{keys, Digest, EndpointDelta, EndpointState};
 
@@ -113,6 +114,32 @@ struct Liveness {
     alive: bool,
 }
 
+/// Observability handles for gossip rounds. Default handles are standalone
+/// (invisible); attach registry-backed ones with [`Gossiper::set_metrics`].
+#[derive(Debug, Clone, Default)]
+pub struct GossipMetrics {
+    /// Gossip rounds run (ticks).
+    pub rounds: Counter,
+    /// Syns sent per round (seed rounds fan out to all other seeds).
+    pub fanout: Histogram,
+    /// Endpoints this node has heard of, including itself and dead ones.
+    pub known_endpoints: Gauge,
+    /// Membership events emitted (Up/Down/Removed).
+    pub events: Counter,
+}
+
+impl GossipMetrics {
+    /// Resolves the standard `gossip.*` metric names in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        GossipMetrics {
+            rounds: registry.counter("gossip.rounds"),
+            fanout: registry.histogram("gossip.fanout"),
+            known_endpoints: registry.gauge("gossip.known_endpoints"),
+            events: registry.counter("gossip.events"),
+        }
+    }
+}
+
 /// Per-node gossip state machine.
 pub struct Gossiper {
     me: NodeId,
@@ -122,6 +149,7 @@ pub struct Gossiper {
     events: Vec<MembershipEvent>,
     /// Nodes already declared removed (to emit Removed once).
     removed: BTreeMap<NodeId, u64>,
+    metrics: GossipMetrics,
 }
 
 impl Gossiper {
@@ -136,7 +164,13 @@ impl Gossiper {
             liveness: BTreeMap::new(),
             events: Vec::new(),
             removed: BTreeMap::new(),
+            metrics: GossipMetrics::default(),
         }
+    }
+
+    /// Attaches registry-backed metric handles.
+    pub fn set_metrics(&mut self, metrics: GossipMetrics) {
+        self.metrics = metrics;
     }
 
     /// This node's id.
@@ -171,11 +205,7 @@ impl Gossiper {
 
     /// Endpoints currently believed alive (excluding self).
     pub fn alive_peers(&self) -> Vec<NodeId> {
-        self.states
-            .keys()
-            .copied()
-            .filter(|&n| n != self.me && self.is_alive(n))
-            .collect()
+        self.states.keys().copied().filter(|&n| n != self.me && self.is_alive(n)).collect()
     }
 
     /// Liveness belief for `node` (self is always alive).
@@ -198,6 +228,7 @@ impl Gossiper {
 
     /// Drains pending membership events.
     pub fn drain_events(&mut self) -> Vec<MembershipEvent> {
+        self.metrics.events.add(self.events.len() as u64);
         std::mem::take(&mut self.events)
     }
 
@@ -232,6 +263,10 @@ impl Gossiper {
             }
         }
 
+        self.metrics.rounds.inc();
+        self.metrics.fanout.record(targets.len() as u64);
+        self.metrics.known_endpoints.set(self.states.len() as i64);
+
         let digests = self.digests();
         targets.into_iter().map(|t| (t, GossipMsg::Syn(digests.clone()))).collect()
     }
@@ -255,8 +290,11 @@ impl Gossiper {
                             let rc = (d.generation, d.max_version);
                             if lc > rc {
                                 // We are newer: send what they miss.
-                                let after =
-                                    if local.generation == d.generation { d.max_version } else { 0 };
+                                let after = if local.generation == d.generation {
+                                    d.max_version
+                                } else {
+                                    0
+                                };
                                 deltas.push(local.delta_since(d.endpoint, after));
                             } else if lc < rc {
                                 // They are newer: request it, advertising our version.
@@ -327,7 +365,8 @@ impl Gossiper {
             }
             if rebooted {
                 // A reboot invalidates any standing removal record.
-                self.removed.retain(|&n, &mut gen| !(n == delta.endpoint && delta.generation > gen));
+                self.removed
+                    .retain(|&n, &mut gen| !(n == delta.endpoint && delta.generation > gen));
             }
             if after_hb != before_hb {
                 // Fresh heartbeat: endpoint is alive.
@@ -448,9 +487,8 @@ mod tests {
     fn syn_with_unknown_endpoint_requests_everything() {
         let a = Gossiper::new(NodeId(0), 1, cfg(vec![]));
         let mut b = Gossiper::new(NodeId(1), 1, cfg(vec![]));
-        let (_, ack1) = b
-            .handle(SimTime::ZERO, NodeId(0), GossipMsg::Syn(a.digests()))
-            .expect("reply");
+        let (_, ack1) =
+            b.handle(SimTime::ZERO, NodeId(0), GossipMsg::Syn(a.digests())).expect("reply");
         match ack1 {
             GossipMsg::Ack1 { requests, deltas } => {
                 assert_eq!(requests.len(), 1, "b must request a's state");
@@ -595,8 +633,8 @@ mod tests {
             let now = SimTime::from_secs(round + 1);
             // Collect this round's Syns.
             let mut mail: Vec<(usize, usize, GossipMsg)> = Vec::new();
-            for i in 0..nodes.len() {
-                for (to, msg) in nodes[i].tick(now, &mut rng) {
+            for (i, node) in nodes.iter_mut().enumerate() {
+                for (to, msg) in node.tick(now, &mut rng) {
                     mail.push((i, to.0 as usize, msg));
                 }
             }

@@ -11,5 +11,5 @@
 pub mod gossiper;
 pub mod state;
 
-pub use gossiper::{GossipConfig, GossipMsg, Gossiper, MembershipEvent};
+pub use gossiper::{GossipConfig, GossipMetrics, GossipMsg, Gossiper, MembershipEvent};
 pub use state::{keys, Digest, EndpointDelta, EndpointState, VersionedValue};

@@ -132,11 +132,7 @@ impl EndpointState {
     /// for logs/diagnostics and wire-format compatibility tests.
     pub fn to_template_string(&self, endpoint: NodeId) -> String {
         let vnodes = self.app(keys::VNODES).unwrap_or("0");
-        let load = self
-            .app_states
-            .get(keys::LOAD)
-            .map(|v| v.version)
-            .unwrap_or(0);
+        let load = self.app_states.get(keys::LOAD).map(|v| v.version).unwrap_or(0);
         format!(
             "{}@{};bootGeneration:{};heartbeat:{};load:{}",
             endpoint.0, vnodes, self.generation, self.heartbeat, load
@@ -145,11 +141,7 @@ impl EndpointState {
 
     /// Approximate wire size of the full state (for the bandwidth model).
     pub fn wire_size(&self) -> usize {
-        24 + self
-            .app_states
-            .iter()
-            .map(|(k, v)| k.len() + v.value.len() + 8)
-            .sum::<usize>()
+        24 + self.app_states.iter().map(|(k, v)| k.len() + v.value.len() + 8).sum::<usize>()
     }
 }
 
@@ -197,10 +189,7 @@ mod tests {
         s.set_app(keys::VNODES, "128"); // v1
         s.beat(); // heartbeat v2
         s.set_app(keys::LOAD, "6000"); // v3
-        assert_eq!(
-            s.to_template_string(NodeId(7)),
-            "7@128;bootGeneration:3;heartbeat:2;load:3"
-        );
+        assert_eq!(s.to_template_string(NodeId(7)), "7@128;bootGeneration:3;heartbeat:2;load:3");
         // No app states yet: defaults are stable.
         let fresh = EndpointState::new(1);
         assert_eq!(fresh.to_template_string(NodeId(0)), "0@0;bootGeneration:1;heartbeat:0;load:0");

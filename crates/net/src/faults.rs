@@ -82,7 +82,10 @@ impl FaultPlan {
 
     /// True when every probability is zero (sampling can be skipped).
     pub fn is_none(&self) -> bool {
-        self.p_network == 0.0 && self.p_disk == 0.0 && self.p_block == 0.0 && self.p_breakdown == 0.0
+        self.p_network == 0.0
+            && self.p_disk == 0.0
+            && self.p_block == 0.0
+            && self.p_breakdown == 0.0
     }
 
     /// Draws at most one fault for an operation. Faults are tested in Table 2

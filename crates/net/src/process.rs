@@ -214,17 +214,18 @@ mod tests {
     fn context_collects_actions_in_order() {
         let mut actions = Vec::new();
         let mut rng = Rng::new(1);
-        let mut ctx: Context<'_, &'static str> =
-            Context::new(SimTime::from_millis(5), NodeId(3), &mut actions, &mut rng, None);
-        ctx.send(NodeId(4), "hello");
-        ctx.set_timer(100, 7);
-        ctx.record("m", 1.5);
-        ctx.consume(40);
-        ctx.consume(2);
-        assert_eq!(ctx.consumed(), 42);
-        assert_eq!(ctx.now(), SimTime::from_millis(5));
-        assert_eq!(ctx.id(), NodeId(3));
-        drop(ctx);
+        {
+            let mut ctx: Context<'_, &'static str> =
+                Context::new(SimTime::from_millis(5), NodeId(3), &mut actions, &mut rng, None);
+            ctx.send(NodeId(4), "hello");
+            ctx.set_timer(100, 7);
+            ctx.record("m", 1.5);
+            ctx.consume(40);
+            ctx.consume(2);
+            assert_eq!(ctx.consumed(), 42);
+            assert_eq!(ctx.now(), SimTime::from_millis(5));
+            assert_eq!(ctx.id(), NodeId(3));
+        }
         assert_eq!(actions.len(), 3);
         assert!(matches!(actions[0], Action::Send { to: NodeId(4), msg: "hello" }));
         assert!(matches!(actions[1], Action::SetTimer { delay_us: 100, token: 7 }));
@@ -235,8 +236,13 @@ mod tests {
     fn op_fault_is_taken_once() {
         let mut actions: Vec<Action<()>> = Vec::new();
         let mut rng = Rng::new(1);
-        let mut ctx =
-            Context::new(SimTime::ZERO, NodeId(0), &mut actions, &mut rng, Some(OpFault::DiskIoError));
+        let mut ctx = Context::new(
+            SimTime::ZERO,
+            NodeId(0),
+            &mut actions,
+            &mut rng,
+            Some(OpFault::DiskIoError),
+        );
         assert_eq!(ctx.take_op_fault(), Some(OpFault::DiskIoError));
         assert_eq!(ctx.take_op_fault(), None);
     }

@@ -130,6 +130,9 @@ struct NodeSlot<M> {
     dropped: u64,
 }
 
+/// Predicate selecting which messages draw per-operation faults.
+type FaultFilter<M> = Box<dyn Fn(&M) -> bool>;
+
 /// The deterministic simulator. `M` is the cluster message type.
 pub struct Sim<M: WireSized> {
     config: SimConfig,
@@ -146,7 +149,7 @@ pub struct Sim<M: WireSized> {
     /// faults. The paper's Table 2 probabilities are per *operation*, so
     /// experiment harnesses restrict sampling to operation-level messages
     /// rather than every ack and gossip frame.
-    fault_filter: Option<Box<dyn Fn(&M) -> bool>>,
+    fault_filter: Option<FaultFilter<M>>,
 }
 
 impl<M: WireSized + 'static> Sim<M> {
@@ -406,8 +409,7 @@ impl<M: WireSized + 'static> Sim<M> {
             // Sample a per-operation fault for message work (Table 2).
             let fault = match &work {
                 Work::Msg { msg, .. } if !self.config.faults.is_none() => {
-                    let eligible =
-                        self.fault_filter.as_ref().map(|f| f(msg)).unwrap_or(true);
+                    let eligible = self.fault_filter.as_ref().map(|f| f(msg)).unwrap_or(true);
                     if eligible {
                         self.config.faults.sample(&mut self.nodes[node.0 as usize].rng)
                     } else {
@@ -421,10 +423,8 @@ impl<M: WireSized + 'static> Sim<M> {
             let mut ctx_fault = None;
             match fault {
                 Some(OpFault::BlockedProcess) => {
-                    extra_stall = self
-                        .config
-                        .faults
-                        .sample_block_us(&mut self.nodes[node.0 as usize].rng);
+                    extra_stall =
+                        self.config.faults.sample_block_us(&mut self.nodes[node.0 as usize].rng);
                 }
                 Some(OpFault::NodeBreakdown) => {
                     self.crash(node, None);
@@ -564,7 +564,8 @@ mod tests {
     #[test]
     fn single_server_fifo_queueing_serializes_service() {
         let mut sim = Sim::new(instant_config(2));
-        let echo = sim.add_node(Echo { service_us: 100, handled: 0 }, NodeConfig { concurrency: 1 });
+        let echo =
+            sim.add_node(Echo { service_us: 100, handled: 0 }, NodeConfig { concurrency: 1 });
         let pinger =
             sim.add_node(Pinger { target: echo, count: 10, replies: 0 }, NodeConfig::default());
         sim.start();
@@ -580,7 +581,8 @@ mod tests {
     #[test]
     fn multi_server_cuts_queueing_proportionally() {
         let mut sim = Sim::new(instant_config(2));
-        let echo = sim.add_node(Echo { service_us: 100, handled: 0 }, NodeConfig { concurrency: 5 });
+        let echo =
+            sim.add_node(Echo { service_us: 100, handled: 0 }, NodeConfig { concurrency: 5 });
         sim.add_node(Pinger { target: echo, count: 10, replies: 0 }, NodeConfig::default());
         sim.start();
         sim.run_until(SimTime::from_secs(1));
@@ -592,7 +594,8 @@ mod tests {
     #[test]
     fn identical_seeds_reproduce_identical_traces() {
         let run = |seed| {
-            let mut cfg = SimConfig { net: NetConfig::gigabit_lan(), faults: FaultPlan::none(), seed };
+            let mut cfg =
+                SimConfig { net: NetConfig::gigabit_lan(), faults: FaultPlan::none(), seed };
             cfg.net.jitter_us = 300;
             let mut sim = Sim::new(cfg);
             let echo = sim.add_node(Echo { service_us: 50, handled: 0 }, NodeConfig::default());

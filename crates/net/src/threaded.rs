@@ -9,8 +9,8 @@
 //! [`Context::consume`](crate::process::Context::consume) optionally maps to
 //! a real `sleep` via [`ThreadedConfig::time_dilation`].
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -90,7 +90,17 @@ impl<M: Send + 'static> ThreadedClusterBuilder<M> {
             let handle = std::thread::Builder::new()
                 .name(format!("mystore-node-{i}"))
                 .spawn(move || {
-                    node_main(id, process, rx, all_senders, client_tx, trace, start, &mut rng, dilation)
+                    node_main(
+                        id,
+                        process,
+                        rx,
+                        all_senders,
+                        client_tx,
+                        trace,
+                        start,
+                        &mut rng,
+                        dilation,
+                    )
                 })
                 .expect("spawn node thread");
             handles.push(handle);
@@ -172,10 +182,10 @@ fn node_main<M: Send + 'static>(
     let mut actions: Vec<Action<M>> = Vec::new();
 
     let run_handler = |process: &mut Box<dyn Process<M> + Send>,
-                           actions: &mut Vec<Action<M>>,
-                           rng: &mut Rng,
-                           timers: &mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
-                           input: HandlerInput<M>|
+                       actions: &mut Vec<Action<M>>,
+                       rng: &mut Rng,
+                       timers: &mut BinaryHeap<Reverse<(Instant, TimerToken)>>,
+                       input: HandlerInput<M>|
      -> bool {
         let now = SimTime(start.elapsed().as_micros() as u64);
         let consumed = {
@@ -233,7 +243,8 @@ fn node_main<M: Send + 'static>(
                 break;
             }
             let Reverse((_, token)) = timers.pop().expect("peeked");
-            if run_handler(&mut process, &mut actions, rng, &mut timers, HandlerInput::Timer(token)) {
+            if run_handler(&mut process, &mut actions, rng, &mut timers, HandlerInput::Timer(token))
+            {
                 return;
             }
         }
@@ -313,9 +324,7 @@ mod tests {
 
     #[test]
     fn external_round_trip() {
-        let cluster = ThreadedClusterBuilder::new(ThreadedConfig::default())
-            .add_node(Echo)
-            .build();
+        let cluster = ThreadedClusterBuilder::new(ThreadedConfig::default()).add_node(Echo).build();
         cluster.send(NodeId(0), 41);
         let (from, reply) = cluster.recv_timeout(Duration::from_secs(2)).expect("reply");
         assert_eq!(from, NodeId(0));

@@ -86,10 +86,7 @@ impl Trace {
 
     /// Events named `name` restricted to a time window `[from, to)`.
     pub fn window(&self, name: &str, from: SimTime, to: SimTime) -> Vec<&TraceEvent> {
-        self.events
-            .iter()
-            .filter(|e| e.name == name && e.time >= from && e.time < to)
-            .collect()
+        self.events.iter().filter(|e| e.name == name && e.time >= from && e.time < to).collect()
     }
 }
 

@@ -2,8 +2,7 @@
 //! per-node FIFO processing, and seed determinism under random workloads.
 
 use mystore_net::{
-    Context, FaultPlan, NetConfig, NodeConfig, NodeId, Process, Sim, SimConfig, SimTime,
-    TimerToken,
+    Context, FaultPlan, NetConfig, NodeConfig, NodeId, Process, Sim, SimConfig, SimTime, TimerToken,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,275 @@
+//! Log-linear histograms with percentile snapshots.
+//!
+//! Values map to buckets the way HDR-style histograms do: exact buckets up
+//! to 16, then 16 linear sub-buckets per power-of-two magnitude. That keeps
+//! the relative quantile error under 1/16 (~6%) across the full `u64`
+//! range with a fixed 976-bucket table — small enough to share one
+//! histogram per metric across a whole cluster, precise enough for the
+//! p50/p95/p99 latency figures the paper reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Linear sub-buckets per power-of-two magnitude (and the width of the
+/// exact region at the bottom of the range).
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count covering all of `u64`: the exact region plus
+/// `(64 - SUB_BITS)` magnitudes of `SUB` sub-buckets each.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) * SUB as usize) + SUB as usize;
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let lg = 63 - v.leading_zeros() as u64; // >= SUB_BITS
+    let group = lg - SUB_BITS as u64 + 1;
+    let offset = (v >> (lg - SUB_BITS as u64)) & (SUB - 1);
+    ((group << SUB_BITS) + offset) as usize
+}
+
+/// A representative (midpoint) value for bucket `idx`.
+fn bucket_mid(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let group = (idx >> SUB_BITS) as u64;
+    let offset = (idx as u64) & (SUB - 1);
+    let shift = group - 1; // values in this group span 2^shift each
+    let lower = (SUB + offset) << shift;
+    lower + (1u64 << shift) / 2
+}
+
+struct Core {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A concurrent log-linear histogram handle (cheap to clone, shared state).
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<Core>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            core: Arc::new(Core {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation (µs by convention).
+    pub fn record(&self, value: u64) {
+        let c = &self.core;
+        c.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+        c.min.fetch_min(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` (`0.0..=1.0`), within one bucket of the
+    /// true order statistic. Returns 0 for an empty histogram.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> =
+            self.core.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        quantile_from(&counts, total, q)
+    }
+
+    /// A consistent summary of the current contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.core;
+        let counts: Vec<u64> = c.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let sum = c.sum.load(Ordering::Relaxed);
+        let min = c.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum,
+            min: if count == 0 { 0 } else { min },
+            max: c.max.load(Ordering::Relaxed),
+            mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            p50: quantile_from(&counts, count, 0.50),
+            p90: quantile_from(&counts, count, 0.90),
+            p95: quantile_from(&counts, count, 0.95),
+            p99: quantile_from(&counts, count, 0.99),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(count={})", self.count())
+    }
+}
+
+fn quantile_from(counts: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (idx, &n) in counts.iter().enumerate() {
+        cum += n;
+        if cum >= target {
+            return bucket_mid(idx);
+        }
+    }
+    bucket_mid(counts.len() - 1)
+}
+
+/// Point-in-time percentile summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (exact; 0 when empty).
+    pub min: u64,
+    /// Largest observation (exact).
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (within one bucket).
+    pub p50: u64,
+    /// 90th percentile (within one bucket).
+    pub p90: u64,
+    /// 95th percentile (within one bucket).
+    pub p95: u64,
+    /// 99th percentile (within one bucket).
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_buckets_are_identity() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_mid(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut last = 0usize;
+        for exp in 0..64 {
+            let v = 1u64 << exp;
+            for probe in [v, v + v / 3, v + v / 2, (v - 1).max(1)] {
+                let idx = bucket_index(probe);
+                assert!(idx < BUCKETS, "index {idx} out of range for {probe}");
+                let _ = last;
+                last = idx;
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Larger values never land in smaller buckets.
+        let samples: Vec<u64> = (0..60)
+            .map(|e| 1u64 << e)
+            .chain((0..60).map(|e| (1u64 << e) + (1u64 << e) / 2))
+            .collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let indices: Vec<usize> = sorted.iter().map(|&v| bucket_index(v)).collect();
+        for w in indices.windows(2) {
+            assert!(w[0] <= w[1], "bucket index not monotone: {w:?}");
+        }
+    }
+
+    #[test]
+    fn bucket_mid_lies_in_bucket() {
+        for idx in 0..BUCKETS {
+            let mid = bucket_mid(idx);
+            assert_eq!(bucket_index(mid), idx, "mid {mid} of bucket {idx} maps elsewhere");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Log-linear resolution is 1/16: allow ~7% relative error.
+        let close = |got: u64, want: u64| {
+            let err = (got as f64 - want as f64).abs() / want as f64;
+            assert!(err < 0.08, "quantile {got} too far from {want}");
+        };
+        close(h.value_at_quantile(0.50), 500);
+        close(h.value_at_quantile(0.95), 950);
+        close(h.value_at_quantile(0.99), 990);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.min, 1);
+        assert_eq!(snap.max, 1000);
+        close(snap.p50, 500);
+        close(snap.p99, 990);
+        assert!((snap.mean - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshots_to_zeroes() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.p50, 0);
+        assert_eq!(snap.mean, 0.0);
+    }
+
+    #[test]
+    fn single_value_dominates_every_quantile() {
+        let h = Histogram::new();
+        h.record(777);
+        let snap = h.snapshot();
+        for q in [snap.p50, snap.p90, snap.p95, snap.p99] {
+            assert_eq!(bucket_index(q), bucket_index(777));
+        }
+        assert_eq!(snap.min, 777);
+        assert_eq!(snap.max, 777);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(t * 1000 + i % 100);
+                }
+            }));
+        }
+        for hd in handles {
+            hd.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -1,0 +1,68 @@
+//! Cluster-wide observability for MyStore.
+//!
+//! A lightweight metrics layer shared by every node process: lock-free
+//! [`Counter`]s and [`Gauge`]s, log-linear latency [`Histogram`]s with
+//! percentile snapshots, and a [`Registry`] that names them and renders a
+//! point-in-time [`Snapshot`] as JSON (the payload of the REST front end's
+//! `GET /_stats`).
+//!
+//! ## Time sources
+//!
+//! The layer is clock-agnostic: histograms record plain `u64` values
+//! (microseconds by convention). Sans-io processes running under the
+//! deterministic simulator time operations with `ctx.now()` deltas
+//! (`SimTime` is µs-based); code doing real I/O — the WAL, the threaded
+//! runtime — uses [`Stopwatch`], which reads the wall clock. Both feed the
+//! same histograms, so one `/_stats` document describes either runtime.
+//!
+//! Handles are cheap `Arc` clones; hot paths cache them at construction
+//! and never touch the registry's name map again. Recording is a single
+//! relaxed atomic RMW, safe from any thread.
+
+pub mod hist;
+pub mod registry;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, Registry, Snapshot};
+
+/// Wall-clock timer for code that performs real I/O (WAL appends, the
+/// threaded runtime). Simulated processes should use `ctx.now()` deltas
+/// instead — the virtual clock, not this one, is their time source.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Microseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_us(&self) -> u64 {
+        self.0.elapsed().as_micros() as u64
+    }
+
+    /// Records the elapsed time into `hist` and returns it.
+    pub fn observe(&self, hist: &Histogram) -> u64 {
+        let us = self.elapsed_us();
+        hist.record(us);
+        us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_records_into_histogram() {
+        let h = Histogram::new();
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let us = sw.observe(&h);
+        assert!(us >= 1_000, "slept 2ms but measured {us}us");
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.max >= 1_000);
+    }
+}

@@ -1,0 +1,289 @@
+//! The metric registry: names → counters/gauges/histograms, and JSON
+//! snapshots of everything at once.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// A monotonically-increasing event counter (cheap clone, shared state).
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a standalone counter (usually obtained via
+    /// [`Registry::counter`] instead).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// An instantaneous level (queue depth, in-flight requests).
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a standalone gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+/// A named collection of metrics shared across a cluster.
+///
+/// Cloning shares the underlying storage — `ClusterSpec` hands one clone to
+/// every node config, so a cluster reports a single consolidated view.
+/// Get-or-create lookups lock briefly; the returned handles are lock-free,
+/// so components resolve their metrics once at construction.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when both registries share the same underlying metrics.
+    pub fn same_as(&self, other: &Registry) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.counters.read().get(name) {
+            return c.clone();
+        }
+        self.inner.counters.write().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.inner.gauges.write().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.inner.histograms.write().entry(name.to_string()).or_default().clone()
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .inner
+                .counters
+                .read()
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: self.inner.gauges.read().iter().map(|(k, g)| (k.clone(), g.get())).collect(),
+            histograms: self
+                .inner
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Registry(counters={}, gauges={}, histograms={})",
+            self.inner.counters.read().len(),
+            self.inner.gauges.read().len(),
+            self.inner.histograms.read().len()
+        )
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]'s contents.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as the `/_stats` JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "counters":   { "<name>": <u64>, ... },
+    ///   "gauges":     { "<name>": <i64>, ... },
+    ///   "histograms": { "<name>": { "count": .., "sum": .., "min": ..,
+    ///                               "max": .., "mean": .., "p50": ..,
+    ///                               "p90": .., "p95": .., "p99": .. }, ... }
+    /// }
+    /// ```
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut counters = serde_json::Map::new();
+        for (k, v) in &self.counters {
+            counters.insert(k.clone(), serde_json::Value::Number(*v as f64));
+        }
+        let mut gauges = serde_json::Map::new();
+        for (k, v) in &self.gauges {
+            gauges.insert(k.clone(), serde_json::Value::Number(*v as f64));
+        }
+        let mut histograms = serde_json::Map::new();
+        for (k, h) in &self.histograms {
+            let mut m = serde_json::Map::new();
+            m.insert("count".into(), serde_json::Value::Number(h.count as f64));
+            m.insert("sum".into(), serde_json::Value::Number(h.sum as f64));
+            m.insert("min".into(), serde_json::Value::Number(h.min as f64));
+            m.insert("max".into(), serde_json::Value::Number(h.max as f64));
+            m.insert("mean".into(), serde_json::Value::Number(h.mean));
+            m.insert("p50".into(), serde_json::Value::Number(h.p50 as f64));
+            m.insert("p90".into(), serde_json::Value::Number(h.p90 as f64));
+            m.insert("p95".into(), serde_json::Value::Number(h.p95 as f64));
+            m.insert("p99".into(), serde_json::Value::Number(h.p99 as f64));
+            histograms.insert(k.clone(), serde_json::Value::Object(m));
+        }
+        let mut root = serde_json::Map::new();
+        root.insert("counters".into(), serde_json::Value::Object(counters));
+        root.insert("gauges".into(), serde_json::Value::Object(gauges));
+        root.insert("histograms".into(), serde_json::Value::Object(histograms));
+        serde_json::Value::Object(root)
+    }
+
+    /// [`Snapshot::to_json`], pretty-printed — the `/_stats` response body.
+    pub fn to_pretty_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json()).expect("snapshot JSON serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("ops");
+        let b = reg.counter("ops");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("ops").get(), 3);
+        assert_eq!(reg.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn gauges_track_levels() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(reg.gauge("depth").get(), 3);
+    }
+
+    #[test]
+    fn cloned_registry_shares_state() {
+        let reg = Registry::new();
+        let clone = reg.clone();
+        assert!(reg.same_as(&clone));
+        clone.counter("x").inc();
+        assert_eq!(reg.snapshot().counters["x"], 1);
+        assert!(!reg.same_as(&Registry::new()));
+    }
+
+    #[test]
+    fn snapshot_serializes_to_stats_schema() {
+        let reg = Registry::new();
+        reg.counter("quorum.write.ok").add(7);
+        reg.gauge("hint.queue_depth").set(-1);
+        let h = reg.histogram("quorum.write.latency_us");
+        for v in [100u64, 200, 300, 400] {
+            h.record(v);
+        }
+        let json = reg.snapshot().to_json();
+        assert_eq!(json["counters"]["quorum.write.ok"], 7u64);
+        assert_eq!(json["gauges"]["hint.queue_depth"], -1i64);
+        let hist = &json["histograms"]["quorum.write.latency_us"];
+        assert_eq!(hist["count"], 4u64);
+        assert_eq!(hist["min"], 100u64);
+        assert_eq!(hist["max"], 400u64);
+        assert!(hist["p50"].as_f64().unwrap() > 0.0);
+        assert!(hist["p99"].as_f64().unwrap() >= hist["p50"].as_f64().unwrap());
+        // Round-trips through the serializer and parser.
+        let text = serde_json::to_string_pretty(&json).unwrap();
+        let back = serde_json::from_str(&text).unwrap();
+        assert_eq!(back["counters"]["quorum.write.ok"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let json = Registry::new().snapshot().to_json();
+        assert!(json["counters"].as_object().unwrap().is_empty());
+        assert!(json["gauges"].as_object().unwrap().is_empty());
+        assert!(json["histograms"].as_object().unwrap().is_empty());
+    }
+}

@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn skewed_distribution_has_positive_cv() {
-        let owners = std::iter::repeat(0u32).take(90).chain(std::iter::repeat(1u32).take(10));
+        let owners = std::iter::repeat_n(0u32, 90).chain(std::iter::repeat_n(1u32, 10));
         let stats = balance_stats(owners, 0..2u32);
         assert_eq!(stats.max, 90);
         assert_eq!(stats.min, 10);
@@ -90,7 +90,7 @@ mod tests {
 
     #[test]
     fn empty_nodes_are_counted() {
-        let stats = balance_stats(std::iter::repeat(0u32).take(10), 0..5u32);
+        let stats = balance_stats(std::iter::repeat_n(0u32, 10), 0..5u32);
         assert_eq!(stats.nodes, 5);
         assert_eq!(stats.min, 0);
         assert_eq!(stats.mean, 2.0);

@@ -130,10 +130,7 @@ impl Md5 {
             d = c;
             c = b;
             b = b.wrapping_add(
-                a.wrapping_add(f)
-                    .wrapping_add(K[i])
-                    .wrapping_add(m[g])
-                    .rotate_left(S[i]),
+                a.wrapping_add(f).wrapping_add(K[i]).wrapping_add(m[g]).rotate_left(S[i]),
             );
             a = tmp;
         }
@@ -182,7 +179,9 @@ mod tests {
             "d174ab98d277d9f5a5611c2c9f419d9f"
         );
         assert_eq!(
-            hex(b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"),
+            hex(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            ),
             "57edf4a22be3c955ac49da2e2107b67a"
         );
     }

@@ -115,7 +115,12 @@ impl<N: Clone + Eq + Hash + Ord> HashRing<N> {
     /// caller decides the count. Point collisions with existing vnodes are
     /// resolved by keeping the incumbent (deterministic, and vanishingly
     /// rare in a 64-bit space).
-    pub fn add_node(&mut self, id: N, label: impl Into<String>, vnodes: u32) -> Result<(), RingError> {
+    pub fn add_node(
+        &mut self,
+        id: N,
+        label: impl Into<String>,
+        vnodes: u32,
+    ) -> Result<(), RingError> {
         let label = label.into();
         if vnodes == 0 {
             return Err(RingError::ZeroVnodes);
@@ -184,11 +189,7 @@ impl<N: Clone + Eq + Hash + Ord> HashRing<N> {
     /// The physical node owning `point` — the first virtual node at or
     /// clockwise after it (paper Eq. 1).
     pub fn owner_of_point(&self, point: u64) -> Option<&N> {
-        self.points
-            .range(point..)
-            .next()
-            .or_else(|| self.points.iter().next())
-            .map(|(_, n)| n)
+        self.points.range(point..).next().or_else(|| self.points.iter().next()).map(|(_, n)| n)
     }
 
     /// The primary (coordinator) node for a record key.
@@ -244,12 +245,8 @@ impl<N: Clone + Eq + Hash + Ord> HashRing<N> {
     pub fn diff(&self, after: &HashRing<N>) -> Vec<(Arc_, Option<N>, Option<N>)> {
         // Merge both partitions' boundary points, then compare owners on each
         // elementary arc.
-        let mut boundaries: Vec<u64> = self
-            .points
-            .keys()
-            .chain(after.points.keys())
-            .copied()
-            .collect();
+        let mut boundaries: Vec<u64> =
+            self.points.keys().chain(after.points.keys()).copied().collect();
         boundaries.sort_unstable();
         boundaries.dedup();
         if boundaries.is_empty() {
@@ -389,7 +386,7 @@ mod tests {
         assert_eq!(parts.len(), 64);
         let total: u128 = parts.iter().map(|(a, _)| a.len() as u128).sum();
         assert_eq!(total, (u64::MAX as u128) + 1); // full circle
-        // Every arc's end-point owner matches the ring lookup.
+                                                   // Every arc's end-point owner matches the ring lookup.
         for (arc, owner) in &parts {
             assert_eq!(r.owner_of_point(arc.end), Some(owner));
         }

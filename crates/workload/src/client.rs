@@ -96,7 +96,13 @@ impl RestClient {
         let req = self.next_req;
         self.next_req += 1;
         let request = if is_read {
-            RestRequest { req, method: Method::Get, key: Some(item.key.clone()), body: vec![], auth: None }
+            RestRequest {
+                req,
+                method: Method::Get,
+                key: Some(item.key.clone()),
+                body: vec![],
+                auth: None,
+            }
         } else {
             RestRequest {
                 req,

@@ -50,9 +50,7 @@ impl SizeDist {
     /// Draws one size.
     pub fn sample(&self, rng: &mut Rng) -> usize {
         match self {
-            SizeDist::Uniform { min, max } => {
-                rng.range_u64(*min as u64, *max as u64 + 1) as usize
-            }
+            SizeDist::Uniform { min, max } => rng.range_u64(*min as u64, *max as u64 + 1) as usize,
             SizeDist::SortedGaussian { bins, mu, sigma } => {
                 let idx = rng.normal(*mu, *sigma).round();
                 let idx = idx.clamp(0.0, (bins.len() - 1) as f64) as usize;
@@ -152,10 +150,7 @@ mod tests {
         let mut rng = Rng::new(2);
         let corpus = xml_corpus(2_000, 10, &mut rng);
         for class in 0..3u8 {
-            assert!(
-                corpus.iter().any(|i| i.class == class),
-                "class {class} missing from corpus"
-            );
+            assert!(corpus.iter().any(|i| i.class == class), "class {class} missing from corpus");
         }
     }
 

@@ -18,5 +18,7 @@ pub mod preload;
 
 pub use client::{PutClient, PutClientConfig, RestClient, RestClientConfig};
 pub use corpus::{classify, make_payload, storage_corpus, xml_corpus, Item, SizeDist};
-pub use metrics::{cumulative_curve, rate_per_sec, sum_rate_per_sec, throughput_mb_per_sec, Summary};
+pub use metrics::{
+    cumulative_curve, rate_per_sec, sum_rate_per_sec, throughput_mb_per_sec, Summary,
+};
 pub use preload::{offline_ring, preload_mystore, preload_single};

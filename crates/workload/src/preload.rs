@@ -8,10 +8,10 @@
 use std::sync::Arc;
 
 use mystore_bson::ObjectId;
+use mystore_core::message::Msg;
 use mystore_core::StorageNode;
 use mystore_engine::{pack_version, Record};
 use mystore_net::{NodeId, Sim};
-use mystore_core::message::Msg;
 use mystore_ring::HashRing;
 
 use crate::corpus::{make_payload, Item};
@@ -47,9 +47,7 @@ pub fn preload_mystore(
             pack_version(1, 0),
         );
         for node in ring.preference_list(item.key.as_bytes(), n) {
-            let storage = sim
-                .process_mut::<StorageNode>(node)
-                .expect("storage node id");
+            let storage = sim.process_mut::<StorageNode>(node).expect("storage node id");
             storage.preload_record(&record);
             replicas += 1;
         }

@@ -144,10 +144,8 @@ fn put_client_rotates_targets_on_error() {
         ScriptedStore { fail: usize::MAX, drop_instead: false, seen: 0 },
         NodeConfig::default(),
     );
-    let good = sim.add_node(
-        ScriptedStore { fail: 0, drop_instead: false, seen: 0 },
-        NodeConfig::default(),
-    );
+    let good = sim
+        .add_node(ScriptedStore { fail: 0, drop_instead: false, seen: 0 }, NodeConfig::default());
     let client = sim.add_node(
         PutClient::new(PutClientConfig {
             targets: vec![bad, good],
@@ -202,8 +200,8 @@ fn put_client_times_out_dropped_requests_and_gives_up() {
 #[test]
 fn put_client_records_completion_times() {
     let mut sim = sim();
-    let store =
-        sim.add_node(ScriptedStore { fail: 0, drop_instead: false, seen: 0 }, NodeConfig::default());
+    let store = sim
+        .add_node(ScriptedStore { fail: 0, drop_instead: false, seen: 0 }, NodeConfig::default());
     let client = sim.add_node(
         PutClient::new(PutClientConfig {
             targets: vec![store],

@@ -11,8 +11,8 @@
 //! ```
 
 use mystore::bson::{doc, Value};
-use mystore::engine::{Db, FindOptions};
 use mystore::engine::query::{Filter, Update};
+use mystore::engine::{Db, FindOptions};
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("mystore-embedded-{}", std::process::id()));

@@ -23,10 +23,7 @@ fn put(req: u64, key: &str, value: &[u8]) -> Msg {
 }
 
 fn total_replicas(sim: &mystore::net::Sim<Msg>, nodes: &[NodeId]) -> usize {
-    nodes
-        .iter()
-        .filter_map(|&id| sim.process::<StorageNode>(id).map(|n| n.record_count()))
-        .sum()
+    nodes.iter().filter_map(|&id| sim.process::<StorageNode>(id).map(|n| n.record_count())).sum()
 }
 
 fn main() {
@@ -41,7 +38,9 @@ fn main() {
 
     let warm = spec.warmup_us();
     let mut script: Vec<(u64, NodeId, Msg)> = (0..200u64)
-        .map(|i| (warm + i * 5_000, NodeId((i % 6) as u32), put(i, &format!("rec-{i}"), b"payload")))
+        .map(|i| {
+            (warm + i * 5_000, NodeId((i % 6) as u32), put(i, &format!("rec-{i}"), b"payload"))
+        })
         .collect();
     // The write that will hit the short failure (phase 2).
     script.push((warm + 3_000_000, NodeId(0), put(900, "divert-me", b"short-failure-write")));
@@ -73,10 +72,8 @@ fn main() {
         live.iter().map(|&id| sim.process::<StorageNode>(id).unwrap().hint_count()).sum();
     println!("phase 2: {victim_short} down briefly -> write diverted ({handoffs} handoffs, {hints} hints parked)");
     sim.run_for(20_000_000);
-    let replayed: u64 = live
-        .iter()
-        .map(|&id| sim.process::<StorageNode>(id).unwrap().stats().hints_replayed)
-        .sum();
+    let replayed: u64 =
+        live.iter().map(|&id| sim.process::<StorageNode>(id).unwrap().stats().hints_replayed).sum();
     let has_it = sim
         .process::<StorageNode>(victim_short)
         .unwrap()
@@ -119,8 +116,7 @@ fn main() {
 
     // Every original record must still be replicated at N=3 somewhere.
     let mut fully_replicated = 0;
-    let final_nodes: Vec<NodeId> =
-        (0..7).map(NodeId).filter(|&n| n != victim_long).collect();
+    let final_nodes: Vec<NodeId> = (0..7).map(NodeId).filter(|&n| n != victim_long).collect();
     for i in 0..200u64 {
         let key = format!("rec-{i}");
         let copies = final_nodes

@@ -24,8 +24,10 @@ fn main() {
     // 1. Describe the deployment: 5 DB nodes (1 seed), 4 cache servers,
     //    1 front end, (N,W,R) = (3,2,1) — exactly the paper's testbed.
     let spec = ClusterSpec::paper_topology();
-    println!("topology: {} storage, {} cache, {} front end(s), NWR = (3,2,1)",
-        spec.storage_nodes, spec.cache_nodes, spec.frontends);
+    println!(
+        "topology: {} storage, {} cache, {} front end(s), NWR = (3,2,1)",
+        spec.storage_nodes, spec.cache_nodes, spec.frontends
+    );
 
     // 2. Build it on the simulator and add ourselves as a client.
     let mut sim = spec.build_sim(SimConfig {
@@ -40,7 +42,11 @@ fn main() {
             (warm, fe, rest(1, Method::Post, Some("Resistor5"), b"<component ohms=\"470\"/>")),
             (warm + 300_000, fe, rest(2, Method::Get, Some("Resistor5"), b"")),
             (warm + 600_000, fe, rest(3, Method::Get, Some("Resistor5"), b"")),
-            (warm + 900_000, fe, rest(4, Method::Post, Some("Resistor5"), b"<component ohms=\"220\"/>")),
+            (
+                warm + 900_000,
+                fe,
+                rest(4, Method::Post, Some("Resistor5"), b"<component ohms=\"220\"/>"),
+            ),
             (warm + 1_200_000, fe, rest(5, Method::Get, Some("Resistor5"), b"")),
             (warm + 1_500_000, fe, rest(6, Method::Delete, Some("Resistor5"), b"")),
             (warm + 1_800_000, fe, rest(7, Method::Get, Some("Resistor5"), b"")),
@@ -79,7 +85,8 @@ fn main() {
     }
 
     let ok = p.count_where(|m| matches!(m, Msg::RestResp(r) if r.status < 300));
-    let not_found = p.count_where(|m| matches!(m, Msg::RestResp(r) if r.status == status::NOT_FOUND));
+    let not_found =
+        p.count_where(|m| matches!(m, Msg::RestResp(r) if r.status == status::NOT_FOUND));
     assert_eq!(ok, 6, "create/read/read/update/read/delete must succeed");
     assert_eq!(not_found, 1, "the final read must be 404 after DELETE");
     println!("quickstart OK");

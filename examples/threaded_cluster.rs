@@ -65,7 +65,10 @@ fn main() {
 
     // Read them back through yet other coordinators.
     for i in 0..50u64 {
-        cluster.send(NodeId(((i + 2) % 5) as u32), Msg::Get { req: 1000 + i, key: format!("threaded-{i}") });
+        cluster.send(
+            NodeId(((i + 2) % 5) as u32),
+            Msg::Get { req: 1000 + i, key: format!("threaded-{i}") },
+        );
     }
     let mut get_ok = 0;
     while get_ok < 50 {

@@ -60,11 +60,7 @@ fn main() {
     // video files").
     let video: Vec<u8> = (0..1_200_000u32).map(|i| (i % 251) as u8).collect();
     let plan = chunks::plan_chunks("video:rc-filter-howto", &video, chunks::DEFAULT_CHUNK_BYTES);
-    println!(
-        "guideline video: {} bytes -> {} chunks + manifest",
-        video.len(),
-        plan.chunks.len()
-    );
+    println!("guideline video: {} bytes -> {} chunks + manifest", video.len(), plan.chunks.len());
 
     let mut script: Vec<(u64, NodeId, Msg)> = vec![
         (warm, fe, signed(1, &tokens[0], "component:Resistor5", component)),
@@ -103,7 +99,11 @@ fn main() {
         ));
     }
     // --- revise + retire ------------------------------------------------------
-    script.push((warm + 5_000_000, fe, signed(3, &tokens[tok], "scene:rc-filter", b"<scene id=\"rc-filter\" v=\"2\"/>")));
+    script.push((
+        warm + 5_000_000,
+        fe,
+        signed(3, &tokens[tok], "scene:rc-filter", b"<scene id=\"rc-filter\" v=\"2\"/>"),
+    ));
     tok += 1;
     script.push((
         warm + 5_400_000,
@@ -132,11 +132,7 @@ fn main() {
 
     // Reassemble the video from what the cluster stores, via a replica scan.
     let any_node = sim.process::<StorageNode>(NodeId(0)).expect("node");
-    let manifest = any_node
-        .db()
-        .get_record("data", "video:rc-filter-howto")
-        .ok()
-        .flatten();
+    let manifest = any_node.db().get_record("data", "video:rc-filter-howto").ok().flatten();
     if let Some(m) = manifest {
         println!("video manifest replicated to node 0: {} bytes", m.val.len());
     }

@@ -10,5 +10,6 @@ pub use mystore_core as core;
 pub use mystore_engine as engine;
 pub use mystore_gossip as gossip;
 pub use mystore_net as net;
+pub use mystore_obs as obs;
 pub use mystore_ring as ring;
 pub use mystore_workload as workload;

@@ -86,12 +86,7 @@ fn baseline_store_serves_the_same_workload() {
     let c = sim.process::<RestClient>(client).unwrap();
     assert_eq!(c.completed, 100);
     // 404s on unwritten keys are fine; hard errors are not.
-    let errs = sim
-        .trace()
-        .values("rest_status")
-        .into_iter()
-        .filter(|s| *s >= 500.0)
-        .count();
+    let errs = sim.trace().values("rest_status").into_iter().filter(|s| *s >= 500.0).count();
     assert_eq!(errs, 0);
 }
 
