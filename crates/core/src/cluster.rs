@@ -53,6 +53,13 @@ pub struct ClusterSpec {
     pub replica_timeout_us: u64,
     /// Coordinator request deadline (µs).
     pub request_deadline_us: u64,
+    /// Straggler retries before hinted handoff (see
+    /// [`StorageConfig::replica_retry_max`]).
+    pub replica_retry_max: u32,
+    /// Exponential-backoff base between retries (µs).
+    pub retry_backoff_base_us: u64,
+    /// Exponential-backoff cap between retries (µs).
+    pub retry_backoff_cap_us: u64,
     /// Hint replay interval (µs).
     pub hint_replay_interval_us: u64,
     /// Hinted handoff on/off (ablation A4).
@@ -81,6 +88,9 @@ impl ClusterSpec {
             cost: CostModel::default(),
             replica_timeout_us: 60_000,
             request_deadline_us: 1_000_000,
+            replica_retry_max: 2,
+            retry_backoff_base_us: 20_000,
+            retry_backoff_cap_us: 500_000,
             hint_replay_interval_us: 2_000_000,
             hinted_handoff: true,
         }
@@ -141,6 +151,9 @@ impl ClusterSpec {
             cost: self.cost.clone(),
             replica_timeout_us: self.replica_timeout_us,
             request_deadline_us: self.request_deadline_us,
+            replica_retry_max: self.replica_retry_max,
+            retry_backoff_base_us: self.retry_backoff_base_us,
+            retry_backoff_cap_us: self.retry_backoff_cap_us,
             hint_replay_interval_us: self.hint_replay_interval_us,
             collection: "data".into(),
             hinted_handoff: self.hinted_handoff,
@@ -161,6 +174,7 @@ impl ClusterSpec {
             max_inflight: self.frontend_max_inflight,
             cost: self.cost.clone(),
             request_deadline_us: self.request_deadline_us * 5,
+            redispatch_max: 1,
             auth: None,
             metrics: Registry::new(),
         }
@@ -180,6 +194,7 @@ impl ClusterSpec {
     pub fn build_sim_with_metrics(&self, sim_config: SimConfig) -> (Sim<Msg>, Registry) {
         let registry = Registry::new();
         let mut sim = Sim::new(sim_config);
+        sim.set_fault_metrics(mystore_net::FaultMetrics::from_registry(&registry));
         for _ in 0..self.storage_nodes {
             let id = NodeId(sim.node_count() as u32);
             let mut cfg = self.storage_config();

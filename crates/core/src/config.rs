@@ -131,10 +131,20 @@ pub struct StorageConfig {
     /// Cost model for `ctx.consume` charging.
     pub cost: CostModel,
     /// How long a coordinator waits for replica acknowledgements before
-    /// taking the hinted-handoff path (µs).
+    /// retrying a straggler (and, once retries are exhausted, taking the
+    /// hinted-handoff path) (µs).
     pub replica_timeout_us: u64,
     /// Hard deadline after which an unfinished request fails (µs).
     pub request_deadline_us: u64,
+    /// How many times a coordinator re-sends a replica op to a straggler
+    /// before diverting to hinted handoff. Zero disables retries (the first
+    /// missed deadline diverts immediately, the pre-retry behaviour).
+    pub replica_retry_max: u32,
+    /// Backoff before retry round `k` is `min(base << (k-1), cap)` plus
+    /// jitter of up to a quarter of that (µs).
+    pub retry_backoff_base_us: u64,
+    /// Upper bound on the exponential backoff between retries (µs).
+    pub retry_backoff_cap_us: u64,
     /// Interval of the hint-replay scan (µs) — node C probing node B
     /// (Fig. 8).
     pub hint_replay_interval_us: u64,
@@ -176,6 +186,9 @@ impl Default for StorageConfig {
             cost: CostModel::default(),
             replica_timeout_us: 60_000,     // 60 ms
             request_deadline_us: 1_000_000, // 1 s
+            replica_retry_max: 2,
+            retry_backoff_base_us: 20_000, // 20 ms, then 40 ms, ...
+            retry_backoff_cap_us: 500_000,
             hint_replay_interval_us: 2_000_000,
             collection: "data".into(),
             hinted_handoff: true,
@@ -204,6 +217,12 @@ pub struct FrontendConfig {
     pub cost: CostModel,
     /// Per-request deadline at the front end (µs).
     pub request_deadline_us: u64,
+    /// How many times a request that hits its deadline is re-dispatched to
+    /// the next round-robin coordinator before failing with `504` — covers
+    /// a crashed or partitioned coordinator the static upstream list still
+    /// names. Duplicate completions are harmless (writes are last-write-wins
+    /// and the first response to arrive wins). Zero restores fail-fast.
+    pub redispatch_max: u32,
     /// Enable URI-signature authentication (paper Fig. 2).
     pub auth: Option<crate::auth::AuthConfig>,
     /// Metrics registry; share one handle cluster-wide so the front end's
@@ -219,6 +238,7 @@ impl Default for FrontendConfig {
             max_inflight: 512,
             cost: CostModel::default(),
             request_deadline_us: 5_000_000,
+            redispatch_max: 1,
             auth: None,
             metrics: Registry::new(),
         }

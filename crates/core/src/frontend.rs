@@ -40,6 +40,10 @@ struct Pending {
     body: Vec<u8>,
     assigned_key: Option<String>,
     phase: Phase,
+    redispatches: u32,
+    /// Coordinator the request was last forwarded to; a re-dispatch avoids
+    /// picking it again (it is the one that went silent).
+    last_node: Option<NodeId>,
     done: bool,
 }
 
@@ -56,6 +60,8 @@ pub struct FrontendStats {
     pub auth_failures: u64,
     /// Requests that timed out inside the cluster.
     pub timeouts: u64,
+    /// Deadline-expired requests re-dispatched to another coordinator.
+    pub redispatches: u64,
 }
 
 /// Observability handles for front-end admission and cache routing.
@@ -72,6 +78,8 @@ pub struct FrontendMetrics {
     pub auth_failures: Counter,
     /// Requests that timed out inside the cluster.
     pub timeouts: Counter,
+    /// Deadline-expired requests re-dispatched to another coordinator.
+    pub redispatches: Counter,
     /// Requests currently in flight at this front end.
     pub inflight: Gauge,
 }
@@ -85,6 +93,7 @@ impl FrontendMetrics {
             cache_hits: registry.counter("frontend.cache_hits"),
             auth_failures: registry.counter("frontend.auth_failures"),
             timeouts: registry.counter("frontend.timeouts"),
+            redispatches: registry.counter("frontend.redispatches"),
             inflight: registry.gauge("frontend.inflight"),
         }
     }
@@ -138,14 +147,21 @@ impl Frontend {
         r
     }
 
-    /// Round-robin coordinator choice (the nginx upstream behaviour).
-    fn next_storage(&mut self) -> Option<NodeId> {
+    /// Round-robin coordinator choice (the nginx upstream behaviour). When
+    /// `avoid` is set (a re-dispatch after a coordinator went silent) the
+    /// walk skips that node unless it is the only one.
+    fn next_storage(&mut self, avoid: Option<NodeId>) -> Option<NodeId> {
         if self.cfg.storage_nodes.is_empty() {
             return None;
         }
-        let node = self.cfg.storage_nodes[self.rr % self.cfg.storage_nodes.len()];
-        self.rr += 1;
-        Some(node)
+        for _ in 0..self.cfg.storage_nodes.len() {
+            let node = self.cfg.storage_nodes[self.rr % self.cfg.storage_nodes.len()];
+            self.rr += 1;
+            if Some(node) != avoid {
+                return Some(node);
+            }
+        }
+        avoid
     }
 
     /// Hash-routed cache server for `key` (§4: "load balances are based on
@@ -298,6 +314,8 @@ impl Frontend {
             body: r.body,
             assigned_key,
             phase: Phase::Store,
+            redispatches: 0,
+            last_node: None,
             done: false,
         };
         ctx.set_timer(self.cfg.request_deadline_us, tk_deadline(req));
@@ -332,8 +350,14 @@ impl Frontend {
     }
 
     fn forward_get(&mut self, ctx: &mut Context<'_, Msg>, req: u64, key: String) {
-        match self.next_storage() {
-            Some(node) => ctx.send(node, Msg::Get { req, key }),
+        let avoid = self.pending.get(&req).and_then(|p| p.last_node);
+        match self.next_storage(avoid) {
+            Some(node) => {
+                if let Some(p) = self.pending.get_mut(&req) {
+                    p.last_node = Some(node);
+                }
+                ctx.send(node, Msg::Get { req, key });
+            }
             None => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
         }
     }
@@ -346,8 +370,14 @@ impl Frontend {
         value: Vec<u8>,
         delete: bool,
     ) {
-        match self.next_storage() {
-            Some(node) => ctx.send(node, Msg::Put { req, key, value, delete }),
+        let avoid = self.pending.get(&req).and_then(|p| p.last_node);
+        match self.next_storage(avoid) {
+            Some(node) => {
+                if let Some(p) = self.pending.get_mut(&req) {
+                    p.last_node = Some(node);
+                }
+                ctx.send(node, Msg::Put { req, key, value, delete });
+            }
             None => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
         }
     }
@@ -449,11 +479,39 @@ impl Process<Msg> for Frontend {
     fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
         if token & 0b111 == TK_DEADLINE {
             let req = token >> 3;
-            if self.pending.contains_key(&req) {
-                self.stats.timeouts += 1;
-                self.metrics.timeouts.inc();
-                ctx.record("fe_timeout", 1.0);
-                self.respond(ctx, req, status::TIMEOUT, Vec::new(), false);
+            // The coordinator (or cache server) this request was routed to
+            // may be crashed or partitioned while the static upstream list
+            // still names it: re-dispatch to the next round-robin
+            // coordinator before surfacing a timeout. A late duplicate
+            // completion is ignored by the `done` guard, and duplicate
+            // writes converge under last-write-wins.
+            let redo = match self.pending.get_mut(&req) {
+                None => return,
+                Some(p) if p.redispatches < self.cfg.redispatch_max => {
+                    p.redispatches += 1;
+                    p.phase = Phase::Store;
+                    Some((p.method, p.key.clone(), p.body.clone()))
+                }
+                Some(_) => None,
+            };
+            match redo {
+                Some((method, key, body)) => {
+                    self.stats.redispatches += 1;
+                    self.metrics.redispatches.inc();
+                    ctx.record("fe_redispatch", 1.0);
+                    match method {
+                        Method::Get => self.forward_get(ctx, req, key),
+                        Method::Post => self.forward_put(ctx, req, key, body, false),
+                        Method::Delete => self.forward_put(ctx, req, key, Vec::new(), true),
+                    }
+                    ctx.set_timer(self.cfg.request_deadline_us, tk_deadline(req));
+                }
+                None => {
+                    self.stats.timeouts += 1;
+                    self.metrics.timeouts.inc();
+                    ctx.record("fe_timeout", 1.0);
+                    self.respond(ctx, req, status::TIMEOUT, Vec::new(), false);
+                }
             }
         }
     }

@@ -30,22 +30,23 @@ use mystore_ring::HashRing;
 use crate::config::StorageConfig;
 use crate::message::{Msg, StoreError};
 
-// Timer-token layout: low 3 bits select the kind, the rest carry a request id.
-const TK_KIND_MASK: u64 = 0b111;
+// Timer-token layout: low 4 bits select the kind, the rest carry a request id.
+const TK_KIND_MASK: u64 = 0b1111;
 const TK_GOSSIP: u64 = 1;
 const TK_HINT_REPLAY: u64 = 2;
-const TK_PUT_SOFT: u64 = 3;
+const TK_PUT_RETRY: u64 = 3;
 const TK_PUT_HARD: u64 = 4;
 const TK_GET_HARD: u64 = 5;
 const TK_REAP: u64 = 6;
 const TK_ANTI_ENTROPY: u64 = 7;
+const TK_GET_RETRY: u64 = 8;
 
 fn tk(kind: u64, req: u64) -> TimerToken {
-    (req << 3) | kind
+    (req << 4) | kind
 }
 
 fn tk_split(token: TimerToken) -> (u64, u64) {
-    (token & TK_KIND_MASK, token >> 3)
+    (token & TK_KIND_MASK, token >> 4)
 }
 
 /// Collection holding hinted-handoff records.
@@ -85,8 +86,14 @@ struct PendingPut {
     acks: usize,
     /// Replicas that have not acknowledged yet.
     outstanding: Vec<NodeId>,
+    /// Remote nodes whose ack already counted — retries and chaotic links
+    /// can deliver the same `StoreAck` more than once, and a duplicate must
+    /// not double-count towards `W`.
+    acked: Vec<NodeId>,
     /// Fallback nodes already hinted (never reused).
     fallbacks_used: Vec<NodeId>,
+    /// Retry rounds already spent on stragglers.
+    retry_round: u32,
     replied: bool,
     /// Coordinator clock when the request arrived (for latency histograms).
     started_us: u64,
@@ -99,9 +106,18 @@ struct PendingGet {
     prefs: Vec<NodeId>,
     /// (replica, its record if any) for successful replies.
     replies: Vec<(NodeId, Option<Record>)>,
+    /// Retry rounds already spent on silent replicas.
+    retry_round: u32,
     replied: bool,
     /// Coordinator clock when the request arrived (for latency histograms).
     started_us: u64,
+}
+
+/// A hint replay awaiting its `StoreAck`: which hint document it is for and
+/// when it was sent, so stale entries can be swept instead of leaking.
+struct HintInFlight {
+    id: ObjectId,
+    sent_at_us: u64,
 }
 
 /// Observability handles for the coordinator and hinted-handoff hot paths.
@@ -135,6 +151,20 @@ pub struct StorageMetrics {
     pub handoffs: Counter,
     /// Hints currently parked in this node's `hints` collection.
     pub hint_queue_depth: Gauge,
+    /// `StoreReplica` re-sends to write stragglers.
+    pub put_retries: Counter,
+    /// `FetchReplica` re-sends to read stragglers.
+    pub get_retries: Counter,
+    /// Requests whose straggler retries all went unanswered (writes then
+    /// divert to hinted handoff).
+    pub retries_exhausted: Counter,
+    /// Backoff delays armed between retry rounds (µs).
+    pub retry_backoff_us: Histogram,
+    /// Hint replays swept because no ack arrived within the request
+    /// deadline (the hint stays parked and is offered again).
+    pub hint_replay_expired: Counter,
+    /// Storage-node process restarts (WAL replays).
+    pub restarts: Counter,
 }
 
 impl StorageMetrics {
@@ -154,6 +184,12 @@ impl StorageMetrics {
             hints_replayed: registry.counter("hint.replayed"),
             handoffs: registry.counter("hint.handoffs"),
             hint_queue_depth: registry.gauge("hint.queue_depth"),
+            put_retries: registry.counter("retry.put.resends"),
+            get_retries: registry.counter("retry.get.resends"),
+            retries_exhausted: registry.counter("retry.exhausted"),
+            retry_backoff_us: registry.histogram("retry.backoff_us"),
+            hint_replay_expired: registry.counter("hint.replay_expired"),
+            restarts: registry.counter("node.restarts"),
         }
     }
 }
@@ -168,8 +204,8 @@ pub struct StorageNode {
     ring_sig: Vec<(NodeId, u32)>,
     pending_puts: HashMap<u64, PendingPut>,
     pending_gets: HashMap<u64, PendingGet>,
-    /// Hint-replay requests in flight: replica req → hint document id.
-    hint_acks: HashMap<u64, ObjectId>,
+    /// Hint-replay requests in flight: replica req → hint + send time.
+    hint_acks: HashMap<u64, HintInFlight>,
     next_req: u64,
     stats: NodeStats,
     /// Bumped every restart; the gossip boot generation.
@@ -268,15 +304,31 @@ impl StorageNode {
         self.gossiper.is_alive(node)
     }
 
+    /// Hint replays currently awaiting an acknowledgement (tests: the
+    /// hint-ack map must stay bounded when targets die mid-replay).
+    pub fn inflight_hint_replays(&self) -> usize {
+        self.hint_acks.len()
+    }
+
     fn fresh_req(&mut self) -> u64 {
         let r = self.next_req;
         self.next_req += 1;
         r
     }
 
-    /// Re-levels the hint-queue-depth gauge after any `hints` mutation.
-    fn sync_hint_gauge(&self) {
-        self.metrics.hint_queue_depth.set(self.hint_count() as i64);
+    /// Backoff before retry round `round` (1-based): exponential in the
+    /// round, capped, plus up to 25% jitter so stragglers are not re-hit in
+    /// lockstep by every coordinator at once.
+    fn backoff_delay(&self, ctx: &mut Context<'_, Msg>, round: u32) -> u64 {
+        let base = self
+            .cfg
+            .retry_backoff_base_us
+            .saturating_mul(1u64 << (round.saturating_sub(1)).min(32))
+            .min(self.cfg.retry_backoff_cap_us);
+        let jitter = ctx.rng().range_u64(0, base / 4 + 1);
+        let delay = base + jitter;
+        self.metrics.retry_backoff_us.record(delay);
+        delay
     }
 
     // ---- membership -----------------------------------------------------
@@ -399,7 +451,9 @@ impl StorageNode {
             record: record.clone(),
             acks: 0,
             outstanding: prefs.clone(),
+            acked: Vec::new(),
             fallbacks_used: Vec::new(),
+            retry_round: 0,
             replied: false,
             started_us: ctx.now().as_micros(),
         };
@@ -420,7 +474,7 @@ impl StorageNode {
         let done = self.check_put_quorum(ctx, my_req, &mut pending);
         if !done {
             self.pending_puts.insert(my_req, pending);
-            ctx.set_timer(self.cfg.replica_timeout_us, tk(TK_PUT_SOFT, my_req));
+            ctx.set_timer(self.cfg.replica_timeout_us, tk(TK_PUT_RETRY, my_req));
             ctx.set_timer(self.cfg.request_deadline_us, tk(TK_PUT_HARD, my_req));
         }
     }
@@ -447,38 +501,61 @@ impl StorageNode {
     }
 
     fn on_store_ack(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, req: u64, ok: bool) {
-        // Hint-replay acknowledgements resolve separately.
-        if let Some(hint_id) = self.hint_acks.remove(&req) {
-            if ok {
-                let _ = self.db.remove(HINTS, hint_id);
+        // Hint-replay acknowledgements resolve separately. The hint is only
+        // discharged if its document is still present — a duplicated ack (or
+        // one racing the replay sweep) must not double-count a replay or
+        // drive the depth gauge negative.
+        if let Some(inflight) = self.hint_acks.remove(&req) {
+            if ok && self.db.remove(HINTS, inflight.id).is_ok() {
                 self.stats.hints_replayed += 1;
                 self.metrics.hints_replayed.inc();
-                self.sync_hint_gauge();
+                self.metrics.hint_queue_depth.dec_clamped();
                 ctx.record("hint_replayed", 1.0);
             }
             return;
         }
         let Some(mut pending) = self.pending_puts.remove(&req) else { return };
-        if ok {
+        // Retries and chaotic links can duplicate acks: count each node once.
+        if ok && !pending.acked.contains(&from) {
+            pending.acked.push(from);
             pending.acks += 1;
             pending.outstanding.retain(|&r| r != from);
         }
-        // A failed ack leaves the replica in `outstanding`; the soft-timeout
-        // path will divert it to a fallback node.
+        // A failed ack leaves the replica in `outstanding`; the retry path
+        // will re-send and eventually divert it to a fallback node.
         let done = self.check_put_quorum(ctx, req, &mut pending);
         if !done {
             self.pending_puts.insert(req, pending);
         }
     }
 
-    /// Soft timeout: unacknowledged replicas get hinted handoff (Fig. 8) —
-    /// "if one node fails, the system writes to the next node on the ring".
-    fn on_put_soft_timeout(&mut self, ctx: &mut Context<'_, Msg>, req: u64) {
+    /// Per-replica deadline: while retry budget remains, re-send the write
+    /// to stragglers with exponential backoff; once exhausted, divert to
+    /// hinted handoff (Fig. 8) — "if one node fails, the system writes to
+    /// the next node on the ring" — instead of stalling the quorum.
+    fn on_put_retry_timeout(&mut self, ctx: &mut Context<'_, Msg>, req: u64) {
+        let me = self.id();
+        let Some(pending) = self.pending_puts.get_mut(&req) else { return };
+        if pending.retry_round < self.cfg.replica_retry_max {
+            pending.retry_round += 1;
+            let round = pending.retry_round;
+            let record = pending.record.clone();
+            let stragglers: Vec<NodeId> =
+                pending.outstanding.iter().copied().filter(|&r| r != me).collect();
+            for replica in &stragglers {
+                ctx.send(*replica, Msg::StoreReplica { req, record: record.clone() });
+                self.metrics.put_retries.inc();
+                ctx.record("put_retry", 1.0);
+            }
+            let delay = self.backoff_delay(ctx, round);
+            ctx.set_timer(delay, tk(TK_PUT_RETRY, req));
+            return;
+        }
+        self.metrics.retries_exhausted.inc();
         if !self.cfg.hinted_handoff {
             return;
         }
         let Some(mut pending) = self.pending_puts.remove(&req) else { return };
-        let me = self.id();
         let stragglers: Vec<NodeId> = pending.outstanding.clone();
         for intended in stragglers {
             if intended == me {
@@ -500,7 +577,7 @@ impl StorageNode {
                     if self.db.insert_doc(HINTS, hint_doc).is_ok() {
                         pending.acks += 1;
                         self.metrics.hints_stored.inc();
-                        self.sync_hint_gauge();
+                        self.metrics.hint_queue_depth.add(1);
                     }
                 } else {
                     ctx.send(
@@ -523,9 +600,18 @@ impl StorageNode {
         let point = HashRing::<NodeId>::key_point(pending.record.self_key.as_bytes());
         let walk = self.ring.successors_of_point(point, self.ring.len());
         let prefs = self.ring.preference_list(pending.record.self_key.as_bytes(), self.cfg.nwr.n);
-        walk.into_iter().find(|n| {
-            !prefs.contains(n) && !pending.fallbacks_used.contains(n) && self.gossiper.is_alive(*n)
-        })
+        walk.into_iter()
+            .find(|n| {
+                !prefs.contains(n)
+                    && !pending.fallbacks_used.contains(n)
+                    && self.gossiper.is_alive(*n)
+            })
+            .or_else(|| {
+                // Cluster size == N: there is no node beyond the preference
+                // list to divert to, so the coordinator parks the hint itself.
+                let me = self.id();
+                (!pending.fallbacks_used.contains(&me)).then_some(me)
+            })
     }
 
     fn on_put_hard_timeout(&mut self, ctx: &mut Context<'_, Msg>, req: u64) {
@@ -567,6 +653,7 @@ impl StorageNode {
             key: key.clone(),
             prefs: prefs.clone(),
             replies: Vec::new(),
+            retry_round: 0,
             replied: false,
             started_us: ctx.now().as_micros(),
         };
@@ -582,6 +669,7 @@ impl StorageNode {
         let done = self.check_get_progress(ctx, &mut pending);
         if !done {
             self.pending_gets.insert(my_req, pending);
+            ctx.set_timer(self.cfg.replica_timeout_us, tk(TK_GET_RETRY, my_req));
             ctx.set_timer(self.cfg.request_deadline_us, tk(TK_GET_HARD, my_req));
         }
     }
@@ -675,7 +763,8 @@ impl StorageNode {
         ok: bool,
     ) {
         let Some(mut pending) = self.pending_gets.remove(&req) else { return };
-        if ok {
+        // Retries and chaotic links can duplicate replies: one per node.
+        if ok && !pending.replies.iter().any(|(n, _)| *n == from) {
             pending.replies.push((from, found));
         }
         // A failed read is tolerated (§5.1): replication covers it.
@@ -683,6 +772,34 @@ impl StorageNode {
         if !done {
             self.pending_gets.insert(req, pending);
         }
+    }
+
+    /// Per-replica read deadline: re-fetch from silent replicas with the
+    /// same bounded backoff as writes. Reads have no handoff to divert to —
+    /// after the budget, the hard deadline decides.
+    fn on_get_retry_timeout(&mut self, ctx: &mut Context<'_, Msg>, req: u64) {
+        let me = self.id();
+        let Some(pending) = self.pending_gets.get_mut(&req) else { return };
+        if pending.retry_round >= self.cfg.replica_retry_max {
+            self.metrics.retries_exhausted.inc();
+            return;
+        }
+        pending.retry_round += 1;
+        let round = pending.retry_round;
+        let key = pending.key.clone();
+        let silent: Vec<NodeId> = pending
+            .prefs
+            .iter()
+            .copied()
+            .filter(|&p| p != me && !pending.replies.iter().any(|(n, _)| *n == p))
+            .collect();
+        for replica in &silent {
+            ctx.send(*replica, Msg::FetchReplica { req, key: key.clone() });
+            self.metrics.get_retries.inc();
+            ctx.record("get_retry", 1.0);
+        }
+        let delay = self.backoff_delay(ctx, round);
+        ctx.set_timer(delay, tk(TK_GET_RETRY, req));
     }
 
     fn on_get_hard_timeout(&mut self, ctx: &mut Context<'_, Msg>, req: u64) {
@@ -778,7 +895,7 @@ impl StorageNode {
         let ok = self.db.insert_doc(HINTS, hint_doc).is_ok();
         if ok {
             self.metrics.hints_stored.inc();
-            self.sync_hint_gauge();
+            self.metrics.hint_queue_depth.add(1);
         }
         ctx.send(from, Msg::StoreAck { req, ok });
     }
@@ -788,14 +905,29 @@ impl StorageNode {
     /// "when it finds that the B node is on-line again, the node C would
     /// write the data back to B").
     fn replay_hints(&mut self, ctx: &mut Context<'_, Msg>) {
-        // Drop correlation state from replays that never got acknowledged —
-        // the hints themselves are still on disk and will be offered again
-        // below (replays are idempotent under LWW), so nothing is lost and
-        // the map stays bounded.
-        self.hint_acks.clear();
+        let now_us = ctx.now().as_micros();
+        // Sweep replays whose ack never arrived within the request deadline
+        // (the target died mid-replay, or the ack was lost). The hint
+        // document itself is untouched and will be offered again below —
+        // replays are idempotent under LWW — so nothing is lost and the map
+        // stays bounded. Younger in-flight entries are kept (and their hints
+        // skipped) so a slow ack is not raced by a duplicate replay.
+        let deadline = self.cfg.request_deadline_us;
+        let before = self.hint_acks.len();
+        self.hint_acks.retain(|_, hint| now_us.saturating_sub(hint.sent_at_us) < deadline);
+        let expired = before - self.hint_acks.len();
+        if expired > 0 {
+            self.metrics.hint_replay_expired.add(expired as u64);
+            ctx.record("hint_replay_expired", expired as f64);
+        }
+        let in_flight: std::collections::HashSet<ObjectId> =
+            self.hint_acks.values().map(|h| h.id).collect();
         let Ok(coll) = self.db.collection(HINTS) else { return };
         let mut replays: Vec<(ObjectId, NodeId, Record)> = Vec::new();
         for (id, docu) in coll.iter() {
+            if in_flight.contains(id) {
+                continue;
+            }
             let Some(intended) = docu.get_i64("intended").map(|v| NodeId(v as u32)) else {
                 continue;
             };
@@ -812,12 +944,13 @@ impl StorageNode {
         }
         for (hint_id, intended, record) in replays {
             if self.gossiper.is_removed(intended) {
-                let _ = self.db.remove(HINTS, hint_id);
-                self.sync_hint_gauge();
+                if self.db.remove(HINTS, hint_id).is_ok() {
+                    self.metrics.hint_queue_depth.dec_clamped();
+                }
                 continue;
             }
             let req = self.fresh_req();
-            self.hint_acks.insert(req, hint_id);
+            self.hint_acks.insert(req, HintInFlight { id: hint_id, sent_at_us: now_us });
             ctx.send(intended, Msg::StoreReplica { req, record });
         }
     }
@@ -956,15 +1089,22 @@ impl Process<Msg> for StorageNode {
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Crash recovery: drop all volatile state and rebuild the store
+        // from its WAL — anything that never reached the log is lost,
+        // exactly as on a real process crash.
+        let db = std::mem::replace(&mut self.db, Db::memory());
+        self.db = db.recover_from_wal().expect("WAL replay on restart");
         // A restart is a new boot generation (paper's bootGeneration field):
         // peers see the bump and reset our state, clearing any long-failure
-        // declaration.
-        self.generation += 1;
+        // declaration. Build on the gossiper's generation too — it may have
+        // reasserted a higher one after a lost-clock recovery.
+        self.generation = self.generation.max(self.gossiper.generation()) + 1;
         self.gossiper = Gossiper::new(self.id(), self.generation, self.cfg.gossip.clone());
         self.gossiper.set_metrics(GossipMetrics::from_registry(&self.cfg.metrics));
         self.pending_puts.clear();
         self.pending_gets.clear();
         self.hint_acks.clear();
+        self.metrics.restarts.inc();
         self.on_start(ctx);
     }
 
@@ -1051,9 +1191,10 @@ impl Process<Msg> for StorageNode {
                 self.anti_entropy_round(ctx);
                 ctx.set_timer(self.cfg.anti_entropy_interval_us, tk(TK_ANTI_ENTROPY, 0));
             }
-            TK_PUT_SOFT => self.on_put_soft_timeout(ctx, req),
+            TK_PUT_RETRY => self.on_put_retry_timeout(ctx, req),
             TK_PUT_HARD => self.on_put_hard_timeout(ctx, req),
             TK_GET_HARD => self.on_get_hard_timeout(ctx, req),
+            TK_GET_RETRY => self.on_get_retry_timeout(ctx, req),
             _ => {}
         }
     }

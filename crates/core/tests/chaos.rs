@@ -1,0 +1,277 @@
+//! Seeded chaos runs on the deterministic simulator: a scripted fault
+//! schedule kills one of N=3 replicas mid-workload, and the cluster must
+//! sustain W=2 writes and R=1 reads with zero client-visible errors, park
+//! hints for the dead replica, and replay them once it rejoins — all
+//! observable through the shared metrics registry (`/_stats`).
+
+use mystore_core::prelude::*;
+use mystore_core::testing::Probe;
+use mystore_net::{
+    FaultPlan, FaultSchedule, LinkFaultRule, NetConfig, NodeConfig, NodeId, Sim, SimConfig, SimTime,
+};
+use mystore_obs::Registry;
+
+fn sim_config(seed: u64) -> SimConfig {
+    SimConfig { net: NetConfig::gigabit_lan(), faults: FaultPlan::none(), seed }
+}
+
+fn put(req: u64, key: &str, value: &[u8]) -> Msg {
+    Msg::Put { req, key: key.into(), value: value.to_vec(), delete: false }
+}
+
+fn get(req: u64, key: &str) -> Msg {
+    Msg::Get { req, key: key.into() }
+}
+
+/// Builds a 3-node storage cluster plus a probe, sharing one registry.
+fn chaos_cluster(
+    seed: u64,
+    script: Vec<(u64, NodeId, Msg)>,
+) -> (Sim<Msg>, Registry, ClusterSpec, NodeId) {
+    let spec = ClusterSpec::small(3);
+    let (mut sim, registry) = spec.build_sim_with_metrics(sim_config(seed));
+    let probe = sim.add_node(Probe::new(script), NodeConfig::default());
+    (sim, registry, spec, probe)
+}
+
+fn total_hints(sim: &Sim<Msg>, spec: &ClusterSpec) -> usize {
+    spec.storage_ids().iter().map(|&id| sim.process::<StorageNode>(id).unwrap().hint_count()).sum()
+}
+
+fn total_inflight_replays(sim: &Sim<Msg>, spec: &ClusterSpec) -> usize {
+    spec.storage_ids()
+        .iter()
+        .map(|&id| sim.process::<StorageNode>(id).unwrap().inflight_hint_replays())
+        .sum()
+}
+
+/// The PR's acceptance scenario: a parsed fault schedule kills replica 2
+/// for six seconds in the middle of a write workload. Every PUT (W=2) and
+/// every GET (R=1) must succeed, hints must be parked and then replayed to
+/// the rejoined node, and the `fault.*` / `hint.*` counters must record it.
+#[test]
+fn seeded_chaos_kill_sustains_quorum_with_zero_client_errors() {
+    let warm = 5_000_000u64;
+    // 30 writes through the two surviving coordinators spanning the crash
+    // window, then reads once the victim is back and hints have replayed.
+    let mut script: Vec<(u64, NodeId, Msg)> = (0..30u64)
+        .map(|i| {
+            (warm + 500_000 + i * 100_000, NodeId((i % 2) as u32), put(i, &format!("c{i}"), b"v"))
+        })
+        .collect();
+    for i in 0..30u64 {
+        script.push((
+            16_000_000 + i * 20_000,
+            NodeId(((i + 1) % 2) as u32),
+            get(100 + i, &format!("c{i}")),
+        ));
+    }
+    let (mut sim, registry, spec, probe) = chaos_cluster(777, script);
+
+    // Scripted fault: node 2 dies at t=6s and restarts at t=12s.
+    let schedule = FaultSchedule::parse("6000000 crash 2 6000000").expect("valid schedule");
+    sim.apply_schedule(&schedule);
+    sim.start();
+    sim.run_for(20_000_000);
+
+    let p = sim.process::<Probe>(probe).unwrap();
+    assert_eq!(
+        p.count_where(|m| matches!(m, Msg::PutResp { result: Ok(()), .. })),
+        30,
+        "every W=2 write must succeed despite the dead replica"
+    );
+    assert_eq!(
+        p.count_where(|m| matches!(m, Msg::GetResp { result: Ok(Some(_)), .. })),
+        30,
+        "every R=1 read must return the value"
+    );
+    assert_eq!(
+        p.count_where(|m| matches!(
+            m,
+            Msg::PutResp { result: Err(_), .. } | Msg::GetResp { result: Err(_), .. }
+        )),
+        0,
+        "zero client-visible errors"
+    );
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters.get("fault.crashes").copied(), Some(1));
+    assert_eq!(snap.counters.get("fault.restarts").copied(), Some(1));
+    assert!(snap.counters.get("node.restarts").copied().unwrap_or(0) >= 1);
+    assert!(
+        snap.counters.get("hint.stored").copied().unwrap_or(0) >= 1,
+        "writes during the outage must park hints: {:?}",
+        snap.counters
+    );
+    assert!(
+        snap.counters.get("hint.replayed").copied().unwrap_or(0) >= 1,
+        "hints must replay after the node rejoins: {:?}",
+        snap.counters
+    );
+    assert_eq!(
+        snap.gauges.get("hint.queue_depth").copied(),
+        Some(0),
+        "hint queue must drain after replay"
+    );
+    assert_eq!(total_hints(&sim, &spec), 0);
+
+    // With 3 nodes every key has all three as replicas: WAL replay plus
+    // hint replay must leave the rejoined victim fully caught up.
+    assert_eq!(
+        sim.process::<StorageNode>(NodeId(2)).unwrap().record_count(),
+        30,
+        "victim must hold every record after WAL replay + hint replay"
+    );
+}
+
+/// Regression for the hint-ack leak: the replay target dies again while a
+/// replayed hint is in flight. The in-flight entry must be swept after the
+/// request deadline (not leak forever), the hint must stay parked, and a
+/// later replay must re-deliver it once the target is back for good.
+#[test]
+fn hint_replay_to_node_killed_mid_replay_is_swept_and_redelivered() {
+    let warm = 5_000_000u64;
+    let (mut sim, registry, spec, probe) = chaos_cluster(
+        778,
+        vec![(warm + 500_000, NodeId(0), put(1, "leaky-hint", b"redeliver-me"))],
+    );
+    // Victim 2 is down for the write (hint parked on coordinator 0), comes
+    // back at 7.2s — but the hint holder's 6s replay tick fires while the
+    // holder still believes it alive (gossip has not yet declared it down),
+    // so that replayed hint is lost against the crashed node.
+    sim.schedule_crash(SimTime(warm + 200_000), NodeId(2), Some(2_000_000));
+    sim.start();
+    sim.run_for(6_500_000);
+
+    assert!(total_hints(&sim, &spec) >= 1, "hint must be parked while the victim is down");
+    assert_eq!(
+        total_inflight_replays(&sim, &spec),
+        1,
+        "the 6s replay tick must have a hint in flight against the crashed node"
+    );
+
+    // Later ticks sweep the expired in-flight entry and re-deliver once the
+    // restarted victim is seen alive again.
+    sim.run_for(8_500_000);
+    let snap = registry.snapshot();
+    assert!(
+        snap.counters.get("hint.replay_expired").copied().unwrap_or(0) >= 1,
+        "expired in-flight replay must be swept, not leaked: {:?}",
+        snap.counters
+    );
+    assert!(snap.counters.get("hint.replayed").copied().unwrap_or(0) >= 1);
+    assert_eq!(total_inflight_replays(&sim, &spec), 0, "no in-flight entries may leak");
+    assert_eq!(total_hints(&sim, &spec), 0, "hint must be discharged after re-delivery");
+    assert_eq!(snap.gauges.get("hint.queue_depth").copied(), Some(0));
+    let rec = sim.process::<StorageNode>(NodeId(2)).unwrap().db().get_record("data", "leaky-hint");
+    assert!(rec.unwrap().is_some(), "the hint must reach the restarted victim");
+    let p = sim.process::<Probe>(probe).unwrap();
+    assert!(matches!(p.response_for(1), Some(Msg::PutResp { result: Ok(()), .. })));
+}
+
+/// Regression for the `hint.queue_depth` underflow: with every message
+/// between storage nodes duplicated, hint replays and their acks arrive
+/// twice. The double discharge must be ignored (the hint is only removed
+/// once) and the gauge must never go negative.
+#[test]
+fn duplicated_acks_never_drive_hint_queue_depth_negative() {
+    let warm = 5_000_000u64;
+    let (mut sim, registry, spec, _probe) =
+        chaos_cluster(779, vec![(warm + 500_000, NodeId(0), put(1, "dup-hint", b"once-only"))]);
+    let dup = LinkFaultRule { p_dup: 1.0, ..LinkFaultRule::none() };
+    for a in 0..3u32 {
+        for b in (a + 1)..3u32 {
+            sim.schedule_chaos(SimTime(0), NodeId(a), NodeId(b), dup);
+        }
+    }
+    sim.schedule_crash(SimTime(warm + 200_000), NodeId(2), Some(3_000_000));
+    sim.start();
+
+    for _ in 0..32 {
+        sim.run_for(500_000);
+        let depth = registry.snapshot().gauges.get("hint.queue_depth").copied().unwrap_or(0);
+        assert!(depth >= 0, "hint.queue_depth went negative: {depth}");
+    }
+
+    let snap = registry.snapshot();
+    assert!(snap.counters.get("fault.msg.duplicated").copied().unwrap_or(0) >= 1);
+    assert!(snap.counters.get("hint.replayed").copied().unwrap_or(0) >= 1);
+    assert_eq!(snap.gauges.get("hint.queue_depth").copied(), Some(0));
+    assert_eq!(total_hints(&sim, &spec), 0);
+    let rec = sim.process::<StorageNode>(NodeId(2)).unwrap().db().get_record("data", "dup-hint");
+    assert!(rec.unwrap().is_some());
+}
+
+/// A crashed node loses its in-memory state; on restart it must rebuild the
+/// database by replaying its WAL and rejoin gossip with a bumped boot
+/// generation (peers must not treat it as the dead incarnation).
+#[test]
+fn crash_restart_replays_wal_and_rejoins_with_bumped_generation() {
+    let warm = 5_000_000u64;
+    let script: Vec<(u64, NodeId, Msg)> = (0..20u64)
+        .map(|i| (warm + i * 50_000, NodeId((i % 2) as u32), put(i, &format!("w{i}"), b"durable")))
+        .collect();
+    let (mut sim, registry, _spec, probe) = chaos_cluster(780, script);
+    sim.start();
+    // All writes fully replicate while everyone is up.
+    sim.run_for(warm + 3_000_000);
+    assert_eq!(sim.process::<StorageNode>(NodeId(2)).unwrap().record_count(), 20);
+
+    // Crash + restart; no writes happen while it is down, so everything it
+    // has afterwards came from its own log replay.
+    sim.schedule_crash(sim.now() + 1, NodeId(2), Some(3_000_000));
+    sim.run_for(20_000_000);
+
+    assert_eq!(
+        sim.process::<StorageNode>(NodeId(2)).unwrap().record_count(),
+        20,
+        "restart must replay the WAL, not come back empty"
+    );
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters.get("node.restarts").copied(), Some(1));
+    // The restarted node rejoined (peers see it up again) rather than being
+    // stuck as a stale incarnation.
+    for id in [NodeId(0), NodeId(1)] {
+        assert!(
+            sim.process::<StorageNode>(id).unwrap().believes_alive(NodeId(2)),
+            "{id} must see the restarted node alive"
+        );
+    }
+    let p = sim.process::<Probe>(probe).unwrap();
+    assert_eq!(p.count_where(|m| matches!(m, Msg::PutResp { result: Ok(()), .. })), 20);
+}
+
+/// The same seed and fault schedule must produce the identical run — the
+/// whole point of seeded chaos: any failure is replayable.
+#[test]
+fn chaos_run_is_deterministic_for_a_seed() {
+    let run = || {
+        let warm = 5_000_000u64;
+        let script: Vec<(u64, NodeId, Msg)> = (0..20u64)
+            .map(|i| (warm + i * 100_000, NodeId(0), put(i, &format!("det{i}"), b"v")))
+            .collect();
+        let (mut sim, registry, spec, _probe) = chaos_cluster(4242, script);
+        // A lossy coordinator↔replica link plus a mid-workload crash.
+        let lossy = LinkFaultRule { p_drop: 0.4, ..LinkFaultRule::none() };
+        sim.schedule_chaos(SimTime(0), NodeId(0), NodeId(1), lossy);
+        sim.schedule_crash(SimTime(warm + 900_000), NodeId(2), Some(4_000_000));
+        sim.start();
+        sim.run_for(20_000_000);
+        let counts: Vec<usize> = spec
+            .storage_ids()
+            .iter()
+            .map(|&id| sim.process::<StorageNode>(id).unwrap().record_count())
+            .collect();
+        let snap = registry.snapshot();
+        (
+            counts,
+            snap.counters.get("fault.msg.dropped").copied().unwrap_or(0),
+            snap.counters.get("retry.put.resends").copied().unwrap_or(0),
+            snap.counters.get("hint.replayed").copied().unwrap_or(0),
+        )
+    };
+    let first = run();
+    assert!(first.1 >= 1, "the lossy link must drop something: {first:?}");
+    assert!(first.2 >= 1, "dropped replica ops must trigger retries: {first:?}");
+    assert_eq!(first, run(), "same seed + same schedule must replay identically");
+}

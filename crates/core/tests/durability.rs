@@ -33,6 +33,94 @@ fn build(dir: &std::path::Path) -> mystore_net::ThreadedCluster<Msg> {
     builder.build()
 }
 
+/// Crash-before-ack: the cluster dies abruptly with a burst of writes still
+/// unacknowledged. After restart, WAL replay must restore *at least* every
+/// write that was acknowledged at W=2 (no loss) and must not invent records
+/// that were never written (no phantom). Unacked writes may land on either
+/// side of the crash — both outcomes are legal.
+#[test]
+fn crash_before_ack_loses_nothing_acked_and_invents_nothing() {
+    let dir = std::env::temp_dir().join(format!("mystore-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- first life: 6 acked writes, then a burst cut off by the crash ----
+    {
+        let cluster = build(&dir);
+        std::thread::sleep(Duration::from_millis(400));
+        for i in 0..6u64 {
+            cluster.send(
+                NodeId((i % 3) as u32),
+                Msg::Put {
+                    req: i,
+                    key: format!("acked-{i}"),
+                    value: vec![i as u8; 16],
+                    delete: false,
+                },
+            );
+        }
+        let mut acks = 0;
+        while acks < 6 {
+            match cluster.recv_timeout(Duration::from_secs(5)) {
+                Some((_, Msg::PutResp { result: Ok(()), .. })) => acks += 1,
+                Some((_, Msg::PutResp { result: Err(e), .. })) => panic!("write failed: {e}"),
+                Some(_) => {}
+                None => panic!("timed out at {acks}/6"),
+            }
+        }
+        // Fire-and-forget burst; shut down without draining the acks — the
+        // coordinator dies somewhere between WAL append and client reply.
+        for i in 0..4u64 {
+            cluster.send(
+                NodeId((i % 3) as u32),
+                Msg::Put {
+                    req: 50 + i,
+                    key: format!("unacked-{i}"),
+                    value: vec![0xAB; 16],
+                    delete: false,
+                },
+            );
+        }
+        cluster.shutdown();
+    }
+
+    // --- second life: exactly-the-acked-writes guarantees -----------------
+    {
+        let cluster = build(&dir);
+        std::thread::sleep(Duration::from_millis(400));
+        for i in 0..6u64 {
+            cluster.send(
+                NodeId(((i + 1) % 3) as u32),
+                Msg::Get { req: 100 + i, key: format!("acked-{i}") },
+            );
+        }
+        // A key nobody ever wrote must stay absent (no phantom).
+        cluster.send(NodeId(0), Msg::Get { req: 200, key: "never-written".into() });
+        let (mut got, mut phantom_checked) = (0, false);
+        while got < 6 || !phantom_checked {
+            match cluster.recv_timeout(Duration::from_secs(5)) {
+                Some((_, Msg::GetResp { req: 200, result })) => {
+                    assert!(
+                        matches!(result, Ok(None)),
+                        "phantom record after recovery: {result:?}"
+                    );
+                    phantom_checked = true;
+                }
+                Some((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
+                    assert_eq!(v, vec![(req - 100) as u8; 16], "acked value corrupted");
+                    got += 1;
+                }
+                Some((_, Msg::GetResp { result, .. })) => {
+                    panic!("acked write lost across the crash: {result:?}")
+                }
+                Some(_) => {}
+                None => panic!("timed out at {got}/6 reads"),
+            }
+        }
+        cluster.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn durable_cluster_recovers_after_restart() {
     let dir = std::env::temp_dir().join(format!("mystore-durable-{}", std::process::id()));

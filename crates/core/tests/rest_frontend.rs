@@ -358,3 +358,55 @@ fn stats_endpoint_reports_quorum_counters_after_traffic() {
     assert!(direct.counters["quorum.write.ok"] >= 1);
     assert!(direct.counters["wal.appends"] >= 1, "WAL metrics flow into the same registry");
 }
+
+/// A coordinator the round-robin upstream list still names crashes; REST
+/// requests routed to it must be re-dispatched to a live coordinator at the
+/// deadline instead of surfacing `504` — the client sees every write and
+/// read succeed.
+#[test]
+fn dead_coordinator_is_redispatched_not_timed_out() {
+    let spec = ClusterSpec::paper_topology();
+    let fe = spec.frontend_ids()[0];
+    let warm = spec.warmup_us();
+    let (mut sim, registry) = spec.build_sim_with_metrics(sim_config(41));
+
+    // 15 POSTs round-robin across all 5 coordinators, so ~3 land on the
+    // victim while it is down; reads of never-cached keys afterwards.
+    let mut script = vec![];
+    for i in 0..15u64 {
+        script.push((
+            warm + 500_000 + i * 200_000,
+            fe,
+            rest(i, Method::Post, Some(&format!("rr-{i}")), b"survives"),
+        ));
+    }
+    // GET a never-written key late, so it rides the storage path too.
+    script.push((warm + 16_000_000, fe, rest(900, Method::Get, Some("rr-ghost"), b"")));
+    let probe = sim.add_node(Probe::new(script), NodeConfig::default());
+
+    // Storage node 2 is down for the whole write burst.
+    sim.schedule_crash(
+        mystore_net::SimTime(warm + 400_000),
+        mystore_net::NodeId(2),
+        Some(10_000_000),
+    );
+    sim.start();
+    sim.run_for(warm + 20_000_000);
+
+    let p = sim.process::<Probe>(probe).unwrap();
+    for i in 0..15u64 {
+        assert_eq!(
+            p.response_for(i).and_then(resp_status),
+            Some(status::OK),
+            "POST rr-{i} must succeed via re-dispatch while a coordinator is down"
+        );
+    }
+    assert_eq!(p.response_for(900).and_then(resp_status), Some(status::NOT_FOUND));
+    let snap = registry.snapshot();
+    assert!(
+        snap.counters.get("frontend.redispatches").copied().unwrap_or(0) >= 1,
+        "requests routed at the dead coordinator must be re-dispatched: {:?}",
+        snap.counters
+    );
+    assert_eq!(snap.counters.get("frontend.timeouts").copied().unwrap_or(0), 0);
+}

@@ -178,6 +178,12 @@ impl Gossiper {
         self.me
     }
 
+    /// This node's current boot generation. Owners persisting a boot clock
+    /// read this after a run so the next incarnation can start above it.
+    pub fn generation(&self) -> u64 {
+        self.states.get(&self.me).expect("own state").generation
+    }
+
     /// True when this node is a seed.
     pub fn is_seed(&self) -> bool {
         self.config.seeds.contains(&self.me)
@@ -281,6 +287,9 @@ impl Gossiper {
     ) -> Option<(NodeId, GossipMsg)> {
         match msg {
             GossipMsg::Syn(remote_digests) => {
+                if let Some(d) = remote_digests.iter().find(|d| d.endpoint == self.me) {
+                    self.reassert_self_authority((d.generation, d.max_version));
+                }
                 let mut deltas = Vec::new();
                 let mut requests = Vec::new();
                 for d in &remote_digests {
@@ -321,6 +330,9 @@ impl Gossiper {
             }
             GossipMsg::Ack1 { deltas, requests } => {
                 self.apply_deltas(now, &deltas);
+                if let Some(req) = requests.iter().find(|r| r.endpoint == self.me) {
+                    self.reassert_self_authority((req.generation, req.max_version));
+                }
                 let answers: Vec<EndpointDelta> = requests
                     .iter()
                     .filter_map(|req| {
@@ -347,10 +359,38 @@ impl Gossiper {
         self.states.iter().map(|(&ep, s)| s.digest(ep)).collect()
     }
 
+    /// Re-establishes authority over our own state when a peer demonstrably
+    /// holds a *newer* clock for us than we do. That only happens after a
+    /// restart that lost the boot-clock file: we came back with a lower
+    /// generation, so every peer keeps preferring the dead incarnation's
+    /// states and marks us down once its heartbeat goes stale. The remedy
+    /// (§5.2.3's generation-trumps-version rule, applied to ourselves) is to
+    /// jump past the observed generation, carrying the current incarnation's
+    /// app states forward re-versioned, so our next gossip wins everywhere
+    /// and the stale states die with the old generation.
+    fn reassert_self_authority(&mut self, observed: (u64, u64)) {
+        let own = self.states.get_mut(&self.me).expect("own state");
+        if own.clock() >= observed {
+            return;
+        }
+        let mut fresh = EndpointState::new(observed.0 + 1);
+        for (key, value) in &own.app_states {
+            fresh.set_app(key.clone(), value.value.clone());
+        }
+        fresh.beat();
+        *own = fresh;
+    }
+
     fn apply_deltas(&mut self, now: SimTime, deltas: &[EndpointDelta]) {
         for delta in deltas {
             if delta.endpoint == self.me {
-                // Nobody else is authoritative about us.
+                // Nobody else is authoritative about us — but a peer echoing
+                // a clock *ahead* of ours means we restarted with a lost
+                // boot-clock file; jump past the dead incarnation instead of
+                // silently dropping the evidence (which would livelock: the
+                // peer keeps preferring the dead generation and we keep
+                // ignoring its deltas).
+                self.reassert_self_authority((delta.generation, delta.max_version));
                 continue;
             }
             let entry = self.states.entry(delta.endpoint);
@@ -602,6 +642,44 @@ mod tests {
         let _ = fresh.tick(t2, &mut rng);
         exchange(&mut fresh, &mut seed, t2);
         assert!(!seed.is_removed(NodeId(1)), "newer generation must clear the removal");
+        assert!(seed.is_alive(NodeId(1)));
+    }
+
+    #[test]
+    fn lost_clock_restart_reasserts_authority() {
+        // Node 1 runs at generation 5, publishes state, and gossips with the
+        // seed. It then restarts having lost its boot-clock file, coming
+        // back at generation 1 — lower than what the cluster remembers.
+        let seeds = vec![NodeId(0)];
+        let mut seed = Gossiper::new(NodeId(0), 1, cfg(seeds.clone()));
+        let mut old = Gossiper::new(NodeId(1), 5, cfg(seeds.clone()));
+        old.set_app_state(keys::LOAD, "old-load");
+        let mut rng = Rng::new(8);
+        let t1 = SimTime::from_secs(1);
+        let _ = old.tick(t1, &mut rng);
+        exchange(&mut old, &mut seed, t1);
+        assert_eq!(seed.app_state(NodeId(1), keys::LOAD), Some("old-load"));
+
+        let mut fresh = Gossiper::new(NodeId(1), 1, cfg(seeds));
+        fresh.set_app_state(keys::VNODES, "64");
+        let t2 = SimTime::from_secs(2);
+        let _ = fresh.tick(t2, &mut rng);
+        exchange(&mut fresh, &mut seed, t2);
+        // The seed's reply carried the dead incarnation (generation 5); the
+        // restarted node must jump past it rather than ignore it.
+        assert!(fresh.generation() > 5, "got generation {}", fresh.generation());
+
+        // One more round spreads the new incarnation back to the seed: the
+        // fresh states win and the dead generation's states die with it.
+        let t3 = SimTime::from_secs(3);
+        let _ = fresh.tick(t3, &mut rng);
+        exchange(&mut fresh, &mut seed, t3);
+        assert_eq!(seed.app_state(NodeId(1), keys::VNODES), Some("64"));
+        assert_eq!(
+            seed.app_state(NodeId(1), keys::LOAD),
+            None,
+            "stale app state from the dead generation must not be resurrected"
+        );
         assert!(seed.is_alive(NodeId(1)));
     }
 

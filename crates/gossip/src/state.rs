@@ -263,6 +263,34 @@ mod tests {
     }
 
     #[test]
+    fn generation_trumps_version_on_both_sides() {
+        // A dead generation with a far *higher* version clock must lose...
+        let mut local = EndpointState::new(3);
+        local.beat(); // (3, 1)
+        let mut ancient = EndpointState::new(2);
+        for _ in 0..100 {
+            ancient.beat();
+        }
+        ancient.set_app(keys::LOAD, "stale"); // (2, 101)
+        assert!(!local.merge(&ancient.delta_since(NodeId(0), 0)));
+        assert_eq!(local.clock(), (3, 1));
+        assert!(local.app(keys::LOAD).is_none(), "dead-generation state must not resurrect");
+
+        // ...and a newer generation with a far *lower* version must win.
+        let mut veteran = EndpointState::new(1);
+        for _ in 0..50 {
+            veteran.beat();
+        }
+        veteran.set_app(keys::LOAD, "dead"); // (1, 51)
+        let mut reborn = EndpointState::new(2);
+        reborn.beat(); // (2, 1)
+        assert!(veteran.merge(&reborn.delta_since(NodeId(0), 0)));
+        assert_eq!(veteran.clock(), (2, 1));
+        assert_eq!(veteran.heartbeat, 1);
+        assert!(veteran.app(keys::LOAD).is_none(), "old incarnation's states die with it");
+    }
+
+    #[test]
     fn older_generation_is_ignored() {
         let mut local = EndpointState::new(3);
         local.beat();

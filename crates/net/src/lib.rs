@@ -24,7 +24,10 @@ pub mod threaded;
 pub mod time;
 pub mod trace;
 
-pub use faults::{FaultPlan, OpFault};
+pub use faults::{
+    FaultEvent, FaultMetrics, FaultPlan, FaultSchedule, LinkFaultRule, LinkOutcome, OpFault,
+    ScheduleParseError, ScheduledFault,
+};
 pub use netmodel::NetConfig;
 pub use process::{Action, Context, NodeId, Process, TimerToken, WireSized};
 pub use rng::Rng;

@@ -20,9 +20,11 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
-use crate::faults::{FaultPlan, OpFault};
+use crate::faults::{
+    FaultEvent, FaultMetrics, FaultPlan, FaultSchedule, LinkFaultRule, LinkOutcome, OpFault,
+};
 use crate::netmodel::NetConfig;
 use crate::process::{Action, Context, NodeId, Process, TimerToken, WireSized};
 use crate::rng::Rng;
@@ -75,6 +77,9 @@ enum EventKind<M> {
     Recover { node: NodeId },
     Crash { node: NodeId, down_for_us: Option<u64> },
     SetLink { a: NodeId, b: NodeId, up: bool },
+    SetLinkDir { from: NodeId, to: NodeId, up: bool },
+    SetLinkRule { from: NodeId, to: NodeId, rule: Option<LinkFaultRule> },
+    HealAllLinks,
 }
 
 struct Event<M> {
@@ -144,6 +149,15 @@ pub struct Sim<M: WireSized> {
     trace: Trace,
     /// Links currently forced down (unordered pairs).
     down_links: HashSet<(NodeId, NodeId)>,
+    /// Directions currently forced down (`(from, to)` ordered pairs) — the
+    /// asymmetric half of a partition: `from`'s messages to `to` vanish while
+    /// the reverse direction still works.
+    down_links_dir: HashSet<(NodeId, NodeId)>,
+    /// Per-direction chaos rules applied to every message crossing the link.
+    link_rules: HashMap<(NodeId, NodeId), LinkFaultRule>,
+    /// Counters for injected faults (defaults to detached counters; attach a
+    /// registry-backed set with [`Sim::set_fault_metrics`]).
+    fault_metrics: FaultMetrics,
     started: bool,
     /// When set, only messages satisfying the predicate draw per-operation
     /// faults. The paper's Table 2 probabilities are per *operation*, so
@@ -152,7 +166,7 @@ pub struct Sim<M: WireSized> {
     fault_filter: Option<FaultFilter<M>>,
 }
 
-impl<M: WireSized + 'static> Sim<M> {
+impl<M: WireSized + Clone + 'static> Sim<M> {
     /// Creates a simulator.
     pub fn new(config: SimConfig) -> Self {
         let rng = Rng::new(config.seed);
@@ -165,6 +179,9 @@ impl<M: WireSized + 'static> Sim<M> {
             rng,
             trace: Trace::new(),
             down_links: HashSet::new(),
+            down_links_dir: HashSet::new(),
+            link_rules: HashMap::new(),
+            fault_metrics: FaultMetrics::default(),
             started: false,
             fault_filter: None,
         }
@@ -275,6 +292,74 @@ impl<M: WireSized + 'static> Sim<M> {
         self.push(at.0, EventKind::SetLink { a, b, up });
     }
 
+    /// Schedules cutting (`up = false`) or healing only the `from → to`
+    /// direction of a link. The reverse direction is untouched, modelling
+    /// asymmetric partitions (e.g. a one-way firewall rule).
+    pub fn schedule_link_oneway(&mut self, at: SimTime, from: NodeId, to: NodeId, up: bool) {
+        self.push(at.0, EventKind::SetLinkDir { from, to, up });
+    }
+
+    /// Schedules installing `rule` on both directions of the `a`↔`b` link.
+    pub fn schedule_chaos(&mut self, at: SimTime, a: NodeId, b: NodeId, rule: LinkFaultRule) {
+        self.push(at.0, EventKind::SetLinkRule { from: a, to: b, rule: Some(rule) });
+        self.push(at.0, EventKind::SetLinkRule { from: b, to: a, rule: Some(rule) });
+    }
+
+    /// Schedules installing `rule` on only the `from → to` direction.
+    pub fn schedule_chaos_oneway(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        rule: LinkFaultRule,
+    ) {
+        self.push(at.0, EventKind::SetLinkRule { from, to, rule: Some(rule) });
+    }
+
+    /// Schedules removing any chaos rule from the `a`↔`b` link.
+    pub fn schedule_chaos_clear(&mut self, at: SimTime, a: NodeId, b: NodeId) {
+        self.push(at.0, EventKind::SetLinkRule { from: a, to: b, rule: None });
+        self.push(at.0, EventKind::SetLinkRule { from: b, to: a, rule: None });
+    }
+
+    /// Attaches registry-backed fault counters so injected faults show up in
+    /// `/_stats` under `fault.*` / `partition.*`.
+    pub fn set_fault_metrics(&mut self, metrics: FaultMetrics) {
+        self.fault_metrics = metrics;
+    }
+
+    /// Queues every event of a [`FaultSchedule`] at its scripted virtual
+    /// time. Partitions expand to symmetric cuts of every cross-group link.
+    pub fn apply_schedule(&mut self, schedule: &FaultSchedule) {
+        for scheduled in &schedule.events {
+            let at = SimTime(scheduled.at_us);
+            match &scheduled.event {
+                FaultEvent::Crash { node, down_for_us } => {
+                    self.schedule_crash(at, *node, *down_for_us);
+                }
+                FaultEvent::Restart { node } => self.schedule_restart(at, *node),
+                FaultEvent::CutLink { a, b } => self.schedule_link(at, *a, *b, false),
+                FaultEvent::CutOneWay { from, to } => {
+                    self.schedule_link_oneway(at, *from, *to, false);
+                }
+                FaultEvent::HealLink { a, b } => self.schedule_link(at, *a, *b, true),
+                FaultEvent::HealOneWay { from, to } => {
+                    self.schedule_link_oneway(at, *from, *to, true);
+                }
+                FaultEvent::Partition { left, right } => {
+                    for &a in left {
+                        for &b in right {
+                            self.schedule_link(at, a, b, false);
+                        }
+                    }
+                }
+                FaultEvent::HealAll => self.push(at.0, EventKind::HealAllLinks),
+                FaultEvent::Chaos { a, b, rule } => self.schedule_chaos(at, *a, *b, *rule),
+                FaultEvent::ChaosClear { a, b } => self.schedule_chaos_clear(at, *a, *b),
+            }
+        }
+    }
+
     /// Runs until the given virtual time, or until idle, whichever first.
     pub fn run_until(&mut self, limit: SimTime) -> StopReason {
         assert!(self.started, "call start() before run_until");
@@ -310,9 +395,9 @@ impl<M: WireSized + 'static> Sim<M> {
         self.events.push(Reverse(Event { time: time.max(self.now), seq, kind }));
     }
 
-    fn link_down(&self, a: NodeId, b: NodeId) -> bool {
-        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
-        self.down_links.contains(&key)
+    fn link_down(&self, from: NodeId, to: NodeId) -> bool {
+        let key = if from.0 <= to.0 { (from, to) } else { (to, from) };
+        self.down_links.contains(&key) || self.down_links_dir.contains(&(from, to))
     }
 
     fn handle(&mut self, event: Event<M>) {
@@ -322,6 +407,9 @@ impl<M: WireSized + 'static> Sim<M> {
                 let Some(slot) = self.nodes.get_mut(to.0 as usize) else { return };
                 if !slot.up || link_cut {
                     slot.dropped += 1;
+                    if link_cut {
+                        self.fault_metrics.partition_dropped.inc();
+                    }
                     return;
                 }
                 slot.queue.push_back(Work::Msg { from, msg });
@@ -351,6 +439,7 @@ impl<M: WireSized + 'static> Sim<M> {
                 for s in &mut slot.servers {
                     *s = now;
                 }
+                self.fault_metrics.restarts.inc();
                 self.invoke(node, now, |p, ctx| p.on_restart(ctx), None);
             }
             EventKind::Crash { node, down_for_us } => {
@@ -359,10 +448,35 @@ impl<M: WireSized + 'static> Sim<M> {
             EventKind::SetLink { a, b, up } => {
                 let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
                 if up {
-                    self.down_links.remove(&key);
-                } else {
-                    self.down_links.insert(key);
+                    if self.down_links.remove(&key) {
+                        self.fault_metrics.partition_heals.inc();
+                    }
+                } else if self.down_links.insert(key) {
+                    self.fault_metrics.partition_cuts.inc();
                 }
+            }
+            EventKind::SetLinkDir { from, to, up } => {
+                if up {
+                    if self.down_links_dir.remove(&(from, to)) {
+                        self.fault_metrics.partition_heals.inc();
+                    }
+                } else if self.down_links_dir.insert((from, to)) {
+                    self.fault_metrics.partition_cuts.inc();
+                }
+            }
+            EventKind::SetLinkRule { from, to, rule } => match rule {
+                Some(r) if !r.is_none() => {
+                    self.link_rules.insert((from, to), r);
+                }
+                _ => {
+                    self.link_rules.remove(&(from, to));
+                }
+            },
+            EventKind::HealAllLinks => {
+                let healed = self.down_links.len() + self.down_links_dir.len();
+                self.fault_metrics.partition_heals.add(healed as u64);
+                self.down_links.clear();
+                self.down_links_dir.clear();
             }
         }
     }
@@ -376,6 +490,7 @@ impl<M: WireSized + 'static> Sim<M> {
         slot.up = false;
         slot.queue.clear();
         slot.dispatch_at = None;
+        self.fault_metrics.crashes.inc();
         if let Some(d) = down_for_us {
             self.push(now + d, EventKind::Recover { node });
         }
@@ -477,11 +592,43 @@ impl<M: WireSized + 'static> Sim<M> {
             match action {
                 Action::Send { to, msg } => {
                     let bytes = msg.wire_size();
-                    let delay = if to == node {
-                        self.config.net.sample_loopback_us(bytes)
-                    } else {
-                        self.config.net.sample_delay_us(bytes, &mut self.rng)
+                    if to == node {
+                        let delay = self.config.net.sample_loopback_us(bytes);
+                        self.push(effect_time + delay, EventKind::Arrive { to, from: node, msg });
+                        continue;
+                    }
+                    // Per-link chaos: the message may be dropped, duplicated,
+                    // or held back before the network model even sees it.
+                    let outcome = match self.link_rules.get(&(node, to)).copied() {
+                        Some(rule) => rule.sample(&mut self.rng),
+                        None => LinkOutcome::default(),
                     };
+                    if outcome.dropped {
+                        self.fault_metrics.msg_dropped.inc();
+                        continue;
+                    }
+                    if outcome.duplicated {
+                        self.fault_metrics.msg_duplicated.inc();
+                    }
+                    if outcome.delayed {
+                        self.fault_metrics.msg_delayed.inc();
+                    }
+                    if outcome.reordered {
+                        self.fault_metrics.msg_reordered.inc();
+                    }
+                    // Each copy draws its own base latency; the injected
+                    // extra delay rides on top of every copy.
+                    if outcome.duplicated {
+                        let delay = self.config.net.sample_delay_us(bytes, &mut self.rng)
+                            + outcome.extra_delay_us;
+                        let dup = msg.clone();
+                        self.push(
+                            effect_time + delay,
+                            EventKind::Arrive { to, from: node, msg: dup },
+                        );
+                    }
+                    let delay = self.config.net.sample_delay_us(bytes, &mut self.rng)
+                        + outcome.extra_delay_us;
                     self.push(effect_time + delay, EventKind::Arrive { to, from: node, msg });
                 }
                 Action::SetTimer { delay_us, token } => {
@@ -539,6 +686,24 @@ mod tests {
         fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: NodeId, _msg: u64) {
             self.replies += 1;
             ctx.record("reply_at_us", ctx.now().as_micros() as f64);
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, u64>, _token: TimerToken) {}
+    }
+
+    /// Forwards every externally-injected message to `target` — lets tests
+    /// originate node-to-node traffic *after* t = 0, when scheduled link
+    /// rules are already in place (rules apply at send time, so messages
+    /// already in flight are unaffected).
+    struct Relay {
+        target: NodeId,
+    }
+
+    impl Process<u64> for Relay {
+        fn on_start(&mut self, _ctx: &mut Context<'_, u64>) {}
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
+            if from == NodeId::EXTERNAL {
+                ctx.send(self.target, msg);
+            }
         }
         fn on_timer(&mut self, _ctx: &mut Context<'_, u64>, _token: TimerToken) {}
     }
@@ -760,6 +925,7 @@ mod tests {
 
     #[test]
     fn bandwidth_model_delays_large_messages() {
+        #[derive(Clone)]
         struct Big;
         impl WireSized for Big {
             fn wire_size(&self) -> usize {
@@ -798,5 +964,157 @@ mod tests {
         let at = sim.process::<Receiver>(rx).unwrap().at.unwrap();
         assert!(at >= 10_000, "arrival at {at} must include 10 ms transfer");
         assert!(at <= 11_000, "arrival at {at} unexpectedly late");
+    }
+
+    #[test]
+    fn oneway_cut_is_asymmetric() {
+        // Cut only pinger → echo: pings vanish before the echo sees them.
+        let mut sim = Sim::new(instant_config(12));
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        let pinger =
+            sim.add_node(Pinger { target: echo, count: 3, replies: 0 }, NodeConfig::default());
+        sim.schedule_link_oneway(SimTime(0), pinger, echo, false);
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 0);
+        assert_eq!(sim.dropped_at(echo), 3);
+        assert_eq!(sim.process::<Pinger>(pinger).unwrap().replies, 0);
+
+        // Cut only the reverse direction in a fresh sim: pings get through,
+        // replies vanish.
+        let mut sim = Sim::new(instant_config(12));
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        let pinger =
+            sim.add_node(Pinger { target: echo, count: 3, replies: 0 }, NodeConfig::default());
+        sim.schedule_link_oneway(SimTime(0), echo, pinger, false);
+        sim.start();
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 3);
+        assert_eq!(sim.process::<Pinger>(pinger).unwrap().replies, 0);
+        assert_eq!(sim.dropped_at(pinger), 3);
+    }
+
+    #[test]
+    fn chaos_drop_rule_kills_all_messages_and_counts_them() {
+        let mut sim = Sim::new(instant_config(13));
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        let relay = sim.add_node(Relay { target: echo }, NodeConfig::default());
+        let metrics = FaultMetrics::default();
+        sim.set_fault_metrics(metrics.clone());
+        sim.schedule_chaos(
+            SimTime(0),
+            relay,
+            echo,
+            LinkFaultRule { p_drop: 1.0, ..LinkFaultRule::none() },
+        );
+        sim.start();
+        for i in 0..10 {
+            sim.inject(SimTime(10 + i), relay, i);
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 0);
+        assert_eq!(metrics.msg_dropped.get(), 10);
+
+        // Clearing the rule restores delivery.
+        sim.schedule_chaos_clear(sim.now(), relay, echo);
+        sim.inject(sim.now() + 1_000, relay, 42);
+        sim.run_until(sim.now() + 1_000_000);
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 1);
+    }
+
+    #[test]
+    fn chaos_duplication_delivers_twice() {
+        let mut sim = Sim::new(instant_config(14));
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        let relay = sim.add_node(Relay { target: echo }, NodeConfig::default());
+        let metrics = FaultMetrics::default();
+        sim.set_fault_metrics(metrics.clone());
+        // Duplicate only relay → echo; the echo's replies stay clean so the
+        // assertion below is exact.
+        sim.schedule_chaos_oneway(
+            SimTime(0),
+            relay,
+            echo,
+            LinkFaultRule { p_dup: 1.0, ..LinkFaultRule::none() },
+        );
+        sim.start();
+        for i in 0..4 {
+            sim.inject(SimTime(10 + i), relay, i);
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 8);
+        assert_eq!(metrics.msg_duplicated.get(), 4);
+    }
+
+    #[test]
+    fn chaos_delay_defers_delivery_and_determinism_holds() {
+        let run = |seed| {
+            let mut sim = Sim::new(instant_config(seed));
+            let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+            sim.add_node(Pinger { target: echo, count: 5, replies: 0 }, NodeConfig::default());
+            sim.schedule_chaos(
+                SimTime(0),
+                NodeId(0),
+                NodeId(1),
+                LinkFaultRule {
+                    p_delay: 1.0,
+                    delay_range_us: (50_000, 100_000),
+                    ..LinkFaultRule::none()
+                },
+            );
+            sim.start();
+            sim.run_until(SimTime::from_secs(2));
+            sim.trace().values("reply_at_us")
+        };
+        let a = run(21);
+        assert!(a.iter().all(|&t| t >= 50_000.0), "delays not applied: {a:?}");
+        assert_eq!(a, run(21), "chaos runs must be deterministic per seed");
+    }
+
+    #[test]
+    fn schedule_script_drives_partition_and_heal() {
+        let text = "\
+# cut the pinger off, then heal everything
+0 partition 0|1
+500000 heal-all
+";
+        let schedule = FaultSchedule::parse(text).expect("parse");
+        let mut sim = Sim::new(instant_config(15));
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        let pinger =
+            sim.add_node(Pinger { target: echo, count: 2, replies: 0 }, NodeConfig::default());
+        let metrics = FaultMetrics::default();
+        sim.set_fault_metrics(metrics.clone());
+        sim.apply_schedule(&schedule);
+        sim.start();
+        sim.run_until(SimTime(400_000));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 0);
+        sim.run_until(SimTime(600_000));
+        sim.inject(sim.now() + 1, echo, 5);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 1);
+        assert_eq!(metrics.partition_cuts.get(), 1);
+        assert_eq!(metrics.partition_heals.get(), 1);
+        assert!(metrics.partition_dropped.get() >= 2);
+        let _ = pinger;
+    }
+
+    #[test]
+    fn schedule_crash_and_restart_counts_fault_metrics() {
+        let schedule = FaultSchedule::new()
+            .at(10, FaultEvent::Crash { node: NodeId(0), down_for_us: None })
+            .at(500, FaultEvent::Restart { node: NodeId(0) });
+        let mut sim = Sim::new(instant_config(16));
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        let metrics = FaultMetrics::default();
+        sim.set_fault_metrics(metrics.clone());
+        sim.apply_schedule(&schedule);
+        sim.start();
+        sim.run_until(SimTime(100));
+        assert!(!sim.is_up(echo));
+        sim.run_until(SimTime(1_000));
+        assert!(sim.is_up(echo));
+        assert_eq!(metrics.crashes.get(), 1);
+        assert_eq!(metrics.restarts.get(), 1);
     }
 }

@@ -63,6 +63,14 @@ impl Gauge {
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Decrements the level, clamping at zero. Use for depth gauges where a
+    /// double-discharge (e.g. replaying an already-reaped hint) must never
+    /// drive the reported level negative.
+    pub fn dec_clamped(&self) {
+        let _ =
+            self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| (v > 0).then(|| v - 1));
+    }
+
     /// Current level.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -243,6 +251,19 @@ mod tests {
         g.set(5);
         g.add(-2);
         assert_eq!(reg.gauge("depth").get(), 3);
+    }
+
+    #[test]
+    fn dec_clamped_floors_at_zero() {
+        let g = Gauge::new();
+        g.set(2);
+        for _ in 0..5 {
+            g.dec_clamped();
+        }
+        assert_eq!(g.get(), 0, "clamped decrement must not go negative");
+        g.add(1);
+        g.dec_clamped();
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

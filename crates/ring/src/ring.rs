@@ -242,6 +242,13 @@ impl<N: Clone + Eq + Hash + Ord> HashRing<N> {
     /// returned as `(arc, old_owner, new_owner)`. This is exactly the data a
     /// migration plan needs after adding or removing a node (paper §5.2.4):
     /// each arc's records move from `old_owner` to `new_owner`.
+    ///
+    /// The result is *minimal*: clockwise-adjacent elementary arcs with the
+    /// same `(old, new)` transition are coalesced into one entry (including
+    /// across the ring origin), and arcs whose owner did not change never
+    /// appear. Removing a node and re-adding it with a different vnode count
+    /// therefore yields one entry per region that actually changed hands,
+    /// not one per boundary point.
     pub fn diff(&self, after: &HashRing<N>) -> Vec<(Arc_, Option<N>, Option<N>)> {
         // Merge both partitions' boundary points, then compare owners on each
         // elementary arc.
@@ -252,13 +259,30 @@ impl<N: Clone + Eq + Hash + Ord> HashRing<N> {
         if boundaries.is_empty() {
             return Vec::new();
         }
-        let mut out = Vec::new();
+        let mut out: Vec<(Arc_, Option<N>, Option<N>)> = Vec::new();
         for (i, &end) in boundaries.iter().enumerate() {
             let start = if i == 0 { boundaries[boundaries.len() - 1] } else { boundaries[i - 1] };
             let old = self.owner_of_point(end).cloned();
             let new = after.owner_of_point(end).cloned();
-            if old != new {
-                out.push((Arc_ { start, end }, old, new));
+            if old == new {
+                continue;
+            }
+            if let Some(last) = out.last_mut() {
+                if last.0.end == start && last.1 == old && last.2 == new {
+                    last.0.end = end;
+                    continue;
+                }
+            }
+            out.push((Arc_ { start, end }, old, new));
+        }
+        // A changed region crossing the ring origin shows up split in two:
+        // the wrap arc at the front of the list and its tail at the back.
+        if out.len() > 1 {
+            let first = &out[0];
+            let last = &out[out.len() - 1];
+            if last.0.end == first.0.start && last.1 == first.1 && last.2 == first.2 {
+                let (tail, _, _) = out.pop().expect("non-empty");
+                out[0].0.start = tail.start;
             }
         }
         out
@@ -418,6 +442,58 @@ mod tests {
             assert_eq!(after.owner_of_point(arc.end), Some(&3));
             assert_eq!(before.owner_of_point(arc.end), old.as_ref());
         }
+    }
+
+    #[test]
+    fn diff_is_minimal_after_remove_and_readd() {
+        // Remove node 2 and re-add it with a different vnode count: only
+        // regions that actually changed hands may appear, each exactly once.
+        let before = ring(4, 32);
+        let mut after = before.clone();
+        after.remove_node(&2);
+        after.add_node(2, "node2", 8).unwrap();
+
+        let diff = before.diff(&after);
+        assert!(!diff.is_empty());
+        for (arc, old, new) in &diff {
+            assert_ne!(old, new);
+            assert_eq!(before.owner_of_point(arc.end).cloned(), *old);
+            assert_eq!(after.owner_of_point(arc.end).cloned(), *new);
+            // Every moved arc involves the churned node on one side.
+            assert!(
+                old.as_ref() == Some(&2) || new.as_ref() == Some(&2),
+                "arc moved between two uninvolved nodes: {old:?} -> {new:?}"
+            );
+        }
+        // Minimality: no two clockwise-adjacent entries share a transition
+        // (they would have been coalesced), including across the origin.
+        for w in diff.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            assert!(
+                !(a.0.end == b.0.start && a.1 == b.1 && a.2 == b.2),
+                "adjacent arcs with identical transition were not coalesced: {a:?} / {b:?}"
+            );
+        }
+        if diff.len() > 1 {
+            let (first, last) = (&diff[0], &diff[diff.len() - 1]);
+            assert!(
+                !(last.0.end == first.0.start && last.1 == first.1 && last.2 == first.2),
+                "wraparound arcs with identical transition were not coalesced"
+            );
+        }
+    }
+
+    #[test]
+    fn diff_of_identical_rings_is_empty() {
+        let r = ring(5, 64);
+        assert!(r.diff(&r.clone()).is_empty());
+        // Remove + re-add with the *same* vnode count restores identical
+        // placement (points are derived from the node name), so the diff
+        // must be empty — nothing actually moved.
+        let mut back = r.clone();
+        back.remove_node(&3);
+        back.add_node(3, "node3", 64).unwrap();
+        assert!(r.diff(&back).is_empty());
     }
 
     #[test]

@@ -97,6 +97,64 @@ proptest! {
         prop_assert_eq!(ring.owner_of_point(point), Some(&containing[0].1));
     }
 
+    /// Remove/re-add of the same node with a random new vnode count yields a
+    /// diff that is correct (entries match the two rings' owner lookups and
+    /// involve the churned node) and minimal (no uncoalesced adjacent
+    /// entries, no unchanged arcs).
+    #[test]
+    fn diff_after_readd_is_correct_and_minimal(
+        n_nodes in 2usize..6,
+        vnodes_before in 1u32..32,
+        vnodes_after in 1u32..32,
+        victim_idx in 0usize..6,
+        keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 1..32),
+    ) {
+        let ids: Vec<u32> = (0..n_nodes as u32).collect();
+        let victim = ids[victim_idx % n_nodes];
+        let before = build_ring(&ids, vnodes_before);
+        let mut after = before.clone();
+        after.remove_node(&victim);
+        after.add_node(victim, format!("node{victim}"), vnodes_after).unwrap();
+
+        let diff = before.diff(&after);
+        for (arc, old, new) in &diff {
+            prop_assert_ne!(old, new, "unchanged arc reported");
+            prop_assert_eq!(&before.owner_of_point(arc.end).cloned(), old);
+            prop_assert_eq!(&after.owner_of_point(arc.end).cloned(), new);
+            prop_assert!(
+                old.as_ref() == Some(&victim) || new.as_ref() == Some(&victim),
+                "arc moved between two uninvolved nodes: {:?} -> {:?}", old, new
+            );
+        }
+        // Minimality: adjacent entries (incl. across the origin) never share
+        // a transition — they would have been one arc.
+        for w in diff.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            prop_assert!(!(a.0.end == b.0.start && a.1 == b.1 && a.2 == b.2));
+        }
+        if diff.len() > 1 {
+            let (first, last) = (&diff[0], &diff[diff.len() - 1]);
+            prop_assert!(!(last.0.end == first.0.start && last.1 == first.1 && last.2 == first.2));
+        }
+        // Same vnode count ⇒ identical placement ⇒ empty diff.
+        if vnodes_before == vnodes_after {
+            prop_assert!(diff.is_empty());
+        }
+        // Consistency with key routing: a key whose primary moved must fall
+        // inside some reported arc.
+        for key in &keys {
+            let point = HashRing::<u32>::key_point(key);
+            let old = before.owner_of_point(point);
+            let new = after.owner_of_point(point);
+            if old != new {
+                prop_assert!(
+                    diff.iter().any(|(a, _, _)| a.contains(point)),
+                    "moved key not covered by any diff arc"
+                );
+            }
+        }
+    }
+
     /// mod-N and the ring agree that *somebody* owns each key and ids come
     /// from the configured set.
     #[test]

@@ -13,4 +13,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> chaos suite (fixed seed)"
+cargo test -p mystore-core --test chaos -q
+cargo run --release -p mystore-bench --bin chaos -- 42
+
 echo "CI OK"
