@@ -96,6 +96,7 @@ impl Process<Msg> for MsMongoNode {
                 self.puts += 1;
                 let ok = self.db.put_record("data", &record).is_ok();
                 // Asynchronous replication: ship and forget.
+                let record = std::sync::Arc::new(record);
                 for slave in slaves {
                     ctx.send(slave, Msg::StoreReplica { req: 0, record: record.clone() });
                 }

@@ -64,6 +64,15 @@ pub struct ClusterSpec {
     pub hint_replay_interval_us: u64,
     /// Hinted handoff on/off (ablation A4).
     pub hinted_handoff: bool,
+    /// WAL group commit batch size (see [`StorageConfig::group_commit_ops`]);
+    /// `1` keeps per-op syncs.
+    pub group_commit_ops: usize,
+    /// Flush-timer bound on staged frames (µs); see
+    /// [`StorageConfig::group_commit_max_delay_us`].
+    pub group_commit_max_delay_us: u64,
+    /// Coordinator fan-out coalescing window (µs); `0` disables batching
+    /// (see [`StorageConfig::coalesce_window_us`]).
+    pub coalesce_window_us: u64,
 }
 
 impl ClusterSpec {
@@ -93,6 +102,9 @@ impl ClusterSpec {
             retry_backoff_cap_us: 500_000,
             hint_replay_interval_us: 2_000_000,
             hinted_handoff: true,
+            group_commit_ops: 1,
+            group_commit_max_delay_us: 2_000,
+            coalesce_window_us: 0,
         }
     }
 
@@ -158,6 +170,9 @@ impl ClusterSpec {
             collection: "data".into(),
             hinted_handoff: self.hinted_handoff,
             data_dir: None,
+            group_commit_ops: self.group_commit_ops,
+            group_commit_max_delay_us: self.group_commit_max_delay_us,
+            coalesce_window_us: self.coalesce_window_us,
             compaction_interval_us: 60_000_000,
             tombstone_grace_us: 300_000_000,
             anti_entropy_interval_us: 30_000_000,

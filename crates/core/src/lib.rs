@@ -63,7 +63,7 @@ pub use cache_node::CacheNode;
 pub use cluster::ClusterSpec;
 pub use config::{CostModel, FrontendConfig, Nwr, StorageConfig};
 pub use frontend::{Frontend, FrontendMetrics, FrontendStats};
-pub use message::{status, Method, Msg, RestRequest, RestResponse, StoreError};
+pub use message::{status, BatchPut, Method, Msg, RestRequest, RestResponse, StoreError};
 pub use storage_node::{NodeStats, StorageMetrics, StorageNode};
 
 /// Convenient glob-import surface.

@@ -6,6 +6,8 @@
 //! runtime (simulated or threaded) can host the whole deployment, including
 //! the baseline systems which speak only the REST subset.
 
+use std::sync::Arc;
+
 use mystore_engine::Record;
 use mystore_gossip::GossipMsg;
 use mystore_net::{NodeId, WireSized};
@@ -103,6 +105,15 @@ impl std::fmt::Display for StoreError {
     }
 }
 
+/// One write inside a [`Msg::StoreReplicaBatch`].
+#[derive(Debug, Clone)]
+pub struct BatchPut {
+    /// Correlation id (coordinator-scoped), acked individually.
+    pub req: u64,
+    /// The record (already versioned by the coordinator).
+    pub record: Arc<Record>,
+}
+
 /// Every message that can travel between cluster nodes.
 #[derive(Debug, Clone)]
 pub enum Msg {
@@ -191,12 +202,14 @@ pub enum Msg {
     },
 
     // ---- storage module, replica level ---------------------------------
-    /// Coordinator → replica: store this record (LWW).
+    /// Coordinator → replica: store this record (LWW). The record is
+    /// `Arc`-shared so fanning one write out to `N` replicas does not copy
+    /// the payload `N` times.
     StoreReplica {
         /// Correlation id (coordinator-scoped).
         req: u64,
         /// The record (already versioned by the coordinator).
-        record: Record,
+        record: Arc<Record>,
     },
     /// Replica → coordinator: store outcome (`ok = false` ⇒ disk error).
     StoreAck {
@@ -204,6 +217,19 @@ pub enum Msg {
         req: u64,
         /// Whether the replica applied the write.
         ok: bool,
+    },
+    /// Coordinator → replica: store all these records (LWW), covered by one
+    /// group-commit sync at the replica. Each op keeps its own correlation
+    /// id so retry/backoff and hinted handoff still operate per op.
+    StoreReplicaBatch {
+        /// The coalesced writes, in coordinator send order.
+        ops: Vec<BatchPut>,
+    },
+    /// Replica → coordinator: per-op outcomes for a
+    /// [`Msg::StoreReplicaBatch`], in the same order.
+    StoreAckBatch {
+        /// `(req, ok)` per batched op.
+        acks: Vec<(u64, bool)>,
     },
     /// Coordinator → replica: fetch your copy of `key`.
     FetchReplica {
@@ -230,14 +256,14 @@ pub enum Msg {
         /// The unreachable replica the hint is destined for.
         intended: NodeId,
         /// The record to write back when `intended` recovers.
-        record: Record,
+        record: Arc<Record>,
     },
 
     // ---- migration / re-replication (§5.2.4) ----------------------------
     /// Bulk record transfer during rebalance; applied LWW, no ack.
     TransferRecords {
         /// The records changing owner.
-        records: Vec<Record>,
+        records: Vec<Arc<Record>>,
     },
 
     // ---- anti-entropy (extension: §7 "problems on data's consistency") --
@@ -274,7 +300,13 @@ impl Msg {
     /// inject Table 2 faults here: a lost replica write is exactly the
     /// short failure that hinted handoff (Fig. 8) exists to mask.
     pub fn is_replica_op(&self) -> bool {
-        matches!(self, Msg::StoreReplica { .. } | Msg::FetchReplica { .. } | Msg::StoreHint { .. })
+        matches!(
+            self,
+            Msg::StoreReplica { .. }
+                | Msg::StoreReplicaBatch { .. }
+                | Msg::FetchReplica { .. }
+                | Msg::StoreHint { .. }
+        )
     }
 }
 
@@ -298,6 +330,10 @@ impl WireSized for Msg {
             Msg::PutResp { .. } => 8,
             Msg::StoreReplica { record, .. } => record.to_document().encoded_size(),
             Msg::StoreAck { .. } => 8,
+            Msg::StoreReplicaBatch { ops } => {
+                ops.iter().map(|op| op.record.to_document().encoded_size() + 8).sum()
+            }
+            Msg::StoreAckBatch { acks } => acks.len() * 10 + 8,
             Msg::FetchReplica { key, .. } => key.len(),
             Msg::FetchAck { found, .. } => {
                 found.as_ref().map(|r| r.to_document().encoded_size()).unwrap_or(8)
@@ -341,10 +377,37 @@ mod tests {
         let small = Msg::Put { req: 1, key: "k".into(), value: vec![0; 10], delete: false };
         let large = Msg::Put { req: 1, key: "k".into(), value: vec![0; 100_000], delete: false };
         assert!(large.wire_size() > small.wire_size() + 90_000);
-        let rec =
-            Record::new(ObjectId::from_parts(1, 1, 1), "k", vec![0; 5000], pack_version(1, 1));
+        let rec = Arc::new(Record::new(
+            ObjectId::from_parts(1, 1, 1),
+            "k",
+            vec![0; 5000],
+            pack_version(1, 1),
+        ));
         let m = Msg::StoreReplica { req: 1, record: rec };
         assert!(m.wire_size() > 5000);
+    }
+
+    #[test]
+    fn batch_wire_size_sums_ops() {
+        let rec = |i: u64| {
+            Arc::new(Record::new(
+                ObjectId::from_parts(1, 1, i as u32),
+                format!("k{i}"),
+                vec![0; 1000],
+                pack_version(i, 1),
+            ))
+        };
+        let batch = Msg::StoreReplicaBatch {
+            ops: (0..4).map(|i| BatchPut { req: i, record: rec(i) }).collect(),
+        };
+        let single = Msg::StoreReplica { req: 0, record: rec(0) };
+        assert!(batch.wire_size() > 4 * 1000);
+        // One batch costs one header; four singles cost four.
+        assert!(batch.wire_size() < 4 * single.wire_size());
+        assert!(batch.is_replica_op());
+        let acks = Msg::StoreAckBatch { acks: vec![(1, true), (2, false)] };
+        assert!(!acks.is_replica_op());
+        assert!(acks.wire_size() < single.wire_size());
     }
 
     #[test]

@@ -19,16 +19,17 @@
 //! in the threaded runtime.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mystore_bson::{doc, ObjectId};
-use mystore_engine::{pack_version, Db, Record, WalMetrics};
+use mystore_engine::{pack_version, Db, GroupCommitConfig, Record, WalMetrics};
 use mystore_gossip::{keys as gossip_keys, GossipMetrics, Gossiper, MembershipEvent};
 use mystore_net::{Context, NodeId, OpFault, Process, TimerToken};
 use mystore_obs::{Counter, Gauge, Histogram, Registry};
 use mystore_ring::HashRing;
 
 use crate::config::StorageConfig;
-use crate::message::{Msg, StoreError};
+use crate::message::{BatchPut, Msg, StoreError};
 
 // Timer-token layout: low 4 bits select the kind, the rest carry a request id.
 const TK_KIND_MASK: u64 = 0b1111;
@@ -40,6 +41,8 @@ const TK_GET_HARD: u64 = 5;
 const TK_REAP: u64 = 6;
 const TK_ANTI_ENTROPY: u64 = 7;
 const TK_GET_RETRY: u64 = 8;
+const TK_WAL_FLUSH: u64 = 9;
+const TK_COALESCE: u64 = 10;
 
 fn tk(kind: u64, req: u64) -> TimerToken {
     (req << 4) | kind
@@ -82,7 +85,7 @@ pub struct NodeStats {
 struct PendingPut {
     caller: NodeId,
     caller_req: u64,
-    record: Record,
+    record: Arc<Record>,
     acks: usize,
     /// Replicas that have not acknowledged yet.
     outstanding: Vec<NodeId>,
@@ -165,6 +168,12 @@ pub struct StorageMetrics {
     pub hint_replay_expired: Counter,
     /// Storage-node process restarts (WAL replays).
     pub restarts: Counter,
+    /// Batched replica messages sent by the coalescing coordinator.
+    pub batch_msgs: Counter,
+    /// Replica ops carried inside those batched messages.
+    pub batch_ops: Counter,
+    /// Replica acks held back until the covering WAL sync completed.
+    pub acks_deferred: Counter,
 }
 
 impl StorageMetrics {
@@ -190,6 +199,9 @@ impl StorageMetrics {
             retry_backoff_us: registry.histogram("retry.backoff_us"),
             hint_replay_expired: registry.counter("hint.replay_expired"),
             restarts: registry.counter("node.restarts"),
+            batch_msgs: registry.counter("batch.replica_msgs"),
+            batch_ops: registry.counter("batch.replica_ops"),
+            acks_deferred: registry.counter("wal.acks_deferred"),
         }
     }
 }
@@ -214,6 +226,15 @@ pub struct StorageNode {
     sync_cursor: Option<String>,
     /// Anti-entropy round counter (rotates the peer choice).
     sync_round: u64,
+    /// Coalescing buffer: replica writes waiting to be flushed to each peer
+    /// as one [`Msg::StoreReplicaBatch`] (empty when coalescing is off).
+    outbox: HashMap<NodeId, Vec<BatchPut>>,
+    /// Whether a `TK_COALESCE` flush timer is already armed.
+    outbox_armed: bool,
+    /// Acks for locally-applied replica writes whose WAL frames are still
+    /// waiting on their covering group-commit sync: `(to, req, ok)`. An ack
+    /// must mean "durable here", so these are released only after the sync.
+    deferred_acks: Vec<(NodeId, u64, bool)>,
     metrics: StorageMetrics,
 }
 
@@ -239,6 +260,12 @@ impl StorageNode {
             db.create_index(&cfg.collection, "self-key").expect("fresh db");
         }
         db.set_wal_metrics(WalMetrics::from_registry(&cfg.metrics));
+        if cfg.group_commit_ops > 1 {
+            db.set_group_commit(Some(GroupCommitConfig {
+                ops: cfg.group_commit_ops,
+                max_delay_us: cfg.group_commit_max_delay_us,
+            }));
+        }
         let mut gossiper = Gossiper::new(me, 1, cfg.gossip.clone());
         gossiper.set_metrics(GossipMetrics::from_registry(&cfg.metrics));
         let metrics = StorageMetrics::from_registry(&cfg.metrics);
@@ -256,6 +283,9 @@ impl StorageNode {
             generation: 1,
             sync_cursor: None,
             sync_round: 0,
+            outbox: HashMap::new(),
+            outbox_armed: false,
+            deferred_acks: Vec::new(),
             metrics,
         }
     }
@@ -375,17 +405,18 @@ impl StorageNode {
         let me = self.id();
         let n = self.cfg.nwr.n;
         let Ok(coll) = self.db.collection(&self.cfg.collection) else { return };
-        let mut outgoing: HashMap<NodeId, Vec<Record>> = HashMap::new();
+        let mut outgoing: HashMap<NodeId, Vec<Arc<Record>>> = HashMap::new();
         let mut to_drop: Vec<ObjectId> = Vec::new();
         for (id, docu) in coll.iter() {
             let Ok(record) = Record::from_document(docu) else { continue };
+            let record = Arc::new(record);
             let prefs = self.ring.preference_list(record.self_key.as_bytes(), n);
             if prefs.is_empty() {
                 continue;
             }
             let keep = prefs.contains(&me);
             for &target in prefs.iter().filter(|&&p| p != me) {
-                outgoing.entry(target).or_default().push(record.clone());
+                outgoing.entry(target).or_default().push(Arc::clone(&record));
             }
             if !keep {
                 to_drop.push(*id);
@@ -438,17 +469,17 @@ impl StorageNode {
             return;
         }
         let version = pack_version(ctx.now().as_micros(), self.id().0 as u16);
-        let record = if delete {
+        let record = Arc::new(if delete {
             Record::tombstone(ObjectId::new(), key, version)
         } else {
             Record::new(ObjectId::new(), key, value, version)
-        };
+        });
         let my_req = self.fresh_req();
         self.metrics.quorum_write_started.inc();
         let mut pending = PendingPut {
             caller,
             caller_req,
-            record: record.clone(),
+            record: Arc::clone(&record),
             acks: 0,
             outstanding: prefs.clone(),
             acked: Vec::new(),
@@ -464,11 +495,28 @@ impl StorageNode {
                 ctx.consume(self.cfg.cost.put_us(record.val.len()));
                 self.stats.replica_puts += 1;
                 if self.db.put_record(&self.cfg.collection, &record).is_ok() {
-                    pending.acks += 1;
-                    pending.outstanding.retain(|&r| r != me);
+                    if self.db.wal_pending_ops() > 0 {
+                        // Group commit: the frame is staged, not yet synced.
+                        // The local write counts towards `W` only once its
+                        // covering sync lands — the flush sends a self-ack.
+                        self.deferred_acks.push((me, my_req, true));
+                        self.metrics.acks_deferred.inc();
+                    } else {
+                        pending.acks += 1;
+                        pending.outstanding.retain(|&r| r != me);
+                    }
+                }
+            } else if self.cfg.coalesce_window_us > 0 {
+                self.outbox
+                    .entry(replica)
+                    .or_default()
+                    .push(BatchPut { req: my_req, record: Arc::clone(&record) });
+                if !self.outbox_armed {
+                    self.outbox_armed = true;
+                    ctx.set_timer(self.cfg.coalesce_window_us, tk(TK_COALESCE, 0));
                 }
             } else {
-                ctx.send(replica, Msg::StoreReplica { req: my_req, record: record.clone() });
+                ctx.send(replica, Msg::StoreReplica { req: my_req, record: Arc::clone(&record) });
             }
         }
         let done = self.check_put_quorum(ctx, my_req, &mut pending);
@@ -575,9 +623,15 @@ impl StorageNode {
                         "rec": pending.record.to_document(),
                     };
                     if self.db.insert_doc(HINTS, hint_doc).is_ok() {
-                        pending.acks += 1;
                         self.metrics.hints_stored.inc();
                         self.metrics.hint_queue_depth.add(1);
+                        if self.db.wal_pending_ops() > 0 {
+                            // Staged like any local write: counts at sync.
+                            self.deferred_acks.push((me, req, true));
+                            self.metrics.acks_deferred.inc();
+                        } else {
+                            pending.acks += 1;
+                        }
                     }
                 } else {
                     ctx.send(
@@ -718,7 +772,8 @@ impl StorageNode {
     /// which the reaper then collects and the next read re-creates.
     fn read_repair(&mut self, ctx: &mut Context<'_, Msg>, pending: &PendingGet) {
         let Some(newest) = Self::newest(&pending.replies) else { return };
-        let newest = newest.clone();
+        // One shared copy feeds every push, however many replicas are stale.
+        let newest = Arc::new(newest.clone());
         let me = self.id();
         for (node, found) in &pending.replies {
             let stale = match found {
@@ -735,7 +790,7 @@ impl StorageNode {
                 let _ = self.db.put_record(&self.cfg.collection, &newest);
             } else {
                 // Fire-and-forget: acks for req 0 are ignored.
-                ctx.send(*node, Msg::StoreReplica { req: 0, record: newest.clone() });
+                ctx.send(*node, Msg::StoreReplica { req: 0, record: Arc::clone(&newest) });
             }
         }
     }
@@ -820,12 +875,38 @@ impl StorageNode {
 
     // ---- replica side ------------------------------------------------------
 
+    /// Sends a replica ack, or parks it while the write's WAL frame is still
+    /// waiting on its covering group-commit sync — an ack must mean the
+    /// write is durable *here*, so it is released only once the sync lands
+    /// (threshold reached or `TK_WAL_FLUSH` fires).
+    fn queue_ack(&mut self, ctx: &mut Context<'_, Msg>, to: NodeId, req: u64, ok: bool) {
+        if ok && self.db.wal_pending_ops() > 0 {
+            self.deferred_acks.push((to, req, ok));
+            self.metrics.acks_deferred.inc();
+        } else {
+            ctx.send(to, Msg::StoreAck { req, ok });
+            // This write may itself have triggered the threshold sync that
+            // made earlier staged frames durable — release their acks too.
+            self.maybe_flush_deferred_acks(ctx);
+        }
+    }
+
+    /// Releases parked acks once nothing is staged in the WAL any more.
+    fn maybe_flush_deferred_acks(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.deferred_acks.is_empty() || self.db.wal_pending_ops() > 0 {
+            return;
+        }
+        for (to, req, ok) in std::mem::take(&mut self.deferred_acks) {
+            ctx.send(to, Msg::StoreAck { req, ok });
+        }
+    }
+
     fn on_store_replica(
         &mut self,
         ctx: &mut Context<'_, Msg>,
         from: NodeId,
         req: u64,
-        record: Record,
+        record: Arc<Record>,
         fault: Option<OpFault>,
     ) {
         match fault {
@@ -842,8 +923,46 @@ impl StorageNode {
         self.stats.replica_puts += 1;
         let ok = self.db.put_record(&self.cfg.collection, &record).is_ok();
         if req != 0 {
-            ctx.send(from, Msg::StoreAck { req, ok });
+            self.queue_ack(ctx, from, req, ok);
+        } else {
+            self.maybe_flush_deferred_acks(ctx);
         }
+    }
+
+    /// A coalesced fan-out: apply every op, cover them all with one WAL
+    /// sync, then ack each op individually so the coordinator's per-op
+    /// retry/handoff machinery is none the wiser.
+    fn on_store_replica_batch(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        ops: Vec<BatchPut>,
+        fault: Option<OpFault>,
+    ) {
+        match fault {
+            Some(OpFault::NetworkException) => return, // whole message lost
+            Some(OpFault::DiskIoError) => {
+                let acks = ops.iter().map(|op| (op.req, false)).collect();
+                ctx.send(from, Msg::StoreAckBatch { acks });
+                return;
+            }
+            _ => {}
+        }
+        let mut acks = Vec::with_capacity(ops.len());
+        for op in &ops {
+            ctx.consume(self.cfg.cost.put_us(op.record.val.len()));
+            self.stats.replica_puts += 1;
+            let ok = self.db.put_record(&self.cfg.collection, &op.record).is_ok();
+            acks.push((op.req, ok));
+        }
+        // One sync covers the whole batch; only then are the acks true.
+        if self.db.sync_wal().is_err() {
+            for ack in &mut acks {
+                ack.1 = false;
+            }
+        }
+        ctx.send(from, Msg::StoreAckBatch { acks });
+        self.maybe_flush_deferred_acks(ctx);
     }
 
     fn on_fetch_replica(
@@ -874,7 +993,7 @@ impl StorageNode {
         from: NodeId,
         req: u64,
         intended: NodeId,
-        record: Record,
+        record: Arc<Record>,
         fault: Option<OpFault>,
     ) {
         match fault {
@@ -897,7 +1016,7 @@ impl StorageNode {
             self.metrics.hints_stored.inc();
             self.metrics.hint_queue_depth.add(1);
         }
-        ctx.send(from, Msg::StoreAck { req, ok });
+        self.queue_ack(ctx, from, req, ok);
     }
 
     /// Periodic probe: for every held hint whose intended node is back
@@ -951,7 +1070,7 @@ impl StorageNode {
             }
             let req = self.fresh_req();
             self.hint_acks.insert(req, HintInFlight { id: hint_id, sent_at_us: now_us });
-            ctx.send(intended, Msg::StoreReplica { req, record });
+            ctx.send(intended, Msg::StoreReplica { req, record: Arc::new(record) });
         }
     }
 
@@ -1050,6 +1169,39 @@ impl StorageNode {
         }
     }
 
+    // ---- group commit & coalescing ----------------------------------------
+
+    /// `TK_COALESCE`: drain the outbox, one batched message per peer. A
+    /// lone op goes out as a plain `StoreReplica` (no batch framing to pay
+    /// for); two or more ride one `StoreReplicaBatch`.
+    fn flush_outbox(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.outbox_armed = false;
+        for (peer, ops) in std::mem::take(&mut self.outbox) {
+            if ops.is_empty() {
+                continue;
+            }
+            self.metrics.batch_ops.add(ops.len() as u64);
+            self.metrics.batch_msgs.inc();
+            if ops.len() == 1 {
+                let op = ops.into_iter().next().expect("len checked");
+                ctx.send(peer, Msg::StoreReplica { req: op.req, record: op.record });
+            } else {
+                ctx.send(peer, Msg::StoreReplicaBatch { ops });
+            }
+        }
+    }
+
+    /// `TK_WAL_FLUSH`: bound how long a staged frame (and its parked ack)
+    /// can wait for the batch to fill — sync whatever is pending, release
+    /// the acks it covered, and re-arm.
+    fn wal_flush_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.db.wal_pending_ops() > 0 {
+            let _ = self.db.sync_wal();
+        }
+        self.maybe_flush_deferred_acks(ctx);
+        ctx.set_timer(self.cfg.group_commit_max_delay_us, tk(TK_WAL_FLUSH, 0));
+    }
+
     // ---- gossip & timers -------------------------------------------------
 
     fn gossip_tick(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -1086,6 +1238,9 @@ impl Process<Msg> for StorageNode {
             let jitter = ctx.rng().range_u64(0, self.cfg.anti_entropy_interval_us / 2 + 1);
             ctx.set_timer(self.cfg.anti_entropy_interval_us / 2 + jitter, tk(TK_ANTI_ENTROPY, 0));
         }
+        if self.cfg.group_commit_ops > 1 {
+            ctx.set_timer(self.cfg.group_commit_max_delay_us, tk(TK_WAL_FLUSH, 0));
+        }
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -1104,6 +1259,9 @@ impl Process<Msg> for StorageNode {
         self.pending_puts.clear();
         self.pending_gets.clear();
         self.hint_acks.clear();
+        self.outbox.clear();
+        self.outbox_armed = false;
+        self.deferred_acks.clear();
         self.metrics.restarts.inc();
         self.on_start(ctx);
     }
@@ -1128,7 +1286,13 @@ impl Process<Msg> for StorageNode {
             Msg::StoreReplica { req, record } => {
                 self.on_store_replica(ctx, from, req, record, fault)
             }
+            Msg::StoreReplicaBatch { ops } => self.on_store_replica_batch(ctx, from, ops, fault),
             Msg::StoreAck { req, ok } => self.on_store_ack(ctx, from, req, ok),
+            Msg::StoreAckBatch { acks } => {
+                for (req, ok) in acks {
+                    self.on_store_ack(ctx, from, req, ok);
+                }
+            }
             Msg::FetchReplica { req, key } => self.on_fetch_replica(ctx, from, req, key, fault),
             Msg::FetchAck { req, found, ok } => self.on_fetch_ack(ctx, from, req, found, ok),
             Msg::StoreHint { req, intended, record } => {
@@ -1195,6 +1359,8 @@ impl Process<Msg> for StorageNode {
             TK_PUT_HARD => self.on_put_hard_timeout(ctx, req),
             TK_GET_HARD => self.on_get_hard_timeout(ctx, req),
             TK_GET_RETRY => self.on_get_retry_timeout(ctx, req),
+            TK_WAL_FLUSH => self.wal_flush_tick(ctx),
+            TK_COALESCE => self.flush_outbox(ctx),
             _ => {}
         }
     }

@@ -124,6 +124,90 @@ fn seeded_chaos_kill_sustains_quorum_with_zero_client_errors() {
     );
 }
 
+/// Group commit + fan-out coalescing under a mid-workload crash: bursts of
+/// writes ride batched replica messages and shared WAL syncs, replica 2
+/// dies inside the commit window (its staged, unsynced frames are discarded
+/// by the crash model), and every *acked* write must still be readable
+/// afterwards — only unacked writes may land on either side of the crash.
+#[test]
+fn group_commit_crash_loses_only_unacked_writes() {
+    let warm = 5_000_000u64;
+    // Six bursts of five writes each: a burst shares one coalescing window,
+    // so the two remote replicas each see one batched message per burst.
+    let mut script: Vec<(u64, NodeId, Msg)> = Vec::new();
+    for burst in 0..6u64 {
+        for j in 0..5u64 {
+            let i = burst * 5 + j;
+            script.push((
+                warm + 500_000 + burst * 200_000,
+                NodeId((burst % 2) as u32),
+                put(i, &format!("gc{i}"), b"batched"),
+            ));
+        }
+    }
+    for i in 0..30u64 {
+        script.push((
+            16_000_000 + i * 20_000,
+            NodeId(((i + 1) % 2) as u32),
+            get(100 + i, &format!("gc{i}")),
+        ));
+    }
+    let spec = ClusterSpec {
+        group_commit_ops: 8,
+        group_commit_max_delay_us: 2_000,
+        coalesce_window_us: 500,
+        ..ClusterSpec::small(3)
+    };
+    let (mut sim, registry) = spec.build_sim_with_metrics(sim_config(4311));
+    let probe = sim.add_node(Probe::new(script), mystore_net::NodeConfig::default());
+    // Node 2 dies mid-workload — inside the group-commit window of the
+    // burst in flight — and rejoins at t = 12s.
+    let schedule = FaultSchedule::parse("6000000 crash 2 6000000").expect("valid schedule");
+    sim.apply_schedule(&schedule);
+    sim.start();
+    sim.run_for(20_000_000);
+
+    let p = sim.process::<Probe>(probe).unwrap();
+    assert_eq!(
+        p.count_where(|m| matches!(m, Msg::PutResp { result: Ok(()), .. })),
+        30,
+        "every W=2 write must succeed despite the crash"
+    );
+    assert_eq!(
+        p.count_where(|m| matches!(m, Msg::GetResp { result: Ok(Some(_)), .. })),
+        30,
+        "every acked write must survive the crash inside the commit window"
+    );
+    assert_eq!(
+        p.count_where(|m| matches!(
+            m,
+            Msg::PutResp { result: Err(_), .. } | Msg::GetResp { result: Err(_), .. }
+        )),
+        0,
+        "zero client-visible errors"
+    );
+
+    let snap = registry.snapshot();
+    let appends = snap.counters.get("wal.appends").copied().unwrap_or(0);
+    let fsyncs = snap.counters.get("wal.fsyncs").copied().unwrap_or(0);
+    assert!(fsyncs < appends, "group commit must batch syncs: {fsyncs}/{appends}");
+    let batch_msgs = snap.counters.get("batch.replica_msgs").copied().unwrap_or(0);
+    let batch_ops = snap.counters.get("batch.replica_ops").copied().unwrap_or(0);
+    assert!(batch_msgs >= 1, "coalescing must send batched messages: {:?}", snap.counters);
+    assert!(batch_ops > batch_msgs, "batches must carry more ops than messages");
+    assert!(
+        snap.counters.get("wal.acks_deferred").copied().unwrap_or(0) >= 1,
+        "staged local writes must defer their acks until the covering sync"
+    );
+
+    // Read repair + hint replay must leave the rejoined victim caught up.
+    assert_eq!(
+        sim.process::<StorageNode>(NodeId(2)).unwrap().record_count(),
+        30,
+        "victim must hold every record after recovery"
+    );
+}
+
 /// Regression for the hint-ack leak: the replay target dies again while a
 /// replayed hint is in flight. The in-flight entry must be swept after the
 /// request deadline (not leak forever), the hint must stay parked, and a

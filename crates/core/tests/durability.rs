@@ -6,6 +6,7 @@ use std::time::Duration;
 use mystore_core::prelude::*;
 use mystore_gossip::GossipConfig;
 use mystore_net::{NodeId, ThreadedClusterBuilder, ThreadedConfig};
+use mystore_obs::Registry;
 
 fn gossip() -> GossipConfig {
     GossipConfig {
@@ -114,6 +115,123 @@ fn crash_before_ack_loses_nothing_acked_and_invents_nothing() {
                 }
                 Some(_) => {}
                 None => panic!("timed out at {got}/6 reads"),
+            }
+        }
+        cluster.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Builds a 3-node cluster with group commit + fan-out coalescing enabled,
+/// publishing into a shared registry so `wal.*` counters can be asserted.
+fn build_group_commit(
+    dir: &std::path::Path,
+    registry: &Registry,
+    nwr: Nwr,
+) -> mystore_net::ThreadedCluster<Msg> {
+    let mut builder = ThreadedClusterBuilder::new(ThreadedConfig::default());
+    for i in 0..3u32 {
+        let cfg = StorageConfig {
+            gossip: gossip(),
+            vnodes: 32,
+            nwr,
+            replica_timeout_us: 100_000,
+            request_deadline_us: 3_000_000,
+            data_dir: Some(dir.to_path_buf()),
+            group_commit_ops: 8,
+            group_commit_max_delay_us: 2_000,
+            coalesce_window_us: 300,
+            metrics: registry.clone(),
+            ..StorageConfig::default()
+        };
+        builder = builder.add_node(StorageNode::new(NodeId(i), cfg));
+    }
+    builder.build()
+}
+
+/// Group commit must not weaken the ack contract: a `PutResp Ok` means the
+/// write's WAL frames were fsynced on at least `W` replicas, so it survives
+/// an abrupt cluster death even when the process dies with later frames
+/// still staged in the commit window. Reading the second life at `R = 2`
+/// (`R + W > N`) touches at least one of the two durable copies regardless
+/// of which single replica lost its unsynced tail.
+#[test]
+fn acked_writes_survive_crash_inside_group_commit_window() {
+    let dir = std::env::temp_dir().join(format!("mystore-gc-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- first life: 12 acked writes, then an unacked burst, then death ---
+    let registry = Registry::new();
+    {
+        let cluster = build_group_commit(&dir, &registry, Nwr::PAPER);
+        std::thread::sleep(Duration::from_millis(400));
+        for i in 0..12u64 {
+            cluster.send(
+                NodeId((i % 3) as u32),
+                Msg::Put {
+                    req: i,
+                    key: format!("gc-acked-{i}"),
+                    value: vec![i as u8; 24],
+                    delete: false,
+                },
+            );
+        }
+        let mut acks = 0;
+        while acks < 12 {
+            match cluster.recv_timeout(Duration::from_secs(5)) {
+                Some((_, Msg::PutResp { result: Ok(()), .. })) => acks += 1,
+                Some((_, Msg::PutResp { result: Err(e), .. })) => panic!("write failed: {e}"),
+                Some(_) => {}
+                None => panic!("timed out at {acks}/12"),
+            }
+        }
+        // A burst the crash cuts off mid-batch: frames may be staged,
+        // synced, or never appended — all are legal for unacked writes.
+        for i in 0..6u64 {
+            cluster.send(
+                NodeId((i % 3) as u32),
+                Msg::Put {
+                    req: 50 + i,
+                    key: format!("gc-unacked-{i}"),
+                    value: vec![0xCD; 24],
+                    delete: false,
+                },
+            );
+        }
+        cluster.shutdown();
+    }
+
+    // Group commit must actually have batched: fewer real fsyncs than
+    // appended frames across the cluster.
+    let snap = registry.snapshot();
+    let appends = snap.counters.get("wal.appends").copied().unwrap_or(0);
+    let fsyncs = snap.counters.get("wal.fsyncs").copied().unwrap_or(0);
+    assert!(appends > 0, "writes must append WAL frames");
+    assert!(fsyncs < appends, "group commit must sync less than once per op: {fsyncs}/{appends}");
+
+    // --- second life: every acked write is readable at R = 2 --------------
+    {
+        let registry2 = Registry::new();
+        let cluster = build_group_commit(&dir, &registry2, Nwr { n: 3, w: 2, r: 2 });
+        std::thread::sleep(Duration::from_millis(400));
+        for i in 0..12u64 {
+            cluster.send(
+                NodeId(((i + 1) % 3) as u32),
+                Msg::Get { req: 100 + i, key: format!("gc-acked-{i}") },
+            );
+        }
+        let mut got = 0;
+        while got < 12 {
+            match cluster.recv_timeout(Duration::from_secs(5)) {
+                Some((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
+                    assert_eq!(v, vec![(req - 100) as u8; 24], "acked value corrupted");
+                    got += 1;
+                }
+                Some((_, Msg::GetResp { result, .. })) => {
+                    panic!("acked write lost across the crash: {result:?}")
+                }
+                Some(_) => {}
+                None => panic!("timed out at {got}/12 reads"),
             }
         }
         cluster.shutdown();

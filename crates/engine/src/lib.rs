@@ -47,4 +47,4 @@ pub use pool::{ConnectOptions, DbHandle, Pool, PooledConn};
 pub use query::{Agg, Filter, GroupSpec, Update};
 pub use record::{pack_version, unpack_version, Record};
 pub use repl::{ReplNode, Role};
-pub use wal::WalMetrics;
+pub use wal::{GroupCommitConfig, WalMetrics};

@@ -78,16 +78,20 @@ impl ReplNode {
         if self.role != Role::Slave {
             return Err(EngineError::BadQuery("only slaves apply batches".into()));
         }
-        let mut applied = 0;
-        for (seq, op) in batch {
-            if *seq <= self.applied_seq {
-                continue; // idempotent re-delivery
+        // One WAL sync covers the whole pull (group-commit fast path).
+        let applied_seq = &mut self.applied_seq;
+        self.db.with_batch(|db| {
+            let mut applied = 0;
+            for (seq, op) in batch {
+                if *seq <= *applied_seq {
+                    continue; // idempotent re-delivery
+                }
+                db.apply(op)?;
+                *applied_seq = *seq;
+                applied += 1;
             }
-            self.db.apply(op)?;
-            self.applied_seq = *seq;
-            applied += 1;
-        }
-        Ok(applied)
+            Ok(applied)
+        })
     }
 
     /// Slave bootstrap from a master snapshot positioned at `master_seq`.
@@ -95,9 +99,12 @@ impl ReplNode {
         if self.role != Role::Slave {
             return Err(EngineError::BadQuery("only slaves bootstrap".into()));
         }
-        for op in dump {
-            self.db.apply(op)?;
-        }
+        self.db.with_batch(|db| {
+            for op in dump {
+                db.apply(op)?;
+            }
+            Ok(())
+        })?;
         self.applied_seq = master_seq;
         Ok(())
     }

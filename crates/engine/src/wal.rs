@@ -10,6 +10,17 @@
 //! Two backends: an in-memory buffer (used by simulated nodes, where disk
 //! timing is modelled separately) and a real file (used by examples and
 //! durability tests).
+//!
+//! # Group commit
+//!
+//! An `fsync` per append caps write throughput at the disk's sync rate, so
+//! the log supports *group commit* (Spinnaker-style batched log sync):
+//! [`Wal::append_nosync`] stages frames without forcing them to disk and
+//! [`Wal::sync`] makes everything staged durable with one `sync_all()`. The
+//! classic one-frame-one-sync [`Wal::append`] is the composition of the two.
+//! Frames staged but not yet synced are exactly what a crash may lose; the
+//! memory backend models this with a durable watermark so simulated crashes
+//! exercise the same contract (see [`Wal::discard_unsynced`]).
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
@@ -18,6 +29,24 @@ use std::path::{Path, PathBuf};
 use mystore_obs::{Counter, Histogram, Registry, Stopwatch};
 
 use crate::error::{EngineError, Result};
+
+/// Tuning for the group-commit pipeline (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitConfig {
+    /// Force a sync once this many frames are staged. `1` degenerates to
+    /// one-sync-per-append (group commit effectively off).
+    pub ops: usize,
+    /// Upper bound on how long a staged frame may wait for its sync (µs).
+    /// The [`crate::Db`] does not read clocks itself — callers arm a flush
+    /// timer at this period and call [`crate::Db::sync_wal`] when it fires.
+    pub max_delay_us: u64,
+}
+
+impl Default for GroupCommitConfig {
+    fn default() -> Self {
+        GroupCommitConfig { ops: 64, max_delay_us: 2_000 }
+    }
+}
 
 /// Observability handles for WAL hot paths. A default-constructed set is
 /// standalone (recorded but invisible); attach registry-backed handles via
@@ -28,10 +57,17 @@ pub struct WalMetrics {
     pub appends: Counter,
     /// Bytes appended (frame headers included).
     pub append_bytes: Counter,
-    /// Flushes issued to the file backend (one per file append).
+    /// Syncs that actually happened: real `sync_all()` calls on the file
+    /// backend, modelled syncs on the memory backend. Under group commit
+    /// this stays well below `appends`.
     pub fsyncs: Counter,
-    /// Wall-clock append latency, µs (framing + write + flush).
+    /// Wall-clock append latency, µs (framing + buffered write; the sync is
+    /// accounted separately in `sync_us`).
     pub append_us: Histogram,
+    /// Wall-clock latency of one sync, µs.
+    pub sync_us: Histogram,
+    /// Frames made durable per sync (the group-commit batch size).
+    pub batch_ops: Histogram,
 }
 
 impl WalMetrics {
@@ -42,6 +78,8 @@ impl WalMetrics {
             append_bytes: registry.counter("wal.append_bytes"),
             fsyncs: registry.counter("wal.fsyncs"),
             append_us: registry.histogram("wal.append_us"),
+            sync_us: registry.histogram("wal.sync_us"),
+            batch_ops: registry.histogram("wal.batch_ops"),
         }
     }
 }
@@ -73,8 +111,15 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 enum Backend {
-    Memory(Vec<u8>),
-    File { file: File, path: PathBuf },
+    Memory {
+        buf: Vec<u8>,
+        /// Bytes up to the last (modelled) sync: what a crash preserves.
+        durable_len: usize,
+    },
+    File {
+        file: File,
+        path: PathBuf,
+    },
 }
 
 /// An append-only checksummed log.
@@ -82,24 +127,44 @@ pub struct Wal {
     backend: Backend,
     /// Bytes appended since open (for stats).
     appended: u64,
+    /// Current log size in bytes (open length + appends; reset by rewrite),
+    /// tracked so the hot path never has to `stat` the file.
+    len: u64,
+    /// Frames staged since the last sync.
+    pending_ops: usize,
     metrics: WalMetrics,
 }
 
 impl Wal {
     /// Opens an in-memory log (starts empty).
     pub fn memory() -> Self {
-        Wal { backend: Backend::Memory(Vec::new()), appended: 0, metrics: WalMetrics::default() }
+        Wal {
+            backend: Backend::Memory { buf: Vec::new(), durable_len: 0 },
+            appended: 0,
+            len: 0,
+            pending_ops: 0,
+            metrics: WalMetrics::default(),
+        }
     }
 
     /// Opens (creating if needed) a file-backed log at `path`. Existing
     /// contents are preserved; call [`Wal::read_frames_from`] first to
-    /// recover them.
+    /// recover them. A stale `.compact` sibling (a compaction that crashed
+    /// before its rename) is removed — the original log is still the
+    /// authoritative copy.
     pub fn file(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
+        let stale = path.with_extension("compact");
+        if stale.exists() {
+            let _ = std::fs::remove_file(&stale);
+        }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let len = file.metadata().map(|m| m.len()).unwrap_or(0);
         Ok(Wal {
             backend: Backend::File { file, path },
             appended: 0,
+            len,
+            pending_ops: 0,
             metrics: WalMetrics::default(),
         })
     }
@@ -109,26 +174,74 @@ impl Wal {
         self.metrics = metrics;
     }
 
-    /// Appends one frame.
+    /// Appends one frame and makes it durable immediately (one sync per
+    /// append — the pre-group-commit write path).
     pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        self.append_nosync(payload)?;
+        self.sync()?;
+        Ok(())
+    }
+
+    /// Stages one frame without forcing it to disk. The frame is not
+    /// durable until the next [`Wal::sync`]; a crash in between may lose it.
+    pub fn append_nosync(&mut self, payload: &[u8]) -> Result<()> {
         let sw = Stopwatch::start();
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         match &mut self.backend {
-            Backend::Memory(buf) => buf.extend_from_slice(&frame),
-            Backend::File { file, .. } => {
-                file.write_all(&frame)?;
-                file.flush()?;
-                self.metrics.fsyncs.inc();
-            }
+            Backend::Memory { buf, .. } => buf.extend_from_slice(&frame),
+            Backend::File { file, .. } => file.write_all(&frame)?,
         }
         self.appended += frame.len() as u64;
+        self.len += frame.len() as u64;
+        self.pending_ops += 1;
         self.metrics.appends.inc();
         self.metrics.append_bytes.add(frame.len() as u64);
         sw.observe(&self.metrics.append_us);
         Ok(())
+    }
+
+    /// Makes every staged frame durable with one sync: a real `sync_all()`
+    /// on the file backend, a durable-watermark advance on the memory
+    /// backend (whose disk timing is modelled by the simulator). Returns the
+    /// number of frames the sync covered; `0` means nothing was pending and
+    /// no sync was issued (and none is counted).
+    pub fn sync(&mut self) -> Result<usize> {
+        if self.pending_ops == 0 {
+            return Ok(0);
+        }
+        let sw = Stopwatch::start();
+        match &mut self.backend {
+            Backend::Memory { buf, durable_len } => *durable_len = buf.len(),
+            Backend::File { file, .. } => file.sync_all()?,
+        }
+        let batch = self.pending_ops;
+        self.pending_ops = 0;
+        self.metrics.fsyncs.inc();
+        self.metrics.batch_ops.record(batch as u64);
+        sw.observe(&self.metrics.sync_us);
+        Ok(batch)
+    }
+
+    /// Frames staged but not yet covered by a sync.
+    pub fn pending_ops(&self) -> usize {
+        self.pending_ops
+    }
+
+    /// Models the effect of a crash on the memory backend: frames staged
+    /// after the last sync are discarded, exactly as an OS crash discards
+    /// unsynced page-cache data. The file backend is left alone — an
+    /// in-process restart cannot unwrite the page cache, and after a real
+    /// machine crash the file simply comes back shorter.
+    pub fn discard_unsynced(&mut self) {
+        if let Backend::Memory { buf, durable_len } = &mut self.backend {
+            let lost = buf.len() - *durable_len;
+            buf.truncate(*durable_len);
+            self.len -= lost as u64;
+        }
+        self.pending_ops = 0;
     }
 
     /// Total bytes appended through this handle.
@@ -136,12 +249,9 @@ impl Wal {
         self.appended
     }
 
-    /// Current log size in bytes.
+    /// Current log size in bytes (tracked, not `stat`ed).
     pub fn len_bytes(&self) -> u64 {
-        match &self.backend {
-            Backend::Memory(buf) => buf.len() as u64,
-            Backend::File { file, .. } => file.metadata().map(|m| m.len()).unwrap_or(0),
-        }
+        self.len
     }
 
     /// Decodes all intact frames in this log. A torn tail (from a crash mid
@@ -149,7 +259,7 @@ impl Wal {
     /// the log is reported as corruption.
     pub fn read_frames(&self) -> Result<Vec<Vec<u8>>> {
         match &self.backend {
-            Backend::Memory(buf) => decode_frames(buf),
+            Backend::Memory { buf, .. } => decode_frames(buf),
             Backend::File { path, .. } => Self::read_frames_from(path),
         }
     }
@@ -168,8 +278,11 @@ impl Wal {
     }
 
     /// Atomically replaces the log contents with the given frames
-    /// (compaction). For files this writes a sibling `.compact` file and
-    /// renames it over the original.
+    /// (compaction). For files this writes a sibling `.compact` file, syncs
+    /// it, renames it over the original, and syncs the parent directory —
+    /// without the directory sync a crash right after the rename could
+    /// resurrect the old log (the rename itself is metadata the directory
+    /// holds).
     pub fn rewrite(&mut self, payloads: &[Vec<u8>]) -> Result<()> {
         let mut fresh = Vec::new();
         for p in payloads {
@@ -177,8 +290,12 @@ impl Wal {
             fresh.extend_from_slice(&crc32(p).to_le_bytes());
             fresh.extend_from_slice(p);
         }
+        let fresh_len = fresh.len() as u64;
         match &mut self.backend {
-            Backend::Memory(buf) => *buf = fresh,
+            Backend::Memory { buf, durable_len } => {
+                *buf = fresh;
+                *durable_len = buf.len();
+            }
             Backend::File { file, path } => {
                 let tmp = path.with_extension("compact");
                 {
@@ -187,9 +304,16 @@ impl Wal {
                     out.sync_all()?;
                 }
                 std::fs::rename(&tmp, &*path)?;
+                if let Some(parent) = path.parent() {
+                    // `.` when the path has no directory component.
+                    let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+                    File::open(dir)?.sync_all()?;
+                }
                 *file = OpenOptions::new().append(true).open(&*path)?;
             }
         }
+        self.len = fresh_len;
+        self.pending_ops = 0;
         Ok(())
     }
 }
@@ -227,6 +351,12 @@ fn decode_frames(buf: &[u8]) -> Result<Vec<Vec<u8>>> {
 mod tests {
     use super::*;
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mystore-wal-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0x0000_0000);
@@ -243,13 +373,12 @@ mod tests {
         let frames = wal.read_frames().unwrap();
         assert_eq!(frames, vec![b"one".to_vec(), b"two".to_vec(), vec![]]);
         assert_eq!(wal.appended_bytes(), 8 + 3 + 8 + 3 + 8);
+        assert_eq!(wal.len_bytes(), wal.appended_bytes());
     }
 
     #[test]
     fn file_roundtrip_and_reopen() {
-        let dir = std::env::temp_dir().join(format!("mystore-wal-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("test.wal");
+        let path = temp_dir("roundtrip").join("test.wal");
         let _ = std::fs::remove_file(&path);
         {
             let mut wal = Wal::file(&path).unwrap();
@@ -259,7 +388,9 @@ mod tests {
         // Re-open and append more.
         {
             let mut wal = Wal::file(&path).unwrap();
+            assert_eq!(wal.len_bytes(), 8 + 5 + 8 + 4, "reopen length from metadata");
             wal.append(b"gamma").unwrap();
+            assert_eq!(wal.len_bytes(), 8 + 5 + 8 + 4 + 8 + 5, "appends tracked, not stat'ed");
         }
         let frames = Wal::read_frames_from(&path).unwrap();
         assert_eq!(frames, vec![b"alpha".to_vec(), b"beta".to_vec(), b"gamma".to_vec()]);
@@ -272,7 +403,7 @@ mod tests {
         wal.append(b"keep-me").unwrap();
         wal.append(b"torn").unwrap();
         // Corrupt the backend by truncating mid-frame.
-        if let Backend::Memory(buf) = &mut wal.backend {
+        if let Backend::Memory { buf, .. } = &mut wal.backend {
             let cut = buf.len() - 2;
             buf.truncate(cut);
         }
@@ -285,7 +416,7 @@ mod tests {
         let mut wal = Wal::memory();
         wal.append(b"first").unwrap();
         wal.append(b"second").unwrap();
-        if let Backend::Memory(buf) = &mut wal.backend {
+        if let Backend::Memory { buf, .. } = &mut wal.backend {
             buf[9] ^= 0xFF; // flip a byte inside the first frame body
         }
         assert!(matches!(wal.read_frames(), Err(EngineError::Corrupt { .. })));
@@ -297,6 +428,7 @@ mod tests {
         wal.append(b"old").unwrap();
         wal.rewrite(&[b"new1".to_vec(), b"new2".to_vec()]).unwrap();
         assert_eq!(wal.read_frames().unwrap(), vec![b"new1".to_vec(), b"new2".to_vec()]);
+        assert_eq!(wal.len_bytes(), (8 + 4) * 2);
         wal.append(b"tail").unwrap();
         assert_eq!(wal.read_frames().unwrap().len(), 3);
     }
@@ -311,8 +443,85 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counters["wal.appends"], 2);
         assert_eq!(snap.counters["wal.append_bytes"], 8 + 3 + 8 + 5);
-        assert_eq!(snap.counters.get("wal.fsyncs"), Some(&0)); // memory backend
+        // One modelled sync per append without group commit.
+        assert_eq!(snap.counters.get("wal.fsyncs"), Some(&2));
         assert_eq!(snap.histograms["wal.append_us"].count, 2);
+        assert_eq!(snap.histograms["wal.batch_ops"].count, 2);
+    }
+
+    #[test]
+    fn group_commit_staging_and_sync_accounting() {
+        let reg = Registry::new();
+        let mut wal = Wal::memory();
+        wal.set_metrics(WalMetrics::from_registry(&reg));
+        wal.append_nosync(b"a").unwrap();
+        wal.append_nosync(b"b").unwrap();
+        wal.append_nosync(b"c").unwrap();
+        assert_eq!(wal.pending_ops(), 3);
+        assert_eq!(wal.sync().unwrap(), 3);
+        assert_eq!(wal.pending_ops(), 0);
+        // An empty sync is a no-op and is not counted.
+        assert_eq!(wal.sync().unwrap(), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["wal.appends"], 3);
+        assert_eq!(snap.counters["wal.fsyncs"], 1, "one sync covered the whole batch");
+        assert_eq!(snap.histograms["wal.batch_ops"].count, 1);
+        assert_eq!(snap.histograms["wal.batch_ops"].max, 3);
+    }
+
+    #[test]
+    fn crash_discards_only_unsynced_frames() {
+        let mut wal = Wal::memory();
+        wal.append_nosync(b"durable-1").unwrap();
+        wal.append_nosync(b"durable-2").unwrap();
+        wal.sync().unwrap();
+        wal.append_nosync(b"staged-only").unwrap();
+        assert_eq!(wal.read_frames().unwrap().len(), 3, "staged frames readable pre-crash");
+        wal.discard_unsynced();
+        assert_eq!(
+            wal.read_frames().unwrap(),
+            vec![b"durable-1".to_vec(), b"durable-2".to_vec()],
+            "crash must lose exactly the unsynced tail"
+        );
+        assert_eq!(wal.len_bytes(), (8 + 9) * 2);
+    }
+
+    #[test]
+    fn file_rewrite_fsyncs_dir_and_leaves_no_compact_sibling() {
+        let dir = temp_dir("rewrite");
+        let path = dir.join("compact.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::file(&path).unwrap();
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.rewrite(&[b"merged".to_vec()]).unwrap();
+        assert!(!path.with_extension("compact").exists(), "temp file must be renamed away");
+        assert_eq!(Wal::read_frames_from(&path).unwrap(), vec![b"merged".to_vec()]);
+        assert_eq!(wal.len_bytes(), 8 + 6);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crash_before_compaction_rename_keeps_old_log() {
+        // A compaction that crashed after writing `.compact` but before the
+        // rename leaves both files behind. Re-opening must serve the
+        // original log and clear the stale sibling so a later compaction
+        // cannot collide with it.
+        let dir = temp_dir("compact-crash");
+        let path = dir.join("victim.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::file(&path).unwrap();
+            wal.append(b"survivor").unwrap();
+        }
+        let stale = path.with_extension("compact");
+        std::fs::write(&stale, b"half-written compaction output").unwrap();
+        {
+            let wal = Wal::file(&path).unwrap();
+            assert!(!stale.exists(), "stale .compact must be cleaned up on open");
+            assert_eq!(wal.read_frames().unwrap(), vec![b"survivor".to_vec()]);
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

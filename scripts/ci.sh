@@ -17,4 +17,10 @@ echo "==> chaos suite (fixed seed)"
 cargo test -p mystore-core --test chaos -q
 cargo run --release -p mystore-bench --bin chaos -- 42
 
+echo "==> write-throughput bench smoke (group commit)"
+rm -f results/BENCH_PR3_SMOKE.json
+cargo run --release -p mystore-bench --bin bench_pr3 -- --smoke
+test -s results/BENCH_PR3_SMOKE.json || { echo "bench smoke wrote no JSON"; exit 1; }
+rm -f results/BENCH_PR3_SMOKE.json
+
 echo "CI OK"
