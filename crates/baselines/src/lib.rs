@@ -10,6 +10,8 @@
 //! * [`msmongo`] — MongoDB's native master/slave replication over three
 //!   engine nodes, with no quorums and no failover (Fig. 17).
 
+#![forbid(unsafe_code)]
+
 pub mod fsstore;
 pub mod msmongo;
 pub mod relstore;

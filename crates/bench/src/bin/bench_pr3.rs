@@ -123,7 +123,7 @@ fn cluster_run(coalesced: bool, duration_us: u64) -> serde_json::Value {
         "wal_fsyncs": c("wal.fsyncs"),
         "batch_replica_msgs": c("batch.replica_msgs"),
         "batch_replica_ops": c("batch.replica_ops"),
-        "acks_deferred": c("wal.acks_deferred"),
+        "acks_deferred": c("coord.acks_deferred"),
         "write_p99_us": snap.histograms["quorum.write.latency_us"].p99,
     })
 }

@@ -4,6 +4,8 @@
 //! Every binary prints the rows/series the paper reports and writes a JSON
 //! result file under `results/` so runs can be diffed and plotted.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod report;
 

@@ -31,6 +31,8 @@
 //! assert_eq!(decoded.get_str("self-key"), Some("Resistor5"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod codec;
 mod document;
 mod error;
@@ -41,5 +43,5 @@ mod value;
 pub use codec::{decode_document, encode_document};
 pub use document::Document;
 pub use error::{BsonError, Result};
-pub use oid::ObjectId;
+pub use oid::{ObjectId, OidGen};
 pub use value::{ElementType, Value};

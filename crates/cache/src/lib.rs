@@ -7,6 +7,8 @@
 //! selected by MD5 key hash, and each shard ages out entries with a
 //! byte-bounded LRU.
 
+#![forbid(unsafe_code)]
+
 pub mod lru;
 pub mod tier;
 

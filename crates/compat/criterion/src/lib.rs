@@ -5,6 +5,8 @@
 //! benchmark for a bounded number of timed iterations with `std::time` and
 //! prints a small mean/min report, with none of criterion's statistics.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// How `iter_batched` amortizes setup (accepted, not acted upon).

@@ -5,6 +5,8 @@
 //! RecvTimeoutError}`) is implemented here over a `Mutex<VecDeque>` plus a
 //! `Condvar`. Both ends are cloneable, matching crossbeam semantics.
 
+#![forbid(unsafe_code)]
+
 /// MPMC channels, mirroring `crossbeam::channel`.
 pub mod channel {
     use std::collections::VecDeque;

@@ -5,6 +5,8 @@
 //! as thin wrappers over the std primitives. Poisoning is swallowed (like
 //! real parking_lot, a panicking holder does not poison the lock).
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, TryLockError};
 
 /// A mutual-exclusion lock whose `lock()` never returns a poison error.

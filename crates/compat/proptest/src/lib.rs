@@ -11,6 +11,8 @@
 //! test name (reproducible runs, no persistence files) and failures are
 //! reported without shrinking.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

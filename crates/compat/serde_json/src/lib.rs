@@ -6,6 +6,8 @@
 //! and comparisons against literals. Serialization goes through the local
 //! [`ToJson`] trait instead of serde's `Serialize`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// An ordered JSON object (insertion order preserved, like serde_json with

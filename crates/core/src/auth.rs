@@ -7,7 +7,7 @@
 //! token and the signature, and the server recomputes the digest with the
 //! same inputs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mystore_ring::md5::{md5, to_hex};
 
@@ -38,7 +38,7 @@ pub fn sign_request(token: &str, uri: &str, secret: &str) -> Signature {
 #[derive(Debug, Clone, Default)]
 pub struct AuthConfig {
     /// `user → secret key` (the paper's web-interface-issued secrets).
-    pub secrets: HashMap<String, String>,
+    pub secrets: BTreeMap<String, String>,
 }
 
 impl AuthConfig {
@@ -54,7 +54,7 @@ impl AuthConfig {
 pub struct TokenStore {
     next: u64,
     /// token → user it was issued to.
-    outstanding: HashMap<String, String>,
+    outstanding: BTreeMap<String, String>,
 }
 
 impl TokenStore {

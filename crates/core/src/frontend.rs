@@ -8,11 +8,11 @@
 //! is bounded like a process pool: beyond `max_inflight`, requests are shed
 //! with `503` (which is what flattens the latency curve in Fig. 13).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mystore_net::{Context, NodeId, Process, TimerToken};
 use mystore_obs::{Counter, Gauge, Registry};
-use mystore_ring::md5::md5;
+use mystore_ring::HashRing;
 
 use crate::auth::TokenStore;
 use crate::config::FrontendConfig;
@@ -103,7 +103,7 @@ impl FrontendMetrics {
 pub struct Frontend {
     cfg: FrontendConfig,
     tokens: TokenStore,
-    pending: HashMap<u64, Pending>,
+    pending: BTreeMap<u64, Pending>,
     next_req: u64,
     rr: usize,
     stats: FrontendStats,
@@ -117,7 +117,7 @@ impl Frontend {
         Frontend {
             cfg,
             tokens: TokenStore::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_req: 1,
             rr: 0,
             stats: FrontendStats::default(),
@@ -155,8 +155,9 @@ impl Frontend {
             return None;
         }
         for _ in 0..self.cfg.storage_nodes.len() {
-            let node = self.cfg.storage_nodes[self.rr % self.cfg.storage_nodes.len()];
+            let slot = self.rr % self.cfg.storage_nodes.len();
             self.rr += 1;
+            let Some(&node) = self.cfg.storage_nodes.get(slot) else { continue };
             if Some(node) != avoid {
                 return Some(node);
             }
@@ -170,9 +171,8 @@ impl Frontend {
         if self.cfg.cache_nodes.is_empty() {
             return None;
         }
-        let d = md5(key.as_bytes());
-        let h = u64::from_le_bytes(d[..8].try_into().expect("len 8"));
-        Some(self.cfg.cache_nodes[(h % self.cfg.cache_nodes.len() as u64) as usize])
+        let h = HashRing::<NodeId>::key_point(key.as_bytes());
+        self.cfg.cache_nodes.get((h % self.cfg.cache_nodes.len() as u64) as usize).copied()
     }
 
     fn respond(

@@ -48,6 +48,8 @@
 //! assert_eq!(node.stats().puts_ok, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod auth;
 pub mod cache_node;
 pub mod chunks;

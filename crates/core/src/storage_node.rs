@@ -18,7 +18,7 @@
 //! the runtime, so identical logic runs in the deterministic simulator and
 //! in the threaded runtime.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use mystore_bson::{doc, ObjectId};
@@ -174,6 +174,9 @@ pub struct StorageMetrics {
     pub batch_ops: Counter,
     /// Replica acks held back until the covering WAL sync completed.
     pub acks_deferred: Counter,
+    /// Restarts whose WAL replay failed; the node came back empty and
+    /// relies on read repair / anti-entropy to re-fill.
+    pub recover_failures: Counter,
 }
 
 impl StorageMetrics {
@@ -201,7 +204,8 @@ impl StorageMetrics {
             restarts: registry.counter("node.restarts"),
             batch_msgs: registry.counter("batch.replica_msgs"),
             batch_ops: registry.counter("batch.replica_ops"),
-            acks_deferred: registry.counter("wal.acks_deferred"),
+            acks_deferred: registry.counter("coord.acks_deferred"),
+            recover_failures: registry.counter("node.recover_failures"),
         }
     }
 }
@@ -214,10 +218,10 @@ pub struct StorageNode {
     ring: HashRing<NodeId>,
     /// Membership signature the current ring was built from.
     ring_sig: Vec<(NodeId, u32)>,
-    pending_puts: HashMap<u64, PendingPut>,
-    pending_gets: HashMap<u64, PendingGet>,
+    pending_puts: BTreeMap<u64, PendingPut>,
+    pending_gets: BTreeMap<u64, PendingGet>,
     /// Hint-replay requests in flight: replica req → hint + send time.
-    hint_acks: HashMap<u64, HintInFlight>,
+    hint_acks: BTreeMap<u64, HintInFlight>,
     next_req: u64,
     stats: NodeStats,
     /// Bumped every restart; the gossip boot generation.
@@ -228,7 +232,7 @@ pub struct StorageNode {
     sync_round: u64,
     /// Coalescing buffer: replica writes waiting to be flushed to each peer
     /// as one [`Msg::StoreReplicaBatch`] (empty when coalescing is off).
-    outbox: HashMap<NodeId, Vec<BatchPut>>,
+    outbox: BTreeMap<NodeId, Vec<BatchPut>>,
     /// Whether a `TK_COALESCE` flush timer is already armed.
     outbox_armed: bool,
     /// Acks for locally-applied replica writes whose WAL frames are still
@@ -243,20 +247,29 @@ impl StorageNode {
     /// [`StorageConfig::data_dir`] set, the node opens (and on restart,
     /// recovers) a durable WAL named `node<id>.wal` in that directory.
     pub fn new(me: NodeId, cfg: StorageConfig) -> Self {
+        // Construction runs before the node joins the cluster; failing fast
+        // on a bad config or an unopenable data dir is the intended
+        // behaviour (nothing is serving yet), hence the allows below.
+        // lint:allow(no-panic-hot-path): startup-time config validation, fail-fast by design
         cfg.nwr.validate().expect("invalid NWR configuration");
         let mut db = match &cfg.data_dir {
             Some(dir) => {
+                // lint:allow(no-panic-hot-path): startup-time data-dir setup, fail-fast by design
                 std::fs::create_dir_all(dir).expect("create data dir");
+                // lint:allow(no-panic-hot-path): startup-time WAL open, fail-fast by design
                 Db::open(dir.join(format!("node{}.wal", me.0))).expect("open node wal")
             }
             None => Db::memory(),
         };
+        // Record ids must replay identically under the seeded simulator.
+        db.set_oid_machine(u64::from(me.0));
         // Recovered databases already carry the index.
         let indexed = db
             .collection(&cfg.collection)
             .map(|c| c.index_fields().contains(&"self-key"))
             .unwrap_or(false);
         if !indexed {
+            // lint:allow(no-panic-hot-path): startup-time index creation, fail-fast by design
             db.create_index(&cfg.collection, "self-key").expect("fresh db");
         }
         db.set_wal_metrics(WalMetrics::from_registry(&cfg.metrics));
@@ -275,15 +288,15 @@ impl StorageNode {
             gossiper,
             ring: HashRing::new(),
             ring_sig: Vec::new(),
-            pending_puts: HashMap::new(),
-            pending_gets: HashMap::new(),
-            hint_acks: HashMap::new(),
+            pending_puts: BTreeMap::new(),
+            pending_gets: BTreeMap::new(),
+            hint_acks: BTreeMap::new(),
             next_req: 1,
             stats: NodeStats::default(),
             generation: 1,
             sync_cursor: None,
             sync_round: 0,
-            outbox: HashMap::new(),
+            outbox: BTreeMap::new(),
             outbox_armed: false,
             deferred_acks: Vec::new(),
             metrics,
@@ -391,7 +404,9 @@ impl StorageNode {
         }
         let mut ring = HashRing::new();
         for &(node, vnodes) in &sig {
-            ring.add_node(node, format!("node{}", node.0), vnodes).expect("unique nodes");
+            // The signature is deduped by construction; if a duplicate ever
+            // slipped through, keeping the first entry beats crashing.
+            let _ = ring.add_node(node, format!("node{}", node.0), vnodes);
         }
         self.ring = ring;
         self.ring_sig = sig;
@@ -405,7 +420,8 @@ impl StorageNode {
         let me = self.id();
         let n = self.cfg.nwr.n;
         let Ok(coll) = self.db.collection(&self.cfg.collection) else { return };
-        let mut outgoing: HashMap<NodeId, Vec<Arc<Record>>> = HashMap::new();
+        // Ordered map: the send order below feeds the sim schedule.
+        let mut outgoing: BTreeMap<NodeId, Vec<Arc<Record>>> = BTreeMap::new();
         let mut to_drop: Vec<ObjectId> = Vec::new();
         for (id, docu) in coll.iter() {
             let Ok(record) = Record::from_document(docu) else { continue };
@@ -469,10 +485,15 @@ impl StorageNode {
             return;
         }
         let version = pack_version(ctx.now().as_micros(), self.id().0 as u16);
+        // Deterministic id: sim seconds + node machine id via the Db's
+        // OidGen (a raw ObjectId::new here would leak wall clock into the
+        // replicated data and break seeded replay).
+        self.db.set_oid_secs((ctx.now().as_micros() / 1_000_000) as u32);
+        let oid = self.db.fresh_oid(&self.cfg.collection);
         let record = Arc::new(if delete {
-            Record::tombstone(ObjectId::new(), key, version)
+            Record::tombstone(oid, key, version)
         } else {
-            Record::new(ObjectId::new(), key, value, version)
+            Record::new(oid, key, value, version)
         });
         let my_req = self.fresh_req();
         self.metrics.quorum_write_started.inc();
@@ -1039,8 +1060,7 @@ impl StorageNode {
             self.metrics.hint_replay_expired.add(expired as u64);
             ctx.record("hint_replay_expired", expired as f64);
         }
-        let in_flight: std::collections::HashSet<ObjectId> =
-            self.hint_acks.values().map(|h| h.id).collect();
+        let in_flight: BTreeSet<ObjectId> = self.hint_acks.values().map(|h| h.id).collect();
         let Ok(coll) = self.db.collection(HINTS) else { return };
         let mut replays: Vec<(ObjectId, NodeId, Record)> = Vec::new();
         for (id, docu) in coll.iter() {
@@ -1122,7 +1142,8 @@ impl StorageNode {
         // eventually exchanges.
         self.sync_round += 1;
         let round = self.sync_round as usize;
-        let mut per_peer: HashMap<NodeId, Vec<(String, u64)>> = HashMap::new();
+        // Ordered map: the digest send order below feeds the sim schedule.
+        let mut per_peer: BTreeMap<NodeId, Vec<(String, u64)>> = BTreeMap::new();
         for rec in &batch {
             let prefs = self.ring.preference_list(rec.self_key.as_bytes(), n);
             let eligible: Vec<NodeId> =
@@ -1176,15 +1197,16 @@ impl StorageNode {
     /// for); two or more ride one `StoreReplicaBatch`.
     fn flush_outbox(&mut self, ctx: &mut Context<'_, Msg>) {
         self.outbox_armed = false;
-        for (peer, ops) in std::mem::take(&mut self.outbox) {
+        for (peer, mut ops) in std::mem::take(&mut self.outbox) {
             if ops.is_empty() {
                 continue;
             }
             self.metrics.batch_ops.add(ops.len() as u64);
             self.metrics.batch_msgs.inc();
             if ops.len() == 1 {
-                let op = ops.into_iter().next().expect("len checked");
-                ctx.send(peer, Msg::StoreReplica { req: op.req, record: op.record });
+                if let Some(op) = ops.pop() {
+                    ctx.send(peer, Msg::StoreReplica { req: op.req, record: op.record });
+                }
             } else {
                 ctx.send(peer, Msg::StoreReplicaBatch { ops });
             }
@@ -1248,7 +1270,26 @@ impl Process<Msg> for StorageNode {
         // from its WAL — anything that never reached the log is lost,
         // exactly as on a real process crash.
         let db = std::mem::replace(&mut self.db, Db::memory());
-        self.db = db.recover_from_wal().expect("WAL replay on restart");
+        self.db = match db.recover_from_wal() {
+            Ok(recovered) => recovered,
+            Err(_) => {
+                // A corrupt log must not take the node (and in the sim, the
+                // whole cluster process) down: come back empty — read repair
+                // and anti-entropy re-fill us — and count the event.
+                self.metrics.recover_failures.inc();
+                let mut fresh = Db::memory();
+                let _ = fresh.create_index(&self.cfg.collection, "self-key");
+                fresh.set_wal_metrics(WalMetrics::from_registry(&self.cfg.metrics));
+                fresh.set_oid_machine(u64::from(self.id().0));
+                if self.cfg.group_commit_ops > 1 {
+                    fresh.set_group_commit(Some(GroupCommitConfig {
+                        ops: self.cfg.group_commit_ops,
+                        max_delay_us: self.cfg.group_commit_max_delay_us,
+                    }));
+                }
+                fresh
+            }
+        };
         // A restart is a new boot generation (paper's bootGeneration field):
         // peers see the bump and reset our state, clearing any long-failure
         // declaration. Build on the gossiper's generation too — it may have

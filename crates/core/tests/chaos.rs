@@ -196,7 +196,7 @@ fn group_commit_crash_loses_only_unacked_writes() {
     assert!(batch_msgs >= 1, "coalescing must send batched messages: {:?}", snap.counters);
     assert!(batch_ops > batch_msgs, "batches must carry more ops than messages");
     assert!(
-        snap.counters.get("wal.acks_deferred").copied().unwrap_or(0) >= 1,
+        snap.counters.get("coord.acks_deferred").copied().unwrap_or(0) >= 1,
         "staged local writes must defer their acks until the covering sync"
     );
 
@@ -358,4 +358,83 @@ fn chaos_run_is_deterministic_for_a_seed() {
     assert!(first.1 >= 1, "the lossy link must drop something: {first:?}");
     assert!(first.2 >= 1, "dropped replica ops must trigger retries: {first:?}");
     assert_eq!(first, run(), "same seed + same schedule must replay identically");
+}
+
+/// Strong determinism regression: the *entire* observable output of a
+/// chaos run — every trace event in order, every counter, every gauge,
+/// and every histogram count — must be byte-identical across two runs
+/// with the same seed and schedule. This is what catches nondeterminism
+/// that aggregate checks miss: a `HashMap` iteration feeding fan-out
+/// order, a wall-clock read leaking into an id, a racy tick.
+///
+/// Histogram sums/percentiles are deliberately excluded: duration
+/// metrics (`wal.append_us`, `wal.sync_us`) are measured with a real
+/// stopwatch, so their *values* vary run-to-run while their *counts*
+/// must not.
+#[test]
+fn full_trace_and_metrics_replay_identically_for_a_seed() {
+    let run = || {
+        let warm = 5_000_000u64;
+        let mut script: Vec<(u64, NodeId, Msg)> = (0..25u64)
+            .map(|i| {
+                (warm + i * 80_000, NodeId((i % 2) as u32), put(i, &format!("tr{i}"), b"trace"))
+            })
+            .collect();
+        for i in 0..25u64 {
+            script.push((
+                15_000_000 + i * 30_000,
+                NodeId(((i + 1) % 2) as u32),
+                get(100 + i, &format!("tr{i}")),
+            ));
+        }
+        let (mut sim, registry, spec, _probe) = chaos_cluster(9182, script);
+        // Loss, duplication, and a crash/restart all in one schedule so the
+        // run exercises retries, hint parking, replay, and WAL recovery.
+        let lossy = LinkFaultRule { p_drop: 0.3, p_dup: 0.2, ..LinkFaultRule::none() };
+        sim.schedule_chaos(SimTime(0), NodeId(0), NodeId(1), lossy);
+        sim.schedule_crash(SimTime(warm + 700_000), NodeId(2), Some(4_000_000));
+        sim.start();
+        sim.run_for(20_000_000);
+
+        let mut out = String::new();
+        for e in sim.trace().events() {
+            // `to_bits` so two runs must agree on the exact f64, not a
+            // formatted approximation.
+            out.push_str(&format!(
+                "ev {} {} {} {:#x}\n",
+                e.time.0,
+                e.node.0,
+                e.name,
+                e.value.to_bits()
+            ));
+        }
+        let snap = registry.snapshot();
+        for (name, v) in &snap.counters {
+            out.push_str(&format!("ctr {name} {v}\n"));
+        }
+        for (name, v) in &snap.gauges {
+            out.push_str(&format!("gauge {name} {v}\n"));
+        }
+        for (name, h) in &snap.histograms {
+            out.push_str(&format!("hist {name} count={}\n", h.count));
+        }
+        for &id in &spec.storage_ids() {
+            let n = sim.process::<StorageNode>(id).unwrap();
+            out.push_str(&format!("records {} {}\n", id.0, n.record_count()));
+        }
+        out
+    };
+    let first = run();
+    assert!(first.contains("ctr fault.msg.dropped"), "chaos must actually bite:\n{first}");
+    let second = run();
+    if first != second {
+        // Point at the first divergent line rather than dumping both runs.
+        let diverged = first
+            .lines()
+            .zip(second.lines())
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("run1: {a}\nrun2: {b}"))
+            .unwrap_or_else(|| "traces differ in length".to_string());
+        panic!("same seed produced a different run:\n{diverged}");
+    }
 }

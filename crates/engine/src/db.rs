@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-use mystore_bson::{Document, ObjectId};
+use mystore_bson::{Document, ObjectId, OidGen};
 
 use crate::collection::{Collection, Explain, FindOptions};
 use crate::error::{EngineError, Result};
@@ -51,6 +51,13 @@ pub struct Db {
     /// helper ([`Db::apply_batch`], [`Db::put_records`]) runs; the helper
     /// issues the single covering sync itself.
     defer_sync: bool,
+    /// Deterministic id source for simulated nodes (see
+    /// [`Db::set_oid_machine`]). `None` falls back to [`ObjectId::new`],
+    /// the wall-clock real-deployment path.
+    oid_gen: Option<OidGen>,
+    /// Seconds stamp for deterministically generated ids, fed from the
+    /// sim clock via [`Db::set_oid_secs`].
+    oid_secs: u32,
 }
 
 impl Db {
@@ -62,6 +69,8 @@ impl Db {
             oplog: OplogRing::new(OPLOG_CAPACITY),
             group_commit: None,
             defer_sync: false,
+            oid_gen: None,
+            oid_secs: 0,
         }
     }
 
@@ -75,6 +84,8 @@ impl Db {
             oplog: OplogRing::new(OPLOG_CAPACITY),
             group_commit: None,
             defer_sync: false,
+            oid_gen: None,
+            oid_secs: 0,
         };
         db.replay_frames(frames)?;
         Ok(db)
@@ -91,12 +102,20 @@ impl Db {
     pub fn recover_from_wal(mut self) -> Result<Db> {
         self.wal.discard_unsynced();
         let frames = self.wal.read_frames()?;
+        // The in-memory id counter is part of what the crash lost: start a
+        // new OidGen epoch so recovered nodes cannot re-issue pre-crash ids.
+        let mut oid_gen = self.oid_gen;
+        if let Some(g) = &mut oid_gen {
+            g.bump_epoch();
+        }
         let mut db = Db {
             collections: BTreeMap::new(),
             wal: self.wal,
             oplog: OplogRing::new(OPLOG_CAPACITY),
             group_commit: self.group_commit,
             defer_sync: false,
+            oid_gen,
+            oid_secs: self.oid_secs,
         };
         db.replay_frames(frames)?;
         Ok(db)
@@ -272,13 +291,48 @@ impl Db {
 }
 
 impl Db {
+    /// Switches id generation to the deterministic [`OidGen`] path,
+    /// keyed by `machine` (use the node id so ids are unique across the
+    /// cluster). Simulated nodes call this at construction; without it,
+    /// generated ids come from the wall-clock [`ObjectId::new`].
+    pub fn set_oid_machine(&mut self, machine: u64) {
+        match &mut self.oid_gen {
+            Some(g) => g.set_machine(machine),
+            None => self.oid_gen = Some(OidGen::new(machine)),
+        }
+    }
+
+    /// Updates the seconds stamp embedded in deterministically generated
+    /// ids. Feed this from the sim clock; it only affects presentation
+    /// (ids sort roughly by time), never uniqueness.
+    pub fn set_oid_secs(&mut self, seconds: u32) {
+        self.oid_secs = seconds;
+    }
+
+    /// Issues a fresh id for `coll`: deterministic when
+    /// [`Db::set_oid_machine`] was called, wall-clock otherwise. Skips
+    /// ids already present in `coll` (possible when a recovered epoch
+    /// counter meets documents replicated from elsewhere).
+    pub fn fresh_oid(&mut self, coll: &str) -> ObjectId {
+        match &mut self.oid_gen {
+            Some(g) => loop {
+                let id = g.next(self.oid_secs);
+                let exists = self.collections.get(coll).is_some_and(|c| c.get(id).is_some());
+                if !exists {
+                    return id;
+                }
+            },
+            None => ObjectId::new(),
+        }
+    }
+
     /// Inserts `doc` into `coll` (created on first use). Returns the `_id`.
     pub fn insert_doc(&mut self, coll: &str, mut doc: Document) -> Result<ObjectId> {
         use mystore_bson::Value;
         let id = match doc.get_object_id("_id") {
             Some(id) => id,
             None => {
-                let id = ObjectId::new();
+                let id = self.fresh_oid(coll);
                 let mut fresh = Document::with_capacity(doc.len() + 1);
                 fresh.insert("_id", Value::ObjectId(id));
                 for (k, v) in std::mem::take(&mut doc).into_iter() {
@@ -595,6 +649,46 @@ mod tests {
         let f = Filter::parse(&doc! { "self-key": "k2" }).unwrap();
         let (_, explain) = db.find_explain("d", &f, &FindOptions::default()).unwrap();
         assert_eq!(explain.used_index.as_deref(), Some("self-key"));
+    }
+
+    #[test]
+    fn deterministic_oids_are_stable_and_survive_recovery() {
+        let make = || {
+            let mut db = Db::memory();
+            db.set_oid_machine(7);
+            db.set_oid_secs(1234);
+            let ids: Vec<ObjectId> =
+                (0..5).map(|i| db.insert_doc("d", doc! { "n": i }).unwrap()).collect();
+            (db, ids)
+        };
+        let (db_a, ids_a) = make();
+        let (_db_b, ids_b) = make();
+        assert_eq!(ids_a, ids_b, "same machine/secs/order must mint the same ids");
+
+        // Recovery bumps the OidGen epoch: new ids must not collide with
+        // any id handed out before the crash, even though the in-memory
+        // counter was lost.
+        let mut recovered = db_a.recover_from_wal().unwrap();
+        assert_eq!(recovered.count("d", &Filter::True).unwrap(), 5);
+        for i in 0..5 {
+            let id = recovered.insert_doc("d", doc! { "n": 100 + i }).unwrap();
+            assert!(!ids_a.contains(&id), "post-recovery id {id} reuses a pre-crash id");
+        }
+    }
+
+    #[test]
+    fn fresh_oid_skips_ids_already_in_collection() {
+        let mut db = Db::memory();
+        db.set_oid_machine(3);
+        // Pre-seed the exact id the generator would mint first (epoch 0,
+        // counter 0): fresh_oid must step over it.
+        let clash = ObjectId::from_parts(0, 3 << 16, 0);
+        let mut doc = doc! { "planted": true };
+        doc.insert("_id", Value::ObjectId(clash));
+        db.insert_doc("d", doc).unwrap();
+        let id = db.insert_doc("d", doc! { "n": 1 }).unwrap();
+        assert_ne!(id, clash, "generator must skip an id already present");
+        assert_eq!(db.count("d", &Filter::True).unwrap(), 2);
     }
 
     #[test]

@@ -28,6 +28,8 @@
 //! assert_eq!(db.find("components", &hot, &FindOptions::default()).unwrap().len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod db;
 pub mod error;

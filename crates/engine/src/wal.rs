@@ -105,6 +105,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     let t = table();
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
+        // lint:allow(no-panic-hot-path): index is masked to 0..256 of a [u32; 256] table
         c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
@@ -318,20 +319,27 @@ impl Wal {
     }
 }
 
+/// Reads the little-endian `u32` at `at`, or `None` past the buffer end.
+fn read_u32_le(buf: &[u8], at: usize) -> Option<u32> {
+    let bytes = buf.get(at..at.checked_add(4)?)?;
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(bytes);
+    Some(u32::from_le_bytes(raw))
+}
+
 fn decode_frames(buf: &[u8]) -> Result<Vec<Vec<u8>>> {
     let mut frames = Vec::new();
     let mut pos = 0usize;
     while pos < buf.len() {
-        if pos + 8 > buf.len() {
+        let (Some(len), Some(crc)) = (read_u32_le(buf, pos), read_u32_le(buf, pos + 4)) else {
             break; // torn header at tail
-        }
-        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("len 4")) as usize;
-        let crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("len 4"));
+        };
+        let len = len as usize;
         let body_start = pos + 8;
-        if body_start + len > buf.len() {
+        let Some(body) = body_start.checked_add(len).and_then(|end| buf.get(body_start..end))
+        else {
             break; // torn body at tail
-        }
-        let body = &buf[body_start..body_start + len];
+        };
         if crc32(body) != crc {
             // Corruption mid-log is only tolerable at the tail.
             if body_start + len == buf.len() {

@@ -8,6 +8,8 @@
 //! surface as [`MembershipEvent`]s that drive hinted handoff and replica
 //! rebuilding in `mystore-core`.
 
+#![forbid(unsafe_code)]
+
 pub mod gossiper;
 pub mod state;
 

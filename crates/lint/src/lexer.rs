@@ -1,0 +1,474 @@
+//! A hand-rolled Rust lexer: just enough of the language to drive
+//! token-sequence lint rules without false positives from comments,
+//! string literals, or lifetimes.
+//!
+//! The lexer produces a flat token stream (identifiers, lifetimes,
+//! char/string/number literals, single-char punctuation) annotated with
+//! 1-based line numbers, plus a per-line map of comment text used for
+//! `lint:allow` directives and `// ordering:` justification comments.
+
+use std::collections::BTreeMap;
+
+/// Kinds of tokens the lexer distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `unwrap`, ...).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (quote included in text).
+    Lifetime,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// A string literal of any flavour (`"s"`, `r#"s"#`, `b"s"`).
+    StrLit,
+    /// A numeric literal (`42`, `0xFF`, `1.5e3`, `100_000u64`).
+    NumLit,
+    /// A single punctuation character (`.`, `:`, `[`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token with its source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text. For string literals this is the raw source slice
+    /// including delimiters; rules only care that it is a literal.
+    pub text: String,
+    /// 1-based line number where the token starts.
+    pub line: usize,
+}
+
+/// One comment with the line range it covers (line comments have
+/// `start == end`; block comments may span several lines).
+#[derive(Debug, Clone)]
+pub struct CommentSpan {
+    /// First 1-based line the comment covers.
+    pub start: usize,
+    /// Last 1-based line the comment covers.
+    pub end: usize,
+    /// The raw comment text, delimiters included.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comment text per 1-based line. A block comment spanning several
+    /// lines contributes its text to every line it covers, so a
+    /// justification comment is found regardless of comment style.
+    pub comments: BTreeMap<usize, String>,
+    /// Each comment once, with its covered line range — the basis for
+    /// `lint:allow` directive parsing.
+    pub spans: Vec<CommentSpan>,
+}
+
+impl LexedFile {
+    /// Returns the comment text attached to `line`, if any.
+    pub fn comment_on(&self, line: usize) -> Option<&str> {
+        self.comments.get(&line).map(String::as_str)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens plus a per-line comment map.
+///
+/// The lexer is tolerant: on malformed input (unterminated literal,
+/// stray byte) it degrades to single-character punctuation tokens
+/// rather than failing, so a half-edited file still gets linted.
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $text:expr, $line:expr) => {
+            out.tokens.push(Token { kind: $kind, text: $text, line: $line })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment (also handles doc comments `///` and `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            append_comment(&mut out.comments, line, &text);
+            out.spans.push(CommentSpan { start: line, end: line, text });
+            continue;
+        }
+
+        // Block comment, possibly nested, possibly multi-line.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            let start_line = line;
+            let start = i;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            for l in start_line..=line {
+                append_comment(&mut out.comments, l, &text);
+            }
+            out.spans.push(CommentSpan { start: start_line, end: line, text });
+            continue;
+        }
+
+        // Identifier, keyword, or a raw/byte string prefix.
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            let next = chars.get(i).copied();
+            match (word.as_str(), next) {
+                // Raw string: r"..." / r#"..."# (any number of #s).
+                ("r" | "br" | "rb", Some('"' | '#')) => {
+                    if let Some((text, nl)) = scan_raw_string(&chars, &mut i) {
+                        push!(TokenKind::StrLit, text, line);
+                        line += nl;
+                    } else {
+                        push!(TokenKind::Ident, word, line);
+                    }
+                }
+                // Byte string b"..." shares the plain-string scanner.
+                ("b", Some('"')) => {
+                    i += 1; // consume the opening quote
+                    let (text, nl) = scan_string(&chars, &mut i);
+                    push!(TokenKind::StrLit, format!("b\"{text}"), line);
+                    line += nl;
+                }
+                // Byte char b'x'.
+                ("b", Some('\'')) => {
+                    i += 1;
+                    let text = scan_char_body(&chars, &mut i);
+                    push!(TokenKind::CharLit, format!("b'{text}"), line);
+                }
+                _ => push!(TokenKind::Ident, word, line),
+            }
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            i += 1;
+            let (text, nl) = scan_string(&chars, &mut i);
+            push!(TokenKind::StrLit, format!("\"{text}"), line);
+            line += nl;
+            continue;
+        }
+
+        // Lifetime vs char literal.
+        if c == '\'' {
+            let c1 = chars.get(i + 1).copied();
+            match c1 {
+                // 'a, 'static, '_ ... unless followed by a closing quote
+                // (then it was a char literal like 'x').
+                Some(n) if is_ident_start(n) => {
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'\'') {
+                        // char literal 'x' (only valid when a single char,
+                        // but being lenient here is harmless).
+                        let text: String = chars[i..=j].iter().collect();
+                        push!(TokenKind::CharLit, text, line);
+                        i = j + 1;
+                    } else {
+                        let text: String = chars[i..j].iter().collect();
+                        push!(TokenKind::Lifetime, text, line);
+                        i = j;
+                    }
+                }
+                // Escaped char '\n', '\u{..}', '\''.
+                Some('\\') => {
+                    i += 1;
+                    let text = scan_char_body(&chars, &mut i);
+                    push!(TokenKind::CharLit, format!("'{text}"), line);
+                }
+                // Punctuation char like '(' or ' '.
+                Some(_) => {
+                    i += 1;
+                    let text = scan_char_body(&chars, &mut i);
+                    push!(TokenKind::CharLit, format!("'{text}"), line);
+                }
+                None => {
+                    push!(TokenKind::Punct, "'".to_string(), line);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Number literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (is_ident_continue(chars[i])) {
+                i += 1;
+            }
+            // Fractional / exponent part: `1.5`, but not the range `1..5`.
+            if chars.get(i) == Some(&'.') && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                i += 1;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            push!(TokenKind::NumLit, text, line);
+            continue;
+        }
+
+        // Everything else: one punctuation char per token.
+        push!(TokenKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+
+    out
+}
+
+fn append_comment(map: &mut BTreeMap<usize, String>, line: usize, text: &str) {
+    let entry = map.entry(line).or_default();
+    if !entry.is_empty() {
+        entry.push(' ');
+    }
+    entry.push_str(text);
+}
+
+/// Scans a plain (possibly byte) string body after the opening quote.
+/// Returns (body-with-closing-quote, newlines consumed).
+fn scan_string(chars: &[char], i: &mut usize) -> (String, usize) {
+    let start = *i;
+    let mut newlines = 0usize;
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => *i += 2,
+            '"' => {
+                *i += 1;
+                let text: String = chars[start..*i].iter().collect();
+                return (text, newlines);
+            }
+            c => {
+                if c == '\n' {
+                    newlines += 1;
+                }
+                *i += 1;
+            }
+        }
+    }
+    (chars[start..].iter().collect(), newlines)
+}
+
+/// Scans a raw string starting at `*i` pointing to the `#`s or the quote
+/// (the `r`/`br` prefix has already been consumed). Returns the literal
+/// text and the number of newlines it spans, or None if this is not
+/// actually a raw string (e.g. `r#foo` raw identifier).
+fn scan_raw_string(chars: &[char], i: &mut usize) -> Option<(String, usize)> {
+    let start = *i;
+    let mut j = *i;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None; // raw identifier like r#match
+    }
+    j += 1;
+    let mut newlines = 0usize;
+    while j < chars.len() {
+        if chars[j] == '"' {
+            // Need `hashes` closing #s.
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                *i = k;
+                let text: String = chars[start..k].iter().collect();
+                return Some((text, newlines));
+            }
+        }
+        if chars[j] == '\n' {
+            newlines += 1;
+        }
+        j += 1;
+    }
+    *i = chars.len();
+    Some((chars[start..].iter().collect(), newlines))
+}
+
+/// Scans a char-literal body after the opening quote, up to and including
+/// the closing quote. Handles escapes including `\u{...}`.
+fn scan_char_body(chars: &[char], i: &mut usize) -> String {
+    let start = *i;
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' => *i += 2,
+            '\'' => {
+                *i += 1;
+                break;
+            }
+            _ => *i += 1,
+        }
+    }
+    chars[start..*i].iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = foo.bar();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokenKind::Punct, "=".into()));
+        assert_eq!(toks[3], (TokenKind::Ident, "foo".into()));
+        assert_eq!(toks[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokenKind::Ident, "bar".into()));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let lf = lex("a\nb\n\nc");
+        let lines: Vec<usize> = lf.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn string_contents_do_not_tokenize() {
+        // "Instant::now" inside a string must be a single StrLit token.
+        let toks = kinds(r#"let s = "Instant::now()";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::StrLit).count(), 1);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "Instant"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r##"let s = r#"quote " inside"#; let t = 1;"##);
+        let strs: Vec<&String> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::StrLit).map(|(_, t)| t).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].contains("quote"));
+        // Tokens after the raw string are still lexed.
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "t"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::StrLit && t.starts_with("b\"")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::CharLit && t.starts_with("b'")));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string() {
+        let toks = kinds("let r#match = 1;");
+        // `r` then `#` then `match`: lexed as ident-ish tokens, no StrLit.
+        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::StrLit));
+    }
+
+    #[test]
+    fn multiline_raw_string_tracks_lines() {
+        let lf = lex("let s = r\"a\nb\nc\";\nlet t = 1;");
+        let t_tok = lf.tokens.iter().find(|t| t.text == "t").unwrap();
+        assert_eq!(t_tok.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lf = lex("a /* outer /* inner */ still comment */ b");
+        let idents: Vec<&String> =
+            lf.tokens.iter().filter(|t| t.kind == TokenKind::Ident).map(|t| &t.text).collect();
+        assert_eq!(idents, vec!["a", "b"]);
+        assert!(lf.comment_on(1).unwrap().contains("inner"));
+    }
+
+    #[test]
+    fn multiline_block_comment_covers_every_line() {
+        let lf = lex("x\n/* one\ntwo\nthree */\ny");
+        for l in 2..=4 {
+            assert!(lf.comment_on(l).is_some(), "line {l} should have comment text");
+        }
+        let y = lf.tokens.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.line, 5);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str, c: char) { let y = 'x'; let s = 'static; }");
+        let lifetimes: Vec<&String> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).map(|(_, t)| t).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        let chars: Vec<&String> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::CharLit).map(|(_, t)| t).collect();
+        assert_eq!(chars, vec!["'x'"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let a = '\n'; let b = '\u{1F600}'; let c = '\'';");
+        let n = toks.iter().filter(|(k, _)| *k == TokenKind::CharLit).count();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn numbers_stop_before_range() {
+        let toks = kinds("for i in 0..10 { let f = 1.5e3; let h = 0xFF_u32; }");
+        let nums: Vec<&String> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::NumLit).map(|(_, t)| t).collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e3", "0xFF_u32"]);
+    }
+
+    #[test]
+    fn line_comment_text_is_captured() {
+        let lf = lex("code(); // lint:allow(no-wall-clock): reason\nmore();");
+        assert!(lf.comment_on(1).unwrap().contains("lint:allow(no-wall-clock)"));
+        assert!(lf.comment_on(2).is_none());
+    }
+}

@@ -15,6 +15,8 @@
 //! the runtime interprets their emitted [`process::Action`]s. See DESIGN.md
 //! §4 for why this architecture was chosen.
 
+#![forbid(unsafe_code)]
+
 pub mod faults;
 pub mod netmodel;
 pub mod process;

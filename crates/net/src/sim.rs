@@ -20,7 +20,7 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 use crate::faults::{
     FaultEvent, FaultMetrics, FaultPlan, FaultSchedule, LinkFaultRule, LinkOutcome, OpFault,
@@ -148,13 +148,13 @@ pub struct Sim<M: WireSized> {
     rng: Rng,
     trace: Trace,
     /// Links currently forced down (unordered pairs).
-    down_links: HashSet<(NodeId, NodeId)>,
+    down_links: BTreeSet<(NodeId, NodeId)>,
     /// Directions currently forced down (`(from, to)` ordered pairs) — the
     /// asymmetric half of a partition: `from`'s messages to `to` vanish while
     /// the reverse direction still works.
-    down_links_dir: HashSet<(NodeId, NodeId)>,
+    down_links_dir: BTreeSet<(NodeId, NodeId)>,
     /// Per-direction chaos rules applied to every message crossing the link.
-    link_rules: HashMap<(NodeId, NodeId), LinkFaultRule>,
+    link_rules: BTreeMap<(NodeId, NodeId), LinkFaultRule>,
     /// Counters for injected faults (defaults to detached counters; attach a
     /// registry-backed set with [`Sim::set_fault_metrics`]).
     fault_metrics: FaultMetrics,
@@ -178,9 +178,9 @@ impl<M: WireSized + Clone + 'static> Sim<M> {
             now: 0,
             rng,
             trace: Trace::new(),
-            down_links: HashSet::new(),
-            down_links_dir: HashSet::new(),
-            link_rules: HashMap::new(),
+            down_links: BTreeSet::new(),
+            down_links_dir: BTreeSet::new(),
+            link_rules: BTreeMap::new(),
             fault_metrics: FaultMetrics::default(),
             started: false,
             fault_filter: None,

@@ -9,6 +9,9 @@
 //! [`Context::consume`](crate::process::Context::consume) optionally maps to
 //! a real `sleep` via [`ThreadedConfig::time_dilation`].
 
+// lint:allow-file(no-wall-clock): this runtime exists to drive real OS time;
+// the determinism contract applies to the sim runtime only.
+
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;

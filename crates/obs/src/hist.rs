@@ -76,17 +76,22 @@ impl Histogram {
     }
 
     /// Records one observation (µs by convention).
+    ///
+    /// Every cell is an independent statistic and `snapshot()` tolerates
+    /// torn cross-cell reads, so each update is justified individually
+    /// as a relaxed access below.
     pub fn record(&self, value: u64) {
         let c = &self.core;
-        c.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        c.count.fetch_add(1, Ordering::Relaxed);
-        c.sum.fetch_add(value, Ordering::Relaxed);
-        c.min.fetch_min(value, Ordering::Relaxed);
-        c.max.fetch_max(value, Ordering::Relaxed);
+        c.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed); // ordering: independent cell
+        c.count.fetch_add(1, Ordering::Relaxed); // ordering: independent cell
+        c.sum.fetch_add(value, Ordering::Relaxed); // ordering: independent cell
+        c.min.fetch_min(value, Ordering::Relaxed); // ordering: independent cell
+        c.max.fetch_max(value, Ordering::Relaxed); // ordering: independent cell
     }
 
     /// Observations recorded so far.
     pub fn count(&self) -> u64 {
+        // ordering: stats read; staleness is acceptable, no acquire needed
         self.core.count.load(Ordering::Relaxed)
     }
 
@@ -94,6 +99,7 @@ impl Histogram {
     /// true order statistic. Returns 0 for an empty histogram.
     pub fn value_at_quantile(&self, q: f64) -> u64 {
         let counts: Vec<u64> =
+            // ordering: per-bucket stats reads; a torn view only skews quantiles
             self.core.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let total: u64 = counts.iter().sum();
         quantile_from(&counts, total, q)
@@ -102,15 +108,16 @@ impl Histogram {
     /// A consistent summary of the current contents.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let c = &self.core;
+        // ordering: stats reads; a torn cross-cell view is acceptable here
         let counts: Vec<u64> = c.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
         let count: u64 = counts.iter().sum();
-        let sum = c.sum.load(Ordering::Relaxed);
-        let min = c.min.load(Ordering::Relaxed);
+        let sum = c.sum.load(Ordering::Relaxed); // ordering: stats read
+        let min = c.min.load(Ordering::Relaxed); // ordering: stats read
         HistogramSnapshot {
             count,
             sum,
             min: if count == 0 { 0 } else { min },
-            max: c.max.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Relaxed), // ordering: stats read
             mean: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
             p50: quantile_from(&counts, count, 0.50),
             p90: quantile_from(&counts, count, 0.90),

@@ -19,6 +19,8 @@
 //! and never touch the registry's name map again. Recording is a single
 //! relaxed atomic RMW, safe from any thread.
 
+#![forbid(unsafe_code)]
+
 pub mod hist;
 pub mod registry;
 

@@ -23,16 +23,19 @@ impl Counter {
 
     /// Adds one.
     pub fn inc(&self) {
+        // ordering: independent monotonic counter; guards no other memory
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `n`.
     pub fn add(&self, n: u64) {
+        // ordering: independent monotonic counter; guards no other memory
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ordering: stats read; staleness is acceptable, no acquire needed
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -55,11 +58,13 @@ impl Gauge {
 
     /// Sets the level.
     pub fn set(&self, v: i64) {
+        // ordering: single independent cell; guards no other memory
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Adjusts the level by `delta` (may be negative).
     pub fn add(&self, delta: i64) {
+        // ordering: single independent cell; guards no other memory
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
@@ -67,12 +72,14 @@ impl Gauge {
     /// double-discharge (e.g. replaying an already-reaped hint) must never
     /// drive the reported level negative.
     pub fn dec_clamped(&self) {
-        let _ =
-            self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| (v > 0).then(|| v - 1));
+        let clamp = |v: i64| (v > 0).then(|| v - 1);
+        // ordering: lone CAS on the gauge cell; guards no other memory
+        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, clamp);
     }
 
     /// Current level.
     pub fn get(&self) -> i64 {
+        // ordering: stats read; staleness is acceptable, no acquire needed
         self.0.load(Ordering::Relaxed)
     }
 }

@@ -1,8 +1,7 @@
 //! Load-balance statistics for placement schemes (used by Fig. 15 and
 //! ablation A1).
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// Summary statistics over per-node record counts.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,11 +26,11 @@ pub struct BalanceStats {
 
 /// Computes balance statistics from an iterator of per-record owners,
 /// over the full node population `all_nodes` (so empty nodes count).
-pub fn balance_stats<N: Eq + Hash + Clone>(
+pub fn balance_stats<N: Ord + Clone>(
     owners: impl IntoIterator<Item = N>,
     all_nodes: impl IntoIterator<Item = N>,
 ) -> BalanceStats {
-    let mut counts: HashMap<N, usize> = all_nodes.into_iter().map(|n| (n, 0)).collect();
+    let mut counts: BTreeMap<N, usize> = all_nodes.into_iter().map(|n| (n, 0)).collect();
     let mut total = 0usize;
     for owner in owners {
         *counts.entry(owner).or_insert(0) += 1;

@@ -25,6 +25,8 @@
 //! assert_eq!(replicas.len(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod balance;
 pub mod md5;
 pub mod modn;

@@ -11,7 +11,7 @@
 //! (we widen Ketama's 32-bit points to 64 bits so point collisions are
 //! negligible at cluster scale).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::Hash;
 
@@ -84,13 +84,13 @@ struct NodeInfo {
 #[derive(Debug, Clone, Default)]
 pub struct HashRing<N: Clone + Eq + Hash + Ord> {
     points: BTreeMap<u64, N>,
-    nodes: HashMap<N, NodeInfo>,
+    nodes: BTreeMap<N, NodeInfo>,
 }
 
 impl<N: Clone + Eq + Hash + Ord> HashRing<N> {
     /// Creates an empty ring.
     pub fn new() -> Self {
-        HashRing { points: BTreeMap::new(), nodes: HashMap::new() }
+        HashRing { points: BTreeMap::new(), nodes: BTreeMap::new() }
     }
 
     /// Hashes a record key to its ring point (MD5, first 8 bytes,

@@ -11,6 +11,8 @@
 //! * [`metrics`] — TTFB/TTLB summaries, RPS/throughput windows, and the
 //!   Fig. 17 cumulative-completion curve.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod corpus;
 pub mod metrics;

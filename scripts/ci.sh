@@ -7,6 +7,18 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> mystore-lint --workspace"
+# The in-tree static-analysis pass (DESIGN.md §10): determinism, panic
+# freedom, and atomics hygiene. Fails on any unexempted diagnostic.
+cargo run --release -q -p mystore-lint -- --workspace
+# The linter itself must still catch the seeded fixture violations; if the
+# fixture ever lints clean, the rules have silently stopped firing.
+if cargo run --release -q -p mystore-lint -- \
+    crates/lint/tests/fixtures/badcrate/src/lib.rs >/dev/null 2>&1; then
+  echo "lint fixture unexpectedly clean — rule engine is broken"
+  exit 1
+fi
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

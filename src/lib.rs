@@ -3,6 +3,8 @@
 //! Facade crate re-exporting the whole workspace. See the README for the
 //! architecture overview and `mystore_core` for the system itself.
 
+#![forbid(unsafe_code)]
+
 pub use mystore_baselines as baselines;
 pub use mystore_bson as bson;
 pub use mystore_cache as cache;
