@@ -137,7 +137,7 @@ impl Default for FsCost {
 /// MyStore ("the three storage systems are all bounded to RESTful
 /// interfaces", §6.1).
 pub struct FsStoreNode {
-    data: HashMap<String, Vec<u8>>,
+    data: HashMap<String, mystore_core::message::Body>,
     cost: FsCost,
     served: u64,
 }
@@ -150,7 +150,7 @@ impl FsStoreNode {
 
     /// Preloads a record without charging service time (corpus setup).
     pub fn preload(&mut self, key: impl Into<String>, value: Vec<u8>) {
-        self.data.insert(key.into(), value);
+        self.data.insert(key.into(), value.into());
     }
 
     /// Requests served so far.
@@ -175,7 +175,7 @@ impl Process<Msg> for FsStoreNode {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
         let Msg::RestReq(r) = msg else { return };
         self.served += 1;
-        let reply = |status_code: u16, body: Vec<u8>| {
+        let reply = |status_code: u16, body: mystore_core::message::Body| {
             Msg::RestResp(RestResponse {
                 req: r.req,
                 status: status_code,
@@ -185,7 +185,7 @@ impl Process<Msg> for FsStoreNode {
             })
         };
         let Some(key) = r.key.clone() else {
-            ctx.send(from, reply(status::BAD_REQUEST, Vec::new()));
+            ctx.send(from, reply(status::BAD_REQUEST, Default::default()));
             return;
         };
         match r.method {
@@ -199,7 +199,7 @@ impl Process<Msg> for FsStoreNode {
                 }
                 None => {
                     ctx.consume(self.cost.read_base_us);
-                    ctx.send(from, reply(status::NOT_FOUND, Vec::new()));
+                    ctx.send(from, reply(status::NOT_FOUND, Default::default()));
                 }
             },
             Method::Post => {
@@ -208,12 +208,12 @@ impl Process<Msg> for FsStoreNode {
                         + (r.body.len() as f64 / self.cost.write_bytes_per_us) as u64,
                 );
                 self.data.insert(key, r.body);
-                ctx.send(from, reply(status::OK, Vec::new()));
+                ctx.send(from, reply(status::OK, Default::default()));
             }
             Method::Delete => {
                 ctx.consume(self.cost.write_base_us);
                 self.data.remove(&key);
-                ctx.send(from, reply(status::OK, Vec::new()));
+                ctx.send(from, reply(status::OK, Default::default()));
             }
         }
     }
@@ -279,7 +279,8 @@ mod tests {
                         req: 1,
                         method: Method::Post,
                         key: Some("k".into()),
-                        body: b"blob".to_vec(),
+                        body: b"blob".to_vec().into(),
+                        if_match: None,
                         auth: None,
                     }),
                 ),
@@ -290,7 +291,8 @@ mod tests {
                         req: 2,
                         method: Method::Get,
                         key: Some("k".into()),
-                        body: vec![],
+                        body: Default::default(),
+                        if_match: None,
                         auth: None,
                     }),
                 ),
@@ -301,7 +303,8 @@ mod tests {
                         req: 3,
                         method: Method::Get,
                         key: None,
-                        body: vec![],
+                        body: Default::default(),
+                        if_match: None,
                         auth: None,
                     }),
                 ),
@@ -313,7 +316,7 @@ mod tests {
         let p = sim.process::<Probe>(probe).unwrap();
         assert!(matches!(p.response_for(1), Some(Msg::RestResp(r)) if r.status == status::OK));
         assert!(
-            matches!(p.response_for(2), Some(Msg::RestResp(r)) if r.status == status::OK && r.body == b"blob")
+            matches!(p.response_for(2), Some(Msg::RestResp(r)) if r.status == status::OK && *r.body == b"blob")
         );
         assert!(
             matches!(p.response_for(3), Some(Msg::RestResp(r)) if r.status == status::BAD_REQUEST)

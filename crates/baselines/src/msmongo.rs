@@ -90,7 +90,9 @@ impl Process<Msg> for MsMongoNode {
                 let record = if delete {
                     Record::tombstone(ObjectId::new(), key, version)
                 } else {
-                    Record::new(ObjectId::new(), key, value, version)
+                    let owned = std::sync::Arc::try_unwrap(value)
+                        .unwrap_or_else(|shared| (*shared).clone());
+                    Record::new(ObjectId::new(), key, owned, version)
                 };
                 ctx.consume(self.cost.put_us(record.val.len()));
                 self.puts += 1;
@@ -118,7 +120,7 @@ impl Process<Msg> for MsMongoNode {
                 let found = self.db.get_record("data", &key).ok().flatten();
                 ctx.consume(self.cost.get_us(found.as_ref().map(|r| r.val.len()).unwrap_or(0)));
                 let result = match found {
-                    Some(r) if !r.is_del => Ok(Some(r.val)),
+                    Some(r) if !r.is_del => Ok(Some(std::sync::Arc::new(r.val))),
                     _ => Ok(None),
                 };
                 ctx.send(from, Msg::GetResp { req, result });
@@ -181,7 +183,7 @@ mod tests {
         let script = vec![(
             1_000,
             NodeId(2), // master
-            Msg::Put { req: 1, key: "k".into(), value: b"v".to_vec(), delete: false },
+            Msg::Put { req: 1, key: "k".into(), value: b"v".to_vec().into(), delete: false },
         )];
         let (mut sim, master, slaves, probe) = build(1, script);
         sim.run_until(SimTime::from_secs(2));
@@ -199,12 +201,12 @@ mod tests {
             (
                 1_000,
                 NodeId(2),
-                Msg::Put { req: 1, key: "k".into(), value: b"v".to_vec(), delete: false },
+                Msg::Put { req: 1, key: "k".into(), value: b"v".to_vec().into(), delete: false },
             ),
             (
                 500_000,
                 NodeId(0),
-                Msg::Put { req: 2, key: "x".into(), value: b"v".to_vec(), delete: false },
+                Msg::Put { req: 2, key: "x".into(), value: b"v".to_vec().into(), delete: false },
             ),
             (600_000, NodeId(0), Msg::Get { req: 3, key: "k".into() }),
         ];
@@ -218,11 +220,15 @@ mod tests {
     #[test]
     fn master_breakdown_stalls_all_writes() {
         let script = vec![
-            (1_000, NodeId(2), Msg::Put { req: 1, key: "a".into(), value: vec![1], delete: false }),
+            (
+                1_000,
+                NodeId(2),
+                Msg::Put { req: 1, key: "a".into(), value: vec![1].into(), delete: false },
+            ),
             (
                 2_000_000,
                 NodeId(2),
-                Msg::Put { req: 2, key: "b".into(), value: vec![2], delete: false },
+                Msg::Put { req: 2, key: "b".into(), value: vec![2].into(), delete: false },
             ),
         ];
         let (mut sim, master, _, probe) = build(3, script);

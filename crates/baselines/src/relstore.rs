@@ -57,7 +57,7 @@ pub enum RelRole {
 pub struct RelStoreNode {
     role: RelRole,
     /// The BLOB table: `obj_key (PK) → blob`.
-    table: BTreeMap<String, Vec<u8>>,
+    table: BTreeMap<String, mystore_core::message::Body>,
     cost: RelCost,
     writes: u64,
     reads: u64,
@@ -71,7 +71,7 @@ impl RelStoreNode {
 
     /// Preloads a row without charging service time.
     pub fn preload(&mut self, key: impl Into<String>, value: Vec<u8>) {
-        self.table.insert(key.into(), value);
+        self.table.insert(key.into(), value.into());
     }
 
     /// Rows in the table.
@@ -113,7 +113,7 @@ impl Process<Msg> for RelStoreNode {
 
 impl RelStoreNode {
     fn serve_rest(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, r: RestRequest) {
-        let reply = |status_code: u16, body: Vec<u8>| {
+        let reply = |status_code: u16, body: mystore_core::message::Body| {
             Msg::RestResp(RestResponse {
                 req: r.req,
                 status: status_code,
@@ -123,7 +123,7 @@ impl RelStoreNode {
             })
         };
         let Some(key) = r.key.clone() else {
-            ctx.send(from, reply(status::BAD_REQUEST, Vec::new()));
+            ctx.send(from, reply(status::BAD_REQUEST, Default::default()));
             return;
         };
         match r.method {
@@ -139,14 +139,14 @@ impl RelStoreNode {
                     }
                     None => {
                         ctx.consume(self.cost.select_base_us);
-                        ctx.send(from, reply(status::NOT_FOUND, Vec::new()));
+                        ctx.send(from, reply(status::NOT_FOUND, Default::default()));
                     }
                 }
             }
             Method::Post | Method::Delete => {
                 // Writes only on the master.
                 let RelRole::Master { slave } = self.role else {
-                    ctx.send(from, reply(status::STORAGE_ERROR, Vec::new()));
+                    ctx.send(from, reply(status::STORAGE_ERROR, Default::default()));
                     return;
                 };
                 self.writes += 1;
@@ -166,7 +166,7 @@ impl RelStoreNode {
                         ctx.send(slave, Msg::CacheDel { key });
                     }
                 }
-                ctx.send(from, reply(status::OK, Vec::new()));
+                ctx.send(from, reply(status::OK, Default::default()));
             }
         }
     }
@@ -183,7 +183,8 @@ mod tests {
             req,
             method,
             key: Some(key.into()),
-            body: body.to_vec(),
+            body: body.to_vec().into(),
+            if_match: None,
             auth: None,
         })
     }
@@ -212,7 +213,7 @@ mod tests {
         let p = sim.process::<Probe>(probe).unwrap();
         assert!(matches!(p.response_for(1), Some(Msg::RestResp(r)) if r.status == status::OK));
         assert!(
-            matches!(p.response_for(2), Some(Msg::RestResp(r)) if r.status == status::OK && r.body == b"blob"),
+            matches!(p.response_for(2), Some(Msg::RestResp(r)) if r.status == status::OK && *r.body == b"blob"),
             "slave must serve the replicated row"
         );
         assert!(

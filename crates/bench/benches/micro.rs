@@ -116,7 +116,7 @@ fn bench_cache(c: &mut Criterion) {
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % 10_000;
-            lru.get(&format!("k{i}")).map(<[u8]>::len)
+            lru.get(&format!("k{i}")).map(|v| v.len())
         })
     });
     g.bench_function("lru_insert_evict", |b| {
@@ -175,7 +175,7 @@ fn bench_quorum_write(c: &mut Criterion) {
                                     Msg::Put {
                                         req: i,
                                         key: format!("bench-{i}"),
-                                        value: vec![0; 4096],
+                                        value: vec![0; 4096].into(),
                                         delete: false,
                                     },
                                 )

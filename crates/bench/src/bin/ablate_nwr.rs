@@ -59,7 +59,7 @@ impl Process<Msg> for PutGetProbe {
             Msg::GetResp { result, .. } if self.awaiting_get => {
                 self.awaiting_get = false;
                 match result {
-                    Ok(Some(v)) if v == self.value() => self.fresh += 1,
+                    Ok(Some(v)) if *v == self.value() => self.fresh += 1,
                     _ => self.stale += 1,
                 }
                 self.cursor += 1;
@@ -77,7 +77,12 @@ impl Process<Msg> for PutGetProbe {
         self.put_sent_at = ctx.now().as_micros();
         ctx.send(
             self.put_to,
-            Msg::Put { req: self.cursor, key: self.key(), value: self.value(), delete: false },
+            Msg::Put {
+                req: self.cursor,
+                key: self.key(),
+                value: self.value().into(),
+                delete: false,
+            },
         );
     }
 }

@@ -1,0 +1,176 @@
+//! `BENCH_PR5` — quorum-engine refactor acceptance run.
+//!
+//! Re-runs the exact `BENCH_PR1` workload (seed 4242, 300 clients, 80%
+//! GET / 20% POST, 20 s) on the post-refactor generic quorum driver and
+//! compares every headline number against the pre-refactor baseline
+//! captured before `storage_node.rs` was split. The run is seeded and the
+//! driver's schedule is locked bit-identical by the `quorum_golden` test,
+//! so the comparison tolerance is tight: anything beyond noise means the
+//! refactor changed the coordinator's behaviour, not just its layout.
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p mystore-bench --bin bench_pr5
+//! ```
+
+use std::sync::Arc;
+
+use mystore_bench::harness::{run_rest_comparison, RestRun, SystemKind};
+use mystore_bench::report::{fmt, print_table, save_json};
+use mystore_net::Rng;
+use mystore_obs::HistogramSnapshot;
+use mystore_workload::xml_corpus;
+
+/// Pre-refactor numbers for this exact workload + seed, measured at the
+/// commit before the `storage_node/` split (monolithic coordinator).
+struct Baseline {
+    write: [u64; 5], // count, p50, p95, p99, max (µs)
+    read: [u64; 5],
+    rps: f64,
+    completed: u64,
+    errors: u64,
+}
+
+const BASELINE: Baseline = Baseline {
+    write: [4858, 1888, 3136, 3264, 3334],
+    read: [1572, 0, 1248, 1312, 1341],
+    rps: 1197.0,
+    completed: 23785,
+    errors: 0,
+};
+
+/// Relative tolerance for latency percentiles and throughput. The sim is
+/// seeded, so the only legitimate drift is from intentional satellite
+/// changes (e.g. the `Arc` body sharing); 10% is far above noise and far
+/// below any real regression.
+const TOLERANCE: f64 = 0.10;
+
+fn hist_row(h: &HistogramSnapshot) -> [u64; 5] {
+    [h.count, h.p50, h.p95, h.p99, h.max]
+}
+
+fn hist_json(h: &HistogramSnapshot) -> serde_json::Value {
+    serde_json::json!({
+        "count": h.count,
+        "mean_us": h.mean,
+        "p50_us": h.p50,
+        "p90_us": h.p90,
+        "p95_us": h.p95,
+        "p99_us": h.p99,
+        "max_us": h.max,
+    })
+}
+
+fn within(label: &str, got: f64, want: f64, failures: &mut Vec<String>) {
+    // Absolute floor of 50 µs so tiny percentiles (read p50 is 0 µs — pure
+    // cache hits) don't fail on meaningless relative deltas.
+    let slack = (want.abs() * TOLERANCE).max(50.0);
+    if (got - want).abs() > slack {
+        failures.push(format!("{label}: got {got:.0}, baseline {want:.0} (±{slack:.0})"));
+    }
+}
+
+fn main() {
+    let scale = 10;
+    let mut rng = Rng::new(4242);
+    let items = Arc::new(xml_corpus(2_000, scale, &mut rng));
+
+    let mut run = RestRun::new(SystemKind::MyStore, Arc::clone(&items));
+    run.clients = 300;
+    run.read_ratio = 0.8;
+    run.duration_us = 20_000_000;
+    run.seed = 4242;
+    let r = run_rest_comparison(&run);
+
+    let snap = r.metrics.as_ref().expect("MyStore runs carry a metrics snapshot");
+    let wlat = &snap.histograms["quorum.write.latency_us"];
+    let rlat = &snap.histograms["quorum.read.latency_us"];
+    let (w, rd) = (hist_row(wlat), hist_row(rlat));
+
+    println!("\n=== BENCH_PR5 — post-refactor vs pre-refactor baseline ===");
+    let headers: Vec<String> =
+        ["path", "count", "p50_us", "p95_us", "p99_us", "max_us"].map(String::from).into();
+    let row = |name: &str, v: &[u64; 5]| -> Vec<String> {
+        let mut out = vec![name.to_string()];
+        out.extend(v.iter().map(|x| x.to_string()));
+        out
+    };
+    let rows = vec![
+        row("write (baseline)", &BASELINE.write),
+        row("write (refactor)", &w),
+        row("read  (baseline)", &BASELINE.read),
+        row("read  (refactor)", &rd),
+    ];
+    print_table(&headers, &rows);
+    println!(
+        "  rps={} (baseline {}) completed={} (baseline {}) errors={}",
+        fmt(r.rps),
+        fmt(BASELINE.rps),
+        r.completed,
+        BASELINE.completed,
+        r.errors
+    );
+
+    // The acceptance gate: every headline number within noise.
+    let mut failures = Vec::new();
+    for (i, label) in ["count", "p50", "p95", "p99", "max"].iter().enumerate() {
+        within(&format!("write.{label}"), w[i] as f64, BASELINE.write[i] as f64, &mut failures);
+        within(&format!("read.{label}"), rd[i] as f64, BASELINE.read[i] as f64, &mut failures);
+    }
+    within("rps", r.rps, BASELINE.rps, &mut failures);
+    within("completed", r.completed as f64, BASELINE.completed as f64, &mut failures);
+    if r.errors != BASELINE.errors {
+        failures.push(format!("errors: got {}, baseline {}", r.errors, BASELINE.errors));
+    }
+
+    let json = serde_json::json!({
+        "id": "BENCH_PR5",
+        "title": "quorum-engine refactor: latency/throughput vs pre-refactor baseline",
+        "system": r.system,
+        "workload": serde_json::json!({
+            "clients": run.clients,
+            "read_ratio": run.read_ratio,
+            "duration_us": run.duration_us,
+            "corpus_items": items.len(),
+            "corpus_scale": format!("1:{scale}"),
+            "seed": run.seed,
+        }),
+        "tolerance": TOLERANCE,
+        "baseline": serde_json::json!({
+            "write": serde_json::json!({
+                "count": BASELINE.write[0], "p50_us": BASELINE.write[1],
+                "p95_us": BASELINE.write[2], "p99_us": BASELINE.write[3],
+                "max_us": BASELINE.write[4],
+            }),
+            "read": serde_json::json!({
+                "count": BASELINE.read[0], "p50_us": BASELINE.read[1],
+                "p95_us": BASELINE.read[2], "p99_us": BASELINE.read[3],
+                "max_us": BASELINE.read[4],
+            }),
+            "rps": BASELINE.rps,
+            "completed": BASELINE.completed,
+            "errors": BASELINE.errors,
+        }),
+        "refactor": serde_json::json!({
+            "write": hist_json(wlat),
+            "read": hist_json(rlat),
+            "rps": r.rps,
+            "completed": r.completed,
+            "errors": r.errors,
+        }),
+        "within_noise": failures.is_empty(),
+        "failures": failures,
+        "stats": snap.to_json(),
+    });
+    save_json("BENCH_PR5", &json).expect("write results/BENCH_PR5.json");
+
+    if failures.is_empty() {
+        println!("  within noise: yes (±{}%)", (TOLERANCE * 100.0) as u32);
+    } else {
+        eprintln!("  REGRESSION vs pre-refactor baseline:");
+        for f in &failures {
+            eprintln!("    {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -56,7 +56,7 @@ fn main() {
             let m = Msg::Put {
                 req: i,
                 key: format!("chaos-{i}"),
-                value: vec![(i % 251) as u8; 64],
+                value: vec![(i % 251) as u8; 64].into(),
                 delete: false,
             };
             (warm + 500_000 + i * 230_000, NodeId((i % 2) as u32), m)

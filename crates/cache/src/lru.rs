@@ -7,9 +7,12 @@
 //!
 //! Implementation: an intrusive doubly-linked list over a slab of entries,
 //! with a `HashMap` from key to slot — O(1) get/put/evict with no
-//! per-operation allocation beyond the stored data.
+//! per-operation allocation beyond the stored data. Values are held behind
+//! `Arc` so a hit hands the caller a shared reference to the cached bytes
+//! instead of copying them out.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Statistics counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,7 +43,7 @@ const NIL: usize = usize::MAX;
 
 struct Entry {
     key: String,
-    value: Vec<u8>,
+    value: Arc<Vec<u8>>,
     prev: usize,
     next: usize,
 }
@@ -98,14 +101,15 @@ impl LruCache {
         self.stats
     }
 
-    /// Looks up `key`, promoting it to most-recently-used on hit.
-    pub fn get(&mut self, key: &str) -> Option<&[u8]> {
+    /// Looks up `key`, promoting it to most-recently-used on hit. The hit
+    /// shares the stored allocation — no payload copy.
+    pub fn get(&mut self, key: &str) -> Option<Arc<Vec<u8>>> {
         match self.map.get(key).copied() {
             Some(idx) => {
                 self.stats.hits += 1;
                 self.unlink(idx);
                 self.push_front(idx);
-                Some(&self.slab[idx].value)
+                Some(Arc::clone(&self.slab[idx].value))
             }
             None => {
                 self.stats.misses += 1;
@@ -121,7 +125,9 @@ impl LruCache {
 
     /// Inserts or replaces `key`. Evicts LRU entries until the item fits;
     /// an item larger than the whole cache is rejected (returns `false`).
-    pub fn put(&mut self, key: &str, value: Vec<u8>) -> bool {
+    /// Accepts an already-shared `Arc` (no copy) or a plain `Vec`.
+    pub fn put(&mut self, key: &str, value: impl Into<Arc<Vec<u8>>>) -> bool {
+        let value = value.into();
         let item_bytes = key.len() + value.len();
         if item_bytes > self.capacity_bytes {
             self.stats.rejected += 1;
@@ -179,7 +185,7 @@ impl LruCache {
         out
     }
 
-    fn alloc(&mut self, key: String, value: Vec<u8>) -> usize {
+    fn alloc(&mut self, key: String, value: Arc<Vec<u8>>) -> usize {
         let entry = Entry { key, value, prev: NIL, next: NIL };
         match self.free.pop() {
             Some(idx) => {
@@ -194,7 +200,7 @@ impl LruCache {
     }
 
     fn release(&mut self, idx: usize) {
-        self.slab[idx].value = Vec::new();
+        self.slab[idx].value = Arc::new(Vec::new());
         self.slab[idx].key = String::new();
         self.free.push(idx);
     }
@@ -252,7 +258,7 @@ mod tests {
         assert!(c.put("b", vec![2; 10]));
         assert!(c.put("c", vec![3; 10]));
         assert_eq!(c.keys_by_recency(), ["c", "b", "a"]);
-        assert_eq!(c.get("a"), Some(&[1u8; 10][..]));
+        assert_eq!(c.get("a").as_deref(), Some(&vec![1u8; 10]));
         assert_eq!(c.keys_by_recency(), ["a", "c", "b"]);
         assert_eq!(c.len(), 3);
     }
@@ -312,7 +318,7 @@ mod tests {
         assert_eq!(c.used_bytes(), 0);
         c.put("b", vec![2]);
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get("b"), Some(&[2u8][..]));
+        assert_eq!(c.get("b").as_deref(), Some(&vec![2u8]));
     }
 
     #[test]

@@ -76,9 +76,9 @@ impl CacheTier {
         (u64::from_le_bytes(d[..8].try_into().expect("len 8")) % self.shards.len() as u64) as usize
     }
 
-    /// Looks up `key` on its shard.
-    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
-        let found = self.shards[self.shard_of(key)].lock().get(key).map(|v| v.to_vec());
+    /// Looks up `key` on its shard; a hit shares the cached allocation.
+    pub fn get(&self, key: &str) -> Option<std::sync::Arc<Vec<u8>>> {
+        let found = self.shards[self.shard_of(key)].lock().get(key);
         if found.is_some() {
             self.metrics.hits.inc();
         } else {
@@ -88,7 +88,7 @@ impl CacheTier {
     }
 
     /// Inserts `key` on its shard; returns `false` if rejected (oversized).
-    pub fn put(&self, key: &str, value: Vec<u8>) -> bool {
+    pub fn put(&self, key: &str, value: impl Into<std::sync::Arc<Vec<u8>>>) -> bool {
         self.metrics.inserts.inc();
         self.shards[self.shard_of(key)].lock().put(key, value)
     }
@@ -155,7 +155,7 @@ mod tests {
         let tier = CacheTier::new(4, 1024);
         assert!(tier.get("a").is_none());
         assert!(tier.put("a", vec![1, 2, 3]));
-        assert_eq!(tier.get("a"), Some(vec![1, 2, 3]));
+        assert_eq!(tier.get("a").as_deref(), Some(&vec![1, 2, 3]));
         assert!(tier.remove("a"));
         assert!(tier.get("a").is_none());
         let s = tier.stats();

@@ -82,7 +82,7 @@ proptest! {
             match op {
                 Op::Get(k) => {
                     let key = format!("key{k}");
-                    let a = real.get(&key).map(<[u8]>::to_vec);
+                    let a = real.get(&key).map(|v| v.as_ref().clone());
                     let b = model.get(&key);
                     prop_assert_eq!(a, b, "get {} diverged", key);
                 }

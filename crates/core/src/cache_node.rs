@@ -53,8 +53,10 @@ impl Process<Msg> for CacheNode {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
         match msg {
             Msg::CacheGet { req, key } => {
-                let value = self.lru.get(&key).map(|v| v.to_vec());
-                ctx.consume(self.cost.cache_us(value.as_ref().map(Vec::len).unwrap_or(0)));
+                // A hit shares the cached allocation with the response — the
+                // payload is never copied on the cache path.
+                let value = self.lru.get(&key);
+                ctx.consume(self.cost.cache_us(value.as_ref().map(|v| v.len()).unwrap_or(0)));
                 if value.is_some() {
                     self.metrics.hits.inc();
                 } else {
@@ -92,7 +94,11 @@ mod tests {
         let cache =
             sim.add_node(CacheNode::new(1 << 20, CostModel::default()), NodeConfig::default());
         sim.start();
-        sim.inject(SimTime(1), cache, Msg::CachePut { key: "k".into(), value: vec![7; 10] });
+        sim.inject(
+            SimTime(1),
+            cache,
+            Msg::CachePut { key: "k".into(), value: std::sync::Arc::new(vec![7; 10]) },
+        );
         sim.inject(SimTime(2), cache, Msg::CacheGet { req: 1, key: "k".into() });
         sim.inject(SimTime(3), cache, Msg::CacheGet { req: 2, key: "missing".into() });
         sim.inject(SimTime(4), cache, Msg::CacheDel { key: "k".into() });

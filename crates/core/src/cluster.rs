@@ -190,6 +190,7 @@ impl ClusterSpec {
             cost: self.cost.clone(),
             request_deadline_us: self.request_deadline_us * 5,
             redispatch_max: 1,
+            max_key_bytes: 1024,
             auth: None,
             metrics: Registry::new(),
         }

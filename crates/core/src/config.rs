@@ -240,6 +240,9 @@ pub struct FrontendConfig {
     /// names. Duplicate completions are harmless (writes are last-write-wins
     /// and the first response to arrive wins). Zero restores fail-fast.
     pub redispatch_max: u32,
+    /// Longest key (bytes) accepted on the REST surface; longer keys are
+    /// rejected with `400` before anything is forwarded to storage.
+    pub max_key_bytes: usize,
     /// Enable URI-signature authentication (paper Fig. 2).
     pub auth: Option<crate::auth::AuthConfig>,
     /// Metrics registry; share one handle cluster-wide so the front end's
@@ -256,6 +259,7 @@ impl Default for FrontendConfig {
             cost: CostModel::default(),
             request_deadline_us: 5_000_000,
             redispatch_max: 1,
+            max_key_bytes: 1024,
             auth: None,
             metrics: Registry::new(),
         }

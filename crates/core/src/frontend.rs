@@ -16,12 +16,27 @@ use mystore_ring::HashRing;
 
 use crate::auth::TokenStore;
 use crate::config::FrontendConfig;
-use crate::message::{status, Method, Msg, RestRequest, RestResponse};
+use crate::message::{status, Body, Method, Msg, RestRequest, RestResponse, StoreError};
 
 const TK_DEADLINE: u64 = 1;
 
 fn tk_deadline(req: u64) -> TimerToken {
     (req << 3) | TK_DEADLINE
+}
+
+/// Replies to a request that was never admitted (no `Pending` entry to
+/// route through [`Frontend::respond`]).
+fn reply_now(ctx: &mut Context<'_, Msg>, client: NodeId, req: u64, status_code: u16, body: Body) {
+    ctx.send(
+        client,
+        Msg::RestResp(RestResponse {
+            req,
+            status: status_code,
+            body,
+            assigned_key: None,
+            from_cache: false,
+        }),
+    );
 }
 
 /// What a pending request is waiting on.
@@ -37,7 +52,12 @@ struct Pending {
     client_req: u64,
     method: Method,
     key: String,
-    body: Vec<u8>,
+    /// The request payload, shared with every forward of this request (the
+    /// front end never copies the bytes — see [`Body`]).
+    body: Body,
+    /// Parsed `If-Match` version predicate: `Some` routes the write as a
+    /// CAS instead of a plain PUT.
+    if_match: Option<u64>,
     assigned_key: Option<String>,
     phase: Phase,
     redispatches: u32,
@@ -180,7 +200,7 @@ impl Frontend {
         ctx: &mut Context<'_, Msg>,
         req: u64,
         status_code: u16,
-        body: Vec<u8>,
+        body: Body,
         from_cache: bool,
     ) {
         let Some(p) = self.pending.get_mut(&req) else { return };
@@ -211,17 +231,8 @@ impl Frontend {
         // status page.
         if r.method == Method::Get && r.key.as_deref() == Some("_stats") {
             ctx.consume(self.cfg.cost.frontend_base_us);
-            let body = self.cfg.metrics.snapshot().to_pretty_string().into_bytes();
-            ctx.send(
-                client,
-                Msg::RestResp(RestResponse {
-                    req: r.req,
-                    status: status::OK,
-                    body,
-                    assigned_key: None,
-                    from_cache: false,
-                }),
-            );
+            let body: Body = self.cfg.metrics.snapshot().to_pretty_string().into_bytes().into();
+            reply_now(ctx, client, r.req, status::OK, body);
             return;
         }
         // Admission control (the spawn-fcgi process-pool bound). Shedding
@@ -232,16 +243,7 @@ impl Frontend {
             self.stats.shed += 1;
             self.metrics.shed.inc();
             ctx.record("fe_shed", 1.0);
-            ctx.send(
-                client,
-                Msg::RestResp(RestResponse {
-                    req: r.req,
-                    status: status::BUSY,
-                    body: Vec::new(),
-                    assigned_key: None,
-                    from_cache: false,
-                }),
-            );
+            reply_now(ctx, client, r.req, status::BUSY, Body::default());
             return;
         }
         ctx.consume(self.cfg.cost.frontend_us(r.body.len()));
@@ -254,33 +256,37 @@ impl Frontend {
             if !ok {
                 self.stats.auth_failures += 1;
                 self.metrics.auth_failures.inc();
-                ctx.send(
-                    client,
-                    Msg::RestResp(RestResponse {
-                        req: r.req,
-                        status: status::UNAUTHORIZED,
-                        body: Vec::new(),
-                        assigned_key: None,
-                        from_cache: false,
-                    }),
-                );
+                reply_now(ctx, client, r.req, status::UNAUTHORIZED, Body::default());
                 return;
             }
         }
+        // Request-shape validation. Everything here answers `400` straight
+        // from the front end: a malformed request must never reach a
+        // coordinator (the REST-conformance tests assert no storage message
+        // is emitted for any of these).
         // DELETE must address a key (§4).
         if r.method == Method::Delete && r.key.is_none() {
-            ctx.send(
-                client,
-                Msg::RestResp(RestResponse {
-                    req: r.req,
-                    status: status::BAD_REQUEST,
-                    body: Vec::new(),
-                    assigned_key: None,
-                    from_cache: false,
-                }),
-            );
+            reply_now(ctx, client, r.req, status::BAD_REQUEST, Body::default());
             return;
         }
+        // Keys are bounded (they travel in every replica message).
+        if r.key.as_ref().is_some_and(|k| k.len() > self.cfg.max_key_bytes) {
+            reply_now(ctx, client, r.req, status::BAD_REQUEST, Body::default());
+            return;
+        }
+        // `If-Match` must be a decimal version, and only means something on
+        // a keyed POST (a CAS needs an existing key to condition on; `0`
+        // with a key states "create only if absent").
+        let if_match = match &r.if_match {
+            None => None,
+            Some(raw) => match raw.trim().parse::<u64>() {
+                Ok(v) if r.method == Method::Post && r.key.is_some() => Some(v),
+                _ => {
+                    reply_now(ctx, client, r.req, status::BAD_REQUEST, Body::default());
+                    return;
+                }
+            },
+        };
         self.stats.admitted += 1;
         self.metrics.admitted.inc();
         let req = self.fresh_req();
@@ -293,16 +299,7 @@ impl Frontend {
                 (k.clone(), Some(k))
             }
             (None, _) => {
-                ctx.send(
-                    client,
-                    Msg::RestResp(RestResponse {
-                        req: r.req,
-                        status: status::BAD_REQUEST,
-                        body: Vec::new(),
-                        assigned_key: None,
-                        from_cache: false,
-                    }),
-                );
+                reply_now(ctx, client, r.req, status::BAD_REQUEST, Body::default());
                 return;
             }
         };
@@ -312,6 +309,7 @@ impl Frontend {
             method: r.method,
             key: key.clone(),
             body: r.body,
+            if_match,
             assigned_key,
             phase: Phase::Store,
             redispatches: 0,
@@ -333,9 +331,14 @@ impl Frontend {
                 }
             }
             Method::Post => {
+                // The payload is an `Arc` — cloning shares it with the
+                // pending entry, nothing is copied.
                 let value = pending.body.clone();
                 self.pending.insert(req, pending);
-                self.forward_put(ctx, req, key, value, false);
+                match if_match {
+                    Some(expected) => self.forward_cas(ctx, req, key, value, expected),
+                    None => self.forward_put(ctx, req, key, value, false),
+                }
             }
             Method::Delete => {
                 // Invalidate the cache eagerly; the DB copy is tombstoned.
@@ -343,7 +346,7 @@ impl Frontend {
                     ctx.send(cache, Msg::CacheDel { key: key.clone() });
                 }
                 self.pending.insert(req, pending);
-                self.forward_put(ctx, req, key, Vec::new(), true);
+                self.forward_put(ctx, req, key, Body::default(), true);
             }
         }
         self.metrics.inflight.set(self.pending.len() as i64);
@@ -358,7 +361,7 @@ impl Frontend {
                 }
                 ctx.send(node, Msg::Get { req, key });
             }
-            None => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
+            None => self.respond(ctx, req, status::STORAGE_ERROR, Body::default(), false),
         }
     }
 
@@ -367,7 +370,7 @@ impl Frontend {
         ctx: &mut Context<'_, Msg>,
         req: u64,
         key: String,
-        value: Vec<u8>,
+        value: Body,
         delete: bool,
     ) {
         let avoid = self.pending.get(&req).and_then(|p| p.last_node);
@@ -378,7 +381,27 @@ impl Frontend {
                 }
                 ctx.send(node, Msg::Put { req, key, value, delete });
             }
-            None => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
+            None => self.respond(ctx, req, status::STORAGE_ERROR, Body::default(), false),
+        }
+    }
+
+    fn forward_cas(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        req: u64,
+        key: String,
+        value: Body,
+        expected: u64,
+    ) {
+        let avoid = self.pending.get(&req).and_then(|p| p.last_node);
+        match self.next_storage(avoid) {
+            Some(node) => {
+                if let Some(p) = self.pending.get_mut(&req) {
+                    p.last_node = Some(node);
+                }
+                ctx.send(node, Msg::Cas { req, key, value, expected });
+            }
+            None => self.respond(ctx, req, status::STORAGE_ERROR, Body::default(), false),
         }
     }
 }
@@ -436,8 +459,8 @@ impl Process<Msg> for Frontend {
                         }
                         self.respond(ctx, req, status::OK, body, false);
                     }
-                    Ok(None) => self.respond(ctx, req, status::NOT_FOUND, Vec::new(), false),
-                    Err(_) => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
+                    Ok(None) => self.respond(ctx, req, status::NOT_FOUND, Body::default(), false),
+                    Err(_) => self.respond(ctx, req, status::STORAGE_ERROR, Body::default(), false),
                 }
             }
             Msg::PutResp { req, result } => {
@@ -462,14 +485,41 @@ impl Process<Msg> for Frontend {
                                     } else {
                                         status::OK
                                     },
-                                    Vec::new(),
+                                    Body::default(),
                                 )
                             }
-                            _ => (status::OK, Vec::new()),
+                            _ => (status::OK, Body::default()),
                         };
                         self.respond(ctx, req, st, key_body, false);
                     }
-                    Err(_) => self.respond(ctx, req, status::STORAGE_ERROR, Vec::new(), false),
+                    Err(_) => self.respond(ctx, req, status::STORAGE_ERROR, Body::default(), false),
+                }
+            }
+            Msg::CasResp { req, result } => {
+                ctx.consume(self.cfg.cost.frontend_base_us / 4);
+                match result {
+                    Ok(new_version) => {
+                        // Same cache refresh as a plain write, and the new
+                        // version goes back as the body — it is the caller's
+                        // `If-Match` for the next conditional write.
+                        if let Some(p) = self.pending.get(&req) {
+                            let key = p.key.clone();
+                            let body = p.body.clone();
+                            if let Some(cache) = self.cache_for(&key) {
+                                ctx.send(cache, Msg::CachePut { key, value: body });
+                            }
+                        }
+                        let body: Body = new_version.to_string().into_bytes().into();
+                        self.respond(ctx, req, status::OK, body, false);
+                    }
+                    Err(StoreError::CasConflict(actual)) => {
+                        // `409`: the predicate lost; the body carries the
+                        // version actually present so the caller can re-read
+                        // or retry against it.
+                        let body: Body = actual.to_string().into_bytes().into();
+                        self.respond(ctx, req, status::CONFLICT, body, false);
+                    }
+                    Err(_) => self.respond(ctx, req, status::STORAGE_ERROR, Body::default(), false),
                 }
             }
             _ => {}
@@ -490,19 +540,27 @@ impl Process<Msg> for Frontend {
                 Some(p) if p.redispatches < self.cfg.redispatch_max => {
                     p.redispatches += 1;
                     p.phase = Phase::Store;
-                    Some((p.method, p.key.clone(), p.body.clone()))
+                    Some((p.method, p.key.clone(), p.body.clone(), p.if_match))
                 }
                 Some(_) => None,
             };
             match redo {
-                Some((method, key, body)) => {
+                Some((method, key, body, if_match)) => {
                     self.stats.redispatches += 1;
                     self.metrics.redispatches.inc();
                     ctx.record("fe_redispatch", 1.0);
-                    match method {
-                        Method::Get => self.forward_get(ctx, req, key),
-                        Method::Post => self.forward_put(ctx, req, key, body, false),
-                        Method::Delete => self.forward_put(ctx, req, key, Vec::new(), true),
+                    match (method, if_match) {
+                        (Method::Get, _) => self.forward_get(ctx, req, key),
+                        // A re-dispatched CAS keeps its predicate: if the
+                        // silent coordinator's write actually landed, the
+                        // retry surfaces a 409 instead of double-applying.
+                        (Method::Post, Some(expected)) => {
+                            self.forward_cas(ctx, req, key, body, expected)
+                        }
+                        (Method::Post, None) => self.forward_put(ctx, req, key, body, false),
+                        (Method::Delete, _) => {
+                            self.forward_put(ctx, req, key, Body::default(), true)
+                        }
                     }
                     ctx.set_timer(self.cfg.request_deadline_us, tk_deadline(req));
                 }
@@ -510,7 +568,7 @@ impl Process<Msg> for Frontend {
                     self.stats.timeouts += 1;
                     self.metrics.timeouts.inc();
                     ctx.record("fe_timeout", 1.0);
-                    self.respond(ctx, req, status::TIMEOUT, Vec::new(), false);
+                    self.respond(ctx, req, status::TIMEOUT, Body::default(), false);
                 }
             }
         }

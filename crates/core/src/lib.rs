@@ -41,7 +41,7 @@
 //! // Write through a storage coordinator and read it back.
 //! let coordinator = spec.storage_ids()[0];
 //! sim.inject(sim.now() + 1, coordinator, Msg::Put {
-//!     req: 1, key: "Resistor5".into(), value: b"xml scene".to_vec(), delete: false,
+//!     req: 1, key: "Resistor5".into(), value: b"xml scene".to_vec().into(), delete: false,
 //! });
 //! sim.run_for(1_000_000);
 //! let node = sim.process::<StorageNode>(coordinator).unwrap();

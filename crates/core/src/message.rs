@@ -12,6 +12,13 @@ use mystore_engine::Record;
 use mystore_gossip::GossipMsg;
 use mystore_net::{NodeId, WireSized};
 
+/// A shared, immutable payload. Request bodies are wrapped once where they
+/// enter the system (client or REST tier) and then travel by reference count
+/// through the frontend, cache tier, and coordinator — cloning a [`Body`] is
+/// a pointer bump, never a byte copy. The payload is only materialized into
+/// an owned `Vec<u8>` at the single point a [`Record`] is built.
+pub type Body = Arc<Vec<u8>>;
+
 /// HTTP-style method of a REST request (paper §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
@@ -33,7 +40,11 @@ pub struct RestRequest {
     /// Resource key; `None` on a key-less POST (create).
     pub key: Option<String>,
     /// Body payload (POST only).
-    pub body: Vec<u8>,
+    pub body: Body,
+    /// Conditional-put predicate (`If-Match` style, POST with key only): the
+    /// decimal LWW version the caller last observed, `"0"` for "key must be
+    /// absent". Anything non-numeric is rejected with `400`.
+    pub if_match: Option<String>,
     /// Authentication, when the deployment requires it:
     /// `(user, signature)`.
     pub auth: Option<(String, crate::auth::Signature)>,
@@ -61,6 +72,9 @@ pub mod status {
     pub const NOT_FOUND: u16 = 404;
     /// Malformed request (e.g. DELETE without key).
     pub const BAD_REQUEST: u16 = 400;
+    /// Conditional put failed: the version predicate did not match (the
+    /// response body carries the actual current version).
+    pub const CONFLICT: u16 = 409;
     /// Load shed: too many requests in flight.
     pub const BUSY: u16 = 503;
     /// Storage layer failed the operation.
@@ -77,7 +91,7 @@ pub struct RestResponse {
     /// Status code (see [`status`]).
     pub status: u16,
     /// Body (GET payload; empty otherwise).
-    pub body: Vec<u8>,
+    pub body: Body,
     /// On a key-less POST, the key the system assigned.
     pub assigned_key: Option<String>,
     /// True when served from the cache tier (diagnostics).
@@ -93,6 +107,10 @@ pub enum StoreError {
     QuorumReadFailed,
     /// The coordinator had no ring (no known storage peers).
     NoRing,
+    /// Conditional put: the version predicate did not match; carries the
+    /// actual current version (0 = key absent) so the caller can re-read,
+    /// or retry directly against the version it lost to.
+    CasConflict(u64),
 }
 
 impl std::fmt::Display for StoreError {
@@ -101,6 +119,9 @@ impl std::fmt::Display for StoreError {
             StoreError::QuorumWriteFailed => write!(f, "write quorum not reached"),
             StoreError::QuorumReadFailed => write!(f, "read quorum not reached"),
             StoreError::NoRing => write!(f, "no storage ring available"),
+            StoreError::CasConflict(actual) => {
+                write!(f, "version precondition failed (current version {actual})")
+            }
         }
     }
 }
@@ -152,14 +173,14 @@ pub enum Msg {
         /// Correlation id.
         req: u64,
         /// Hit payload, or `None` on miss.
-        value: Option<Vec<u8>>,
+        value: Option<Body>,
     },
     /// Front end → cache server: populate/refresh (fire-and-forget).
     CachePut {
         /// Resource key.
         key: String,
         /// Payload.
-        value: Vec<u8>,
+        value: Body,
     },
     /// Front end → cache server: invalidate (fire-and-forget).
     CacheDel {
@@ -180,7 +201,7 @@ pub enum Msg {
         /// Correlation id.
         req: u64,
         /// The payload, or why it failed.
-        result: Result<Option<Vec<u8>>, StoreError>,
+        result: Result<Option<Body>, StoreError>,
     },
     /// Caller → coordinator: write `key` (or tombstone it).
     Put {
@@ -189,7 +210,7 @@ pub enum Msg {
         /// Record key (`self-key`).
         key: String,
         /// Payload (ignored when `delete`).
-        value: Vec<u8>,
+        value: Body,
         /// True for the DELETE path (logical delete, §3.3).
         delete: bool,
     },
@@ -199,6 +220,29 @@ pub enum Msg {
         req: u64,
         /// Success, or why it failed.
         result: Result<(), StoreError>,
+    },
+    /// Caller → coordinator: conditional write — apply only if the current
+    /// LWW version of `key` equals `expected` (`0` = key must be absent).
+    /// The coordinator runs a read round at `max(R, N-W+1)` (overlapping the
+    /// write quorum) to evaluate the predicate, then a normal quorum write.
+    Cas {
+        /// Correlation id.
+        req: u64,
+        /// Record key (`self-key`).
+        key: String,
+        /// Payload to write when the predicate holds.
+        value: Body,
+        /// The version the caller last observed (`0` = absent).
+        expected: u64,
+    },
+    /// Coordinator → caller: conditional-write outcome; `Ok` carries the
+    /// newly written LWW version (the predicate for a follow-up CAS).
+    CasResp {
+        /// Correlation id.
+        req: u64,
+        /// The new version, or why it failed (including
+        /// [`StoreError::CasConflict`] with the actual current version).
+        result: Result<u64, StoreError>,
     },
 
     // ---- storage module, replica level ---------------------------------
@@ -292,7 +336,7 @@ impl Msg {
     /// this to [`mystore_net::Sim::set_fault_filter`] so acks and gossip
     /// frames do not draw their own faults.
     pub fn is_client_op(&self) -> bool {
-        matches!(self, Msg::Put { .. } | Msg::Get { .. })
+        matches!(self, Msg::Put { .. } | Msg::Get { .. } | Msg::Cas { .. })
     }
 
     /// True for replica-level storage operations — the per-replica reads
@@ -314,20 +358,27 @@ impl WireSized for Msg {
     fn wire_size(&self) -> usize {
         const HDR: usize = 48; // framing + addressing overhead per message
         HDR + match self {
-            Msg::RestReq(r) => r.key.as_ref().map(String::len).unwrap_or(0) + r.body.len() + 64,
+            Msg::RestReq(r) => {
+                r.key.as_ref().map(String::len).unwrap_or(0)
+                    + r.body.len()
+                    + r.if_match.as_ref().map(String::len).unwrap_or(0)
+                    + 64
+            }
             Msg::RestResp(r) => r.body.len() + 32,
             Msg::TokenReq { user, .. } => user.len(),
             Msg::TokenResp { token, .. } => token.as_ref().map(String::len).unwrap_or(0),
             Msg::CacheGet { key, .. } => key.len(),
-            Msg::CacheGetResp { value, .. } => value.as_ref().map(Vec::len).unwrap_or(0),
+            Msg::CacheGetResp { value, .. } => value.as_ref().map(|v| v.len()).unwrap_or(0),
             Msg::CachePut { key, value } => key.len() + value.len(),
             Msg::CacheDel { key } => key.len(),
             Msg::Get { key, .. } => key.len(),
             Msg::GetResp { result, .. } => {
-                result.as_ref().ok().and_then(|v| v.as_ref()).map(Vec::len).unwrap_or(0)
+                result.as_ref().ok().and_then(|v| v.as_ref()).map(|v| v.len()).unwrap_or(0)
             }
             Msg::Put { key, value, .. } => key.len() + value.len(),
             Msg::PutResp { .. } => 8,
+            Msg::Cas { key, value, .. } => key.len() + value.len() + 8,
+            Msg::CasResp { .. } => 16,
             Msg::StoreReplica { record, .. } => record.to_document().encoded_size(),
             Msg::StoreAck { .. } => 8,
             Msg::StoreReplicaBatch { ops } => {
@@ -363,19 +414,28 @@ mod tests {
             req: 1,
             method: Method::Get,
             key: Some("Resistor5".into()),
-            body: vec![],
+            body: Body::default(),
+            if_match: None,
             auth: None,
         };
         assert_eq!(with_key.uri(), "/data/Resistor5");
-        let keyless =
-            RestRequest { req: 2, method: Method::Post, key: None, body: vec![1], auth: None };
+        let keyless = RestRequest {
+            req: 2,
+            method: Method::Post,
+            key: None,
+            body: Arc::new(vec![1]),
+            if_match: None,
+            auth: None,
+        };
         assert_eq!(keyless.uri(), "/data");
     }
 
     #[test]
     fn wire_size_tracks_payload() {
-        let small = Msg::Put { req: 1, key: "k".into(), value: vec![0; 10], delete: false };
-        let large = Msg::Put { req: 1, key: "k".into(), value: vec![0; 100_000], delete: false };
+        let small =
+            Msg::Put { req: 1, key: "k".into(), value: Arc::new(vec![0; 10]), delete: false };
+        let large =
+            Msg::Put { req: 1, key: "k".into(), value: Arc::new(vec![0; 100_000]), delete: false };
         assert!(large.wire_size() > small.wire_size() + 90_000);
         let rec = Arc::new(Record::new(
             ObjectId::from_parts(1, 1, 1),
@@ -415,5 +475,24 @@ mod tests {
         assert!(StoreError::QuorumWriteFailed.to_string().contains("write"));
         assert!(StoreError::QuorumReadFailed.to_string().contains("read"));
         assert!(StoreError::NoRing.to_string().contains("ring"));
+        assert!(StoreError::CasConflict(42).to_string().contains("42"));
+    }
+
+    #[test]
+    fn cas_is_a_client_op_with_payload_sized_wire_cost() {
+        let cas =
+            Msg::Cas { req: 1, key: "k".into(), value: Arc::new(vec![0; 5_000]), expected: 7 };
+        assert!(cas.is_client_op());
+        assert!(!cas.is_replica_op());
+        assert!(cas.wire_size() > 5_000);
+        let resp = Msg::CasResp { req: 1, result: Err(StoreError::CasConflict(9)) };
+        assert!(resp.wire_size() < 100);
+    }
+
+    #[test]
+    fn body_clone_shares_the_allocation() {
+        let body: Body = Arc::new(vec![0; 4096]);
+        let copy = body.clone();
+        assert!(Arc::ptr_eq(&body, &copy));
     }
 }

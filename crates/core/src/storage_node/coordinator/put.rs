@@ -1,0 +1,309 @@
+//! The quorum-write operation (§5.2.2) — PUT, DELETE, and the write phase
+//! of CAS, as one [`QuorumOp`] over the generic driver.
+
+use std::sync::Arc;
+
+use mystore_bson::doc;
+use mystore_engine::{pack_version, Record};
+use mystore_net::{Context, NodeId};
+use mystore_ring::HashRing;
+
+use crate::message::{BatchPut, Body, Msg, StoreError};
+use crate::storage_node::{tk, StorageNode, HINTS, TK_COALESCE, TK_PUT_HARD, TK_PUT_RETRY};
+
+use super::driver::{Common, Exhausted, OpState, QuorumOp, Reply};
+
+/// Who gets told about the write's outcome, and how.
+pub(crate) enum WriteReply {
+    /// A plain PUT/DELETE: reply `PutResp`, count `quorum.write.*`.
+    Put,
+    /// The write phase of a CAS: reply `CasResp` with the new version,
+    /// count `cas.*` with latency from the CAS's arrival (the read phase
+    /// is part of the same client operation).
+    Cas {
+        /// Coordinator clock when the original `Msg::Cas` arrived.
+        cas_started_us: u64,
+    },
+}
+
+/// Op-specific state of an in-flight quorum write.
+pub(crate) struct WriteOp {
+    /// The versioned record being replicated (shared, never copied).
+    pub(crate) record: Arc<Record>,
+    /// Acknowledgements counted towards `W`.
+    pub(crate) acks: usize,
+    /// Replicas that have not acknowledged yet.
+    pub(crate) outstanding: Vec<NodeId>,
+    /// Remote nodes whose ack already counted (duplicate-ack dedup).
+    pub(crate) acked: Vec<NodeId>,
+    /// Fallback nodes already hinted (never reused).
+    pub(crate) fallbacks_used: Vec<NodeId>,
+    /// How the caller is answered.
+    pub(crate) reply: WriteReply,
+}
+
+impl QuorumOp for WriteOp {
+    fn targets(&self, node: &StorageNode) -> Vec<NodeId> {
+        let me = node.id();
+        self.outstanding.iter().copied().filter(|&r| r != me).collect()
+    }
+
+    fn resend(&self, node: &mut StorageNode, ctx: &mut Context<'_, Msg>, req: u64, to: NodeId) {
+        ctx.send(to, Msg::StoreReplica { req, record: self.record.clone() });
+        node.metrics.put_retries.inc();
+        ctx.record("put_retry", 1.0);
+    }
+
+    fn on_reply(&mut self, from: NodeId, reply: Reply) {
+        let Reply::Ack { ok } = reply else { return };
+        // Retries and chaotic links can duplicate acks: count each node once.
+        // A failed ack leaves the replica in `outstanding`; the retry path
+        // re-sends and eventually diverts it to a fallback node.
+        if ok && !self.acked.contains(&from) {
+            self.acked.push(from);
+            self.acks += 1;
+            self.outstanding.retain(|&r| r != from);
+        }
+    }
+
+    fn quorum_met(&self, node: &StorageNode, _common: &Common) -> bool {
+        self.acks >= node.cfg.nwr.w
+    }
+
+    fn on_success(&mut self, node: &mut StorageNode, ctx: &mut Context<'_, Msg>, common: &Common) {
+        match self.reply {
+            WriteReply::Put => {
+                node.stats.puts_ok += 1;
+                node.metrics.quorum_write_ok.inc();
+                node.metrics
+                    .quorum_write_latency_us
+                    .record(ctx.now().as_micros().saturating_sub(common.started_us));
+                ctx.record("put_ok", 1.0);
+                ctx.send(common.caller, Msg::PutResp { req: common.caller_req, result: Ok(()) });
+            }
+            WriteReply::Cas { cas_started_us } => {
+                node.cas_write_succeeded(ctx, common, self.record.version, cas_started_us)
+            }
+        }
+    }
+
+    fn is_complete(&self, common: &Common) -> bool {
+        common.replied && self.outstanding.is_empty()
+    }
+
+    /// Divert-to-handoff (Fig. 8): every straggler gets its write parked on
+    /// a fallback node whose ack still counts towards `W`. With handoff
+    /// disabled the write just parks until the hard deadline decides.
+    fn on_exhausted(
+        &mut self,
+        node: &mut StorageNode,
+        ctx: &mut Context<'_, Msg>,
+        req: u64,
+        _common: &mut Common,
+    ) -> Exhausted {
+        if !node.cfg.hinted_handoff {
+            return Exhausted::Park;
+        }
+        let me = node.id();
+        let stragglers: Vec<NodeId> = self.outstanding.clone();
+        for intended in stragglers {
+            if intended == me {
+                continue;
+            }
+            if let Some(fallback) = node.pick_fallback(self) {
+                self.fallbacks_used.push(fallback);
+                node.stats.handoffs_sent += 1;
+                node.metrics.handoffs.inc();
+                ctx.record("handoff", 1.0);
+                if fallback == me {
+                    // The coordinator may be the only node left standing —
+                    // it holds the hint itself, and its ack is immediate.
+                    ctx.consume(node.cfg.cost.put_us(self.record.val.len()));
+                    let hint_doc = doc! {
+                        "intended": intended.0 as i64,
+                        "rec": self.record.to_document(),
+                    };
+                    if node.db.insert_doc(HINTS, hint_doc).is_ok() {
+                        node.metrics.hints_stored.inc();
+                        node.metrics.hint_queue_depth.add(1);
+                        if node.db.wal_pending_ops() > 0 {
+                            // Staged like any local write: counts at sync.
+                            node.deferred_acks.push((me, req, true));
+                            node.metrics.acks_deferred.inc();
+                        } else {
+                            self.acks += 1;
+                        }
+                    }
+                } else {
+                    ctx.send(
+                        fallback,
+                        Msg::StoreHint { req, intended, record: self.record.clone() },
+                    );
+                }
+            }
+        }
+        Exhausted::Resolve
+    }
+
+    fn on_deadline(&mut self, node: &mut StorageNode, ctx: &mut Context<'_, Msg>, common: &Common) {
+        if common.replied {
+            return;
+        }
+        match self.reply {
+            WriteReply::Put => {
+                node.stats.puts_failed += 1;
+                node.metrics.quorum_write_failed.inc();
+                ctx.record("put_fail", 1.0);
+                ctx.send(
+                    common.caller,
+                    Msg::PutResp {
+                        req: common.caller_req,
+                        result: Err(StoreError::QuorumWriteFailed),
+                    },
+                );
+            }
+            WriteReply::Cas { .. } => {
+                node.cas_deadline_failed(ctx, common, StoreError::QuorumWriteFailed)
+            }
+        }
+    }
+
+    fn retry_kind(&self) -> u64 {
+        TK_PUT_RETRY
+    }
+
+    fn hard_kind(&self) -> u64 {
+        TK_PUT_HARD
+    }
+}
+
+impl StorageNode {
+    /// Coordinator entry point for PUT/DELETE (§5.2.2).
+    pub(crate) fn start_put(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        caller: NodeId,
+        caller_req: u64,
+        key: String,
+        value: Body,
+        delete: bool,
+    ) {
+        let n = self.cfg.nwr.n;
+        let prefs = self.ring.preference_list(key.as_bytes(), n);
+        if prefs.is_empty() {
+            ctx.send(caller, Msg::PutResp { req: caller_req, result: Err(StoreError::NoRing) });
+            return;
+        }
+        let record = self.build_record(ctx, key, value, delete);
+        self.start_write(ctx, caller, caller_req, prefs, record, WriteReply::Put);
+    }
+
+    /// Stamps a fresh LWW version and object id onto a new record. The
+    /// shared [`Body`] is materialized into the record's owned payload here
+    /// — the single copy point on the write path (and not even a copy when
+    /// this coordinator holds the last reference).
+    pub(crate) fn build_record(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        key: String,
+        value: Body,
+        delete: bool,
+    ) -> Arc<Record> {
+        let version = pack_version(ctx.now().as_micros(), self.id().0 as u16);
+        // Deterministic id: sim seconds + node machine id via the Db's
+        // OidGen (a raw ObjectId::new here would leak wall clock into the
+        // replicated data and break seeded replay).
+        self.db.set_oid_secs((ctx.now().as_micros() / 1_000_000) as u32);
+        let oid = self.db.fresh_oid(&self.cfg.collection);
+        Arc::new(if delete {
+            Record::tombstone(oid, key, version)
+        } else {
+            let owned = Arc::try_unwrap(value).unwrap_or_else(|shared| (*shared).clone());
+            Record::new(oid, key, owned, version)
+        })
+    }
+
+    /// Fans a versioned record out to its preference list and hands the op
+    /// to the driver. Shared by PUT/DELETE and the CAS write phase; only
+    /// the `reply` policy differs.
+    pub(crate) fn start_write(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        caller: NodeId,
+        caller_req: u64,
+        prefs: Vec<NodeId>,
+        record: Arc<Record>,
+        reply: WriteReply,
+    ) {
+        let my_req = self.fresh_req();
+        if matches!(reply, WriteReply::Put) {
+            self.metrics.quorum_write_started.inc();
+        }
+        let common = Common {
+            caller,
+            caller_req,
+            retry_round: 0,
+            replied: false,
+            started_us: ctx.now().as_micros(),
+        };
+        let mut op = WriteOp {
+            record: Arc::clone(&record),
+            acks: 0,
+            outstanding: prefs.clone(),
+            acked: Vec::new(),
+            fallbacks_used: Vec::new(),
+            reply,
+        };
+        let me = self.id();
+        for &replica in &prefs {
+            if replica == me {
+                // "The node firstly stores the data records locally" (§5.2.2).
+                ctx.consume(self.cfg.cost.put_us(record.val.len()));
+                self.stats.replica_puts += 1;
+                if self.db.put_record(&self.cfg.collection, &record).is_ok() {
+                    if self.db.wal_pending_ops() > 0 {
+                        // Group commit: the frame is staged, not yet synced.
+                        // The local write counts towards `W` only once its
+                        // covering sync lands — the flush sends a self-ack.
+                        self.deferred_acks.push((me, my_req, true));
+                        self.metrics.acks_deferred.inc();
+                    } else {
+                        op.acks += 1;
+                        op.outstanding.retain(|&r| r != me);
+                    }
+                }
+            } else if self.cfg.coalesce_window_us > 0 {
+                self.outbox
+                    .entry(replica)
+                    .or_default()
+                    .push(BatchPut { req: my_req, record: Arc::clone(&record) });
+                if !self.outbox_armed {
+                    self.outbox_armed = true;
+                    ctx.set_timer(self.cfg.coalesce_window_us, tk(TK_COALESCE, 0));
+                }
+            } else {
+                ctx.send(replica, Msg::StoreReplica { req: my_req, record: Arc::clone(&record) });
+            }
+        }
+        self.drv_finish_start(ctx, my_req, common, OpState::Write(op));
+    }
+
+    /// First alive node clockwise after the preference list that has not
+    /// been used as a fallback for this request. The coordinator itself is
+    /// eligible (it is alive by definition).
+    pub(crate) fn pick_fallback(&self, op: &WriteOp) -> Option<NodeId> {
+        let point = HashRing::<NodeId>::key_point(op.record.self_key.as_bytes());
+        let walk = self.ring.successors_of_point(point, self.ring.len());
+        let prefs = self.ring.preference_list(op.record.self_key.as_bytes(), self.cfg.nwr.n);
+        walk.into_iter()
+            .find(|n| {
+                !prefs.contains(n) && !op.fallbacks_used.contains(n) && self.gossiper.is_alive(*n)
+            })
+            .or_else(|| {
+                // Cluster size == N: there is no node beyond the preference
+                // list to divert to, so the coordinator parks the hint itself.
+                let me = self.id();
+                (!op.fallbacks_used.contains(&me)).then_some(me)
+            })
+    }
+}

@@ -1,0 +1,324 @@
+//! Background maintenance of the storage node: membership/ring upkeep and
+//! rebalance (Fig. 9), hint replay (Fig. 8), anti-entropy exchange,
+//! coordinator outbox coalescing, and the WAL-flush / gossip ticks.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use mystore_bson::ObjectId;
+use mystore_engine::Record;
+use mystore_gossip::{keys as gossip_keys, MembershipEvent};
+use mystore_net::{Context, NodeId};
+use mystore_ring::HashRing;
+
+use crate::message::Msg;
+use crate::storage_node::{tk, StorageNode, HINTS, TK_GOSSIP, TK_WAL_FLUSH};
+
+/// A hint replay awaiting its `StoreAck`: which hint document it is for and
+/// when it was sent, so stale entries can be swept instead of leaking.
+pub(crate) struct HintInFlight {
+    pub(crate) id: ObjectId,
+    pub(crate) sent_at_us: u64,
+}
+
+impl StorageNode {
+    // ---- membership -----------------------------------------------------
+
+    /// Builds the membership signature from gossiped state: every known,
+    /// not-removed endpoint advertising a positive virtual-node count.
+    fn membership_signature(&self) -> Vec<(NodeId, u32)> {
+        let mut sig: Vec<(NodeId, u32)> = self
+            .gossiper
+            .known_endpoints()
+            .filter(|&ep| !self.gossiper.is_removed(ep))
+            .filter_map(|ep| {
+                let vn = if ep == self.id() {
+                    self.cfg.vnodes
+                } else {
+                    self.gossiper.app_state(ep, gossip_keys::VNODES)?.parse().ok()?
+                };
+                (vn > 0).then_some((ep, vn))
+            })
+            .collect();
+        sig.sort_unstable();
+        sig
+    }
+
+    /// Rebuilds the ring if membership changed; sweeps data when it did.
+    pub(crate) fn refresh_ring(&mut self, ctx: &mut Context<'_, Msg>) {
+        let sig = self.membership_signature();
+        if sig == self.ring_sig {
+            return;
+        }
+        let mut ring = HashRing::new();
+        for &(node, vnodes) in &sig {
+            // The signature is deduped by construction; if a duplicate ever
+            // slipped through, keeping the first entry beats crashing.
+            let _ = ring.add_node(node, format!("node{}", node.0), vnodes);
+        }
+        self.ring = ring;
+        self.ring_sig = sig;
+        self.rebalance_sweep(ctx);
+    }
+
+    /// §5.2.4: after membership change, move records whose preference list
+    /// no longer includes us, and supplement replicas on the nodes that
+    /// should now hold them. LWW application makes re-sends idempotent.
+    fn rebalance_sweep(&mut self, ctx: &mut Context<'_, Msg>) {
+        let me = self.id();
+        let n = self.cfg.nwr.n;
+        let Ok(coll) = self.db.collection(&self.cfg.collection) else { return };
+        // Ordered map: the send order below feeds the sim schedule.
+        let mut outgoing: BTreeMap<NodeId, Vec<Arc<Record>>> = BTreeMap::new();
+        let mut to_drop: Vec<ObjectId> = Vec::new();
+        for (id, docu) in coll.iter() {
+            let Ok(record) = Record::from_document(docu) else { continue };
+            let record = Arc::new(record);
+            let prefs = self.ring.preference_list(record.self_key.as_bytes(), n);
+            if prefs.is_empty() {
+                continue;
+            }
+            let keep = prefs.contains(&me);
+            for &target in prefs.iter().filter(|&&p| p != me) {
+                outgoing.entry(target).or_default().push(Arc::clone(&record));
+            }
+            if !keep {
+                to_drop.push(*id);
+            }
+        }
+        for id in to_drop {
+            let _ = self.db.remove(&self.cfg.collection, id);
+            self.stats.records_migrated_out += 1;
+        }
+        // Batch transfers to bound message counts.
+        const BATCH: usize = 64;
+        for (target, records) in outgoing {
+            for chunk in records.chunks(BATCH) {
+                ctx.send(target, Msg::TransferRecords { records: chunk.to_vec() });
+            }
+        }
+    }
+
+    pub(crate) fn process_membership(&mut self, ctx: &mut Context<'_, Msg>) {
+        let events = self.gossiper.drain_events();
+        if events.is_empty() {
+            return;
+        }
+        for ev in &events {
+            match ev {
+                MembershipEvent::Joined(n) => ctx.record("member_joined", n.0 as f64),
+                MembershipEvent::Up(n) => ctx.record("member_up", n.0 as f64),
+                MembershipEvent::Down(n) => ctx.record("member_down", n.0 as f64),
+                MembershipEvent::Removed(n) => ctx.record("member_removed", n.0 as f64),
+            }
+        }
+        self.refresh_ring(ctx);
+    }
+
+    // ---- hinted handoff replay (Fig. 8) ---------------------------------
+
+    /// Periodic probe: for every held hint whose intended node is back
+    /// (detected via gossip heartbeats), write the data back (Fig. 8:
+    /// "when it finds that the B node is on-line again, the node C would
+    /// write the data back to B").
+    pub(crate) fn replay_hints(&mut self, ctx: &mut Context<'_, Msg>) {
+        let now_us = ctx.now().as_micros();
+        // Sweep replays whose ack never arrived within the request deadline
+        // (the target died mid-replay, or the ack was lost). The hint
+        // document itself is untouched and will be offered again below —
+        // replays are idempotent under LWW — so nothing is lost and the map
+        // stays bounded. Younger in-flight entries are kept (and their hints
+        // skipped) so a slow ack is not raced by a duplicate replay.
+        let deadline = self.cfg.request_deadline_us;
+        let before = self.hint_acks.len();
+        self.hint_acks.retain(|_, hint| now_us.saturating_sub(hint.sent_at_us) < deadline);
+        let expired = before - self.hint_acks.len();
+        if expired > 0 {
+            self.metrics.hint_replay_expired.add(expired as u64);
+            ctx.record("hint_replay_expired", expired as f64);
+        }
+        let in_flight: BTreeSet<ObjectId> = self.hint_acks.values().map(|h| h.id).collect();
+        let Ok(coll) = self.db.collection(HINTS) else { return };
+        let mut replays: Vec<(ObjectId, NodeId, Record)> = Vec::new();
+        for (id, docu) in coll.iter() {
+            if in_flight.contains(id) {
+                continue;
+            }
+            let Some(intended) = docu.get_i64("intended").map(|v| NodeId(v as u32)) else {
+                continue;
+            };
+            let Some(rec_doc) = docu.get_document("rec") else { continue };
+            let Ok(record) = Record::from_document(rec_doc) else { continue };
+            if self.gossiper.is_alive(intended) && !self.gossiper.is_removed(intended) {
+                replays.push((*id, intended, record));
+            } else if self.gossiper.is_removed(intended) {
+                // Long failure: the intended node will never return. The
+                // rebalance sweep re-replicates from live copies, so the
+                // hint is dropped.
+                replays.push((*id, intended, record.clone()));
+            }
+        }
+        for (hint_id, intended, record) in replays {
+            if self.gossiper.is_removed(intended) {
+                if self.db.remove(HINTS, hint_id).is_ok() {
+                    self.metrics.hint_queue_depth.dec_clamped();
+                }
+                continue;
+            }
+            let req = self.fresh_req();
+            self.hint_acks.insert(req, HintInFlight { id: hint_id, sent_at_us: now_us });
+            ctx.send(intended, Msg::StoreReplica { req, record: Arc::new(record) });
+        }
+    }
+
+    // ---- anti-entropy (extension) ---------------------------------------
+
+    /// One anti-entropy round: take the next batch of locally-held records
+    /// (rotating through key space), pick one alive replica peer per record
+    /// group, and send it our `(key, version)` digest. The peer answers with
+    /// any strictly newer copies (§7 future work: "solving problems on
+    /// data's consistency" — this bounds divergence even for keys that are
+    /// never read).
+    pub(crate) fn anti_entropy_round(&mut self, ctx: &mut Context<'_, Msg>) {
+        let me = self.id();
+        let n = self.cfg.nwr.n;
+        let Ok(coll) = self.db.collection(&self.cfg.collection) else { return };
+        // Next batch after the cursor, wrapping at the end.
+        let mut batch: Vec<Record> = Vec::with_capacity(self.cfg.anti_entropy_batch);
+        let mut wrapped = false;
+        let start = self.sync_cursor.clone();
+        for (_, docu) in coll.iter() {
+            let Ok(rec) = Record::from_document(docu) else { continue };
+            if let Some(cursor) = &start {
+                if !wrapped && rec.self_key <= *cursor {
+                    continue;
+                }
+            }
+            batch.push(rec);
+            if batch.len() >= self.cfg.anti_entropy_batch {
+                break;
+            }
+        }
+        if batch.is_empty() && start.is_some() {
+            // Wrapped: restart from the beginning of the key space.
+            self.sync_cursor = None;
+            wrapped = true;
+            for (_, docu) in coll.iter() {
+                let Ok(rec) = Record::from_document(docu) else { continue };
+                batch.push(rec);
+                if batch.len() >= self.cfg.anti_entropy_batch {
+                    break;
+                }
+            }
+        }
+        let _ = wrapped;
+        let Some(last) = batch.last() else { return };
+        self.sync_cursor = Some(last.self_key.clone());
+        // Group digests by one alive peer from each record's preference
+        // list, rotating the choice every round so each replica pair
+        // eventually exchanges.
+        self.sync_round += 1;
+        let round = self.sync_round as usize;
+        // Ordered map: the digest send order below feeds the sim schedule.
+        let mut per_peer: BTreeMap<NodeId, Vec<(String, u64)>> = BTreeMap::new();
+        for rec in &batch {
+            let prefs = self.ring.preference_list(rec.self_key.as_bytes(), n);
+            let eligible: Vec<NodeId> =
+                prefs.iter().copied().filter(|&p| p != me && self.gossiper.is_alive(p)).collect();
+            if let Some(&peer) = eligible.get(round % eligible.len().max(1)) {
+                per_peer.entry(peer).or_default().push((rec.self_key.clone(), rec.version));
+            }
+        }
+        for (peer, entries) in per_peer {
+            ctx.send(peer, Msg::SyncDigest { entries });
+        }
+    }
+
+    /// Peer side of a sync round: reply with every record we hold strictly
+    /// newer than the sender's digest, and counter-digest the keys where we
+    /// are behind (missing or older) so the sender pushes those back. The
+    /// counter-digest cannot loop: the sender is strictly newer for every
+    /// key in it, so its handler only produces a `SyncRecords`.
+    pub(crate) fn on_sync_digest(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        entries: Vec<(String, u64)>,
+    ) {
+        ctx.consume(self.cfg.cost.gossip_us + entries.len() as u64 / 4);
+        let mut newer: Vec<Record> = Vec::new();
+        let mut behind: Vec<(String, u64)> = Vec::new();
+        // Digests carry bare versions, so both directions route through the
+        // engine-owned comparators (`wins_over_version` is exactly what
+        // `wins_over` compares: the packed `(timestamp, writer)` stamp).
+        // Equal versions are the same write and need no transfer either way.
+        for (key, their_version) in entries {
+            match self.db.get_record(&self.cfg.collection, &key) {
+                Ok(Some(mine)) if mine.wins_over_version(their_version) => newer.push(mine),
+                Ok(Some(mine)) if mine.loses_to_version(their_version) => {
+                    behind.push((key, mine.version))
+                }
+                Ok(Some(_)) => {} // equal
+                _ => behind.push((key, 0)),
+            }
+        }
+        if !newer.is_empty() {
+            ctx.send(from, Msg::SyncRecords { records: newer });
+        }
+        if !behind.is_empty() {
+            ctx.send(from, Msg::SyncDigest { entries: behind });
+        }
+    }
+
+    // ---- group commit & coalescing --------------------------------------
+
+    /// `TK_COALESCE`: drain the outbox, one batched message per peer. A
+    /// lone op goes out as a plain `StoreReplica` (no batch framing to pay
+    /// for); two or more ride one `StoreReplicaBatch`.
+    pub(crate) fn flush_outbox(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.outbox_armed = false;
+        for (peer, mut ops) in std::mem::take(&mut self.outbox) {
+            if ops.is_empty() {
+                continue;
+            }
+            self.metrics.batch_ops.add(ops.len() as u64);
+            self.metrics.batch_msgs.inc();
+            if ops.len() == 1 {
+                if let Some(op) = ops.pop() {
+                    ctx.send(peer, Msg::StoreReplica { req: op.req, record: op.record });
+                }
+            } else {
+                ctx.send(peer, Msg::StoreReplicaBatch { ops });
+            }
+        }
+    }
+
+    /// `TK_WAL_FLUSH`: bound how long a staged frame (and its parked ack)
+    /// can wait for the batch to fill — sync whatever is pending, release
+    /// the acks it covered, and re-arm.
+    pub(crate) fn wal_flush_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.db.wal_pending_ops() > 0 {
+            let _ = self.db.sync_wal();
+        }
+        self.maybe_flush_deferred_acks(ctx);
+        ctx.set_timer(self.cfg.group_commit_max_delay_us, tk(TK_WAL_FLUSH, 0));
+    }
+
+    // ---- gossip ----------------------------------------------------------
+
+    pub(crate) fn gossip_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Publish capacity and load.
+        self.gossiper.set_app_state(gossip_keys::VNODES, self.cfg.vnodes.to_string());
+        self.gossiper.set_app_state(gossip_keys::LOAD, self.record_count().to_string());
+        let now = ctx.now();
+        let out = {
+            let rng = ctx.rng();
+            self.gossiper.tick(now, rng)
+        };
+        for (to, g) in out {
+            ctx.send(to, Msg::Gossip(g));
+        }
+        self.process_membership(ctx);
+        ctx.set_timer(self.cfg.gossip.interval_us, tk(TK_GOSSIP, 0));
+    }
+}

@@ -1,0 +1,537 @@
+//! The MyStore storage node (paper §5).
+//!
+//! One process per database node, combining:
+//!
+//! * the **local store** — a [`Db`] holding the `data` collection (indexed
+//!   by `self-key`) and the `hints` collection,
+//! * the **gossiper** — §5.2.3 state transfer and failure detection,
+//! * the **ring view** — rebuilt from gossiped membership (endpoints
+//!   publish their virtual-node counts),
+//! * the **coordinator** — every node can coordinate any key (the paper
+//!   notes "clients can connect to any node in the system to get/put
+//!   data"): quorum writes/reads/conditional writes per §5.2.2, hinted
+//!   handoff per §5.2.4 (Fig. 8), read repair ("replications are
+//!   supplemented to achieve N"),
+//! * **rebalance** — migration on node addition and replica rebuilding on
+//!   long failure (Fig. 9).
+//!
+//! The node is a sans-io [`Process`]: all I/O and timing is delegated to
+//! the runtime, so identical logic runs in the deterministic simulator and
+//! in the threaded runtime.
+//!
+//! The implementation is a module tree; this file holds the node state,
+//! construction, and the [`Process`] dispatch shell:
+//!
+//! * [`coordinator`] — the generic quorum engine ([`coordinator::quorum::Driver`],
+//!   the `QuorumOp` trait) and the thin PUT/GET/CAS op definitions,
+//! * [`replica`] — the replica-level server side (store/fetch/hint, ack
+//!   deferral under group commit),
+//! * [`maintenance`] — membership/ring/rebalance, hint replay,
+//!   anti-entropy, outbox coalescing, WAL-flush and gossip ticks.
+
+pub(crate) mod coordinator;
+pub(crate) mod maintenance;
+pub(crate) mod replica;
+
+use std::collections::BTreeMap;
+
+use mystore_engine::{Db, GroupCommitConfig, WalMetrics};
+use mystore_gossip::{GossipMetrics, Gossiper};
+use mystore_net::{Context, NodeId, OpFault, Process, TimerToken};
+use mystore_obs::{Counter, Gauge, Histogram, Registry};
+use mystore_ring::HashRing;
+
+use crate::config::StorageConfig;
+use crate::message::{BatchPut, Msg};
+
+use self::coordinator::quorum;
+use self::maintenance::HintInFlight;
+
+// Timer-token layout: low 4 bits select the kind, the rest carry a request id.
+pub(crate) const TK_KIND_MASK: u64 = 0b1111;
+pub(crate) const TK_GOSSIP: u64 = 1;
+pub(crate) const TK_HINT_REPLAY: u64 = 2;
+pub(crate) const TK_PUT_RETRY: u64 = 3;
+pub(crate) const TK_PUT_HARD: u64 = 4;
+pub(crate) const TK_GET_HARD: u64 = 5;
+pub(crate) const TK_REAP: u64 = 6;
+pub(crate) const TK_ANTI_ENTROPY: u64 = 7;
+pub(crate) const TK_GET_RETRY: u64 = 8;
+pub(crate) const TK_WAL_FLUSH: u64 = 9;
+pub(crate) const TK_COALESCE: u64 = 10;
+
+pub(crate) fn tk(kind: u64, req: u64) -> TimerToken {
+    (req << 4) | kind
+}
+
+pub(crate) fn tk_split(token: TimerToken) -> (u64, u64) {
+    (token & TK_KIND_MASK, token >> 4)
+}
+
+/// Collection holding hinted-handoff records.
+pub(crate) const HINTS: &str = "hints";
+
+/// Operation counters, exposed for tests and experiment harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Writes this node coordinated successfully.
+    pub puts_ok: u64,
+    /// Writes this node coordinated that failed quorum.
+    pub puts_failed: u64,
+    /// Reads this node coordinated successfully.
+    pub gets_ok: u64,
+    /// Reads this node coordinated that failed quorum.
+    pub gets_failed: u64,
+    /// Conditional writes this node coordinated to success.
+    pub cas_ok: u64,
+    /// Conditional writes rejected on a version-predicate mismatch.
+    pub cas_conflicts: u64,
+    /// Conditional writes that failed a quorum deadline (either phase).
+    pub cas_failed: u64,
+    /// Hints this node issued as a coordinator (short-failure diversions).
+    pub handoffs_sent: u64,
+    /// Hints this node held and later wrote back to the intended replica.
+    pub hints_replayed: u64,
+    /// Records shipped away during rebalance.
+    pub records_migrated_out: u64,
+    /// Read repairs / replica supplements pushed.
+    pub read_repairs: u64,
+    /// Records pushed back to this node by anti-entropy exchanges.
+    pub anti_entropy_received: u64,
+    /// Replica-level store operations applied locally.
+    pub replica_puts: u64,
+    /// Replica-level fetches served locally.
+    pub replica_gets: u64,
+}
+
+/// Observability handles for the coordinator and hinted-handoff hot paths.
+/// Resolved once per node from [`StorageConfig::metrics`]; all nodes sharing
+/// a registry aggregate into the same cluster-wide series.
+#[derive(Debug, Clone, Default)]
+pub struct StorageMetrics {
+    /// Quorum writes this node began coordinating.
+    pub quorum_write_started: Counter,
+    /// Quorum writes acknowledged to the caller (reached `W`).
+    pub quorum_write_ok: Counter,
+    /// Quorum writes that failed the hard deadline.
+    pub quorum_write_failed: Counter,
+    /// Coordinator-side write latency, arrival → `W`-ack reply (µs).
+    pub quorum_write_latency_us: Histogram,
+    /// Quorum reads this node began coordinating.
+    pub quorum_read_started: Counter,
+    /// Quorum reads answered to the caller (reached `R`).
+    pub quorum_read_ok: Counter,
+    /// Quorum reads that failed the hard deadline.
+    pub quorum_read_failed: Counter,
+    /// Coordinator-side read latency, arrival → `R`-reply (µs).
+    pub quorum_read_latency_us: Histogram,
+    /// Conditional writes this node began coordinating.
+    pub cas_started: Counter,
+    /// Conditional writes acknowledged to the caller (predicate held,
+    /// write reached `W`).
+    pub cas_ok: Counter,
+    /// Conditional writes rejected because the version predicate failed.
+    pub cas_conflicts: Counter,
+    /// Conditional writes that failed a quorum deadline (either phase).
+    pub cas_failed: Counter,
+    /// Conditional-write latency, arrival → reply, conflicts included (µs).
+    pub cas_latency_us: Histogram,
+    /// Winner records pushed to stale or missing replicas after a read.
+    pub read_repair_pushes: Counter,
+    /// Hints accepted for safekeeping (either for a peer or self-held).
+    pub hints_stored: Counter,
+    /// Hints written back to their intended replica and discharged.
+    pub hints_replayed: Counter,
+    /// Writes diverted to a fallback node on replica soft-timeout.
+    pub handoffs: Counter,
+    /// Hints currently parked in this node's `hints` collection.
+    pub hint_queue_depth: Gauge,
+    /// `StoreReplica` re-sends to write stragglers.
+    pub put_retries: Counter,
+    /// `FetchReplica` re-sends to read stragglers.
+    pub get_retries: Counter,
+    /// Requests whose straggler retries all went unanswered (writes then
+    /// divert to hinted handoff).
+    pub retries_exhausted: Counter,
+    /// Backoff delays armed between retry rounds (µs).
+    pub retry_backoff_us: Histogram,
+    /// Hint replays swept because no ack arrived within the request
+    /// deadline (the hint stays parked and is offered again).
+    pub hint_replay_expired: Counter,
+    /// Storage-node process restarts (WAL replays).
+    pub restarts: Counter,
+    /// Batched replica messages sent by the coalescing coordinator.
+    pub batch_msgs: Counter,
+    /// Replica ops carried inside those batched messages.
+    pub batch_ops: Counter,
+    /// Replica acks held back until the covering WAL sync completed.
+    pub acks_deferred: Counter,
+    /// Restarts whose WAL replay failed; the node came back empty and
+    /// relies on read repair / anti-entropy to re-fill.
+    pub recover_failures: Counter,
+}
+
+impl StorageMetrics {
+    /// Resolves the standard `quorum.*` / `cas.*` / `read_repair.*` /
+    /// `hint.*` names.
+    pub fn from_registry(registry: &Registry) -> Self {
+        StorageMetrics {
+            quorum_write_started: registry.counter("quorum.write.started"),
+            quorum_write_ok: registry.counter("quorum.write.ok"),
+            quorum_write_failed: registry.counter("quorum.write.failed"),
+            quorum_write_latency_us: registry.histogram("quorum.write.latency_us"),
+            quorum_read_started: registry.counter("quorum.read.started"),
+            quorum_read_ok: registry.counter("quorum.read.ok"),
+            quorum_read_failed: registry.counter("quorum.read.failed"),
+            quorum_read_latency_us: registry.histogram("quorum.read.latency_us"),
+            cas_started: registry.counter("cas.started"),
+            cas_ok: registry.counter("cas.ok"),
+            cas_conflicts: registry.counter("cas.conflicts"),
+            cas_failed: registry.counter("cas.failed"),
+            cas_latency_us: registry.histogram("cas.latency_us"),
+            read_repair_pushes: registry.counter("read_repair.pushes"),
+            hints_stored: registry.counter("hint.stored"),
+            hints_replayed: registry.counter("hint.replayed"),
+            handoffs: registry.counter("hint.handoffs"),
+            hint_queue_depth: registry.gauge("hint.queue_depth"),
+            put_retries: registry.counter("retry.put.resends"),
+            get_retries: registry.counter("retry.get.resends"),
+            retries_exhausted: registry.counter("retry.exhausted"),
+            retry_backoff_us: registry.histogram("retry.backoff_us"),
+            hint_replay_expired: registry.counter("hint.replay_expired"),
+            restarts: registry.counter("node.restarts"),
+            batch_msgs: registry.counter("batch.replica_msgs"),
+            batch_ops: registry.counter("batch.replica_ops"),
+            acks_deferred: registry.counter("coord.acks_deferred"),
+            recover_failures: registry.counter("node.recover_failures"),
+        }
+    }
+}
+
+/// The storage-node process.
+pub struct StorageNode {
+    pub(crate) cfg: StorageConfig,
+    pub(crate) db: Db,
+    pub(crate) gossiper: Gossiper,
+    pub(crate) ring: HashRing<NodeId>,
+    /// Membership signature the current ring was built from.
+    pub(crate) ring_sig: Vec<(NodeId, u32)>,
+    /// The generic quorum engine: every coordinated operation (PUT, GET,
+    /// CAS, batched replica writes) lives in its pending table.
+    pub(crate) quorum: quorum::Driver,
+    /// Hint-replay requests in flight: replica req → hint + send time.
+    pub(crate) hint_acks: BTreeMap<u64, HintInFlight>,
+    pub(crate) next_req: u64,
+    pub(crate) stats: NodeStats,
+    /// Bumped every restart; the gossip boot generation.
+    pub(crate) generation: u64,
+    /// Rotation cursor through the key space for anti-entropy batches.
+    pub(crate) sync_cursor: Option<String>,
+    /// Anti-entropy round counter (rotates the peer choice).
+    pub(crate) sync_round: u64,
+    /// Coalescing buffer: replica writes waiting to be flushed to each peer
+    /// as one [`Msg::StoreReplicaBatch`] (empty when coalescing is off).
+    pub(crate) outbox: BTreeMap<NodeId, Vec<BatchPut>>,
+    /// Whether a `TK_COALESCE` flush timer is already armed.
+    pub(crate) outbox_armed: bool,
+    /// Acks for locally-applied replica writes whose WAL frames are still
+    /// waiting on their covering group-commit sync: `(to, req, ok)`. An ack
+    /// must mean "durable here", so these are released only after the sync.
+    pub(crate) deferred_acks: Vec<(NodeId, u64, bool)>,
+    pub(crate) metrics: StorageMetrics,
+}
+
+impl StorageNode {
+    /// Creates a node with identity `me`. With
+    /// [`StorageConfig::data_dir`] set, the node opens (and on restart,
+    /// recovers) a durable WAL named `node<id>.wal` in that directory.
+    pub fn new(me: NodeId, cfg: StorageConfig) -> Self {
+        // Construction runs before the node joins the cluster; failing fast
+        // on a bad config or an unopenable data dir is the intended
+        // behaviour (nothing is serving yet), hence the allows below.
+        // lint:allow(no-panic-hot-path): startup-time config validation, fail-fast by design
+        cfg.nwr.validate().expect("invalid NWR configuration");
+        let mut db = match &cfg.data_dir {
+            Some(dir) => {
+                // lint:allow(no-panic-hot-path): startup-time data-dir setup, fail-fast by design
+                std::fs::create_dir_all(dir).expect("create data dir");
+                // lint:allow(no-panic-hot-path): startup-time WAL open, fail-fast by design
+                Db::open(dir.join(format!("node{}.wal", me.0))).expect("open node wal")
+            }
+            None => Db::memory(),
+        };
+        // Record ids must replay identically under the seeded simulator.
+        db.set_oid_machine(u64::from(me.0));
+        // Recovered databases already carry the index.
+        let indexed = db
+            .collection(&cfg.collection)
+            .map(|c| c.index_fields().contains(&"self-key"))
+            .unwrap_or(false);
+        if !indexed {
+            // lint:allow(no-panic-hot-path): startup-time index creation, fail-fast by design
+            db.create_index(&cfg.collection, "self-key").expect("fresh db");
+        }
+        db.set_wal_metrics(WalMetrics::from_registry(&cfg.metrics));
+        if cfg.group_commit_ops > 1 {
+            db.set_group_commit(Some(GroupCommitConfig {
+                ops: cfg.group_commit_ops,
+                max_delay_us: cfg.group_commit_max_delay_us,
+            }));
+        }
+        let mut gossiper = Gossiper::new(me, 1, cfg.gossip.clone());
+        gossiper.set_metrics(GossipMetrics::from_registry(&cfg.metrics));
+        let metrics = StorageMetrics::from_registry(&cfg.metrics);
+        StorageNode {
+            cfg,
+            db,
+            gossiper,
+            ring: HashRing::new(),
+            ring_sig: Vec::new(),
+            quorum: quorum::Driver::new(),
+            hint_acks: BTreeMap::new(),
+            next_req: 1,
+            stats: NodeStats::default(),
+            generation: 1,
+            sync_cursor: None,
+            sync_round: 0,
+            outbox: BTreeMap::new(),
+            outbox_armed: false,
+            deferred_acks: Vec::new(),
+            metrics,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.gossiper.id()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// Records stored locally in the data collection (replicas included,
+    /// tombstones included) — the quantity Fig. 15 plots.
+    pub fn record_count(&self) -> usize {
+        self.db.collection(&self.cfg.collection).map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Outstanding hints held for other nodes.
+    pub fn hint_count(&self) -> usize {
+        self.db.collection(HINTS).map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Read access to the local database (tests, diagnostics).
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// Directly installs a replica, bypassing the network path. Experiment
+    /// harnesses use this to preload large corpora without simulating hours
+    /// of load traffic; placement must be computed by the caller (see
+    /// `mystore-workload`'s preload helpers).
+    pub fn preload_record(&mut self, record: &mystore_engine::Record) {
+        let _ = self.db.put_record(&self.cfg.collection, record);
+    }
+
+    /// The node's current ring view.
+    pub fn ring(&self) -> &HashRing<NodeId> {
+        &self.ring
+    }
+
+    /// Gossip-derived liveness belief.
+    pub fn believes_alive(&self, node: NodeId) -> bool {
+        self.gossiper.is_alive(node)
+    }
+
+    /// Hint replays currently awaiting an acknowledgement (tests: the
+    /// hint-ack map must stay bounded when targets die mid-replay).
+    pub fn inflight_hint_replays(&self) -> usize {
+        self.hint_acks.len()
+    }
+
+    /// Coordinated operations currently in the quorum engine's pending
+    /// table (tests: the table must drain once deadlines pass).
+    pub fn inflight_quorum_ops(&self) -> usize {
+        self.quorum.ops.len()
+    }
+
+    pub(crate) fn fresh_req(&mut self) -> u64 {
+        let r = self.next_req;
+        self.next_req += 1;
+        r
+    }
+}
+
+impl Process<Msg> for StorageNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Make sure the local ring at least contains this node, so a
+        // single-node deployment serves requests before any gossip.
+        self.refresh_ring(ctx);
+        // Stagger the first gossip round a little to avoid lockstep.
+        let jitter = ctx.rng().range_u64(0, self.cfg.gossip.interval_us / 4 + 1);
+        ctx.set_timer(self.cfg.gossip.interval_us / 4 + jitter, tk(TK_GOSSIP, 0));
+        ctx.set_timer(self.cfg.hint_replay_interval_us, tk(TK_HINT_REPLAY, 0));
+        if self.cfg.compaction_interval_us > 0 {
+            ctx.set_timer(self.cfg.compaction_interval_us, tk(TK_REAP, 0));
+        }
+        if self.cfg.anti_entropy_interval_us > 0 {
+            // Stagger the first round so nodes don't sync in lockstep.
+            let jitter = ctx.rng().range_u64(0, self.cfg.anti_entropy_interval_us / 2 + 1);
+            ctx.set_timer(self.cfg.anti_entropy_interval_us / 2 + jitter, tk(TK_ANTI_ENTROPY, 0));
+        }
+        if self.cfg.group_commit_ops > 1 {
+            ctx.set_timer(self.cfg.group_commit_max_delay_us, tk(TK_WAL_FLUSH, 0));
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Crash recovery: drop all volatile state and rebuild the store
+        // from its WAL — anything that never reached the log is lost,
+        // exactly as on a real process crash.
+        let db = std::mem::replace(&mut self.db, Db::memory());
+        self.db = match db.recover_from_wal() {
+            Ok(recovered) => recovered,
+            Err(_) => {
+                // A corrupt log must not take the node (and in the sim, the
+                // whole cluster process) down: come back empty — read repair
+                // and anti-entropy re-fill us — and count the event.
+                self.metrics.recover_failures.inc();
+                let mut fresh = Db::memory();
+                let _ = fresh.create_index(&self.cfg.collection, "self-key");
+                fresh.set_wal_metrics(WalMetrics::from_registry(&self.cfg.metrics));
+                fresh.set_oid_machine(u64::from(self.id().0));
+                if self.cfg.group_commit_ops > 1 {
+                    fresh.set_group_commit(Some(GroupCommitConfig {
+                        ops: self.cfg.group_commit_ops,
+                        max_delay_us: self.cfg.group_commit_max_delay_us,
+                    }));
+                }
+                fresh
+            }
+        };
+        // A restart is a new boot generation (paper's bootGeneration field):
+        // peers see the bump and reset our state, clearing any long-failure
+        // declaration. Build on the gossiper's generation too — it may have
+        // reasserted a higher one after a lost-clock recovery.
+        self.generation = self.generation.max(self.gossiper.generation()) + 1;
+        self.gossiper = Gossiper::new(self.id(), self.generation, self.cfg.gossip.clone());
+        self.gossiper.set_metrics(GossipMetrics::from_registry(&self.cfg.metrics));
+        self.quorum.ops.clear();
+        self.hint_acks.clear();
+        self.outbox.clear();
+        self.outbox_armed = false;
+        self.deferred_acks.clear();
+        self.metrics.restarts.inc();
+        self.on_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: NodeId, msg: Msg) {
+        // The runtime samples at most one per-operation fault (Table 2);
+        // replica-level storage ops interpret it below.
+        let fault = ctx.take_op_fault();
+        match msg {
+            Msg::Put { req, key, value, delete } => {
+                if fault == Some(OpFault::NetworkException) {
+                    return; // request lost on the wire; caller times out
+                }
+                self.start_put(ctx, from, req, key, value, delete);
+            }
+            Msg::Get { req, key } => {
+                if fault == Some(OpFault::NetworkException) {
+                    return;
+                }
+                self.start_get(ctx, from, req, key);
+            }
+            Msg::Cas { req, key, value, expected } => {
+                if fault == Some(OpFault::NetworkException) {
+                    return;
+                }
+                self.start_cas(ctx, from, req, key, value, expected);
+            }
+            Msg::StoreReplica { req, record } => {
+                self.on_store_replica(ctx, from, req, record, fault)
+            }
+            Msg::StoreReplicaBatch { ops } => self.on_store_replica_batch(ctx, from, ops, fault),
+            Msg::StoreAck { req, ok } => self.on_store_ack(ctx, from, req, ok),
+            Msg::StoreAckBatch { acks } => {
+                for (req, ok) in acks {
+                    self.on_store_ack(ctx, from, req, ok);
+                }
+            }
+            Msg::FetchReplica { req, key } => self.on_fetch_replica(ctx, from, req, key, fault),
+            Msg::FetchAck { req, found, ok } => {
+                self.drv_on_reply(ctx, req, from, quorum::Reply::Fetch { found, ok })
+            }
+            Msg::StoreHint { req, intended, record } => {
+                self.on_store_hint(ctx, from, req, intended, record, fault)
+            }
+            Msg::SyncDigest { entries } => self.on_sync_digest(ctx, from, entries),
+            Msg::SyncRecords { records } => {
+                for record in records {
+                    ctx.consume(self.cfg.cost.put_us(record.val.len()));
+                    if self.db.put_record(&self.cfg.collection, &record).unwrap_or(false) {
+                        self.stats.anti_entropy_received += 1;
+                        ctx.record("anti_entropy_repair", 1.0);
+                    }
+                }
+            }
+            Msg::TransferRecords { records } => {
+                for record in records {
+                    ctx.consume(self.cfg.cost.put_us(record.val.len()));
+                    let _ = self.db.put_record(&self.cfg.collection, &record);
+                }
+            }
+            Msg::Gossip(g) => {
+                ctx.consume(self.cfg.cost.gossip_us);
+                let now = ctx.now();
+                if let Some((to, reply)) = self.gossiper.handle(now, from, g) {
+                    ctx.send(to, Msg::Gossip(reply));
+                }
+                self.process_membership(ctx);
+            }
+            // REST/cache traffic does not terminate here.
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, token: TimerToken) {
+        let (kind, req) = tk_split(token);
+        match kind {
+            TK_GOSSIP => self.gossip_tick(ctx),
+            TK_HINT_REPLAY => {
+                self.replay_hints(ctx);
+                ctx.set_timer(self.cfg.hint_replay_interval_us, tk(TK_HINT_REPLAY, 0));
+            }
+            TK_REAP => {
+                // Deferred reclamation of logical deletes (§3.3): physically
+                // drop tombstones old enough that no repair can resurrect
+                // their keys.
+                let now_us = ctx.now().as_micros();
+                let cutoff = mystore_engine::pack_version(
+                    now_us.saturating_sub(self.cfg.tombstone_grace_us),
+                    0,
+                );
+                if let Ok(reaped) = self.db.reap_tombstones(&self.cfg.collection, cutoff) {
+                    if reaped > 0 {
+                        ctx.record("tombstones_reaped", reaped as f64);
+                    }
+                }
+                ctx.set_timer(self.cfg.compaction_interval_us, tk(TK_REAP, 0));
+            }
+            TK_ANTI_ENTROPY => {
+                self.anti_entropy_round(ctx);
+                ctx.set_timer(self.cfg.anti_entropy_interval_us, tk(TK_ANTI_ENTROPY, 0));
+            }
+            // All four retry/deadline kinds resolve through the unified
+            // driver: the pending table is keyed by request id, so the op
+            // kind is recovered from the table, not the token.
+            TK_PUT_RETRY | TK_GET_RETRY => self.drv_on_retry_timeout(ctx, req),
+            TK_PUT_HARD | TK_GET_HARD => self.drv_on_hard_timeout(ctx, req),
+            TK_WAL_FLUSH => self.wal_flush_tick(ctx),
+            TK_COALESCE => self.flush_outbox(ctx),
+            _ => {}
+        }
+    }
+}

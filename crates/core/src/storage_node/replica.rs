@@ -1,0 +1,167 @@
+//! The replica-level server side of the storage node: applying
+//! coordinator-issued stores/fetches/hints, and the ack-deferral rule that
+//! keeps "ack" meaning "durable here" under group commit.
+
+use std::sync::Arc;
+
+use mystore_bson::doc;
+use mystore_engine::Record;
+use mystore_net::{Context, NodeId, OpFault};
+
+use crate::message::{BatchPut, Msg};
+use crate::storage_node::{StorageNode, HINTS};
+
+impl StorageNode {
+    /// Sends a replica ack, or parks it while the write's WAL frame is still
+    /// waiting on its covering group-commit sync — an ack must mean the
+    /// write is durable *here*, so it is released only once the sync lands
+    /// (threshold reached or `TK_WAL_FLUSH` fires).
+    pub(crate) fn queue_ack(&mut self, ctx: &mut Context<'_, Msg>, to: NodeId, req: u64, ok: bool) {
+        if ok && self.db.wal_pending_ops() > 0 {
+            self.deferred_acks.push((to, req, ok));
+            self.metrics.acks_deferred.inc();
+        } else {
+            ctx.send(to, Msg::StoreAck { req, ok });
+            // This write may itself have triggered the threshold sync that
+            // made earlier staged frames durable — release their acks too.
+            self.maybe_flush_deferred_acks(ctx);
+        }
+    }
+
+    /// Releases parked acks once nothing is staged in the WAL any more.
+    pub(crate) fn maybe_flush_deferred_acks(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.deferred_acks.is_empty() || self.db.wal_pending_ops() > 0 {
+            return;
+        }
+        for (to, req, ok) in std::mem::take(&mut self.deferred_acks) {
+            ctx.send(to, Msg::StoreAck { req, ok });
+        }
+    }
+
+    pub(crate) fn on_store_replica(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        req: u64,
+        record: Arc<Record>,
+        fault: Option<OpFault>,
+    ) {
+        match fault {
+            Some(OpFault::NetworkException) => return, // message effectively lost
+            Some(OpFault::DiskIoError) => {
+                if req != 0 {
+                    ctx.send(from, Msg::StoreAck { req, ok: false });
+                }
+                return;
+            }
+            _ => {}
+        }
+        ctx.consume(self.cfg.cost.put_us(record.val.len()));
+        self.stats.replica_puts += 1;
+        let ok = self.db.put_record(&self.cfg.collection, &record).is_ok();
+        if req != 0 {
+            self.queue_ack(ctx, from, req, ok);
+        } else {
+            self.maybe_flush_deferred_acks(ctx);
+        }
+    }
+
+    /// A coalesced fan-out: apply every op, cover them all with one WAL
+    /// sync, then ack each op individually so the coordinator's per-op
+    /// retry/handoff machinery is none the wiser.
+    pub(crate) fn on_store_replica_batch(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        ops: Vec<BatchPut>,
+        fault: Option<OpFault>,
+    ) {
+        match fault {
+            Some(OpFault::NetworkException) => return, // whole message lost
+            Some(OpFault::DiskIoError) => {
+                let acks = ops.iter().map(|op| (op.req, false)).collect();
+                ctx.send(from, Msg::StoreAckBatch { acks });
+                return;
+            }
+            _ => {}
+        }
+        let mut acks = Vec::with_capacity(ops.len());
+        for op in &ops {
+            ctx.consume(self.cfg.cost.put_us(op.record.val.len()));
+            self.stats.replica_puts += 1;
+            let ok = self.db.put_record(&self.cfg.collection, &op.record).is_ok();
+            acks.push((op.req, ok));
+        }
+        // One sync covers the whole batch; only then are the acks true.
+        if self.db.sync_wal().is_err() {
+            for ack in &mut acks {
+                ack.1 = false;
+            }
+        }
+        ctx.send(from, Msg::StoreAckBatch { acks });
+        self.maybe_flush_deferred_acks(ctx);
+    }
+
+    pub(crate) fn on_fetch_replica(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        req: u64,
+        key: String,
+        fault: Option<OpFault>,
+    ) {
+        match fault {
+            Some(OpFault::NetworkException) => return,
+            Some(OpFault::DiskIoError) => {
+                ctx.send(from, Msg::FetchAck { req, found: None, ok: false });
+                return;
+            }
+            _ => {}
+        }
+        let found = self.local_fetch(ctx, &key);
+        ctx.send(from, Msg::FetchAck { req, found, ok: true });
+    }
+
+    /// Serves a local read (both the replica side of `FetchReplica` and the
+    /// coordinator's own copy during a read fan-out).
+    pub(crate) fn local_fetch(&mut self, ctx: &mut Context<'_, Msg>, key: &str) -> Option<Record> {
+        self.stats.replica_gets += 1;
+        let found = self.db.get_record(&self.cfg.collection, key).ok().flatten();
+        ctx.consume(self.cfg.cost.get_us(found.as_ref().map(|r| r.val.len()).unwrap_or(0)));
+        found
+    }
+
+    /// Hinted handoff (Fig. 8), receiving side: park the record durably for
+    /// the unreachable `intended` replica.
+    pub(crate) fn on_store_hint(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: NodeId,
+        req: u64,
+        intended: NodeId,
+        record: Arc<Record>,
+        fault: Option<OpFault>,
+    ) {
+        match fault {
+            Some(OpFault::NetworkException) => return,
+            Some(OpFault::DiskIoError) => {
+                ctx.send(from, Msg::StoreAck { req, ok: false });
+                return;
+            }
+            _ => {}
+        }
+        ctx.consume(self.cfg.cost.put_us(record.val.len()));
+        // "When C receives the request, it creates an index for the
+        // replication" — we persist the hint durably.
+        let hint_doc = doc! {
+            "intended": intended.0 as i64,
+            "rec": record.to_document(),
+        };
+        let ok = self.db.insert_doc(HINTS, hint_doc).is_ok();
+        if ok {
+            self.metrics.hints_stored.inc();
+            self.metrics.hint_queue_depth.add(1);
+        }
+        self.queue_ack(ctx, from, req, ok);
+    }
+}

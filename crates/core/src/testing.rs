@@ -37,6 +37,7 @@ impl Probe {
         self.responses.iter().map(|(_, _, m)| m).find(|m| match m {
             Msg::GetResp { req: r, .. }
             | Msg::PutResp { req: r, .. }
+            | Msg::CasResp { req: r, .. }
             | Msg::TokenResp { req: r, .. }
             | Msg::CacheGetResp { req: r, .. } => *r == req,
             Msg::RestResp(resp) => resp.req == req,
@@ -65,6 +66,104 @@ impl Process<Msg> for Probe {
     }
 }
 
+/// A sequential conditional-put client: issues `total` CAS operations on
+/// one key, chaining each op's `If-Match` off the previous outcome —
+/// success hands back the new version, a conflict hands back the version
+/// actually present, and either way the next op conditions on it. Exercises
+/// the full CAS loop (predicate read, conditional write, conflict adoption)
+/// against whatever chaos the surrounding test schedules.
+pub struct CasProbe {
+    /// Coordinators to rotate across, one per op.
+    pub targets: Vec<NodeId>,
+    /// Key every op contends on.
+    pub key: String,
+    /// When to start (virtual µs; leave gossip time to converge).
+    pub start_at_us: u64,
+    /// Gap between an outcome and the next op (µs).
+    pub gap_us: u64,
+    /// Ops to issue in total.
+    pub total: u64,
+    /// Ops issued so far (also the request-id cursor).
+    pub issued: u64,
+    /// The version the next op conditions on (`0` = expect absent).
+    pub expected: u64,
+    /// Successful conditional writes.
+    pub oks: u64,
+    /// Predicate rejections (the probe then adopts the actual version).
+    pub conflicts: u64,
+    /// Quorum/ring errors surfaced to the client.
+    pub errors: u64,
+}
+
+impl CasProbe {
+    /// A probe issuing `total` chained CAS ops on `key` across `targets`.
+    pub fn new(targets: Vec<NodeId>, key: impl Into<String>, start_at_us: u64, total: u64) -> Self {
+        CasProbe {
+            targets,
+            key: key.into(),
+            start_at_us,
+            gap_us: 150_000,
+            total,
+            issued: 0,
+            expected: 0,
+            oks: 0,
+            conflicts: 0,
+            errors: 0,
+        }
+    }
+
+    /// Ops that have completed (any outcome).
+    pub fn completed(&self) -> u64 {
+        self.oks + self.conflicts + self.errors
+    }
+
+    fn next_op(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.issued >= self.total {
+            return;
+        }
+        let req = self.issued;
+        let target = self.targets[(self.issued % self.targets.len() as u64) as usize];
+        self.issued += 1;
+        let value: crate::message::Body = format!("cas-gen-{}", self.issued).into_bytes().into();
+        ctx.send(target, Msg::Cas { req, key: self.key.clone(), value, expected: self.expected });
+    }
+}
+
+impl Process<Msg> for CasProbe {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.set_timer(self.start_at_us, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: NodeId, msg: Msg) {
+        let Msg::CasResp { result, .. } = msg else { return };
+        match result {
+            Ok(new_version) => {
+                self.oks += 1;
+                self.expected = new_version;
+                ctx.record("cas_probe_ok", 1.0);
+            }
+            Err(crate::message::StoreError::CasConflict(actual)) => {
+                // Someone (or a duplicated own write) got there first: adopt
+                // the observed version and retry against it.
+                self.conflicts += 1;
+                self.expected = actual;
+                ctx.record("cas_probe_conflict", 1.0);
+            }
+            Err(_) => {
+                self.errors += 1;
+                ctx.record("cas_probe_error", 1.0);
+            }
+        }
+        if self.completed() < self.total {
+            ctx.set_timer(self.gap_us, 0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _token: TimerToken) {
+        self.next_op(ctx);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,7 +179,7 @@ mod tests {
             sim.add_node(CacheNode::new(1 << 16, CostModel::default()), NodeConfig::default());
         let probe = sim.add_node(
             Probe::new(vec![
-                (10, cache, Msg::CachePut { key: "k".into(), value: vec![9] }),
+                (10, cache, Msg::CachePut { key: "k".into(), value: std::sync::Arc::new(vec![9]) }),
                 (20, cache, Msg::CacheGet { req: 77, key: "k".into() }),
             ]),
             NodeConfig::default(),
@@ -90,7 +189,7 @@ mod tests {
         let p = sim.process::<Probe>(probe).unwrap();
         assert_eq!(p.responses.len(), 1);
         match p.response_for(77) {
-            Some(Msg::CacheGetResp { value: Some(v), .. }) => assert_eq!(v, &vec![9]),
+            Some(Msg::CacheGetResp { value: Some(v), .. }) => assert_eq!(**v, vec![9]),
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(p.count_where(|m| matches!(m, Msg::CacheGetResp { .. })), 1);

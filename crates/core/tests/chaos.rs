@@ -16,7 +16,7 @@ fn sim_config(seed: u64) -> SimConfig {
 }
 
 fn put(req: u64, key: &str, value: &[u8]) -> Msg {
-    Msg::Put { req, key: key.into(), value: value.to_vec(), delete: false }
+    Msg::Put { req, key: key.into(), value: value.to_vec().into(), delete: false }
 }
 
 fn get(req: u64, key: &str) -> Msg {
@@ -122,6 +122,61 @@ fn seeded_chaos_kill_sustains_quorum_with_zero_client_errors() {
         30,
         "victim must hold every record after WAL replay + hint replay"
     );
+}
+
+/// Conditional puts under the PR-2 acceptance chaos: the same seeded
+/// kill-1-of-3 schedule, but the workload is a chain of CAS operations —
+/// each conditions on the version the previous one produced. With the
+/// client as the only writer, every predicate must hold: zero conflicts,
+/// zero errors, across the crash window (W=2 still reachable) and the
+/// rejoin. Afterwards hint replay must leave the rejoined victim holding
+/// the final version.
+#[test]
+fn seeded_chaos_kill_sustains_cas_chain_with_zero_client_errors() {
+    use mystore_core::testing::CasProbe;
+
+    let warm = 5_000_000u64;
+    let spec = ClusterSpec::small(3);
+    let (mut sim, registry) = spec.build_sim_with_metrics(sim_config(777));
+    // 60 chained CAS ops at 150 ms intervals: starts before the crash,
+    // spans the 6s–12s outage, finishes after the victim rejoins.
+    let probe = sim.add_node(
+        CasProbe::new(vec![NodeId(0), NodeId(1)], "cas-chain", warm + 500_000, 60),
+        NodeConfig::default(),
+    );
+    let schedule = FaultSchedule::parse("6000000 crash 2 6000000").expect("valid schedule");
+    sim.apply_schedule(&schedule);
+    sim.start();
+    sim.run_for(20_000_000);
+
+    let p = sim.process::<CasProbe>(probe).unwrap();
+    assert_eq!(
+        p.oks, 60,
+        "every conditional put must succeed: ok={} conflicts={} errors={}",
+        p.oks, p.conflicts, p.errors
+    );
+    assert_eq!(p.conflicts, 0, "a single sequential writer must never see a conflict");
+    assert_eq!(p.errors, 0, "zero client-visible errors through the crash window");
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters.get("cas.ok").copied(), Some(60));
+    assert_eq!(snap.counters.get("cas.conflicts").copied().unwrap_or(0), 0);
+    assert_eq!(snap.counters.get("fault.crashes").copied(), Some(1));
+    assert!(
+        snap.counters.get("hint.stored").copied().unwrap_or(0) >= 1,
+        "CAS writes during the outage must park hints: {:?}",
+        snap.counters
+    );
+
+    // The rejoined victim must converge on the chain's final version.
+    let rec = sim
+        .process::<StorageNode>(NodeId(2))
+        .unwrap()
+        .db()
+        .get_record("data", "cas-chain")
+        .unwrap()
+        .expect("victim must hold the record after hint replay");
+    assert_eq!(rec.version, p.expected, "victim must hold the final CAS version");
 }
 
 /// Group commit + fan-out coalescing under a mid-workload crash: bursts of

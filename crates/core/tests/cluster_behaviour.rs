@@ -23,7 +23,7 @@ fn cluster_with_probe(
 }
 
 fn put(req: u64, key: &str, value: &[u8]) -> Msg {
-    Msg::Put { req, key: key.into(), value: value.to_vec(), delete: false }
+    Msg::Put { req, key: key.into(), value: value.to_vec().into(), delete: false }
 }
 
 fn get(req: u64, key: &str) -> Msg {
@@ -44,7 +44,7 @@ fn put_then_get_round_trips_through_any_coordinator() {
     let p = sim.process::<Probe>(probe).unwrap();
     assert!(matches!(p.response_for(1), Some(Msg::PutResp { result: Ok(()), .. })));
     match p.response_for(2) {
-        Some(Msg::GetResp { result: Ok(Some(v)), .. }) => assert_eq!(v, b"scene-xml"),
+        Some(Msg::GetResp { result: Ok(Some(v)), .. }) => assert_eq!(**v, *b"scene-xml"),
         other => panic!("get reply: {other:?}"),
     }
     assert!(matches!(p.response_for(3), Some(Msg::GetResp { result: Ok(None), .. })));
@@ -76,7 +76,7 @@ fn delete_is_logical_and_reads_as_absent() {
         (
             warm + 300_000,
             NodeId(1),
-            Msg::Put { req: 2, key: "victim".into(), value: vec![], delete: true },
+            Msg::Put { req: 2, key: "victim".into(), value: vec![].into(), delete: true },
         ),
         (warm + 600_000, NodeId(2), get(3, "victim")),
     ];
@@ -115,7 +115,7 @@ fn later_write_wins_on_read() {
     sim.run_for(warm + 2_000_000);
     let p = sim.process::<Probe>(probe).unwrap();
     match p.response_for(3) {
-        Some(Msg::GetResp { result: Ok(Some(v)), .. }) => assert_eq!(v, b"new"),
+        Some(Msg::GetResp { result: Ok(Some(v)), .. }) => assert_eq!(**v, *b"new"),
         other => panic!("get reply: {other:?}"),
     }
 }

@@ -54,7 +54,7 @@ fn crash_before_ack_loses_nothing_acked_and_invents_nothing() {
                 Msg::Put {
                     req: i,
                     key: format!("acked-{i}"),
-                    value: vec![i as u8; 16],
+                    value: vec![i as u8; 16].into(),
                     delete: false,
                 },
             );
@@ -76,7 +76,7 @@ fn crash_before_ack_loses_nothing_acked_and_invents_nothing() {
                 Msg::Put {
                     req: 50 + i,
                     key: format!("unacked-{i}"),
-                    value: vec![0xAB; 16],
+                    value: vec![0xAB; 16].into(),
                     delete: false,
                 },
             );
@@ -107,7 +107,7 @@ fn crash_before_ack_loses_nothing_acked_and_invents_nothing() {
                     phantom_checked = true;
                 }
                 Some((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
-                    assert_eq!(v, vec![(req - 100) as u8; 16], "acked value corrupted");
+                    assert_eq!(*v, vec![(req - 100) as u8; 16], "acked value corrupted");
                     got += 1;
                 }
                 Some((_, Msg::GetResp { result, .. })) => {
@@ -171,7 +171,7 @@ fn acked_writes_survive_crash_inside_group_commit_window() {
                 Msg::Put {
                     req: i,
                     key: format!("gc-acked-{i}"),
-                    value: vec![i as u8; 24],
+                    value: vec![i as u8; 24].into(),
                     delete: false,
                 },
             );
@@ -193,7 +193,7 @@ fn acked_writes_survive_crash_inside_group_commit_window() {
                 Msg::Put {
                     req: 50 + i,
                     key: format!("gc-unacked-{i}"),
-                    value: vec![0xCD; 24],
+                    value: vec![0xCD; 24].into(),
                     delete: false,
                 },
             );
@@ -224,7 +224,7 @@ fn acked_writes_survive_crash_inside_group_commit_window() {
         while got < 12 {
             match cluster.recv_timeout(Duration::from_secs(5)) {
                 Some((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
-                    assert_eq!(v, vec![(req - 100) as u8; 24], "acked value corrupted");
+                    assert_eq!(*v, vec![(req - 100) as u8; 24], "acked value corrupted");
                     got += 1;
                 }
                 Some((_, Msg::GetResp { result, .. })) => {
@@ -254,7 +254,7 @@ fn durable_cluster_recovers_after_restart() {
                 Msg::Put {
                     req: i,
                     key: format!("durable-{i}"),
-                    value: vec![i as u8; 32],
+                    value: vec![i as u8; 32].into(),
                     delete: false,
                 },
             );
@@ -291,7 +291,7 @@ fn durable_cluster_recovers_after_restart() {
         while got < 8 {
             match cluster.recv_timeout(Duration::from_secs(5)) {
                 Some((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
-                    assert_eq!(v, vec![(req - 100) as u8; 32]);
+                    assert_eq!(*v, vec![(req - 100) as u8; 32]);
                     got += 1;
                 }
                 Some((_, Msg::GetResp { result, .. })) => panic!("read lost data: {result:?}"),

@@ -40,7 +40,7 @@ fn threaded_runtime_serves_quorum_operations() {
     for i in 0..10u64 {
         cluster.send(
             NodeId((i % 4) as u32),
-            Msg::Put { req: i, key: format!("t{i}"), value: vec![i as u8], delete: false },
+            Msg::Put { req: i, key: format!("t{i}"), value: vec![i as u8].into(), delete: false },
         );
     }
     let mut acks = 0;
@@ -56,7 +56,7 @@ fn threaded_runtime_serves_quorum_operations() {
     loop {
         match cluster.recv_timeout(Duration::from_secs(5)) {
             Some((_, Msg::GetResp { req: 100, result })) => {
-                assert_eq!(result.unwrap().unwrap(), vec![1u8]);
+                assert_eq!(*result.unwrap().unwrap(), vec![1u8]);
                 break;
             }
             Some(_) => {}
@@ -107,7 +107,7 @@ fn stale_replica_is_read_repaired() {
     sim.run_for(3_000_000);
     let p = sim.process::<Probe>(probe).unwrap();
     match p.response_for(1) {
-        Some(Msg::GetResp { result: Ok(Some(v)), .. }) => assert_eq!(v, b"new"),
+        Some(Msg::GetResp { result: Ok(Some(v)), .. }) => assert_eq!(**v, *b"new"),
         other => panic!("read: {other:?}"),
     }
     // ...and the stale replica was repaired in the background.
@@ -140,7 +140,7 @@ fn capacity_proportional_vnodes_skew_placement() {
             (
                 warm + i * 5_000,
                 NodeId((i % 4) as u32),
-                Msg::Put { req: i, key: format!("cap{i}"), value: vec![1], delete: false },
+                Msg::Put { req: i, key: format!("cap{i}"), value: vec![1].into(), delete: false },
             )
         })
         .collect();
@@ -187,7 +187,7 @@ fn requests_to_a_dead_coordinator_time_out_cleanly() {
         Probe::new(vec![(
             warm + 1_000_000,
             NodeId(2),
-            Msg::Put { req: 1, key: "k".into(), value: vec![1], delete: false },
+            Msg::Put { req: 1, key: "k".into(), value: vec![1].into(), delete: false },
         )]),
         NodeConfig::default(),
     );

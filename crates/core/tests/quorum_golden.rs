@@ -1,0 +1,138 @@
+//! Golden-trace lock on the quorum driver's schedule.
+//!
+//! The PR-5 refactor moved the PUT/GET coordinator state machines out of
+//! `storage_node.rs` into the generic `coordinator::driver` engine. The
+//! contract is that the unified driver issues *bit-identical* retry and
+//! backoff schedules and replica fan-out as the pre-refactor code: same
+//! messages in the same order, same RNG draws (backoff jitter), same timer
+//! arms, same metric increments.
+//!
+//! This test locks that schedule in a golden file generated from the
+//! pre-refactor code (same technique as the PR-4
+//! `full_trace_and_metrics_replay_identically_for_a_seed` test, but diffed
+//! against a committed fixture instead of a second run). The scenario is
+//! chosen to exercise every driver path: replica soft-timeouts and bounded
+//! retries with jittered backoff (lossy link), retry exhaustion and
+//! divert-to-handoff (crashed replica), read-repair supplementation, and
+//! hint replay.
+//!
+//! Histogram *sums* are included only for series whose recorded values are
+//! derived from sim time or the seeded RNG (`retry.backoff_us`,
+//! `quorum.*.latency_us`); wall-clock-measured durations (`wal.*_us`)
+//! contribute only their counts.
+//!
+//! To regenerate after an *intentional* schedule change:
+//! `UPDATE_QUORUM_GOLDEN=1 cargo test -p mystore-core --test quorum_golden`
+
+use mystore_core::prelude::*;
+use mystore_core::testing::Probe;
+use mystore_net::{FaultPlan, LinkFaultRule, NetConfig, NodeConfig, NodeId, SimConfig, SimTime};
+
+const DETERMINISTIC_HISTS: &[&str] =
+    &["retry.backoff_us", "quorum.write.latency_us", "quorum.read.latency_us"];
+
+fn schedule_trace(seed: u64) -> String {
+    let warm = 5_000_000u64;
+    let mut script: Vec<(u64, NodeId, Msg)> = (0..20u64)
+        .map(|i| {
+            let value = std::sync::Arc::new(b"golden".to_vec());
+            (
+                warm + i * 90_000,
+                NodeId((i % 2) as u32),
+                Msg::Put { req: i, key: format!("g{i}"), value, delete: false },
+            )
+        })
+        .collect();
+    for i in 0..20u64 {
+        script.push((
+            15_000_000 + i * 40_000,
+            NodeId(((i + 1) % 2) as u32),
+            Msg::Get { req: 100 + i, key: format!("g{i}") },
+        ));
+    }
+    let spec = ClusterSpec::small(3);
+    let (mut sim, registry) = spec.build_sim_with_metrics(SimConfig {
+        net: NetConfig::gigabit_lan(),
+        faults: FaultPlan::none(),
+        seed,
+    });
+    let _probe = sim.add_node(Probe::new(script), NodeConfig::default());
+    // A lossy coordinator↔replica link forces straggler retries (backoff RNG
+    // draws); the crashed replica exhausts its budget and diverts to hinted
+    // handoff; reads over the same window exercise get-retries and repair.
+    let lossy = LinkFaultRule { p_drop: 0.35, ..LinkFaultRule::none() };
+    sim.schedule_chaos(SimTime(0), NodeId(0), NodeId(1), lossy);
+    sim.schedule_crash(SimTime(warm + 650_000), NodeId(2), Some(4_000_000));
+    sim.start();
+    sim.run_for(20_000_000);
+
+    let mut out = String::new();
+    for e in sim.trace().events() {
+        out.push_str(&format!(
+            "ev {} {} {} {:#x}\n",
+            e.time.0,
+            e.node.0,
+            e.name,
+            e.value.to_bits()
+        ));
+    }
+    let snap = registry.snapshot();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("ctr {name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("gauge {name} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        if DETERMINISTIC_HISTS.contains(&name.as_str()) {
+            out.push_str(&format!("hist {name} count={} sum={}\n", h.count, h.sum));
+        } else {
+            out.push_str(&format!("hist {name} count={}\n", h.count));
+        }
+    }
+    for &id in &spec.storage_ids() {
+        let n = sim.process::<StorageNode>(id).unwrap();
+        out.push_str(&format!("records {} {}\n", id.0, n.record_count()));
+    }
+    out
+}
+
+#[test]
+fn quorum_driver_put_get_schedule_matches_pre_refactor_golden_trace() {
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/quorum_schedule.golden");
+    let got = schedule_trace(6151);
+    // The scenario must actually exercise the driver paths it claims to lock.
+    assert!(got.contains("ctr retry.put.resends"), "no put retries in scenario:\n{got}");
+    assert!(got.contains("ctr retry.get.resends"), "no get retries in scenario:\n{got}");
+    assert!(got.contains("ctr hint.handoffs"), "no handoff diversion in scenario:\n{got}");
+    assert!(got.contains("ctr read_repair.pushes"), "no read repair in scenario:\n{got}");
+
+    if std::env::var("UPDATE_QUORUM_GOLDEN").is_ok() {
+        std::fs::write(&golden_path, &got).expect("write golden fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).expect(
+        "missing tests/golden/quorum_schedule.golden — run with UPDATE_QUORUM_GOLDEN=1 to seed it",
+    );
+    if got != want {
+        let diverged = want
+            .lines()
+            .zip(got.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {}:\ngolden: {a}\n   got: {b}", i + 1))
+            .unwrap_or_else(|| {
+                format!("traces differ in length (golden {}, got {})", want.len(), got.len())
+            });
+        panic!(
+            "quorum driver schedule drifted from the pre-refactor golden trace:\n{diverged}\n\
+             If the change is intentional, regenerate with UPDATE_QUORUM_GOLDEN=1."
+        );
+    }
+}
+
+#[test]
+fn quorum_golden_scenario_is_self_deterministic() {
+    assert_eq!(schedule_trace(6151), schedule_trace(6151));
+}

@@ -42,7 +42,7 @@ fn healthy_read_pushes_no_repairs() {
     sim.inject(
         SimTime(sim.now().as_micros() + 1),
         NodeId(0),
-        Msg::Put { req: 1, key: "steady".into(), value: b"v".to_vec(), delete: false },
+        Msg::Put { req: 1, key: "steady".into(), value: b"v".to_vec().into(), delete: false },
     );
     sim.run_for(1_000_000);
     sim.inject(

@@ -22,17 +22,27 @@ fn build(grace_us: u64, interval_us: u64) -> (Sim<Msg>, ClusterSpec, NodeId) {
             (
                 warm,
                 NodeId(0),
-                Msg::Put { req: 1, key: "victim".into(), value: b"x".to_vec(), delete: false },
+                Msg::Put {
+                    req: 1,
+                    key: "victim".into(),
+                    value: b"x".to_vec().into(),
+                    delete: false,
+                },
             ),
             (
                 warm + 500_000,
                 NodeId(1),
-                Msg::Put { req: 2, key: "victim".into(), value: vec![], delete: true },
+                Msg::Put { req: 2, key: "victim".into(), value: vec![].into(), delete: true },
             ),
             (
                 warm + 500_000,
                 NodeId(2),
-                Msg::Put { req: 3, key: "keeper".into(), value: b"y".to_vec(), delete: false },
+                Msg::Put {
+                    req: 3,
+                    key: "keeper".into(),
+                    value: b"y".to_vec().into(),
+                    delete: false,
+                },
             ),
         ]),
         NodeConfig::default(),

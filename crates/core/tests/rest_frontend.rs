@@ -15,7 +15,8 @@ fn rest(req: u64, method: Method, key: Option<&str>, body: &[u8]) -> Msg {
         req,
         method,
         key: key.map(str::to_string),
-        body: body.to_vec(),
+        body: body.to_vec().into(),
+        if_match: None,
         auth: None,
     })
 }
@@ -59,7 +60,7 @@ fn full_topology_get_post_delete() {
     match p.response_for(2) {
         Some(Msg::RestResp(r)) => {
             assert_eq!(r.status, status::OK);
-            assert_eq!(r.body, b"<xml>circuit</xml>");
+            assert_eq!(*r.body, b"<xml>circuit</xml>");
         }
         other => panic!("{other:?}"),
     }
@@ -105,7 +106,7 @@ fn post_populates_cache_for_subsequent_get() {
         Some(Msg::RestResp(r)) => {
             assert_eq!(r.status, status::OK);
             assert!(r.from_cache, "write path must have populated the cache (§4 POST)");
-            assert_eq!(r.body, b"cached-by-write");
+            assert_eq!(*r.body, b"cached-by-write");
         }
         other => panic!("{other:?}"),
     }
@@ -139,7 +140,8 @@ fn auth_rejects_unsigned_and_wrong_signatures() {
                     req: 2,
                     method: Method::Post,
                     key: Some("secured".into()),
-                    body: b"top secret".to_vec(),
+                    body: b"top secret".to_vec().into(),
+                    if_match: None,
                     auth: Some(("alice".into(), good_sig)),
                 }),
             ),
@@ -151,7 +153,8 @@ fn auth_rejects_unsigned_and_wrong_signatures() {
                     req: 3,
                     method: Method::Get,
                     key: Some("secured".into()),
-                    body: vec![],
+                    body: Default::default(),
+                    if_match: None,
                     auth: Some(("alice".into(), bad_sig)),
                 }),
             ),
@@ -163,7 +166,8 @@ fn auth_rejects_unsigned_and_wrong_signatures() {
                     req: 4,
                     method: Method::Get,
                     key: Some("secured".into()),
-                    body: vec![],
+                    body: Default::default(),
+                    if_match: None,
                     auth: Some(("alice".into(), good_get)),
                 }),
             ),
@@ -282,7 +286,8 @@ fn runtime_token_flow_completes_the_fig2_loop() {
             req: 3,
             method: Method::Post,
             key: Some("fig2".into()),
-            body: b"signed with a runtime token".to_vec(),
+            body: b"signed with a runtime token".to_vec().into(),
+            if_match: None,
             auth: Some(("alice".into(), sig)),
         }),
     );
@@ -357,6 +362,135 @@ fn stats_endpoint_reports_quorum_counters_after_traffic() {
     let direct = registry.snapshot();
     assert!(direct.counters["quorum.write.ok"] >= 1);
     assert!(direct.counters["wal.appends"] >= 1, "WAL metrics flow into the same registry");
+}
+
+fn rest_if_match(req: u64, method: Method, key: Option<&str>, body: &[u8], pred: &str) -> Msg {
+    Msg::RestReq(RestRequest {
+        req,
+        method,
+        key: key.map(str::to_string),
+        body: body.to_vec().into(),
+        if_match: Some(pred.into()),
+        auth: None,
+    })
+}
+
+/// Malformed requests must be rejected at the front door: `400` to the
+/// client AND nothing forwarded to storage — the quorum `started` counters
+/// must not move. (A rejection that still costs a quorum round-trip is a
+/// denial-of-service amplifier.)
+#[test]
+fn malformed_requests_get_400_without_touching_storage() {
+    let spec = ClusterSpec::paper_topology();
+    let fe = spec.frontend_ids()[0];
+    let warm = spec.warmup_us();
+    let (mut sim, registry) = spec.build_sim_with_metrics(sim_config(51));
+    let oversized_key = "k".repeat(2048); // frontend_config caps at 1024
+    let probe = sim.add_node(
+        Probe::new(vec![
+            // DELETE without a key: nothing to delete.
+            (warm, fe, rest(1, Method::Delete, None, b"")),
+            // Unparseable If-Match predicate on a keyed POST.
+            (warm + 200_000, fe, rest_if_match(2, Method::Post, Some("k"), b"v", "garbage")),
+            // If-Match on a GET: the predicate only applies to keyed POSTs.
+            (warm + 400_000, fe, rest_if_match(3, Method::Get, Some("k"), b"", "1")),
+            // If-Match on a key-less POST (key assignment can't be conditional).
+            (warm + 600_000, fe, rest_if_match(4, Method::Post, None, b"v", "1")),
+            // Key longer than `max_key_bytes`.
+            (warm + 800_000, fe, rest(5, Method::Post, Some(&oversized_key), b"v")),
+        ]),
+        NodeConfig::default(),
+    );
+    sim.start();
+    sim.run_for(warm + 3_000_000);
+    let p = sim.process::<Probe>(probe).unwrap();
+    for req in 1..=5u64 {
+        assert_eq!(
+            p.response_for(req).and_then(resp_status),
+            Some(status::BAD_REQUEST),
+            "malformed request {req} must get 400"
+        );
+    }
+    // None of them may have reached a coordinator — or even been admitted.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters.get("quorum.write.started").copied().unwrap_or(0), 0);
+    assert_eq!(snap.counters.get("quorum.read.started").copied().unwrap_or(0), 0);
+    assert_eq!(snap.counters.get("cas.started").copied().unwrap_or(0), 0);
+    assert_eq!(snap.counters.get("frontend.admitted").copied().unwrap_or(0), 0);
+}
+
+/// Conditional put through the REST surface: `If-Match: 0` creates, the
+/// returned version conditions the next write, a stale predicate gets `409`
+/// with the actual version in the body, and the matching retry succeeds.
+#[test]
+fn if_match_conditional_put_end_to_end() {
+    let spec = ClusterSpec::paper_topology();
+    let fe = spec.frontend_ids()[0];
+    let warm = spec.warmup_us();
+    let (mut sim, registry) = spec.build_sim_with_metrics(sim_config(52));
+    let probe = sim.add_node(
+        Probe::new(vec![
+            // Create iff absent.
+            (warm, fe, rest_if_match(1, Method::Post, Some("ledger"), b"v1", "0")),
+            // A second create-if-absent must now conflict.
+            (warm + 600_000, fe, rest_if_match(2, Method::Post, Some("ledger"), b"v2", "0")),
+            // Unconditional read still sees v1.
+            (warm + 1_200_000, fe, rest(3, Method::Get, Some("ledger"), b"")),
+        ]),
+        NodeConfig::default(),
+    );
+    sim.start();
+    sim.run_for(warm + 3_000_000);
+
+    // The create returns the new version as a decimal body.
+    let v1: u64 = {
+        let p = sim.process::<Probe>(probe).unwrap();
+        match p.response_for(1) {
+            Some(Msg::RestResp(r)) if r.status == status::OK => {
+                std::str::from_utf8(&r.body).unwrap().parse().expect("version body")
+            }
+            other => panic!("create-if-absent: {other:?}"),
+        }
+    };
+    assert!(v1 > 0, "a created record must carry a non-zero version");
+    // The conflicting create reports the version actually present.
+    {
+        let p = sim.process::<Probe>(probe).unwrap();
+        match p.response_for(2) {
+            Some(Msg::RestResp(r)) if r.status == status::CONFLICT => {
+                let actual: u64 = std::str::from_utf8(&r.body).unwrap().parse().unwrap();
+                assert_eq!(actual, v1, "409 body must carry the winning version");
+            }
+            other => panic!("stale predicate: {other:?}"),
+        }
+        match p.response_for(3) {
+            Some(Msg::RestResp(r)) if r.status == status::OK => assert_eq!(*r.body, b"v1"),
+            other => panic!("read after conflict: {other:?}"),
+        }
+    }
+
+    // Retry conditioned on the observed version (injected, so the reply has
+    // no client to land on — the outcome is asserted storage-side).
+    sim.inject(
+        sim.now() + 1,
+        fe,
+        rest_if_match(4, Method::Post, Some("ledger"), b"v3", &v1.to_string()),
+    );
+    sim.run_for(2_000_000);
+    let stored = spec
+        .storage_ids()
+        .iter()
+        .find_map(|&id| {
+            sim.process::<StorageNode>(id).unwrap().db().get_record("data", "ledger").ok().flatten()
+        })
+        .expect("record must exist after the matching CAS");
+    assert_eq!(stored.val, b"v3", "the matching retry must have applied");
+    assert!(stored.version > v1, "a successful CAS must advance the version");
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counters.get("cas.ok").copied(), Some(2));
+    assert_eq!(snap.counters.get("cas.conflicts").copied(), Some(1));
+    assert!(snap.histograms.get("cas.latency_us").map(|h| h.count).unwrap_or(0) >= 3);
 }
 
 /// A coordinator the round-robin upstream list still names crashes; REST

@@ -47,6 +47,6 @@ pub use error::{EngineError, Result};
 pub use oplog::{OplogRing, WalOp};
 pub use pool::{ConnectOptions, DbHandle, Pool, PooledConn};
 pub use query::{Agg, Filter, GroupSpec, Update};
-pub use record::{pack_version, unpack_version, Record};
+pub use record::{cas_version_check, lww_winner, pack_version, unpack_version, Record};
 pub use repl::{ReplNode, Role};
 pub use wal::{GroupCommitConfig, WalMetrics};

@@ -124,7 +124,43 @@ impl Record {
     /// LWW comparison: `self` should replace `other` iff it is strictly
     /// newer.
     pub fn wins_over(&self, other: &Record) -> bool {
-        self.version > other.version
+        self.wins_over_version(other.version)
+    }
+
+    /// LWW comparison against a bare version stamp (anti-entropy digests
+    /// carry versions without the full record).
+    pub fn wins_over_version(&self, other_version: u64) -> bool {
+        self.version > other_version
+    }
+
+    /// The inverse digest comparison: true when a peer's bare version stamp
+    /// would replace this record under LWW.
+    pub fn loses_to_version(&self, other_version: u64) -> bool {
+        other_version > self.version
+    }
+}
+
+/// Reduces replica read responses to the LWW winner. Ties keep the first
+/// reply seen (deterministic: reply order is deterministic in the sim), which
+/// is the PR-1 tie-break rule — every read-path comparison must route through
+/// here or [`Record::wins_over`] so the rule cannot drift across copies.
+pub fn lww_winner<'a, I>(records: I) -> Option<&'a Record>
+where
+    I: IntoIterator<Item = &'a Record>,
+{
+    records.into_iter().reduce(|best, r| if r.wins_over(best) { r } else { best })
+}
+
+/// The conditional-put (CAS) predicate: `expected == 0` asserts the key is
+/// absent (never written or tombstoned); any other value asserts the current
+/// *live* record carries exactly that LWW version. Returns the actual version
+/// on mismatch so callers can surface it in the conflict response.
+pub fn cas_version_check(current: Option<&Record>, expected: u64) -> std::result::Result<(), u64> {
+    let actual = current.filter(|r| !r.is_del).map(|r| r.version).unwrap_or(0);
+    if actual == expected {
+        Ok(())
+    } else {
+        Err(actual)
     }
 }
 
@@ -182,6 +218,34 @@ mod tests {
         assert!(new.wins_over(&old));
         assert!(!old.wins_over(&new));
         assert!(!old.wins_over(&old));
+    }
+
+    #[test]
+    fn lww_winner_picks_newest_and_keeps_first_on_tie() {
+        let a = Record::new(ObjectId::from_parts(1, 1, 1), "k", vec![1], pack_version(10, 0));
+        let b = Record::new(ObjectId::from_parts(1, 1, 2), "k", vec![2], pack_version(12, 0));
+        let tie = Record::new(ObjectId::from_parts(1, 1, 3), "k", vec![3], pack_version(12, 0));
+        assert!(lww_winner(std::iter::empty()).is_none());
+        assert_eq!(lww_winner([&a, &b, &tie]).unwrap().val, vec![2]);
+        assert_eq!(lww_winner([&tie, &b, &a]).unwrap().val, vec![3]);
+        assert!(a.loses_to_version(b.version));
+        assert!(!b.loses_to_version(a.version));
+    }
+
+    #[test]
+    fn cas_version_check_semantics() {
+        let live = Record::new(ObjectId::from_parts(1, 1, 1), "k", vec![1], pack_version(10, 2));
+        let dead = Record::tombstone(ObjectId::from_parts(1, 1, 2), "k", pack_version(11, 2));
+        // Absent key: only expected == 0 matches.
+        assert_eq!(cas_version_check(None, 0), Ok(()));
+        assert_eq!(cas_version_check(None, 7), Err(0));
+        // Live record: exact version required.
+        assert_eq!(cas_version_check(Some(&live), live.version), Ok(()));
+        assert_eq!(cas_version_check(Some(&live), 0), Err(live.version));
+        assert_eq!(cas_version_check(Some(&live), 12345), Err(live.version));
+        // Tombstone counts as absent.
+        assert_eq!(cas_version_check(Some(&dead), 0), Ok(()));
+        assert_eq!(cas_version_check(Some(&dead), dead.version), Err(0));
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub struct CratePolicy {
     /// `forbid-unsafe`: require `#![forbid(unsafe_code)]` in the crate
     /// root (`src/lib.rs` / `src/main.rs`).
     pub forbid_unsafe: bool,
+    /// `max-file-lines`: budget on non-test lines per file (the region
+    /// before `#[cfg(test)]`); `None` disables the rule. The default 600
+    /// is the god-object tripwire — a module that large is hiding more
+    /// than one responsibility (the PR-5 `storage_node.rs` split is the
+    /// motivating case).
+    pub max_file_lines: Option<usize>,
 }
 
 impl CratePolicy {
@@ -46,6 +52,7 @@ impl CratePolicy {
             atomics_ordering: false,
             metric_prefixes: None,
             forbid_unsafe: true,
+            max_file_lines: Some(600),
         }
     }
 }
@@ -107,7 +114,17 @@ pub fn workspace_policy(workspace_root: &std::path::Path) -> Vec<CratePolicy> {
     let mut core = CratePolicy::new("core", c("core"));
     core.wall_clock = true;
     core.unordered_iter = true;
-    core.panic_files = vec!["src/storage_node.rs".into(), "src/frontend.rs".into()];
+    core.panic_files = vec![
+        "src/storage_node/mod.rs".into(),
+        "src/storage_node/coordinator/mod.rs".into(),
+        "src/storage_node/coordinator/driver.rs".into(),
+        "src/storage_node/coordinator/put.rs".into(),
+        "src/storage_node/coordinator/get.rs".into(),
+        "src/storage_node/coordinator/cas.rs".into(),
+        "src/storage_node/replica.rs".into(),
+        "src/storage_node/maintenance.rs".into(),
+        "src/frontend.rs".into(),
+    ];
     core.metric_prefixes = Some(vec![
         "quorum.".into(),
         "read_repair.".into(),
@@ -117,6 +134,7 @@ pub fn workspace_policy(workspace_root: &std::path::Path) -> Vec<CratePolicy> {
         "batch.".into(),
         "coord.".into(),
         "frontend.".into(),
+        "cas.".into(),
     ]);
     out.push(core);
 
@@ -152,5 +170,6 @@ pub fn strict_policy(root: PathBuf) -> CratePolicy {
         atomics_ordering: true,
         metric_prefixes: Some(vec!["app.".into()]),
         forbid_unsafe: true,
+        max_file_lines: Some(60),
     }
 }

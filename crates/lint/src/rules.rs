@@ -69,6 +69,11 @@ pub const RULES: &[RuleInfo] = &[
         what: "crate roots must carry #![forbid(unsafe_code)]",
         scope: "every workspace crate (none currently needs unsafe)",
     },
+    RuleInfo {
+        name: "max-file-lines",
+        what: "non-test region capped at 600 lines; a file that large is a god-object in the making — split it",
+        scope: "every workspace crate (strict/fixture policy uses 60)",
+    },
 ];
 
 const MEMORY_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
@@ -342,6 +347,21 @@ pub fn lint_file(
                     metrics.sites.entry(name).or_default().push((display.to_string(), lit.line));
                 }
             }
+        }
+    }
+
+    // --- max-file-lines ---
+    if let Some(max) = policy.max_file_lines {
+        let code_lines =
+            if cutoff == usize::MAX { source.lines().count() } else { cutoff.saturating_sub(1) };
+        if code_lines > max {
+            raw.push(diag(
+                max + 1,
+                "max-file-lines",
+                format!(
+                    "file has {code_lines} non-test lines, over the {max}-line budget; split the module (or lint:allow-file with a reason)"
+                ),
+            ));
         }
     }
 
@@ -630,6 +650,34 @@ mod tests {
         assert_eq!(rules_of(&d), vec!["metrics-hygiene"]);
         assert_eq!(d[0].line, 2);
         assert!(d[0].message.contains("more than once"));
+    }
+
+    #[test]
+    fn max_file_lines_counts_only_the_non_test_region() {
+        // 70 code lines under the strict 60-line budget: fires at line 61.
+        let big = "fn f() {}\n".repeat(70);
+        let d = strict(&big);
+        assert_eq!(rules_of(&d), vec!["max-file-lines"]);
+        assert_eq!(d[0].line, 61);
+        assert!(d[0].message.contains("70 non-test lines"), "{}", d[0].message);
+
+        // The same 70 lines of *test* code are free: only the region
+        // before #[cfg(test)] counts against the budget.
+        let tests_only = format!("fn f() {{}}\n#[cfg(test)]\nmod tests {{\n{big}}}\n");
+        assert!(strict(&tests_only).is_empty());
+
+        // Exactly at the budget is fine.
+        let at_limit = "fn f() {}\n".repeat(60);
+        assert!(strict(&at_limit).is_empty());
+    }
+
+    #[test]
+    fn max_file_lines_honours_the_file_level_allow() {
+        let big = format!(
+            "// lint:allow-file(max-file-lines): cohesive state machine, split tracked in ROADMAP\n{}",
+            "fn f() {}\n".repeat(70)
+        );
+        assert!(strict(&big).is_empty());
     }
 
     #[test]

@@ -56,6 +56,12 @@ pub fn strings_and_comments_do_not_fire() {
     let _nested = 1; /* block /* nested */ comment with panic!() inside */
 }
 
+pub fn padding_past_the_line_budget() {
+    // Pushes the non-test region past the strict 60-line budget so
+    // `max-file-lines` has a seeded violation (fires at line 61).
+    let _ = 0u8;
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -18,6 +18,10 @@
 //! Everything is driven by one seeded RNG, so a run is a pure function of
 //! (processes, config, seed).
 
+// lint:allow-file(max-file-lines): the event loop, queueing model, fault
+// injection, and scheduler share one heap and one RNG draw order — splitting
+// them would spread the determinism invariant across files.
+
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};

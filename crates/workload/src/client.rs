@@ -12,7 +12,7 @@
 //! success of writing") and recording per-operation completion times for
 //! Figs. 16–17.
 
-use mystore_core::message::{Method, Msg, RestRequest, RestResponse};
+use mystore_core::message::{Body, Method, Msg, RestRequest, RestResponse};
 use mystore_net::{Context, NetConfig, NodeId, Process, SimTime, TimerToken};
 
 use crate::corpus::Item;
@@ -100,7 +100,8 @@ impl RestClient {
                 req,
                 method: Method::Get,
                 key: Some(item.key.clone()),
-                body: vec![],
+                body: Body::default(),
+                if_match: None,
                 auth: None,
             }
         } else {
@@ -108,7 +109,8 @@ impl RestClient {
                 req,
                 method: Method::Post,
                 key: Some(item.key.clone()),
-                body: crate::corpus::make_payload(item),
+                body: crate::corpus::make_payload(item).into(),
+                if_match: None,
                 auth: None,
             }
         };
@@ -240,7 +242,7 @@ impl PutClient {
             Msg::Put {
                 req,
                 key: item.key.clone(),
-                value: crate::corpus::make_payload(item),
+                value: crate::corpus::make_payload(item).into(),
                 delete: false,
             },
         );

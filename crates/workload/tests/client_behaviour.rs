@@ -31,7 +31,7 @@ impl Process<Msg> for ScriptedRest {
                 Msg::RestResp(RestResponse {
                     req: r.req,
                     status: code,
-                    body,
+                    body: body.into(),
                     assigned_key: None,
                     from_cache: false,
                 }),

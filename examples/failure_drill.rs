@@ -19,7 +19,7 @@ use mystore::core::testing::Probe;
 use mystore::net::{FaultPlan, NetConfig, NodeConfig, NodeId, SimConfig, SimTime};
 
 fn put(req: u64, key: &str, value: &[u8]) -> Msg {
-    Msg::Put { req, key: key.into(), value: value.to_vec(), delete: false }
+    Msg::Put { req, key: key.into(), value: value.to_vec().into(), delete: false }
 }
 
 fn total_replicas(sim: &mystore::net::Sim<Msg>, nodes: &[NodeId]) -> usize {

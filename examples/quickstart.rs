@@ -15,7 +15,8 @@ fn rest(req: u64, method: Method, key: Option<&str>, body: &[u8]) -> Msg {
         req,
         method,
         key: key.map(str::to_string),
-        body: body.to_vec(),
+        body: body.to_vec().into(),
+        if_match: None,
         auth: None,
     })
 }

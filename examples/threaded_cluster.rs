@@ -47,7 +47,7 @@ fn main() {
             Msg::Put {
                 req: i,
                 key: format!("threaded-{i}"),
-                value: format!("value-{i}").into_bytes(),
+                value: format!("value-{i}").into_bytes().into(),
                 delete: false,
             },
         );
@@ -74,7 +74,7 @@ fn main() {
     while get_ok < 50 {
         match cluster.recv_timeout(Duration::from_secs(5)) {
             Some((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
-                assert_eq!(v, format!("value-{}", req - 1000).into_bytes());
+                assert_eq!(*v, format!("value-{}", req - 1000).into_bytes());
                 get_ok += 1;
             }
             Some((_, Msg::GetResp { result, .. })) => panic!("unexpected get result: {result:?}"),

@@ -48,7 +48,8 @@ fn main() {
             req,
             method: Method::Post,
             key: Some(key.to_string()),
-            body: body.to_vec(),
+            body: body.to_vec().into(),
+            if_match: None,
             auth: Some(("instructor".to_string(), sig)),
         })
     };
@@ -93,7 +94,8 @@ fn main() {
                 req: 100 + i,
                 method: Method::Get,
                 key: Some(key.into()),
-                body: vec![],
+                body: Default::default(),
+                if_match: None,
                 auth: Some(("instructor".into(), sig)),
             }),
         ));
@@ -112,7 +114,8 @@ fn main() {
             req: 4,
             method: Method::Delete,
             key: Some("component:Resistor5".into()),
-            body: vec![],
+            body: Default::default(),
+            if_match: None,
             auth: Some((
                 "instructor".into(),
                 sign_request(&tokens[tok], "/data/component:Resistor5", "circuits-2026"),

@@ -25,6 +25,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> quorum engine (driver goldens, CAS, schedule lock)"
+# The PR-5 refactor contract: the generic quorum driver must replay the
+# pre-refactor retry/backoff schedule bit-identically (quorum_golden) and
+# serve CAS through the same engine (rest_frontend/chaos cas tests).
+cargo test -p mystore-core quorum -q
+
 echo "==> chaos suite (fixed seed)"
 cargo test -p mystore-core --test chaos -q
 cargo run --release -p mystore-bench --bin chaos -- 42

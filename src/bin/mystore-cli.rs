@@ -98,7 +98,7 @@ fn main() {
                     Msg::Put {
                         req,
                         key: key.to_string(),
-                        value: rest.join(" ").into_bytes(),
+                        value: rest.join(" ").into_bytes().into(),
                         delete: false,
                     },
                 );
@@ -128,7 +128,7 @@ fn main() {
                 req += 1;
                 cluster.send(
                     coordinator(key),
-                    Msg::Put { req, key: key.to_string(), value: Vec::new(), delete: true },
+                    Msg::Put { req, key: key.to_string(), value: Default::default(), delete: true },
                 );
                 match wait_reply(&cluster, req) {
                     Some(Msg::PutResp { result: Ok(()), .. }) => println!("OK (tombstoned)"),

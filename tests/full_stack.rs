@@ -104,13 +104,18 @@ fn chunked_video_round_trips_through_the_cluster() {
         script.push((
             warm + i as u64 * 50_000,
             NodeId((i % 5) as u32),
-            Msg::Put { req: i as u64, key: key.clone(), value: body.clone(), delete: false },
+            Msg::Put { req: i as u64, key: key.clone(), value: body.clone().into(), delete: false },
         ));
     }
     script.push((
         warm + 1_000_000,
         NodeId(0),
-        Msg::Put { req: 99, key: "lecture".into(), value: plan.manifest.clone(), delete: false },
+        Msg::Put {
+            req: 99,
+            key: "lecture".into(),
+            value: plan.manifest.clone().into(),
+            delete: false,
+        },
     ));
     // Read everything back through a different coordinator.
     script.push((warm + 2_000_000, NodeId(3), Msg::Get { req: 100, key: "lecture".into() }));
@@ -131,7 +136,7 @@ fn chunked_video_round_trips_through_the_cluster() {
         other => panic!("manifest read: {other:?}"),
     };
     let rebuilt = chunks::reassemble(&manifest, |i| match p.response_for(101 + i as u64) {
-        Some(Msg::GetResp { result: Ok(Some(c)), .. }) => Some(c.clone()),
+        Some(Msg::GetResp { result: Ok(Some(c)), .. }) => Some(c.as_ref().clone()),
         _ => None,
     })
     .expect("reassembly");

@@ -52,14 +52,14 @@ proptest! {
                         Msg::Put {
                             req: i as u64,
                             key: format!("k{key}"),
-                            value: vec![*val],
+                            value: vec![*val].into(),
                             delete: false,
                         },
                     ),
                     Op::Delete { key, via } => (
                         at,
                         NodeId(*via as u32),
-                        Msg::Put { req: i as u64, key: format!("k{key}"), value: vec![], delete: true },
+                        Msg::Put { req: i as u64, key: format!("k{key}"), value: Default::default(), delete: true },
                     ),
                     Op::Get { key, via } => {
                         (at, NodeId(*via as u32), Msg::Get { req: i as u64, key: format!("k{key}") })
@@ -94,7 +94,7 @@ proptest! {
                     let expected = model.get(key).cloned();
                     match p.response_for(i as u64) {
                         Some(Msg::GetResp { result: Ok(actual), .. }) => {
-                            prop_assert_eq!(actual.clone(), expected, "get {} mismatch", i);
+                            prop_assert_eq!(actual.clone().map(|v| v.as_ref().clone()), expected, "get {} mismatch", i);
                         }
                         other => prop_assert!(false, "get {i}: {other:?}"),
                     }
@@ -123,7 +123,7 @@ proptest! {
                 (
                     warm + i * 200_000,
                     NodeId(0), // coordinator 0 stays up
-                    Msg::Put { req: i, key: format!("dur{i}"), value: vec![i as u8], delete: false },
+                    Msg::Put { req: i, key: format!("dur{i}"), value: vec![i as u8].into(), delete: false },
                 )
             })
             .collect();
