@@ -1,0 +1,277 @@
+//! `BENCH_PR6` — real-transport runtime acceptance run.
+//!
+//! Boots a 3-node cluster as a TCP mesh (one host per node inside this
+//! process, every inter-node hop a real socket) and drives the *binary
+//! wire* path from closed-loop client threads speaking length-prefixed
+//! `Msg` frames, exactly like an external SDK would: connect to node 0's
+//! gateway, send `RestReq` frames, correlate `RestResp` replies.
+//!
+//! The sweep runs 1, 4, and 16 worker threads (80% GET / 20% POST over a
+//! pre-populated keyspace) and records rps / p50 / p99 per point to
+//! `results/BENCH_PR6.json`. Acceptance: zero client-visible errors at
+//! every point, and 16-thread throughput above the simulator's modeled
+//! full-stack baseline (`BENCH_PR1`: 1197 rps) — the real runtime must
+//! beat the simulated LAN, not merely function. Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p mystore-bench --bin bench_net
+//! ```
+//!
+//! `--smoke` (used by `scripts/ci.sh`) shrinks the sweep to one short
+//! 2-thread point and skips the JSON artifact; it exists to prove the
+//! socket path end-to-end in CI, not to measure it.
+
+use std::io::BufWriter;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mystore_bench::report::{fmt, print_table, save_json};
+use mystore_core::{Method, Msg, RestRequest};
+use mystore_net::NodeId;
+use mystore_serverd::{write_frame, FrameReader, Host, ServerSpec, FRONTEND_BASE};
+
+const NODES: u32 = 3;
+const KEYSPACE: usize = 200;
+const VALUE_BYTES: usize = 256;
+const GET_PERCENT: u64 = 80;
+
+/// One worker's tally, merged after the run.
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    ops: u64,
+    errors: u64,
+}
+
+/// Sends one request and blocks for its correlated reply. Returns the
+/// response status, or `None` on a transport failure.
+fn round_trip(
+    w: &mut BufWriter<TcpStream>,
+    r: &mut FrameReader<TcpStream>,
+    frontend: NodeId,
+    req: u64,
+    rest: RestRequest,
+) -> Option<u16> {
+    use std::io::Write as _;
+    write_frame(w, NodeId::EXTERNAL, frontend, &Msg::RestReq(rest)).ok()?;
+    w.flush().ok()?;
+    loop {
+        match r.next_frame() {
+            Ok(Some((_, _, Msg::RestResp(resp)))) if resp.req == req => return Some(resp.status),
+            Ok(Some(_)) => {} // stray (late reply to an abandoned request)
+            Ok(None) => return None,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn rest(req: u64, method: Method, key: String, body: Vec<u8>) -> RestRequest {
+    RestRequest { req, method, key: Some(key), body: Arc::new(body), if_match: None, auth: None }
+}
+
+/// Closed-loop worker: connect, fire ops until `stop`, record latencies.
+fn worker(
+    addr: std::net::SocketAddr,
+    frontend: NodeId,
+    seed: u64,
+    stop: Arc<AtomicBool>,
+    req_ids: Arc<AtomicU64>,
+) -> Tally {
+    let mut tally = Tally::default();
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) => {
+            tally.errors += 1;
+            return tally;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone bench socket"));
+    let mut reader = FrameReader::new(stream);
+    // Same LCG the sim harness uses; seeded per worker for distinct streams.
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    while !stop.load(Ordering::Relaxed) {
+        let req = req_ids.fetch_add(1, Ordering::Relaxed);
+        let key = format!("bench-{}", next() as usize % KEYSPACE);
+        let is_get = next() % 100 < GET_PERCENT;
+        let request = if is_get {
+            rest(req, Method::Get, key, Vec::new())
+        } else {
+            rest(req, Method::Post, key, vec![(req & 0xFF) as u8; VALUE_BYTES])
+        };
+        let start = Instant::now();
+        match round_trip(&mut writer, &mut reader, frontend, req, request) {
+            // 404 is a legitimate GET answer for a never-written key, not
+            // a client-visible failure.
+            Some(status) if status < 500 => {
+                tally.latencies_us.push(start.elapsed().as_micros() as u64);
+                tally.ops += 1;
+            }
+            Some(_) | None => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+struct Point {
+    threads: usize,
+    rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    ops: u64,
+    errors: u64,
+}
+
+fn run_point(addr: std::net::SocketAddr, frontend: NodeId, threads: usize, secs: f64) -> Point {
+    let stop = Arc::new(AtomicBool::new(false));
+    let req_ids = Arc::new(AtomicU64::new(1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let req_ids = Arc::clone(&req_ids);
+            std::thread::spawn(move || worker(addr, frontend, t as u64 + 1, stop, req_ids))
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_secs_f64(secs));
+    stop.store(true, Ordering::Relaxed);
+    let mut all = Vec::new();
+    let (mut ops, mut errors) = (0u64, 0u64);
+    for h in handles {
+        let t = h.join().expect("bench worker panicked");
+        all.extend(t.latencies_us);
+        ops += t.ops;
+        errors += t.errors;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    all.sort_unstable();
+    Point {
+        threads,
+        rps: ops as f64 / elapsed,
+        p50_us: percentile(&all, 0.50),
+        p99_us: percentile(&all, 0.99),
+        ops,
+        errors,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sweep, secs): (&[usize], f64) = if smoke { (&[2], 0.5) } else { (&[1, 4, 16], 3.0) };
+
+    println!("BENCH_PR6: booting {NODES}-node TCP mesh...");
+    let spec = ServerSpec::local(NODES);
+    let hosts = Host::boot_tcp_mesh(&spec).expect("boot tcp mesh");
+    let expected = spec.node_ids();
+    for host in &hosts {
+        host.await_ready(&expected, Duration::from_secs(15)).expect("ring convergence");
+    }
+    let addr = hosts[0].wire_addr();
+    let frontend = NodeId(FRONTEND_BASE);
+
+    // Pre-populate the keyspace so GETs hit real data.
+    {
+        let stream = TcpStream::connect(addr).expect("connect for preload");
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut w = BufWriter::new(stream.try_clone().expect("clone preload socket"));
+        let mut r = FrameReader::new(stream);
+        for i in 0..KEYSPACE {
+            let req = 1_000_000 + i as u64;
+            let request = rest(req, Method::Post, format!("bench-{i}"), vec![0xAB; VALUE_BYTES]);
+            let status = round_trip(&mut w, &mut r, frontend, req, request)
+                .expect("preload transport failure");
+            assert!(status < 300, "preload POST bench-{i} returned {status}");
+        }
+    }
+
+    let points: Vec<Point> =
+        sweep.iter().map(|&threads| run_point(addr, frontend, threads, secs)).collect();
+
+    let headers: Vec<String> =
+        ["threads", "rps", "p50 (µs)", "p99 (µs)", "ops", "errors"].map(String::from).into();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                fmt(p.rps),
+                p.p50_us.to_string(),
+                p.p99_us.to_string(),
+                p.ops.to_string(),
+                p.errors.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&headers, &rows);
+
+    for host in hosts {
+        host.shutdown(Duration::from_secs(2));
+    }
+
+    let total_errors: u64 = points.iter().map(|p| p.errors).sum();
+    assert_eq!(total_errors, 0, "client-visible errors over the wire");
+
+    if smoke {
+        println!("BENCH_PR6 --smoke: wire path OK ({} ops)", points[0].ops);
+        return;
+    }
+
+    // Acceptance: the real runtime must out-run the simulator's modeled
+    // LAN at the same concurrency the sim harness used.
+    const SIM_BASELINE_RPS: f64 = 1197.0;
+    let wide = points.last().expect("sweep is non-empty");
+    assert!(
+        wide.rps > SIM_BASELINE_RPS,
+        "16-thread wire throughput {} rps does not beat the sim baseline {} rps",
+        fmt(wide.rps),
+        SIM_BASELINE_RPS,
+    );
+
+    let config = serde_json::json!({
+        "nodes": NODES,
+        "transport": "tcp-mesh",
+        "keyspace": KEYSPACE,
+        "value_bytes": VALUE_BYTES,
+        "get_percent": GET_PERCENT,
+        "seconds_per_point": secs,
+    });
+    let point_values: Vec<serde_json::Value> = points
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "threads": p.threads,
+                "rps": p.rps,
+                "p50_us": p.p50_us,
+                "p99_us": p.p99_us,
+                "ops": p.ops,
+                "errors": p.errors,
+            })
+        })
+        .collect();
+    let json = serde_json::json!({
+        "bench": "BENCH_PR6",
+        "config": config,
+        "sim_baseline_rps": SIM_BASELINE_RPS,
+        "points": point_values,
+    });
+    save_json("BENCH_PR6", &json).expect("write results/BENCH_PR6.json");
+}

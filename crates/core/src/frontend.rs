@@ -573,4 +573,10 @@ impl Process<Msg> for Frontend {
             }
         }
     }
+
+    fn quiescent(&self) -> bool {
+        // Every admitted request is in `pending` until its response is sent
+        // (or its deadline fires); a graceful drain waits them out.
+        self.pending.is_empty()
+    }
 }

@@ -328,6 +328,23 @@ pub enum Msg {
     // ---- gossip ----------------------------------------------------------
     /// Gossip protocol traffic (§5.2.3).
     Gossip(GossipMsg),
+
+    // ---- diagnostics (production runtime readiness) ----------------------
+    /// Ask a storage node for its current ring membership view. Used by the
+    /// production runtime's readiness probe and by harnesses polling for
+    /// gossip convergence instead of sleeping a fixed interval.
+    RingReq {
+        /// Correlation id.
+        req: u64,
+    },
+    /// Reply to [`Msg::RingReq`]: the nodes currently in the sender's ring,
+    /// sorted by id.
+    RingResp {
+        /// Correlation id.
+        req: u64,
+        /// Ring members as seen by the responding node.
+        members: Vec<NodeId>,
+    },
 }
 
 impl Msg {
@@ -398,6 +415,8 @@ impl WireSized for Msg {
                 records.iter().map(|r| r.to_document().encoded_size()).sum()
             }
             Msg::Gossip(g) => g.wire_size(),
+            Msg::RingReq { .. } => 8,
+            Msg::RingResp { members, .. } => 8 + members.len() * 4,
         }
     }
 }

@@ -491,6 +491,11 @@ impl Process<Msg> for StorageNode {
                 }
                 self.process_membership(ctx);
             }
+            Msg::RingReq { req } => {
+                let mut members: Vec<NodeId> = self.ring.nodes().copied().collect();
+                members.sort_unstable();
+                ctx.send(from, Msg::RingResp { req, members });
+            }
             // REST/cache traffic does not terminate here.
             _ => {}
         }
@@ -533,5 +538,26 @@ impl Process<Msg> for StorageNode {
             TK_COALESCE => self.flush_outbox(ctx),
             _ => {}
         }
+    }
+
+    fn quiescent(&self) -> bool {
+        // In-flight quorum coordination, parked group-commit acks, and
+        // queued replica batches all represent work a graceful drain must
+        // let finish; background maintenance (gossip, anti-entropy, hint
+        // replay) can be cut at any point.
+        self.quorum.ops.is_empty()
+            && self.deferred_acks.is_empty()
+            && self.outbox.values().all(Vec::is_empty)
+    }
+
+    fn on_shutdown(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Push out anything still coalescing, make the WAL durable, and
+        // release the acks that durability was gating — the shutdown
+        // counterpart of `wal_flush_tick`, without re-arming the timer.
+        self.flush_outbox(ctx);
+        if self.db.wal_pending_ops() > 0 {
+            let _ = self.db.sync_wal();
+        }
+        self.maybe_flush_deferred_acks(ctx);
     }
 }

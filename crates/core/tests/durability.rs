@@ -62,10 +62,10 @@ fn crash_before_ack_loses_nothing_acked_and_invents_nothing() {
         let mut acks = 0;
         while acks < 6 {
             match cluster.recv_timeout(Duration::from_secs(5)) {
-                Some((_, Msg::PutResp { result: Ok(()), .. })) => acks += 1,
-                Some((_, Msg::PutResp { result: Err(e), .. })) => panic!("write failed: {e}"),
-                Some(_) => {}
-                None => panic!("timed out at {acks}/6"),
+                Ok((_, Msg::PutResp { result: Ok(()), .. })) => acks += 1,
+                Ok((_, Msg::PutResp { result: Err(e), .. })) => panic!("write failed: {e}"),
+                Ok(_) => {}
+                Err(e) => panic!("no reply at {acks}/6: {e}"),
             }
         }
         // Fire-and-forget burst; shut down without draining the acks — the
@@ -99,22 +99,22 @@ fn crash_before_ack_loses_nothing_acked_and_invents_nothing() {
         let (mut got, mut phantom_checked) = (0, false);
         while got < 6 || !phantom_checked {
             match cluster.recv_timeout(Duration::from_secs(5)) {
-                Some((_, Msg::GetResp { req: 200, result })) => {
+                Ok((_, Msg::GetResp { req: 200, result })) => {
                     assert!(
                         matches!(result, Ok(None)),
                         "phantom record after recovery: {result:?}"
                     );
                     phantom_checked = true;
                 }
-                Some((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
+                Ok((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
                     assert_eq!(*v, vec![(req - 100) as u8; 16], "acked value corrupted");
                     got += 1;
                 }
-                Some((_, Msg::GetResp { result, .. })) => {
+                Ok((_, Msg::GetResp { result, .. })) => {
                     panic!("acked write lost across the crash: {result:?}")
                 }
-                Some(_) => {}
-                None => panic!("timed out at {got}/6 reads"),
+                Ok(_) => {}
+                Err(e) => panic!("no reply at {got}/6 reads: {e}"),
             }
         }
         cluster.shutdown();
@@ -179,10 +179,10 @@ fn acked_writes_survive_crash_inside_group_commit_window() {
         let mut acks = 0;
         while acks < 12 {
             match cluster.recv_timeout(Duration::from_secs(5)) {
-                Some((_, Msg::PutResp { result: Ok(()), .. })) => acks += 1,
-                Some((_, Msg::PutResp { result: Err(e), .. })) => panic!("write failed: {e}"),
-                Some(_) => {}
-                None => panic!("timed out at {acks}/12"),
+                Ok((_, Msg::PutResp { result: Ok(()), .. })) => acks += 1,
+                Ok((_, Msg::PutResp { result: Err(e), .. })) => panic!("write failed: {e}"),
+                Ok(_) => {}
+                Err(e) => panic!("no reply at {acks}/12: {e}"),
             }
         }
         // A burst the crash cuts off mid-batch: frames may be staged,
@@ -223,15 +223,15 @@ fn acked_writes_survive_crash_inside_group_commit_window() {
         let mut got = 0;
         while got < 12 {
             match cluster.recv_timeout(Duration::from_secs(5)) {
-                Some((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
+                Ok((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
                     assert_eq!(*v, vec![(req - 100) as u8; 24], "acked value corrupted");
                     got += 1;
                 }
-                Some((_, Msg::GetResp { result, .. })) => {
+                Ok((_, Msg::GetResp { result, .. })) => {
                     panic!("acked write lost across the crash: {result:?}")
                 }
-                Some(_) => {}
-                None => panic!("timed out at {got}/12 reads"),
+                Ok(_) => {}
+                Err(e) => panic!("no reply at {got}/12 reads: {e}"),
             }
         }
         cluster.shutdown();
@@ -262,10 +262,10 @@ fn durable_cluster_recovers_after_restart() {
         let mut acks = 0;
         while acks < 8 {
             match cluster.recv_timeout(Duration::from_secs(5)) {
-                Some((_, Msg::PutResp { result: Ok(()), .. })) => acks += 1,
-                Some((_, Msg::PutResp { result: Err(e), .. })) => panic!("write failed: {e}"),
-                Some(_) => {}
-                None => panic!("timed out at {acks}/8"),
+                Ok((_, Msg::PutResp { result: Ok(()), .. })) => acks += 1,
+                Ok((_, Msg::PutResp { result: Err(e), .. })) => panic!("write failed: {e}"),
+                Ok(_) => {}
+                Err(e) => panic!("no reply at {acks}/8: {e}"),
             }
         }
         cluster.shutdown();
@@ -290,13 +290,13 @@ fn durable_cluster_recovers_after_restart() {
         let mut got = 0;
         while got < 8 {
             match cluster.recv_timeout(Duration::from_secs(5)) {
-                Some((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
+                Ok((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
                     assert_eq!(*v, vec![(req - 100) as u8; 32]);
                     got += 1;
                 }
-                Some((_, Msg::GetResp { result, .. })) => panic!("read lost data: {result:?}"),
-                Some(_) => {}
-                None => panic!("timed out at {got}/8 reads"),
+                Ok((_, Msg::GetResp { result, .. })) => panic!("read lost data: {result:?}"),
+                Ok(_) => {}
+                Err(e) => panic!("no reply at {got}/8 reads: {e}"),
             }
         }
         cluster.shutdown();

@@ -46,21 +46,21 @@ fn threaded_runtime_serves_quorum_operations() {
     let mut acks = 0;
     while acks < 10 {
         match cluster.recv_timeout(Duration::from_secs(5)) {
-            Some((_, Msg::PutResp { result: Ok(()), .. })) => acks += 1,
-            Some((_, Msg::PutResp { result: Err(e), .. })) => panic!("write failed: {e}"),
-            Some(_) => {}
-            None => panic!("timed out at {acks}/10 put acks"),
+            Ok((_, Msg::PutResp { result: Ok(()), .. })) => acks += 1,
+            Ok((_, Msg::PutResp { result: Err(e), .. })) => panic!("write failed: {e}"),
+            Ok(_) => {}
+            Err(e) => panic!("no reply at {acks}/10 put acks: {e}"),
         }
     }
     cluster.send(NodeId(3), Msg::Get { req: 100, key: "t1".into() });
     loop {
         match cluster.recv_timeout(Duration::from_secs(5)) {
-            Some((_, Msg::GetResp { req: 100, result })) => {
+            Ok((_, Msg::GetResp { req: 100, result })) => {
                 assert_eq!(*result.unwrap().unwrap(), vec![1u8]);
                 break;
             }
-            Some(_) => {}
-            None => panic!("timed out waiting for read"),
+            Ok(_) => {}
+            Err(e) => panic!("no reply waiting for read: {e}"),
         }
     }
     cluster.shutdown();

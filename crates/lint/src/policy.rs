@@ -151,6 +151,17 @@ pub fn workspace_policy(workspace_root: &std::path::Path) -> Vec<CratePolicy> {
     out.push(CratePolicy::new("bench", c("bench")));
     out.push(CratePolicy::new("lint", c("lint")));
 
+    // The production runtime (`mystore-serverd`, DESIGN.md §12) is the
+    // designated real-transport seam: real sockets, real threads, and the
+    // wall clock are its entire job, so `no-wall-clock` is scoped off here
+    // — exactly like the threaded runtime's file-level allow in `net`. The
+    // sim-facing crates above stay clock-free, which is what keeps the
+    // simulator a valid oracle for the state machines the server hosts.
+    let mut server = CratePolicy::new("server", c("server"));
+    server.unordered_iter = true;
+    server.metric_prefixes = Some(vec!["server.".into()]);
+    out.push(server);
+
     // The facade crate at the workspace root (src/lib.rs re-exports).
     out.push(CratePolicy::new("mystore", workspace_root.to_path_buf()));
 

@@ -34,6 +34,6 @@ pub use netmodel::NetConfig;
 pub use process::{Action, Context, NodeId, Process, TimerToken, WireSized};
 pub use rng::Rng;
 pub use sim::{NodeConfig, Sim, SimConfig, StopReason};
-pub use threaded::{ThreadedCluster, ThreadedClusterBuilder, ThreadedConfig};
+pub use threaded::{Injector, RecvError, ThreadedCluster, ThreadedClusterBuilder, ThreadedConfig};
 pub use time::SimTime;
 pub use trace::{Trace, TraceEvent};

@@ -177,6 +177,23 @@ pub trait Process<M> {
     fn on_restart(&mut self, ctx: &mut Context<'_, M>) {
         self.on_start(ctx);
     }
+
+    /// True when the process has no in-flight work (pending quorum ops,
+    /// unflushed acks, queued replica batches). The threaded runtime's
+    /// graceful shutdown drains each node until it reports quiescent before
+    /// invoking [`Process::on_shutdown`]. Default: always quiescent, which
+    /// is correct for stateless processes. The simulator never calls this.
+    fn quiescent(&self) -> bool {
+        true
+    }
+
+    /// Called once by the threaded runtime immediately before the node's
+    /// thread exits on an *orderly* stop (explicit stop, graceful drain, or
+    /// channel disconnect) — not on [`Action::CrashSelf`], which models a
+    /// crash. Emitted actions are still interpreted, so final sends and
+    /// records are delivered; this is where a storage node syncs its WAL.
+    /// Default: nothing. The simulator never calls this.
+    fn on_shutdown(&mut self, _ctx: &mut Context<'_, M>) {}
 }
 
 /// Wire-size accounting for the bandwidth model.

@@ -1,0 +1,146 @@
+//! `mystore-server` — boot a mystore cluster (or one node of it) on real
+//! threads and sockets.
+//!
+//! ```text
+//! mystore-server --spec cluster.toml                 # whole cluster, in-proc links
+//! mystore-server --spec cluster.toml --transport tcp # whole cluster, TCP links
+//! mystore-server --spec cluster.toml --node-id 2     # just node 2 (peers via TCP)
+//! mystore-server --local 3                           # 3-node loopback demo cluster
+//! ```
+//!
+//! The process runs until a line `quit` arrives on stdin (or `--duration
+//! <secs>` elapses), then performs a graceful shutdown: in-flight quorum
+//! ops drain, WALs get a final sync, sockets close. A plain stdin EOF
+//! means the process is detached (no controlling terminal) — it keeps
+//! serving until killed.
+
+use std::io::BufRead;
+use std::time::Duration;
+
+use mystore_serverd::{Host, ServerSpec, Transport};
+
+struct Args {
+    spec_path: Option<String>,
+    local: Option<u32>,
+    node_id: Option<u32>,
+    transport: Transport,
+    duration: Option<u64>,
+    grace_ms: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mystore-server (--spec <file.toml> | --local <n>) \
+         [--node-id <id>] [--transport inproc|tcp] [--duration <secs>] [--grace-ms <ms>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        spec_path: None,
+        local: None,
+        node_id: None,
+        transport: Transport::InProc,
+        duration: None,
+        grace_ms: 2000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--spec" => args.spec_path = Some(value()),
+            "--local" => args.local = value().parse().ok().or_else(|| usage()),
+            "--node-id" => args.node_id = value().parse().ok().or_else(|| usage()),
+            "--transport" => {
+                args.transport = match value().as_str() {
+                    "inproc" => Transport::InProc,
+                    "tcp" => Transport::Tcp,
+                    _ => usage(),
+                }
+            }
+            "--duration" => args.duration = value().parse().ok().or_else(|| usage()),
+            "--grace-ms" => args.grace_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.spec_path.is_some() == args.local.is_some() {
+        usage(); // exactly one source of a spec
+    }
+    if args.node_id.is_some() && args.transport == Transport::InProc {
+        // A single node of a multi-node spec can only reach its peers over
+        // the wire.
+        args.transport = Transport::Tcp;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = match &args.spec_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("mystore-server: cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            ServerSpec::parse(&text).unwrap_or_else(|e| {
+                eprintln!("mystore-server: bad spec {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => ServerSpec::local(args.local.unwrap_or(3)),
+    };
+
+    let host = Host::boot(&spec, args.node_id, args.transport).unwrap_or_else(|e| {
+        eprintln!("mystore-server: boot failed: {e}");
+        std::process::exit(1);
+    });
+
+    eprintln!("mystore-server: wire listening on {}", host.wire_addr());
+    if let Some(http) = host.http_addr() {
+        eprintln!("mystore-server: rest listening on http://{http}");
+    }
+    let expected = spec.node_ids();
+    match host.await_ready(&expected, Duration::from_secs(10)) {
+        Ok(()) => eprintln!(
+            "mystore-server: ring converged, {} node(s) hosted here",
+            host.storage_ids().len()
+        ),
+        // Normal when peers of a --node-id slice have not started yet;
+        // /_ready keeps reporting the live answer.
+        Err(e) => eprintln!("mystore-server: not ready yet ({e}); serving anyway"),
+    }
+
+    match args.duration {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+        None => {
+            // Block on stdin: a `quit` line (or a read error) triggers
+            // graceful shutdown. Plain EOF means there is no controlling
+            // terminal — the process was detached (`</dev/null`, nohup,
+            // an init system) — so keep serving instead of exiting; acked
+            // writes are WAL-durable before the ack, so a later hard kill
+            // loses nothing acknowledged.
+            let stdin = std::io::stdin();
+            let mut eof = true;
+            for line in stdin.lock().lines() {
+                match line {
+                    Ok(l) if l.trim() == "quit" => eof = false,
+                    Ok(_) => continue,
+                    Err(_) => eof = false,
+                }
+                break;
+            }
+            if eof {
+                eprintln!("mystore-server: stdin closed; detached, running until killed");
+                loop {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+
+    eprintln!("mystore-server: draining and shutting down");
+    host.shutdown(Duration::from_millis(args.grace_ms));
+    eprintln!("mystore-server: bye");
+}

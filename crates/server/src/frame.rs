@@ -1,0 +1,282 @@
+//! Length-prefixed message framing over a byte stream.
+//!
+//! One frame on the wire:
+//!
+//! ```text
+//! [ len: u32 LE ][ version: u8 ][ from: u32 LE ][ to: u32 LE ][ msg bytes ]
+//!                `------------------- len bytes -------------------------'
+//! ```
+//!
+//! `len` counts everything after itself, so a reader can skip a frame it
+//! cannot parse. The version byte is checked before any payload decoding;
+//! a mismatch is a hard protocol error (mixed-version clusters are out of
+//! scope — the byte exists so a future layout change fails loudly instead
+//! of mis-decoding). `len` is bounded by [`MAX_FRAME`] so a hostile or
+//! corrupt peer cannot make the reader allocate unbounded memory, mirroring
+//! the WAL decoder's torn-frame discipline.
+
+use std::io::{self, Read, Write};
+
+use mystore_core::Msg;
+use mystore_net::NodeId;
+
+use crate::codec::{decode_msg, encode_msg};
+
+/// Wire protocol version. Bump on any layout change to the frame header or
+/// the codec's encoding rules (tag additions do NOT need a bump).
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on `len` (and therefore on a single message): 32 MiB,
+/// comfortably above the largest anti-entropy or transfer batch we emit.
+pub const MAX_FRAME: usize = 32 << 20;
+
+/// Header bytes covered by `len`: version + from + to.
+const FRAME_HDR: usize = 1 + 4 + 4;
+
+/// Writes one `(from, to, msg)` frame. Does not flush; callers decide when
+/// to (a batch of frames per syscall is the normal case).
+pub fn write_frame(w: &mut impl Write, from: NodeId, to: NodeId, msg: &Msg) -> io::Result<()> {
+    let mut payload = Vec::with_capacity(128);
+    encode_msg(msg, &mut payload);
+    let len = FRAME_HDR + payload.len();
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("message encodes to {len} bytes, over the {MAX_FRAME}-byte frame cap"),
+        ));
+    }
+    let mut hdr = [0u8; 4 + FRAME_HDR];
+    hdr[..4].copy_from_slice(&(len as u32).to_le_bytes());
+    hdr[4] = WIRE_VERSION;
+    hdr[5..9].copy_from_slice(&from.0.to_le_bytes());
+    hdr[9..13].copy_from_slice(&to.0.to_le_bytes());
+    w.write_all(&hdr)?;
+    w.write_all(&payload)
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary
+/// (orderly peer close); any EOF mid-frame, oversized length, version
+/// mismatch, or undecodable payload is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<(NodeId, NodeId, Msg)>> {
+    // A clean close is EOF before ANY byte of the next frame; EOF after a
+    // partial length prefix is a torn frame. `read_exact` cannot tell the
+    // two apart, so probe the first byte separately.
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 1 {
+        match r.read(&mut len_buf[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if !(FRAME_HDR..=MAX_FRAME).contains(&len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside [{FRAME_HDR}, {MAX_FRAME}]"),
+        ));
+    }
+    let mut frame = vec![0u8; len];
+    r.read_exact(&mut frame)?;
+    if frame[0] != WIRE_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("wire version {} (expected {WIRE_VERSION})", frame[0]),
+        ));
+    }
+    let from = NodeId(u32::from_le_bytes(frame[1..5].try_into().expect("4 bytes")));
+    let to = NodeId(u32::from_le_bytes(frame[5..9].try_into().expect("4 bytes")));
+    let msg = decode_msg(&frame[FRAME_HDR..])
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "undecodable message payload"))?;
+    Ok(Some((from, to, msg)))
+}
+
+/// Incremental frame reader for sockets with a read timeout.
+///
+/// [`read_frame`] assumes a blocking stream: if a read times out halfway
+/// through a frame, the already-consumed bytes are lost and the stream
+/// desyncs. `FrameReader` instead accumulates partial input across calls —
+/// a timeout (`WouldBlock`/`TimedOut`) surfaces as an error from
+/// [`FrameReader::next`] but leaves the parse state intact, so the caller
+/// can poll a shutdown flag and try again.
+pub struct FrameReader<R: Read> {
+    r: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a stream (typically one with a read timeout set).
+    pub fn new(r: R) -> Self {
+        FrameReader { r, buf: Vec::with_capacity(4096) }
+    }
+
+    /// Access to the wrapped stream (e.g. to `try_clone` a socket).
+    pub fn get_ref(&self) -> &R {
+        &self.r
+    }
+
+    /// Returns the next complete frame, `Ok(None)` on clean EOF at a frame
+    /// boundary, or an error. Timeout errors are retryable; all others
+    /// (mid-frame EOF, protocol violations) are terminal.
+    pub fn next_frame(&mut self) -> io::Result<Option<(NodeId, NodeId, Msg)>> {
+        loop {
+            if let Some(parsed) = self.try_parse()? {
+                return Ok(Some(parsed));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF mid-frame"))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e), // includes retryable timeouts
+            }
+        }
+    }
+
+    /// Parses one frame off the front of the buffer, if complete.
+    fn try_parse(&mut self) -> io::Result<Option<(NodeId, NodeId, Msg)>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if !(FRAME_HDR..=MAX_FRAME).contains(&len) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} outside [{FRAME_HDR}, {MAX_FRAME}]"),
+            ));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
+        if frame[0] != WIRE_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("wire version {} (expected {WIRE_VERSION})", frame[0]),
+            ));
+        }
+        let from = NodeId(u32::from_le_bytes(frame[1..5].try_into().expect("4 bytes")));
+        let to = NodeId(u32::from_le_bytes(frame[5..9].try_into().expect("4 bytes")));
+        let msg = decode_msg(&frame[FRAME_HDR..]).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "undecodable message payload")
+        })?;
+        Ok(Some((from, to, msg)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn put(req: u64) -> Msg {
+        Msg::Put {
+            req,
+            key: format!("k{req}"),
+            value: std::sync::Arc::new(vec![req as u8; 8]),
+            delete: false,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_in_sequence() {
+        let mut buf = Vec::new();
+        for i in 0..5u64 {
+            write_frame(&mut buf, NodeId(i as u32), NodeId(9), &put(i)).unwrap();
+        }
+        let mut rd = Cursor::new(buf);
+        for i in 0..5u64 {
+            let (from, to, msg) = read_frame(&mut rd).unwrap().expect("frame");
+            assert_eq!(from, NodeId(i as u32));
+            assert_eq!(to, NodeId(9));
+            assert!(matches!(msg, Msg::Put { req, .. } if req == i));
+        }
+        assert!(read_frame(&mut rd).unwrap().is_none(), "clean EOF at boundary");
+    }
+
+    #[test]
+    fn torn_tail_is_an_error_not_a_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, NodeId(0), NodeId(1), &put(1)).unwrap();
+        for cut in 1..buf.len() {
+            let mut rd = Cursor::new(&buf[..cut]);
+            assert!(read_frame(&mut rd).is_err(), "torn frame at {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, NodeId(0), NodeId(1), &put(1)).unwrap();
+        buf[4] ^= 0xFF;
+        assert!(read_frame(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(read_frame(&mut Cursor::new(buf)).is_err());
+    }
+
+    /// A reader that yields input in dribbles with timeouts interleaved,
+    /// like a socket with a read timeout under slow traffic.
+    struct Dribble {
+        data: Vec<u8>,
+        at: usize,
+        step: usize,
+        timeout_next: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.timeout_next {
+                self.timeout_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.timeout_next = true;
+            let n = self.step.min(self.data.len() - self.at).min(out.len());
+            out[..n].copy_from_slice(&self.data[self.at..self.at + n]);
+            self.at += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let mut data = Vec::new();
+        for i in 0..3u64 {
+            write_frame(&mut data, NodeId(i as u32), NodeId(5), &put(i)).unwrap();
+        }
+        let mut fr = FrameReader::new(Dribble { data, at: 0, step: 3, timeout_next: false });
+        let mut got = 0;
+        while got < 3 {
+            match fr.next_frame() {
+                Ok(Some((from, _, _))) => {
+                    assert_eq!(from, NodeId(got as u32));
+                    got += 1;
+                }
+                Ok(None) => panic!("EOF before all frames"),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("terminal error: {e}"),
+            }
+        }
+        loop {
+            match fr.next_frame() {
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                other => panic!("expected clean EOF, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! TCP gateway: the boundary between a host's in-process cluster and the
+//! network.
+//!
+//! A [`Gateway`] owns one listening socket and three kinds of threads:
+//!
+//! * **pump** — drains the cluster's external stream (`(from, to, msg)`
+//!   triples the node threads addressed to ids with no local mailbox) and
+//!   routes each triple: to a *peer link* when `to` is a node hosted by
+//!   another process, or to a *client connection* when `to` is a client id
+//!   this gateway allocated.
+//! * **reader** (one per accepted connection) — decodes inbound frames and
+//!   injects them into the local cluster. Frames claiming `from ==`
+//!   [`NodeId::EXTERNAL`] are rewritten to the connection's allocated
+//!   client id, so replies route back to the right socket; frames with a
+//!   real node id are peer traffic and inject verbatim.
+//! * **peer writer** (one per remote peer, lazily) — connects to the
+//!   peer's listen address and writes outbound frames, reconnecting with
+//!   backoff. Delivery is best-effort: the replication protocol already
+//!   tolerates message loss (retries, hinted handoff, read repair), so a
+//!   down peer costs retransmissions, never correctness.
+//!
+//! Client ids are allocated from [`CLIENT_BASE`] upward — disjoint from
+//! storage/frontend ids (low u32s) and from [`NodeId::EXTERNAL`]
+//! (`u32::MAX`), so routing is a plain range test.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use mystore_core::Msg;
+use mystore_net::{Injector, NodeId};
+
+use crate::frame::{write_frame, FrameReader};
+
+/// First client id. Everything at or above this (and below `u32::MAX`) is
+/// a gateway-allocated per-connection identity.
+pub const CLIENT_BASE: u32 = 0x8000_0000;
+
+/// True if `id` is a gateway-allocated client identity.
+pub fn is_client_id(id: NodeId) -> bool {
+    id.0 >= CLIENT_BASE && id != NodeId::EXTERNAL
+}
+
+/// Client id → that connection's outbound queue of `(from, msg)` replies.
+type ClientQueues = BTreeMap<u32, Sender<(NodeId, Msg)>>;
+
+/// Registry of live client connections: client id → that connection's
+/// outbound queue. Shared between the pump (routes in) and the HTTP
+/// adapter (registers virtual clients the same way socket clients are).
+#[derive(Clone, Default)]
+pub struct ClientRegistry {
+    inner: Arc<Mutex<ClientQueues>>,
+    next: Arc<AtomicU32>,
+}
+
+impl ClientRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh client id and registers its outbound queue.
+    pub fn register(&self) -> (NodeId, Receiver<(NodeId, Msg)>) {
+        let id = CLIENT_BASE + self.next.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = unbounded();
+        self.inner.lock().expect("registry lock").insert(id, tx);
+        (NodeId(id), rx)
+    }
+
+    /// Drops a client registration; later messages to it are discarded.
+    pub fn unregister(&self, id: NodeId) {
+        self.inner.lock().expect("registry lock").remove(&id.0);
+    }
+
+    /// Routes `(from, msg)` to client `to`, if still connected.
+    pub fn route(&self, to: NodeId, from: NodeId, msg: Msg) -> bool {
+        let guard = self.inner.lock().expect("registry lock");
+        match guard.get(&to.0) {
+            Some(tx) => tx.send((from, msg)).is_ok(),
+            None => false,
+        }
+    }
+}
+
+/// Outbound links to the other processes' nodes.
+/// Per-peer outbound queues of `(from, to, msg)` frames.
+type PeerQueues = BTreeMap<u32, Sender<(NodeId, NodeId, Msg)>>;
+
+struct PeerLinks {
+    addrs: BTreeMap<u32, SocketAddr>,
+    queues: Mutex<PeerQueues>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl PeerLinks {
+    /// Queues a frame for `to`'s host, spinning up the writer on first use.
+    fn send(&self, from: NodeId, to: NodeId, msg: Msg) {
+        let Some(&addr) = self.addrs.get(&to.0) else { return };
+        let mut queues = self.queues.lock().expect("peer queues lock");
+        let tx = queues.entry(to.0).or_insert_with(|| {
+            let (tx, rx) = unbounded();
+            let shutdown = Arc::clone(&self.shutdown);
+            std::thread::Builder::new()
+                .name(format!("mystore-peer-{}", to.0))
+                .spawn(move || peer_writer(addr, rx, shutdown))
+                .expect("spawn peer writer");
+            tx
+        });
+        let _ = tx.send((from, to, msg));
+    }
+}
+
+/// Writes queued frames to one peer, (re)connecting as needed. Frames that
+/// cannot be delivered while the peer is unreachable are dropped — the
+/// protocol's retry machinery owns recovery.
+fn peer_writer(addr: SocketAddr, rx: Receiver<(NodeId, NodeId, Msg)>, shutdown: Arc<AtomicBool>) {
+    let mut conn: Option<BufWriter<TcpStream>> = None;
+    loop {
+        let (from, to, msg) = match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(t) => t,
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        if conn.is_none() {
+            conn = TcpStream::connect_timeout(&addr, Duration::from_millis(250))
+                .ok()
+                .map(BufWriter::new);
+        }
+        let Some(w) = conn.as_mut() else { continue };
+        let ok = write_frame(w, from, to, &msg).and_then(|()| {
+            // Flush opportunistically: batch whatever is already queued
+            // behind this frame into the same syscall, then flush once.
+            let mut queued = 0;
+            while let Ok((f, t, m)) = rx.try_recv() {
+                write_frame(w, f, t, &m)?;
+                queued += 1;
+                if queued >= 64 {
+                    break;
+                }
+            }
+            w.flush()
+        });
+        if ok.is_err() {
+            conn = None; // reconnect on the next frame
+        }
+    }
+}
+
+/// A running gateway. Dropping it does not stop its threads; call
+/// [`Gateway::shutdown`].
+pub struct Gateway {
+    local_addr: SocketAddr,
+    registry: ClientRegistry,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Spawns a gateway for `cluster`'s host.
+    ///
+    /// * `listener` — the wire socket peers and clients connect to.
+    /// * `injector` — ingress into the local cluster.
+    /// * `external_rx` — the cluster's external stream (from
+    ///   `take_external_rx`).
+    /// * `peers` — node id → listen address for every node hosted by
+    ///   *other* processes (empty when the whole cluster is local).
+    /// * `registry` — client registry, shared with the HTTP adapter.
+    pub fn spawn(
+        listener: TcpListener,
+        injector: Injector<Msg>,
+        external_rx: Receiver<(NodeId, NodeId, Msg)>,
+        peers: BTreeMap<u32, SocketAddr>,
+        registry: ClientRegistry,
+    ) -> io::Result<Gateway> {
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let links = Arc::new(PeerLinks {
+            addrs: peers,
+            queues: Mutex::new(BTreeMap::new()),
+            shutdown: Arc::clone(&shutdown),
+        });
+        let mut threads = Vec::new();
+
+        // Pump: cluster's external stream → peers / clients.
+        {
+            let links = Arc::clone(&links);
+            let registry = registry.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mystore-gw-pump".into())
+                    .spawn(move || {
+                        // Exits when the cluster shuts down (stream closes).
+                        while let Ok((from, to, msg)) = external_rx.recv() {
+                            if links.addrs.contains_key(&to.0) {
+                                links.send(from, to, msg);
+                            } else if is_client_id(to) {
+                                registry.route(to, from, msg);
+                            }
+                            // else: EXTERNAL/unknown with no consumer — drop.
+                        }
+                    })
+                    .expect("spawn gateway pump"),
+            );
+        }
+
+        // Accept loop.
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let registry = registry.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("mystore-gw-accept".into())
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Relaxed) {
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    spawn_connection(
+                                        stream,
+                                        injector.clone(),
+                                        registry.clone(),
+                                        Arc::clone(&shutdown),
+                                    );
+                                }
+                                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(Duration::from_millis(5));
+                                }
+                                Err(_) => return,
+                            }
+                        }
+                    })
+                    .expect("spawn gateway accept"),
+            );
+        }
+
+        Ok(Gateway { local_addr, registry, shutdown, threads })
+    }
+
+    /// The bound wire address (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The client registry (shared with the HTTP adapter).
+    pub fn registry(&self) -> ClientRegistry {
+        self.registry.clone()
+    }
+
+    /// Stops accepting, tears down peer links, and joins gateway threads.
+    /// Call *after* the cluster itself has shut down (the pump exits when
+    /// the external stream closes).
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One accepted connection: a reader thread injecting frames, and — once
+/// the connection sends any client-originated frame — a writer thread
+/// carrying replies back.
+fn spawn_connection(
+    stream: TcpStream,
+    injector: Injector<Msg>,
+    registry: ClientRegistry,
+    shutdown: Arc<AtomicBool>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    std::thread::Builder::new()
+        .name("mystore-gw-conn".into())
+        .spawn(move || {
+            let mut client: Option<NodeId> = None;
+            let mut writer: Option<JoinHandle<()>> = None;
+            let mut rd = FrameReader::new(stream);
+            loop {
+                match rd.next_frame() {
+                    Ok(Some((from, to, msg))) => {
+                        let from = if from == NodeId::EXTERNAL {
+                            // Client traffic: pin this connection's identity
+                            // and a writer for the replies, lazily.
+                            *client.get_or_insert_with(|| {
+                                let (id, rx) = registry.register();
+                                let out = rd
+                                    .get_ref()
+                                    .try_clone()
+                                    .map(BufWriter::new)
+                                    .expect("clone client stream");
+                                writer = Some(
+                                    std::thread::Builder::new()
+                                        .name("mystore-gw-client-wr".into())
+                                        .spawn(move || client_writer(out, rx))
+                                        .expect("spawn client writer"),
+                                );
+                                id
+                            })
+                        } else {
+                            from // peer traffic keeps its identity
+                        };
+                        injector.send_from(from, to, msg);
+                    }
+                    Ok(None) => break, // orderly close
+                    Err(e) if is_timeout(&e) => {
+                        if shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    Err(_) => break, // protocol violation or reset
+                }
+            }
+            if let Some(id) = client {
+                registry.unregister(id);
+            }
+            // Unregistering closed the reply channel; the writer drains
+            // what's left and exits.
+            if let Some(w) = writer {
+                let _ = w.join();
+            }
+        })
+        .expect("spawn connection reader");
+}
+
+/// Writes reply frames to a client connection until its channel closes.
+fn client_writer(mut out: BufWriter<TcpStream>, rx: Receiver<(NodeId, Msg)>) {
+    while let Ok((from, msg)) = rx.recv() {
+        if write_frame(&mut out, from, NodeId::EXTERNAL, &msg).is_err() {
+            return;
+        }
+        let mut queued = 0;
+        while let Ok((f, m)) = rx.try_recv() {
+            if write_frame(&mut out, f, NodeId::EXTERNAL, &m).is_err() {
+                return;
+            }
+            queued += 1;
+            if queued >= 64 {
+                break;
+            }
+        }
+        if out.flush().is_err() {
+            return;
+        }
+    }
+    let _ = out.flush();
+}
+
+/// Read-timeout classification across platforms (`WouldBlock` on Unix,
+/// `TimedOut` on Windows).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}

@@ -1,0 +1,325 @@
+//! Host runtime: boots [`StorageNode`]s (and a [`Frontend`]) from a
+//! [`ServerSpec`] onto the threaded runtime, wires a [`Gateway`] around
+//! them, and owns graceful shutdown.
+//!
+//! A *host* is one OS process's slice of the cluster. Two transports:
+//!
+//! * [`Transport::InProc`] — every spec node lives in ONE
+//!   [`ThreadedCluster`]; inter-node traffic stays on in-process channels.
+//!   The gateway exists only for external clients (wire + REST).
+//! * [`Transport::Tcp`] — the host runs a subset of the spec's nodes (one,
+//!   for `--node-id`; or `boot_tcp_mesh` builds one host per node inside a
+//!   single process for benches). Every non-local destination leaves
+//!   through the gateway as a real TCP frame, so the full replication path
+//!   — quorum fan-out, gossip, hinted handoff — crosses sockets.
+//!
+//! Either way the node logic is the unmodified sans-io [`StorageNode`] the
+//! simulator verifies; only the action interpreter differs. That is the
+//! sim-as-oracle guarantee (DESIGN.md §12).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use mystore_core::{CostModel, Frontend, FrontendConfig, Msg, StorageConfig, StorageNode};
+use mystore_gossip::GossipConfig;
+use mystore_net::{NodeId, RecvError, ThreadedCluster, ThreadedClusterBuilder, ThreadedConfig};
+use mystore_obs::Registry;
+
+use crate::gateway::{ClientRegistry, Gateway};
+use crate::http::HttpServer;
+use crate::spec::ServerSpec;
+
+/// Where inter-node messages travel. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// All nodes in one process; links are channels.
+    InProc,
+    /// Peers are remote; links are TCP frames through the gateway.
+    Tcp,
+}
+
+/// Frontend ids live in their own range so they never collide with the
+/// storage ids a spec may choose (frontends are host-local helpers, not
+/// ring members).
+pub const FRONTEND_BASE: u32 = 0x4000_0000;
+
+/// One process's running slice of the cluster.
+pub struct Host {
+    cluster: Option<ThreadedCluster<Msg>>,
+    gateway: Gateway,
+    http: Option<HttpServer>,
+    storage_ids: Vec<NodeId>,
+    frontend_id: NodeId,
+    metrics: Registry,
+}
+
+impl Host {
+    /// Boots the subset of `spec` selected by `only` (`None` = every node)
+    /// on the given transport. Each host also gets a local [`Frontend`]
+    /// (id [`FRONTEND_BASE`] + first local storage id) serving the REST
+    /// listener when the spec configures one.
+    pub fn boot(spec: &ServerSpec, only: Option<u32>, transport: Transport) -> io::Result<Host> {
+        let local: Vec<_> =
+            spec.nodes.iter().filter(|n| only.is_none_or(|id| n.id == id)).cloned().collect();
+        if local.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("node {:?} is not in the spec", only),
+            ));
+        }
+        let metrics = Registry::new();
+        let gossip = GossipConfig {
+            interval_us: spec.gossip_interval_ms * 1000,
+            fail_after_us: spec.gossip_interval_ms * 1000 * 8,
+            remove_after_us: spec.gossip_interval_ms * 1000 * 100,
+            seeds: spec.seeds.clone(),
+            extra_fanout: 1,
+        };
+
+        let mut builder = ThreadedClusterBuilder::new(ThreadedConfig::default());
+        for node in &local {
+            let cfg = StorageConfig {
+                nwr: spec.nwr,
+                vnodes: spec.vnodes as u32,
+                gossip: gossip.clone(),
+                data_dir: spec.data_dir.as_ref().map(PathBuf::from),
+                metrics: metrics.clone(),
+                // Real-network latencies are far below the simulator's
+                // modeled LAN, but keep generous timeouts for loaded CI.
+                replica_timeout_us: 250_000,
+                request_deadline_us: 5_000_000,
+                ..StorageConfig::default()
+            };
+            builder = builder.add_node_as(NodeId(node.id), StorageNode::new(NodeId(node.id), cfg));
+        }
+        let frontend_id = NodeId(FRONTEND_BASE + local[0].id);
+        let fe_cfg = FrontendConfig {
+            storage_nodes: spec.node_ids(),
+            cache_nodes: Vec::new(),
+            cost: CostModel::default(),
+            request_deadline_us: 5_000_000,
+            metrics: metrics.clone(),
+            ..FrontendConfig::default()
+        };
+        builder = builder.add_node_as(frontend_id, Frontend::new(fe_cfg));
+        let mut cluster = builder.build();
+
+        // Gateway: peers are every spec node NOT hosted here (Tcp only).
+        // Each remote host also hosts a frontend at FRONTEND_BASE + its
+        // first node id; replies from our storage nodes to that frontend
+        // must route over the wire too.
+        let mut peers = BTreeMap::new();
+        if transport == Transport::Tcp {
+            for node in &spec.nodes {
+                if !local.iter().any(|l| l.id == node.id) {
+                    let addr = resolve(&node.listen)?;
+                    peers.insert(node.id, addr);
+                    peers.insert(FRONTEND_BASE + node.id, addr);
+                }
+            }
+        }
+        let listener = TcpListener::bind(&*local[0].listen)?;
+        let registry = ClientRegistry::new();
+        let external_rx = cluster.take_external_rx().expect("fresh cluster has its stream");
+        let gateway =
+            Gateway::spawn(listener, cluster.injector(), external_rx, peers, registry.clone())?;
+
+        let http = match &local[0].http {
+            Some(addr) => Some(HttpServer::spawn(
+                TcpListener::bind(&**addr)?,
+                cluster.injector(),
+                registry,
+                frontend_id,
+                local.iter().map(|n| NodeId(n.id)).collect(),
+                spec.node_ids(),
+            )?),
+            None => None,
+        };
+
+        Ok(Host {
+            cluster: Some(cluster),
+            gateway,
+            http,
+            storage_ids: local.iter().map(|n| NodeId(n.id)).collect(),
+            frontend_id,
+            metrics,
+        })
+    }
+
+    /// Boots one [`Transport::Tcp`] host per spec node inside this process
+    /// — every inter-node message crosses a real socket — after first
+    /// materializing OS-assigned ports (`:0` listens) into the spec so the
+    /// hosts can address each other.
+    pub fn boot_tcp_mesh(spec: &ServerSpec) -> io::Result<Vec<Host>> {
+        let mut spec = spec.clone();
+        // Pre-bind to turn port-0 wishes into concrete addresses, then hand
+        // each reserved listener's address to the real boot. (Binding twice
+        // races with other processes grabbing the port in between; the
+        // window is tiny and loopback-only, acceptable for bench/tests.)
+        for node in &mut spec.nodes {
+            let probe = TcpListener::bind(&*node.listen)?;
+            node.listen = probe.local_addr()?.to_string();
+            drop(probe);
+        }
+        spec.nodes.iter().map(|n| Host::boot(&spec, Some(n.id), Transport::Tcp)).collect()
+    }
+
+    /// The wire address clients (and peer hosts) connect to.
+    pub fn wire_addr(&self) -> SocketAddr {
+        self.gateway.local_addr()
+    }
+
+    /// The REST address, when this host serves one.
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http.as_ref().map(HttpServer::local_addr)
+    }
+
+    /// Storage node ids hosted here.
+    pub fn storage_ids(&self) -> &[NodeId] {
+        &self.storage_ids
+    }
+
+    /// The host-local frontend's id.
+    pub fn frontend_id(&self) -> NodeId {
+        self.frontend_id
+    }
+
+    /// This host's metrics registry (shared by its nodes' WAL, quorum, and
+    /// frontend instruments).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Blocks until this host's storage nodes see the full expected ring
+    /// membership, or `timeout` elapses. See [`await_ring_convergence`].
+    pub fn await_ready(&self, expected: &[NodeId], timeout: Duration) -> Result<(), String> {
+        let registry = self.gateway.registry();
+        let injector = self.cluster.as_ref().expect("host is running").injector();
+        let (probe_id, rx) = registry.register();
+        let deadline = Instant::now() + timeout;
+        let mut converged: std::collections::BTreeSet<NodeId> = Default::default();
+        let mut probe_req = 0u64;
+        let result = loop {
+            for &node in &self.storage_ids {
+                if !converged.contains(&node) {
+                    probe_req += 1;
+                    injector.send_from(probe_id, node, Msg::RingReq { req: probe_req });
+                }
+            }
+            let poll_until = (Instant::now() + Duration::from_millis(50)).min(deadline);
+            loop {
+                let left = poll_until.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(left) {
+                    Ok((from, Msg::RingResp { members, .. })) => {
+                        if ring_converged(&members, expected) {
+                            converged.insert(from);
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(_) => break,
+                }
+            }
+            if converged.len() == self.storage_ids.len() {
+                break Ok(());
+            }
+            if Instant::now() >= deadline {
+                break Err(format!(
+                    "ring not converged within {timeout:?}: {}/{} local nodes ready",
+                    converged.len(),
+                    self.storage_ids.len()
+                ));
+            }
+        };
+        registry.unregister(probe_id);
+        result
+    }
+
+    /// Graceful shutdown: stop REST intake, drain in-flight quorum ops
+    /// (bounded by `grace`), final-sync WALs via each node's
+    /// `on_shutdown`, then tear the gateway down.
+    pub fn shutdown(mut self, grace: Duration) {
+        if let Some(http) = self.http.take() {
+            http.shutdown();
+        }
+        if let Some(cluster) = self.cluster.take() {
+            cluster.shutdown_graceful(grace);
+        }
+        self.gateway.shutdown();
+    }
+}
+
+/// True when `view` (a node's sorted ring membership) covers exactly the
+/// `expected` node set.
+pub fn ring_converged(view: &[NodeId], expected: &[NodeId]) -> bool {
+    let mut want: Vec<NodeId> = expected.to_vec();
+    want.sort_unstable();
+    want.dedup();
+    view == want
+}
+
+/// Polls a harness-held [`ThreadedCluster`] until every node in `expected`
+/// reports a fully converged ring, replacing fixed "sleep and hope" waits.
+///
+/// Consumes (and discards) stray messages from the cluster's external
+/// stream, so call it *before* injecting client traffic — exactly the
+/// boot-time window it is meant for. Returns the time it took.
+pub fn await_ring_convergence(
+    cluster: &ThreadedCluster<Msg>,
+    expected: &[NodeId],
+    timeout: Duration,
+) -> Result<Duration, String> {
+    let start = Instant::now();
+    let deadline = start + timeout;
+    let mut converged: std::collections::BTreeSet<NodeId> = Default::default();
+    // Correlation ids far above anything a harness uses for its own ops.
+    let mut probe_req = u64::MAX / 2;
+    loop {
+        for &node in expected {
+            if !converged.contains(&node) {
+                probe_req += 1;
+                cluster.send(node, Msg::RingReq { req: probe_req });
+            }
+        }
+        let poll_until = (Instant::now() + Duration::from_millis(50)).min(deadline);
+        loop {
+            let left = poll_until.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match cluster.recv_timeout(left) {
+                Ok((from, Msg::RingResp { members, .. })) => {
+                    if ring_converged(&members, expected) {
+                        converged.insert(from);
+                    }
+                }
+                Ok(_) => {}
+                Err(RecvError::Timeout) => break,
+                Err(RecvError::Disconnected) => {
+                    return Err("cluster went down while waiting for convergence".to_string());
+                }
+            }
+        }
+        if converged.len() == expected.len() {
+            return Ok(start.elapsed());
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "ring not converged within {timeout:?}: {}/{} nodes ready",
+                converged.len(),
+                expected.len()
+            ));
+        }
+    }
+}
+
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("unresolvable address {addr}"))
+    })
+}

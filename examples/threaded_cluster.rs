@@ -15,6 +15,7 @@ use std::time::Duration;
 use mystore::core::prelude::*;
 use mystore::gossip::GossipConfig;
 use mystore::net::{NodeId, ThreadedClusterBuilder, ThreadedConfig};
+use mystore::server::await_ring_convergence;
 
 fn main() {
     // Five storage nodes; node 0 is the gossip seed.
@@ -38,7 +39,12 @@ fn main() {
     }
     let cluster = builder.build();
     println!("spawned {} node threads; waiting for gossip to converge...", cluster.len());
-    std::thread::sleep(Duration::from_millis(600));
+    // Poll each node's ring view instead of sleeping a fixed interval:
+    // bounded above by the timeout, done the moment the ring actually forms.
+    let expected: Vec<NodeId> = (0..5).map(NodeId).collect();
+    let took = await_ring_convergence(&cluster, &expected, Duration::from_secs(10))
+        .expect("ring convergence");
+    println!("ring converged in {took:?}");
 
     // Write 50 records through different coordinators.
     for i in 0..50u64 {
@@ -55,10 +61,10 @@ fn main() {
     let mut put_ok = 0;
     while put_ok < 50 {
         match cluster.recv_timeout(Duration::from_secs(5)) {
-            Some((_, Msg::PutResp { result: Ok(()), .. })) => put_ok += 1,
-            Some((_, Msg::PutResp { result: Err(e), .. })) => panic!("put failed: {e}"),
-            Some(_) => {}
-            None => panic!("timed out waiting for put acks ({put_ok}/50)"),
+            Ok((_, Msg::PutResp { result: Ok(()), .. })) => put_ok += 1,
+            Ok((_, Msg::PutResp { result: Err(e), .. })) => panic!("put failed: {e}"),
+            Ok(_) => {}
+            Err(e) => panic!("no reply waiting for put acks ({put_ok}/50): {e}"),
         }
     }
     println!("50/50 quorum writes acknowledged");
@@ -73,13 +79,13 @@ fn main() {
     let mut get_ok = 0;
     while get_ok < 50 {
         match cluster.recv_timeout(Duration::from_secs(5)) {
-            Some((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
+            Ok((_, Msg::GetResp { req, result: Ok(Some(v)) })) => {
                 assert_eq!(*v, format!("value-{}", req - 1000).into_bytes());
                 get_ok += 1;
             }
-            Some((_, Msg::GetResp { result, .. })) => panic!("unexpected get result: {result:?}"),
-            Some(_) => {}
-            None => panic!("timed out waiting for reads ({get_ok}/50)"),
+            Ok((_, Msg::GetResp { result, .. })) => panic!("unexpected get result: {result:?}"),
+            Ok(_) => {}
+            Err(e) => panic!("no reply waiting for reads ({get_ok}/50): {e}"),
         }
     }
     println!("50/50 reads returned the written values");

@@ -35,6 +35,13 @@ echo "==> chaos suite (fixed seed)"
 cargo test -p mystore-core --test chaos -q
 cargo run --release -p mystore-bench --bin chaos -- 42
 
+echo "==> real-transport runtime (threaded integration + wire smoke)"
+# The PR-6 production runtime: the threaded-cluster flow as tests (bounded
+# convergence polling, mid-run node kill, graceful drain + WAL durability),
+# then the binary wire path end-to-end over real TCP sockets.
+cargo test --test threaded_cluster -q
+cargo run --release -p mystore-bench --bin bench_net -- --smoke
+
 echo "==> write-throughput bench smoke (group commit)"
 rm -f results/BENCH_PR3_SMOKE.json
 cargo run --release -p mystore-bench --bin bench_pr3 -- --smoke

@@ -158,13 +158,20 @@ fn main() {
 fn wait_reply(cluster: &ThreadedCluster<Msg>, req: u64) -> Option<Msg> {
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while std::time::Instant::now() < deadline {
-        if let Some((_, msg)) = cluster.recv_timeout(Duration::from_millis(200)) {
-            let matches = match &msg {
-                Msg::PutResp { req: r, .. } | Msg::GetResp { req: r, .. } => *r == req,
-                _ => false,
-            };
-            if matches {
-                return Some(msg);
+        match cluster.recv_timeout(Duration::from_millis(200)) {
+            Ok((_, msg)) => {
+                let matches = match &msg {
+                    Msg::PutResp { req: r, .. } | Msg::GetResp { req: r, .. } => *r == req,
+                    _ => false,
+                };
+                if matches {
+                    return Some(msg);
+                }
+            }
+            Err(mystore::net::RecvError::Timeout) => continue,
+            Err(mystore::net::RecvError::Disconnected) => {
+                eprintln!("cluster is down; giving up on req {req}");
+                return None;
             }
         }
     }

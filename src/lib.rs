@@ -14,4 +14,5 @@ pub use mystore_gossip as gossip;
 pub use mystore_net as net;
 pub use mystore_obs as obs;
 pub use mystore_ring as ring;
+pub use mystore_serverd as server;
 pub use mystore_workload as workload;
