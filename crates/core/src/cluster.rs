@@ -73,6 +73,19 @@ pub struct ClusterSpec {
     /// Coordinator fan-out coalescing window (µs); `0` disables batching
     /// (see [`StorageConfig::coalesce_window_us`]).
     pub coalesce_window_us: u64,
+    /// Gossip idle backoff cap (see `GossipConfig::idle_backoff_max`);
+    /// `1` keeps the fixed cadence.
+    pub gossip_idle_backoff_max: u64,
+    /// Anti-entropy idle backoff cap (see
+    /// [`StorageConfig::anti_entropy_idle_backoff_max`]); `1` keeps the
+    /// fixed cadence.
+    pub anti_entropy_idle_backoff_max: u64,
+    /// Tombstone-reaper period (µs); `0` disables reaping (see
+    /// [`StorageConfig::compaction_interval_us`]).
+    pub compaction_interval_us: u64,
+    /// Anti-entropy period (µs); `0` disables (see
+    /// [`StorageConfig::anti_entropy_interval_us`]).
+    pub anti_entropy_interval_us: u64,
 }
 
 impl ClusterSpec {
@@ -105,6 +118,10 @@ impl ClusterSpec {
             group_commit_ops: 1,
             group_commit_max_delay_us: 2_000,
             coalesce_window_us: 0,
+            gossip_idle_backoff_max: 1,
+            anti_entropy_idle_backoff_max: 1,
+            compaction_interval_us: 60_000_000,
+            anti_entropy_interval_us: 30_000_000,
         }
     }
 
@@ -151,6 +168,7 @@ impl ClusterSpec {
             remove_after_us: self.remove_after_us,
             seeds: (0..self.seed_count.min(self.storage_nodes) as u32).map(NodeId).collect(),
             extra_fanout: 1,
+            idle_backoff_max: self.gossip_idle_backoff_max,
         }
     }
 
@@ -173,10 +191,11 @@ impl ClusterSpec {
             group_commit_ops: self.group_commit_ops,
             group_commit_max_delay_us: self.group_commit_max_delay_us,
             coalesce_window_us: self.coalesce_window_us,
-            compaction_interval_us: 60_000_000,
+            compaction_interval_us: self.compaction_interval_us,
             tombstone_grace_us: 300_000_000,
-            anti_entropy_interval_us: 30_000_000,
+            anti_entropy_interval_us: self.anti_entropy_interval_us,
             anti_entropy_batch: 256,
+            anti_entropy_idle_backoff_max: self.anti_entropy_idle_backoff_max,
             metrics: Registry::new(),
         }
     }

@@ -184,6 +184,12 @@ pub struct StorageConfig {
     /// Maximum records digested per anti-entropy round (bounds message
     /// size; successive rounds rotate through the key space).
     pub anti_entropy_batch: usize,
+    /// Idle backoff for anti-entropy: while `Db::last_seq` is unchanged
+    /// between rounds, the period doubles up to `interval × max`; any local
+    /// write snaps it back to the base interval. `1` disables backoff
+    /// (fixed cadence), which is the default. Long-horizon simulations set
+    /// this so a quiescent ring fast-forwards instead of grinding digests.
+    pub anti_entropy_idle_backoff_max: u64,
     /// Metrics registry this node publishes into. Registries are cheap
     /// shared handles: give every node in a cluster a clone of the same
     /// registry and `/_stats` aggregates them all. The default is a private
@@ -214,6 +220,7 @@ impl Default for StorageConfig {
             coalesce_window_us: 0,
             anti_entropy_interval_us: 30_000_000,
             anti_entropy_batch: 256,
+            anti_entropy_idle_backoff_max: 1,
             metrics: Registry::new(),
         }
     }

@@ -118,7 +118,9 @@ impl QuorumOp for WriteOp {
                 if fallback == me {
                     // The coordinator may be the only node left standing —
                     // it holds the hint itself, and its ack is immediate.
-                    ctx.consume(node.cfg.cost.put_us(self.record.val.len()));
+                    ctx.consume(
+                        node.cfg.cost.put_us(self.record.val.len()) + ctx.disk_penalty_us(),
+                    );
                     let hint_doc = doc! {
                         "intended": intended.0 as i64,
                         "rec": self.record.to_document(),
@@ -130,6 +132,7 @@ impl QuorumOp for WriteOp {
                             // Staged like any local write: counts at sync.
                             node.deferred_acks.push((me, req, true));
                             node.metrics.acks_deferred.inc();
+                            node.ensure_wal_flush_armed(ctx);
                         } else {
                             self.acks += 1;
                         }
@@ -258,7 +261,7 @@ impl StorageNode {
         for &replica in &prefs {
             if replica == me {
                 // "The node firstly stores the data records locally" (§5.2.2).
-                ctx.consume(self.cfg.cost.put_us(record.val.len()));
+                ctx.consume(self.cfg.cost.put_us(record.val.len()) + ctx.disk_penalty_us());
                 self.stats.replica_puts += 1;
                 if self.db.put_record(&self.cfg.collection, &record).is_ok() {
                     if self.db.wal_pending_ops() > 0 {
@@ -267,6 +270,7 @@ impl StorageNode {
                         // covering sync lands — the flush sends a self-ack.
                         self.deferred_acks.push((me, my_req, true));
                         self.metrics.acks_deferred.inc();
+                        self.ensure_wal_flush_armed(ctx);
                     } else {
                         op.acks += 1;
                         op.outstanding.retain(|&r| r != me);

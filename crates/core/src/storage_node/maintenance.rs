@@ -294,14 +294,53 @@ impl StorageNode {
     }
 
     /// `TK_WAL_FLUSH`: bound how long a staged frame (and its parked ack)
-    /// can wait for the batch to fill — sync whatever is pending, release
-    /// the acks it covered, and re-arm.
+    /// can wait for the batch to fill — sync whatever is pending and
+    /// release the acks it covered. The timer is demand-driven: it is
+    /// armed by [`StorageNode::ensure_wal_flush_armed`] when a write
+    /// stages a frame, and stays unarmed afterwards unless a sync failure
+    /// left frames behind — so a quiescent node schedules no flush ticks.
     pub(crate) fn wal_flush_tick(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.wal_flush_armed = false;
         if self.db.wal_pending_ops() > 0 {
             let _ = self.db.sync_wal();
         }
         self.maybe_flush_deferred_acks(ctx);
-        ctx.set_timer(self.cfg.group_commit_max_delay_us, tk(TK_WAL_FLUSH, 0));
+        self.ensure_wal_flush_armed(ctx);
+    }
+
+    /// Arms the WAL flush timer if group commit is on, a frame is staged,
+    /// and no timer is already pending. Call after any local write that may
+    /// have staged a group-commit frame; a no-op in every other state.
+    pub(crate) fn ensure_wal_flush_armed(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.cfg.group_commit_ops > 1 && !self.wal_flush_armed && self.db.wal_pending_ops() > 0 {
+            self.wal_flush_armed = true;
+            ctx.set_timer(self.cfg.group_commit_max_delay_us, tk(TK_WAL_FLUSH, 0));
+        }
+    }
+
+    /// Consecutive idle anti-entropy rounds tolerated before the period
+    /// starts doubling.
+    const AE_GRACE_ROUNDS: u32 = 2;
+
+    /// The delay before the next anti-entropy round. With
+    /// `anti_entropy_idle_backoff_max > 1`, rounds that observe no new
+    /// local writes (`Db::last_seq` unchanged) double the period up to
+    /// `interval × max`; any write snaps it back to the base interval.
+    pub(crate) fn next_anti_entropy_delay_us(&mut self) -> u64 {
+        let base = self.cfg.anti_entropy_interval_us;
+        if self.cfg.anti_entropy_idle_backoff_max <= 1 {
+            return base;
+        }
+        let seq = self.db.last_seq();
+        if seq == self.ae_last_seq {
+            self.ae_quiet_rounds = self.ae_quiet_rounds.saturating_add(1);
+        } else {
+            self.ae_quiet_rounds = 0;
+            self.ae_last_seq = seq;
+        }
+        let cap = base.saturating_mul(self.cfg.anti_entropy_idle_backoff_max);
+        let shift = self.ae_quiet_rounds.saturating_sub(Self::AE_GRACE_ROUNDS).min(32);
+        base.saturating_mul(1u64 << shift).min(cap)
     }
 
     // ---- gossip ----------------------------------------------------------
@@ -319,6 +358,10 @@ impl StorageNode {
             ctx.send(to, Msg::Gossip(g));
         }
         self.process_membership(ctx);
-        ctx.set_timer(self.cfg.gossip.interval_us, tk(TK_GOSSIP, 0));
+        // Re-arm at the gossiper's current cadence: with idle backoff on,
+        // a quiet ring widens its own rounds (and scales its failure
+        // timeouts to match); any membership churn snaps back to the base
+        // interval on the next tick.
+        ctx.set_timer(self.gossiper.current_interval_us(), tk(TK_GOSSIP, 0));
     }
 }

@@ -229,6 +229,16 @@ pub struct StorageNode {
     pub(crate) sync_cursor: Option<String>,
     /// Anti-entropy round counter (rotates the peer choice).
     pub(crate) sync_round: u64,
+    /// `Db::last_seq` observed at the previous anti-entropy round; the idle
+    /// backoff widens the period while this stays unchanged.
+    pub(crate) ae_last_seq: u64,
+    /// Consecutive anti-entropy rounds with no local writes.
+    pub(crate) ae_quiet_rounds: u32,
+    /// Whether a `TK_WAL_FLUSH` timer is armed. The flush timer is
+    /// demand-driven: armed when a write stages a group-commit frame, left
+    /// unarmed while the WAL has nothing pending — so an idle node
+    /// schedules no flush ticks at all.
+    pub(crate) wal_flush_armed: bool,
     /// Coalescing buffer: replica writes waiting to be flushed to each peer
     /// as one [`Msg::StoreReplicaBatch`] (empty when coalescing is off).
     pub(crate) outbox: BTreeMap<NodeId, Vec<BatchPut>>,
@@ -294,6 +304,9 @@ impl StorageNode {
             generation: 1,
             sync_cursor: None,
             sync_round: 0,
+            ae_last_seq: 0,
+            ae_quiet_rounds: 0,
+            wal_flush_armed: false,
             outbox: BTreeMap::new(),
             outbox_armed: false,
             deferred_acks: Vec::new(),
@@ -381,9 +394,9 @@ impl Process<Msg> for StorageNode {
             let jitter = ctx.rng().range_u64(0, self.cfg.anti_entropy_interval_us / 2 + 1);
             ctx.set_timer(self.cfg.anti_entropy_interval_us / 2 + jitter, tk(TK_ANTI_ENTROPY, 0));
         }
-        if self.cfg.group_commit_ops > 1 {
-            ctx.set_timer(self.cfg.group_commit_max_delay_us, tk(TK_WAL_FLUSH, 0));
-        }
+        // TK_WAL_FLUSH is demand-driven (armed by the first staged
+        // group-commit frame, see `ensure_wal_flush_armed`), so an idle
+        // node runs no flush ticks.
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -422,6 +435,9 @@ impl Process<Msg> for StorageNode {
         self.hint_acks.clear();
         self.outbox.clear();
         self.outbox_armed = false;
+        self.wal_flush_armed = false;
+        self.ae_last_seq = 0;
+        self.ae_quiet_rounds = 0;
         self.deferred_acks.clear();
         self.metrics.restarts.inc();
         self.on_start(ctx);
@@ -476,12 +492,14 @@ impl Process<Msg> for StorageNode {
                         ctx.record("anti_entropy_repair", 1.0);
                     }
                 }
+                self.ensure_wal_flush_armed(ctx);
             }
             Msg::TransferRecords { records } => {
                 for record in records {
                     ctx.consume(self.cfg.cost.put_us(record.val.len()));
                     let _ = self.db.put_record(&self.cfg.collection, &record);
                 }
+                self.ensure_wal_flush_armed(ctx);
             }
             Msg::Gossip(g) => {
                 ctx.consume(self.cfg.cost.gossip_us);
@@ -527,7 +545,7 @@ impl Process<Msg> for StorageNode {
             }
             TK_ANTI_ENTROPY => {
                 self.anti_entropy_round(ctx);
-                ctx.set_timer(self.cfg.anti_entropy_interval_us, tk(TK_ANTI_ENTROPY, 0));
+                ctx.set_timer(self.next_anti_entropy_delay_us(), tk(TK_ANTI_ENTROPY, 0));
             }
             // All four retry/deadline kinds resolve through the unified
             // driver: the pending table is keyed by request id, so the op

@@ -20,6 +20,7 @@ impl StorageNode {
         if ok && self.db.wal_pending_ops() > 0 {
             self.deferred_acks.push((to, req, ok));
             self.metrics.acks_deferred.inc();
+            self.ensure_wal_flush_armed(ctx);
         } else {
             ctx.send(to, Msg::StoreAck { req, ok });
             // This write may itself have triggered the threshold sync that
@@ -56,13 +57,15 @@ impl StorageNode {
             }
             _ => {}
         }
-        ctx.consume(self.cfg.cost.put_us(record.val.len()));
+        // A degraded disk (slow-fsync fault) taxes every durable write.
+        ctx.consume(self.cfg.cost.put_us(record.val.len()) + ctx.disk_penalty_us());
         self.stats.replica_puts += 1;
         let ok = self.db.put_record(&self.cfg.collection, &record).is_ok();
         if req != 0 {
             self.queue_ack(ctx, from, req, ok);
         } else {
             self.maybe_flush_deferred_acks(ctx);
+            self.ensure_wal_flush_armed(ctx);
         }
     }
 
@@ -92,7 +95,8 @@ impl StorageNode {
             let ok = self.db.put_record(&self.cfg.collection, &op.record).is_ok();
             acks.push((op.req, ok));
         }
-        // One sync covers the whole batch; only then are the acks true.
+        // One sync covers the whole batch — and pays the disk penalty once.
+        ctx.consume(ctx.disk_penalty_us());
         if self.db.sync_wal().is_err() {
             for ack in &mut acks {
                 ack.1 = false;
@@ -150,7 +154,7 @@ impl StorageNode {
             }
             _ => {}
         }
-        ctx.consume(self.cfg.cost.put_us(record.val.len()));
+        ctx.consume(self.cfg.cost.put_us(record.val.len()) + ctx.disk_penalty_us());
         // "When C receives the request, it creates an index for the
         // replication" — we persist the hint durably.
         let hint_doc = doc! {

@@ -15,6 +15,7 @@ fn gossip() -> GossipConfig {
         remove_after_us: 5_000_000,
         seeds: vec![NodeId(0)],
         extra_fanout: 1,
+        idle_backoff_max: 1,
     }
 }
 

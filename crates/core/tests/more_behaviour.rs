@@ -22,6 +22,7 @@ fn threaded_runtime_serves_quorum_operations() {
         remove_after_us: 5_000_000,
         seeds: vec![NodeId(0)],
         extra_fanout: 1,
+        idle_backoff_max: 1,
     };
     let mut builder = ThreadedClusterBuilder::new(ThreadedConfig::default());
     for i in 0..4u32 {

@@ -94,6 +94,14 @@ pub struct GossipConfig {
     /// Extra random peers contacted per round, beyond the role-mandated
     /// targets.
     pub extra_fanout: usize,
+    /// Idle backoff cap: after consecutive quiet rounds (no membership
+    /// events observed), the effective round interval doubles per extra
+    /// quiet round, up to `interval_us * idle_backoff_max`. Any membership
+    /// event snaps it back to `interval_us`. `1` disables backoff (the
+    /// default) and preserves the fixed-cadence behaviour exactly. Owners
+    /// must re-arm their gossip timer from [`Gossiper::current_interval_us`]
+    /// for the backoff to take effect.
+    pub idle_backoff_max: u64,
 }
 
 impl Default for GossipConfig {
@@ -104,6 +112,7 @@ impl Default for GossipConfig {
             remove_after_us: 30_000_000, // 30 s ⇒ long failure
             seeds: Vec::new(),
             extra_fanout: 1,
+            idle_backoff_max: 1,
         }
     }
 }
@@ -150,7 +159,19 @@ pub struct Gossiper {
     /// Nodes already declared removed (to emit Removed once).
     removed: BTreeMap<NodeId, u64>,
     metrics: GossipMetrics,
+    /// Monotonic count of membership events ever pushed (activity signal
+    /// for the idle backoff; never reset by [`Gossiper::drain_events`]).
+    events_total: u64,
+    /// `events_total` as of the previous tick.
+    events_at_last_tick: u64,
+    /// Consecutive ticks that observed no membership events.
+    quiet_rounds: u32,
 }
+
+/// Quiet rounds tolerated before the idle backoff starts widening the
+/// interval — keeps initial convergence and post-fault re-convergence at
+/// full cadence.
+const IDLE_GRACE_ROUNDS: u32 = 4;
 
 impl Gossiper {
     /// Creates a gossiper for `me`, booting with `generation`.
@@ -165,6 +186,9 @@ impl Gossiper {
             events: Vec::new(),
             removed: BTreeMap::new(),
             metrics: GossipMetrics::default(),
+            events_total: 0,
+            events_at_last_tick: 0,
+            quiet_rounds: 0,
         }
     }
 
@@ -192,6 +216,37 @@ impl Gossiper {
     /// Round interval (for the owner's timer).
     pub fn interval_us(&self) -> u64 {
         self.config.interval_us
+    }
+
+    /// The interval the owner should arm its next gossip timer at: the
+    /// configured interval, widened by the idle backoff when the membership
+    /// has been quiet (see [`GossipConfig::idle_backoff_max`]). This is what
+    /// lets a quiescent 100-node ring fast-forward through long virtual-time
+    /// horizons instead of grinding fixed-cadence ticks.
+    pub fn current_interval_us(&self) -> u64 {
+        let base = self.config.interval_us;
+        if self.config.idle_backoff_max <= 1 {
+            return base;
+        }
+        let cap = base.saturating_mul(self.config.idle_backoff_max);
+        let shift = self.quiet_rounds.saturating_sub(IDLE_GRACE_ROUNDS).min(32);
+        base.saturating_mul(1u64 << shift).min(cap)
+    }
+
+    /// Failure-detection windows scaled to the *current* (possibly backed
+    /// off) round cadence. With everyone gossiping slowly, heartbeat news
+    /// propagates slowly too; judging staleness against the configured
+    /// `fail_after_us` would mark healthy-but-quiet peers down and make the
+    /// resulting Down/Up churn defeat the backoff entirely.
+    fn effective_timeouts(&self) -> (u64, u64) {
+        if self.config.idle_backoff_max <= 1 {
+            return (self.config.fail_after_us, self.config.remove_after_us);
+        }
+        let cur = self.current_interval_us();
+        (
+            self.config.fail_after_us.max(cur.saturating_mul(6)),
+            self.config.remove_after_us.max(cur.saturating_mul(12)),
+        )
     }
 
     /// Sets one of this node's application states (load, vnodes, ...).
@@ -243,6 +298,12 @@ impl Gossiper {
     pub fn tick(&mut self, now: SimTime, rng: &mut Rng) -> Vec<(NodeId, GossipMsg)> {
         self.states.get_mut(&self.me).expect("own state").beat();
         self.detect_failures(now);
+        if self.events_total == self.events_at_last_tick {
+            self.quiet_rounds = self.quiet_rounds.saturating_add(1);
+        } else {
+            self.quiet_rounds = 0;
+        }
+        self.events_at_last_tick = self.events_total;
 
         let mut targets: Vec<NodeId> = Vec::new();
         let seeds: Vec<NodeId> =
@@ -402,6 +463,7 @@ impl Gossiper {
             let after_hb = (state.generation, state.heartbeat);
             if is_new {
                 self.events.push(MembershipEvent::Joined(delta.endpoint));
+                self.events_total += 1;
             }
             if rebooted {
                 // A reboot invalidates any standing removal record.
@@ -418,6 +480,7 @@ impl Gossiper {
                 if !l.alive {
                     l.alive = true;
                     self.events.push(MembershipEvent::Up(delta.endpoint));
+                    self.events_total += 1;
                 }
             }
             // Learn seed-declared removals carried in app states.
@@ -443,6 +506,7 @@ impl Gossiper {
                     self.states.get(&node).map(|s| s.generation > gen).unwrap_or(false);
                 if !newer_boot && self.removed.insert(node, gen) != Some(gen) {
                     self.events.push(MembershipEvent::Removed(node));
+                    self.events_total += 1;
                 }
             }
         }
@@ -451,16 +515,15 @@ impl Gossiper {
     fn detect_failures(&mut self, now: SimTime) {
         let now_us = now.as_micros();
         let is_seed = self.is_seed();
+        let (fail_after_us, remove_after_us) = self.effective_timeouts();
         let mut to_remove: Vec<(NodeId, u64)> = Vec::new();
         for (&node, l) in self.liveness.iter_mut() {
-            if l.alive && now_us.saturating_sub(l.last_change_us) > self.config.fail_after_us {
+            if l.alive && now_us.saturating_sub(l.last_change_us) > fail_after_us {
                 l.alive = false;
                 self.events.push(MembershipEvent::Down(node));
+                self.events_total += 1;
             }
-            if is_seed
-                && !l.alive
-                && now_us.saturating_sub(l.last_change_us) > self.config.remove_after_us
-            {
+            if is_seed && !l.alive && now_us.saturating_sub(l.last_change_us) > remove_after_us {
                 if let Some(state) = self.states.get(&node) {
                     let gen = state.generation;
                     if self.removed.get(&node) != Some(&gen) {
@@ -476,6 +539,7 @@ impl Gossiper {
             self.set_app_state(format!("{}{}", keys::REMOVED_PREFIX, node.0), gen.to_string());
             self.removed.insert(node, gen);
             self.events.push(MembershipEvent::Removed(node));
+            self.events_total += 1;
         }
     }
 }
@@ -491,7 +555,74 @@ mod tests {
             remove_after_us: 30_000_000,
             seeds,
             extra_fanout: 1,
+            idle_backoff_max: 1,
         }
+    }
+
+    #[test]
+    fn idle_backoff_widens_interval_and_resets_on_activity() {
+        let mut config = cfg(vec![NodeId(0)]);
+        config.idle_backoff_max = 8;
+        let mut a = Gossiper::new(NodeId(0), 1, config);
+        let mut rng = Rng::new(7);
+        assert_eq!(a.current_interval_us(), 1_000_000);
+        // Quiet ticks: full cadence through the grace window, then doubling
+        // up to the cap.
+        for i in 0..20u64 {
+            let _ = a.tick(SimTime::from_secs(1 + i), &mut rng);
+        }
+        assert_eq!(a.current_interval_us(), 8_000_000, "capped at interval * idle_backoff_max");
+        // Any membership event snaps the cadence back to the base interval.
+        let mut b = Gossiper::new(NodeId(1), 1, cfg(vec![NodeId(0)]));
+        exchange(&mut a, &mut b, SimTime::from_secs(30));
+        let _ = a.tick(SimTime::from_secs(31), &mut rng);
+        assert_eq!(a.current_interval_us(), 1_000_000);
+    }
+
+    #[test]
+    fn backoff_disabled_keeps_fixed_interval() {
+        let mut a = Gossiper::new(NodeId(0), 1, cfg(vec![NodeId(0)]));
+        let mut rng = Rng::new(8);
+        for i in 0..50u64 {
+            let _ = a.tick(SimTime::from_secs(1 + i), &mut rng);
+        }
+        assert_eq!(a.current_interval_us(), a.interval_us());
+    }
+
+    /// With the backoff active, failure detection must scale with the
+    /// widened cadence: a healthy-but-quiet peer whose heartbeat news simply
+    /// travels slowly may not be declared down at the configured
+    /// `fail_after_us`, or the resulting Down/Up churn would defeat the
+    /// backoff.
+    #[test]
+    fn backed_off_failure_detection_tolerates_slow_heartbeat_news() {
+        let mut config = cfg(vec![NodeId(0)]);
+        config.idle_backoff_max = 64;
+        let mut a = Gossiper::new(NodeId(0), 1, config);
+        let mut b = Gossiper::new(NodeId(1), 1, cfg(vec![NodeId(0)]));
+        let mut rng = Rng::new(9);
+        let _ = a.tick(SimTime::from_secs(1), &mut rng);
+        let _ = b.tick(SimTime::from_secs(1), &mut rng);
+        exchange(&mut a, &mut b, SimTime::from_secs(1));
+        assert!(a.is_alive(NodeId(1)));
+        a.drain_events();
+        // 50 quiet ticks, 1 s apart: b's last observed heartbeat goes 50 s
+        // stale — far beyond fail_after (5 s), but within the scaled window
+        // once the interval has backed off.
+        for i in 0..50u64 {
+            let _ = a.tick(SimTime::from_secs(2 + i), &mut rng);
+        }
+        assert!(a.is_alive(NodeId(1)), "scaled fail_after must cover backed-off cadence");
+        // The identical sequence with backoff disabled marks b down.
+        let mut c = Gossiper::new(NodeId(0), 1, cfg(vec![NodeId(0)]));
+        let mut b2 = Gossiper::new(NodeId(1), 1, cfg(vec![NodeId(0)]));
+        let _ = c.tick(SimTime::from_secs(1), &mut rng);
+        let _ = b2.tick(SimTime::from_secs(1), &mut rng);
+        exchange(&mut c, &mut b2, SimTime::from_secs(1));
+        for i in 0..50u64 {
+            let _ = c.tick(SimTime::from_secs(2 + i), &mut rng);
+        }
+        assert!(!c.is_alive(NodeId(1)));
     }
 
     /// Pumps one full Syn→Ack1→Ack2 exchange from `a` to `b`.

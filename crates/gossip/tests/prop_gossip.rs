@@ -13,6 +13,7 @@ fn cfg(seeds: Vec<NodeId>) -> GossipConfig {
         remove_after_us: 1 << 41,
         seeds,
         extra_fanout: 1,
+        idle_backoff_max: 1,
     }
 }
 

@@ -141,6 +141,11 @@ pub fn workspace_policy(workspace_root: &std::path::Path) -> Vec<CratePolicy> {
     let mut workload = CratePolicy::new("workload", c("workload"));
     workload.wall_clock = true;
     workload.unordered_iter = true;
+    workload.panic_files = vec![
+        "src/matrix/mod.rs".into(),
+        "src/matrix/client.rs".into(),
+        "src/matrix/schedule.rs".into(),
+    ];
     out.push(workload);
 
     let mut obs = CratePolicy::new("obs", c("obs"));

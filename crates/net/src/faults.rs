@@ -300,6 +300,21 @@ pub enum FaultEvent {
         /// The other endpoint.
         b: NodeId,
     },
+    /// Degrade `node`'s disk: every fsync-bearing write costs `extra_us`
+    /// additional service time until a matching [`FaultEvent::HealDisk`].
+    /// Models a failing/contended drive; exercises the group-commit path
+    /// under latency faults. Survives crashes (it is the hardware).
+    SlowFsync {
+        /// The node whose disk degrades.
+        node: NodeId,
+        /// Extra per-write latency (µs).
+        extra_us: u64,
+    },
+    /// Restore `node`'s disk to full speed.
+    HealDisk {
+        /// The node whose disk recovers.
+        node: NodeId,
+    },
 }
 
 /// A [`FaultEvent`] pinned to a virtual time.
@@ -369,6 +384,8 @@ impl FaultSchedule {
     /// <at_us> heal-all
     /// <at_us> chaos <a> <b> [drop=P] [dup=P] [delay=P:LO..HI] [reorder=P]
     /// <at_us> chaos-clear <a> <b>
+    /// <at_us> slow-fsync <node> <extra_us>
+    /// <at_us> heal-disk <node>
     /// ```
     pub fn parse(text: &str) -> Result<Self, ScheduleParseError> {
         let mut schedule = FaultSchedule::new();
@@ -461,6 +478,15 @@ impl FaultSchedule {
                     FaultEvent::Chaos { a, b, rule }
                 }
                 "chaos-clear" => FaultEvent::ChaosClear { a: node(arg(0)?)?, b: node(arg(1)?)? },
+                "slow-fsync" => {
+                    let extra_us: u64 =
+                        arg(1)?.parse().map_err(|e| err(format!("bad extra_us: {e}")))?;
+                    if extra_us == 0 {
+                        return Err(err("slow-fsync wants extra_us > 0 (use heal-disk)".into()));
+                    }
+                    FaultEvent::SlowFsync { node: node(arg(0)?)?, extra_us }
+                }
+                "heal-disk" => FaultEvent::HealDisk { node: node(arg(0)?)? },
                 other => return Err(err(format!("unknown verb {other:?}"))),
             };
             schedule.events.push(ScheduledFault { at_us, event });
@@ -494,6 +520,8 @@ pub struct FaultMetrics {
     pub partition_heals: Counter,
     /// Messages dropped because their link was cut.
     pub partition_dropped: Counter,
+    /// Disks degraded by a `slow-fsync` fault (healthy → slow transitions).
+    pub disk_degraded: Counter,
 }
 
 impl FaultMetrics {
@@ -509,6 +537,7 @@ impl FaultMetrics {
             partition_cuts: registry.counter("partition.cuts"),
             partition_heals: registry.counter("partition.heals"),
             partition_dropped: registry.counter("partition.msg.dropped"),
+            disk_degraded: registry.counter("fault.disk.degraded"),
         }
     }
 }
@@ -634,9 +663,11 @@ mod tests {
 3500000 heal-all
 4000000 chaos 0 2 drop=0.1 dup=0.05 delay=0.2:1000..5000 reorder=0.01
 4500000 chaos-clear 0 2
+5000000 slow-fsync 1 7500         # degraded disk: +7.5 ms per durable write
+5500000 heal-disk 1
 ";
         let s = FaultSchedule::parse(text).expect("parse");
-        assert_eq!(s.events.len(), 10);
+        assert_eq!(s.events.len(), 12);
         assert_eq!(
             s.events[0],
             ScheduledFault {
@@ -669,6 +700,8 @@ mod tests {
             }
         );
         assert_eq!(s.events[9].event, FaultEvent::ChaosClear { a: NodeId(0), b: NodeId(2) });
+        assert_eq!(s.events[10].event, FaultEvent::SlowFsync { node: NodeId(1), extra_us: 7_500 });
+        assert_eq!(s.events[11].event, FaultEvent::HealDisk { node: NodeId(1) });
     }
 
     #[test]
@@ -688,6 +721,10 @@ mod tests {
             ("10 chaos 0 1 drop=1.5", 1, "outside [0, 1]"),
             ("10 chaos 0 1 delay=0.5", 1, "P:LO..HI"),
             ("10 chaos 0 1 warp=0.5", 1, "unknown chaos key"),
+            ("10 slow-fsync 0", 1, "needs argument"),
+            ("10 slow-fsync 0 fast", 1, "bad extra_us"),
+            ("10 slow-fsync 0 0", 1, "extra_us > 0"),
+            ("10 heal-disk", 1, "needs argument"),
         ];
         for (text, line, needle) in cases {
             let err = FaultSchedule::parse(text).expect_err(text);

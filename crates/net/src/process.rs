@@ -85,6 +85,9 @@ pub struct Context<'a, M> {
     /// Fault sampled for the *current operation*, if the runtime's fault
     /// plan produced one. See [`Context::take_op_fault`].
     op_fault: Option<OpFault>,
+    /// Extra per-durable-write latency this node's disk currently suffers
+    /// (µs). See [`Context::disk_penalty_us`].
+    disk_penalty_us: u64,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -96,7 +99,24 @@ impl<'a, M> Context<'a, M> {
         rng: &'a mut Rng,
         op_fault: Option<OpFault>,
     ) -> Self {
-        Context { now, self_id, actions, rng, consumed_us: 0, op_fault }
+        Context { now, self_id, actions, rng, consumed_us: 0, op_fault, disk_penalty_us: 0 }
+    }
+
+    /// Sets the node's current degraded-disk penalty. Used by runtimes
+    /// before invoking the process; processes only read it.
+    pub fn set_disk_penalty(&mut self, us: u64) {
+        self.disk_penalty_us = us;
+    }
+
+    /// Extra service time (µs) a durable write costs on this node right
+    /// now, on top of the configured cost model.
+    ///
+    /// `0` means the disk is healthy. A `slow-fsync` fault (see
+    /// `FaultEvent::SlowFsync` in the schedule vocabulary) raises it until
+    /// a matching `heal-disk` event; components that model an fsync-bearing
+    /// write charge `ctx.consume(cost + ctx.disk_penalty_us())`.
+    pub fn disk_penalty_us(&self) -> u64 {
+        self.disk_penalty_us
     }
 
     /// Current virtual time.

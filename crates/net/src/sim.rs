@@ -84,6 +84,7 @@ enum EventKind<M> {
     SetLinkDir { from: NodeId, to: NodeId, up: bool },
     SetLinkRule { from: NodeId, to: NodeId, rule: Option<LinkFaultRule> },
     HealAllLinks,
+    SetDiskPenalty { node: NodeId, extra_us: u64 },
 }
 
 struct Event<M> {
@@ -137,6 +138,10 @@ struct NodeSlot<M> {
     busy_us: u64,
     /// Messages dropped because the node was down.
     dropped: u64,
+    /// Extra per-durable-write latency of this node's disk (µs); `0` is a
+    /// healthy disk. Set by the `slow-fsync` fault, cleared by `heal-disk`.
+    /// Survives crashes — it models the hardware, not the process.
+    disk_penalty_us: u64,
 }
 
 /// Predicate selecting which messages draw per-operation faults.
@@ -213,6 +218,7 @@ impl<M: WireSized + Clone + 'static> Sim<M> {
             dispatch_at: None,
             busy_us: 0,
             dropped: 0,
+            disk_penalty_us: 0,
         });
         id
     }
@@ -291,6 +297,19 @@ impl<M: WireSized + Clone + 'static> Sim<M> {
         self.push(at.0, EventKind::Recover { node });
     }
 
+    /// Schedules degrading (`extra_us > 0`) or healing (`extra_us == 0`)
+    /// `node`'s disk at `at`. While degraded, every fsync-bearing write on
+    /// the node costs `extra_us` additional service time (surfaced to the
+    /// process via [`Context::disk_penalty_us`]).
+    pub fn schedule_disk_penalty(&mut self, at: SimTime, node: NodeId, extra_us: u64) {
+        self.push(at.0, EventKind::SetDiskPenalty { node, extra_us });
+    }
+
+    /// The node's current degraded-disk penalty (µs); `0` when healthy.
+    pub fn disk_penalty_us(&self, id: NodeId) -> u64 {
+        self.nodes.get(id.0 as usize).map(|n| n.disk_penalty_us).unwrap_or(0)
+    }
+
     /// Schedules taking the `a`↔`b` link down (`up = false`) or up.
     pub fn schedule_link(&mut self, at: SimTime, a: NodeId, b: NodeId, up: bool) {
         self.push(at.0, EventKind::SetLink { a, b, up });
@@ -360,16 +379,32 @@ impl<M: WireSized + Clone + 'static> Sim<M> {
                 FaultEvent::HealAll => self.push(at.0, EventKind::HealAllLinks),
                 FaultEvent::Chaos { a, b, rule } => self.schedule_chaos(at, *a, *b, *rule),
                 FaultEvent::ChaosClear { a, b } => self.schedule_chaos_clear(at, *a, *b),
+                FaultEvent::SlowFsync { node, extra_us } => {
+                    self.schedule_disk_penalty(at, *node, *extra_us);
+                }
+                FaultEvent::HealDisk { node } => self.schedule_disk_penalty(at, *node, 0),
             }
         }
     }
 
     /// Runs until the given virtual time, or until idle, whichever first.
+    ///
+    /// **Clock contract:** on return, `now() == max(now, limit)` — virtual
+    /// time always advances to `limit`, even when the event queue drains
+    /// early. A quiescent system still experiences the passage of time, so
+    /// back-to-back `run_until`/[`Sim::run_for`] calls cover disjoint,
+    /// contiguous windows of virtual time. [`StopReason::Idle`] means the
+    /// queue drained somewhere inside the window; [`StopReason::TimeLimit`]
+    /// means events at times `> limit` remain pending.
     pub fn run_until(&mut self, limit: SimTime) -> StopReason {
         assert!(self.started, "call start() before run_until");
         loop {
             let Some(Reverse(head)) = self.events.peek() else {
-                self.now = self.now.max(limit.0.min(self.now));
+                // Queue drained: fast-forward the clock through the rest of
+                // the window. (The old `limit.0.min(self.now)` here was a
+                // no-op that left `now` stuck at the last event, silently
+                // compressing virtual time across consecutive `run_for`s.)
+                self.now = self.now.max(limit.0);
                 return StopReason::Idle;
             };
             if head.time > limit.0 {
@@ -383,14 +418,35 @@ impl<M: WireSized + Clone + 'static> Sim<M> {
     }
 
     /// Runs for `us` more microseconds of virtual time.
+    ///
+    /// Same contract as [`Sim::run_until`]: on return `now()` has advanced
+    /// by exactly `us`, whether or not the queue drained along the way.
     pub fn run_for(&mut self, us: u64) -> StopReason {
         let t = SimTime(self.now + us);
         self.run_until(t)
     }
 
     /// Runs until no events remain, with a hard safety cap on virtual time.
+    ///
+    /// Unlike [`Sim::run_until`], the clock is **not** fast-forwarded to the
+    /// cap on [`StopReason::Idle`]: `now()` is left at the last executed
+    /// event, i.e. the moment the system actually went quiescent — that is
+    /// the value callers use this method to learn. [`StopReason::TimeLimit`]
+    /// means events beyond `cap` remain; then `now() == cap` as usual.
     pub fn run_until_idle(&mut self, cap: SimTime) -> StopReason {
-        self.run_until(cap)
+        assert!(self.started, "call start() before run_until_idle");
+        loop {
+            let Some(Reverse(head)) = self.events.peek() else {
+                return StopReason::Idle;
+            };
+            if head.time > cap.0 {
+                self.now = cap.0;
+                return StopReason::TimeLimit;
+            }
+            let Reverse(event) = self.events.pop().expect("peeked");
+            self.now = event.time;
+            self.handle(event);
+        }
     }
 
     fn push(&mut self, time: u64, kind: EventKind<M>) {
@@ -481,6 +537,13 @@ impl<M: WireSized + Clone + 'static> Sim<M> {
                 self.fault_metrics.partition_heals.add(healed as u64);
                 self.down_links.clear();
                 self.down_links_dir.clear();
+            }
+            EventKind::SetDiskPenalty { node, extra_us } => {
+                let Some(slot) = self.nodes.get_mut(node.0 as usize) else { return };
+                if extra_us > 0 && slot.disk_penalty_us == 0 {
+                    self.fault_metrics.disk_degraded.inc();
+                }
+                slot.disk_penalty_us = extra_us;
             }
         }
     }
@@ -585,8 +648,10 @@ impl<M: WireSized + Clone + 'static> Sim<M> {
         let mut actions: Vec<Action<M>> = Vec::new();
         let slot = &mut self.nodes[node.0 as usize];
         let mut rng = slot.rng.clone();
+        let disk_penalty = slot.disk_penalty_us;
         let consumed = {
             let mut ctx = Context::new(SimTime(at), node, &mut actions, &mut rng, fault);
+            ctx.set_disk_penalty(disk_penalty);
             f(slot.process.as_mut(), &mut ctx);
             ctx.consumed()
         };
@@ -728,6 +793,90 @@ mod tests {
         assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 5);
         assert_eq!(sim.process::<Pinger>(pinger).unwrap().replies, 5);
         assert_eq!(sim.trace().count("echoed"), 5);
+    }
+
+    /// The idle-clock regression (PR 7): once the event queue drains,
+    /// `run_for` must still advance `now` through the whole window. The
+    /// pre-fix idle branch (`self.now.max(limit.0.min(self.now))`) was a
+    /// no-op that left the clock stuck at the last event, so back-to-back
+    /// `run_for` calls silently compressed virtual time.
+    #[test]
+    fn run_for_after_drained_queue_still_advances_virtual_time() {
+        let mut sim = Sim::new(instant_config(17));
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        sim.start();
+        sim.inject(SimTime(10), echo, 1);
+        // The only event is at t=10; the window runs to t=1000.
+        assert_eq!(sim.run_for(1_000), StopReason::Idle);
+        assert_eq!(sim.now(), SimTime(1_000), "idle run_for must land on its limit");
+        // A second window starts where the first ended, not at the stale
+        // event time.
+        assert_eq!(sim.run_for(500), StopReason::Idle);
+        assert_eq!(sim.now(), SimTime(1_500));
+        // Work injected relative to the advanced clock lands inside the
+        // next window — virtual time is contiguous across idle stretches.
+        sim.inject(SimTime(1_600), echo, 2);
+        assert_eq!(sim.run_for(500), StopReason::Idle);
+        assert_eq!(sim.now(), SimTime(2_000));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 2);
+    }
+
+    #[test]
+    fn run_until_idle_reports_quiescence_time_or_cap() {
+        let mut sim = Sim::new(instant_config(18));
+        let echo = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        sim.start();
+        // Queue drains at t=10, well before the cap: Idle, clock left at
+        // the moment the system went quiescent (not fast-forwarded).
+        sim.inject(SimTime(10), echo, 1);
+        assert_eq!(sim.run_until_idle(SimTime(1_000)), StopReason::Idle);
+        assert_eq!(sim.now(), SimTime(10), "Idle leaves now at the last executed event");
+        // An event beyond the cap: TimeLimit, clock pinned to the cap.
+        sim.inject(SimTime(5_000), echo, 2);
+        assert_eq!(sim.run_until_idle(SimTime(2_000)), StopReason::TimeLimit);
+        assert_eq!(sim.now(), SimTime(2_000));
+        assert_eq!(sim.process::<Echo>(echo).unwrap().handled, 1);
+    }
+
+    #[test]
+    fn slow_fsync_schedule_sets_and_heals_the_context_penalty() {
+        /// Records the disk penalty it observes on every message.
+        struct DiskProbe;
+        impl Process<u64> for DiskProbe {
+            fn on_start(&mut self, _ctx: &mut Context<'_, u64>) {}
+            fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: NodeId, _msg: u64) {
+                ctx.record("penalty", ctx.disk_penalty_us() as f64);
+            }
+            fn on_timer(&mut self, _ctx: &mut Context<'_, u64>, _token: TimerToken) {}
+        }
+        let mut sim = Sim::new(instant_config(19));
+        let node = sim.add_node(DiskProbe, NodeConfig::default());
+        let schedule =
+            FaultSchedule::parse("100 slow-fsync 0 2500\n300 heal-disk 0").expect("parse");
+        sim.start();
+        sim.apply_schedule(&schedule);
+        sim.inject(SimTime(50), node, 1); // healthy
+        sim.inject(SimTime(200), node, 2); // degraded
+        sim.inject(SimTime(400), node, 3); // healed
+        sim.run_for(1_000);
+        let seen: Vec<f64> =
+            sim.trace().events().iter().filter(|e| e.name == "penalty").map(|e| e.value).collect();
+        assert_eq!(seen, vec![0.0, 2_500.0, 0.0]);
+        assert_eq!(sim.disk_penalty_us(node), 0);
+    }
+
+    /// The disk survives a crash: the penalty models hardware, so a
+    /// restarted process still sees it.
+    #[test]
+    fn disk_penalty_survives_crash_and_restart() {
+        let mut sim = Sim::new(instant_config(20));
+        let node = sim.add_node(Echo { service_us: 1, handled: 0 }, NodeConfig::default());
+        sim.start();
+        sim.schedule_disk_penalty(SimTime(10), node, 900);
+        sim.schedule_crash(SimTime(20), node, Some(30));
+        sim.run_for(100);
+        assert!(sim.is_up(node));
+        assert_eq!(sim.disk_penalty_us(node), 900);
     }
 
     #[test]

@@ -77,6 +77,7 @@ impl Host {
             remove_after_us: spec.gossip_interval_ms * 1000 * 100,
             seeds: spec.seeds.clone(),
             extra_fanout: 1,
+            idle_backoff_max: 1,
         };
 
         let mut builder = ThreadedClusterBuilder::new(ThreadedConfig::default());

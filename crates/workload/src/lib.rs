@@ -9,17 +9,25 @@
 //!   retry-on-other-node semantics,
 //! * [`preload`] — installs corpora using the cluster's own placement,
 //! * [`metrics`] — TTFB/TTLB summaries, RPS/throughput windows, and the
-//!   Fig. 17 cumulative-completion curve.
+//!   Fig. 17 cumulative-completion curve,
+//! * [`matrix`] — the scenario-matrix chaos runner: seeded cells of
+//!   cluster size × (N, W, R) × fault profile × key distribution over
+//!   long virtual horizons, with per-cell invariant verification
+//!   (DESIGN.md §13).
 
 #![forbid(unsafe_code)]
 
 pub mod client;
 pub mod corpus;
+pub mod matrix;
 pub mod metrics;
 pub mod preload;
 
 pub use client::{PutClient, PutClientConfig, RestClient, RestClientConfig};
 pub use corpus::{classify, make_payload, storage_corpus, xml_corpus, Item, SizeDist};
+pub use matrix::{
+    run_cell, CellResult, CellSpec, FaultProfile, KeyDist, MatrixClient, MatrixClientConfig,
+};
 pub use metrics::{
     cumulative_curve, rate_per_sec, sum_rate_per_sec, throughput_mb_per_sec, Summary,
 };

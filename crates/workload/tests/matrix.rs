@@ -1,0 +1,71 @@
+//! Scenario-matrix integration tests: replay determinism at scale and the
+//! global chaos invariants on small cells (the full sweep lives in the
+//! `matrix` bench binary; these are the CI-sized guarantees).
+
+use mystore_core::prelude::Nwr;
+use mystore_workload::{run_cell, CellSpec, FaultProfile, KeyDist};
+
+const SEC: u64 = 1_000_000;
+
+/// The determinism satellite: the same seeded 100-node chaos cell, run
+/// twice, must replay bit-identically — same trace fold, same metrics,
+/// same client outcome. Any nondeterminism in the sim, the fault
+/// schedule, or the storage stack shows up here as a signature mismatch.
+#[test]
+fn hundred_node_cell_replays_bit_identically() {
+    let spec = CellSpec::new(100, Nwr::PAPER, FaultProfile::Mixed, KeyDist::Zipf, 3600 * SEC, 2026);
+    let a = run_cell(&spec);
+    let b = run_cell(&spec);
+    assert_eq!(a, b, "same spec must replay to an identical CellResult");
+    // And the cell must actually have done something worth replaying.
+    assert!(a.puts_ok > 0, "cell acknowledged no writes");
+    assert!(a.trace_events > 0, "cell recorded no trace events");
+    assert!(
+        a.counters.get("fault.crashes").copied().unwrap_or(0) > 0,
+        "mixed profile scheduled no crashes"
+    );
+}
+
+/// Different seeds must diverge — otherwise the signature is a constant
+/// and the determinism check above proves nothing.
+#[test]
+fn different_seeds_produce_different_signatures() {
+    let mk = |seed| {
+        CellSpec::new(25, Nwr::PAPER, FaultProfile::Kill, KeyDist::Uniform, 1800 * SEC, seed)
+    };
+    let a = run_cell(&mk(1));
+    let b = run_cell(&mk(2));
+    assert_ne!(a.signature, b.signature);
+}
+
+/// A small kill cell meets the matrix's global invariants: no client
+/// errors, no acked-write loss, and the client finishes inside the
+/// horizon.
+#[test]
+fn kill_cell_meets_global_invariants() {
+    let spec = CellSpec::new(25, Nwr::PAPER, FaultProfile::Kill, KeyDist::Uniform, 3600 * SEC, 7);
+    let r = run_cell(&spec);
+    assert_eq!(r.client_errors, 0, "client errors in {}", r.name);
+    assert_eq!(r.lost_writes, 0, "acked writes lost in {}", r.name);
+    assert!(r.client_done, "client did not finish in {}", r.name);
+    assert!(r.puts_ok > 0);
+    assert!(r.counters.get("fault.crashes").copied().unwrap_or(0) > 0);
+}
+
+/// The slow-fsync profile actually degrades disks (the `slow-fsync` fault
+/// satellite) and the group-commit path still upholds the invariants
+/// under the added latency.
+#[test]
+fn slow_fsync_cell_degrades_disks_without_loss() {
+    let spec =
+        CellSpec::new(25, Nwr::PAPER, FaultProfile::SlowFsync, KeyDist::Hotspot, 3600 * SEC, 11);
+    assert!(spec.group_commit_ops > 1, "slow-fsync cells must exercise group commit");
+    let r = run_cell(&spec);
+    assert_eq!(r.client_errors, 0, "client errors in {}", r.name);
+    assert_eq!(r.lost_writes, 0, "acked writes lost in {}", r.name);
+    assert!(r.client_done, "client did not finish in {}", r.name);
+    assert!(
+        r.counters.get("fault.disk.degraded").copied().unwrap_or(0) > 0,
+        "no disk was ever degraded — the slow-fsync schedule is inert"
+    );
+}

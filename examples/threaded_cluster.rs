@@ -25,6 +25,7 @@ fn main() {
         remove_after_us: 5_000_000,
         seeds: vec![NodeId(0)],
         extra_fanout: 1,
+        idle_backoff_max: 1,
     };
     let mut builder = ThreadedClusterBuilder::new(ThreadedConfig::default());
     for i in 0..5u32 {

@@ -42,6 +42,14 @@ echo "==> real-transport runtime (threaded integration + wire smoke)"
 cargo test --test threaded_cluster -q
 cargo run --release -p mystore-bench --bin bench_net -- --smoke
 
+echo "==> scenario-matrix smoke (idle-clock fast-forward + chaos invariants)"
+# The PR-7 matrix runner: a 25-node, 1-virtual-hour kill cell must finish
+# with 0 client errors and no acked-write loss (full sweep: --bin matrix).
+rm -f results/BENCH_PR7_SMOKE.json
+cargo run --release -p mystore-bench --bin matrix -- --smoke
+test -s results/BENCH_PR7_SMOKE.json || { echo "matrix smoke wrote no JSON"; exit 1; }
+rm -f results/BENCH_PR7_SMOKE.json
+
 echo "==> write-throughput bench smoke (group commit)"
 rm -f results/BENCH_PR3_SMOKE.json
 cargo run --release -p mystore-bench --bin bench_pr3 -- --smoke

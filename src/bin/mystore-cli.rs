@@ -40,6 +40,7 @@ fn main() {
         remove_after_us: 10_000_000,
         seeds: vec![NodeId(0)],
         extra_fanout: 1,
+        idle_backoff_max: 1,
     };
     let data_dir = std::env::var("MYSTORE_DATA_DIR").ok().map(std::path::PathBuf::from);
     let mut builder = ThreadedClusterBuilder::new(ThreadedConfig::default());

@@ -23,6 +23,7 @@ fn gossip_cfg(nodes: u32) -> GossipConfig {
         remove_after_us: 5_000_000,
         seeds: vec![NodeId(0)],
         extra_fanout: nodes.min(2) as usize,
+        idle_backoff_max: 1,
     }
 }
 
