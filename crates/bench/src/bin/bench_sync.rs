@@ -1,0 +1,179 @@
+//! PR 8 anti-entropy benchmark: legacy flat digests vs the Merkle tree
+//! exchange (DESIGN.md §14) on an identical divergence-repair task.
+//!
+//! Both modes get the same 5-node cluster with the same corpus fully
+//! replicated, a handful of keys freshened on one replica only, and run
+//! until every replica agrees. The quantity compared is
+//! `sync.digest_entries` — per-key digest entries shipped to converge.
+//! Flat digests pay O(corpus) per rotation sweep regardless of how little
+//! diverged; the tree walk pays O(divergent leaves).
+//!
+//! `--smoke` runs a CI-sized corpus (20k keys, ratio bar 8×) and writes
+//! `results/BENCH_PR8_SMOKE.json`; the full run (100k keys, ratio bar
+//! 50×) writes `results/BENCH_PR8.json`.
+
+use mystore_bench::Figure;
+use mystore_bson::ObjectId;
+use mystore_core::prelude::*;
+use mystore_core::StorageNode as Node;
+use mystore_engine::{pack_version, Record};
+use mystore_net::{FaultPlan, NetConfig, NodeConfig, NodeId, Sim, SimConfig};
+
+const SEC: u64 = 1_000_000;
+
+struct ModeResult {
+    rounds: u64,
+    digest_entries: u64,
+    tree_levels: u64,
+    root_match: u64,
+    bytes_saved: u64,
+    converged_s: f64,
+    wall_s: f64,
+}
+
+/// Runs one mode to convergence and returns its `sync.*` counters.
+fn run_mode(merkle: bool, corpus: usize, divergent: usize, seed: u64) -> ModeResult {
+    let wall = std::time::Instant::now();
+    let spec = ClusterSpec::small(5);
+    let registry = mystore_obs::Registry::new();
+    let mut sim =
+        Sim::new(SimConfig { net: NetConfig::gigabit_lan(), faults: FaultPlan::none(), seed });
+    for i in 0..spec.storage_nodes as u32 {
+        let mut cfg = spec.storage_config();
+        cfg.anti_entropy_interval_us = 2 * SEC;
+        // A large batch keeps the legacy sweep short; entry counts are
+        // unaffected (every key is digested exactly once per sweep).
+        cfg.anti_entropy_batch = 1024;
+        cfg.anti_entropy_merkle = merkle;
+        cfg.metrics = registry.clone();
+        sim.add_node(Node::new(NodeId(i), cfg), NodeConfig { concurrency: 4 });
+    }
+    sim.start();
+    sim.run_for(spec.warmup_us());
+
+    // Identical corpus on all replicas; every corpus/divergent-th key gets
+    // a fresher version on its first preference only.
+    let ring = sim.process::<Node>(NodeId(0)).unwrap().ring().clone();
+    let stride = (corpus / divergent).max(1);
+    let mut fresh_keys = Vec::new();
+    for i in 0..corpus {
+        let key = format!("bench-{i:06}");
+        let rec = Record::new(
+            ObjectId::from_parts(1, 20, i as u32),
+            key.clone(),
+            b"v".to_vec(),
+            pack_version(1_000, 0),
+        );
+        let prefs = ring.preference_list(key.as_bytes(), 3);
+        for &n in &prefs {
+            sim.process_mut::<Node>(n).unwrap().preload_record(&rec);
+        }
+        if i % stride == 0 && fresh_keys.len() < divergent {
+            let fresh = Record::new(
+                ObjectId::from_parts(1, 21, i as u32),
+                key.clone(),
+                b"v2".to_vec(),
+                pack_version(2_000, 0),
+            );
+            sim.process_mut::<Node>(prefs[0]).unwrap().preload_record(&fresh);
+            fresh_keys.push(key);
+        }
+    }
+    assert_eq!(fresh_keys.len(), divergent);
+
+    let diverged = |sim: &Sim<Msg>| {
+        fresh_keys
+            .iter()
+            .filter(|key| {
+                ring.preference_list(key.as_bytes(), 3).iter().any(|&n| {
+                    sim.process::<Node>(n)
+                        .unwrap()
+                        .db()
+                        .get_record("data", key)
+                        .ok()
+                        .flatten()
+                        .map(|r| r.version)
+                        != Some(pack_version(2_000, 0))
+                })
+            })
+            .count()
+    };
+
+    // Run in slices until every replica holds the fresh version. The cap
+    // comfortably covers a full legacy rotation sweep of the corpus.
+    let start_us = sim.now().0;
+    let cap_us = start_us + 1_200 * SEC;
+    while diverged(&sim) > 0 {
+        assert!(sim.now().0 < cap_us, "mode merkle={merkle} failed to converge in virtual cap");
+        sim.run_for(10 * SEC);
+    }
+    let converged_s = (sim.now().0 - start_us) as f64 / SEC as f64;
+
+    let ctr = |name: &str| registry.counter(name).get();
+    ModeResult {
+        rounds: ctr("sync.rounds"),
+        digest_entries: ctr("sync.digest_entries"),
+        tree_levels: ctr("sync.tree_levels"),
+        root_match: ctr("sync.root_match"),
+        bytes_saved: ctr("sync.bytes_saved"),
+        converged_s,
+        wall_s: wall.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (id, corpus, bar) =
+        if smoke { ("BENCH_PR8_SMOKE", 20_000, 8.0) } else { ("BENCH_PR8", 100_000, 50.0) };
+    let divergent = 16;
+
+    let mut fig = Figure::new(
+        id,
+        "Anti-entropy digest traffic to convergence: flat digests vs Merkle tree walk",
+        &[
+            "mode",
+            "keys",
+            "divergent",
+            "converged_s",
+            "sync.rounds",
+            "digest.entries",
+            "tree.levels",
+            "root.match",
+            "bytes.saved",
+            "wall_s",
+        ],
+    );
+    fig.note(format!(
+        "5 nodes, N=3 replication, {corpus} keys fully replicated, {divergent} freshened on one \
+         replica; both modes run to full convergence"
+    ));
+
+    let mut entries = Vec::new();
+    for merkle in [false, true] {
+        let mode = if merkle { "merkle" } else { "legacy" };
+        let r = run_mode(merkle, corpus, divergent, 8_001);
+        fig.row(vec![
+            mode.to_string(),
+            corpus.to_string(),
+            divergent.to_string(),
+            format!("{:.0}", r.converged_s),
+            r.rounds.to_string(),
+            r.digest_entries.to_string(),
+            r.tree_levels.to_string(),
+            r.root_match.to_string(),
+            r.bytes_saved.to_string(),
+            format!("{:.2}", r.wall_s),
+        ]);
+        entries.push(r.digest_entries);
+    }
+
+    let (legacy, merkle) = (entries[0], entries[1]);
+    let ratio = legacy as f64 / merkle.max(1) as f64;
+    fig.note(format!("digest-entry ratio legacy/merkle: {ratio:.1}x (bar: {bar}x)"));
+    assert!(
+        ratio >= bar,
+        "merkle sync must cut digest entries by >= {bar}x (got {ratio:.1}x: \
+         legacy {legacy} vs merkle {merkle})"
+    );
+    fig.finish().expect("write results JSON");
+}

@@ -142,6 +142,14 @@ fn main() {
         run_one(&mut fig, &spec);
     }
 
+    // Merkle anti-entropy under chaos (DESIGN.md §14): same invariants
+    // with the tree exchange replacing flat digests.
+    let mut merkle =
+        CellSpec::new(50, Nwr::PAPER, FaultProfile::Mixed, KeyDist::Zipf, 6 * HOUR, 19);
+    merkle.merkle_sync = true;
+    merkle.name.push_str("-merkle");
+    run_one(&mut fig, &merkle);
+
     // The headline acceptance cell: a week of virtual chaos on 100 nodes.
     let headline =
         CellSpec::new(100, Nwr::PAPER, FaultProfile::Mixed, KeyDist::Zipf, 7 * 24 * HOUR, 71);

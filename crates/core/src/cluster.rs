@@ -80,6 +80,9 @@ pub struct ClusterSpec {
     /// [`StorageConfig::anti_entropy_idle_backoff_max`]); `1` keeps the
     /// fixed cadence.
     pub anti_entropy_idle_backoff_max: u64,
+    /// Merkle-tree anti-entropy (see
+    /// [`StorageConfig::anti_entropy_merkle`]); default off.
+    pub anti_entropy_merkle: bool,
     /// Tombstone-reaper period (µs); `0` disables reaping (see
     /// [`StorageConfig::compaction_interval_us`]).
     pub compaction_interval_us: u64,
@@ -120,6 +123,7 @@ impl ClusterSpec {
             coalesce_window_us: 0,
             gossip_idle_backoff_max: 1,
             anti_entropy_idle_backoff_max: 1,
+            anti_entropy_merkle: false,
             compaction_interval_us: 60_000_000,
             anti_entropy_interval_us: 30_000_000,
         }
@@ -196,6 +200,8 @@ impl ClusterSpec {
             anti_entropy_interval_us: self.anti_entropy_interval_us,
             anti_entropy_batch: 256,
             anti_entropy_idle_backoff_max: self.anti_entropy_idle_backoff_max,
+            anti_entropy_merkle: self.anti_entropy_merkle,
+            merkle_leaf_splits: 16,
             metrics: Registry::new(),
         }
     }

@@ -190,6 +190,16 @@ pub struct StorageConfig {
     /// (fixed cadence), which is the default. Long-horizon simulations set
     /// this so a quiescent ring fast-forwards instead of grinding digests.
     pub anti_entropy_idle_backoff_max: u64,
+    /// Merkle-tree anti-entropy (DESIGN.md §14): rounds open with a tree
+    /// root over the key ranges shared with the chosen peer and walk only
+    /// mismatched subtrees down to per-key digests, instead of shipping a
+    /// flat `(key, version)` digest batch. Default off — the legacy flat
+    /// digest — so existing traces stay byte-identical.
+    pub anti_entropy_merkle: bool,
+    /// Leaves per ring arc for the Merkle tree: each arc's key range is
+    /// cut into this many equal sub-ranges. More splits localize
+    /// divergence to fewer keys per leaf at the cost of a deeper walk.
+    pub merkle_leaf_splits: u32,
     /// Metrics registry this node publishes into. Registries are cheap
     /// shared handles: give every node in a cluster a clone of the same
     /// registry and `/_stats` aggregates them all. The default is a private
@@ -221,6 +231,8 @@ impl Default for StorageConfig {
             anti_entropy_interval_us: 30_000_000,
             anti_entropy_batch: 256,
             anti_entropy_idle_backoff_max: 1,
+            anti_entropy_merkle: false,
+            merkle_leaf_splits: 16,
             metrics: Registry::new(),
         }
     }

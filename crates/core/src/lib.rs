@@ -58,6 +58,7 @@ pub mod config;
 pub mod frontend;
 pub mod message;
 pub mod storage_node;
+pub mod sync;
 pub mod testing;
 
 pub use auth::{sign, sign_request, AuthConfig, Signature, TokenStore};

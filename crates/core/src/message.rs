@@ -324,6 +324,40 @@ pub enum Msg {
         /// The newer records.
         records: Vec<Record>,
     },
+    /// Merkle anti-entropy opener (DESIGN.md §14): the sender's tree root
+    /// over the key ranges the two nodes jointly replicate. Matching roots
+    /// end the exchange in one round trip regardless of corpus size.
+    SyncTreeRequest {
+        /// Guard over the node pair, split count, and shared-arc list; a
+        /// mismatch means the peers' ring views disagree and the exchange
+        /// is abandoned until gossip reconverges.
+        ring_hash: u64,
+        /// Root hash of the sender's tree.
+        root: u64,
+    },
+    /// One level of the Merkle walk: the sender's hashes at the given heap
+    /// indices. The receiver compares each against its own tree, answers
+    /// mismatched internal nodes with their children, and divergent leaves
+    /// with a [`Msg::SyncLeafDigest`].
+    SyncTreeLevel {
+        /// Ring-view guard (see [`Msg::SyncTreeRequest`]).
+        ring_hash: u64,
+        /// `(heap index, subtree hash)` pairs.
+        nodes: Vec<(u32, u64)>,
+    },
+    /// Per-key fallback once the walk bottoms out: an exhaustive digest of
+    /// the divergent leaves only, tombstones included. Answered like a
+    /// [`Msg::SyncDigest`] (push newer, counter-digest stale, pull
+    /// missing), plus a push of keys the sender's leaves turned out to
+    /// lack entirely.
+    SyncLeafDigest {
+        /// Ring-view guard (see [`Msg::SyncTreeRequest`]).
+        ring_hash: u64,
+        /// Heap indices of the leaves `entries` exhaustively covers.
+        leaves: Vec<u32>,
+        /// `(self-key, LWW version)` pairs, tombstones included.
+        entries: Vec<(String, u64)>,
+    },
 
     // ---- gossip ----------------------------------------------------------
     /// Gossip protocol traffic (§5.2.3).
@@ -413,6 +447,11 @@ impl WireSized for Msg {
             Msg::SyncDigest { entries } => entries.iter().map(|(k, _)| k.len() + 8).sum::<usize>(),
             Msg::SyncRecords { records } => {
                 records.iter().map(|r| r.to_document().encoded_size()).sum()
+            }
+            Msg::SyncTreeRequest { .. } => 16,
+            Msg::SyncTreeLevel { nodes, .. } => 8 + nodes.len() * 12,
+            Msg::SyncLeafDigest { leaves, entries, .. } => {
+                8 + leaves.len() * 4 + entries.iter().map(|(k, _)| k.len() + 8).sum::<usize>()
             }
             Msg::Gossip(g) => g.wire_size(),
             Msg::RingReq { .. } => 8,

@@ -6,7 +6,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use mystore_bson::ObjectId;
-use mystore_engine::Record;
+use mystore_engine::{Collection, Db, Record};
 use mystore_gossip::{keys as gossip_keys, MembershipEvent};
 use mystore_net::{Context, NodeId};
 use mystore_ring::HashRing;
@@ -56,15 +56,23 @@ impl StorageNode {
             // slipped through, keeping the first entry beats crashing.
             let _ = ring.add_node(node, format!("node{}", node.0), vnodes);
         }
-        self.ring = ring;
+        let old_ring = std::mem::replace(&mut self.ring, ring);
         self.ring_sig = sig;
-        self.rebalance_sweep(ctx);
+        // Arc boundaries moved: every cached Merkle leaf hash is stale.
+        self.sync_tree.on_ring_change();
+        self.rebalance_sweep(ctx, &old_ring);
     }
 
     /// §5.2.4: after membership change, move records whose preference list
     /// no longer includes us, and supplement replicas on the nodes that
     /// should now hold them. LWW application makes re-sends idempotent.
-    fn rebalance_sweep(&mut self, ctx: &mut Context<'_, Msg>) {
+    ///
+    /// Fan-out is bounded by the old-vs-new ring diff: a peer only receives
+    /// a copy when it *newly entered* the record's preference list (it
+    /// either already holds the record or is owed it by an earlier sweep
+    /// otherwise) — except when we are dropping our own copy, where every
+    /// remaining replica gets one because we may be its last holder.
+    fn rebalance_sweep(&mut self, ctx: &mut Context<'_, Msg>, old_ring: &HashRing<NodeId>) {
         let me = self.id();
         let n = self.cfg.nwr.n;
         let Ok(coll) = self.db.collection(&self.cfg.collection) else { return };
@@ -79,7 +87,11 @@ impl StorageNode {
                 continue;
             }
             let keep = prefs.contains(&me);
+            let old_prefs = old_ring.preference_list(record.self_key.as_bytes(), n);
             for &target in prefs.iter().filter(|&&p| p != me) {
+                if keep && old_prefs.contains(&target) {
+                    continue;
+                }
                 outgoing.entry(target).or_default().push(Arc::clone(&record));
             }
             if !keep {
@@ -93,6 +105,7 @@ impl StorageNode {
         // Batch transfers to bound message counts.
         const BATCH: usize = 64;
         for (target, records) in outgoing {
+            self.stats.rebalance_records_sent += records.len() as u64;
             for chunk in records.chunks(BATCH) {
                 ctx.send(target, Msg::TransferRecords { records: chunk.to_vec() });
             }
@@ -178,42 +191,25 @@ impl StorageNode {
     /// group, and send it our `(key, version)` digest. The peer answers with
     /// any strictly newer copies (§7 future work: "solving problems on
     /// data's consistency" — this bounds divergence even for keys that are
-    /// never read).
+    /// never read). With [`crate::config::StorageConfig::anti_entropy_merkle`]
+    /// on, the flat digest is replaced by the tree exchange in
+    /// `storage_node/sync.rs`.
     pub(crate) fn anti_entropy_round(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.cfg.anti_entropy_merkle {
+            self.merkle_round(ctx);
+            return;
+        }
         let me = self.id();
         let n = self.cfg.nwr.n;
-        let Ok(coll) = self.db.collection(&self.cfg.collection) else { return };
-        // Next batch after the cursor, wrapping at the end.
-        let mut batch: Vec<Record> = Vec::with_capacity(self.cfg.anti_entropy_batch);
-        let mut wrapped = false;
-        let start = self.sync_cursor.clone();
-        for (_, docu) in coll.iter() {
-            let Ok(rec) = Record::from_document(docu) else { continue };
-            if let Some(cursor) = &start {
-                if !wrapped && rec.self_key <= *cursor {
-                    continue;
-                }
-            }
-            batch.push(rec);
-            if batch.len() >= self.cfg.anti_entropy_batch {
-                break;
-            }
-        }
-        if batch.is_empty() && start.is_some() {
-            // Wrapped: restart from the beginning of the key space.
-            self.sync_cursor = None;
-            wrapped = true;
-            for (_, docu) in coll.iter() {
-                let Ok(rec) = Record::from_document(docu) else { continue };
-                batch.push(rec);
-                if batch.len() >= self.cfg.anti_entropy_batch {
-                    break;
-                }
-            }
-        }
-        let _ = wrapped;
+        let batch = Self::next_key_batch(
+            &self.db,
+            &self.cfg.collection,
+            self.sync_cursor.as_deref(),
+            self.cfg.anti_entropy_batch,
+        );
         let Some(last) = batch.last() else { return };
         self.sync_cursor = Some(last.self_key.clone());
+        self.sync_metrics.rounds.inc();
         // Group digests by one alive peer from each record's preference
         // list, rotating the choice every round so each replica pair
         // eventually exchanges.
@@ -230,8 +226,55 @@ impl StorageNode {
             }
         }
         for (peer, entries) in per_peer {
+            self.sync_metrics.digest_entries.add(entries.len() as u64);
             ctx.send(peer, Msg::SyncDigest { entries });
         }
+    }
+
+    /// The `limit` records with the smallest self-keys strictly after
+    /// `cursor`, wrapping to the smallest keys of all once the cursor
+    /// passes the end. Selecting in *key order* is what makes the rotation
+    /// sound: the pre-fix scan compared the key cursor against an
+    /// id-ordered iteration, so any key sorting before the cursor but
+    /// after it in id order was skipped (and high keys re-digested) every
+    /// round.
+    pub(crate) fn next_key_batch(
+        db: &Db,
+        coll: &str,
+        cursor: Option<&str>,
+        limit: usize,
+    ) -> Vec<Record> {
+        let Ok(c) = db.collection(coll) else { return Vec::new() };
+        if limit == 0 {
+            return Vec::new();
+        }
+        let mut keys = Self::smallest_keys_after(c, cursor, limit);
+        if keys.is_empty() && cursor.is_some() {
+            // Wrapped: restart from the beginning of the key space.
+            keys = Self::smallest_keys_after(c, None, limit);
+        }
+        keys.into_iter().filter_map(|k| db.get_record(coll, &k).ok().flatten()).collect()
+    }
+
+    /// The `limit` smallest self-keys strictly greater than `cursor`, via
+    /// one capped-selection pass over the (id-ordered) collection.
+    fn smallest_keys_after(c: &Collection, cursor: Option<&str>, limit: usize) -> BTreeSet<String> {
+        let mut sel: BTreeSet<String> = BTreeSet::new();
+        for (_, doc) in c.iter() {
+            let Some(key) = doc.get_str("self-key") else { continue };
+            if cursor.is_some_and(|cur| key <= cur) {
+                continue;
+            }
+            if sel.len() >= limit {
+                // Full: only a key below the current maximum can displace.
+                if sel.iter().next_back().is_some_and(|top| key >= top.as_str()) {
+                    continue;
+                }
+                sel.pop_last();
+            }
+            sel.insert(key.to_string());
+        }
+        sel
     }
 
     /// Peer side of a sync round: reply with every record we hold strictly
@@ -259,13 +302,26 @@ impl StorageNode {
                     behind.push((key, mine.version))
                 }
                 Ok(Some(_)) => {} // equal
-                _ => behind.push((key, 0)),
+                _ => {
+                    // A key we hold no copy of — not even a tombstone. If
+                    // its version predates our reap floor, the key was
+                    // deleted here and the tombstone physically reclaimed;
+                    // pulling the peer's stale live copy would resurrect
+                    // the delete. Strictly newer versions are genuinely
+                    // missing data and are pulled as before.
+                    if their_version > self.reap_floor {
+                        behind.push((key, 0));
+                    } else {
+                        self.sync_metrics.resurrections_blocked.inc();
+                    }
+                }
             }
         }
         if !newer.is_empty() {
             ctx.send(from, Msg::SyncRecords { records: newer });
         }
         if !behind.is_empty() {
+            self.sync_metrics.digest_entries.add(behind.len() as u64);
             ctx.send(from, Msg::SyncDigest { entries: behind });
         }
     }
@@ -363,5 +419,59 @@ impl StorageNode {
         // timeouts to match); any membership churn snaps back to the base
         // interval on the next tick.
         ctx.set_timer(self.gossiper.current_interval_us(), tk(TK_GOSSIP, 0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mystore_engine::pack_version;
+
+    /// Ids deliberately sort in REVERSE key order: the pre-fix rotation
+    /// compared the key cursor against an id-ordered scan, which re-visited
+    /// high keys every round and starved low ones whenever the two orders
+    /// disagreed. Key-ordered selection must digest each key exactly once
+    /// per sweep, in key order, then wrap.
+    #[test]
+    fn key_rotation_digests_every_key_exactly_once_per_sweep() {
+        let mut db = Db::memory();
+        db.create_index("data", "self-key").unwrap();
+        let total = 10u32;
+        for i in 0..total {
+            let rec = Record::new(
+                ObjectId::from_parts(1, 1, total - i),
+                format!("key-{i:02}"),
+                vec![0],
+                pack_version(1, 0),
+            );
+            db.put_record("data", &rec).unwrap();
+        }
+        let mut cursor: Option<String> = None;
+        let mut seen: Vec<String> = Vec::new();
+        for _ in 0..5 {
+            let batch = StorageNode::next_key_batch(&db, "data", cursor.as_deref(), 3);
+            assert!(!batch.is_empty());
+            cursor = batch.last().map(|r| r.self_key.clone());
+            seen.extend(batch.into_iter().map(|r| r.self_key));
+        }
+        // Batches of 3 over 10 keys: one full sweep (the last batch runs
+        // short at the end of the key space), then the wrap starts the next
+        // sweep from the smallest key again.
+        let expect: Vec<String> = (0..total).chain(0..3).map(|i| format!("key-{i:02}")).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn next_key_batch_handles_empty_and_zero_limit() {
+        let mut db = Db::memory();
+        assert!(StorageNode::next_key_batch(&db, "data", None, 8).is_empty());
+        db.create_index("data", "self-key").unwrap();
+        let rec = Record::new(ObjectId::from_parts(1, 1, 1), "k", vec![0], pack_version(1, 0));
+        db.put_record("data", &rec).unwrap();
+        assert!(StorageNode::next_key_batch(&db, "data", None, 0).is_empty());
+        // A cursor at the very end wraps to the start.
+        let wrapped = StorageNode::next_key_batch(&db, "data", Some("zzz"), 4);
+        assert_eq!(wrapped.len(), 1);
+        assert_eq!(wrapped.first().map(|r| r.self_key.as_str()), Some("k"));
     }
 }

@@ -32,13 +32,14 @@
 pub(crate) mod coordinator;
 pub(crate) mod maintenance;
 pub(crate) mod replica;
+pub(crate) mod stats;
+pub(crate) mod sync;
 
 use std::collections::BTreeMap;
 
 use mystore_engine::{Db, GroupCommitConfig, WalMetrics};
 use mystore_gossip::{GossipMetrics, Gossiper};
 use mystore_net::{Context, NodeId, OpFault, Process, TimerToken};
-use mystore_obs::{Counter, Gauge, Histogram, Registry};
 use mystore_ring::HashRing;
 
 use crate::config::StorageConfig;
@@ -46,6 +47,7 @@ use crate::message::{BatchPut, Msg};
 
 use self::coordinator::quorum;
 use self::maintenance::HintInFlight;
+pub use self::stats::{NodeStats, StorageMetrics};
 
 // Timer-token layout: low 4 bits select the kind, the rest carry a request id.
 pub(crate) const TK_KIND_MASK: u64 = 0b1111;
@@ -70,143 +72,6 @@ pub(crate) fn tk_split(token: TimerToken) -> (u64, u64) {
 
 /// Collection holding hinted-handoff records.
 pub(crate) const HINTS: &str = "hints";
-
-/// Operation counters, exposed for tests and experiment harnesses.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct NodeStats {
-    /// Writes this node coordinated successfully.
-    pub puts_ok: u64,
-    /// Writes this node coordinated that failed quorum.
-    pub puts_failed: u64,
-    /// Reads this node coordinated successfully.
-    pub gets_ok: u64,
-    /// Reads this node coordinated that failed quorum.
-    pub gets_failed: u64,
-    /// Conditional writes this node coordinated to success.
-    pub cas_ok: u64,
-    /// Conditional writes rejected on a version-predicate mismatch.
-    pub cas_conflicts: u64,
-    /// Conditional writes that failed a quorum deadline (either phase).
-    pub cas_failed: u64,
-    /// Hints this node issued as a coordinator (short-failure diversions).
-    pub handoffs_sent: u64,
-    /// Hints this node held and later wrote back to the intended replica.
-    pub hints_replayed: u64,
-    /// Records shipped away during rebalance.
-    pub records_migrated_out: u64,
-    /// Read repairs / replica supplements pushed.
-    pub read_repairs: u64,
-    /// Records pushed back to this node by anti-entropy exchanges.
-    pub anti_entropy_received: u64,
-    /// Replica-level store operations applied locally.
-    pub replica_puts: u64,
-    /// Replica-level fetches served locally.
-    pub replica_gets: u64,
-}
-
-/// Observability handles for the coordinator and hinted-handoff hot paths.
-/// Resolved once per node from [`StorageConfig::metrics`]; all nodes sharing
-/// a registry aggregate into the same cluster-wide series.
-#[derive(Debug, Clone, Default)]
-pub struct StorageMetrics {
-    /// Quorum writes this node began coordinating.
-    pub quorum_write_started: Counter,
-    /// Quorum writes acknowledged to the caller (reached `W`).
-    pub quorum_write_ok: Counter,
-    /// Quorum writes that failed the hard deadline.
-    pub quorum_write_failed: Counter,
-    /// Coordinator-side write latency, arrival → `W`-ack reply (µs).
-    pub quorum_write_latency_us: Histogram,
-    /// Quorum reads this node began coordinating.
-    pub quorum_read_started: Counter,
-    /// Quorum reads answered to the caller (reached `R`).
-    pub quorum_read_ok: Counter,
-    /// Quorum reads that failed the hard deadline.
-    pub quorum_read_failed: Counter,
-    /// Coordinator-side read latency, arrival → `R`-reply (µs).
-    pub quorum_read_latency_us: Histogram,
-    /// Conditional writes this node began coordinating.
-    pub cas_started: Counter,
-    /// Conditional writes acknowledged to the caller (predicate held,
-    /// write reached `W`).
-    pub cas_ok: Counter,
-    /// Conditional writes rejected because the version predicate failed.
-    pub cas_conflicts: Counter,
-    /// Conditional writes that failed a quorum deadline (either phase).
-    pub cas_failed: Counter,
-    /// Conditional-write latency, arrival → reply, conflicts included (µs).
-    pub cas_latency_us: Histogram,
-    /// Winner records pushed to stale or missing replicas after a read.
-    pub read_repair_pushes: Counter,
-    /// Hints accepted for safekeeping (either for a peer or self-held).
-    pub hints_stored: Counter,
-    /// Hints written back to their intended replica and discharged.
-    pub hints_replayed: Counter,
-    /// Writes diverted to a fallback node on replica soft-timeout.
-    pub handoffs: Counter,
-    /// Hints currently parked in this node's `hints` collection.
-    pub hint_queue_depth: Gauge,
-    /// `StoreReplica` re-sends to write stragglers.
-    pub put_retries: Counter,
-    /// `FetchReplica` re-sends to read stragglers.
-    pub get_retries: Counter,
-    /// Requests whose straggler retries all went unanswered (writes then
-    /// divert to hinted handoff).
-    pub retries_exhausted: Counter,
-    /// Backoff delays armed between retry rounds (µs).
-    pub retry_backoff_us: Histogram,
-    /// Hint replays swept because no ack arrived within the request
-    /// deadline (the hint stays parked and is offered again).
-    pub hint_replay_expired: Counter,
-    /// Storage-node process restarts (WAL replays).
-    pub restarts: Counter,
-    /// Batched replica messages sent by the coalescing coordinator.
-    pub batch_msgs: Counter,
-    /// Replica ops carried inside those batched messages.
-    pub batch_ops: Counter,
-    /// Replica acks held back until the covering WAL sync completed.
-    pub acks_deferred: Counter,
-    /// Restarts whose WAL replay failed; the node came back empty and
-    /// relies on read repair / anti-entropy to re-fill.
-    pub recover_failures: Counter,
-}
-
-impl StorageMetrics {
-    /// Resolves the standard `quorum.*` / `cas.*` / `read_repair.*` /
-    /// `hint.*` names.
-    pub fn from_registry(registry: &Registry) -> Self {
-        StorageMetrics {
-            quorum_write_started: registry.counter("quorum.write.started"),
-            quorum_write_ok: registry.counter("quorum.write.ok"),
-            quorum_write_failed: registry.counter("quorum.write.failed"),
-            quorum_write_latency_us: registry.histogram("quorum.write.latency_us"),
-            quorum_read_started: registry.counter("quorum.read.started"),
-            quorum_read_ok: registry.counter("quorum.read.ok"),
-            quorum_read_failed: registry.counter("quorum.read.failed"),
-            quorum_read_latency_us: registry.histogram("quorum.read.latency_us"),
-            cas_started: registry.counter("cas.started"),
-            cas_ok: registry.counter("cas.ok"),
-            cas_conflicts: registry.counter("cas.conflicts"),
-            cas_failed: registry.counter("cas.failed"),
-            cas_latency_us: registry.histogram("cas.latency_us"),
-            read_repair_pushes: registry.counter("read_repair.pushes"),
-            hints_stored: registry.counter("hint.stored"),
-            hints_replayed: registry.counter("hint.replayed"),
-            handoffs: registry.counter("hint.handoffs"),
-            hint_queue_depth: registry.gauge("hint.queue_depth"),
-            put_retries: registry.counter("retry.put.resends"),
-            get_retries: registry.counter("retry.get.resends"),
-            retries_exhausted: registry.counter("retry.exhausted"),
-            retry_backoff_us: registry.histogram("retry.backoff_us"),
-            hint_replay_expired: registry.counter("hint.replay_expired"),
-            restarts: registry.counter("node.restarts"),
-            batch_msgs: registry.counter("batch.replica_msgs"),
-            batch_ops: registry.counter("batch.replica_ops"),
-            acks_deferred: registry.counter("coord.acks_deferred"),
-            recover_failures: registry.counter("node.recover_failures"),
-        }
-    }
-}
 
 /// The storage-node process.
 pub struct StorageNode {
@@ -234,6 +99,18 @@ pub struct StorageNode {
     pub(crate) ae_last_seq: u64,
     /// Consecutive anti-entropy rounds with no local writes.
     pub(crate) ae_quiet_rounds: u32,
+    /// Merkle sync state: per-range leaf hashes over the local keyspace,
+    /// kept current from the engine's dirty-key feed (only used when
+    /// `anti_entropy_merkle` is on).
+    pub(crate) sync_tree: crate::sync::SyncTree,
+    /// Highest tombstone-reap cutoff applied locally. Sync digests below
+    /// this floor must not resurrect keys we reaped: a missing key whose
+    /// remote version is older than the floor was deleted here, not lost.
+    /// Volatile by design — reset on restart, when anti-entropy legitimately
+    /// refills the store (see DESIGN.md §14).
+    pub(crate) reap_floor: u64,
+    /// Anti-entropy observability (shared registry, `sync.*` series).
+    pub(crate) sync_metrics: crate::sync::SyncMetrics,
     /// Whether a `TK_WAL_FLUSH` timer is armed. The flush timer is
     /// demand-driven: armed when a write stages a group-commit frame, left
     /// unarmed while the WAL has nothing pending — so an idle node
@@ -288,9 +165,16 @@ impl StorageNode {
                 max_delay_us: cfg.group_commit_max_delay_us,
             }));
         }
+        if cfg.anti_entropy_merkle {
+            // The sync tree mirrors the data collection incrementally; the
+            // engine reports every mutated self-key so leaves dirty in O(1).
+            db.track_dirty_keys(&cfg.collection);
+        }
         let mut gossiper = Gossiper::new(me, 1, cfg.gossip.clone());
         gossiper.set_metrics(GossipMetrics::from_registry(&cfg.metrics));
         let metrics = StorageMetrics::from_registry(&cfg.metrics);
+        let sync_tree = crate::sync::SyncTree::new(cfg.merkle_leaf_splits);
+        let sync_metrics = crate::sync::SyncMetrics::from_registry(&cfg.metrics);
         StorageNode {
             cfg,
             db,
@@ -306,6 +190,9 @@ impl StorageNode {
             sync_round: 0,
             ae_last_seq: 0,
             ae_quiet_rounds: 0,
+            sync_tree,
+            reap_floor: 0,
+            sync_metrics,
             wal_flush_armed: false,
             outbox: BTreeMap::new(),
             outbox_armed: false,
@@ -370,6 +257,12 @@ impl StorageNode {
         self.quorum.ops.len()
     }
 
+    /// Highest tombstone-reap cutoff applied since the last restart
+    /// (tests: resurrection protection must engage after a reap).
+    pub fn reap_floor(&self) -> u64 {
+        self.reap_floor
+    }
+
     pub(crate) fn fresh_req(&mut self) -> u64 {
         let r = self.next_req;
         self.next_req += 1;
@@ -424,6 +317,15 @@ impl Process<Msg> for StorageNode {
                 fresh
             }
         };
+        if self.cfg.anti_entropy_merkle {
+            self.db.track_dirty_keys(&self.cfg.collection);
+        }
+        // The tree mirrors pre-crash state; rebuild lazily from the
+        // recovered store on the next merkle round. The reap floor is
+        // volatile on purpose: an empty recovered store must accept
+        // anti-entropy refills.
+        self.sync_tree.reset();
+        self.reap_floor = 0;
         // A restart is a new boot generation (paper's bootGeneration field):
         // peers see the bump and reset our state, clearing any long-failure
         // declaration. Build on the gossiper's generation too — it may have
@@ -486,6 +388,22 @@ impl Process<Msg> for StorageNode {
             Msg::SyncDigest { entries } => self.on_sync_digest(ctx, from, entries),
             Msg::SyncRecords { records } => {
                 for record in records {
+                    // Resurrection guard (push path): a record the sender
+                    // believes we are missing, but whose version predates a
+                    // tombstone reap we performed, is the ghost of a key we
+                    // deleted — not data we lost.
+                    if self.reap_floor > 0
+                        && record.version <= self.reap_floor
+                        && self
+                            .db
+                            .get_record(&self.cfg.collection, &record.self_key)
+                            .ok()
+                            .flatten()
+                            .is_none()
+                    {
+                        self.sync_metrics.resurrections_blocked.inc();
+                        continue;
+                    }
                     ctx.consume(self.cfg.cost.put_us(record.val.len()));
                     if self.db.put_record(&self.cfg.collection, &record).unwrap_or(false) {
                         self.stats.anti_entropy_received += 1;
@@ -493,6 +411,15 @@ impl Process<Msg> for StorageNode {
                     }
                 }
                 self.ensure_wal_flush_armed(ctx);
+            }
+            Msg::SyncTreeRequest { ring_hash, root } => {
+                self.on_sync_tree_request(ctx, from, ring_hash, root)
+            }
+            Msg::SyncTreeLevel { ring_hash, nodes } => {
+                self.on_sync_tree_level(ctx, from, ring_hash, nodes)
+            }
+            Msg::SyncLeafDigest { ring_hash, leaves, entries } => {
+                self.on_sync_leaf_digest(ctx, from, ring_hash, leaves, entries)
             }
             Msg::TransferRecords { records } => {
                 for record in records {
@@ -539,6 +466,10 @@ impl Process<Msg> for StorageNode {
                 if let Ok(reaped) = self.db.reap_tombstones(&self.cfg.collection, cutoff) {
                     if reaped > 0 {
                         ctx.record("tombstones_reaped", reaped as f64);
+                        // Only advance the floor when something was actually
+                        // reaped: a fresh (or refilled-from-empty) node keeps
+                        // floor 0 so anti-entropy can seed it.
+                        self.reap_floor = self.reap_floor.max(cutoff);
                     }
                 }
                 ctx.set_timer(self.cfg.compaction_interval_us, tk(TK_REAP, 0));

@@ -1,0 +1,146 @@
+//! Node-level observability: the [`NodeStats`] operation counters
+//! (plain fields, snapshot via [`super::StorageNode::stats`]) and the
+//! registry-backed [`StorageMetrics`] series resolved once per node from
+//! [`crate::config::StorageConfig::metrics`].
+
+use mystore_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Operation counters, exposed for tests and experiment harnesses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Writes this node coordinated successfully.
+    pub puts_ok: u64,
+    /// Writes this node coordinated that failed quorum.
+    pub puts_failed: u64,
+    /// Reads this node coordinated successfully.
+    pub gets_ok: u64,
+    /// Reads this node coordinated that failed quorum.
+    pub gets_failed: u64,
+    /// Conditional writes this node coordinated to success.
+    pub cas_ok: u64,
+    /// Conditional writes rejected on a version-predicate mismatch.
+    pub cas_conflicts: u64,
+    /// Conditional writes that failed a quorum deadline (either phase).
+    pub cas_failed: u64,
+    /// Hints this node issued as a coordinator (short-failure diversions).
+    pub handoffs_sent: u64,
+    /// Hints this node held and later wrote back to the intended replica.
+    pub hints_replayed: u64,
+    /// Records shipped away during rebalance.
+    pub records_migrated_out: u64,
+    /// Records sent to peers by rebalance sweeps (per-destination count;
+    /// one record shipped to two peers counts twice).
+    pub rebalance_records_sent: u64,
+    /// Read repairs / replica supplements pushed.
+    pub read_repairs: u64,
+    /// Records pushed back to this node by anti-entropy exchanges.
+    pub anti_entropy_received: u64,
+    /// Replica-level store operations applied locally.
+    pub replica_puts: u64,
+    /// Replica-level fetches served locally.
+    pub replica_gets: u64,
+}
+
+/// Observability handles for the coordinator and hinted-handoff hot paths.
+/// Resolved once per node from [`StorageConfig::metrics`]; all nodes sharing
+/// a registry aggregate into the same cluster-wide series.
+#[derive(Debug, Clone, Default)]
+pub struct StorageMetrics {
+    /// Quorum writes this node began coordinating.
+    pub quorum_write_started: Counter,
+    /// Quorum writes acknowledged to the caller (reached `W`).
+    pub quorum_write_ok: Counter,
+    /// Quorum writes that failed the hard deadline.
+    pub quorum_write_failed: Counter,
+    /// Coordinator-side write latency, arrival → `W`-ack reply (µs).
+    pub quorum_write_latency_us: Histogram,
+    /// Quorum reads this node began coordinating.
+    pub quorum_read_started: Counter,
+    /// Quorum reads answered to the caller (reached `R`).
+    pub quorum_read_ok: Counter,
+    /// Quorum reads that failed the hard deadline.
+    pub quorum_read_failed: Counter,
+    /// Coordinator-side read latency, arrival → `R`-reply (µs).
+    pub quorum_read_latency_us: Histogram,
+    /// Conditional writes this node began coordinating.
+    pub cas_started: Counter,
+    /// Conditional writes acknowledged to the caller (predicate held,
+    /// write reached `W`).
+    pub cas_ok: Counter,
+    /// Conditional writes rejected because the version predicate failed.
+    pub cas_conflicts: Counter,
+    /// Conditional writes that failed a quorum deadline (either phase).
+    pub cas_failed: Counter,
+    /// Conditional-write latency, arrival → reply, conflicts included (µs).
+    pub cas_latency_us: Histogram,
+    /// Winner records pushed to stale or missing replicas after a read.
+    pub read_repair_pushes: Counter,
+    /// Hints accepted for safekeeping (either for a peer or self-held).
+    pub hints_stored: Counter,
+    /// Hints written back to their intended replica and discharged.
+    pub hints_replayed: Counter,
+    /// Writes diverted to a fallback node on replica soft-timeout.
+    pub handoffs: Counter,
+    /// Hints currently parked in this node's `hints` collection.
+    pub hint_queue_depth: Gauge,
+    /// `StoreReplica` re-sends to write stragglers.
+    pub put_retries: Counter,
+    /// `FetchReplica` re-sends to read stragglers.
+    pub get_retries: Counter,
+    /// Requests whose straggler retries all went unanswered (writes then
+    /// divert to hinted handoff).
+    pub retries_exhausted: Counter,
+    /// Backoff delays armed between retry rounds (µs).
+    pub retry_backoff_us: Histogram,
+    /// Hint replays swept because no ack arrived within the request
+    /// deadline (the hint stays parked and is offered again).
+    pub hint_replay_expired: Counter,
+    /// Storage-node process restarts (WAL replays).
+    pub restarts: Counter,
+    /// Batched replica messages sent by the coalescing coordinator.
+    pub batch_msgs: Counter,
+    /// Replica ops carried inside those batched messages.
+    pub batch_ops: Counter,
+    /// Replica acks held back until the covering WAL sync completed.
+    pub acks_deferred: Counter,
+    /// Restarts whose WAL replay failed; the node came back empty and
+    /// relies on read repair / anti-entropy to re-fill.
+    pub recover_failures: Counter,
+}
+
+impl StorageMetrics {
+    /// Resolves the standard `quorum.*` / `cas.*` / `read_repair.*` /
+    /// `hint.*` names.
+    pub fn from_registry(registry: &Registry) -> Self {
+        StorageMetrics {
+            quorum_write_started: registry.counter("quorum.write.started"),
+            quorum_write_ok: registry.counter("quorum.write.ok"),
+            quorum_write_failed: registry.counter("quorum.write.failed"),
+            quorum_write_latency_us: registry.histogram("quorum.write.latency_us"),
+            quorum_read_started: registry.counter("quorum.read.started"),
+            quorum_read_ok: registry.counter("quorum.read.ok"),
+            quorum_read_failed: registry.counter("quorum.read.failed"),
+            quorum_read_latency_us: registry.histogram("quorum.read.latency_us"),
+            cas_started: registry.counter("cas.started"),
+            cas_ok: registry.counter("cas.ok"),
+            cas_conflicts: registry.counter("cas.conflicts"),
+            cas_failed: registry.counter("cas.failed"),
+            cas_latency_us: registry.histogram("cas.latency_us"),
+            read_repair_pushes: registry.counter("read_repair.pushes"),
+            hints_stored: registry.counter("hint.stored"),
+            hints_replayed: registry.counter("hint.replayed"),
+            handoffs: registry.counter("hint.handoffs"),
+            hint_queue_depth: registry.gauge("hint.queue_depth"),
+            put_retries: registry.counter("retry.put.resends"),
+            get_retries: registry.counter("retry.get.resends"),
+            retries_exhausted: registry.counter("retry.exhausted"),
+            retry_backoff_us: registry.histogram("retry.backoff_us"),
+            hint_replay_expired: registry.counter("hint.replay_expired"),
+            restarts: registry.counter("node.restarts"),
+            batch_msgs: registry.counter("batch.replica_msgs"),
+            batch_ops: registry.counter("batch.replica_ops"),
+            acks_deferred: registry.counter("coord.acks_deferred"),
+            recover_failures: registry.counter("node.recover_failures"),
+        }
+    }
+}

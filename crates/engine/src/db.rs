@@ -1,12 +1,12 @@
 //! The database: named collections, write-ahead logging, crash recovery,
 //! compaction, and an oplog for replication.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 use mystore_bson::{Document, ObjectId, OidGen};
 
-use crate::collection::{Collection, Explain, FindOptions};
+use crate::collection::{Collection, FindOptions};
 use crate::error::{EngineError, Result};
 use crate::oplog::{OplogRing, WalOp};
 use crate::query::filter::Filter;
@@ -58,6 +58,13 @@ pub struct Db {
     /// Seconds stamp for deterministically generated ids, fed from the
     /// sim clock via [`Db::set_oid_secs`].
     oid_secs: u32,
+    /// When set, every mutation applied to this collection records the
+    /// affected record's `self-key` into `dirty_keys` (see
+    /// [`Db::track_dirty_keys`]). Merkle anti-entropy drains the set to
+    /// re-hash only the touched tree leaves.
+    dirty_coll: Option<String>,
+    /// Self-keys touched since the last [`Db::take_dirty_keys`].
+    dirty_keys: BTreeSet<String>,
 }
 
 impl Db {
@@ -71,6 +78,8 @@ impl Db {
             defer_sync: false,
             oid_gen: None,
             oid_secs: 0,
+            dirty_coll: None,
+            dirty_keys: BTreeSet::new(),
         }
     }
 
@@ -86,6 +95,8 @@ impl Db {
             defer_sync: false,
             oid_gen: None,
             oid_secs: 0,
+            dirty_coll: None,
+            dirty_keys: BTreeSet::new(),
         };
         db.replay_frames(frames)?;
         Ok(db)
@@ -116,6 +127,8 @@ impl Db {
             defer_sync: false,
             oid_gen,
             oid_secs: self.oid_secs,
+            dirty_coll: self.dirty_coll,
+            dirty_keys: BTreeSet::new(),
         };
         db.replay_frames(frames)?;
         Ok(db)
@@ -270,23 +283,67 @@ impl Db {
     }
 
     /// Applies an op to memory without logging (recovery path).
+    ///
+    /// This is the single funnel every mutation passes through (logged
+    /// writes, batch helpers, WAL replay), which is what makes it the one
+    /// correct place to capture dirty self-keys for [`Db::take_dirty_keys`].
     fn apply_in_memory(&mut self, op: &WalOp) -> Result<()> {
+        let tracked = self.dirty_coll.as_deref() == Some(op.collection());
         let coll = self.collections.entry(op.collection().to_string()).or_default();
+        let mut touched: Option<String> = None;
+        let mut touched_prev: Option<String> = None;
         match op {
             WalOp::Insert { doc, .. } => {
+                if tracked {
+                    touched = doc.get_str(F_SELF_KEY).map(str::to_string);
+                }
                 coll.insert(doc.clone())?;
             }
             WalOp::Update { id, doc, .. } => {
+                if tracked {
+                    // The after-image may carry a different self-key than
+                    // the document it replaces; both ranges went stale.
+                    touched = doc.get_str(F_SELF_KEY).map(str::to_string);
+                    touched_prev =
+                        coll.get(*id).and_then(|d| d.get_str(F_SELF_KEY)).map(str::to_string);
+                }
                 coll.put_after_image(*id, doc.clone());
             }
             WalOp::Remove { id, .. } => {
+                if tracked {
+                    // The key must be read before the document is gone.
+                    touched = coll.get(*id).and_then(|d| d.get_str(F_SELF_KEY)).map(str::to_string);
+                }
                 coll.remove(*id)?;
             }
             WalOp::CreateIndex { field, .. } => {
                 coll.create_index(field)?;
             }
         }
+        self.dirty_keys.extend(touched);
+        self.dirty_keys.extend(touched_prev);
         Ok(())
+    }
+
+    // ---- dirty-key tracking -------------------------------------------
+
+    /// Enables dirty self-key tracking for `coll`: from now on every
+    /// applied mutation in that collection records the affected record's
+    /// `self-key` until [`Db::take_dirty_keys`] drains the set. One
+    /// collection at a time; calling again retargets and clears the set.
+    pub fn track_dirty_keys(&mut self, coll: &str) {
+        self.dirty_coll = Some(coll.to_string());
+        self.dirty_keys.clear();
+    }
+
+    /// Drains and returns the self-keys touched since the last call.
+    pub fn take_dirty_keys(&mut self) -> BTreeSet<String> {
+        std::mem::take(&mut self.dirty_keys)
+    }
+
+    /// Touched keys currently pending (diagnostics and tests).
+    pub fn dirty_key_count(&self) -> usize {
+        self.dirty_keys.len()
     }
 }
 
@@ -402,59 +459,8 @@ impl Db {
         Ok(())
     }
 
-    // ---- reads ---------------------------------------------------------
-
-    /// Runs a query against `coll`.
-    pub fn find(&self, coll: &str, filter: &Filter, opts: &FindOptions) -> Result<Vec<Document>> {
-        Ok(self.collection(coll)?.find(filter, opts))
-    }
-
-    /// Like [`Db::find`] but also returns the execution report.
-    pub fn find_explain(
-        &self,
-        coll: &str,
-        filter: &Filter,
-        opts: &FindOptions,
-    ) -> Result<(Vec<Document>, Explain)> {
-        Ok(self.collection(coll)?.find_explain(filter, opts))
-    }
-
-    /// First match, if any.
-    pub fn find_one(&self, coll: &str, filter: &Filter) -> Result<Option<Document>> {
-        Ok(self.collection(coll)?.find(filter, &FindOptions::default().limit(1)).into_iter().next())
-    }
-
-    /// Count of matches.
-    pub fn count(&self, coll: &str, filter: &Filter) -> Result<usize> {
-        Ok(self.collection(coll)?.count(filter))
-    }
-
-    /// Fetch by primary key.
-    pub fn get(&self, coll: &str, id: ObjectId) -> Result<Option<Document>> {
-        Ok(self.collection(coll)?.get(id).cloned())
-    }
-
-    /// Distinct values of `field` among matching documents.
-    pub fn distinct(
-        &self,
-        coll: &str,
-        field: &str,
-        filter: &Filter,
-    ) -> Result<Vec<mystore_bson::Value>> {
-        Ok(self.collection(coll)?.distinct(field, filter))
-    }
-
-    /// Grouped aggregation over matching documents (see
-    /// [`mod@crate::query::aggregate`]).
-    pub fn aggregate(
-        &self,
-        coll: &str,
-        filter: &Filter,
-        spec: &crate::query::GroupSpec,
-    ) -> Result<Vec<Document>> {
-        let c = self.collection(coll)?;
-        crate::query::aggregate(c.iter().map(|(_, d)| d), filter, spec)
-    }
+    // The read-path query API (find/count/get/distinct/aggregate) lives in
+    // [`crate::queries`].
 
     // ---- record-level helpers (MyStore layout) -------------------------
 
@@ -605,6 +611,39 @@ mod tests {
         assert_eq!(db.update_many("d", &f, &u).unwrap(), 5);
         let g = Filter::parse(&doc! { "n": 9 }).unwrap();
         assert_eq!(db.count("d", &g).unwrap(), 5);
+    }
+
+    #[test]
+    fn dirty_key_tracking_captures_every_mutation_path() {
+        let mut db = Db::memory();
+        db.create_index("d", "self-key").unwrap();
+        db.track_dirty_keys("d");
+
+        // Insert, LWW update, logical delete, physical reap — each must
+        // surface the touched self-key exactly once per drain.
+        let a = Record::new(ObjectId::from_parts(1, 1, 1), "ka", vec![1], pack_version(10, 0));
+        db.put_record("d", &a).unwrap();
+        assert_eq!(db.take_dirty_keys().into_iter().collect::<Vec<_>>(), ["ka"]);
+
+        let mut a2 = a.clone();
+        a2.val = vec![2];
+        a2.version = pack_version(20, 0);
+        db.put_record("d", &a2).unwrap();
+        let mut t = Record::tombstone(ObjectId::from_parts(1, 1, 2), "kb", pack_version(30, 0));
+        db.put_record("d", &t).unwrap();
+        assert_eq!(db.take_dirty_keys().into_iter().collect::<Vec<_>>(), ["ka", "kb"]);
+
+        // An LWW-stale write mutates nothing and must dirty nothing.
+        t.version = pack_version(5, 0);
+        db.put_record("d", &t).unwrap();
+        assert_eq!(db.dirty_key_count(), 0);
+
+        assert_eq!(db.reap_tombstones("d", pack_version(40, 0)).unwrap(), 1);
+        assert_eq!(db.take_dirty_keys().into_iter().collect::<Vec<_>>(), ["kb"]);
+
+        // Untracked collections stay silent.
+        db.insert_doc("other", doc! { "self-key": "kz" }).unwrap();
+        assert_eq!(db.dirty_key_count(), 0);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod error;
 pub mod index;
 pub mod oplog;
 pub mod pool;
+pub mod queries;
 pub mod query;
 pub mod record;
 pub mod repl;

@@ -1,0 +1,60 @@
+//! Read-path query API of [`Db`]: finds, counts, point gets, distincts,
+//! and aggregation. Reads never touch the WAL, so everything here routes
+//! through [`Db::collection`] and the collection's own query planner; the
+//! mutation API stays in [`crate::db`].
+
+use mystore_bson::{Document, ObjectId, Value};
+
+use crate::collection::{Explain, FindOptions};
+use crate::db::Db;
+use crate::error::Result;
+use crate::query::filter::Filter;
+
+impl Db {
+    /// Runs a query against `coll`.
+    pub fn find(&self, coll: &str, filter: &Filter, opts: &FindOptions) -> Result<Vec<Document>> {
+        Ok(self.collection(coll)?.find(filter, opts))
+    }
+
+    /// Like [`Db::find`] but also returns the execution report.
+    pub fn find_explain(
+        &self,
+        coll: &str,
+        filter: &Filter,
+        opts: &FindOptions,
+    ) -> Result<(Vec<Document>, Explain)> {
+        Ok(self.collection(coll)?.find_explain(filter, opts))
+    }
+
+    /// First match, if any.
+    pub fn find_one(&self, coll: &str, filter: &Filter) -> Result<Option<Document>> {
+        Ok(self.collection(coll)?.find(filter, &FindOptions::default().limit(1)).into_iter().next())
+    }
+
+    /// Count of matches.
+    pub fn count(&self, coll: &str, filter: &Filter) -> Result<usize> {
+        Ok(self.collection(coll)?.count(filter))
+    }
+
+    /// Fetch by primary key.
+    pub fn get(&self, coll: &str, id: ObjectId) -> Result<Option<Document>> {
+        Ok(self.collection(coll)?.get(id).cloned())
+    }
+
+    /// Distinct values of `field` among matching documents.
+    pub fn distinct(&self, coll: &str, field: &str, filter: &Filter) -> Result<Vec<Value>> {
+        Ok(self.collection(coll)?.distinct(field, filter))
+    }
+
+    /// Grouped aggregation over matching documents (see
+    /// [`mod@crate::query::aggregate`]).
+    pub fn aggregate(
+        &self,
+        coll: &str,
+        filter: &Filter,
+        spec: &crate::query::GroupSpec,
+    ) -> Result<Vec<Document>> {
+        let c = self.collection(coll)?;
+        crate::query::aggregate(c.iter().map(|(_, d)| d), filter, spec)
+    }
+}

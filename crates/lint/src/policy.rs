@@ -123,6 +123,8 @@ pub fn workspace_policy(workspace_root: &std::path::Path) -> Vec<CratePolicy> {
         "src/storage_node/coordinator/cas.rs".into(),
         "src/storage_node/replica.rs".into(),
         "src/storage_node/maintenance.rs".into(),
+        "src/storage_node/sync.rs".into(),
+        "src/sync.rs".into(),
         "src/frontend.rs".into(),
     ];
     core.metric_prefixes = Some(vec![
@@ -135,6 +137,7 @@ pub fn workspace_policy(workspace_root: &std::path::Path) -> Vec<CratePolicy> {
         "coord.".into(),
         "frontend.".into(),
         "cas.".into(),
+        "sync.".into(),
     ]);
     out.push(core);
 

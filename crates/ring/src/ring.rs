@@ -238,6 +238,26 @@ impl<N: Clone + Eq + Hash + Ord> HashRing<N> {
         out
     }
 
+    /// The elementary arc containing `point`: the same arc
+    /// [`partition`](Self::partition) would report for it. `None` on an
+    /// empty ring. With a single virtual node the arc is the full circle
+    /// (`start == end`).
+    pub fn arc_of_point(&self, point: u64) -> Option<Arc_> {
+        let end = self
+            .points
+            .range(point..)
+            .next()
+            .map(|(p, _)| *p)
+            .or_else(|| self.points.keys().next().copied())?;
+        let start = self
+            .points
+            .range(..end)
+            .next_back()
+            .map(|(p, _)| *p)
+            .or_else(|| self.points.keys().next_back().copied())?;
+        Some(Arc_ { start, end })
+    }
+
     /// The arcs whose ownership differs between `self` (before) and `after`,
     /// returned as `(arc, old_owner, new_owner)`. This is exactly the data a
     /// migration plan needs after adding or removing a node (paper §5.2.4):
@@ -299,6 +319,28 @@ mod tests {
             r.add_node(i, format!("node{i}"), vnodes).unwrap();
         }
         r
+    }
+
+    #[test]
+    fn arc_of_point_agrees_with_partition() {
+        let r = ring(5, 16);
+        let arcs = r.partition();
+        // Probe each arc's end, its start's successor, and a midpoint: all
+        // must resolve to that same arc.
+        for (arc, _) in &arcs {
+            for probe in [arc.end, arc.start.wrapping_add(1), arc.start.wrapping_add(arc.len() / 2)]
+            {
+                if !arc.contains(probe) {
+                    continue; // len-1 arcs have no distinct midpoint
+                }
+                assert_eq!(r.arc_of_point(probe), Some(*arc), "probe {probe:#x}");
+            }
+        }
+        // A single-vnode ring is one full-circle arc.
+        let single = ring(1, 1);
+        let arc = single.arc_of_point(12345).unwrap();
+        assert_eq!(arc.start, arc.end);
+        assert!(HashRing::<u32>::new().arc_of_point(0).is_none());
     }
 
     #[test]

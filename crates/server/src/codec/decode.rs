@@ -309,6 +309,29 @@ pub fn decode_msg(buf: &[u8]) -> Option<Msg> {
             let n = rd.count(4)?;
             Msg::RingResp { req, members: (0..n).map(|_| rd.node()).collect::<Option<_>>()? }
         }
+        28 => Msg::SyncTreeRequest { ring_hash: rd.u64()?, root: rd.u64()? },
+        29 => {
+            let ring_hash = rd.u64()?;
+            let n = rd.count(4 + 8)?;
+            let mut nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                let idx = rd.u32()?;
+                nodes.push((idx, rd.u64()?));
+            }
+            Msg::SyncTreeLevel { ring_hash, nodes }
+        }
+        30 => {
+            let ring_hash = rd.u64()?;
+            let nl = rd.count(4)?;
+            let leaves = (0..nl).map(|_| rd.u32()).collect::<Option<Vec<u32>>>()?;
+            let ne = rd.count(4 + 8)?;
+            let mut entries = Vec::with_capacity(ne);
+            for _ in 0..ne {
+                let k = rd.str()?;
+                entries.push((k, rd.u64()?));
+            }
+            Msg::SyncLeafDigest { ring_hash, leaves, entries }
+        }
         _ => return None,
     };
     // Strictness: the tag's grammar must account for every byte.

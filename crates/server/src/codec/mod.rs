@@ -336,6 +336,31 @@ pub fn encode_msg(msg: &Msg, out: &mut Vec<u8>) {
             put_u32(out, members.len() as u32);
             members.iter().for_each(|n| put_node(out, *n));
         }
+        Msg::SyncTreeRequest { ring_hash, root } => {
+            out.push(28);
+            put_u64(out, *ring_hash);
+            put_u64(out, *root);
+        }
+        Msg::SyncTreeLevel { ring_hash, nodes } => {
+            out.push(29);
+            put_u64(out, *ring_hash);
+            put_u32(out, nodes.len() as u32);
+            for (idx, h) in nodes {
+                put_u32(out, *idx);
+                put_u64(out, *h);
+            }
+        }
+        Msg::SyncLeafDigest { ring_hash, leaves, entries } => {
+            out.push(30);
+            put_u64(out, *ring_hash);
+            put_u32(out, leaves.len() as u32);
+            leaves.iter().for_each(|l| put_u32(out, *l));
+            put_u32(out, entries.len() as u32);
+            for (k, v) in entries {
+                put_str(out, k);
+                put_u64(out, *v);
+            }
+        }
     }
 }
 
@@ -420,6 +445,13 @@ mod tests {
             Msg::TransferRecords { records: vec![Arc::new(sample_record("t1"))] },
             Msg::SyncDigest { entries: vec![("s1".into(), 100), ("s2".into(), 200)] },
             Msg::SyncRecords { records: vec![sample_record("s1")] },
+            Msg::SyncTreeRequest { ring_hash: 0xfeed, root: 0xbeef },
+            Msg::SyncTreeLevel { ring_hash: 0xfeed, nodes: vec![(1, 77), (2, 88)] },
+            Msg::SyncLeafDigest {
+                ring_hash: 0xfeed,
+                leaves: vec![15, 16],
+                entries: vec![("lk".into(), 300)],
+            },
             Msg::Gossip(GossipMsg::Syn(vec![Digest {
                 endpoint: NodeId(1),
                 generation: 2,

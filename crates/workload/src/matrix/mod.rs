@@ -61,6 +61,9 @@ pub struct CellSpec {
     /// WAL group-commit batch size (`1` = per-op sync); slow-fsync cells
     /// set this above 1 so the latency fault hits the group-commit path.
     pub group_commit_ops: usize,
+    /// Run anti-entropy with the Merkle tree exchange (DESIGN.md §14)
+    /// instead of flat digests.
+    pub merkle_sync: bool,
 }
 
 impl CellSpec {
@@ -85,6 +88,7 @@ impl CellSpec {
             bursts: (horizon_us / (6 * 3600 * SEC)).clamp(4, 32),
             ops_per_burst: 100,
             group_commit_ops: if profile == FaultProfile::SlowFsync { 8 } else { 1 },
+            merkle_sync: false,
         }
     }
 }
@@ -157,6 +161,7 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
     cluster.compaction_interval_us = 3600 * SEC;
     cluster.hint_replay_interval_us = 120 * SEC;
     cluster.group_commit_ops = spec.group_commit_ops;
+    cluster.anti_entropy_merkle = spec.merkle_sync;
 
     let (mut sim, registry) = cluster.build_sim_with_metrics(SimConfig {
         net: NetConfig::gigabit_lan(),
@@ -252,6 +257,9 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
         "quorum.write.failed",
         "quorum.read.ok",
         "quorum.read.failed",
+        "sync.rounds",
+        "sync.digest_entries",
+        "sync.resurrections_blocked",
     ] {
         counters.insert(name.to_string(), snap.counters.get(name).copied().unwrap_or(0));
     }

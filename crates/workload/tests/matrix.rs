@@ -52,6 +52,26 @@ fn kill_cell_meets_global_invariants() {
     assert!(r.counters.get("fault.crashes").copied().unwrap_or(0) > 0);
 }
 
+/// A chaos cell with Merkle anti-entropy on: the tree exchange must
+/// replay bit-identically under faults and uphold the global invariants —
+/// the feature cannot trade durability for bandwidth.
+#[test]
+fn merkle_sync_cell_replays_bit_identically_without_loss() {
+    let mut spec = CellSpec::new(25, Nwr::PAPER, FaultProfile::Kill, KeyDist::Zipf, 1800 * SEC, 19);
+    spec.merkle_sync = true;
+    spec.name.push_str("-merkle");
+    let a = run_cell(&spec);
+    let b = run_cell(&spec);
+    assert_eq!(a, b, "merkle cell must replay to an identical CellResult");
+    assert_eq!(a.client_errors, 0, "client errors in {}", a.name);
+    assert_eq!(a.lost_writes, 0, "acked writes lost in {}", a.name);
+    assert!(a.puts_ok > 0);
+    assert!(
+        a.counters.get("sync.rounds").copied().unwrap_or(0) > 0,
+        "merkle rounds never ran — the knob is inert"
+    );
+}
+
 /// The slow-fsync profile actually degrades disks (the `slow-fsync` fault
 /// satellite) and the group-commit path still upholds the invariants
 /// under the added latency.

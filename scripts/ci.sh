@@ -50,6 +50,17 @@ cargo run --release -p mystore-bench --bin matrix -- --smoke
 test -s results/BENCH_PR7_SMOKE.json || { echo "matrix smoke wrote no JSON"; exit 1; }
 rm -f results/BENCH_PR7_SMOKE.json
 
+echo "==> anti-entropy sync suite (Merkle exchange + regression tests)"
+# The PR-8 sync work: Merkle convergence/determinism tests, the
+# resurrection-after-reap and rebalance fan-out regressions, and the
+# digest-traffic smoke bench (legacy vs tree walk, ratio bar asserted
+# inside the binary; full figure: --bin bench_sync without --smoke).
+cargo test -p mystore-core --test anti_entropy --test merkle_sync --test rebalance -q
+rm -f results/BENCH_PR8_SMOKE.json
+cargo run --release -p mystore-bench --bin bench_sync -- --smoke
+test -s results/BENCH_PR8_SMOKE.json || { echo "sync smoke wrote no JSON"; exit 1; }
+rm -f results/BENCH_PR8_SMOKE.json
+
 echo "==> write-throughput bench smoke (group commit)"
 rm -f results/BENCH_PR3_SMOKE.json
 cargo run --release -p mystore-bench --bin bench_pr3 -- --smoke
