@@ -5,6 +5,11 @@
 //! ops, hinted handoff, migration transfers, and gossip — so a single
 //! runtime (simulated or threaded) can host the whole deployment, including
 //! the baseline systems which speak only the REST subset.
+//!
+//! The binary wire layout of this enum (tags, field order, widths — see
+//! `server/src/codec/`) is frozen in `crates/lint/schema.lock` and checked
+//! by `mystore-lint --check-schema`; tags are append-only, and adding one
+//! requires re-blessing the lock (DESIGN.md §15).
 
 use std::sync::Arc;
 

@@ -1,0 +1,249 @@
+//! The AST produced by [`crate::parser`]: items plus fn bodies as
+//! statement trees of analysis-relevant "events". See the parser module
+//! docs for what is and is not represented.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Parsed file: all enums and fns found, at any nesting depth.
+#[derive(Debug, Clone, Default)]
+pub struct Ast {
+    /// Enum definitions, in source order.
+    pub enums: Vec<EnumDef>,
+    /// Fn definitions (free fns and impl methods), in source order.
+    pub fns: Vec<FnDef>,
+}
+
+/// `enum Name { ... }` with explicit variant fields.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Line of the `enum` keyword.
+    pub line: usize,
+    /// Variants in source order.
+    pub variants: Vec<VariantDef>,
+}
+
+/// One enum variant (unit, tuple, or struct form).
+#[derive(Debug, Clone)]
+pub struct VariantDef {
+    /// Variant name.
+    pub name: String,
+    /// Line of the variant name.
+    pub line: usize,
+    /// Fields; empty for unit variants, unnamed for tuple variants.
+    pub fields: Vec<FieldDef>,
+}
+
+/// A named or positional field with its normalized type text.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Field/parameter name (`None` for tuple fields).
+    pub name: Option<String>,
+    /// Normalized type text, e.g. `Vec<(String,u64)>`.
+    pub ty: String,
+}
+
+/// A fn definition with its parsed body.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Fn name (raw identifiers keep their `r#` prefix).
+    pub name: String,
+    /// Enclosing `impl` type, when the fn is a method.
+    pub owner: Option<String>,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Non-`self` parameters.
+    pub params: Vec<FieldDef>,
+    /// Statement tree of the body (empty for bodyless declarations).
+    pub body: Body,
+}
+
+/// A block body: a sequence of statements.
+#[derive(Debug, Clone, Default)]
+pub struct Body(pub Vec<Stmt>);
+
+/// One statement: the events that execute within it, in source order.
+#[derive(Debug, Clone, Default)]
+pub struct Stmt(pub Vec<Event>);
+
+/// One thing that happens in an expression, in evaluation-ish order.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A call `a.b.c(args)` / `f(args)` / `mac!(args)`.
+    Call(Call),
+    /// `let name = init;`
+    Let(LetEv),
+    /// `match scrutinee { arms }`
+    Match(MatchEv),
+    /// A nested block: `if`/`else`/`while`/`for`/`loop`/plain/struct-literal.
+    Block(BlockEv),
+    /// A closure body (`|x| ...`); whether it runs inline or on a new
+    /// thread is decided by the enclosing call (see [`crate::locks`]).
+    Closure(ClosureEv),
+    /// A bare path expression, as segments (`self.buf` → `["self","buf"]`).
+    Path(Vec<String>, usize),
+    /// A numeric literal.
+    Num(String, usize),
+}
+
+/// A call with its receiver chain flattened into `path`.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Segments of the receiver chain plus the callee, e.g.
+    /// `self.inner.lock().expect(..)` yields `["self","inner","lock"]`
+    /// then `["self","inner","lock","expect"]` for the chained call.
+    pub path: Vec<String>,
+    /// One parsed subtree per argument (macros split on `;` only, so
+    /// `vec![elem; len]` has two args and `vec![a, b]` has one).
+    pub args: Vec<Body>,
+    /// Call site line.
+    pub line: usize,
+    /// True for `name!(..)` macro invocations (`!` folded into the path).
+    pub is_macro: bool,
+}
+
+/// A `let` binding.
+#[derive(Debug, Clone)]
+pub struct LetEv {
+    /// Bound name for simple `let [mut] name [: ty] = ...` patterns.
+    pub name: Option<String>,
+    /// Initializer events (empty for `let x;`).
+    pub init: Body,
+    /// Line of the `let`.
+    pub line: usize,
+}
+
+/// A `match` expression.
+#[derive(Debug, Clone)]
+pub struct MatchEv {
+    /// Scrutinee events.
+    pub scrutinee: Body,
+    /// Arms in source order.
+    pub arms: Vec<Arm>,
+    /// Line of the `match`.
+    pub line: usize,
+}
+
+/// One match arm: raw pattern tokens plus the parsed arm body.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// Pattern tokens verbatim (guards included).
+    pub pat: Vec<Token>,
+    /// Arm body.
+    pub body: Body,
+    /// Line of the first pattern token.
+    pub line: usize,
+}
+
+impl Arm {
+    /// Leading path of the pattern (`Msg::Put { .. }` → `Msg::Put`).
+    pub fn head_path(&self) -> String {
+        let mut out = String::new();
+        let mut i = 0;
+        while i < self.pat.len() {
+            let t = &self.pat[i];
+            if t.kind == TokenKind::Ident {
+                if !out.is_empty() {
+                    out.push_str("::");
+                }
+                out.push_str(&t.text);
+                if self.pat.get(i + 1).map(|t| t.text == ":").unwrap_or(false)
+                    && self.pat.get(i + 2).map(|t| t.text == ":").unwrap_or(false)
+                {
+                    i += 3;
+                    continue;
+                }
+            }
+            break;
+        }
+        out
+    }
+
+    /// Numeric tag when the pattern starts with a number literal.
+    pub fn tag(&self) -> Option<u64> {
+        let t = self.pat.first()?;
+        if t.kind != TokenKind::NumLit {
+            return None;
+        }
+        t.text.replace('_', "").parse().ok()
+    }
+}
+
+/// Nested block kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// `if cond { .. }` (cond carried separately).
+    If,
+    /// `else { .. }` (including `let .. else`).
+    Else,
+    /// `while cond { .. }`.
+    While,
+    /// `for pat in iter { .. }` (iter carried as `cond`).
+    For,
+    /// `loop { .. }`.
+    Loop,
+    /// A bare `{ .. }` block (incl. `unsafe`).
+    Plain,
+    /// A struct literal body `Type { field: value, .. }`.
+    StructLit,
+}
+
+/// A nested block with its condition/iterator events.
+#[derive(Debug, Clone)]
+pub struct BlockEv {
+    /// What kind of block this is.
+    pub kind: BlockKind,
+    /// Condition (`if`/`while`) or iterator (`for`); empty otherwise.
+    pub cond: Body,
+    /// Block contents.
+    pub body: Body,
+    /// Line of the introducing token.
+    pub line: usize,
+}
+
+/// A closure.
+#[derive(Debug, Clone)]
+pub struct ClosureEv {
+    /// Closure body.
+    pub body: Body,
+    /// Line of the opening `|`.
+    pub line: usize,
+}
+
+impl Body {
+    /// Depth-first walk over every event, blocks and closures included.
+    pub fn walk(&self, f: &mut impl FnMut(&Event)) {
+        for stmt in &self.0 {
+            for ev in &stmt.0 {
+                ev.walk(f);
+            }
+        }
+    }
+}
+
+impl Event {
+    fn walk(&self, f: &mut impl FnMut(&Event)) {
+        f(self);
+        match self {
+            Event::Call(c) => {
+                for a in &c.args {
+                    a.walk(f);
+                }
+            }
+            Event::Let(l) => l.init.walk(f),
+            Event::Match(m) => {
+                m.scrutinee.walk(f);
+                for arm in &m.arms {
+                    arm.body.walk(f);
+                }
+            }
+            Event::Block(b) => {
+                b.cond.walk(f);
+                b.body.walk(f);
+            }
+            Event::Closure(c) => c.body.walk(f),
+            Event::Path(..) | Event::Num(..) => {}
+        }
+    }
+}

@@ -16,16 +16,36 @@
 //! * `metrics-hygiene` — metric names registered once, correct prefix
 //! * `forbid-unsafe` — crate roots carry `#![forbid(unsafe_code)]`
 //!
+//! On top of the token rules sits a lightweight recursive-descent parser
+//! ([`parser`]) that feeds three cross-crate analyses:
+//!
+//! * `wire-schema` ([`schema`]) — extracts the tag→variant→layout table
+//!   from the codec's encode/decode arms, diffs it against the committed
+//!   `schema.lock`, and cross-checks encode/decode symmetry; appends
+//!   require `--bless-schema`, everything else is a hard diagnostic
+//! * `unguarded-alloc` ([`schema`]) — every decoded length must feed a
+//!   bounds guard before it sizes an allocation
+//! * `lock-order` / `recv-under-lock` ([`locks`]) — interprocedural lock
+//!   acquisition graph (cycles are potential deadlocks, seeded with the
+//!   declared canonical order in [`policy`]) and blocking channel reads
+//!   while holding a lock
+//!
 //! Escapes: a `lint:allow` comment naming the rule, followed by a `:`
 //! and a justification, on the finding's line or the line above; the
 //! `-file` variant covers the whole file. A missing justification is
 //! itself a diagnostic. (Spelled out in `--list-rules` — the literal
 //! syntax is avoided here so the linter does not parse its own docs.)
+//! `wire-schema` diagnostics have no allow escape: the fix is either
+//! reverting the wire change or blessing a deliberate append.
 
 #![forbid(unsafe_code)]
 
+pub mod ast;
 pub mod lexer;
+pub mod locks;
+pub mod parser;
 pub mod policy;
 pub mod rules;
+pub mod schema;
 
 pub use rules::{lint_file, run_workspace, Diagnostic, MetricsIndex, RULES};

@@ -1,0 +1,517 @@
+//! Expression-level grammar: statements, call chains, `match`, `let`,
+//! closures, and the free helpers they share. Split from the item-level
+//! parser in `mod.rs` to keep each half within the file-size budget.
+
+use super::{Term, CLOSERS, OPENERS, P};
+use crate::ast::*;
+use crate::lexer::{Token, TokenKind};
+
+impl<'a> P<'a> {
+    /// Parses expression events until a terminator (not consumed, except
+    /// as documented inline).
+    pub(super) fn expr_events(&mut self, out: &mut Vec<Event>, term: Term) {
+        loop {
+            let Some(t) = self.peek() else { return };
+            let line = t.line;
+            match t.kind {
+                TokenKind::Punct => match t.text.as_str() {
+                    ";" | ")" | "]" | "}" => return,
+                    "," if term.comma => return,
+                    "{" if term.cond => return,
+                    "{" => {
+                        let body = self.parse_block();
+                        out.push(Event::Block(BlockEv {
+                            kind: BlockKind::Plain,
+                            cond: Body::default(),
+                            body,
+                            line,
+                        }));
+                    }
+                    "(" => {
+                        self.bump();
+                        self.group_events(out, ")");
+                        self.chain(out, Vec::new(), line, term);
+                    }
+                    "[" => {
+                        self.bump();
+                        self.group_events(out, "]");
+                    }
+                    "#" => {
+                        self.bump();
+                        if self.at("!") {
+                            self.bump();
+                        }
+                        if self.at("[") {
+                            self.skip_balanced();
+                        }
+                    }
+                    "|" => {
+                        if closure_position(self.prev_text()) {
+                            self.parse_closure(out, term);
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    _ => self.bump(),
+                },
+                TokenKind::Ident => match t.text.as_str() {
+                    "if" | "while" => {
+                        let kind = if t.text == "if" { BlockKind::If } else { BlockKind::While };
+                        self.bump();
+                        let cond = self.cond_body();
+                        let body = if self.at("{") { self.parse_block() } else { Body::default() };
+                        out.push(Event::Block(BlockEv { kind, cond, body, line }));
+                        if kind == BlockKind::If && self.at("else") {
+                            self.bump();
+                            if self.at("{") {
+                                let body = self.parse_block();
+                                out.push(Event::Block(BlockEv {
+                                    kind: BlockKind::Else,
+                                    cond: Body::default(),
+                                    body,
+                                    line,
+                                }));
+                            }
+                            // `else if` re-enters the loop naturally.
+                        }
+                    }
+                    "for" => {
+                        self.bump();
+                        let mut depth = 0usize;
+                        while let Some(t) = self.peek() {
+                            if OPENERS.contains(&t.text.as_str()) {
+                                depth += 1;
+                            } else if CLOSERS.contains(&t.text.as_str()) {
+                                depth = depth.saturating_sub(1);
+                            } else if t.text == "in" && depth == 0 {
+                                break;
+                            }
+                            self.bump();
+                        }
+                        if self.at("in") {
+                            self.bump();
+                        }
+                        let cond = self.cond_body();
+                        let body = if self.at("{") { self.parse_block() } else { Body::default() };
+                        out.push(Event::Block(BlockEv { kind: BlockKind::For, cond, body, line }));
+                    }
+                    "loop" => {
+                        self.bump();
+                        if self.at("{") {
+                            let body = self.parse_block();
+                            out.push(Event::Block(BlockEv {
+                                kind: BlockKind::Loop,
+                                cond: Body::default(),
+                                body,
+                                line,
+                            }));
+                        }
+                    }
+                    "match" => {
+                        self.parse_match(out);
+                    }
+                    "let" => {
+                        self.parse_let(out, term);
+                    }
+                    "else" => {
+                        // `let .. = expr else { .. }` diverging tail.
+                        self.bump();
+                        if self.at("{") {
+                            let body = self.parse_block();
+                            out.push(Event::Block(BlockEv {
+                                kind: BlockKind::Else,
+                                cond: Body::default(),
+                                body,
+                                line,
+                            }));
+                        }
+                    }
+                    "move" => {
+                        self.bump();
+                        if self.at("|") {
+                            self.parse_closure(out, term);
+                        }
+                    }
+                    "return" | "break" | "continue" | "mut" | "ref" | "as" | "in" | "dyn"
+                    | "impl" | "unsafe" | "box" | "await" | "async" | "yield" => self.bump(),
+                    "fn" => {
+                        // A nested fn item: parse it and inline its body as
+                        // a plain block so its events stay visible.
+                        if let Some(f) = self.parse_fn(None) {
+                            out.push(Event::Block(BlockEv {
+                                kind: BlockKind::Plain,
+                                cond: Body::default(),
+                                body: f.body,
+                                line,
+                            }));
+                        }
+                    }
+                    _ => {
+                        let segs = vec![self.raw_ident()];
+                        self.chain(out, segs, line, term);
+                    }
+                },
+                TokenKind::NumLit => {
+                    out.push(Event::Num(t.text.clone(), line));
+                    self.bump();
+                }
+                TokenKind::StrLit | TokenKind::CharLit | TokenKind::Lifetime => self.bump(),
+            }
+        }
+    }
+
+    /// Parses the contents of a `(..)`/`[..]` group (commas are just
+    /// separators) and consumes the closer.
+    fn group_events(&mut self, out: &mut Vec<Event>, closer: &str) {
+        loop {
+            let before = self.i;
+            self.expr_events(out, Term { comma: true, cond: false });
+            match self.peek().map(|t| t.text.as_str()) {
+                Some(",") => self.bump(),
+                Some(c) if c == closer => {
+                    self.bump();
+                    return;
+                }
+                Some(_) if self.i == before => self.bump(),
+                Some(_) => {}
+                None => return,
+            }
+        }
+    }
+
+    /// A condition/iterator expression, ending at the body `{`.
+    fn cond_body(&mut self) -> Body {
+        let mut events = Vec::new();
+        self.expr_events(&mut events, Term { comma: false, cond: true });
+        Body(vec![Stmt(events)])
+    }
+
+    /// Parses a postfix chain starting from `segs` (empty after a paren
+    /// group receiver). Emits Call/Path/StructLit events.
+    fn chain(&mut self, out: &mut Vec<Event>, mut segs: Vec<String>, line: usize, term: Term) {
+        loop {
+            if self.at(":") && self.nth(1).map(|t| t.text == ":").unwrap_or(false) {
+                match self.nth(2) {
+                    Some(t) if t.text == "<" => {
+                        self.i += 2;
+                        self.skip_generics(); // turbofish
+                    }
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        self.i += 2;
+                        segs.push(self.raw_ident());
+                    }
+                    _ => break,
+                }
+            } else if self.at(".") {
+                match self.nth(1) {
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        self.bump();
+                        segs.push(self.raw_ident());
+                    }
+                    Some(t) if t.kind == TokenKind::NumLit => {
+                        let txt = t.text.clone();
+                        self.i += 2;
+                        segs.push(txt);
+                    }
+                    _ => break,
+                }
+            } else if self.at("(") {
+                let args = self.call_args();
+                out.push(Event::Call(Call { path: segs.clone(), args, line, is_macro: false }));
+                while self.at("?") {
+                    self.bump();
+                }
+            } else if self.at("!")
+                && self.nth(1).map(|t| OPENERS.contains(&t.text.as_str())).unwrap_or(false)
+            {
+                self.bump(); // !
+                let args = self.macro_args();
+                if let Some(last) = segs.last_mut() {
+                    last.push('!');
+                }
+                out.push(Event::Call(Call { path: segs.clone(), args, line, is_macro: true }));
+            } else if self.at("[") {
+                if !segs.is_empty() {
+                    out.push(Event::Path(segs.clone(), line));
+                }
+                self.bump();
+                self.group_events(out, "]");
+            } else if self.at("{") && !term.cond {
+                // Struct literal `Type { field: value }`.
+                if !segs.is_empty() {
+                    out.push(Event::Path(segs.clone(), line));
+                }
+                let body = self.parse_block();
+                out.push(Event::Block(BlockEv {
+                    kind: BlockKind::StructLit,
+                    cond: Body::default(),
+                    body,
+                    line,
+                }));
+                return;
+            } else if self.at("?") {
+                self.bump();
+            } else {
+                if !segs.is_empty() {
+                    out.push(Event::Path(segs, line));
+                }
+                return;
+            }
+        }
+        if !segs.is_empty() {
+            out.push(Event::Path(segs, line));
+        }
+    }
+
+    /// `( arg, arg, .. )` → one Body per argument; consumes the parens.
+    fn call_args(&mut self) -> Vec<Body> {
+        self.bump(); // (
+        let mut args = Vec::new();
+        loop {
+            if self.at(")") {
+                self.bump();
+                return args;
+            }
+            if self.peek().is_none() {
+                return args;
+            }
+            let before = self.i;
+            let mut events = Vec::new();
+            self.expr_events(&mut events, Term { comma: true, cond: false });
+            args.push(Body(vec![Stmt(events)]));
+            // Consume the separator; also skip one token if the expr
+            // parser made no progress, so the loop always advances.
+            if self.at(",") || self.i == before {
+                self.bump();
+            }
+        }
+    }
+
+    /// Macro args split on top-level `;` only (`vec![elem; len]`).
+    fn macro_args(&mut self) -> Vec<Body> {
+        let closer = match self.peek().map(|t| t.text.as_str()) {
+            Some("(") => ")",
+            Some("[") => "]",
+            _ => "}",
+        };
+        self.bump();
+        let mut args = Vec::new();
+        loop {
+            if self.at(closer) {
+                self.bump();
+                return args;
+            }
+            if self.peek().is_none() {
+                return args;
+            }
+            let before = self.i;
+            let mut events = Vec::new();
+            loop {
+                self.expr_events(&mut events, Term { comma: false, cond: false });
+                match self.peek().map(|t| t.text.as_str()) {
+                    Some(",") => self.bump(), // list commas stay in one arg
+                    _ => break,
+                }
+            }
+            args.push(Body(vec![Stmt(events)]));
+            if self.at(";") || self.i == before {
+                self.bump();
+            }
+        }
+    }
+
+    fn parse_match(&mut self, out: &mut Vec<Event>) {
+        let line = self.line();
+        self.bump(); // match
+        let scrutinee = self.cond_body();
+        if !self.at("{") {
+            return;
+        }
+        self.bump();
+        let mut arms = Vec::new();
+        loop {
+            self.skip_attrs();
+            match self.peek().map(|t| t.text.as_str()) {
+                None => break,
+                Some("}") => {
+                    self.bump();
+                    break;
+                }
+                Some("|") => {
+                    self.bump();
+                    continue;
+                }
+                _ => {}
+            }
+            // Pattern: everything up to a top-level `=>`.
+            let mut pat: Vec<Token> = Vec::new();
+            let mut depth = 0usize;
+            while let Some(t) = self.peek() {
+                let text = t.text.as_str();
+                if OPENERS.contains(&text) {
+                    depth += 1;
+                } else if CLOSERS.contains(&text) {
+                    if depth == 0 {
+                        break; // end of match body
+                    }
+                    depth -= 1;
+                } else if text == "="
+                    && depth == 0
+                    && self.nth(1).map(|n| n.text == ">").unwrap_or(false)
+                {
+                    break;
+                }
+                pat.push(t.clone());
+                self.bump();
+            }
+            if !self.at("=") {
+                continue; // hit the closing `}`
+            }
+            self.i += 2; // =>
+            let arm_line = pat.first().map(|t| t.line).unwrap_or(self.line());
+            let body = if self.at("{") {
+                self.parse_block()
+            } else {
+                let mut events = Vec::new();
+                self.expr_events(&mut events, Term { comma: true, cond: false });
+                Body(vec![Stmt(events)])
+            };
+            if self.at(",") {
+                self.bump();
+            }
+            arms.push(Arm { pat, body, line: arm_line });
+        }
+        out.push(Event::Match(MatchEv { scrutinee, arms, line }));
+    }
+
+    fn parse_let(&mut self, out: &mut Vec<Event>, term: Term) {
+        let line = self.line();
+        self.bump(); // let
+                     // Pattern (+ optional type) up to `=` at depth 0.
+        let mut pat: Vec<Token> = Vec::new();
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            let text = t.text.as_str();
+            if OPENERS.contains(&text) {
+                depth += 1;
+            } else if CLOSERS.contains(&text) {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            } else if depth == 0 && (text == "=" || text == ";") {
+                break;
+            } else if text == "<" {
+                // Generic type annotation: skip wholesale.
+                self.skip_generics();
+                continue;
+            }
+            pat.push(t.clone());
+            self.bump();
+        }
+        let name = binding_name(&pat);
+        let mut init = Body::default();
+        if self.at("=") {
+            self.bump();
+            let mut events = Vec::new();
+            self.expr_events(&mut events, term);
+            // let-else tail.
+            if self.at("else") {
+                self.expr_events(&mut events, term);
+            }
+            init = Body(vec![Stmt(events)]);
+        }
+        out.push(Event::Let(LetEv { name, init, line }));
+    }
+
+    fn parse_closure(&mut self, out: &mut Vec<Event>, term: Term) {
+        let line = self.line();
+        self.bump(); // |
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            let text = t.text.as_str();
+            if OPENERS.contains(&text) {
+                depth += 1;
+            } else if CLOSERS.contains(&text) {
+                depth = depth.saturating_sub(1);
+            } else if text == "|" && depth == 0 {
+                self.bump();
+                break;
+            }
+            self.bump();
+        }
+        let body = if self.at("{") {
+            self.parse_block()
+        } else {
+            let mut events = Vec::new();
+            self.expr_events(&mut events, Term { comma: true, cond: term.cond });
+            Body(vec![Stmt(events)])
+        };
+        out.push(Event::Closure(ClosureEv { body, line }));
+    }
+}
+
+/// binary or. Heuristic on the preceding raw token.
+pub(super) fn closure_position(prev: Option<&str>) -> bool {
+    matches!(
+        prev,
+        None | Some("(" | "," | "=" | "{" | ";" | "[" | ">" | "move" | "return" | ":" | "&")
+    )
+}
+
+/// Simple binding name from `let` pattern tokens: `[mut] name [: ty]`.
+pub(super) fn binding_name(pat: &[Token]) -> Option<String> {
+    let words: Vec<&Token> = pat
+        .iter()
+        .filter(|t| !(t.kind == TokenKind::Ident && (t.text == "mut" || t.text == "ref")))
+        .collect();
+    // A raw identifier lexes as three tokens `r` `#` `name`; fold them.
+    if words.len() >= 3
+        && words[0].text == "r"
+        && words[1].text == "#"
+        && words[2].kind == TokenKind::Ident
+    {
+        return match words.get(3) {
+            None => Some(format!("r#{}", words[2].text)),
+            Some(t) if t.text == ":" => Some(format!("r#{}", words[2].text)),
+            _ => None,
+        };
+    }
+    match words.first() {
+        Some(t)
+            if t.kind == TokenKind::Ident
+                && words.get(1).map(|n| n.text == ":").unwrap_or(true) =>
+        {
+            Some(t.text.clone())
+        }
+        _ => None,
+    }
+}
+
+/// Index of the first top-level `:` (not `::`) in a token group.
+pub(super) fn top_level_colon(toks: &[Token]) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut angle = 0usize;
+    let mut i = 0;
+    while i < toks.len() {
+        let text = toks[i].text.as_str();
+        if OPENERS.contains(&text) {
+            depth += 1;
+        } else if CLOSERS.contains(&text) {
+            depth = depth.saturating_sub(1);
+        } else if text == "<" {
+            angle += 1;
+        } else if text == ">" && i > 0 && toks[i - 1].text != "-" {
+            angle = angle.saturating_sub(1);
+        } else if text == ":" && depth == 0 && angle == 0 {
+            let double = toks.get(i + 1).map(|t| t.text == ":").unwrap_or(false);
+            if double {
+                i += 2;
+                continue;
+            }
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}

@@ -1,0 +1,649 @@
+//! A lightweight recursive-descent parser over the lexer's token stream.
+//!
+//! This is deliberately *not* a full Rust grammar. It recovers exactly the
+//! structure the cross-crate analyses need ([`crate::schema`],
+//! [`crate::locks`]): items (enums with explicit fields, fns with bodies,
+//! impl/mod nesting) and fn bodies as statement trees whose leaves are an
+//! "event soup" — calls with receiver paths and argument subtrees, `let`
+//! bindings, `match` arms, nested blocks, closures, bare paths, and numeric
+//! literals. Everything else (operators, types in expressions, lifetimes)
+//! is skipped, but the parser always descends into bracketed groups so no
+//! nested structure is lost. It is tolerant: on unrecognised input it skips
+//! a token and keeps going rather than failing the file.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+mod expr;
+
+pub use crate::ast::*;
+use expr::top_level_colon;
+
+/// Joins tokens into canonical type text: a space only between two
+/// word-like tokens (`dyn Fn`), nothing elsewhere (`Vec<(String,u64)>`).
+pub fn normalize_tokens(toks: &[Token]) -> String {
+    let mut out = String::new();
+    let mut prev_word = false;
+    for t in toks {
+        let word = matches!(t.kind, TokenKind::Ident | TokenKind::NumLit);
+        if word && prev_word {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+        prev_word = word;
+    }
+    out
+}
+
+/// Parses a source string (convenience over [`parse_tokens`]).
+pub fn parse(src: &str) -> Ast {
+    parse_tokens(&lex(src).tokens)
+}
+
+/// Parses an already-lexed token stream.
+pub fn parse_tokens(toks: &[Token]) -> Ast {
+    let mut p = P { t: toks, i: 0 };
+    let mut ast = Ast::default();
+    p.items(&mut ast, None, false);
+    ast
+}
+
+struct P<'a> {
+    t: &'a [Token],
+    i: usize,
+}
+
+const OPENERS: &[&str] = &["(", "[", "{"];
+const CLOSERS: &[&str] = &[")", "]", "}"];
+
+/// Terminator configuration for [`P::expr_events`].
+#[derive(Clone, Copy)]
+struct Term {
+    comma: bool,
+    cond: bool,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.t.get(self.i)
+    }
+
+    fn nth(&self, k: usize) -> Option<&'a Token> {
+        self.t.get(self.i + k)
+    }
+
+    fn at(&self, s: &str) -> bool {
+        self.peek().map(|t| t.text == s).unwrap_or(false)
+    }
+
+    fn at_kind(&self, k: TokenKind) -> bool {
+        self.peek().map(|t| t.kind == k).unwrap_or(false)
+    }
+
+    fn line(&self) -> usize {
+        self.peek().map(|t| t.line).unwrap_or(0)
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    fn prev_text(&self) -> Option<&'a str> {
+        self.i.checked_sub(1).and_then(|k| self.t.get(k)).map(|t| t.text.as_str())
+    }
+
+    /// Consumes an identifier, folding raw identifiers (`r` `#` `name`).
+    fn raw_ident(&mut self) -> String {
+        let t = &self.t[self.i];
+        self.bump();
+        if t.text == "r"
+            && self.at("#")
+            && self.nth(1).map(|n| n.kind == TokenKind::Ident).unwrap_or(false)
+        {
+            let name = self.t[self.i + 1].text.clone();
+            self.i += 2;
+            return format!("r#{name}");
+        }
+        t.text.clone()
+    }
+
+    /// Skips a balanced group; current token must be an opener.
+    fn skip_balanced(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if OPENERS.contains(&t.text.as_str()) {
+                depth += 1;
+            } else if CLOSERS.contains(&t.text.as_str()) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips `<...>` generics; current token must be `<`. A `>` preceded
+    /// by `-` (the `->` arrow inside `Fn() -> T`) does not close.
+    fn skip_generics(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            match t.text.as_str() {
+                "<" => depth += 1,
+                ">" if self.prev_text() != Some("-") => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        self.bump();
+                        return;
+                    }
+                }
+                "(" | "[" | "{" => {
+                    self.skip_balanced();
+                    continue;
+                }
+                ";" => return, // runaway: bail before eating the file
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips `#[...]` / `#![...]` attributes at the current position.
+    fn skip_attrs(&mut self) {
+        while self.at("#") {
+            self.bump();
+            if self.at("!") {
+                self.bump();
+            }
+            if self.at("[") {
+                self.skip_balanced();
+            }
+        }
+    }
+
+    // ----- items -----
+
+    fn items(&mut self, ast: &mut Ast, owner: Option<&str>, in_brace: bool) {
+        while let Some(t) = self.peek() {
+            let before = self.i;
+            if in_brace && t.text == "}" {
+                self.bump();
+                return;
+            }
+            self.skip_attrs();
+            while self.at("pub") {
+                self.bump();
+                if self.at("(") {
+                    self.skip_balanced();
+                }
+            }
+            match self.peek().map(|t| t.text.as_str()) {
+                Some("enum") => {
+                    if let Some(e) = self.parse_enum() {
+                        ast.enums.push(e);
+                    }
+                }
+                Some("fn") => {
+                    if let Some(f) = self.parse_fn(owner) {
+                        ast.fns.push(f);
+                    }
+                }
+                Some("impl") => {
+                    self.bump();
+                    if self.at("<") {
+                        self.skip_generics();
+                    }
+                    let mut ty: Option<String> = None;
+                    while let Some(t) = self.peek() {
+                        match t.text.as_str() {
+                            "{" => break,
+                            ";" => break,
+                            "for" => {
+                                ty = None;
+                                self.bump();
+                            }
+                            "<" => self.skip_generics(),
+                            _ => {
+                                if t.kind == TokenKind::Ident && t.text != "where" {
+                                    ty = Some(t.text.clone());
+                                }
+                                self.bump();
+                            }
+                        }
+                    }
+                    if self.at("{") {
+                        self.bump();
+                        self.items(ast, ty.as_deref(), true);
+                    }
+                }
+                Some("mod") => {
+                    self.bump();
+                    if self.at_kind(TokenKind::Ident) {
+                        self.bump();
+                    }
+                    if self.at("{") {
+                        self.bump();
+                        self.items(ast, owner, true);
+                    } else if self.at(";") {
+                        self.bump();
+                    }
+                }
+                Some("struct" | "union" | "trait") => {
+                    self.bump();
+                    while let Some(t) = self.peek() {
+                        match t.text.as_str() {
+                            ";" => {
+                                self.bump();
+                                break;
+                            }
+                            "{" => {
+                                self.skip_balanced();
+                                break;
+                            }
+                            "(" => self.skip_balanced(),
+                            "<" => self.skip_generics(),
+                            _ => self.bump(),
+                        }
+                    }
+                }
+                Some("macro_rules") => {
+                    self.bump(); // macro_rules
+                    if self.at("!") {
+                        self.bump();
+                    }
+                    if self.at_kind(TokenKind::Ident) {
+                        self.bump();
+                    }
+                    if self.at("{") {
+                        self.skip_balanced();
+                    }
+                }
+                Some("use" | "const" | "static" | "type" | "extern") => {
+                    while let Some(t) = self.peek() {
+                        match t.text.as_str() {
+                            ";" => {
+                                self.bump();
+                                break;
+                            }
+                            "(" | "[" | "{" => self.skip_balanced(),
+                            _ => self.bump(),
+                        }
+                    }
+                }
+                Some("unsafe" | "async" | "default") => self.bump(),
+                Some(_) => self.bump(),
+                None => return,
+            }
+            if self.i == before {
+                self.bump(); // never stall
+            }
+        }
+    }
+
+    fn parse_enum(&mut self) -> Option<EnumDef> {
+        let line = self.line();
+        self.bump(); // enum
+        if !self.at_kind(TokenKind::Ident) {
+            return None;
+        }
+        let name = self.raw_ident();
+        if self.at("<") {
+            self.skip_generics();
+        }
+        while !self.at("{") {
+            self.peek()?;
+            self.bump();
+        }
+        self.bump(); // {
+        let mut variants = Vec::new();
+        loop {
+            self.skip_attrs();
+            if self.at("}") {
+                self.bump();
+                break;
+            }
+            if !self.at_kind(TokenKind::Ident) {
+                self.peek()?;
+                self.bump();
+                continue;
+            }
+            let vline = self.line();
+            let vname = self.raw_ident();
+            let mut fields = Vec::new();
+            if self.at("(") {
+                for group in self.split_group() {
+                    fields.push(FieldDef { name: None, ty: normalize_tokens(&group) });
+                }
+            } else if self.at("{") {
+                for group in self.split_group() {
+                    let colon = top_level_colon(&group);
+                    if let Some(c) = colon {
+                        let name = group[..c]
+                            .iter()
+                            .rev()
+                            .find(|t| t.kind == TokenKind::Ident && t.text != "pub")
+                            .map(|t| t.text.clone());
+                        fields.push(FieldDef { name, ty: normalize_tokens(&group[c + 1..]) });
+                    }
+                }
+            }
+            // Skip an explicit discriminant `= expr`.
+            while let Some(t) = self.peek() {
+                match t.text.as_str() {
+                    "," => {
+                        self.bump();
+                        break;
+                    }
+                    "}" => break,
+                    "(" | "[" | "{" => self.skip_balanced(),
+                    _ => self.bump(),
+                }
+            }
+            variants.push(VariantDef { name: vname, line: vline, fields });
+        }
+        Some(EnumDef { name, line, variants })
+    }
+
+    /// Consumes a balanced `(..)`/`{..}` group, returning the top-level
+    /// comma-separated token groups (angle-bracket aware).
+    fn split_group(&mut self) -> Vec<Vec<Token>> {
+        let mut out = Vec::new();
+        let mut cur: Vec<Token> = Vec::new();
+        let mut depth = 0usize;
+        let mut angle = 0usize;
+        while let Some(t) = self.peek() {
+            let text = t.text.as_str();
+            if OPENERS.contains(&text) {
+                depth += 1;
+                if depth > 1 {
+                    cur.push(t.clone());
+                }
+                self.bump();
+                continue;
+            }
+            if CLOSERS.contains(&text) {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    self.bump();
+                    break;
+                }
+                cur.push(t.clone());
+                self.bump();
+                continue;
+            }
+            match text {
+                "<" => angle += 1,
+                ">" if self.prev_text() != Some("-") => angle = angle.saturating_sub(1),
+                "," if depth == 1 && angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    self.bump();
+                    continue;
+                }
+                _ => {}
+            }
+            cur.push(t.clone());
+            self.bump();
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        out
+    }
+
+    fn parse_fn(&mut self, owner: Option<&str>) -> Option<FnDef> {
+        let line = self.line();
+        self.bump(); // fn
+        if !self.at_kind(TokenKind::Ident) {
+            return None;
+        }
+        let name = self.raw_ident();
+        if self.at("<") {
+            self.skip_generics();
+        }
+        let mut params = Vec::new();
+        if self.at("(") {
+            for group in self.split_group() {
+                if group.iter().any(|t| t.text == "self") {
+                    continue;
+                }
+                if let Some(c) = top_level_colon(&group) {
+                    let pname = group[..c]
+                        .iter()
+                        .rev()
+                        .find(|t| t.kind == TokenKind::Ident && t.text != "mut")
+                        .map(|t| t.text.clone());
+                    params.push(FieldDef { name: pname, ty: normalize_tokens(&group[c + 1..]) });
+                }
+            }
+        }
+        // Return type / where clause: scan to the body or the `;`.
+        loop {
+            match self.peek().map(|t| t.text.as_str()) {
+                Some("{") => break,
+                Some(";") => {
+                    self.bump();
+                    return Some(FnDef {
+                        name,
+                        owner: owner.map(str::to_string),
+                        line,
+                        params,
+                        body: Body::default(),
+                    });
+                }
+                Some(_) => self.bump(),
+                None => return None,
+            }
+        }
+        let body = self.parse_block();
+        Some(FnDef { name, owner: owner.map(str::to_string), line, params, body })
+    }
+
+    // ----- statements and expressions -----
+
+    /// Parses `{ ... }`; current token must be `{`.
+    fn parse_block(&mut self) -> Body {
+        self.bump(); // {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek().map(|t| t.text.as_str()) {
+                None => break,
+                Some("}") => {
+                    self.bump();
+                    break;
+                }
+                Some(";") => {
+                    self.bump();
+                }
+                _ => {
+                    let before = self.i;
+                    let mut events = Vec::new();
+                    self.expr_events(&mut events, Term { comma: false, cond: false });
+                    if self.at(";") {
+                        self.bump();
+                    }
+                    if !events.is_empty() {
+                        stmts.push(Stmt(events));
+                    }
+                    if self.i == before {
+                        self.bump(); // never stall on unexpected closers
+                    }
+                }
+            }
+        }
+        Body(stmts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calls(body: &Body) -> Vec<String> {
+        let mut out = Vec::new();
+        body.walk(&mut |ev| {
+            if let Event::Call(c) = ev {
+                out.push(c.path.join("."));
+            }
+        });
+        out
+    }
+
+    fn one_fn(src: &str) -> FnDef {
+        let ast = parse(src);
+        assert_eq!(ast.fns.len(), 1, "{ast:?}");
+        ast.fns.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn method_chain_builds_prefixed_paths() {
+        let f = one_fn("fn f(&self) { self.inner.lock().expect(\"x\").insert(1, 2); }");
+        assert_eq!(
+            calls(&f.body),
+            vec!["self.inner.lock", "self.inner.lock.expect", "self.inner.lock.expect.insert"]
+        );
+    }
+
+    #[test]
+    fn nested_generics_and_turbofish() {
+        let f = one_fn(
+            "fn f(v: Vec<Option<Vec<u8>>>) -> Option<Vec<u32>> {\n                (0..n).map(|_| rd.u32()).collect::<Option<Vec<u32>>>()\n            }",
+        );
+        assert_eq!(f.params.len(), 1);
+        assert_eq!(f.params[0].ty, "Vec<Option<Vec<u8>>>");
+        let c = calls(&f.body);
+        assert!(c.contains(&"rd.u32".to_string()), "{c:?}");
+        assert!(c.contains(&"map.collect".to_string()), "{c:?}");
+    }
+
+    #[test]
+    fn match_guards_and_arm_tags() {
+        let f = one_fn(
+            "fn f(x: Option<u32>) -> u32 { match x { Some(v) if v > 2 => v, Some(v) => v + 1, None => 0 } }",
+        );
+        let mut arms = Vec::new();
+        f.body.walk(&mut |ev| {
+            if let Event::Match(m) = ev {
+                for a in &m.arms {
+                    arms.push(a.head_path());
+                }
+            }
+        });
+        assert_eq!(arms, vec!["Some", "Some", "None"]);
+    }
+
+    #[test]
+    fn numeric_arm_tags_parse() {
+        let f = one_fn("fn f(t: u8) -> u8 { match t { 1 => 10, 29 => 20, _ => 0 } }");
+        let mut tags = Vec::new();
+        f.body.walk(&mut |ev| {
+            if let Event::Match(m) = ev {
+                for a in &m.arms {
+                    tags.push(a.tag());
+                }
+            }
+        });
+        assert_eq!(tags, vec![Some(1), Some(29), None]);
+    }
+
+    #[test]
+    fn raw_identifiers_fold() {
+        let f = one_fn("fn f() { let r#match = 1; r#loop(r#match); }");
+        let mut lets = Vec::new();
+        f.body.walk(&mut |ev| {
+            if let Event::Let(l) = ev {
+                lets.push(l.name.clone());
+            }
+        });
+        assert_eq!(lets, vec![Some("r#match".to_string())]);
+        assert_eq!(calls(&f.body), vec!["r#loop"]);
+    }
+
+    #[test]
+    fn enum_fields_normalize() {
+        let ast = parse(
+            "pub enum Msg { Ping { req: u64 }, Blob(Vec<u8>, String), List { entries: Vec<(String, u64)> }, Unit, }",
+        );
+        assert_eq!(ast.enums.len(), 1);
+        let e = &ast.enums[0];
+        assert_eq!(e.name, "Msg");
+        let names: Vec<&str> = e.variants.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["Ping", "Blob", "List", "Unit"]);
+        assert_eq!(e.variants[0].fields[0].name.as_deref(), Some("req"));
+        assert_eq!(e.variants[0].fields[0].ty, "u64");
+        assert_eq!(e.variants[1].fields[0].ty, "Vec<u8>");
+        assert_eq!(e.variants[2].fields[0].ty, "Vec<(String,u64)>");
+        assert!(e.variants[3].fields.is_empty());
+    }
+
+    #[test]
+    fn closures_vs_bitwise_or() {
+        let f = one_fn("fn f(a: u8, b: u8) -> u8 { let g = |x: u8| x + 1; g(a | b) }");
+        let mut closures = 0;
+        f.body.walk(&mut |ev| {
+            if let Event::Closure(_) = ev {
+                closures += 1;
+            }
+        });
+        assert_eq!(closures, 1);
+    }
+
+    #[test]
+    fn vec_macro_splits_on_semicolon() {
+        let f = one_fn("fn f(n: usize) { let a = vec![0u8; n]; let b = vec![1, 2, 3]; }");
+        let mut macro_args = Vec::new();
+        f.body.walk(&mut |ev| {
+            if let Event::Call(c) = ev {
+                if c.is_macro {
+                    macro_args.push(c.args.len());
+                }
+            }
+        });
+        assert_eq!(macro_args, vec![2, 1]);
+    }
+
+    #[test]
+    fn struct_literals_keep_inner_calls_visible() {
+        let f = one_fn("fn f(rd: &mut Rd) -> Msg { Msg::Ping { req: rd.u64() } }");
+        assert_eq!(calls(&f.body), vec!["rd.u64"]);
+        let mut paths = Vec::new();
+        f.body.walk(&mut |ev| {
+            if let Event::Path(p, _) = ev {
+                paths.push(p.join("::"));
+            }
+        });
+        assert!(paths.contains(&"Msg::Ping".to_string()), "{paths:?}");
+    }
+
+    #[test]
+    fn impl_methods_carry_owner() {
+        let ast = parse("impl<'a> Rd<'a> { fn take(&mut self, n: usize) -> Option<&'a [u8]> { self.buf.get(n) } }\nimpl fmt::Display for Diagnostic { fn fmt(&self) {} }");
+        assert_eq!(ast.fns.len(), 2);
+        assert_eq!(ast.fns[0].owner.as_deref(), Some("Rd"));
+        assert_eq!(ast.fns[0].name, "take");
+        assert_eq!(ast.fns[1].owner.as_deref(), Some("Diagnostic"));
+    }
+
+    #[test]
+    fn while_let_and_spawned_closures() {
+        let f = one_fn(
+            "fn f(rx: &Receiver<u8>) { while let Ok(v) = rx.recv() { std::thread::spawn(move || handle(v)); } }",
+        );
+        let c = calls(&f.body);
+        assert!(c.contains(&"rx.recv".to_string()), "{c:?}");
+        assert!(c.contains(&"std.thread.spawn".to_string()), "{c:?}");
+        assert!(c.contains(&"handle".to_string()), "{c:?}");
+    }
+
+    #[test]
+    fn let_else_and_if_conditions_are_visible() {
+        let f = one_fn(
+            "fn f(m: &Map) { let Some(x) = m.get(1) else { return; }; if x.len() > MAX { trim(x); } }",
+        );
+        let c = calls(&f.body);
+        assert!(c.contains(&"m.get".to_string()), "{c:?}");
+        assert!(c.contains(&"x.len".to_string()), "{c:?}");
+        assert!(c.contains(&"trim".to_string()), "{c:?}");
+    }
+}

@@ -1,0 +1,138 @@
+//! The `unguarded-alloc` rule: a decoded length must meet a bounds
+//! guard before it sizes an allocation or a raw read.
+
+use std::collections::BTreeSet;
+
+use super::diag;
+use crate::parser::{Ast, Body, Event};
+use crate::rules::Diagnostic;
+
+/// Calls whose result is an attacker-controlled decoded integer.
+const TAINT_SOURCES: &[&str] = &["u16", "u32", "u64", "from_le_bytes", "from_be_bytes", "parse"];
+/// Calls that bound or consume a length before it can size an allocation.
+const GUARDS: &[&str] =
+    &["min", "contains", "checked_mul", "count", "take", "clamp", "assert!", "debug_assert!"];
+
+/// Flags allocations sized by a decoded length that never met a bounds
+/// guard: `let n = rd.u32()? as usize; Vec::with_capacity(n)` without an
+/// intervening `count()`-style check. One taint scope per fn.
+pub fn alloc_rule(ast: &Ast, file: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &ast.fns {
+        let mut tainted = BTreeSet::new();
+        walk_alloc(&f.body, &mut tainted, &mut out, file);
+    }
+    out
+}
+
+fn idents(b: &Body) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    b.walk(&mut |ev| {
+        if let Event::Path(p, _) = ev {
+            if p.len() == 1 {
+                out.insert(p[0].clone());
+            }
+        }
+    });
+    out
+}
+
+fn has_taint_source(b: &Body) -> bool {
+    let mut found = false;
+    b.walk(&mut |ev| {
+        if let Event::Call(c) = ev {
+            if c.path.last().map(|s| TAINT_SOURCES.contains(&s.as_str())).unwrap_or(false) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn body_tainted(b: &Body, tainted: &BTreeSet<String>) -> bool {
+    has_taint_source(b) || idents(b).iter().any(|i| tainted.contains(i))
+}
+
+fn walk_alloc(body: &Body, tainted: &mut BTreeSet<String>, out: &mut Vec<Diagnostic>, file: &str) {
+    for stmt in &body.0 {
+        for ev in &stmt.0 {
+            alloc_event(ev, tainted, out, file);
+        }
+    }
+}
+
+fn alloc_event(ev: &Event, tainted: &mut BTreeSet<String>, out: &mut Vec<Diagnostic>, file: &str) {
+    match ev {
+        Event::Let(l) => {
+            walk_alloc(&l.init, tainted, out, file);
+            if let Some(name) = &l.name {
+                if body_tainted(&l.init, tainted) {
+                    tainted.insert(name.clone());
+                } else {
+                    tainted.remove(name);
+                }
+            }
+        }
+        Event::Call(c) => {
+            let last = c.path.last().map(String::as_str).unwrap_or("");
+            for a in &c.args {
+                walk_alloc(a, tainted, out, file);
+            }
+            let sink = match last {
+                "with_capacity" | "reserve" | "reserve_exact" => {
+                    c.args.first().map(|a| body_tainted(a, tainted)).unwrap_or(false)
+                }
+                "vec!" => c.args.len() == 2 && body_tainted(&c.args[1], tainted),
+                "read_exact" => c.args.iter().any(|a| body_tainted(a, tainted)),
+                _ => false,
+            };
+            if sink {
+                out.push(diag(
+                    file,
+                    c.line,
+                    "unguarded-alloc",
+                    format!(
+                        "allocation `{}` is sized by a decoded length with no bounds guard; check it against the bytes remaining (count()/min()) first",
+                        c.path.join(".")
+                    ),
+                ));
+            }
+            if GUARDS.contains(&last) {
+                // The receiver chain and every argument ident is now
+                // bounds-checked.
+                for seg in &c.path {
+                    tainted.remove(seg);
+                }
+                for a in &c.args {
+                    for i in idents(a) {
+                        tainted.remove(&i);
+                    }
+                }
+            }
+        }
+        Event::Match(m) => {
+            // A match on the value is a guard (each arm sees a known
+            // shape).
+            for i in idents(&m.scrutinee) {
+                tainted.remove(&i);
+            }
+            walk_alloc(&m.scrutinee, tainted, out, file);
+            for arm in &m.arms {
+                walk_alloc(&arm.body, tainted, out, file);
+            }
+        }
+        Event::Block(b) => {
+            use crate::parser::BlockKind;
+            walk_alloc(&b.cond, tainted, out, file);
+            if matches!(b.kind, BlockKind::If | BlockKind::While) {
+                // Comparing the value bounds it on the paths that matter.
+                for i in idents(&b.cond) {
+                    tainted.remove(&i);
+                }
+            }
+            walk_alloc(&b.body, tainted, out, file);
+        }
+        Event::Closure(c) => walk_alloc(&c.body, tainted, out, file),
+        Event::Path(..) | Event::Num(..) => {}
+    }
+}

@@ -1,0 +1,378 @@
+//! Schema extraction: rebuilding the tag table and helper fingerprints
+//! from the parsed codec sources. See the module docs in `mod.rs` for
+//! the op-string language.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use crate::parser::{Arm, Ast, Body, Event, FnDef};
+
+/// One side (encode or decode) of a wire tag.
+#[derive(Debug, Clone)]
+pub struct TagSide {
+    /// `Msg` variant name handled by this arm.
+    pub variant: String,
+    /// Canonical op string, e.g. `u64,str,bytes,u8`.
+    pub ops: String,
+    /// Source line of the match arm.
+    pub line: usize,
+}
+
+/// The reconstructed wire schema.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    /// enum name → variant name → rendered field list.
+    pub enums: BTreeMap<String, BTreeMap<String, (String, usize)>>,
+    /// tag → encode arm.
+    pub enc: BTreeMap<u64, TagSide>,
+    /// tag → decode arm.
+    pub dec: BTreeMap<u64, TagSide>,
+    /// Helper fingerprints: `enc:put_u32` → (`(params) = [ops]`, line).
+    pub helpers: BTreeMap<String, (String, usize)>,
+    /// Encode arms with no literal tag push (variant, line).
+    pub no_tag: Vec<(String, usize)>,
+    /// Duplicate tag uses within one side (side, tag, variant, line).
+    pub dup_tags: Vec<(&'static str, u64, String, usize)>,
+}
+
+// ---- op extraction ---------------------------------------------------------
+
+/// Extraction context: which receivers and helper names count as ops.
+struct Ex<'a> {
+    /// Receiver idents whose method calls are ops (`out` / `rd`,`self`).
+    recv: &'a [&'a str],
+    /// Helper fn names usable as ops (encode side; `put_` is stripped).
+    enc_helpers: &'a BTreeSet<String>,
+    /// Cursor method names usable as ops (decode side).
+    dec_ops: &'a BTreeSet<String>,
+    /// First literal `out.push(N)` becomes the tag instead of an op.
+    tag: Option<u64>,
+    take_tag: bool,
+}
+
+impl Ex<'_> {
+    fn body(&mut self, b: &Body, out: &mut Vec<String>) {
+        for stmt in &b.0 {
+            for ev in &stmt.0 {
+                self.event(ev, out);
+            }
+        }
+    }
+
+    fn event(&mut self, ev: &Event, out: &mut Vec<String>) {
+        match ev {
+            Event::Call(c) => self.call(c, out),
+            Event::Let(l) => self.body(&l.init, out),
+            Event::Match(m) => {
+                self.body(&m.scrutinee, out);
+                let mut alt = String::from("alt{");
+                for (i, arm) in m.arms.iter().enumerate() {
+                    if i > 0 {
+                        alt.push(',');
+                    }
+                    alt.push_str(&arm_label(arm));
+                    let mut ops = Vec::new();
+                    self.body(&arm.body, &mut ops);
+                    if ops.is_empty() {
+                        let val = literal_value(&arm.body);
+                        if val.is_empty() {
+                            alt.push_str("=[]");
+                        } else {
+                            let _ = write!(alt, "=>{val}");
+                        }
+                    } else {
+                        let _ = write!(alt, "=[{}]", ops.join(","));
+                    }
+                }
+                alt.push('}');
+                out.push(alt);
+            }
+            Event::Block(b) => {
+                self.body(&b.cond, out);
+                if b.kind == crate::parser::BlockKind::For {
+                    let mut inner = Vec::new();
+                    self.body(&b.body, &mut inner);
+                    out.push(format!("rep[{}]", inner.join(",")));
+                } else {
+                    self.body(&b.body, out);
+                }
+            }
+            Event::Closure(c) => self.body(&c.body, out),
+            Event::Path(..) | Event::Num(..) => {}
+        }
+    }
+
+    fn call(&mut self, c: &crate::parser::Call, out: &mut Vec<String>) {
+        let last = c.path.last().map(String::as_str).unwrap_or("");
+        let first = c.path.first().map(String::as_str).unwrap_or("");
+        let on_recv = self.recv.contains(&first) && c.path.len() >= 2;
+        // `.map(..)` / `.for_each(..)` with a closure body is a repeat.
+        if matches!(last, "map" | "for_each") {
+            if let Some(cl) = closure_arg(&c.args) {
+                let mut inner = Vec::new();
+                self.body(cl, &mut inner);
+                if !inner.is_empty() {
+                    out.push(format!("rep[{}]", inner.join(",")));
+                    return;
+                }
+            }
+        }
+        if on_recv && last == "push" {
+            // `out.push(..)`: a literal byte (tag or discriminant) or a
+            // computed u8.
+            if let Some(n) = literal_num(&c.args) {
+                if self.take_tag && self.tag.is_none() {
+                    self.tag = Some(n);
+                } else {
+                    out.push(format!("u8={n}"));
+                }
+                return;
+            }
+            for a in &c.args {
+                self.body(a, out);
+            }
+            out.push("u8".to_string());
+            return;
+        }
+        if on_recv && last == "extend_from_slice" {
+            out.push("raw".to_string());
+            return;
+        }
+        if on_recv && self.dec_ops.contains(last) {
+            if matches!(last, "take" | "count") {
+                out.push(format!("{last}({})", literal_value(&c.args[0])));
+            } else {
+                for a in &c.args {
+                    self.body(a, out);
+                }
+                out.push(last.to_string());
+            }
+            return;
+        }
+        if !c.is_macro && c.path.len() == 1 && self.enc_helpers.contains(last) {
+            for a in &c.args {
+                self.body(a, out);
+            }
+            out.push(last.strip_prefix("put_").unwrap_or(last).to_string());
+            return;
+        }
+        for a in &c.args {
+            self.body(a, out);
+        }
+    }
+}
+
+/// The closure body of the first argument that is a closure, if any.
+fn closure_arg(args: &[Body]) -> Option<&Body> {
+    for a in args {
+        for stmt in &a.0 {
+            for ev in &stmt.0 {
+                if let Event::Closure(c) = ev {
+                    return Some(&c.body);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `Some(n)` when the call has exactly one argument that is one literal.
+fn literal_num(args: &[Body]) -> Option<u64> {
+    if args.len() != 1 {
+        return None;
+    }
+    match args[0].0.as_slice() {
+        [stmt] => match stmt.0.as_slice() {
+            [Event::Num(n, _)] => n.replace('_', "").parse().ok(),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// All path/num leaves of a body, `+`-joined (constant expressions like
+/// `8 + RECORD_MIN` render as `8+RECORD_MIN`).
+fn literal_value(b: &Body) -> String {
+    let mut parts = Vec::new();
+    b.walk(&mut |ev| match ev {
+        Event::Path(p, _) => parts.push(p.join("::")),
+        Event::Num(n, _) => parts.push(n.clone()),
+        _ => {}
+    });
+    parts.join("+")
+}
+
+/// Pattern label for an `alt` op: leading path, number, or `_`.
+fn arm_label(arm: &Arm) -> String {
+    if let Some(t) = arm.tag() {
+        return t.to_string();
+    }
+    let head = arm.head_path();
+    if head.is_empty() {
+        arm.pat.first().map(|t| t.text.clone()).unwrap_or_default()
+    } else {
+        head
+    }
+}
+
+// ---- schema extraction -----------------------------------------------------
+
+fn fn_ops(f: &FnDef, ex: &mut Ex<'_>) -> String {
+    let mut ops = Vec::new();
+    ex.body(&f.body, &mut ops);
+    ops.join(",")
+}
+
+fn params(f: &FnDef) -> String {
+    let mut out = String::new();
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(n) = &p.name {
+            let _ = write!(out, "{n}:");
+        }
+        out.push_str(&p.ty);
+    }
+    out
+}
+
+/// Non-test prefix of a source file (everything before `#[cfg(test)]`).
+fn non_test(src: &str) -> Ast {
+    let lexed = crate::lexer::lex(src);
+    let cut = crate::rules::test_region_start(&lexed.tokens);
+    let toks: Vec<_> = lexed.tokens.into_iter().take_while(|t| t.line < cut).collect();
+    crate::parser::parse_tokens(&toks)
+}
+
+/// Rebuilds the wire schema from the three source files.
+pub fn extract(enum_src: &str, enc_src: &str, dec_src: &str, enum_name: &str) -> Schema {
+    let mut s = Schema::default();
+
+    for e in non_test(enum_src).enums {
+        let vs = s.enums.entry(e.name.clone()).or_default();
+        for v in &e.variants {
+            let mut fields = String::new();
+            for (i, f) in v.fields.iter().enumerate() {
+                if i > 0 {
+                    fields.push(',');
+                }
+                if let Some(n) = &f.name {
+                    let _ = write!(fields, "{n}:");
+                }
+                fields.push_str(&f.ty);
+            }
+            vs.insert(v.name.clone(), (fields, v.line));
+        }
+    }
+
+    let enc_ast = non_test(enc_src);
+    let dec_ast = non_test(dec_src);
+    let enc_helpers: BTreeSet<String> =
+        enc_ast.fns.iter().filter(|f| f.name != "encode_msg").map(|f| f.name.clone()).collect();
+    let dec_ops: BTreeSet<String> =
+        dec_ast.fns.iter().filter(|f| f.name != "decode_msg").map(|f| f.name.clone()).collect();
+
+    for f in &enc_ast.fns {
+        let mut ex = Ex {
+            recv: &["out"],
+            enc_helpers: &enc_helpers,
+            dec_ops: &BTreeSet::new(),
+            tag: None,
+            take_tag: false,
+        };
+        if f.name == "encode_msg" {
+            // The top-level match over `msg`: one arm per variant.
+            each_arm(&f.body, &mut |arm| {
+                let head = arm.head_path();
+                let Some(variant) = head.strip_prefix(&format!("{enum_name}::")) else {
+                    return;
+                };
+                let mut ex = Ex {
+                    recv: &["out"],
+                    enc_helpers: &enc_helpers,
+                    dec_ops: &BTreeSet::new(),
+                    tag: None,
+                    take_tag: true,
+                };
+                let mut ops = Vec::new();
+                ex.body(&arm.body, &mut ops);
+                match ex.tag {
+                    Some(tag) => {
+                        let side = TagSide {
+                            variant: variant.to_string(),
+                            ops: ops.join(","),
+                            line: arm.line,
+                        };
+                        if let Some(prev) = s.enc.insert(tag, side) {
+                            s.dup_tags.push(("encode", tag, prev.variant, arm.line));
+                        }
+                    }
+                    None => s.no_tag.push((variant.to_string(), arm.line)),
+                }
+            });
+        } else {
+            let fp = format!("({}) = [{}]", params(f), fn_ops(f, &mut ex));
+            s.helpers.insert(format!("enc:{}", f.name), (fp, f.line));
+        }
+    }
+
+    for f in &dec_ast.fns {
+        let mut ex = Ex {
+            recv: &["rd", "self"],
+            enc_helpers: &BTreeSet::new(),
+            dec_ops: &dec_ops,
+            tag: None,
+            take_tag: false,
+        };
+        if f.name == "decode_msg" {
+            // The top-level match over the tag byte: numeric arms.
+            each_arm(&f.body, &mut |arm| {
+                let Some(tag) = arm.tag() else { return };
+                let mut variant = String::new();
+                arm.body.walk(&mut |ev| {
+                    let segs = match ev {
+                        Event::Call(c) => &c.path,
+                        Event::Path(p, _) => p,
+                        _ => return,
+                    };
+                    if variant.is_empty() && segs.len() >= 2 && segs[0] == enum_name {
+                        variant = segs[1].clone();
+                    }
+                });
+                let mut ops = Vec::new();
+                ex.body(&arm.body, &mut ops);
+                let side = TagSide { variant: variant.clone(), ops: ops.join(","), line: arm.line };
+                if let Some(prev) = s.dec.insert(tag, side) {
+                    s.dup_tags.push(("decode", tag, prev.variant, arm.line));
+                }
+            });
+        } else {
+            let fp = format!("({}) = [{}]", params(f), fn_ops(f, &mut ex));
+            s.helpers.insert(format!("dec:{}", f.name), (fp, f.line));
+        }
+    }
+
+    s
+}
+
+/// Applies `f` to every arm of every match in `body` (outermost only is
+/// not enough: `decode_msg` has its match inside a `let`).
+fn each_arm(body: &Body, f: &mut impl FnMut(&Arm)) {
+    // Only the first match in DFS preorder — that is the outermost one
+    // (the tag/variant dispatch). Nested matches inside arms (method
+    // bytes, error discriminants) are part of the arm's op fingerprint,
+    // not extra tag arms.
+    let mut done = false;
+    body.walk(&mut |ev| {
+        if done {
+            return;
+        }
+        if let Event::Match(m) = ev {
+            done = true;
+            for arm in &m.arms {
+                f(arm);
+            }
+        }
+    });
+}

@@ -1,0 +1,586 @@
+//! Wire-schema extraction and the compatibility gate (`wire-schema`),
+//! plus the decoded-length allocation rule (`unguarded-alloc`).
+//!
+//! [`extract`] parses the `Msg` enum and both codec halves and rebuilds
+//! the tag→variant→layout table straight from the encode/decode match
+//! arms: each arm becomes an ordered op string (`u64`, `str`, `u8=1`,
+//! `raw`, `count(8+RECORD_MIN)`, `rep[...]`, `alt{...}`), every helper fn
+//! is fingerprinted the same way, and the whole schema renders to a
+//! canonical text form. [`check_sources`] diffs that against the
+//! committed `schema.lock`: tag reuse, renumbering, field reorder, or a
+//! width change is a hard diagnostic; appends ask for `--bless-schema`.
+//! Encode/decode symmetry is cross-checked independently of the lock.
+
+mod alloc;
+mod extract;
+
+pub use alloc::alloc_rule;
+pub use extract::{extract, Schema, TagSide};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::policy::SchemaConfig;
+use crate::rules::Diagnostic;
+
+fn diag(file: &str, line: usize, rule: &str, message: String) -> Diagnostic {
+    Diagnostic { file: file.to_string(), line, rule: rule.to_string(), message }
+}
+
+// ---- lock rendering and parsing --------------------------------------------
+
+/// Renders the schema in its canonical lockfile form. Byte-stable: all
+/// sections are sorted, tags numerically.
+pub fn render(s: &Schema) -> String {
+    let mut out = String::new();
+    out.push_str("# mystore wire-schema lock. Regenerate with `mystore-lint --bless-schema`\n");
+    out.push_str("# after a deliberate, append-only wire change. Any other diff here is a\n");
+    out.push_str("# rolling-upgrade break: tags and layouts are frozen once released.\n");
+    out.push_str("format 1\n");
+    for (ename, variants) in &s.enums {
+        let _ = writeln!(out, "enum {ename}");
+        for (vname, (fields, _)) in variants {
+            let _ = writeln!(out, "field {ename}::{vname} = {fields}");
+        }
+    }
+    let tags: BTreeSet<u64> = s.enc.keys().chain(s.dec.keys()).copied().collect();
+    for t in tags {
+        let variant =
+            s.enc.get(&t).or_else(|| s.dec.get(&t)).map(|x| x.variant.as_str()).unwrap_or("-");
+        let enc = s.enc.get(&t).map(|x| x.ops.as_str()).unwrap_or("-");
+        let dec = s.dec.get(&t).map(|x| x.ops.as_str()).unwrap_or("-");
+        let _ = writeln!(out, "tag {t} = {variant} | enc [{enc}] | dec [{dec}]");
+    }
+    for (name, (fp, _)) in &s.helpers {
+        let _ = writeln!(out, "helper {name}{fp}");
+    }
+    out
+}
+
+/// A parsed `schema.lock`.
+#[derive(Debug, Default)]
+struct Lock {
+    fields: BTreeMap<String, String>,
+    tags: BTreeMap<u64, (String, String, String)>,
+    helpers: BTreeMap<String, String>,
+}
+
+fn parse_lock(text: &str) -> Lock {
+    let mut lock = Lock::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("enum ") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("field ") {
+            if let Some((key, val)) = rest.split_once(" = ") {
+                lock.fields.insert(key.to_string(), val.to_string());
+            } else if let Some(key) = rest.strip_suffix(" =") {
+                lock.fields.insert(key.to_string(), String::new());
+            }
+        } else if let Some(rest) = line.strip_prefix("tag ") {
+            let Some((num, val)) = rest.split_once(" = ") else { continue };
+            let Ok(num) = num.parse::<u64>() else { continue };
+            let mut it = val.split(" | ");
+            let variant = it.next().unwrap_or("").to_string();
+            let enc = strip_side(it.next().unwrap_or(""), "enc ");
+            let dec = strip_side(it.next().unwrap_or(""), "dec ");
+            lock.tags.insert(num, (variant, enc, dec));
+        } else if let Some(rest) = line.strip_prefix("helper ") {
+            if let Some(paren) = rest.find('(') {
+                lock.helpers.insert(rest[..paren].to_string(), rest[paren..].to_string());
+            }
+        }
+    }
+    lock
+}
+
+fn strip_side(s: &str, prefix: &str) -> String {
+    // Exactly one bracket pair is ours; inner `rep[...]` brackets belong
+    // to the ops and must survive.
+    let s = s.strip_prefix(prefix).unwrap_or(s);
+    let s = s.strip_prefix('[').unwrap_or(s);
+    s.strip_suffix(']').unwrap_or(s).to_string()
+}
+
+// ---- the gate --------------------------------------------------------------
+
+/// Runs the full wire-schema gate over in-memory sources. `lock` is the
+/// committed `schema.lock` content, if present. Display names are used
+/// verbatim in diagnostics.
+#[allow(clippy::too_many_arguments)] // three sources + their display names; a config struct would just rename the problem
+pub fn check_sources(
+    enum_src: &str,
+    enc_src: &str,
+    dec_src: &str,
+    lock: Option<&str>,
+    enum_name: &str,
+    enc_file: &str,
+    dec_file: &str,
+    enum_file: &str,
+    lock_file: &str,
+) -> Vec<Diagnostic> {
+    let s = extract(enum_src, enc_src, dec_src, enum_name);
+    let mut out = Vec::new();
+    const RULE: &str = "wire-schema";
+
+    for (side, tag, variant, line) in &s.dup_tags {
+        let file = if *side == "encode" { enc_file } else { dec_file };
+        out.push(diag(
+            file,
+            *line,
+            RULE,
+            format!("tag {tag} is used by two {side} arms (first: {variant}); tags must be unique"),
+        ));
+    }
+    for (variant, line) in &s.no_tag {
+        out.push(diag(
+            enc_file,
+            *line,
+            RULE,
+            format!("encode arm for {enum_name}::{variant} pushes no literal tag byte"),
+        ));
+    }
+
+    // Encode/decode symmetry, independent of the lock.
+    for (tag, enc) in &s.enc {
+        match s.dec.get(tag) {
+            None => out.push(diag(
+                enc_file,
+                enc.line,
+                RULE,
+                format!(
+                    "tag {tag} ({enum_name}::{}) is encoded but has no decode arm",
+                    enc.variant
+                ),
+            )),
+            Some(dec) if dec.variant != enc.variant => out.push(diag(
+                dec_file,
+                dec.line,
+                RULE,
+                format!(
+                    "tag {tag} encodes {enum_name}::{} but decodes {enum_name}::{}",
+                    enc.variant, dec.variant
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (tag, dec) in &s.dec {
+        if !s.enc.contains_key(tag) {
+            out.push(diag(
+                dec_file,
+                dec.line,
+                RULE,
+                format!(
+                    "tag {tag} ({enum_name}::{}) is decoded but has no encode arm",
+                    dec.variant
+                ),
+            ));
+        }
+    }
+    // Every wire-enum variant must be covered by an encode arm.
+    if let Some(variants) = s.enums.get(enum_name) {
+        let encoded: BTreeSet<&str> = s.enc.values().map(|x| x.variant.as_str()).collect();
+        for (vname, (_, line)) in variants {
+            if !encoded.contains(vname.as_str()) {
+                out.push(diag(
+                    enum_file,
+                    *line,
+                    RULE,
+                    format!("{enum_name}::{vname} has no encode arm in the codec"),
+                ));
+            }
+        }
+    }
+
+    let Some(lock) = lock else {
+        out.push(diag(
+            lock_file,
+            1,
+            RULE,
+            "schema.lock is missing; run `mystore-lint --bless-schema` to create it".to_string(),
+        ));
+        return out;
+    };
+    let lock = parse_lock(lock);
+
+    // Tag table diff. Variant → locked tag, for renumber detection.
+    let locked_tag_of: BTreeMap<&str, u64> =
+        lock.tags.iter().map(|(t, (v, _, _))| (v.as_str(), *t)).collect();
+    let tags: BTreeSet<u64> = s.enc.keys().chain(s.dec.keys()).copied().collect();
+    for t in &tags {
+        let side = s.enc.get(t).or_else(|| s.dec.get(t)).expect("tag in union");
+        let enc_ops = s.enc.get(t).map(|x| x.ops.as_str()).unwrap_or("-");
+        let dec_ops = s.dec.get(t).map(|x| x.ops.as_str()).unwrap_or("-");
+        match lock.tags.get(t) {
+            Some((lv, lenc, ldec)) if *lv == side.variant => {
+                if enc_ops != lenc {
+                    out.push(diag(enc_file, s.enc.get(t).map(|x| x.line).unwrap_or(side.line), RULE,
+                        format!("tag {t} ({enum_name}::{}) encode layout changed: lock says [{lenc}], code says [{enc_ops}] — wire layouts are frozen; add a new tag instead", side.variant)));
+                }
+                if dec_ops != ldec {
+                    out.push(diag(dec_file, s.dec.get(t).map(|x| x.line).unwrap_or(side.line), RULE,
+                        format!("tag {t} ({enum_name}::{}) decode layout changed: lock says [{ldec}], code says [{dec_ops}] — wire layouts are frozen; add a new tag instead", side.variant)));
+                }
+            }
+            Some((lv, _, _)) => out.push(diag(
+                enc_file,
+                side.line,
+                RULE,
+                format!(
+                    "tag {t} reused: lock assigns it to {enum_name}::{lv}, code now uses it for {enum_name}::{} — tags are append-only and never change meaning",
+                    side.variant
+                ),
+            )),
+            None => match locked_tag_of.get(side.variant.as_str()) {
+                Some(old) => out.push(diag(
+                    enc_file,
+                    side.line,
+                    RULE,
+                    format!(
+                        "{enum_name}::{} renumbered from tag {old} to tag {t} — renumbering corrupts mixed-version clusters",
+                        side.variant
+                    ),
+                )),
+                None => out.push(diag(
+                    enc_file,
+                    side.line,
+                    RULE,
+                    format!(
+                        "new tag {t} ({enum_name}::{}) is not in schema.lock; if this append is deliberate, run `mystore-lint --bless-schema`",
+                        side.variant
+                    ),
+                )),
+            },
+        }
+    }
+    for (t, (lv, _, _)) in &lock.tags {
+        if !tags.contains(t) {
+            // If the variant still exists under another tag, the renumber
+            // diagnostic above already covers it; this is a true removal.
+            let renumbered = s.enc.values().chain(s.dec.values()).any(|x| x.variant == *lv);
+            if !renumbered {
+                out.push(diag(
+                    lock_file,
+                    1,
+                    RULE,
+                    format!(
+                        "tag {t} ({enum_name}::{lv}) is in schema.lock but gone from the codec — removing wire messages breaks mixed-version peers"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Enum field layouts.
+    for (ename, variants) in &s.enums {
+        for (vname, (fields, line)) in variants {
+            let key = format!("{ename}::{vname}");
+            match lock.fields.get(&key) {
+                Some(lf) if lf == fields => {}
+                Some(lf) => out.push(diag(
+                    enum_file,
+                    *line,
+                    RULE,
+                    format!(
+                        "{key} field layout changed: lock says `{lf}`, code says `{fields}` — reordering or resizing fields changes the wire layout"
+                    ),
+                )),
+                None => out.push(diag(
+                    enum_file,
+                    *line,
+                    RULE,
+                    format!(
+                        "{key} is not in schema.lock; if this append is deliberate, run `mystore-lint --bless-schema`"
+                    ),
+                )),
+            }
+        }
+    }
+    for key in lock.fields.keys() {
+        let (ename, vname) = key.split_once("::").unwrap_or((key.as_str(), ""));
+        let present = s.enums.get(ename).map(|vs| vs.contains_key(vname)).unwrap_or(false);
+        if !present {
+            out.push(diag(
+                lock_file,
+                1,
+                RULE,
+                format!("{key} is in schema.lock but gone from the source enums"),
+            ));
+        }
+    }
+
+    // Helper fingerprints (put_*/Rd methods): a width change inside a
+    // helper silently changes every layout that uses it.
+    for (name, (fp, line)) in &s.helpers {
+        let file = if name.starts_with("enc:") { enc_file } else { dec_file };
+        match lock.helpers.get(name) {
+            Some(lf) if lf == fp => {}
+            Some(lf) => out.push(diag(
+                file,
+                *line,
+                RULE,
+                format!("helper {name} changed: lock says `{lf}`, code says `{fp}`"),
+            )),
+            None => out.push(diag(
+                file,
+                *line,
+                RULE,
+                format!(
+                    "helper {name} is not in schema.lock; if this addition is deliberate, run `mystore-lint --bless-schema`"
+                ),
+            )),
+        }
+    }
+    for name in lock.helpers.keys() {
+        if !s.helpers.contains_key(name) {
+            out.push(diag(
+                lock_file,
+                1,
+                RULE,
+                format!("helper {name} is in schema.lock but gone from the codec"),
+            ));
+        }
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    out
+}
+
+fn read(root: &Path, rel: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(root.join(rel))
+}
+
+/// Runs the gate against the on-disk files named by `cfg`.
+pub fn check(cfg: &SchemaConfig) -> std::io::Result<Vec<Diagnostic>> {
+    let enum_src = read(&cfg.root, &cfg.enum_file)?;
+    let enc_src = read(&cfg.root, &cfg.encode_file)?;
+    let dec_src = read(&cfg.root, &cfg.decode_file)?;
+    let lock = std::fs::read_to_string(cfg.root.join(&cfg.lock_file)).ok();
+    Ok(check_sources(
+        &enum_src,
+        &enc_src,
+        &dec_src,
+        lock.as_deref(),
+        &cfg.enum_name,
+        &cfg.encode_file,
+        &cfg.decode_file,
+        &cfg.enum_file,
+        &cfg.lock_file,
+    ))
+}
+
+/// Regenerates `schema.lock` from the current sources and returns the
+/// rendered text.
+pub fn bless(cfg: &SchemaConfig) -> std::io::Result<String> {
+    let enum_src = read(&cfg.root, &cfg.enum_file)?;
+    let enc_src = read(&cfg.root, &cfg.encode_file)?;
+    let dec_src = read(&cfg.root, &cfg.decode_file)?;
+    let text = render(&extract(&enum_src, &enc_src, &dec_src, &cfg.enum_name));
+    std::fs::write(cfg.root.join(&cfg.lock_file), &text)?;
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const ENUM: &str = "pub enum Msg { Ping { req: u64 }, Pong { req: u64, ok: bool } }";
+    const ENC: &str = r#"
+fn put_u64(out: &mut Vec<u8>, v: u64) { out.extend_from_slice(&v.to_le_bytes()); }
+pub fn encode_msg(msg: &Msg, out: &mut Vec<u8>) {
+    match msg {
+        Msg::Ping { req } => { out.push(1); put_u64(out, *req); }
+        Msg::Pong { req, ok } => { out.push(2); put_u64(out, *req); out.push(u8::from(*ok)); }
+    }
+}
+"#;
+    const DEC: &str = r#"
+struct Rd<'a> { buf: &'a [u8], at: usize }
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> { self.buf.get(self.at..self.at + n) }
+    fn u8(&mut self) -> Option<u8> { Some(self.take(1)?[0]) }
+    fn u64(&mut self) -> Option<u64> { Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?)) }
+}
+pub fn decode_msg(buf: &[u8]) -> Option<Msg> {
+    let mut rd = Rd { buf, at: 0 };
+    let msg = match rd.u8()? {
+        1 => Msg::Ping { req: rd.u64()? },
+        2 => { let req = rd.u64()?; Msg::Pong { req, ok: rd.u8()? == 1 } }
+        _ => return None,
+    };
+    Some(msg)
+}
+"#;
+
+    #[test]
+    fn extraction_builds_the_tag_table() {
+        let s = extract(ENUM, ENC, DEC, "Msg");
+        assert_eq!(s.enc.len(), 2);
+        assert_eq!(s.enc[&1].variant, "Ping");
+        assert_eq!(s.enc[&1].ops, "u64");
+        assert_eq!(s.enc[&2].ops, "u64,u8");
+        assert_eq!(s.dec[&1].variant, "Ping");
+        assert_eq!(s.dec[&1].ops, "u64");
+        assert_eq!(s.dec[&2].ops, "u64,u8");
+        assert!(s.helpers.contains_key("enc:put_u64"));
+        assert!(s.helpers.contains_key("dec:take"));
+        assert_eq!(s.enums["Msg"]["Ping"].0, "req:u64");
+    }
+
+    #[test]
+    fn clean_sources_match_their_own_lock() {
+        let s = extract(ENUM, ENC, DEC, "Msg");
+        let lock = render(&s);
+        let diags = check_sources(
+            ENUM,
+            ENC,
+            DEC,
+            Some(&lock),
+            "Msg",
+            "enc.rs",
+            "dec.rs",
+            "msg.rs",
+            "schema.lock",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        // Byte stability: rendering twice is identical.
+        assert_eq!(lock, render(&extract(ENUM, ENC, DEC, "Msg")));
+    }
+
+    #[test]
+    fn missing_lock_asks_for_bless() {
+        let diags =
+            check_sources(ENUM, ENC, DEC, None, "Msg", "enc.rs", "dec.rs", "msg.rs", "schema.lock");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("--bless-schema"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn renumbering_and_width_changes_are_hard_diags() {
+        let lock = render(&extract(ENUM, ENC, DEC, "Msg"));
+        // Renumber Pong 2 -> 9 on both sides.
+        let enc = ENC.replace("out.push(2)", "out.push(9)");
+        let dec = DEC.replace("2 => {", "9 => {");
+        let diags = check_sources(
+            ENUM,
+            &enc,
+            &dec,
+            Some(&lock),
+            "Msg",
+            "enc.rs",
+            "dec.rs",
+            "msg.rs",
+            "schema.lock",
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("renumbered from tag 2 to tag 9")),
+            "{diags:?}"
+        );
+        // Width change: Ping req u64 -> u8 in decode only.
+        let dec = DEC.replace("Msg::Ping { req: rd.u64()? }", "Msg::Ping { req: rd.u8()? }");
+        let diags = check_sources(
+            ENUM,
+            ENC,
+            &dec,
+            Some(&lock),
+            "Msg",
+            "enc.rs",
+            "dec.rs",
+            "msg.rs",
+            "schema.lock",
+        );
+        assert!(
+            diags.iter().any(|d| d.rule == "wire-schema"
+                && d.message.contains("decode layout changed")
+                && d.message.contains("lock says [u64]")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_decode_arm_is_asymmetry() {
+        let lock = render(&extract(ENUM, ENC, DEC, "Msg"));
+        let dec =
+            DEC.replace("2 => { let req = rd.u64()?; Msg::Pong { req, ok: rd.u8()? == 1 } }", "");
+        let diags = check_sources(
+            ENUM,
+            ENC,
+            &dec,
+            Some(&lock),
+            "Msg",
+            "enc.rs",
+            "dec.rs",
+            "msg.rs",
+            "schema.lock",
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("encoded but has no decode arm")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn appends_ask_for_bless_not_hard_fail() {
+        let lock = render(&extract(ENUM, ENC, DEC, "Msg"));
+        let enum_src =
+            "pub enum Msg { Ping { req: u64 }, Pong { req: u64, ok: bool }, Bye { req: u64 } }";
+        let enc = ENC.replace(
+            "    }\n}",
+            "        Msg::Bye { req } => { out.push(3); put_u64(out, *req); }\n    }\n}",
+        );
+        let dec = DEC.replace(
+            "        _ => return None,",
+            "        3 => Msg::Bye { req: rd.u64()? },\n        _ => return None,",
+        );
+        let diags = check_sources(
+            enum_src,
+            &enc,
+            &dec,
+            Some(&lock),
+            "Msg",
+            "enc.rs",
+            "dec.rs",
+            "msg.rs",
+            "schema.lock",
+        );
+        assert!(!diags.is_empty());
+        for d in &diags {
+            assert!(d.message.contains("--bless-schema"), "unexpected hard diag: {d:?}");
+        }
+    }
+
+    #[test]
+    fn unguarded_alloc_fires_and_guards_silence_it() {
+        let src = r#"
+fn bad(rd: &mut Rd) -> Option<Vec<u8>> {
+    let n = rd.u32()? as usize;
+    let mut v = Vec::with_capacity(n);
+    Some(v)
+}
+fn good(rd: &mut Rd) -> Option<Vec<u8>> {
+    let n = rd.count(4)?;
+    let mut v = Vec::with_capacity(n);
+    Some(v)
+}
+fn bounded(rd: &mut Rd) -> Option<Vec<u8>> {
+    let n = rd.u32()? as usize;
+    if n > MAX { return None; }
+    Some(Vec::with_capacity(n))
+}
+fn via_macro(rd: &mut Rd) -> Option<Vec<u8>> {
+    let n = rd.u32()? as usize;
+    Some(vec![0u8; n])
+}
+fn len_is_fine(payload: &[u8]) -> Vec<u8> {
+    Vec::with_capacity(payload.len() + 8)
+}
+"#;
+        let diags = alloc_rule(&parse(src), "f.rs");
+        let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![4, 19], "{diags:?}");
+    }
+}

@@ -1,0 +1,15 @@
+// Mini wire enum for the schema-gate fixture tests. Shaped like the
+// real crates/core/src/message.rs so schema_config's layout applies
+// unchanged with --root pointed here.
+
+/// Fixture wire message set: tags 1-4, append-only.
+pub enum Msg {
+    /// Tag 1.
+    Ping { req: u64 },
+    /// Tag 2.
+    Pong { req: u64, ok: bool },
+    /// Tag 3.
+    Blob { req: u64, body: Vec<u8> },
+    /// Tag 4.
+    List { entries: Vec<(String, u64)> },
+}

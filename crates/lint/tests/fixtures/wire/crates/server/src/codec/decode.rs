@@ -1,0 +1,73 @@
+// Decode half of the fixture codec: an `Rd` cursor with the forged-count
+// guard, and a `decode_msg` whose top-level match dispatches on the tag.
+
+pub struct Rd<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.at.checked_add(n)?;
+        let s = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        Some(self.u8()? != 0)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.count(1)?;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+
+    /// Reads a length and bounds it by the bytes remaining: a forged
+    /// count cannot size an allocation past the frame.
+    fn count(&mut self, min_elem: usize) -> Option<usize> {
+        let n = self.u32()? as usize;
+        let left = self.buf.len() - self.at;
+        if n.checked_mul(min_elem.max(1))? > left {
+            return None;
+        }
+        Some(n)
+    }
+}
+
+pub fn decode_msg(buf: &[u8]) -> Option<Msg> {
+    let mut rd = Rd { buf, at: 0 };
+    let msg = match rd.u8()? {
+        1 => Msg::Ping { req: rd.u64()? },
+        2 => Msg::Pong { req: rd.u64()?, ok: rd.bool()? },
+        3 => {
+            let req = rd.u64()?;
+            let n = rd.count(1)?;
+            Msg::Blob { req, body: rd.take(n)?.to_vec() }
+        }
+        4 => {
+            let n = rd.count(4 + 8)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = rd.str()?;
+                let v = rd.u64()?;
+                entries.push((k, v));
+            }
+            Msg::List { entries }
+        }
+        _ => return None,
+    };
+    Some(msg)
+}

@@ -1,0 +1,44 @@
+// Encode half of the fixture codec. Mirrors the real codec's shape:
+// one `encode_msg` match arm per variant, each pushing its literal tag
+// byte first, plus `put_*` helpers that are fingerprinted separately.
+
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub fn encode_msg(msg: &Msg, out: &mut Vec<u8>) {
+    match msg {
+        Msg::Ping { req } => {
+            out.push(1);
+            put_u64(out, *req);
+        }
+        Msg::Pong { req, ok } => {
+            out.push(2);
+            put_u64(out, *req);
+            out.push(u8::from(*ok));
+        }
+        Msg::Blob { req, body } => {
+            out.push(3);
+            put_u64(out, *req);
+            put_u32(out, body.len() as u32);
+            out.extend_from_slice(body);
+        }
+        Msg::List { entries } => {
+            out.push(4);
+            put_u32(out, entries.len() as u32);
+            for (k, v) in entries {
+                put_str(out, k);
+                put_u64(out, *v);
+            }
+        }
+    }
+}

@@ -1,34 +1,45 @@
-//! Golden-file diagnostics test: lints the seeded violation fixture
+//! Golden-file diagnostics test: lints the seeded violation fixtures
 //! (one deliberate violation per rule) and diffs the formatted output
 //! against `fixtures/expected.txt`. This doubles as the CI guard that
 //! the rules keep firing — if a rule rots, the diff fails.
 
 use std::path::PathBuf;
 
-use mystore_lint::{lint_file, policy::strict_policy, MetricsIndex};
+use mystore_lint::{lint_file, locks, policy, policy::strict_policy, schema, MetricsIndex};
 
 #[test]
-fn fixture_crate_produces_exactly_the_expected_diagnostics() {
+fn fixture_crates_produce_exactly_the_expected_diagnostics() {
     let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     let fixture_src = fixtures.join("badcrate/src/lib.rs");
     let source = std::fs::read_to_string(&fixture_src).expect("read fixture");
     let expected = std::fs::read_to_string(fixtures.join("expected.txt")).expect("read expected");
 
+    // Token rules + the taint-based alloc rule, per file.
     let policy = strict_policy(fixtures.join("badcrate"));
     let mut metrics = MetricsIndex::new();
     let mut diags = lint_file(&source, "src/lib.rs", "src/lib.rs", &policy, &mut metrics);
     diags.extend(metrics.finish());
+
+    // The cross-file lock-order / recv-under-lock analysis over the same
+    // fixture, with the production declared order.
+    diags.extend(locks::analyze(&[("src/lib.rs".to_string(), source.clone())], policy::LOCK_ORDER));
+
+    // The wire-schema gate over the seeded-violation mini-workspace.
+    diags.extend(
+        schema::check(&policy::schema_config(&fixtures.join("badwire"))).expect("badwire gate"),
+    );
+
     diags.sort();
 
     let got: String = diags.iter().map(|d| format!("{d}\n")).collect();
     assert_eq!(got, expected, "fixture diagnostics drifted from fixtures/expected.txt");
 
-    // Every rule must be represented at least once in the fixture, so a
+    // Every rule must be represented at least once in the fixtures, so a
     // rule that silently stops firing cannot hide behind the diff.
     for rule in mystore_lint::RULES {
         assert!(
             diags.iter().any(|d| d.rule == rule.name),
-            "rule {} has no seeded violation in the fixture",
+            "rule {} has no seeded violation in the fixtures",
             rule.name
         );
     }

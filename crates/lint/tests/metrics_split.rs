@@ -1,0 +1,90 @@
+//! Regression test for cross-file metric duplicate detection across the
+//! PR-8 module split: `storage_node/stats.rs` and `storage_node/sync.rs`
+//! are linted as separate files but share one `MetricsIndex`, so a
+//! counter registered in both must be flagged on the second file.
+
+use std::path::PathBuf;
+
+use mystore_lint::{lint_file, policy, MetricsIndex};
+
+fn core_policy() -> policy::CratePolicy {
+    policy::workspace_policy(&PathBuf::from("."))
+        .into_iter()
+        .find(|p| p.name == "core")
+        .expect("core crate in the policy table")
+}
+
+#[test]
+fn duplicate_sync_counter_across_split_modules_is_caught() {
+    let stats_src = r#"
+pub fn register(reg: &Registry) {
+    let _rounds = reg.counter("sync.rounds");
+}
+"#;
+    let sync_src = r#"
+pub fn register(reg: &Registry) {
+    let _rounds = reg.counter("sync.rounds");
+}
+"#;
+    let policy = core_policy();
+    let mut metrics = MetricsIndex::new();
+    let mut diags = lint_file(
+        stats_src,
+        "src/storage_node/stats.rs",
+        "crates/core/src/storage_node/stats.rs",
+        &policy,
+        &mut metrics,
+    );
+    diags.extend(lint_file(
+        sync_src,
+        "src/storage_node/sync.rs",
+        "crates/core/src/storage_node/sync.rs",
+        &policy,
+        &mut metrics,
+    ));
+    diags.extend(metrics.finish());
+
+    let dups: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "metrics-hygiene" && d.message.contains("more than once"))
+        .collect();
+    assert_eq!(dups.len(), 1, "{diags:?}");
+    assert_eq!(dups[0].file, "crates/core/src/storage_node/sync.rs");
+    assert!(
+        dups[0].message.contains("crates/core/src/storage_node/stats.rs"),
+        "first-site pointer missing: {}",
+        dups[0].message
+    );
+}
+
+#[test]
+fn distinct_counters_across_split_modules_are_clean() {
+    let stats_src = r#"
+pub fn register(reg: &Registry) {
+    let _rounds = reg.counter("sync.rounds");
+}
+"#;
+    let sync_src = r#"
+pub fn register(reg: &Registry) {
+    let _pulls = reg.counter("sync.pulls");
+}
+"#;
+    let policy = core_policy();
+    let mut metrics = MetricsIndex::new();
+    let mut diags = lint_file(
+        stats_src,
+        "src/storage_node/stats.rs",
+        "crates/core/src/storage_node/stats.rs",
+        &policy,
+        &mut metrics,
+    );
+    diags.extend(lint_file(
+        sync_src,
+        "src/storage_node/sync.rs",
+        "crates/core/src/storage_node/sync.rs",
+        &policy,
+        &mut metrics,
+    ));
+    diags.extend(metrics.finish());
+    assert!(diags.is_empty(), "{diags:?}");
+}

@@ -1,0 +1,92 @@
+//! Teeth tests for the wire-schema gate: the committed lockfiles are
+//! byte-stable, the clean fixture and the real workspace pass, and a
+//! single mutated tag byte produces exactly the expected diagnostic.
+
+use std::path::PathBuf;
+
+use mystore_lint::policy::schema_config;
+use mystore_lint::schema::{check, check_sources, extract, render};
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn read(p: PathBuf) -> String {
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+#[test]
+fn clean_wire_fixture_passes_the_gate() {
+    let d = check(&schema_config(&fixtures().join("wire"))).expect("gate runs");
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn fixture_lock_is_byte_stable_and_matches_the_committed_file() {
+    let wire = fixtures().join("wire");
+    let enum_src = read(wire.join("crates/core/src/message.rs"));
+    let enc_src = read(wire.join("crates/server/src/codec/mod.rs"));
+    let dec_src = read(wire.join("crates/server/src/codec/decode.rs"));
+    let a = render(&extract(&enum_src, &enc_src, &dec_src, "Msg"));
+    let b = render(&extract(&enum_src, &enc_src, &dec_src, "Msg"));
+    assert_eq!(a, b, "two consecutive renders differ");
+    assert_eq!(a, read(wire.join("crates/lint/schema.lock")), "committed fixture lock drifted");
+}
+
+#[test]
+fn real_workspace_passes_and_its_lock_is_byte_stable() {
+    let root = repo_root();
+    let d = check(&schema_config(&root)).expect("gate runs on the real tree");
+    assert!(d.is_empty(), "real-tree schema drift: {d:?}");
+
+    let cfg = schema_config(&root);
+    let enum_src = read(root.join(&cfg.enum_file));
+    let enc_src = read(root.join(&cfg.encode_file));
+    let dec_src = read(root.join(&cfg.decode_file));
+    let rendered = render(&extract(&enum_src, &enc_src, &dec_src, &cfg.enum_name));
+    assert_eq!(
+        rendered,
+        read(root.join(&cfg.lock_file)),
+        "crates/lint/schema.lock is stale; run `mystore-lint --bless-schema` and review the diff"
+    );
+}
+
+#[test]
+fn mutating_one_tag_byte_fires_the_exact_renumber_diagnostic() {
+    let wire = fixtures().join("wire");
+    let enum_src = read(wire.join("crates/core/src/message.rs"));
+    let enc_src = read(wire.join("crates/server/src/codec/mod.rs"));
+    let dec_src = read(wire.join("crates/server/src/codec/decode.rs"));
+    let lock = read(wire.join("crates/lint/schema.lock"));
+
+    // A one-byte "refactor": Ping moves from tag 1 to tag 7 on the
+    // encode side only.
+    let mutated = enc_src.replace("out.push(1);", "out.push(7);");
+    assert_ne!(mutated, enc_src, "mutation site not found");
+
+    let d = check_sources(
+        &enum_src,
+        &mutated,
+        &dec_src,
+        Some(&lock),
+        "Msg",
+        "codec/mod.rs",
+        "codec/decode.rs",
+        "message.rs",
+        "schema.lock",
+    );
+    let renumber: Vec<_> =
+        d.iter().filter(|d| d.message.contains("renumbered from tag 1 to tag 7")).collect();
+    assert_eq!(renumber.len(), 1, "{d:?}");
+    // Pinned to the mutated encode arm: `Msg::Ping => {` opens on line
+    // 20 of the fixture's codec/mod.rs.
+    assert_eq!(renumber[0].file, "codec/mod.rs");
+    assert_eq!(renumber[0].line, 20);
+    // The decode side still maps tag 1 to Ping, so the same run must
+    // also flag the encode/decode asymmetry.
+    assert!(d.iter().any(|d| d.rule == "wire-schema" && d.message.contains("tag 1")), "{d:?}");
+}

@@ -143,6 +143,9 @@ impl<M: Send + 'static> ThreadedClusterBuilder<M> {
             receivers.push((*id, rx));
         }
         let (external_tx, external_rx) = unbounded::<(NodeId, NodeId, M)>();
+        // `trace` is last in the declared lock order
+        // (crates/lint/src/policy.rs::LOCK_ORDER): node threads take it
+        // briefly per event and never acquire another lock under it.
         let trace = Arc::new(Mutex::new(Trace::new()));
         let start = Instant::now();
         let mut seed_rng = Rng::new(self.config.seed);

@@ -52,6 +52,11 @@ type ClientQueues = BTreeMap<u32, Sender<(NodeId, Msg)>>;
 /// Registry of live client connections: client id → that connection's
 /// outbound queue. Shared between the pump (routes in) and the HTTP
 /// adapter (registers virtual clients the same way socket clients are).
+///
+/// Lock order: `inner` is first in the declared canonical order
+/// (`crates/lint/src/policy.rs::LOCK_ORDER`) — it may be taken before
+/// `queues` or the threaded-runtime trace, never after. The lock-order
+/// analysis (DESIGN.md §15) checks this mechanically.
 #[derive(Clone, Default)]
 pub struct ClientRegistry {
     inner: Arc<Mutex<ClientQueues>>,
@@ -93,6 +98,9 @@ type PeerQueues = BTreeMap<u32, Sender<(NodeId, NodeId, Msg)>>;
 
 struct PeerLinks {
     addrs: BTreeMap<u32, SocketAddr>,
+    /// Second in the declared lock order (`policy.rs::LOCK_ORDER`): held
+    /// only around queue lookup/insert — the blocking `recv` loop runs on
+    /// the spawned writer thread, never under this lock.
     queues: Mutex<PeerQueues>,
     shutdown: Arc<AtomicBool>,
 }
