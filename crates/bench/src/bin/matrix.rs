@@ -150,6 +150,16 @@ fn main() {
     merkle.name.push_str("-merkle");
     run_one(&mut fig, &merkle);
 
+    // Online elasticity under chaos (DESIGN.md §16): heterogeneous
+    // capacity weights with the incremental migration engine draining
+    // every kill-induced ring leave/re-join under its per-tick budget.
+    let mut elastic =
+        CellSpec::new(50, Nwr::PAPER, FaultProfile::Kill, KeyDist::Zipf, 6 * HOUR, 23);
+    elastic.weights = (0..50).map(|i| 1 + (i % 3) as u32).collect();
+    elastic.migrate_records_per_tick = 8;
+    elastic.name.push_str("-elastic");
+    run_one(&mut fig, &elastic);
+
     // The headline acceptance cell: a week of virtual chaos on 100 nodes.
     let headline =
         CellSpec::new(100, Nwr::PAPER, FaultProfile::Mixed, KeyDist::Zipf, 7 * 24 * HOUR, 71);

@@ -72,7 +72,10 @@ impl Bencher {
 
     fn report(&self, name: &str) {
         let mean = self.total.checked_div(self.iters as u32).unwrap_or_default();
-        println!("bench {name:<40} iters {:>5}  mean {:>12?}  min {:>12?}", self.iters, mean, self.min);
+        println!(
+            "bench {name:<40} iters {:>5}  mean {:>12?}  min {:>12?}",
+            self.iters, mean, self.min
+        );
     }
 }
 

@@ -185,10 +185,7 @@ mod tests {
     #[test]
     fn timeout_when_empty() {
         let (_tx, rx) = unbounded::<u32>();
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(10)),
-            Err(RecvTimeoutError::Timeout)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
     }
 
     #[test]
@@ -197,10 +194,7 @@ mod tests {
         tx.send(1).unwrap();
         drop(tx);
         assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
-        assert_eq!(
-            rx.recv_timeout(Duration::from_millis(10)),
-            Err(RecvTimeoutError::Disconnected)
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]

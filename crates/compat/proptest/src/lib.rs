@@ -70,7 +70,9 @@ pub mod sample {
 pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Asserts a condition inside a `proptest!` body, failing the case (not

@@ -27,6 +27,18 @@ pub struct ClusterSpec {
     /// Virtual nodes per storage node (capacity-proportional; uniform here,
     /// heterogeneous clusters can be built manually).
     pub vnodes: u32,
+    /// Per-node capacity weights, indexed like [`ClusterSpec::storage_ids`];
+    /// nodes beyond the vector's length get weight 1. A weight-`w` node
+    /// contributes `w × vnodes` virtual nodes. Empty = homogeneous.
+    pub weights: Vec<u32>,
+    /// Migration-engine record budget per tick (`0` with a zero byte budget
+    /// keeps the legacy one-shot rebalance sweep). See
+    /// [`StorageConfig::migrate_max_records_per_tick`].
+    pub migrate_max_records_per_tick: u32,
+    /// Migration-engine byte budget per tick.
+    pub migrate_max_bytes_per_tick: u64,
+    /// Migration tick period (µs).
+    pub migrate_tick_us: u64,
     /// Quorum parameters.
     pub nwr: Nwr,
     /// Number of cache servers (0 disables the cache tier).
@@ -100,6 +112,10 @@ impl ClusterSpec {
             storage_nodes: 5,
             seed_count: 1,
             vnodes: 128,
+            weights: Vec::new(),
+            migrate_max_records_per_tick: 0,
+            migrate_max_bytes_per_tick: 0,
+            migrate_tick_us: 50_000,
             nwr: Nwr::PAPER,
             cache_nodes: 4,
             cache_bytes: 1 << 30,
@@ -181,6 +197,10 @@ impl ClusterSpec {
         StorageConfig {
             nwr: self.nwr,
             vnodes: self.vnodes,
+            weight: 1,
+            migrate_max_records_per_tick: self.migrate_max_records_per_tick,
+            migrate_max_bytes_per_tick: self.migrate_max_bytes_per_tick,
+            migrate_tick_us: self.migrate_tick_us,
             gossip: self.gossip_config(),
             cost: self.cost.clone(),
             replica_timeout_us: self.replica_timeout_us,
@@ -236,9 +256,10 @@ impl ClusterSpec {
         let registry = Registry::new();
         let mut sim = Sim::new(sim_config);
         sim.set_fault_metrics(mystore_net::FaultMetrics::from_registry(&registry));
-        for _ in 0..self.storage_nodes {
+        for i in 0..self.storage_nodes {
             let id = NodeId(sim.node_count() as u32);
             let mut cfg = self.storage_config();
+            cfg.weight = self.weights.get(i).copied().unwrap_or(1).max(1);
             cfg.metrics = registry.clone();
             let node = StorageNode::new(id, cfg);
             sim.add_node(node, NodeConfig { concurrency: self.storage_concurrency });

@@ -124,8 +124,14 @@ impl Default for CostModel {
 pub struct StorageConfig {
     /// Quorum parameters.
     pub nwr: Nwr,
-    /// Virtual nodes this node contributes (proportional to capacity).
+    /// Base virtual nodes this node contributes; the effective vnode count
+    /// is `vnodes × weight` (see [`StorageConfig::weight`]).
     pub vnodes: u32,
+    /// Capacity weight: a weight-`w` node contributes `w × vnodes` virtual
+    /// nodes and therefore owns roughly `w×` the keyspace of a weight-1
+    /// peer. Gossiped beside the vnode count so peers build identical
+    /// rings; `1` (the default) is a plain homogeneous node.
+    pub weight: u32,
     /// Gossip settings (seeds, intervals, failure thresholds).
     pub gossip: GossipConfig,
     /// Cost model for `ctx.consume` charging.
@@ -190,6 +196,18 @@ pub struct StorageConfig {
     /// (fixed cadence), which is the default. Long-horizon simulations set
     /// this so a quiescent ring fast-forwards instead of grinding digests.
     pub anti_entropy_idle_backoff_max: u64,
+    /// Rate limit of the incremental migration engine: at most this many
+    /// records leave a node per migration tick. `0` (with a zero byte
+    /// budget) disables the engine entirely — membership changes fall back
+    /// to the legacy one-shot `rebalance_sweep`, keeping existing traces
+    /// byte-identical. See DESIGN.md §16.
+    pub migrate_max_records_per_tick: u32,
+    /// Byte budget per migration tick (sum of record value sizes); `0`
+    /// means no byte cap. Either budget being non-zero enables the
+    /// incremental engine.
+    pub migrate_max_bytes_per_tick: u64,
+    /// Period of the migration tick (µs) while a migration plan is active.
+    pub migrate_tick_us: u64,
     /// Merkle-tree anti-entropy (DESIGN.md §14): rounds open with a tree
     /// root over the key ranges shared with the chosen peer and walk only
     /// mismatched subtrees down to per-key digests, instead of shipping a
@@ -212,6 +230,7 @@ impl Default for StorageConfig {
         StorageConfig {
             nwr: Nwr::PAPER,
             vnodes: 128,
+            weight: 1,
             gossip: GossipConfig::default(),
             cost: CostModel::default(),
             replica_timeout_us: 60_000,     // 60 ms
@@ -231,10 +250,28 @@ impl Default for StorageConfig {
             anti_entropy_interval_us: 30_000_000,
             anti_entropy_batch: 256,
             anti_entropy_idle_backoff_max: 1,
+            migrate_max_records_per_tick: 0,
+            migrate_max_bytes_per_tick: 0,
+            migrate_tick_us: 50_000,
             anti_entropy_merkle: false,
             merkle_leaf_splits: 16,
             metrics: Registry::new(),
         }
+    }
+}
+
+impl StorageConfig {
+    /// Effective virtual-node count this node advertises:
+    /// `vnodes × weight`, saturating.
+    pub fn effective_vnodes(&self) -> u32 {
+        self.vnodes.saturating_mul(self.weight.max(1))
+    }
+
+    /// Whether membership changes run through the incremental,
+    /// rate-limited migration engine (either per-tick budget set) instead
+    /// of the legacy one-shot sweep.
+    pub fn migration_rate_limited(&self) -> bool {
+        self.migrate_max_records_per_tick > 0 || self.migrate_max_bytes_per_tick > 0
     }
 }
 

@@ -315,6 +315,30 @@ pub enum Msg {
         records: Vec<Arc<Record>>,
     },
 
+    /// Migration source → arc entrant: every record of the ring arc
+    /// `(start, end]` has been transferred and acknowledged — the entrant
+    /// is now an authoritative owner and stops proxying reads for (and
+    /// forwarding writes from) that arc to the old owner (DESIGN.md §16).
+    MigrateCutover {
+        /// Arc start point (exclusive).
+        start: u64,
+        /// Arc end point (inclusive).
+        end: u64,
+    },
+
+    /// Migration source (the arc's old primary) → arc entrant: a transfer
+    /// of the ring arc `(start, end]` is starting — until the matching
+    /// [`Msg::MigrateCutover`], the entrant's misses in the arc are not
+    /// authoritative and proxy back to the sender (DESIGN.md §16). This is
+    /// what tells a *joining* node its inbound arcs: its own diff base is
+    /// the collapsed single-node ring and cannot derive them locally.
+    MigrateBegin {
+        /// Arc start point (exclusive).
+        start: u64,
+        /// Arc end point (inclusive).
+        end: u64,
+    },
+
     // ---- anti-entropy (extension: §7 "problems on data's consistency") --
     /// Periodic replica synchronization: the sender's `(key, version)`
     /// digest for records it believes the receiver should also hold.
@@ -449,6 +473,8 @@ impl WireSized for Msg {
             Msg::TransferRecords { records } => {
                 records.iter().map(|r| r.to_document().encoded_size()).sum()
             }
+            Msg::MigrateCutover { .. } => 16,
+            Msg::MigrateBegin { .. } => 16,
             Msg::SyncDigest { entries } => entries.iter().map(|(k, _)| k.len() + 8).sum::<usize>(),
             Msg::SyncRecords { records } => {
                 records.iter().map(|r| r.to_document().encoded_size()).sum()

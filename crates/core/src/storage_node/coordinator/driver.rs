@@ -283,6 +283,12 @@ impl StorageNode {
         req: u64,
         ok: bool,
     ) {
+        // Migration replica-writes ack through the same wire shape; they
+        // settle against the plan's work list, not the quorum table.
+        if self.migrate_acks.contains_key(&req) {
+            self.on_migrate_ack(req, ok);
+            return;
+        }
         // The hint is only discharged if its document is still present — a
         // duplicated ack (or one racing the replay sweep) must not
         // double-count a replay or drive the depth gauge negative.

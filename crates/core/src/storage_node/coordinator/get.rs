@@ -215,7 +215,16 @@ impl StorageNode {
         for &replica in &prefs {
             if replica == me {
                 let found = self.local_fetch(ctx, &key);
-                op.replies.push((me, found));
+                // Dual ownership: a local miss on a still-inbound arc is
+                // not authoritative (the record may not have transferred
+                // yet). Loop the fetch through our own replica path, which
+                // proxies it to the arc's old owner and answers with a
+                // normal `FetchAck` — the driver never knows.
+                if found.is_none() && self.proxy_source(&key).is_some() {
+                    ctx.send(me, Msg::FetchReplica { req: my_req, key: key.clone() });
+                } else {
+                    op.replies.push((me, found));
+                }
             } else {
                 ctx.send(replica, Msg::FetchReplica { req: my_req, key: key.clone() });
             }

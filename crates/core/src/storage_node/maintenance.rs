@@ -33,7 +33,7 @@ impl StorageNode {
             .filter(|&ep| !self.gossiper.is_removed(ep))
             .filter_map(|ep| {
                 let vn = if ep == self.id() {
-                    self.cfg.vnodes
+                    self.cfg.effective_vnodes()
                 } else {
                     self.gossiper.app_state(ep, gossip_keys::VNODES)?.parse().ok()?
                 };
@@ -60,7 +60,13 @@ impl StorageNode {
         self.ring_sig = sig;
         // Arc boundaries moved: every cached Merkle leaf hash is stale.
         self.sync_tree.on_ring_change();
-        self.rebalance_sweep(ctx, &old_ring);
+        if self.cfg.migration_rate_limited() {
+            // DESIGN.md §16: drain the change incrementally under the
+            // per-tick budgets instead of sweeping everything at once.
+            self.start_migration(ctx, old_ring);
+        } else {
+            self.rebalance_sweep(ctx, &old_ring);
+        }
     }
 
     /// §5.2.4: after membership change, move records whose preference list
@@ -114,7 +120,13 @@ impl StorageNode {
 
     pub(crate) fn process_membership(&mut self, ctx: &mut Context<'_, Msg>) {
         let events = self.gossiper.drain_events();
-        if events.is_empty() {
+        // With the migration engine on, refresh even without an up/down
+        // event: a peer re-advertising a new vnode count (capacity
+        // reweight) moves placement with no membership transition.
+        // `refresh_ring` early-returns when the signature is unchanged, so
+        // the quiet-path cost is one comparison. The legacy one-shot mode
+        // keeps the event-gated refresh (and its exact message schedule).
+        if events.is_empty() && !self.cfg.migration_rate_limited() {
             return;
         }
         for ev in &events {
@@ -402,9 +414,42 @@ impl StorageNode {
     // ---- gossip ----------------------------------------------------------
 
     pub(crate) fn gossip_tick(&mut self, ctx: &mut Context<'_, Msg>) {
-        // Publish capacity and load.
-        self.gossiper.set_app_state(gossip_keys::VNODES, self.cfg.vnodes.to_string());
+        // Publish capacity and load. The vnode count carries the capacity
+        // weight already applied; at the default weight of 1 the published
+        // value (and thus the wire trace) is unchanged.
+        self.gossiper.set_app_state(gossip_keys::VNODES, self.cfg.effective_vnodes().to_string());
         self.gossiper.set_app_state(gossip_keys::LOAD, self.record_count().to_string());
+        if self.cfg.weight != 1 {
+            self.gossiper
+                .set_app_state_if_changed(gossip_keys::WEIGHT, self.cfg.weight.to_string());
+        }
+        if let Some((done, total)) = self.migration_progress() {
+            self.gossiper
+                .set_app_state_if_changed(gossip_keys::MIGRATION, format!("{done}/{total}"));
+        }
+        // Dual-ownership hygiene: drop inbound arcs whose source was
+        // declared long-failed (its records re-replicate via the ring
+        // change that removal triggers), and answer proxied fetches whose
+        // source never replied with a miss so the read can settle.
+        if !self.pending_in.is_empty() {
+            let gossiper = &self.gossiper;
+            self.pending_in.retain(|e| !gossiper.is_removed(e.source));
+        }
+        if !self.read_proxies.is_empty() {
+            let now_us = ctx.now().as_micros();
+            let deadline = self.cfg.request_deadline_us;
+            let expired: Vec<u64> = self
+                .read_proxies
+                .iter()
+                .filter(|(_, p)| now_us.saturating_sub(p.sent_at_us) >= deadline)
+                .map(|(&req, _)| req)
+                .collect();
+            for req in expired {
+                if let Some(p) = self.read_proxies.remove(&req) {
+                    ctx.send(p.requester, Msg::FetchAck { req: p.orig_req, found: None, ok: true });
+                }
+            }
+        }
         let now = ctx.now();
         let out = {
             let rng = ctx.rng();

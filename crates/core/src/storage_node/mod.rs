@@ -31,6 +31,7 @@
 
 pub(crate) mod coordinator;
 pub(crate) mod maintenance;
+pub(crate) mod migrate;
 pub(crate) mod replica;
 pub(crate) mod stats;
 pub(crate) mod sync;
@@ -47,6 +48,7 @@ use crate::message::{BatchPut, Msg};
 
 use self::coordinator::quorum;
 use self::maintenance::HintInFlight;
+use self::migrate::{InboundArc, MigAck, MigrationPlan, ProxyFetch};
 pub use self::stats::{NodeStats, StorageMetrics};
 
 // Timer-token layout: low 4 bits select the kind, the rest carry a request id.
@@ -61,6 +63,7 @@ pub(crate) const TK_ANTI_ENTROPY: u64 = 7;
 pub(crate) const TK_GET_RETRY: u64 = 8;
 pub(crate) const TK_WAL_FLUSH: u64 = 9;
 pub(crate) const TK_COALESCE: u64 = 10;
+pub(crate) const TK_MIGRATE: u64 = 11;
 
 pub(crate) fn tk(kind: u64, req: u64) -> TimerToken {
     (req << 4) | kind
@@ -125,6 +128,23 @@ pub struct StorageNode {
     /// waiting on their covering group-commit sync: `(to, req, ok)`. An ack
     /// must mean "durable here", so these are released only after the sync.
     pub(crate) deferred_acks: Vec<(NodeId, u64, bool)>,
+    /// The active migration plan, when a ring change is being drained
+    /// through the rate-limited engine (DESIGN.md §16); `None` otherwise
+    /// (and always, with the engine disabled).
+    pub(crate) migration: Option<MigrationPlan>,
+    /// Migration replica-writes awaiting their `StoreAck`.
+    pub(crate) migrate_acks: BTreeMap<u64, MigAck>,
+    /// Arcs this node is receiving but has not been cut over yet: reads
+    /// that miss proxy to (and writes forward to) the arc's old owner.
+    pub(crate) pending_in: Vec<InboundArc>,
+    /// Fetches deferred while the old owner of an inbound arc is asked.
+    pub(crate) read_proxies: BTreeMap<u64, ProxyFetch>,
+    /// A persisted migration cursor recovered at (re)start, parked until
+    /// gossip re-converges and `start_migration` can rebuild the plan.
+    pub(crate) resume_cursor: Option<migrate::ResumeCursor>,
+    /// Whether a `TK_MIGRATE` tick is armed (demand-driven, like the WAL
+    /// flush timer: an idle node schedules none).
+    pub(crate) migrate_armed: bool,
     pub(crate) metrics: StorageMetrics,
 }
 
@@ -197,6 +217,12 @@ impl StorageNode {
             outbox: BTreeMap::new(),
             outbox_armed: false,
             deferred_acks: Vec::new(),
+            migration: None,
+            migrate_acks: BTreeMap::new(),
+            pending_in: Vec::new(),
+            read_proxies: BTreeMap::new(),
+            resume_cursor: None,
+            migrate_armed: false,
             metrics,
         }
     }
@@ -272,6 +298,9 @@ impl StorageNode {
 
 impl Process<Msg> for StorageNode {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        // A recovered store may hold an interrupted migration's cursor
+        // (durable WAL restart): park it before the first ring refresh.
+        self.resume_migration();
         // Make sure the local ring at least contains this node, so a
         // single-node deployment serves requests before any gossip.
         self.refresh_ring(ctx);
@@ -341,7 +370,18 @@ impl Process<Msg> for StorageNode {
         self.ae_last_seq = 0;
         self.ae_quiet_rounds = 0;
         self.deferred_acks.clear();
+        // Volatile migration state dies with the process; the persisted
+        // cursor in `migrate_state` is what survives, and `resume_migration`
+        // rebuilds the plan from it below.
+        self.migration = None;
+        self.migrate_acks.clear();
+        self.pending_in.clear();
+        self.read_proxies.clear();
+        self.resume_cursor = None;
+        self.migrate_armed = false;
         self.metrics.restarts.inc();
+        // `on_start` re-parks the persisted migration cursor (if any) via
+        // `resume_migration` before the first ring refresh.
         self.on_start(ctx);
     }
 
@@ -380,6 +420,12 @@ impl Process<Msg> for StorageNode {
             }
             Msg::FetchReplica { req, key } => self.on_fetch_replica(ctx, from, req, key, fault),
             Msg::FetchAck { req, found, ok } => {
+                // A deferred dual-ownership fetch: the old owner answered;
+                // complete the original request with its copy.
+                if let Some(proxy) = self.read_proxies.remove(&req) {
+                    ctx.send(proxy.requester, Msg::FetchAck { req: proxy.orig_req, found, ok });
+                    return;
+                }
                 self.drv_on_reply(ctx, req, from, quorum::Reply::Fetch { found, ok })
             }
             Msg::StoreHint { req, intended, record } => {
@@ -421,6 +467,8 @@ impl Process<Msg> for StorageNode {
             Msg::SyncLeafDigest { ring_hash, leaves, entries } => {
                 self.on_sync_leaf_digest(ctx, from, ring_hash, leaves, entries)
             }
+            Msg::MigrateCutover { start, end } => self.on_migrate_cutover(from, start, end),
+            Msg::MigrateBegin { start, end } => self.on_migrate_begin(from, start, end),
             Msg::TransferRecords { records } => {
                 for record in records {
                     ctx.consume(self.cfg.cost.put_us(record.val.len()));
@@ -485,6 +533,7 @@ impl Process<Msg> for StorageNode {
             TK_PUT_HARD | TK_GET_HARD => self.drv_on_hard_timeout(ctx, req),
             TK_WAL_FLUSH => self.wal_flush_tick(ctx),
             TK_COALESCE => self.flush_outbox(ctx),
+            TK_MIGRATE => self.migrate_tick(ctx),
             _ => {}
         }
     }

@@ -61,6 +61,11 @@ impl StorageNode {
         ctx.consume(self.cfg.cost.put_us(record.val.len()) + ctx.disk_penalty_us());
         self.stats.replica_puts += 1;
         let ok = self.db.put_record(&self.cfg.collection, &record).is_ok();
+        if ok {
+            // Dual ownership: a write landing on a still-inbound arc is
+            // forwarded to the arc's old owner (no-op outside migrations).
+            self.maybe_forward_inbound(ctx, from, &record);
+        }
         if req != 0 {
             self.queue_ack(ctx, from, req, ok);
         } else {
@@ -93,6 +98,9 @@ impl StorageNode {
             ctx.consume(self.cfg.cost.put_us(op.record.val.len()));
             self.stats.replica_puts += 1;
             let ok = self.db.put_record(&self.cfg.collection, &op.record).is_ok();
+            if ok {
+                self.maybe_forward_inbound(ctx, from, &op.record);
+            }
             acks.push((op.req, ok));
         }
         // One sync covers the whole batch — and pays the disk penalty once.
@@ -123,6 +131,26 @@ impl StorageNode {
             _ => {}
         }
         let found = self.local_fetch(ctx, &key);
+        // Dual-ownership reads: a miss on a key whose arc is still inbound
+        // is not authoritative — the record may simply not have been
+        // transferred yet. Ask the arc's old owner and defer the ack; the
+        // `FetchAck` dispatch completes the original request when the
+        // source answers (or a sweep expires the proxy with a miss).
+        if found.is_none() {
+            if let Some(source) = self.proxy_source(&key) {
+                let proxy_req = self.fresh_req();
+                self.read_proxies.insert(
+                    proxy_req,
+                    crate::storage_node::migrate::ProxyFetch {
+                        requester: from,
+                        orig_req: req,
+                        sent_at_us: ctx.now().as_micros(),
+                    },
+                );
+                ctx.send(source, Msg::FetchReplica { req: proxy_req, key });
+                return;
+            }
+        }
         ctx.send(from, Msg::FetchAck { req, found, ok: true });
     }
 

@@ -106,6 +106,16 @@ pub struct StorageMetrics {
     /// Restarts whose WAL replay failed; the node came back empty and
     /// relies on read repair / anti-entropy to re-fill.
     pub recover_failures: Counter,
+    /// Migration-engine replica writes awaiting an ack (DESIGN.md §16).
+    pub migrate_in_flight: Gauge,
+    /// Records the migration engine shipped (per destination copy).
+    pub migrate_records_sent: Counter,
+    /// Payload bytes the migration engine shipped (per destination copy).
+    pub migrate_bytes_sent: Counter,
+    /// Ring arcs fully transferred, acknowledged, and cut over.
+    pub migrate_arcs_cutover: Counter,
+    /// Wall-clock per arc, dispatch start → cutover (µs).
+    pub migrate_arc_duration_us: Histogram,
 }
 
 impl StorageMetrics {
@@ -141,6 +151,11 @@ impl StorageMetrics {
             batch_ops: registry.counter("batch.replica_ops"),
             acks_deferred: registry.counter("coord.acks_deferred"),
             recover_failures: registry.counter("node.recover_failures"),
+            migrate_in_flight: registry.gauge("migrate.in_flight"),
+            migrate_records_sent: registry.counter("migrate.records_sent"),
+            migrate_bytes_sent: registry.counter("migrate.bytes_sent"),
+            migrate_arcs_cutover: registry.counter("migrate.arcs_cutover"),
+            migrate_arc_duration_us: registry.histogram("migrate.arc_duration_us"),
         }
     }
 }

@@ -254,6 +254,21 @@ impl Gossiper {
         self.states.get_mut(&self.me).expect("own state").set_app(key, value);
     }
 
+    /// Sets one of this node's application states only when the value
+    /// actually differs, so steady-state republication (a capacity weight
+    /// or migration-progress field re-asserted every tick) does not bump
+    /// the version clock — and therefore does not force a re-gossip — for
+    /// an unchanged value. Returns `true` when the state was updated.
+    pub fn set_app_state_if_changed(&mut self, key: &str, value: impl Into<String>) -> bool {
+        let value = value.into();
+        let state = self.states.get_mut(&self.me).expect("own state");
+        if state.app(key) == Some(value.as_str()) {
+            return false;
+        }
+        state.set_app(key.to_string(), value);
+        true
+    }
+
     /// Reads an endpoint's application state.
     pub fn app_state(&self, node: NodeId, key: &str) -> Option<&str> {
         self.states.get(&node).and_then(|s| s.app(key))

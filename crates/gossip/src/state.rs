@@ -14,8 +14,15 @@ use mystore_net::NodeId;
 pub mod keys {
     /// Node load (the paper's `load` field).
     pub const LOAD: &str = "load";
-    /// Number of virtual nodes the endpoint contributes.
+    /// Number of virtual nodes the endpoint contributes (capacity weight
+    /// already applied — peers build the ring from this value alone).
     pub const VNODES: &str = "vnodes";
+    /// Capacity weight behind the vnode count (informational: feeds the
+    /// load-aware balancer and operator dashboards).
+    pub const WEIGHT: &str = "weight";
+    /// Migration progress of an in-flight rebalance, as
+    /// `<arcs_done>/<arcs_total>`; absent or `idle` when none is running.
+    pub const MIGRATION: &str = "migration";
     /// Prefix for seed-declared long-failure records:
     /// `removed:<node>` → generation that was declared dead.
     pub const REMOVED_PREFIX: &str = "removed:";

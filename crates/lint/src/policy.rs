@@ -145,6 +145,8 @@ pub fn workspace_policy(workspace_root: &std::path::Path) -> Vec<CratePolicy> {
         "src/storage_node/coordinator/cas.rs".into(),
         "src/storage_node/replica.rs".into(),
         "src/storage_node/maintenance.rs".into(),
+        "src/storage_node/migrate/mod.rs".into(),
+        "src/storage_node/migrate/plan.rs".into(),
         "src/storage_node/sync.rs".into(),
         "src/sync.rs".into(),
         "src/frontend.rs".into(),
@@ -160,6 +162,7 @@ pub fn workspace_policy(workspace_root: &std::path::Path) -> Vec<CratePolicy> {
         "frontend.".into(),
         "cas.".into(),
         "sync.".into(),
+        "migrate.".into(),
     ]);
     out.push(core);
 

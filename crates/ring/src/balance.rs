@@ -63,6 +63,67 @@ fn from_counts(counts: Vec<usize>, total: usize) -> BalanceStats {
     BalanceStats { nodes, total, min, max, mean, stddev, cv, peak_to_mean }
 }
 
+/// One node's entry in a load-aware weight recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightAdvice<N> {
+    /// The node.
+    pub node: N,
+    /// Observed load (e.g. the gossiped record count).
+    pub load: f64,
+    /// Current capacity weight.
+    pub weight: u32,
+    /// Load per weight unit relative to the cluster mean; `1.0` is
+    /// perfectly proportional, above means overloaded for its weight.
+    pub normalized_load: f64,
+    /// Weight that would equalize per-unit load at the observed
+    /// distribution (clamped to at least 1).
+    pub suggested_weight: u32,
+}
+
+/// The load-aware balancer: given each node's observed load (fed from the
+/// gossip `load` field) and its current capacity weight, recommend the
+/// weights that would equalize load per weight unit.
+///
+/// The advice is *advisory* — an operator (or harness) applies it by
+/// reweighting nodes, which the migration engine then converges on
+/// incrementally. Nodes whose load is zero keep their current weight (no
+/// signal), and suggestions never drop below 1.
+pub fn advise_weights<N: Ord + Clone>(
+    loads: &BTreeMap<N, f64>,
+    weights: &BTreeMap<N, u32>,
+) -> Vec<WeightAdvice<N>> {
+    let mut per_unit: Vec<(N, f64, u32, f64)> = Vec::new();
+    for (node, &load) in loads {
+        let weight = weights.get(node).copied().unwrap_or(1).max(1);
+        per_unit.push((node.clone(), load, weight, load / weight as f64));
+    }
+    if per_unit.is_empty() {
+        return Vec::new();
+    }
+    let mean_unit: f64 = per_unit.iter().map(|(_, _, _, u)| u).sum::<f64>() / per_unit.len() as f64;
+    per_unit
+        .into_iter()
+        .map(|(node, load, weight, unit)| {
+            let normalized = if mean_unit > 0.0 { unit / mean_unit } else { 1.0 };
+            // A node running hot for its weight should shed keyspace:
+            // scale its weight down by the overload factor (and vice
+            // versa), so per-unit load converges toward the mean.
+            let suggested = if unit > 0.0 && mean_unit > 0.0 {
+                ((weight as f64 / normalized).round() as u32).max(1)
+            } else {
+                weight
+            };
+            WeightAdvice {
+                node,
+                load,
+                weight,
+                normalized_load: normalized,
+                suggested_weight: suggested,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +161,36 @@ mod tests {
         let stats = balance_stats(std::iter::empty::<u32>(), std::iter::empty::<u32>());
         assert_eq!(stats.nodes, 0);
         assert_eq!(stats.cv, 0.0);
+    }
+
+    #[test]
+    fn weight_advice_sheds_load_from_hot_nodes() {
+        // Node 0 carries 3x the load of its peers at equal weight: the
+        // balancer should suggest shrinking it (or growing the others).
+        let loads: BTreeMap<u32, f64> = [(0, 3000.0), (1, 1000.0), (2, 1000.0)].into();
+        let weights: BTreeMap<u32, u32> = [(0, 2), (1, 2), (2, 2)].into();
+        let advice = advise_weights(&loads, &weights);
+        assert_eq!(advice.len(), 3);
+        let hot = advice.iter().find(|a| a.node == 0).unwrap();
+        let cool = advice.iter().find(|a| a.node == 1).unwrap();
+        assert!(hot.normalized_load > 1.5, "hot node normalized {}", hot.normalized_load);
+        assert!(hot.suggested_weight < hot.weight);
+        assert!(cool.suggested_weight >= cool.weight);
+    }
+
+    #[test]
+    fn weight_advice_is_stable_when_proportional() {
+        // Load already proportional to weight: keep every weight.
+        let loads: BTreeMap<u32, f64> = [(0, 2000.0), (1, 1000.0)].into();
+        let weights: BTreeMap<u32, u32> = [(0, 2), (1, 1)].into();
+        for advice in advise_weights(&loads, &weights) {
+            assert_eq!(advice.suggested_weight, advice.weight);
+            assert!((advice.normalized_load - 1.0).abs() < 1e-9);
+        }
+        // Zero-load nodes keep their weight; an empty cluster is empty.
+        let loads0: BTreeMap<u32, f64> = [(0, 0.0)].into();
+        let w0: BTreeMap<u32, u32> = [(0, 3)].into();
+        assert_eq!(advise_weights(&loads0, &w0)[0].suggested_weight, 3);
+        assert!(advise_weights::<u32>(&BTreeMap::new(), &BTreeMap::new()).is_empty());
     }
 }

@@ -32,6 +32,6 @@ pub mod md5;
 pub mod modn;
 pub mod ring;
 
-pub use balance::{balance_stats, BalanceStats};
+pub use balance::{advise_weights, balance_stats, BalanceStats, WeightAdvice};
 pub use modn::{remap_fraction, ModN};
 pub use ring::{Arc_, HashRing, RingError};

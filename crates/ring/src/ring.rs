@@ -75,6 +75,7 @@ impl Arc_ {
 struct NodeInfo {
     label: String,
     vnodes: u32,
+    weight: u32,
 }
 
 /// The consistent-hash ring.
@@ -121,18 +122,40 @@ impl<N: Clone + Eq + Hash + Ord> HashRing<N> {
         label: impl Into<String>,
         vnodes: u32,
     ) -> Result<(), RingError> {
+        self.add_node_weighted(id, label, vnodes, 1)
+    }
+
+    /// Adds a physical node whose virtual-node count is `base_vnodes`
+    /// scaled by a capacity `weight`: a weight-2 node contributes twice the
+    /// points and therefore owns roughly twice the keyspace of a weight-1
+    /// node with the same base (the paper's "more powerful machines get
+    /// more virtual nodes" knob, made explicit).
+    ///
+    /// Because vnode points are derived from `label#0..label#count`,
+    /// raising a node's weight only *appends* points and lowering it only
+    /// *removes* its own tail points — so [`diff`](Self::diff) between the
+    /// two rings is minimal by construction: every changed arc involves the
+    /// reweighted node on one side.
+    pub fn add_node_weighted(
+        &mut self,
+        id: N,
+        label: impl Into<String>,
+        base_vnodes: u32,
+        weight: u32,
+    ) -> Result<(), RingError> {
         let label = label.into();
-        if vnodes == 0 {
+        if base_vnodes == 0 || weight == 0 {
             return Err(RingError::ZeroVnodes);
         }
         if self.nodes.contains_key(&id) {
             return Err(RingError::DuplicateNode(label));
         }
+        let vnodes = base_vnodes.saturating_mul(weight);
         for i in 0..vnodes {
             let point = Self::vnode_point(&label, i);
             self.points.entry(point).or_insert_with(|| id.clone());
         }
-        self.nodes.insert(id, NodeInfo { label, vnodes });
+        self.nodes.insert(id, NodeInfo { label, vnodes, weight });
         Ok(())
     }
 
@@ -166,9 +189,15 @@ impl<N: Clone + Eq + Hash + Ord> HashRing<N> {
         self.points.len()
     }
 
-    /// Virtual-node count configured for `id`.
+    /// Virtual-node count configured for `id` (weight already applied).
     pub fn vnodes_of(&self, id: &N) -> Option<u32> {
         self.nodes.get(id).map(|i| i.vnodes)
+    }
+
+    /// Capacity weight configured for `id` (`1` for nodes added via
+    /// [`add_node`](Self::add_node)).
+    pub fn weight_of(&self, id: &N) -> Option<u32> {
+        self.nodes.get(id).map(|i| i.weight)
     }
 
     /// Label configured for `id`.
@@ -297,6 +326,51 @@ impl<N: Clone + Eq + Hash + Ord> HashRing<N> {
         }
         // A changed region crossing the ring origin shows up split in two:
         // the wrap arc at the front of the list and its tail at the back.
+        if out.len() > 1 {
+            let first = &out[0];
+            let last = &out[out.len() - 1];
+            if last.0.end == first.0.start && last.1 == first.1 && last.2 == first.2 {
+                let (tail, _, _) = out.pop().expect("non-empty");
+                out[0].0.start = tail.start;
+            }
+        }
+        out
+    }
+
+    /// Like [`diff`](Self::diff) but over the full `n`-deep *preference
+    /// walk* instead of the primary owner alone: the arcs where
+    /// [`successors_of_point`](Self::successors_of_point) differs between
+    /// `self` (before) and `after`, as `(arc, old_prefs, new_prefs)`.
+    ///
+    /// A membership change can alter a key's 2nd/3rd replica without moving
+    /// its primary — invisible to `diff`, but exactly the data a replica
+    /// migration must ship — so migration planning consumes this instead.
+    /// Entries are coalesced like `diff` and every key inside a returned
+    /// arc shares that arc's two preference lists.
+    pub fn diff_prefs(&self, after: &HashRing<N>, n: usize) -> Vec<(Arc_, Vec<N>, Vec<N>)> {
+        let mut boundaries: Vec<u64> =
+            self.points.keys().chain(after.points.keys()).copied().collect();
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        if boundaries.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<(Arc_, Vec<N>, Vec<N>)> = Vec::new();
+        for (i, &end) in boundaries.iter().enumerate() {
+            let start = if i == 0 { boundaries[boundaries.len() - 1] } else { boundaries[i - 1] };
+            let old = self.successors_of_point(end, n);
+            let new = after.successors_of_point(end, n);
+            if old == new {
+                continue;
+            }
+            if let Some(last) = out.last_mut() {
+                if last.0.end == start && last.1 == old && last.2 == new {
+                    last.0.end = end;
+                    continue;
+                }
+            }
+            out.push((Arc_ { start, end }, old, new));
+        }
         if out.len() > 1 {
             let first = &out[0];
             let last = &out[out.len() - 1];
@@ -545,6 +619,106 @@ mod tests {
         assert!(r.remove_node(&1));
         assert!(!r.remove_node(&1));
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn weight_scales_vnode_count_and_ownership() {
+        // Seeded determinism: vnode points derive from labels, so this is
+        // exactly reproducible. A 2x-weight node must own ~2x the keyspace
+        // of its weight-1 peers.
+        let mut r = HashRing::new();
+        r.add_node_weighted(0u32, "node0", 64, 1).unwrap();
+        r.add_node_weighted(1u32, "node1", 64, 2).unwrap();
+        r.add_node_weighted(2u32, "node2", 64, 1).unwrap();
+        assert_eq!(r.vnodes_of(&1), Some(128));
+        assert_eq!(r.weight_of(&1), Some(2));
+        assert_eq!(r.weight_of(&0), Some(1));
+        let mut counts = [0usize; 3];
+        let total = 40_000u32;
+        for key in 0..total {
+            counts[*r.primary(&key.to_le_bytes()).unwrap() as usize] += 1;
+        }
+        let heavy = counts[1] as f64;
+        let light = (counts[0] + counts[2]) as f64 / 2.0;
+        let ratio = heavy / light;
+        assert!((1.6..2.5).contains(&ratio), "2x-weight ownership ratio {ratio}");
+        assert_eq!(r.add_node_weighted(9, "z", 64, 0), Err(RingError::ZeroVnodes));
+    }
+
+    #[test]
+    fn diff_is_minimal_under_weight_only_change() {
+        // Re-add node 2 with double weight: the only arcs that may change
+        // hands are ones node 2 gains, each reported exactly once.
+        let mut before = HashRing::new();
+        for i in 0..4u32 {
+            before.add_node_weighted(i, format!("node{i}"), 32, 1).unwrap();
+        }
+        let mut after = before.clone();
+        after.remove_node(&2);
+        after.add_node_weighted(2, "node2", 32, 2).unwrap();
+
+        let diff = before.diff(&after);
+        assert!(!diff.is_empty());
+        let mut gained: u64 = 0;
+        for (arc, old, new) in &diff {
+            // Raising a weight only appends that node's points, so every
+            // transition gains node 2 and loses someone else.
+            assert_eq!(new.as_ref(), Some(&2), "weight gain must route to node 2");
+            assert_ne!(old.as_ref(), Some(&2));
+            gained += arc.len();
+        }
+        // Minimality: adjacent entries with identical transitions would
+        // have been coalesced, including across the origin.
+        for w in diff.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            assert!(!(a.0.end == b.0.start && a.1 == b.1 && a.2 == b.2));
+        }
+        // The gained share is roughly the extra weight's proportion:
+        // node 2 goes from 1/4 to 2/5 of the ring, so ~0.15 of the circle.
+        let frac = gained as f64 / (u64::MAX as f64);
+        assert!((0.08..0.25).contains(&frac), "gained fraction {frac}");
+    }
+
+    #[test]
+    fn diff_prefs_catches_replica_changes_diff_misses() {
+        let before = ring(5, 32);
+        let mut after = before.clone();
+        after.add_node(5, "node5", 32).unwrap();
+        let n = 3;
+        let owner_diff = before.diff(&after);
+        let pref_diff = before.diff_prefs(&after, n);
+        // The pref walk is a superset view: every primary change is also a
+        // pref change, and replica-only changes appear besides.
+        let covered = |point: u64| pref_diff.iter().any(|(a, _, _)| a.contains(point));
+        for (arc, _, _) in &owner_diff {
+            assert!(covered(arc.end), "primary change at {:#x} missing from diff_prefs", arc.end);
+        }
+        let pref_total: u128 = pref_diff.iter().map(|(a, _, _)| a.len() as u128).sum();
+        let owner_total: u128 = owner_diff.iter().map(|(a, _, _)| a.len() as u128).sum();
+        assert!(pref_total > owner_total, "adding a node must move replicas beyond primaries");
+        // Every reported arc really changes the walk, and the reported
+        // lists match a fresh lookup at the arc end.
+        for (arc, old, new) in &pref_diff {
+            assert_ne!(old, new);
+            assert_eq!(&before.successors_of_point(arc.end, n), old);
+            assert_eq!(&after.successors_of_point(arc.end, n), new);
+        }
+        // Sampled keys outside every reported arc keep their walk.
+        let mut outside = 0;
+        for key in 0..2_000u32 {
+            let p = HashRing::<u32>::key_point(&key.to_le_bytes());
+            if !covered(p) {
+                outside += 1;
+                assert_eq!(
+                    before.successors_of_point(p, n),
+                    after.successors_of_point(p, n),
+                    "key {key} outside the diff must not move"
+                );
+            }
+        }
+        assert!(outside > 0);
+        // Identical rings diff to nothing.
+        assert!(before.diff_prefs(&before.clone(), n).is_empty());
     }
 
     #[test]

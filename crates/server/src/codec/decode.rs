@@ -332,6 +332,8 @@ pub fn decode_msg(buf: &[u8]) -> Option<Msg> {
             }
             Msg::SyncLeafDigest { ring_hash, leaves, entries }
         }
+        31 => Msg::MigrateCutover { start: rd.u64()?, end: rd.u64()? },
+        32 => Msg::MigrateBegin { start: rd.u64()?, end: rd.u64()? },
         _ => return None,
     };
     // Strictness: the tag's grammar must account for every byte.

@@ -350,6 +350,16 @@ pub fn encode_msg(msg: &Msg, out: &mut Vec<u8>) {
                 put_u64(out, *h);
             }
         }
+        Msg::MigrateCutover { start, end } => {
+            out.push(31);
+            put_u64(out, *start);
+            put_u64(out, *end);
+        }
+        Msg::MigrateBegin { start, end } => {
+            out.push(32);
+            put_u64(out, *start);
+            put_u64(out, *end);
+        }
         Msg::SyncLeafDigest { ring_hash, leaves, entries } => {
             out.push(30);
             put_u64(out, *ring_hash);
@@ -498,6 +508,8 @@ mod tests {
             }),
             Msg::RingReq { req: 20 },
             Msg::RingResp { req: 20, members: vec![NodeId(0), NodeId(1), NodeId(2)] },
+            Msg::MigrateCutover { start: 0xdead_beef, end: 0xcafe_f00d },
+            Msg::MigrateBegin { start: 0x1111, end: 0x2222 },
         ]
     }
 

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 
 use mystore_core::message::Msg;
-use mystore_net::{Context, NodeId, Process, TimerToken};
+use mystore_net::{Context, NodeId, Process, SimTime, TimerToken};
 
 const TK_NEXT: TimerToken = 1;
 const TK_DEADLINE_TAG: TimerToken = 2;
@@ -83,6 +83,7 @@ struct CurrentOp {
     is_read: bool,
     attempt: u32,
     waiting_req: Option<u64>,
+    started_at: SimTime,
 }
 
 /// The strictly sequential matrix workload process.
@@ -201,7 +202,14 @@ impl MatrixClient {
             self.next_seq += 1;
             s
         };
-        self.current = Some(CurrentOp { key_idx, seq, is_read, attempt: 0, waiting_req: None });
+        self.current = Some(CurrentOp {
+            key_idx,
+            seq,
+            is_read,
+            attempt: 0,
+            waiting_req: None,
+            started_at: ctx.now(),
+        });
         self.send_attempt(ctx);
     }
 
@@ -230,6 +238,11 @@ impl MatrixClient {
 
     fn finish_op(&mut self, ctx: &mut Context<'_, Msg>, success: bool) {
         if let Some(op) = self.current.take() {
+            if success {
+                // Operation-level latency (first attempt to final ack),
+                // retries included — what a caller actually waited.
+                ctx.record("matrix_op_us", (ctx.now() - op.started_at) as f64);
+            }
             match (success, op.is_read) {
                 (true, true) => self.gets_ok += 1,
                 (true, false) => {

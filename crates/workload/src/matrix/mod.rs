@@ -64,6 +64,16 @@ pub struct CellSpec {
     /// Run anti-entropy with the Merkle tree exchange (DESIGN.md §14)
     /// instead of flat digests.
     pub merkle_sync: bool,
+    /// Per-node capacity weights (heterogeneous rings, DESIGN.md §16);
+    /// empty = homogeneous. Indexed like the storage ids, nodes past the
+    /// end get weight 1.
+    pub weights: Vec<u32>,
+    /// Migration-engine record budget per tick; `0` keeps the legacy
+    /// one-shot rebalance sweep. With the Kill profile's 30–120 s outages
+    /// against the matrix's 50 s failure detector, every long outage is a
+    /// genuine ring leave/re-join, so a non-zero budget drives the
+    /// incremental migration engine through real membership churn.
+    pub migrate_records_per_tick: u32,
 }
 
 impl CellSpec {
@@ -89,6 +99,8 @@ impl CellSpec {
             ops_per_burst: 100,
             group_commit_ops: if profile == FaultProfile::SlowFsync { 8 } else { 1 },
             merkle_sync: false,
+            weights: Vec::new(),
+            migrate_records_per_tick: 0,
         }
     }
 }
@@ -162,6 +174,11 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
     cluster.hint_replay_interval_us = 120 * SEC;
     cluster.group_commit_ops = spec.group_commit_ops;
     cluster.anti_entropy_merkle = spec.merkle_sync;
+    cluster.weights = spec.weights.clone();
+    cluster.migrate_max_records_per_tick = spec.migrate_records_per_tick;
+    // A coarser tick suits the long-horizon cells: each active plan wakes
+    // 4×/s instead of 20×/s, keeping mostly-idle weeks fast-forwardable.
+    cluster.migrate_tick_us = SEC / 4;
 
     let (mut sim, registry) = cluster.build_sim_with_metrics(SimConfig {
         net: NetConfig::gigabit_lan(),
@@ -260,6 +277,8 @@ pub fn run_cell(spec: &CellSpec) -> CellResult {
         "sync.rounds",
         "sync.digest_entries",
         "sync.resurrections_blocked",
+        "migrate.records_sent",
+        "migrate.arcs_cutover",
     ] {
         counters.insert(name.to_string(), snap.counters.get(name).copied().unwrap_or(0));
     }

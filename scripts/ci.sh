@@ -82,6 +82,19 @@ cargo run --release -p mystore-bench --bin bench_sync -- --smoke
 test -s results/BENCH_PR8_SMOKE.json || { echo "sync smoke wrote no JSON"; exit 1; }
 rm -f results/BENCH_PR8_SMOKE.json
 
+echo "==> online elasticity (migration engine + weighted placement)"
+# The PR-10 elasticity work: the incremental, rate-limited migration
+# engine's test suite (per-tick budget bound, crash-resume from the
+# persisted cursor, dual-ownership reads, weighted placement), then the
+# cluster-doubling smoke bench — 0 client errors, 0 acked-write loss,
+# corpus fully replicated on the new weighted ring (full figure:
+# --bin bench_elastic without --smoke).
+cargo test -p mystore-core --test elastic -q
+rm -f results/BENCH_PR10_SMOKE.json
+cargo run --release -p mystore-bench --bin bench_elastic -- --smoke
+test -s results/BENCH_PR10_SMOKE.json || { echo "elastic smoke wrote no JSON"; exit 1; }
+rm -f results/BENCH_PR10_SMOKE.json
+
 echo "==> write-throughput bench smoke (group commit)"
 rm -f results/BENCH_PR3_SMOKE.json
 cargo run --release -p mystore-bench --bin bench_pr3 -- --smoke
