@@ -429,8 +429,11 @@ impl StorageNode {
         }
         // Dual-ownership hygiene: drop inbound arcs whose source was
         // declared long-failed (its records re-replicate via the ring
-        // change that removal triggers), and answer proxied fetches whose
-        // source never replied with a miss so the read can settle.
+        // change that removal triggers), and fail proxied fetches whose
+        // source never replied (`ok: false`) so the quorum driver treats
+        // the silence as a replica failure — retrying or settling from
+        // the other replicas — instead of taking the entrant's
+        // not-yet-authoritative miss as a definitive answer.
         if !self.pending_in.is_empty() {
             let gossiper = &self.gossiper;
             self.pending_in.retain(|e| !gossiper.is_removed(e.source));
@@ -446,7 +449,10 @@ impl StorageNode {
                 .collect();
             for req in expired {
                 if let Some(p) = self.read_proxies.remove(&req) {
-                    ctx.send(p.requester, Msg::FetchAck { req: p.orig_req, found: None, ok: true });
+                    ctx.send(
+                        p.requester,
+                        Msg::FetchAck { req: p.orig_req, found: None, ok: false },
+                    );
                 }
             }
         }

@@ -226,9 +226,13 @@ impl StorageNode {
         if arcs.is_empty() {
             // A re-based live plan that diffed to nothing is finished; a
             // pending resume stays parked (the post-restart ring has not
-            // re-converged yet — the next refresh tries again).
+            // re-converged yet — the next refresh tries again). The
+            // gossiped progress must go idle here too: the normal idle
+            // transition lives on the tick completion path, which this
+            // plan will never reach.
             if had_prev {
                 self.clear_migrate_state();
+                self.gossiper.set_app_state_if_changed(mystore_gossip::keys::MIGRATION, "idle");
             }
             return;
         }
@@ -325,7 +329,9 @@ impl StorageNode {
             if let Some(ack) = self.migrate_acks.remove(&req) {
                 self.metrics.migrate_in_flight.dec_clamped();
                 if !plan.acked.contains(&ack.idx) && ack.idx >= plan.low_water {
-                    plan.needed.remove(&ack.idx);
+                    // The per-target `needed` entry stays: targets that
+                    // already acked are settled for good, and re-dispatch
+                    // goes only to the ones still listed.
                     plan.retry.insert(ack.idx);
                 }
             }
@@ -393,8 +399,10 @@ impl StorageNode {
 
     /// Dispatches retries first, then the cursor, until a per-tick budget
     /// is exhausted. One item ships atomically to all its targets; the
-    /// first item of a tick always ships even if it alone exceeds the byte
-    /// budget (progress guarantee).
+    /// first item of a tick always ships even if it alone exceeds either
+    /// budget (progress guarantee — a leaving node ships to the whole new
+    /// replica set, so one item can carry more copies than a small record
+    /// budget allows and must not stall the head of the work list).
     fn dispatch_budgeted(
         &mut self,
         ctx: &mut Context<'_, Msg>,
@@ -441,10 +449,21 @@ impl StorageNode {
                     continue;
                 }
             };
+            // A retried item re-dispatches only to the targets that have
+            // not acked yet (its `needed` entry); a fresh item owes every
+            // target a copy.
+            let targets: Vec<NodeId> = match plan.needed.get(&idx) {
+                Some(owing) => targets.iter().copied().filter(|t| owing.contains(t)).collect(),
+                None => targets,
+            };
+            if targets.is_empty() {
+                self.settle_item(plan, idx);
+                continue;
+            }
             let copies = targets.len();
             let bytes = record.val.len() * copies;
-            if recs_used + copies > rec_budget
-                || (recs_used > 0 && bytes_used + bytes > byte_budget)
+            if recs_used > 0
+                && (recs_used + copies > rec_budget || bytes_used + bytes > byte_budget)
             {
                 break;
             }
@@ -455,10 +474,10 @@ impl StorageNode {
             }
             recs_used += copies;
             bytes_used += bytes;
-            plan.needed.insert(idx, copies);
+            plan.needed.insert(idx, targets.iter().copied().collect());
             for &target in &targets {
                 let req = self.fresh_req();
-                self.migrate_acks.insert(req, MigAck { idx, sent_at_us: now });
+                self.migrate_acks.insert(req, MigAck { idx, target, sent_at_us: now });
                 batches
                     .entry(target)
                     .or_default()
@@ -487,6 +506,7 @@ impl StorageNode {
     /// targets) and pops it from the dispatch front.
     fn settle_item(&self, plan: &mut MigrationPlan, idx: usize) {
         plan.acked.insert(idx);
+        plan.needed.remove(&idx);
         if !plan.retry.remove(&idx) {
             plan.cursor = idx + 1;
         }
@@ -503,9 +523,9 @@ impl StorageNode {
             return; // late duplicate for an already-settled item
         }
         if ok {
-            if let Some(left) = plan.needed.get_mut(&ack.idx) {
-                *left = left.saturating_sub(1);
-                if *left == 0 {
+            if let Some(owing) = plan.needed.get_mut(&ack.idx) {
+                owing.remove(&ack.target);
+                if owing.is_empty() {
                     plan.needed.remove(&ack.idx);
                     plan.retry.remove(&ack.idx);
                     plan.acked.insert(ack.idx);
@@ -513,7 +533,10 @@ impl StorageNode {
                 }
             }
         } else {
-            plan.needed.remove(&ack.idx);
+            // The failed target stays in `needed`; the retry re-sends to
+            // it (and any other target still owing) only — an ack from a
+            // target that already succeeded must not settle the item on
+            // another target's behalf.
             plan.retry.insert(ack.idx);
         }
     }

@@ -40,6 +40,10 @@ pub(crate) struct MigAck {
     /// Work-list index the ack settles (one item can await several acks,
     /// one per destination copy).
     pub(crate) idx: usize,
+    /// The destination the copy was sent to: acks settle per `(idx,
+    /// target)`, so a duplicate ack from one target can never stand in
+    /// for another target's missing copy.
+    pub(crate) target: NodeId,
     /// Send time, for the expiry sweep.
     pub(crate) sent_at_us: u64,
 }
@@ -63,8 +67,10 @@ pub(crate) struct MigrationPlan {
     pub(crate) cursor: usize,
     /// Acked indices above the low-water mark.
     pub(crate) acked: BTreeSet<usize>,
-    /// Outstanding ack count per dispatched item.
-    pub(crate) needed: BTreeMap<usize, usize>,
+    /// Targets still owing an ack, per dispatched item. An item settles
+    /// only when every distinct target has acknowledged its copy;
+    /// re-dispatch after a failure goes only to the targets still listed.
+    pub(crate) needed: BTreeMap<usize, BTreeSet<NodeId>>,
     /// Items whose ack failed or expired; re-dispatched before the cursor.
     pub(crate) retry: BTreeSet<usize>,
     /// Low-water value last persisted to `migrate_state`.

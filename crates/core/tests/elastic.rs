@@ -211,6 +211,48 @@ fn reads_during_migration_window_see_every_record() {
     }
 }
 
+/// Regression: a record budget smaller than a single item's copy count
+/// must not stall the head of the work list. A 4th node joining a 3-node
+/// `N = 3` cluster evicts an old member from some arcs' replica sets, and
+/// the evicted member ships each of those records to the *whole* new
+/// replica set — 3 copies per item. With `migrate_max_records_per_tick =
+/// 1` the budget guard used to reject such an item even as the first of
+/// its tick, so the cursor never advanced and the migration (and its
+/// dual-ownership windows) hung forever.
+#[test]
+fn budget_smaller_than_copy_count_still_makes_progress() {
+    let total = 24usize;
+    let mut spec = ClusterSpec::small(4);
+    spec.migrate_max_records_per_tick = 1;
+    spec.migrate_tick_us = 100_000;
+    spec.anti_entropy_interval_us = 0;
+    let (mut sim, registry) = spec.build_sim_with_metrics(sim_config(76));
+    sim.schedule_crash(SimTime(0), NodeId(3), None);
+    sim.start();
+    sim.run_for(spec.warmup_us() + 3_000_000);
+    // Every old member holds the corpus, so each runs a plan of its own —
+    // including arcs it is evicted from (the multi-copy items).
+    for i in 0..total {
+        let r = rec(i, &format!("bg-{i:02}"));
+        for node in [NodeId(0), NodeId(1), NodeId(2)] {
+            sim.process_mut::<StorageNode>(node).unwrap().preload_record(&r);
+        }
+    }
+    sim.schedule_restart(sim.now() + 1, NodeId(3));
+    sim.run_for(30_000_000);
+    for id in spec.storage_ids() {
+        let node = sim.process::<StorageNode>(id).unwrap();
+        assert!(
+            node.migration_progress().is_none(),
+            "node {id}: migration still in flight after 30 s — head-of-line livelock"
+        );
+        assert_eq!(node.inbound_arcs(), 0, "node {id}: dual-ownership window never closed");
+        let cursors = node.db().collection("migrate_state").map(|c| c.iter().count()).unwrap_or(0);
+        assert_eq!(cursors, 0, "node {id}: persisted cursor outlived its plan");
+    }
+    assert_eq!(registry.snapshot().gauges.get("migrate.in_flight").copied().unwrap_or(0), 0);
+}
+
 /// Capacity weights at boot: a weight-2 node contributes twice the virtual
 /// nodes on every member's ring (placement is derived from gossiped
 /// effective vnode counts alone, so this needs no migration engine).
